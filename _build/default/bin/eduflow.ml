@@ -1,0 +1,198 @@
+(* eduflow: run the RTL-to-GDSII template flow on a benchmark design.
+
+   Examples:
+     dune exec bin/eduflow.exe -- run alu8
+     dune exec bin/eduflow.exe -- run mult8 --node edu28 --preset commercial --gds /tmp/m8.gds
+     dune exec bin/eduflow.exe -- list
+     dune exec bin/eduflow.exe -- nodes *)
+
+module Pdk = Educhip_pdk.Pdk
+module Flow = Educhip_flow.Flow
+module Designs = Educhip_designs.Designs
+module Gds = Educhip_gds.Gds
+module Drc = Educhip_drc.Drc
+module Cec = Educhip_cec.Cec
+module Verilog = Educhip_netlist.Verilog
+module Dft = Educhip_dft.Dft
+module Synth = Educhip_synth.Synth
+module Table = Educhip_util.Table
+
+open Cmdliner
+
+let list_designs () =
+  let table =
+    Table.create ~title:"benchmark designs"
+      ~columns:
+        [ ("name", Table.Left); ("category", Table.Left); ("description", Table.Left) ]
+  in
+  List.iter
+    (fun e ->
+      Table.add_row table [ e.Designs.name; e.Designs.category; e.Designs.description ])
+    Designs.all;
+  Table.print table
+
+let list_nodes () =
+  let table =
+    Table.create ~title:"technology nodes"
+      ~columns:
+        [
+          ("node", Table.Left);
+          ("feature", Table.Right);
+          ("access", Table.Left);
+          ("MPW EUR/mm2", Table.Right);
+          ("turnaround wks", Table.Right);
+        ]
+  in
+  List.iter
+    (fun n ->
+      Table.add_row table
+        [
+          n.Pdk.node_name;
+          Printf.sprintf "%g nm" n.Pdk.feature_nm;
+          (match n.Pdk.access with
+          | Pdk.Open_pdk -> "open"
+          | Pdk.Nda -> "NDA"
+          | Pdk.Nda_with_track_record -> "NDA+track-record");
+          Table.cell_float ~decimals:0 n.Pdk.mpw_cost_eur_per_mm2;
+          Table.cell_float ~decimals:0 n.Pdk.turnaround_weeks;
+        ])
+    Pdk.nodes;
+  Table.print table
+
+let run_flow design_name node_name preset_name_ clock_ps gds_path verilog_path verify
+    scan =
+  match Designs.find design_name with
+  | exception Not_found ->
+    Printf.eprintf "unknown design %s (try: eduflow list)\n" design_name;
+    exit 1
+  | entry -> (
+    match Pdk.find_node node_name with
+    | exception Not_found ->
+      Printf.eprintf "unknown node %s (try: eduflow nodes)\n" node_name;
+      exit 1
+    | node ->
+      let preset =
+        match preset_name_ with
+        | "open" -> Flow.Open_flow
+        | "commercial" -> Flow.Commercial_flow
+        | "teaching" -> Flow.Teaching_flow
+        | other ->
+          Printf.eprintf "unknown preset %s (open|commercial|teaching)\n" other;
+          exit 1
+      in
+      let cfg = Flow.config ~node ?clock_period_ps:clock_ps preset in
+      let rtl = Designs.netlist entry in
+      let rtl =
+        if not scan then rtl
+        else begin
+          let scanned, report = Dft.insert_scan rtl in
+          Printf.printf "scan insertion: %d-flop chain, %d muxes added\n"
+            report.Dft.chain_length report.Dft.muxes_added;
+          scanned
+        end
+      in
+      let result = Flow.run rtl cfg in
+      Format.printf "%a" Flow.pp_summary result;
+      if not result.Flow.drc.Drc.clean then begin
+        print_endline "DRC violations:";
+        List.iter
+          (fun v -> Format.printf "  %a@." Drc.pp_violation v)
+          result.Flow.drc.Drc.violations
+      end;
+      (match gds_path with
+      | Some path ->
+        Gds.write_gds result.Flow.layout ~path;
+        Printf.printf "GDSII written to %s\n" path
+      | None -> ());
+      (match verilog_path with
+      | Some path ->
+        Verilog.write_file result.Flow.mapped ~path;
+        Printf.printf "mapped Verilog written to %s\n" path
+      | None -> ());
+      if verify then begin
+        match Cec.check rtl result.Flow.mapped with
+        | Cec.Equivalent -> print_endline "formal verification: RTL == mapped netlist"
+        | v ->
+          Format.printf "formal verification FAILED: %a@." Cec.pp_verdict v;
+          exit 3
+      end;
+      if not result.Flow.drc.Drc.clean then exit 2)
+
+let design_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DESIGN" ~doc:"Benchmark design name.")
+
+let node_arg =
+  Arg.(value & opt string "edu130" & info [ "node" ] ~docv:"NODE" ~doc:"Technology node.")
+
+let preset_arg =
+  Arg.(
+    value
+    & opt string "open"
+    & info [ "preset" ] ~docv:"PRESET" ~doc:"Flow preset: open, commercial, or teaching.")
+
+let clock_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "clock-ps" ] ~docv:"PS" ~doc:"Clock period constraint in picoseconds.")
+
+let gds_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "gds" ] ~docv:"PATH" ~doc:"Write the final GDSII stream to this file.")
+
+let verilog_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "verilog" ] ~docv:"PATH" ~doc:"Write the mapped structural Verilog to this file.")
+
+let verify_arg =
+  Arg.(
+    value & flag
+    & info [ "verify" ]
+        ~doc:"Formally verify (SAT-based CEC) that the mapped netlist matches the RTL.")
+
+let scan_arg =
+  Arg.(
+    value & flag
+    & info [ "scan" ] ~doc:"Insert a scan chain before synthesis (sequential designs only).")
+
+let run_cmd =
+  let doc = "run the full synthesis/place/route/signoff flow on a design" in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run_flow $ design_arg $ node_arg $ preset_arg $ clock_arg $ gds_arg
+      $ verilog_arg $ verify_arg $ scan_arg)
+
+let list_cmd =
+  let doc = "list the benchmark designs" in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const list_designs $ const ())
+
+let fpga design_name k =
+  match Designs.find design_name with
+  | exception Not_found ->
+    Printf.eprintf "unknown design %s (try: eduflow list)\n" design_name;
+    exit 1
+  | entry ->
+    let nl = Designs.netlist entry in
+    let r = Synth.lut_map nl ~k in
+    Printf.printf "%s as LUT%d: %d LUTs, depth %d, %d flip-flops\n" design_name r.Synth.k
+      r.Synth.luts r.Synth.lut_depth r.Synth.lut_flip_flops
+
+let k_arg =
+  Arg.(value & opt int 4 & info [ "k" ] ~docv:"K" ~doc:"LUT input count (3..6).")
+
+let fpga_cmd =
+  let doc = "map a design to K-input LUTs (FPGA prototyping estimate)" in
+  Cmd.v (Cmd.info "fpga" ~doc) Term.(const fpga $ design_arg $ k_arg)
+
+let nodes_cmd =
+  let doc = "list the technology nodes" in
+  Cmd.v (Cmd.info "nodes" ~doc) Term.(const list_nodes $ const ())
+
+let () =
+  let doc = "educhip RTL-to-GDSII flow driver" in
+  let info = Cmd.info "eduflow" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; list_cmd; nodes_cmd; fpga_cmd ]))

@@ -1,0 +1,186 @@
+(* enablement: scenario reports from the educhip platform models.
+
+   Examples:
+     dune exec bin/enablement.exe -- market
+     dune exec bin/enablement.exe -- costs
+     dune exec bin/enablement.exe -- workforce --years 15
+     dune exec bin/enablement.exe -- hub --teams 4 --arrivals 2.0
+     dune exec bin/enablement.exe -- recommendations *)
+
+module Pdk = Educhip_pdk.Pdk
+module Market = Educhip.Market
+module Costmodel = Educhip.Costmodel
+module Workforce = Educhip.Workforce
+module Cloudhub = Educhip.Cloudhub
+module Enable = Educhip.Enable
+module Recommend = Educhip.Recommend
+module Table = Educhip_util.Table
+
+open Cmdliner
+
+let market () =
+  let table =
+    Table.create ~title:"semiconductor value chain (paper SSI)"
+      ~columns:
+        [
+          ("segment", Table.Left);
+          ("share of value", Table.Right);
+          ("Europe share", Table.Right);
+        ]
+  in
+  List.iter
+    (fun s ->
+      Table.add_row table
+        [
+          s.Market.segment_name;
+          Table.cell_pct s.Market.value_share;
+          Table.cell_pct s.Market.europe_share;
+        ])
+    Market.value_chain;
+  Table.print table;
+  Printf.printf "Europe weighted share of added value: %.1f%%\n"
+    (Market.europe_weighted_share () *. 100.0);
+  Printf.printf "Europe share in its strong application areas: %.0f%%\n"
+    (Market.europe_application_share () *. 100.0)
+
+let costs () =
+  let table =
+    Table.create ~title:"design cost and MPW pricing per node"
+      ~columns:
+        [
+          ("node", Table.Left);
+          ("production design", Table.Right);
+          ("full mask set", Table.Right);
+          ("MPW 1mm2 slot", Table.Right);
+        ]
+  in
+  List.iter
+    (fun node ->
+      Table.add_row table
+        [
+          node.Pdk.node_name;
+          Table.cell_money (Costmodel.design_cost_usd node);
+          Printf.sprintf "EUR %.0fk" (Costmodel.full_run_cost_eur node /. 1000.0);
+          Printf.sprintf "EUR %.0f" (Costmodel.mpw_slot_cost_eur node ~area_mm2:1.0);
+        ])
+    Pdk.nodes;
+  Table.print table
+
+let workforce years =
+  let scenarios =
+    [
+      Workforce.baseline;
+      Workforce.with_low_barrier_programs Workforce.baseline;
+      Workforce.with_information_campaigns Workforce.baseline;
+      Workforce.baseline
+      |> Workforce.with_low_barrier_programs
+      |> Workforce.with_information_campaigns
+      |> Workforce.with_coordinated_funding;
+    ]
+  in
+  List.iter
+    (fun s ->
+      let points = Workforce.simulate s ~years in
+      let last = List.nth points (List.length points - 1) in
+      Printf.printf
+        "%-40s year %2d: %5.2fk graduates vs %5.2fk demand (cumulative gap %6.1fk)\n"
+        s.Workforce.scenario_name last.Workforce.year last.Workforce.graduates
+        last.Workforce.demand last.Workforce.cumulative_gap)
+    scenarios
+
+let hub teams arrivals =
+  let params =
+    { Cloudhub.default_params with Cloudhub.det_teams = teams; arrivals_per_week = arrivals }
+  in
+  let stats = Cloudhub.simulate params in
+  Printf.printf
+    "hub with %d DET teams at %.2f jobs/week over %.0f weeks:\n\
+    \  completed %d, mean wait %.2f weeks (p95 %.2f), utilization %.0f%%, peak queue %d\n"
+    teams arrivals params.Cloudhub.horizon_weeks stats.Cloudhub.completed
+    stats.Cloudhub.mean_wait_weeks stats.Cloudhub.p95_wait_weeks
+    (stats.Cloudhub.utilization *. 100.0)
+    stats.Cloudhub.peak_queue
+
+let recommendations () =
+  let s0 = Recommend.baseline_state () in
+  Printf.printf
+    "baseline: %.2fk grads/yr | %.1f weeks to first GDSII | EUR %.0f per MPW design | %.1f weeks hub wait | %.0f%% course completion\n\n"
+    s0.Recommend.graduates_per_year_k s0.Recommend.time_to_first_gdsii_weeks
+    s0.Recommend.mpw_cost_per_design_eur s0.Recommend.hub_wait_weeks
+    (s0.Recommend.course_completion_rate *. 100.0);
+  List.iter
+    (fun r ->
+      let s = Recommend.apply r.Recommend.id s0 in
+      Printf.printf "R%d %-45s -> %.2fk | %.1f wks | EUR %.0f | %.1f wks | %.0f%%\n"
+        r.Recommend.id r.Recommend.title s.Recommend.graduates_per_year_k
+        s.Recommend.time_to_first_gdsii_weeks s.Recommend.mpw_cost_per_design_eur
+        s.Recommend.hub_wait_weeks
+        (s.Recommend.course_completion_rate *. 100.0))
+    Recommend.recommendations;
+  let all = Recommend.apply_all s0 in
+  Printf.printf "\nall eight combined: %.2fk | %.1f wks | EUR %.0f | %.1f wks | %.0f%%\n"
+    all.Recommend.graduates_per_year_k all.Recommend.time_to_first_gdsii_weeks
+    all.Recommend.mpw_cost_per_design_eur all.Recommend.hub_wait_weeks
+    (all.Recommend.course_completion_rate *. 100.0)
+
+let tiers () =
+  List.iter
+    (fun tier ->
+      let r = Recommend.evaluate_tier tier in
+      Printf.printf
+        "%-12s %-14s node %-7s setup %5.1f wks | MPW EUR %7.0f | fmax %7.1f MHz | DRC %s\n"
+        (Cloudhub.tier_name tier)
+        (Educhip.Enable.support_name r.Recommend.plan.Recommend.support)
+        r.Recommend.plan.Recommend.node.Pdk.node_name r.Recommend.setup_weeks
+        r.Recommend.mpw_cost_eur r.Recommend.ppa.Educhip_flow.Flow.fmax_mhz
+        (if r.Recommend.ppa.Educhip_flow.Flow.drc_clean then "clean" else "FAIL"))
+    [ Cloudhub.Beginner; Cloudhub.Intermediate; Cloudhub.Advanced ]
+
+let enablement_report () =
+  List.iter
+    (fun access ->
+      let access_name =
+        match access with
+        | Pdk.Open_pdk -> "open PDK"
+        | Pdk.Nda -> "NDA PDK"
+        | Pdk.Nda_with_track_record -> "NDA + track record"
+      in
+      List.iter
+        (fun support ->
+          Printf.printf "%-20s %-14s %5.1f weeks to first GDSII (effort %5.1f)\n"
+            access_name
+            (Enable.support_name support)
+            (Enable.time_to_first_gdsii_weeks ~access ~support)
+            (Enable.total_effort_weeks ~access ~support))
+        [ Enable.Self_service; Enable.Design_enablement_team; Enable.Cloud_platform ])
+    [ Pdk.Open_pdk; Pdk.Nda; Pdk.Nda_with_track_record ]
+
+let years_arg =
+  Arg.(value & opt int 15 & info [ "years" ] ~docv:"N" ~doc:"Simulation horizon in years.")
+
+let teams_arg =
+  Arg.(value & opt int 3 & info [ "teams" ] ~docv:"N" ~doc:"Number of DET teams.")
+
+let arrivals_arg =
+  Arg.(
+    value & opt float 1.5 & info [ "arrivals" ] ~docv:"R" ~doc:"Job arrivals per week.")
+
+let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
+
+let () =
+  let doc = "educhip enablement-platform scenario reports" in
+  let info = Cmd.info "enablement" ~version:"1.0.0" ~doc in
+  let cmds =
+    [
+      cmd "market" "value-chain shares (E1)" Term.(const market $ const ());
+      cmd "costs" "design and MPW cost curves (E3/E4)" Term.(const costs $ const ());
+      cmd "workforce" "designer-pipeline scenarios (E7)" Term.(const workforce $ years_arg);
+      cmd "hub" "enablement-hub queue simulation (E10)" Term.(const hub $ teams_arg $ arrivals_arg);
+      cmd "enable" "availability-vs-enablement matrix (E5)"
+        Term.(const enablement_report $ const ());
+      cmd "recommendations" "the paper's eight recommendations as scenarios"
+        Term.(const recommendations $ const ());
+      cmd "tiers" "tiered enablement pathways (E9)" Term.(const tiers $ const ());
+    ]
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

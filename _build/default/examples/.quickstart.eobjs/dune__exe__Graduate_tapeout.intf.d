@@ -1,0 +1,1 @@
+examples/graduate_tapeout.mli:

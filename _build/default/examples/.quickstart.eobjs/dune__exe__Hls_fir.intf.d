@@ -1,0 +1,1 @@
+examples/hls_fir.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Educhip_cec Educhip_flow Educhip_gds Educhip_netlist Educhip_pdk Educhip_rtl Educhip_sim Filename Format Printf

@@ -1,0 +1,1 @@
+examples/shuttle_tapeout.ml: Educhip Educhip_designs Educhip_flow Educhip_gds Educhip_pdk Educhip_util Float Format List Printf

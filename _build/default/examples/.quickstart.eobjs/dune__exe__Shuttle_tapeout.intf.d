@@ -1,0 +1,1 @@
+examples/shuttle_tapeout.mli:

@@ -1,0 +1,1 @@
+examples/university_course.ml: Educhip Educhip_flow Educhip_pdk Educhip_util List Printf String

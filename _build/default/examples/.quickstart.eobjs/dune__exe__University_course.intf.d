@@ -1,0 +1,1 @@
+examples/university_course.mli:

@@ -1,0 +1,1 @@
+examples/verification_campaign.mli:

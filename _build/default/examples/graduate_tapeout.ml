@@ -1,0 +1,90 @@
+(* Graduate tape-out: everything a research-group signoff would run, on the
+   16-bit RISC CPU — the "advanced tier" of Recommendation 8:
+
+   1. scan-chain insertion (manufacturing test access),
+   2. the commercial-effort flow at an advanced node (edu16),
+   3. SAT-based formal verification of the mapped netlist,
+   4. deliverables: GDSII, mapped Verilog, a waveform of the demo program,
+   5. the project economics: MPW slot, turnaround, thesis feasibility.
+
+   Run with: dune exec examples/graduate_tapeout.exe *)
+
+module Rtl = Educhip_rtl.Rtl
+module Sim = Educhip_sim.Sim
+module Vcd = Educhip_sim.Vcd
+module Pdk = Educhip_pdk.Pdk
+module Flow = Educhip_flow.Flow
+module Designs = Educhip_designs.Designs
+module Dft = Educhip_dft.Dft
+module Cec = Educhip_cec.Cec
+module Gds = Educhip_gds.Gds
+module Verilog = Educhip_netlist.Verilog
+module Cts = Educhip_cts.Cts
+module Tapeout = Educhip.Tapeout
+module Costmodel = Educhip.Costmodel
+
+let () =
+  let rtl = Rtl.elaborate (Designs.risc16 ~program:Designs.demo_program) in
+  Format.printf "design: %a@." Educhip_netlist.Netlist.pp_summary rtl;
+
+  (* 1. scan insertion *)
+  let scanned, scan_report = Dft.insert_scan rtl in
+  Printf.printf "1. scan chain: %d flops, %d muxes added\n" scan_report.Dft.chain_length
+    scan_report.Dft.muxes_added;
+
+  (* 2. commercial flow at edu16; the CPU's 50-odd logic levels need a
+     roomier clock than the preset default, and the dense register file
+     routes better at a relaxed utilization *)
+  let node = Pdk.find_node "edu16" in
+  let cfg =
+    { (Flow.config ~node ~clock_period_ps:700.0 Flow.Commercial_flow) with
+      Flow.utilization = 0.55 }
+  in
+  let result = Flow.run scanned cfg in
+  Format.printf "2. %a" Flow.pp_summary result;
+  Format.printf "   %a@." Cts.pp_summary result.Flow.clock_tree;
+  if not result.Flow.drc.Educhip_drc.Drc.clean then
+    List.iter
+      (fun v -> Format.printf "   DRC: %a@." Educhip_drc.Drc.pp_violation v)
+      result.Flow.drc.Educhip_drc.Drc.violations;
+
+  (* 3. formal verification: scan RTL vs mapped netlist *)
+  (match Cec.check scanned result.Flow.mapped with
+  | Cec.Equivalent -> print_endline "3. formal verification: scan RTL == mapped netlist"
+  | v -> Format.printf "3. verification FAILED: %a@." Cec.pp_verdict v);
+
+  (* 4. deliverables *)
+  let tmp = Filename.get_temp_dir_name () in
+  let gds_path = Filename.concat tmp "risc16.gds" in
+  let v_path = Filename.concat tmp "risc16.v" in
+  Gds.write_gds result.Flow.layout ~path:gds_path;
+  Verilog.write_file result.Flow.mapped ~path:v_path;
+  let sim = Sim.create result.Flow.mapped in
+  Sim.set_bus sim "scan_en" 0;
+  Sim.set_bus sim "scan_in" 0;
+  let vcd = Vcd.create sim ~watch:[ "pc"; "r7"; "halted" ] in
+  for _ = 1 to 40 do
+    Sim.eval sim;
+    Vcd.sample vcd;
+    Sim.step sim
+  done;
+  Sim.eval sim;
+  let vcd_path = Filename.concat tmp "risc16.vcd" in
+  Vcd.write_file vcd ~path:vcd_path;
+  Printf.printf
+    "4. deliverables: %s, %s, %s\n   demo program result: r7 = %d (expected 15), halted = %d\n"
+    gds_path v_path vcd_path (Sim.read_bus sim "r7") (Sim.read_bus sim "halted");
+
+  (* 5. project economics *)
+  let die_mm2 = Gds.area_mm2 result.Flow.layout in
+  let slot = Costmodel.mpw_slot_cost_eur node ~area_mm2:die_mm2 in
+  let latency =
+    Tapeout.total_latency_weeks node ~gates:result.Flow.ppa.Flow.cells ~experienced:false
+      ~runs_per_year:4
+  in
+  Printf.printf
+    "5. economics: die %.4f mm2 -> MPW slot EUR %.0f (minimum area applies); design-to-chip %.1f weeks -> %s\n"
+    die_mm2 slot latency
+    (if Tapeout.fits Tapeout.Master_thesis ~latency_weeks:latency then
+       "fits an MSc thesis"
+     else "needs a research project or PhD (the paper's E8 point)")

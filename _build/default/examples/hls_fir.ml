@@ -1,0 +1,108 @@
+(* High-level synthesis example: a 4-tap FIR filter written as an untimed
+   dataflow program, scheduled under different resource budgets, compiled
+   to pipelined RTL, verified against the untimed semantics, and compared
+   with the hand-written RTL FIR from the benchmark suite — the
+   frontend-productivity story of §III-B / Recommendation 4.
+
+   Run with: dune exec examples/hls_fir.exe *)
+
+module Hls = Educhip_hls.Hls
+module Rtl = Educhip_rtl.Rtl
+module Sim = Educhip_sim.Sim
+module Pdk = Educhip_pdk.Pdk
+module Synth = Educhip_synth.Synth
+module Designs = Educhip_designs.Designs
+module Netlist = Educhip_netlist.Netlist
+module Table = Educhip_util.Table
+
+(* y = 1*x0 + 2*x1 + 3*x2 + 1*x3 — the benchmark FIR's coefficients, but
+   the four taps arrive as parallel operands (a block-filter formulation) *)
+let fir_program () =
+  let p = Hls.create ~name:"fir_hls" ~width:16 in
+  let taps = List.init 4 (fun i -> Hls.input p (Printf.sprintf "x%d" i)) in
+  let coefficients = [ 1; 2; 3; 1 ] in
+  let products =
+    List.map2 (fun x c -> Hls.mul p x (Hls.const p c)) taps coefficients
+  in
+  (* balanced reduction so the unconstrained schedule exposes the
+     parallelism: one multiply level plus two adder levels *)
+  let rec tree = function
+    | [] -> Hls.const p 0
+    | [ x ] -> x
+    | xs ->
+      let rec pair acc = function
+        | [] -> List.rev acc
+        | [ x ] -> List.rev (x :: acc)
+        | x :: y :: rest -> pair (Hls.add p x y :: acc) rest
+      in
+      tree (pair [] xs)
+  in
+  Hls.output p "y" (tree products);
+  p
+
+let () =
+  let p = fir_program () in
+  Printf.printf "dataflow program: %d operations\n\n" (Hls.operation_count p);
+
+  (* schedule under different resource budgets *)
+  let budgets =
+    [
+      ("unconstrained", Hls.unconstrained);
+      ("2 mul / 2 add", { Hls.adders = 2; multipliers = 2; logic_units = 2 });
+      ("1 mul / 1 add", { Hls.adders = 1; multipliers = 1; logic_units = 1 });
+    ]
+  in
+  let node = Pdk.find_node "edu130" in
+  let table =
+    Table.create ~title:"schedule vs resources"
+      ~columns:
+        [
+          ("resources", Table.Left);
+          ("latency", Table.Right);
+          ("gates", Table.Right);
+          ("area um2", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (label, budget) ->
+      let s = Hls.schedule p budget in
+      let d = Hls.to_rtl p s in
+      let netlist = Rtl.elaborate d in
+      let mapped, report = Synth.synthesize netlist ~node Synth.default_options in
+      ignore mapped;
+      Table.add_row table
+        [
+          label;
+          Table.cell_int (Hls.latency s);
+          Table.cell_int (Netlist.gate_count netlist);
+          Table.cell_float ~decimals:0 report.Synth.mapped_area_um2;
+        ])
+    budgets;
+  Table.print table;
+  print_endline
+    "(the datapath is fully pipelined at initiation interval 1, so resource\n\
+    \ limits stretch the schedule and add alignment registers rather than\n\
+    \ sharing units: latency and area grow, throughput stays one result/cycle)";
+
+  (* verify the pipeline against the untimed reference *)
+  let s = Hls.schedule p { Hls.adders = 1; multipliers = 1; logic_units = 1 } in
+  let d = Hls.to_rtl p s in
+  let sim = Sim.create (Rtl.elaborate d) in
+  let inputs = [ ("x0", 5); ("x1", 7); ("x2", 11); ("x3", 2) ] in
+  List.iter (fun (n, v) -> Sim.set_bus sim n v) inputs;
+  Sim.run_cycles sim (Hls.latency s);
+  Sim.eval sim;
+  let expected = List.assoc "y" (Hls.reference_eval p inputs) in
+  Printf.printf "\npipeline check: y = %d (reference %d) after %d cycles -> %s\n"
+    (Sim.read_bus sim "y") expected (Hls.latency s)
+    (if Sim.read_bus sim "y" = expected then "MATCH" else "MISMATCH");
+
+  (* productivity comparison against the hand-written streaming FIR *)
+  let hand = Designs.find "fir4x8" in
+  let hand_design = hand.Designs.build () in
+  let hand_statements = Rtl.statement_count hand_design in
+  ignore (Rtl.elaborate hand_design);
+  Printf.printf
+    "\nfrontend productivity: the dataflow source is %d operations;\n\
+     the hand-written RTL FIR needed %d HCL statements for the same filter\n"
+    (Hls.operation_count p) hand_statements

@@ -1,0 +1,90 @@
+(* TinyTapeout-style MPW shuttle: a cohort of student designs is pushed
+   through the teaching flow, the resulting dies are packed onto one MPW
+   run, and the shared economics are compared with dedicated runs — the
+   scenario behind the paper's Recommendations 6 and 8.
+
+   Run with: dune exec examples/shuttle_tapeout.exe *)
+
+module Pdk = Educhip_pdk.Pdk
+module Flow = Educhip_flow.Flow
+module Designs = Educhip_designs.Designs
+module Gds = Educhip_gds.Gds
+module Tapeout = Educhip.Tapeout
+module Costmodel = Educhip.Costmodel
+module Table = Educhip_util.Table
+
+let student_projects =
+  [ "adder8"; "mult4"; "gray8"; "lfsr16"; "cmp16"; "prio16"; "pipe4x8"; "acc_cpu8" ]
+
+let () =
+  let node = Pdk.find_node "edu130" in
+  Format.printf "student shuttle on %a@." Pdk.pp_node node;
+  let cfg = Flow.config ~node Flow.Teaching_flow in
+
+  (* every student project goes through the teaching flow *)
+  let results =
+    List.map
+      (fun name ->
+        let r = Flow.run_design (Designs.find name) cfg in
+        (name, r))
+      student_projects
+  in
+  let table =
+    Table.create ~title:"student designs (teaching flow)"
+      ~columns:
+        [
+          ("design", Table.Left);
+          ("cells", Table.Right);
+          ("die area mm2", Table.Right);
+          ("fmax MHz", Table.Right);
+          ("DRC", Table.Left);
+        ]
+  in
+  List.iter
+    (fun (name, r) ->
+      Table.add_row table
+        [
+          name;
+          Table.cell_int r.Flow.ppa.Flow.cells;
+          Printf.sprintf "%.5f" (Gds.area_mm2 r.Flow.layout);
+          Table.cell_float ~decimals:1 r.Flow.ppa.Flow.fmax_mhz;
+          (if r.Flow.ppa.Flow.drc_clean then "clean" else "FAIL");
+        ])
+    results;
+  Table.print table;
+
+  (* pack the dies onto one shuttle; student slots get a minimum pitch so
+     the shuttle structure resembles a real aggregated run *)
+  let slots =
+    List.map
+      (fun (name, r) ->
+        { Tapeout.design_name = name;
+          area_mm2 = Float.max 0.01 (Gds.area_mm2 r.Flow.layout) })
+      results
+  in
+  let plan = Tapeout.plan_shuttle node ~capacity_mm2:4.0 slots in
+  Printf.printf "\nshuttle: %d/%d designs packed into %.3f of %.1f mm2\n"
+    (List.length plan.Tapeout.accepted)
+    (List.length slots) plan.Tapeout.used_mm2 plan.Tapeout.capacity_mm2;
+
+  (* economics: shared shuttle vs everyone buying a dedicated run *)
+  let dedicated = Costmodel.full_run_cost_eur node in
+  Printf.printf "cost per design on the shuttle: EUR %.0f\n"
+    plan.Tapeout.cost_per_design_eur;
+  Printf.printf "cost of a dedicated mask set:   EUR %.0f (%.0fx more)\n" dedicated
+    (dedicated /. Float.max 1.0 plan.Tapeout.cost_per_design_eur);
+  let sponsored =
+    Costmodel.sponsored_cost_eur node ~area_mm2:(plan.Tapeout.used_mm2 /. 8.0) ~subsidy:0.5
+  in
+  Printf.printf "with a 50%% sponsorship program: EUR %.0f per design\n" sponsored;
+
+  (* can this fit a semester? *)
+  let latency =
+    Tapeout.total_latency_weeks node ~gates:500 ~experienced:false ~runs_per_year:4
+  in
+  Printf.printf "\ndesign-to-chip latency: %.1f weeks (semester course = %.0f weeks) -> %s\n"
+    latency
+    (Tapeout.duration_weeks Tapeout.Semester_course)
+    (if Tapeout.fits Tapeout.Semester_course ~latency_weeks:latency then
+       "fits within one course"
+     else "students graduate before the chips arrive (the paper's E8 point)")

@@ -1,0 +1,86 @@
+(* A university planning a chip-design course: compare the enablement
+   pathways of Recommendation 8 — what has to be set up, how long it
+   takes, what the MPW slot costs, and which academic formats can contain
+   a tape-out at each tier.
+
+   Run with: dune exec examples/university_course.exe *)
+
+module Pdk = Educhip_pdk.Pdk
+module Enable = Educhip.Enable
+module Recommend = Educhip.Recommend
+module Cloudhub = Educhip.Cloudhub
+module Tapeout = Educhip.Tapeout
+module Table = Educhip_util.Table
+
+let () =
+  (* 1. availability vs enablement: the same NDA PDK under three support
+     models (the paper's E5 distinction) *)
+  print_endline "=== availability vs enablement (NDA PDK) ===";
+  List.iter
+    (fun support ->
+      let weeks = Enable.time_to_first_gdsii_weeks ~access:Pdk.Nda ~support in
+      let effort = Enable.total_effort_weeks ~access:Pdk.Nda ~support in
+      let path = Enable.critical_path ~access:Pdk.Nda ~support in
+      Printf.printf "%-14s time-to-first-GDSII %5.1f weeks (staff effort %5.1f), critical path: %s\n"
+        (Enable.support_name support)
+        weeks effort (String.concat " -> " path))
+    [ Enable.Self_service; Enable.Design_enablement_team; Enable.Cloud_platform ];
+
+  (* 2. tiered pathways for the course catalogue *)
+  print_endline "\n=== tiered enablement pathways (Rec. 8) ===";
+  let table =
+    Table.create ~title:"tier evaluation"
+      ~columns:
+        [
+          ("tier", Table.Left);
+          ("node", Table.Left);
+          ("flow", Table.Left);
+          ("setup wks", Table.Right);
+          ("MPW cost", Table.Right);
+          ("fmax MHz", Table.Right);
+          ("semester?", Table.Left);
+        ]
+  in
+  List.iter
+    (fun tier ->
+      let r = Recommend.evaluate_tier tier in
+      Table.add_row table
+        [
+          Cloudhub.tier_name tier;
+          r.Recommend.plan.Recommend.node.Pdk.node_name;
+          Educhip_flow.Flow.preset_name r.Recommend.plan.Recommend.preset;
+          Table.cell_float ~decimals:1 r.Recommend.setup_weeks;
+          Printf.sprintf "EUR %.0f" r.Recommend.mpw_cost_eur;
+          Table.cell_float ~decimals:1 r.Recommend.ppa.Educhip_flow.Flow.fmax_mhz;
+          (if r.Recommend.fits_semester then "yes" else "no");
+        ])
+    [ Cloudhub.Beginner; Cloudhub.Intermediate; Cloudhub.Advanced ];
+  Table.print table;
+
+  (* 3. which academic formats can hold a tape-out at each node *)
+  print_endline "\n=== academic formats that can contain a tape-out (fresh team, quarterly shuttles) ===";
+  List.iter
+    (fun node_name ->
+      let node = Pdk.find_node node_name in
+      let kinds =
+        Tapeout.feasible_kinds node ~gates:2000 ~experienced:false ~runs_per_year:4
+      in
+      Printf.printf "%-8s latency %5.1f weeks: %s\n" node_name
+        (Tapeout.total_latency_weeks node ~gates:2000 ~experienced:false ~runs_per_year:4)
+        (match kinds with
+        | [] -> "nothing shorter than a PhD-scale effort"
+        | ks -> String.concat ", " (List.map Tapeout.kind_name ks)))
+    [ "edu180"; "edu130"; "edu65"; "edu28"; "edu7" ];
+
+  (* 4. what a shared hub buys the department *)
+  print_endline "\n=== shared enablement hub (Rec. 7) ===";
+  let cmp =
+    Cloudhub.centralized_vs_federated
+      { Cloudhub.default_params with Cloudhub.arrivals_per_week = 2.5; horizon_weeks = 4000.0 }
+      ~sites:5
+  in
+  Printf.printf
+    "five universities, each with one support engineer: %.1f weeks mean wait\n"
+    cmp.Cloudhub.federated_mean_wait_weeks;
+  Printf.printf "one shared hub with five DET teams:                %.1f weeks mean wait (%.1fx faster)\n"
+    cmp.Cloudhub.centralized.Cloudhub.mean_wait_weeks cmp.Cloudhub.pooling_speedup

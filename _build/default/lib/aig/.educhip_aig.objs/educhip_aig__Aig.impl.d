@@ -1,0 +1,1 @@
+lib/aig/aig.ml: Array Educhip_netlist Educhip_util Hashtbl List

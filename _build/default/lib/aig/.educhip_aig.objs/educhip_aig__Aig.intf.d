@@ -1,0 +1,1 @@
+lib/aig/aig.mli: Educhip_netlist

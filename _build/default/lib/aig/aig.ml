@@ -1,0 +1,590 @@
+module Netlist = Educhip_netlist.Netlist
+
+type lit = int
+
+type node =
+  | Const_node
+  | Input_node of int (* input ordinal *)
+  | And_node of lit * lit
+
+type t = {
+  mutable nodes : node array;
+  mutable size : int;
+  mutable inputs : int; (* number of input nodes *)
+  strash : (int * int, int) Hashtbl.t;
+}
+
+let const_false = 0
+let const_true = 1
+
+let lit_of_node n c = (2 * n) + if c then 1 else 0
+let node_of_lit l = l / 2
+let is_complemented l = l land 1 = 1
+let negate l = l lxor 1
+
+let create () =
+  let t = { nodes = Array.make 64 Const_node; size = 0; inputs = 0; strash = Hashtbl.create 64 } in
+  t.nodes.(0) <- Const_node;
+  t.size <- 1;
+  t
+
+let append t node =
+  if t.size = Array.length t.nodes then begin
+    let nodes = Array.make (2 * t.size) Const_node in
+    Array.blit t.nodes 0 nodes 0 t.size;
+    t.nodes <- nodes
+  end;
+  t.nodes.(t.size) <- node;
+  t.size <- t.size + 1;
+  t.size - 1
+
+let add_input t =
+  let ordinal = t.inputs in
+  t.inputs <- ordinal + 1;
+  lit_of_node (append t (Input_node ordinal)) false
+
+(* Two-level simplification rules from AIG rewriting: besides the constant
+   and idempotence rules, one-level-deep containment/substitution:
+     (x·y)·x = x·y          x'·(x·y)' = x'      x·(x·y)' = x·y' *)
+let add_and t a b =
+  let a, b = if a <= b then (a, b) else (b, a) in
+  if a = const_false then const_false
+  else if a = const_true then b
+  else if a = b then a
+  else if a = negate b then const_false
+  else begin
+    let structural l =
+      if is_complemented l then None
+      else
+        match t.nodes.(node_of_lit l) with
+        | And_node (x, y) -> Some (x, y)
+        | Const_node | Input_node _ -> None
+    in
+    let comp_structural l =
+      if not (is_complemented l) then None
+      else
+        match t.nodes.(node_of_lit l) with
+        | And_node (x, y) -> Some (x, y)
+        | Const_node | Input_node _ -> None
+    in
+    let simplified =
+      match (structural a, structural b) with
+      | Some (x, y), _ when b = x || b = y -> Some a (* containment *)
+      | _, Some (x, y) when a = x || a = y -> Some b
+      | Some (x, y), _ when b = negate x || b = negate y -> Some const_false
+      | _, Some (x, y) when a = negate x || a = negate y -> Some const_false
+      | _ -> (
+        match (comp_structural a, comp_structural b) with
+        | Some (x, y), _ when b = negate x || b = negate y -> Some b (* subsumption *)
+        | _, Some (x, y) when a = negate x || a = negate y -> Some a
+        | _ -> None)
+    in
+    match simplified with
+    | Some l -> l
+    | None -> (
+      (* substitution rules recurse, so apply them via the constructor *)
+      let substituted =
+        match comp_structural b with
+        | Some (x, y) when a = x -> Some (a, negate y)
+        | Some (x, y) when a = y -> Some (a, negate x)
+        | Some _ | None -> (
+          match comp_structural a with
+          | Some (x, y) when b = x -> Some (b, negate y)
+          | Some (x, y) when b = y -> Some (b, negate x)
+          | Some _ | None -> None)
+      in
+      match substituted with
+      | Some (p, q) ->
+        let p, q = if p <= q then (p, q) else (q, p) in
+        (* the substituted pair cannot trigger substitution again *)
+        (match Hashtbl.find_opt t.strash (p, q) with
+        | Some n -> lit_of_node n false
+        | None ->
+          let n = append t (And_node (p, q)) in
+          Hashtbl.add t.strash (p, q) n;
+          lit_of_node n false)
+      | None -> (
+        match Hashtbl.find_opt t.strash (a, b) with
+        | Some n -> lit_of_node n false
+        | None ->
+          let n = append t (And_node (a, b)) in
+          Hashtbl.add t.strash (a, b) n;
+          lit_of_node n false))
+  end
+
+let add_or t a b = negate (add_and t (negate a) (negate b))
+
+let add_xor t a b =
+  (* a·b' + a'·b *)
+  let p = add_and t a (negate b) in
+  let q = add_and t (negate a) b in
+  add_or t p q
+
+let add_mux t ~sel ~f ~g =
+  (* sel ? g : f *)
+  let p = add_and t sel g in
+  let q = add_and t (negate sel) f in
+  add_or t p q
+
+let node_count t = t.size
+
+let and_count t =
+  let n = ref 0 in
+  for i = 0 to t.size - 1 do
+    match t.nodes.(i) with
+    | And_node _ -> incr n
+    | Const_node | Input_node _ -> ()
+  done;
+  !n
+
+let input_count t = t.inputs
+
+let fanins t n =
+  if n < 0 || n >= t.size then invalid_arg "Aig.fanins: node out of range";
+  match t.nodes.(n) with
+  | And_node (a, b) -> Some (a, b)
+  | Const_node | Input_node _ -> None
+
+let is_input t n =
+  if n < 0 || n >= t.size then invalid_arg "Aig.is_input: node out of range";
+  match t.nodes.(n) with Input_node _ -> true | Const_node | And_node _ -> false
+
+let node_depths t =
+  let depth = Array.make t.size 0 in
+  for n = 0 to t.size - 1 do
+    match t.nodes.(n) with
+    | Const_node | Input_node _ -> ()
+    | And_node (a, b) ->
+      depth.(n) <- 1 + max depth.(node_of_lit a) depth.(node_of_lit b)
+  done;
+  depth
+
+let depth t ~outputs =
+  let depths = node_depths t in
+  List.fold_left (fun acc l -> max acc depths.(node_of_lit l)) 0 outputs
+
+(* {1 Conversion} *)
+
+type sequential = {
+  aig : t;
+  source : Netlist.t;
+  input_of_cell : (Netlist.cell_id * lit) list;
+  output_cones : (Netlist.cell_id * lit) list;
+}
+
+(* Shannon-expand a truth table over given fanin literals: recurse on the
+   highest variable, whose cofactors are the two halves of the table. *)
+let rec lit_of_table aig table arity fanins =
+  if arity = 0 then if table land 1 = 1 then const_true else const_false
+  else begin
+    let half = 1 lsl (arity - 1) in
+    let mask = (1 lsl half) - 1 in
+    let low = table land mask in
+    let high = (table lsr half) land mask in
+    if low = high then lit_of_table aig low (arity - 1) fanins
+    else
+      let f0 = lit_of_table aig low (arity - 1) fanins in
+      let f1 = lit_of_table aig high (arity - 1) fanins in
+      add_mux aig ~sel:fanins.(arity - 1) ~f:f0 ~g:f1
+  end
+
+(* Shared cone-construction core: pseudo-input literals are supplied by
+   the caller (fresh inputs for {!of_netlist}, arbitrary existing literals
+   for {!import}). *)
+let build_cones aig netlist pseudo_input_lits =
+  let pseudo_inputs = Netlist.inputs netlist @ Netlist.dffs netlist in
+  if Array.length pseudo_input_lits <> List.length pseudo_inputs then
+    invalid_arg "Aig.import: wrong number of input literals";
+  let lit_of = Array.make (Netlist.cell_count netlist) (-1) in
+  List.iteri (fun i id -> lit_of.(id) <- pseudo_input_lits.(i)) pseudo_inputs;
+  let order = Netlist.combinational_topo_order netlist in
+  Array.iter
+    (fun id ->
+      let c = Netlist.cell netlist id in
+      let f i = lit_of.(c.Netlist.fanins.(i)) in
+      let l =
+        match c.Netlist.kind with
+        | Netlist.Input | Netlist.Dff -> lit_of.(id) (* already a pseudo-input *)
+        | Netlist.Const b -> if b then const_true else const_false
+        | Netlist.Output | Netlist.Buf -> f 0
+        | Netlist.Not -> negate (f 0)
+        | Netlist.And -> add_and aig (f 0) (f 1)
+        | Netlist.Or -> add_or aig (f 0) (f 1)
+        | Netlist.Xor -> add_xor aig (f 0) (f 1)
+        | Netlist.Nand -> negate (add_and aig (f 0) (f 1))
+        | Netlist.Nor -> negate (add_or aig (f 0) (f 1))
+        | Netlist.Xnor -> negate (add_xor aig (f 0) (f 1))
+        | Netlist.Mux -> add_mux aig ~sel:(f 0) ~f:(f 1) ~g:(f 2)
+        | Netlist.Mapped m ->
+          let pins = Array.init m.Netlist.arity f in
+          lit_of_table aig m.Netlist.table m.Netlist.arity pins
+      in
+      lit_of.(id) <- l)
+    order;
+  List.map (fun id -> (id, lit_of.((Netlist.fanins netlist id).(0)))) (Netlist.outputs netlist)
+  @ List.map
+      (fun id -> (id, lit_of.((Netlist.fanins netlist id).(0))))
+      (Netlist.dffs netlist)
+
+let import aig netlist ~input_literals = build_cones aig netlist input_literals
+
+let of_netlist netlist =
+  let aig = create () in
+  let pseudo_inputs = Netlist.inputs netlist @ Netlist.dffs netlist in
+  let lits = Array.of_list (List.map (fun _ -> add_input aig) pseudo_inputs) in
+  let input_of_cell = List.map2 (fun id l -> (id, l)) pseudo_inputs (Array.to_list lits) in
+  let output_cones = build_cones aig netlist lits in
+  { aig; source = netlist; input_of_cell; output_cones }
+
+let reachable_nodes seq =
+  let aig = seq.aig in
+  let seen = Array.make aig.size false in
+  let rec visit n =
+    if not seen.(n) then begin
+      seen.(n) <- true;
+      match aig.nodes.(n) with
+      | Const_node | Input_node _ -> ()
+      | And_node (a, b) ->
+        visit (node_of_lit a);
+        visit (node_of_lit b)
+    end
+  in
+  List.iter (fun (_, l) -> visit (node_of_lit l)) seq.output_cones;
+  (* keep all inputs alive so pseudo-input ordering survives rebuilds *)
+  List.iter (fun (_, l) -> seen.(node_of_lit l) <- true) seq.input_of_cell;
+  seen
+
+let to_netlist seq ~name =
+  let aig = seq.aig in
+  let source = seq.source in
+  let netlist = Netlist.create ~name in
+  let pos = Array.make aig.size (-1) in
+  let neg = Array.make aig.size (-1) in
+  let const0 = ref (-1) in
+  let dff_of_cell = Hashtbl.create 16 in
+  List.iter
+    (fun (cell_id, l) ->
+      let n = node_of_lit l in
+      match Netlist.kind source cell_id with
+      | Netlist.Input ->
+        pos.(n) <- Netlist.add_input netlist ~label:(Netlist.label source cell_id)
+      | Netlist.Dff ->
+        let q = Netlist.add_dff_floating netlist in
+        Hashtbl.replace dff_of_cell cell_id q;
+        pos.(n) <- q
+      | Netlist.Output | Netlist.Const _ | Netlist.Buf | Netlist.Not | Netlist.And
+      | Netlist.Or | Netlist.Xor | Netlist.Nand | Netlist.Nor | Netlist.Xnor
+      | Netlist.Mux | Netlist.Mapped _ ->
+        invalid_arg "Aig.to_netlist: corrupt input map")
+    seq.input_of_cell;
+  let node_id n =
+    if pos.(n) >= 0 then pos.(n)
+    else
+      match aig.nodes.(n) with
+      | Const_node ->
+        if !const0 < 0 then const0 := Netlist.add_const netlist false;
+        pos.(n) <- !const0;
+        !const0
+      | Input_node _ | And_node _ ->
+        invalid_arg "Aig.to_netlist: node emitted out of order"
+  in
+  let lit_id l =
+    let n = node_of_lit l in
+    let base = node_id n in
+    if not (is_complemented l) then base
+    else begin
+      if neg.(n) < 0 then neg.(n) <- Netlist.add_gate netlist Netlist.Not [| base |];
+      neg.(n)
+    end
+  in
+  let reachable = reachable_nodes seq in
+  for n = 0 to aig.size - 1 do
+    if reachable.(n) && pos.(n) < 0 then
+      match aig.nodes.(n) with
+      | Const_node | Input_node _ -> ()
+      | And_node (a, b) ->
+        pos.(n) <- Netlist.add_gate netlist Netlist.And [| lit_id a; lit_id b |]
+  done;
+  List.iter
+    (fun (cell_id, l) ->
+      match Netlist.kind source cell_id with
+      | Netlist.Output ->
+        ignore
+          (Netlist.add_output netlist ~label:(Netlist.label source cell_id) (lit_id l))
+      | Netlist.Dff ->
+        Netlist.connect_dff netlist (Hashtbl.find dff_of_cell cell_id) ~d:(lit_id l)
+      | Netlist.Input | Netlist.Const _ | Netlist.Buf | Netlist.Not | Netlist.And
+      | Netlist.Or | Netlist.Xor | Netlist.Nand | Netlist.Nor | Netlist.Xnor
+      | Netlist.Mux | Netlist.Mapped _ ->
+        invalid_arg "Aig.to_netlist: corrupt output map")
+    seq.output_cones;
+  netlist
+
+(* Shared rebuild machinery: copy the reachable logic into a fresh AIG
+   through a literal transformer. The transformer sees old fanin literals
+   already translated to new-AIG literals. *)
+let rebuild seq ~transform =
+  let aig = seq.aig in
+  let fresh = create () in
+  let new_lit = Array.make aig.size (-1) in
+  let input_of_cell =
+    List.map
+      (fun (cell_id, l) ->
+        let nl = add_input fresh in
+        new_lit.(node_of_lit l) <- nl;
+        (cell_id, nl))
+      seq.input_of_cell
+  in
+  let map_lit l =
+    let base = new_lit.(node_of_lit l) in
+    if base < 0 then invalid_arg "Aig.rebuild: fanin not yet translated";
+    if is_complemented l then negate base else base
+  in
+  let reachable = reachable_nodes seq in
+  new_lit.(0) <- const_false;
+  for n = 1 to aig.size - 1 do
+    if reachable.(n) && new_lit.(n) < 0 then
+      match aig.nodes.(n) with
+      | Const_node | Input_node _ -> ()
+      | And_node (a, b) -> new_lit.(n) <- transform fresh (map_lit a) (map_lit b)
+  done;
+  let output_cones = List.map (fun (cell_id, l) -> (cell_id, map_lit l)) seq.output_cones in
+  { aig = fresh; source = seq.source; input_of_cell; output_cones }
+
+let extract_cone seq = rebuild seq ~transform:add_and
+
+let rewrite seq =
+  (* the hashed constructor applies the containment/substitution rules; a
+     second pass catches rules enabled by the first *)
+  rebuild (rebuild seq ~transform:add_and) ~transform:add_and
+
+let balance seq =
+  let aig = seq.aig in
+  let reachable = reachable_nodes seq in
+  (* fanout counts over the reachable logic; conjunction-tree collection
+     stops at multi-fanout nodes so shared logic is never duplicated *)
+  let refs = Array.make aig.size 0 in
+  for n = 0 to aig.size - 1 do
+    if reachable.(n) then
+      match aig.nodes.(n) with
+      | Const_node | Input_node _ -> ()
+      | And_node (a, b) ->
+        refs.(node_of_lit a) <- refs.(node_of_lit a) + 1;
+        refs.(node_of_lit b) <- refs.(node_of_lit b) + 1
+  done;
+  List.iter (fun (_, l) -> refs.(node_of_lit l) <- refs.(node_of_lit l) + 1) seq.output_cones;
+  let fresh = create () in
+  let new_lit = Array.make aig.size (-1) in
+  let input_of_cell =
+    List.map
+      (fun (cell_id, l) ->
+        let nl = add_input fresh in
+        new_lit.(node_of_lit l) <- nl;
+        (cell_id, nl))
+      seq.input_of_cell
+  in
+  new_lit.(0) <- const_false;
+  (* depth of a new-AIG literal, computed on demand *)
+  let depth_cache = Hashtbl.create 256 in
+  let rec new_depth l =
+    let n = node_of_lit l in
+    match Hashtbl.find_opt depth_cache n with
+    | Some d -> d
+    | None ->
+      let d =
+        match fresh.nodes.(n) with
+        | Const_node | Input_node _ -> 0
+        | And_node (a, b) -> 1 + max (new_depth a) (new_depth b)
+      in
+      Hashtbl.replace depth_cache n d;
+      d
+  in
+  let module Pq = Educhip_util.Pqueue in
+  let rec translate l =
+    let n = node_of_lit l in
+    let base =
+      if new_lit.(n) >= 0 then new_lit.(n)
+      else
+        match aig.nodes.(n) with
+        | Const_node -> const_false
+        | Input_node _ -> invalid_arg "Aig.balance: untranslated input"
+        | And_node _ ->
+          (* collect the maximal single-fanout conjunction tree under n *)
+          let leaves = ref [] in
+          let rec collect l' =
+            let m = node_of_lit l' in
+            if is_complemented l' || refs.(m) > 1 then leaves := l' :: !leaves
+            else
+              match aig.nodes.(m) with
+              | And_node (a, b) -> (
+                collect a;
+                collect b)
+              | Const_node | Input_node _ -> leaves := l' :: !leaves
+          in
+          (match aig.nodes.(n) with
+          | And_node (a, b) ->
+            collect a;
+            collect b
+          | Const_node | Input_node _ -> assert false);
+          let queue = Pq.create () in
+          List.iter
+            (fun leaf ->
+              let t = translate leaf in
+              Pq.push queue ~priority:(float_of_int (new_depth t)) t)
+            !leaves;
+          let rec combine () =
+            let x = Pq.pop_exn queue in
+            match Pq.pop queue with
+            | None -> x
+            | Some y ->
+              let z = add_and fresh x y in
+              Pq.push queue ~priority:(float_of_int (new_depth z)) z;
+              combine ()
+          in
+          let result = combine () in
+          new_lit.(n) <- result;
+          result
+    in
+    if is_complemented l then negate base else base
+  in
+  let output_cones = List.map (fun (cell_id, l) -> (cell_id, translate l)) seq.output_cones in
+  { aig = fresh; source = seq.source; input_of_cell; output_cones }
+
+type cut = { leaves : int array; table : int }
+
+(* Expand a truth table over [sub] leaves to the superset [super]. *)
+let expand_table table sub super =
+  let n_super = Array.length super in
+  let positions = Array.map (fun leaf ->
+      let rec find i = if super.(i) = leaf then i else find (i + 1) in
+      find 0) sub
+  in
+  let out = ref 0 in
+  for m = 0 to (1 lsl n_super) - 1 do
+    let idx = ref 0 in
+    Array.iteri (fun j p -> if (m lsr p) land 1 = 1 then idx := !idx lor (1 lsl j)) positions;
+    if (table lsr !idx) land 1 = 1 then out := !out lor (1 lsl m)
+  done;
+  !out
+
+let complement_table table n_leaves = lnot table land ((1 lsl (1 lsl n_leaves)) - 1)
+
+let merge_sorted a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (la + lb) 0 in
+  let rec go i j k =
+    if i = la && j = lb then k
+    else if i < la && (j = lb || a.(i) <= b.(j)) then
+      if j < lb && a.(i) = b.(j) then begin
+        out.(k) <- a.(i);
+        go (i + 1) (j + 1) (k + 1)
+      end
+      else begin
+        out.(k) <- a.(i);
+        go (i + 1) j (k + 1)
+      end
+    else begin
+      out.(k) <- b.(j);
+      go i (j + 1) (k + 1)
+    end
+  in
+  let k = go 0 0 0 in
+  Array.sub out 0 k
+
+let trivial_cut n = { leaves = [| n |]; table = 0b10 }
+
+let enumerate_cuts t ~k ~per_node =
+  if k < 1 || k > 6 then invalid_arg "Aig.enumerate_cuts: k must be in 1..6";
+  if per_node < 1 then invalid_arg "Aig.enumerate_cuts: per_node must be positive";
+  let cuts = Array.make t.size [] in
+  for n = 0 to t.size - 1 do
+    match t.nodes.(n) with
+    | Const_node -> cuts.(n) <- [ { leaves = [||]; table = 0 } ]
+    | Input_node _ -> cuts.(n) <- [ trivial_cut n ]
+    | And_node (la, lb) ->
+      let child_cuts l =
+        let base = cuts.(node_of_lit l) in
+        if is_complemented l then
+          List.map
+            (fun c -> { c with table = complement_table c.table (Array.length c.leaves) })
+            base
+        else base
+      in
+      let candidates = ref [] in
+      List.iter
+        (fun ca ->
+          List.iter
+            (fun cb ->
+              let leaves = merge_sorted ca.leaves cb.leaves in
+              if Array.length leaves <= k then begin
+                let ta = expand_table ca.table ca.leaves leaves in
+                let tb = expand_table cb.table cb.leaves leaves in
+                candidates := { leaves; table = ta land tb } :: !candidates
+              end)
+            (child_cuts lb))
+        (child_cuts la);
+      (* dedupe by leaf set, then fill the quota round-robin across cut
+         sizes so wide cuts survive alongside the small ones (LUT mapping
+         needs the wide ones, cell matching the narrow ones) *)
+      let unique = Hashtbl.create 16 in
+      let deduped =
+        List.filter
+          (fun c ->
+            let key = Array.to_list c.leaves in
+            if Hashtbl.mem unique key then false
+            else begin
+              Hashtbl.replace unique key ();
+              true
+            end)
+          (List.sort
+             (fun c1 c2 -> compare (Array.length c1.leaves) (Array.length c2.leaves))
+             !candidates)
+      in
+      let by_size = Array.make (k + 1) [] in
+      List.iter
+        (fun c ->
+          let s = Array.length c.leaves in
+          by_size.(s) <- c :: by_size.(s))
+        deduped;
+      for s = 0 to k do
+        by_size.(s) <- List.rev by_size.(s)
+      done;
+      let kept = ref [] and remaining = ref (per_node - 1) in
+      let progress = ref true in
+      while !remaining > 0 && !progress do
+        progress := false;
+        for s = 0 to k do
+          match by_size.(s) with
+          | c :: rest when !remaining > 0 ->
+            by_size.(s) <- rest;
+            kept := c :: !kept;
+            decr remaining;
+            progress := true
+          | _ -> ()
+        done
+      done;
+      cuts.(n) <- trivial_cut n :: List.rev !kept
+  done;
+  cuts
+
+let simulate t l ~inputs =
+  let memo = Array.make t.size None in
+  let rec node_value n =
+    match memo.(n) with
+    | Some v -> v
+    | None ->
+      let v =
+        match t.nodes.(n) with
+        | Const_node -> false
+        | Input_node i ->
+          if i >= Array.length inputs then invalid_arg "Aig.simulate: missing input";
+          inputs.(i)
+        | And_node (a, b) -> lit_value a && lit_value b
+      in
+      memo.(n) <- Some v;
+      v
+  and lit_value l =
+    let v = node_value (node_of_lit l) in
+    if is_complemented l then not v else v
+  in
+  lit_value l

@@ -1,0 +1,127 @@
+(** And-inverter graph: the logic-synthesis core representation.
+
+    Combinational logic is normalized into two-input AND nodes with
+    complemented edges. Node 0 is the constant-false node; a {e literal}
+    is [2*node + complement]. Structural hashing and the constant/identity
+    simplification rules run at construction time, so building an AIG from
+    a netlist already performs constant propagation and common-subexpression
+    elimination.
+
+    Sequential designs are handled by cutting at register boundaries:
+    {!of_netlist} turns each DFF output into a pseudo-input and each DFF
+    D pin into a pseudo-output, so the AIG covers exactly the combinational
+    cones and the original registers can be re-attached after optimization
+    and mapping. *)
+
+type t
+
+type lit = int
+(** Literal: [2*node + complement]. *)
+
+val create : unit -> t
+
+val const_false : lit
+val const_true : lit
+
+val lit_of_node : int -> bool -> lit
+val node_of_lit : lit -> int
+val is_complemented : lit -> bool
+val negate : lit -> lit
+
+val add_input : t -> lit
+(** Fresh primary (or pseudo-) input; returns its positive literal. *)
+
+val add_and : t -> lit -> lit -> lit
+(** Hashed, simplified AND: applies [x·0=0], [x·1=x], [x·x=x], [x·x'=0]
+    and canonical operand ordering before allocating a node. *)
+
+val add_or : t -> lit -> lit -> lit
+val add_xor : t -> lit -> lit -> lit
+val add_mux : t -> sel:lit -> f:lit -> g:lit -> lit
+(** [add_mux ~sel ~f ~g] is [g] when [sel] else [f]. *)
+
+val node_count : t -> int
+(** Total allocated nodes including constants and inputs. *)
+
+val and_count : t -> int
+(** AND nodes only — the standard AIG size metric. *)
+
+val input_count : t -> int
+
+val fanins : t -> int -> (lit * lit) option
+(** [Some (l, r)] for an AND node, [None] for inputs/constant. *)
+
+val is_input : t -> int -> bool
+
+val depth : t -> outputs:lit list -> int
+(** Longest path in AND nodes from any input to any listed output. *)
+
+(** {1 Conversion} *)
+
+type sequential = {
+  aig : t;
+  source : Educhip_netlist.Netlist.t;
+      (** the netlist the cones were extracted from (port labels and cell
+          kinds are read from it when rebuilding) *)
+  input_of_cell : (Educhip_netlist.Netlist.cell_id * lit) list;
+      (** netlist input or DFF (Q as pseudo-input) → AIG literal *)
+  output_cones : (Educhip_netlist.Netlist.cell_id * lit) list;
+      (** netlist Output marker or DFF (D as pseudo-output) → AIG literal *)
+}
+
+val of_netlist : Educhip_netlist.Netlist.t -> sequential
+(** Extract all combinational cones. Primitive gates translate directly;
+    technology-mapped cells are Shannon-expanded from their truth tables,
+    so mapped netlists can re-enter the AIG world (for equivalence
+    checking or re-synthesis). *)
+
+val import :
+  t ->
+  Educhip_netlist.Netlist.t ->
+  input_literals:lit array ->
+  (Educhip_netlist.Netlist.cell_id * lit) list
+(** Build a netlist's combinational cones inside an {e existing} AIG, with
+    the pseudo-inputs (primary inputs followed by flip-flop Q pins, in
+    creation order) taken from [input_literals]. Returns the output cones
+    (outputs then flip-flop D pins). Because construction is hashed,
+    importing two implementations of the same function over the same input
+    literals shares their common structure — the structural fast path of
+    equivalence checking.
+    @raise Invalid_argument if [input_literals] has the wrong length. *)
+
+val to_netlist : sequential -> name:string -> Educhip_netlist.Netlist.t
+(** Rebuild a primitive netlist ([And]/[Not] gates plus re-attached DFFs,
+    inputs, and outputs) from an optimized AIG. Labels of ports are
+    preserved. *)
+
+(** {1 Optimization} *)
+
+val extract_cone : sequential -> sequential
+(** Dead-node elimination: rebuild keeping only logic reachable from the
+    output cones. *)
+
+val balance : sequential -> sequential
+(** Rebuild conjunction trees in balanced form to reduce depth (the ABC
+    [balance] pass). Never increases node count for a tree; shared nodes
+    are re-hashed. *)
+
+val rewrite : sequential -> sequential
+(** One pass of local rewriting: re-expresses each node's 2-level
+    decomposition through the hashed constructors, collapsing duplicated
+    and complementary structure exposed by earlier passes. *)
+
+(** {1 Cuts} *)
+
+type cut = { leaves : int array; table : int }
+(** A k-feasible cut: leaf nodes (sorted, ≤ [k]) and the function of the
+    cut root over the leaves as a truth table (bit [i] = output when leaf
+    [j] takes bit [j] of [i]). *)
+
+val enumerate_cuts : t -> k:int -> per_node:int -> cut list array
+(** Priority-cut enumeration: for every node, up to [per_node] cuts with at
+    most [k] leaves each (the trivial cut {node} is always included; the
+    table is over the cut's own leaves). [k] ≤ 6. *)
+
+val simulate : t -> lit -> inputs:bool array -> bool
+(** Evaluate one literal under an input valuation (input [i] of
+    [add_input] order takes [inputs.(i)]); reference model for tests. *)

@@ -1,0 +1,1 @@
+lib/bmc/bmc.ml: Array Educhip_netlist Educhip_sat Format Hashtbl List Printf

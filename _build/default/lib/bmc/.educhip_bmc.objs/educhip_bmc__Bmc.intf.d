@@ -1,0 +1,1 @@
+lib/bmc/bmc.mli: Educhip_netlist Format

@@ -1,0 +1,179 @@
+module Netlist = Educhip_netlist.Netlist
+module Sat = Educhip_sat.Sat
+
+type trace = { length : int; steps : (string * bool) list array }
+
+type verdict = Proved of int | Holds_bounded of int | Violated of trace
+
+let table_of_kind = Netlist.kind_table
+
+let property_cell netlist property =
+  let matching =
+    List.filter (fun id -> Netlist.label netlist id = property) (Netlist.outputs netlist)
+  in
+  match matching with
+  | [ id ] -> id
+  | [] -> invalid_arg (Printf.sprintf "Bmc.check: no one-bit output named %s" property)
+  | _ -> invalid_arg (Printf.sprintf "Bmc.check: output %s is wider than one bit" property)
+
+(* Encode one timeframe: fresh variables for primary inputs and every
+   combinational cell; register variables are supplied by the caller
+   (forced reset values for frame 0 of the base case, frame t-1's D-cone
+   variables afterwards). Returns the variable array for the frame. *)
+let encode_frame solver netlist order ~register_vars =
+  let n = Netlist.cell_count netlist in
+  let vars = Array.make n 0 in
+  List.iter (fun id -> vars.(id) <- Sat.fresh_var solver) (Netlist.inputs netlist);
+  List.iter2 (fun id v -> vars.(id) <- v) (Netlist.dffs netlist) register_vars;
+  Array.iter
+    (fun id ->
+      let c = Netlist.cell netlist id in
+      match c.Netlist.kind with
+      | Netlist.Input | Netlist.Dff -> ()
+      | Netlist.Const b ->
+        vars.(id) <- Sat.fresh_var solver;
+        Sat.add_clause solver [ (if b then vars.(id) else -vars.(id)) ]
+      | Netlist.Output ->
+        vars.(id) <- Sat.fresh_var solver;
+        Sat.add_equiv solver vars.(id) vars.(c.Netlist.fanins.(0))
+      | k -> (
+        vars.(id) <- Sat.fresh_var solver;
+        match table_of_kind k with
+        | None -> ()
+        | Some (arity, table) ->
+          let out = vars.(id) in
+          for minterm = 0 to (1 lsl arity) - 1 do
+            let out_lit = if (table lsr minterm) land 1 = 1 then out else -out in
+            let antecedents =
+              List.init arity (fun j ->
+                  let v = vars.(c.Netlist.fanins.(j)) in
+                  if (minterm lsr j) land 1 = 1 then -v else v)
+            in
+            Sat.add_clause solver (out_lit :: antecedents)
+          done))
+    order;
+  vars
+
+(* D-pin variables of a frame become the next frame's register values. *)
+let next_state netlist frame_vars =
+  List.map (fun id -> frame_vars.((Netlist.fanins netlist id).(0))) (Netlist.dffs netlist)
+
+let input_assignment netlist frame_vars model =
+  List.map
+    (fun id -> (Netlist.label netlist id, model.(frame_vars.(id))))
+    (Netlist.inputs netlist)
+
+let check netlist ~property ~depth ?(induction = true) () =
+  (match Netlist.validate netlist with
+  | [] -> ()
+  | _ -> invalid_arg "Bmc.check: invalid netlist");
+  if depth < 1 then invalid_arg "Bmc.check: depth must be >= 1";
+  let prop = property_cell netlist property in
+  let order = Netlist.combinational_topo_order netlist in
+  let dffs = Netlist.dffs netlist in
+  (* {2 base case} *)
+  let solver = Sat.create () in
+  let reset =
+    List.map
+      (fun _ ->
+        let v = Sat.fresh_var solver in
+        Sat.add_clause solver [ -v ];
+        v)
+      dffs
+  in
+  let frames = Array.make depth [||] in
+  let state = ref reset in
+  for t = 0 to depth - 1 do
+    let vars = encode_frame solver netlist order ~register_vars:!state in
+    frames.(t) <- vars;
+    state := next_state netlist vars
+  done;
+  (* violation: the property is 0 in some frame *)
+  Sat.add_clause solver (Array.to_list (Array.map (fun vars -> -vars.(prop)) frames));
+  match Sat.solve solver with
+  | Sat.Sat model when not (Sat.check_model solver model) ->
+    failwith "Bmc.check: solver returned an invalid model"
+  | Sat.Sat model ->
+    (* first violating frame gives the trace length *)
+    let violated_at =
+      let rec find t = if not model.(frames.(t).(prop)) then t else find (t + 1) in
+      find 0
+    in
+    let steps =
+      Array.init (violated_at + 1) (fun t -> input_assignment netlist frames.(t) model)
+    in
+    Violated { length = violated_at + 1; steps }
+  | Sat.Unknown -> Holds_bounded depth (* unreachable: no conflict limit *)
+  | Sat.Unsat ->
+    if not induction then Holds_bounded depth
+    else begin
+      (* {2 induction step}: arbitrary start state; P on frames 0..depth-1
+         implies P on frame depth *)
+      let solver = Sat.create () in
+      let free_state = List.map (fun _ -> Sat.fresh_var solver) dffs in
+      let state = ref free_state in
+      let last_prop = ref 0 in
+      for t = 0 to depth do
+        let vars = encode_frame solver netlist order ~register_vars:!state in
+        if t < depth then Sat.add_clause solver [ vars.(prop) ] (* P holds *)
+        else last_prop := vars.(prop);
+        state := next_state netlist vars
+      done;
+      Sat.add_clause solver [ - !last_prop ];
+      match Sat.solve solver with
+      | Sat.Unsat -> Proved depth
+      | Sat.Sat _ | Sat.Unknown -> Holds_bounded depth
+    end
+
+let replay netlist ~property trace =
+  let prop = property_cell netlist property in
+  let order = Netlist.combinational_topo_order netlist in
+  let n = Netlist.cell_count netlist in
+  let values = Array.make n false in
+  let state = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace state id false) (Netlist.dffs netlist);
+  let final = ref true in
+  Array.iter
+    (fun assignment ->
+      List.iter
+        (fun id ->
+          values.(id) <-
+            (match List.assoc_opt (Netlist.label netlist id) assignment with
+            | Some v -> v
+            | None -> false))
+        (Netlist.inputs netlist);
+      List.iter (fun id -> values.(id) <- Hashtbl.find state id) (Netlist.dffs netlist);
+      Array.iter
+        (fun id ->
+          let c = Netlist.cell netlist id in
+          let f i = values.(c.Netlist.fanins.(i)) in
+          match c.Netlist.kind with
+          | Netlist.Input | Netlist.Dff -> ()
+          | Netlist.Const b -> values.(id) <- b
+          | Netlist.Output | Netlist.Buf -> values.(id) <- f 0
+          | Netlist.Not -> values.(id) <- not (f 0)
+          | Netlist.And -> values.(id) <- f 0 && f 1
+          | Netlist.Or -> values.(id) <- f 0 || f 1
+          | Netlist.Xor -> values.(id) <- f 0 <> f 1
+          | Netlist.Nand -> values.(id) <- not (f 0 && f 1)
+          | Netlist.Nor -> values.(id) <- not (f 0 || f 1)
+          | Netlist.Xnor -> values.(id) <- f 0 = f 1
+          | Netlist.Mux -> values.(id) <- (if f 0 then f 2 else f 1)
+          | Netlist.Mapped m ->
+            let idx = ref 0 in
+            for j = 0 to m.Netlist.arity - 1 do
+              if f j then idx := !idx lor (1 lsl j)
+            done;
+            values.(id) <- (m.Netlist.table lsr !idx) land 1 = 1)
+        order;
+      final := values.(prop);
+      List.iter
+        (fun id -> Hashtbl.replace state id values.((Netlist.fanins netlist id).(0)))
+        (Netlist.dffs netlist))
+    trace.steps;
+  not !final
+
+let pp_verdict ppf = function
+  | Proved k -> Format.fprintf ppf "proved by %d-induction" k
+  | Holds_bounded k -> Format.fprintf ppf "holds within %d cycles (no proof)" k
+  | Violated t -> Format.fprintf ppf "VIOLATED after %d cycles" t.length

@@ -1,0 +1,1 @@
+lib/cec/cec.ml: Array Educhip_aig Educhip_netlist Educhip_sat Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/cec/cec.mli: Educhip_netlist Format

@@ -1,0 +1,172 @@
+module Netlist = Educhip_netlist.Netlist
+module Aig = Educhip_aig.Aig
+module Sat = Educhip_sat.Sat
+
+type counterexample = {
+  input_values : (string * bool) list;
+  register_values : bool list;
+  distinguishing_output : string;
+}
+
+type verdict =
+  | Equivalent
+  | Not_equivalent of counterexample
+  | Incomparable of string
+
+type interface = {
+  input_labels : string list; (* primary inputs in pseudo-input order *)
+  register_count : int;
+  output_labels : string list;
+}
+
+let interface_of netlist =
+  (match Netlist.validate netlist with
+  | [] -> ()
+  | _ -> invalid_arg "Cec.check: invalid netlist");
+  {
+    input_labels = List.map (Netlist.label netlist) (Netlist.inputs netlist);
+    register_count = List.length (Netlist.dffs netlist);
+    output_labels = List.map (Netlist.label netlist) (Netlist.outputs netlist);
+  }
+
+(* Names of the compared points, in cone order: outputs then registers. *)
+let point_names netlist =
+  List.map (Netlist.label netlist) (Netlist.outputs netlist)
+  @ List.mapi (fun i _ -> Printf.sprintf "register %d D" i) (Netlist.dffs netlist)
+
+(* Tseitin-encode the cone of every requested literal of a shared AIG.
+   Returns [lit -> sat literal]; variables are created on demand so only
+   the needed logic is encoded. *)
+let encoder solver aig ~var_of_input =
+  let var_of_node = Hashtbl.create 256 in
+  let rec node_var n =
+    match Hashtbl.find_opt var_of_node n with
+    | Some v -> v
+    | None ->
+      let v =
+        match Aig.fanins aig n with
+        | Some (a, b) ->
+          let la = sat_lit a and lb = sat_lit b in
+          let v = Sat.fresh_var solver in
+          Sat.add_and solver v la lb;
+          v
+        | None ->
+          if Aig.is_input aig n then var_of_input n
+          else begin
+            (* the constant-false node *)
+            let v = Sat.fresh_var solver in
+            Sat.add_clause solver [ -v ];
+            v
+          end
+      in
+      Hashtbl.replace var_of_node n v;
+      v
+  and sat_lit l =
+    let v = node_var (Aig.node_of_lit l) in
+    if Aig.is_complemented l then -v else v
+  in
+  sat_lit
+
+let check netlist_a netlist_b =
+  let ia = interface_of netlist_a and ib = interface_of netlist_b in
+  if List.sort compare ia.input_labels <> List.sort compare ib.input_labels then
+    Incomparable "primary-input labels differ"
+  else if List.sort compare ia.output_labels <> List.sort compare ib.output_labels then
+    Incomparable "primary-output labels differ"
+  else if ia.register_count <> ib.register_count then
+    Incomparable
+      (Printf.sprintf "flip-flop counts differ (%d vs %d)" ia.register_count
+         ib.register_count)
+  else begin
+    (* one shared AIG: both circuits built over the same input literals, so
+       structurally identical cones hash to the same literal *)
+    let aig = Aig.create () in
+    let label_lit = Hashtbl.create 16 in
+    List.iter
+      (fun label -> Hashtbl.replace label_lit label (Aig.add_input aig))
+      ia.input_labels;
+    let register_lits = Array.init ia.register_count (fun _ -> Aig.add_input aig) in
+    let lits_for (iface : interface) =
+      Array.of_list
+        (List.map (fun l -> Hashtbl.find label_lit l) iface.input_labels
+        @ Array.to_list register_lits)
+    in
+    let cones_a = Aig.import aig netlist_a ~input_literals:(lits_for ia) in
+    let cones_b = Aig.import aig netlist_b ~input_literals:(lits_for ib) in
+    let points_a = List.combine (point_names netlist_a) (List.map snd cones_a) in
+    let points_b = List.combine (point_names netlist_b) (List.map snd cones_b) in
+    let pairs =
+      List.map
+        (fun (name, la) ->
+          match List.assoc_opt name points_b with
+          | Some lb -> (name, la, lb)
+          | None -> invalid_arg "Cec.check: point alignment failed")
+        points_a
+    in
+    (* structural fast path: identical literals are proven by hashing *)
+    let open_pairs = List.filter (fun (_, la, lb) -> la <> lb) pairs in
+    if open_pairs = [] then Equivalent
+    else begin
+      (* SAT on the residue: encode once, one assumption per miter *)
+      let solver = Sat.create () in
+      let input_var_of_node = Hashtbl.create 16 in
+      let var_of_label = Hashtbl.create 16 in
+      List.iter
+        (fun label ->
+          let v = Sat.fresh_var solver in
+          Hashtbl.replace var_of_label label v;
+          Hashtbl.replace input_var_of_node
+            (Aig.node_of_lit (Hashtbl.find label_lit label))
+            v)
+        ia.input_labels;
+      let register_vars =
+        Array.map
+          (fun l ->
+            let v = Sat.fresh_var solver in
+            Hashtbl.replace input_var_of_node (Aig.node_of_lit l) v;
+            v)
+          register_lits
+      in
+      let sat_lit =
+        encoder solver aig ~var_of_input:(fun n ->
+            match Hashtbl.find_opt input_var_of_node n with
+            | Some v -> v
+            | None -> invalid_arg "Cec.check: unmapped input node")
+      in
+      let rec prove = function
+        | [] -> Equivalent
+        | (name, la, lb) :: rest -> (
+          let x = Sat.fresh_var solver in
+          Sat.add_xor solver x (sat_lit la) (sat_lit lb);
+          match Sat.solve ~assumptions:[ x ] solver with
+          | Sat.Unknown -> assert false (* no conflict limit given *)
+          | Sat.Unsat ->
+            (* the miter is forced off from now on: helps later proofs *)
+            Sat.add_clause solver [ -x ];
+            prove rest
+          | Sat.Sat model ->
+            let input_values =
+              List.map
+                (fun label -> (label, model.(Hashtbl.find var_of_label label)))
+                ia.input_labels
+            in
+            let register_values =
+              Array.to_list (Array.map (fun v -> model.(v)) register_vars)
+            in
+            Not_equivalent
+              { input_values; register_values; distinguishing_output = name })
+      in
+      prove open_pairs
+    end
+  end
+
+let pp_verdict ppf = function
+  | Equivalent -> Format.fprintf ppf "equivalent"
+  | Incomparable reason -> Format.fprintf ppf "incomparable: %s" reason
+  | Not_equivalent cex ->
+    Format.fprintf ppf "NOT equivalent at output %s under inputs %s"
+      cex.distinguishing_output
+      (String.concat ", "
+         (List.map
+            (fun (l, v) -> Printf.sprintf "%s=%d" l (if v then 1 else 0))
+            cex.input_values))

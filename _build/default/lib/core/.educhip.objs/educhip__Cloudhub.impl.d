@@ -1,0 +1,1 @@
+lib/core/cloudhub.ml: Array Educhip_util Float List Queue

@@ -1,0 +1,1 @@
+lib/core/costmodel.ml: Educhip_pdk Float List

@@ -1,0 +1,1 @@
+lib/core/enable.ml: Array Educhip_pdk Educhip_util Float Hashtbl List

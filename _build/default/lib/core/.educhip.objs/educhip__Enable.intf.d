@@ -1,0 +1,1 @@
+lib/core/enable.mli: Educhip_pdk

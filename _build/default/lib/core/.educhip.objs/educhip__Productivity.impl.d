@@ -1,0 +1,1 @@
+lib/core/productivity.ml: Educhip_designs Educhip_netlist Educhip_rtl Educhip_synth Educhip_util Float List

@@ -1,0 +1,1 @@
+lib/core/productivity.mli: Educhip_designs Educhip_pdk

@@ -1,0 +1,1 @@
+lib/core/recommend.ml: Cloudhub Costmodel Educhip_designs Educhip_flow Educhip_gds Educhip_pdk Enable Float List Tapeout Workforce

@@ -1,0 +1,1 @@
+lib/core/recommend.mli: Cloudhub Educhip_flow Educhip_pdk Enable

@@ -1,0 +1,1 @@
+lib/core/tapeout.ml: Costmodel Educhip_pdk List

@@ -1,0 +1,1 @@
+lib/core/tapeout.mli: Educhip_pdk

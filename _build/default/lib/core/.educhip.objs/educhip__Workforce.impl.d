@@ -1,0 +1,1 @@
+lib/core/workforce.ml: Float List

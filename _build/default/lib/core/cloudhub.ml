@@ -1,0 +1,165 @@
+module Rng = Educhip_util.Rng
+module Pqueue = Educhip_util.Pqueue
+module Stats = Educhip_util.Stats
+
+type tier = Beginner | Intermediate | Advanced
+
+let tier_name = function
+  | Beginner -> "beginner"
+  | Intermediate -> "intermediate"
+  | Advanced -> "advanced"
+
+let tier_service_weeks = function
+  | Beginner -> 0.5
+  | Intermediate -> 2.0
+  | Advanced -> 6.0
+
+type params = {
+  det_teams : int;
+  arrivals_per_week : float;
+  tier_mix : (tier * float) list;
+  horizon_weeks : float;
+  seed : int;
+}
+
+let default_params =
+  {
+    det_teams = 3;
+    arrivals_per_week = 1.5;
+    tier_mix = [ (Beginner, 0.5); (Intermediate, 0.35); (Advanced, 0.15) ];
+    horizon_weeks = 260.0;
+    seed = 42;
+  }
+
+type stats = {
+  completed : int;
+  abandoned : int;
+  mean_wait_weeks : float;
+  p95_wait_weeks : float;
+  mean_sojourn_weeks : float;
+  utilization : float;
+  peak_queue : int;
+}
+
+type event = Arrival | Departure of int (* team index *)
+
+type job = { arrived : float; tier : tier }
+
+let pick_tier rng mix =
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 mix in
+  let x = Rng.float rng total in
+  let rec walk acc = function
+    | [] -> Beginner
+    | (t, w) :: rest -> if x < acc +. w then t else walk (acc +. w) rest
+  in
+  walk 0.0 mix
+
+let simulate p =
+  if p.det_teams < 1 then invalid_arg "Cloudhub.simulate: need at least one team";
+  if p.arrivals_per_week <= 0.0 then invalid_arg "Cloudhub.simulate: arrival rate must be positive";
+  if p.horizon_weeks <= 0.0 then invalid_arg "Cloudhub.simulate: horizon must be positive";
+  let rng = Rng.create ~seed:p.seed in
+  let events = Pqueue.create () in
+  let queue = Queue.create () in
+  let team_busy_job = Array.make p.det_teams None in
+  let busy_weeks = ref 0.0 in
+  let waits = ref [] and sojourns = ref [] in
+  let completed = ref 0 and peak_queue = ref 0 in
+  let schedule t ev = Pqueue.push events ~priority:t ev in
+  schedule (Rng.exponential rng ~rate:p.arrivals_per_week) Arrival;
+  let start_service now job team =
+    let service =
+      Rng.exponential rng ~rate:(1.0 /. tier_service_weeks job.tier)
+    in
+    team_busy_job.(team) <- Some (job, now);
+    busy_weeks := !busy_weeks +. service;
+    waits := (now -. job.arrived) :: !waits;
+    schedule (now +. service) (Departure team)
+  in
+  let free_team () =
+    let rec find i =
+      if i >= p.det_teams then None
+      else if team_busy_job.(i) = None then Some i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let rec run () =
+    match Pqueue.peek_priority events with
+    | None -> ()
+    | Some t when t > p.horizon_weeks -> ()
+    | Some now -> (
+      match Pqueue.pop_exn events with
+      | Arrival ->
+        let job = { arrived = now; tier = pick_tier rng p.tier_mix } in
+        (match free_team () with
+        | Some team -> start_service now job team
+        | None ->
+          Queue.add job queue;
+          if Queue.length queue > !peak_queue then peak_queue := Queue.length queue);
+        schedule (now +. Rng.exponential rng ~rate:p.arrivals_per_week) Arrival;
+        run ()
+      | Departure team ->
+        (match team_busy_job.(team) with
+        | Some (job, started) ->
+          incr completed;
+          sojourns := (now -. job.arrived) :: !sojourns;
+          ignore started
+        | None -> ());
+        team_busy_job.(team) <- None;
+        (if not (Queue.is_empty queue) then
+           let job = Queue.take queue in
+           start_service now job team);
+        run ())
+  in
+  run ();
+  let in_service =
+    Array.fold_left (fun acc j -> if j = None then acc else acc + 1) 0 team_busy_job
+  in
+  (* jobs still queued at the horizon have accrued (censored) waits; count
+     them at their accrued value so overloaded systems are not reported as
+     fast merely because their queue never drains *)
+  Queue.iter (fun job -> waits := (p.horizon_weeks -. job.arrived) :: !waits) queue;
+  {
+    completed = !completed;
+    abandoned = Queue.length queue + in_service;
+    mean_wait_weeks = Stats.mean !waits;
+    p95_wait_weeks = Stats.percentile 95.0 !waits;
+    mean_sojourn_weeks = Stats.mean !sojourns;
+    utilization =
+      Float.min 1.0 (!busy_weeks /. (float_of_int p.det_teams *. p.horizon_weeks));
+    peak_queue = !peak_queue;
+  }
+
+type comparison = {
+  centralized : stats;
+  federated : stats list;
+  federated_mean_wait_weeks : float;
+  pooling_speedup : float;
+}
+
+let centralized_vs_federated p ~sites =
+  if sites < 1 then invalid_arg "Cloudhub: sites must be >= 1";
+  let centralized = simulate { p with det_teams = sites } in
+  let federated =
+    List.init sites (fun i ->
+        simulate
+          {
+            p with
+            det_teams = 1;
+            arrivals_per_week = p.arrivals_per_week /. float_of_int sites;
+            seed = p.seed + i + 1;
+          })
+  in
+  let federated_mean_wait_weeks =
+    Stats.mean (List.map (fun s -> s.mean_wait_weeks) federated)
+  in
+  {
+    centralized;
+    federated;
+    federated_mean_wait_weeks;
+    pooling_speedup =
+      (if centralized.mean_wait_weeks > 0.0 then
+         federated_mean_wait_weeks /. centralized.mean_wait_weeks
+       else infinity);
+  }

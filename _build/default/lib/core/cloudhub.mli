@@ -1,0 +1,53 @@
+(** Discrete-event simulation of a centralized design-enablement hub
+    (Recommendation 7, experiment E10).
+
+    Universities submit enablement jobs (design-flow setups, PDK
+    onboardings, tape-out supports) as a Poisson stream; a pool of Design
+    Enablement Teams (DETs) serves them with exponential service times.
+    Jobs carry a tier (Recommendation 8) that scales their service
+    demand. The simulator reports waiting-time statistics and team
+    utilization, and {!centralized_vs_federated} quantifies the pooling
+    advantage of one shared hub over per-university support staff — the
+    queueing-theoretic argument for Recommendation 7. *)
+
+type tier = Beginner | Intermediate | Advanced
+
+val tier_name : tier -> string
+
+val tier_service_weeks : tier -> float
+(** Mean DET effort per job: 0.5 / 2 / 6 weeks. *)
+
+type params = {
+  det_teams : int;
+  arrivals_per_week : float;  (** total job arrival rate *)
+  tier_mix : (tier * float) list;  (** proportions, need not sum to 1 *)
+  horizon_weeks : float;
+  seed : int;
+}
+
+val default_params : params
+(** 3 teams, 1.5 jobs/week, mix 0.5/0.35/0.15, 260 weeks, seed 42. *)
+
+type stats = {
+  completed : int;
+  abandoned : int;  (** still queued/in service at the horizon *)
+  mean_wait_weeks : float;
+  p95_wait_weeks : float;
+  mean_sojourn_weeks : float;  (** wait + service *)
+  utilization : float;  (** busy team-weeks / available team-weeks *)
+  peak_queue : int;
+}
+
+val simulate : params -> stats
+(** @raise Invalid_argument on non-positive teams, rate, or horizon. *)
+
+type comparison = {
+  centralized : stats;  (** one hub with n teams, pooled queue *)
+  federated : stats list;  (** n sites, one team each, split arrivals *)
+  federated_mean_wait_weeks : float;
+  pooling_speedup : float;  (** federated wait / centralized wait *)
+}
+
+val centralized_vs_federated : params -> sites:int -> comparison
+(** Split the same total workload across [sites] single-team hubs and
+    compare waits against the pooled hub. *)

@@ -1,0 +1,124 @@
+module Pdk = Educhip_pdk.Pdk
+
+type cost_breakdown = {
+  engineering_usd : float;
+  eda_licenses_usd : float;
+  ip_licensing_usd : float;
+  masks_and_prototypes_usd : float;
+  software_and_validation_usd : float;
+}
+
+(* Anchors: the paper's $5M (130 nm) and $725M (2 nm); intermediate points
+   follow the published IBS escalation. *)
+let cost_table =
+  [
+    ("edu180", 3.0e6);
+    ("edu130", 5.0e6);
+    ("edu90", 12.0e6);
+    ("edu65", 24.0e6);
+    ("edu40", 38.0e6);
+    ("edu28", 51.0e6);
+    ("edu16", 106.0e6);
+    ("edu7", 298.0e6);
+    ("edu5", 542.0e6);
+    ("edu3", 650.0e6);
+    ("edu2", 725.0e6);
+  ]
+
+let design_cost_usd node =
+  match List.assoc_opt node.Pdk.node_name cost_table with
+  | Some c -> c
+  | None -> raise Not_found
+
+(* Split fractions drift with scaling: mature nodes are engineering-
+   dominated; advanced nodes shift budget into software/validation and IP
+   (the IBS trend the escalation reflects). *)
+let breakdown node =
+  let total = design_cost_usd node in
+  (* interpolation knob: 0 at 180 nm, 1 at 2 nm *)
+  let t =
+    let lo = log 2.0 and hi = log 180.0 in
+    (hi -. log node.Pdk.feature_nm) /. (hi -. lo)
+  in
+  let lerp a b = a +. ((b -. a) *. t) in
+  let f_engineering = lerp 0.55 0.28 in
+  let f_eda = lerp 0.12 0.10 in
+  let f_ip = lerp 0.08 0.16 in
+  let f_masks = lerp 0.15 0.18 in
+  let f_software = 1.0 -. f_engineering -. f_eda -. f_ip -. f_masks in
+  {
+    engineering_usd = total *. f_engineering;
+    eda_licenses_usd = total *. f_eda;
+    ip_licensing_usd = total *. f_ip;
+    masks_and_prototypes_usd = total *. f_masks;
+    software_and_validation_usd = total *. f_software;
+  }
+
+let mpw_slot_cost_eur node ~area_mm2 =
+  let billed = Float.max area_mm2 node.Pdk.min_mpw_area_mm2 in
+  billed *. node.Pdk.mpw_cost_eur_per_mm2
+
+let full_run_cost_eur node = node.Pdk.full_mask_cost_eur
+
+let cost_per_design_on_shuttle_eur node ~designs ~area_mm2 =
+  if designs < 1 then invalid_arg "Costmodel: designs must be >= 1";
+  let shared = full_run_cost_eur node *. 1.1 /. float_of_int designs in
+  Float.max (mpw_slot_cost_eur node ~area_mm2) shared
+
+let sponsored_cost_eur node ~area_mm2 ~subsidy =
+  let subsidy = Float.max 0.0 (Float.min 1.0 subsidy) in
+  mpw_slot_cost_eur node ~area_mm2 *. (1.0 -. subsidy)
+
+let affordable_nodes ~budget_eur ~area_mm2 =
+  List.filter (fun node -> mpw_slot_cost_eur node ~area_mm2 <= budget_eur) Pdk.nodes
+
+(* {1 Production economics} *)
+
+(* Mature processes sit near their defectivity floor; the newest nodes
+   carry early-ramp defect densities several times higher. *)
+let defect_density_per_cm2 node =
+  let f = node.Pdk.feature_nm in
+  if f >= 90.0 then 0.05
+  else if f >= 28.0 then 0.08
+  else if f >= 7.0 then 0.12
+  else 0.08 +. (0.06 *. (7.0 /. f))
+
+let clustering_alpha = 3.0
+
+let production_yield node ~area_mm2 =
+  if area_mm2 <= 0.0 then invalid_arg "Costmodel.production_yield: area must be positive";
+  let area_cm2 = area_mm2 /. 100.0 in
+  let d0 = defect_density_per_cm2 node in
+  (1.0 +. (area_cm2 *. d0 /. clustering_alpha)) ** -.clustering_alpha
+
+(* Processed-wafer prices rise steeply with the mask count and EUV use. *)
+let wafer_cost_eur node =
+  let f = node.Pdk.feature_nm in
+  if f >= 180.0 then 1_400.0
+  else if f >= 130.0 then 1_900.0
+  else if f >= 90.0 then 2_600.0
+  else if f >= 65.0 then 3_300.0
+  else if f >= 40.0 then 4_200.0
+  else if f >= 28.0 then 5_200.0
+  else if f >= 16.0 then 7_500.0
+  else if f >= 7.0 then 12_000.0
+  else if f >= 5.0 then 15_500.0
+  else if f >= 3.0 then 18_500.0
+  else 21_500.0
+
+let dies_per_wafer _node ~area_mm2 =
+  if area_mm2 <= 0.0 then invalid_arg "Costmodel.dies_per_wafer: area must be positive";
+  (* 300 mm wafer; the sqrt term approximates edge loss for square dies *)
+  let diameter = 300.0 in
+  let wafer_area = Float.pi *. (diameter /. 2.0) ** 2.0 in
+  let gross =
+    (wafer_area /. area_mm2) -. (Float.pi *. diameter /. sqrt (2.0 *. area_mm2))
+  in
+  max 0 (int_of_float gross)
+
+let cost_per_good_die_eur node ~area_mm2 =
+  let gross = dies_per_wafer node ~area_mm2 in
+  if gross = 0 then infinity
+  else
+    let good = float_of_int gross *. production_yield node ~area_mm2 in
+    if good < 1.0 then infinity else wafer_cost_eur node /. good

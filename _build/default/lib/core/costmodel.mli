@@ -1,0 +1,73 @@
+(** Chip design and fabrication cost model (experiments E3 and E4).
+
+    The production-design cost curve is calibrated to the figures the
+    paper quotes in §III-C — "$5 million for a 130 nm chip to $725 million
+    for a 2 nm chip" — with the intermediate nodes following the published
+    IBS-style cost escalation. MPW economics use the {!Educhip_pdk.Pdk}
+    per-node slot prices and model the Efabless-style sponsorship of
+    Recommendation 6. All production costs in USD, MPW prices in EUR (as
+    Europractice quotes them). *)
+
+type cost_breakdown = {
+  engineering_usd : float;
+  eda_licenses_usd : float;
+  ip_licensing_usd : float;
+  masks_and_prototypes_usd : float;
+  software_and_validation_usd : float;
+}
+
+val design_cost_usd : Educhip_pdk.Pdk.node -> float
+(** Full production-design cost at the node ($5M at edu130 … $725M at
+    edu2). @raise Not_found only for nodes outside {!Educhip_pdk.Pdk.nodes}. *)
+
+val breakdown : Educhip_pdk.Pdk.node -> cost_breakdown
+(** Cost split; software/validation share grows toward advanced nodes,
+    engineering dominates mature ones. Components sum to
+    {!design_cost_usd}. *)
+
+(** {1 Academic MPW economics (E4)} *)
+
+val mpw_slot_cost_eur : Educhip_pdk.Pdk.node -> area_mm2:float -> float
+(** Price of an academic MPW slot (the node's minimum area applies). *)
+
+val full_run_cost_eur : Educhip_pdk.Pdk.node -> float
+(** Dedicated mask-set NRE: what the design would pay without MPW. *)
+
+val cost_per_design_on_shuttle_eur :
+  Educhip_pdk.Pdk.node -> designs:int -> area_mm2:float -> float
+(** Shuttle economics: mask NRE shared over [designs] participants plus a
+    10% aggregation overhead, floored at the MPW slot price.
+    @raise Invalid_argument if [designs < 1]. *)
+
+val sponsored_cost_eur :
+  Educhip_pdk.Pdk.node -> area_mm2:float -> subsidy:float -> float
+(** Recommendation 6's sponsorship program: the slot price after a
+    corporate subsidy fraction in [0,1]. *)
+
+val affordable_nodes :
+  budget_eur:float -> area_mm2:float -> Educhip_pdk.Pdk.node list
+(** Nodes whose MPW slot fits a research-group budget — the "frontier"
+    the paper says excludes advanced nodes. *)
+
+(** {1 Production economics: yield and die cost}
+
+    Volume-production context for the academic numbers above: a negative-
+    binomial yield model (industry standard for clustered defects) over
+    per-node defect densities, 300 mm wafer pricing, and the resulting
+    cost per {e good} die. *)
+
+val defect_density_per_cm2 : Educhip_pdk.Pdk.node -> float
+(** D0: higher on the newest processes (early-ramp defectivity). *)
+
+val production_yield : Educhip_pdk.Pdk.node -> area_mm2:float -> float
+(** Negative-binomial: [(1 + A·D0/α)^(−α)] with clustering α = 3. *)
+
+val wafer_cost_eur : Educhip_pdk.Pdk.node -> float
+(** Processed 300 mm wafer price. *)
+
+val dies_per_wafer : Educhip_pdk.Pdk.node -> area_mm2:float -> int
+(** Gross dies: wafer area over die area with an edge-loss correction.
+    @raise Invalid_argument if [area_mm2 <= 0]. *)
+
+val cost_per_good_die_eur : Educhip_pdk.Pdk.node -> area_mm2:float -> float
+(** wafer cost / (gross dies × yield). *)

@@ -1,0 +1,106 @@
+module Pdk = Educhip_pdk.Pdk
+module Digraph = Educhip_util.Digraph
+
+type support = Self_service | Design_enablement_team | Cloud_platform
+
+let support_name = function
+  | Self_service -> "self-service"
+  | Design_enablement_team -> "DET-assisted"
+  | Cloud_platform -> "cloud platform"
+
+type task = { task_name : string; weeks : float; depends_on : string list }
+
+(* Base durations for a group doing everything itself on an NDA PDK. *)
+let base =
+  [
+    ("it-infrastructure", 6.0, []);
+    ("eda-license-negotiation", 4.0, []);
+    ("nda-negotiation", 8.0, []);
+    ("pdk-install", 2.0, [ "it-infrastructure"; "nda-negotiation" ]);
+    ("tool-install", 3.0, [ "it-infrastructure"; "eda-license-negotiation" ]);
+    ("tech-configuration", 6.0, [ "pdk-install"; "tool-install" ]);
+    ("flow-scripting", 5.0, [ "tech-configuration" ]);
+    ("staff-training", 4.0, [ "tool-install" ]);
+    ("reference-design", 3.0, [ "flow-scripting"; "staff-training" ]);
+  ]
+
+let tasks ~access ~support =
+  let adjust (name, weeks, deps) =
+    let weeks =
+      match name, access with
+      | "nda-negotiation", Pdk.Open_pdk -> 0.0
+      | "nda-negotiation", Pdk.Nda -> weeks
+      | "nda-negotiation", Pdk.Nda_with_track_record ->
+        weeks *. 2.0 (* track-record dossiers, project descriptions, funding proof *)
+      | _, (Pdk.Open_pdk | Pdk.Nda | Pdk.Nda_with_track_record) -> weeks
+    in
+    let weeks =
+      match name, support with
+      | ("it-infrastructure" | "pdk-install" | "tool-install"), Cloud_platform -> 0.0
+      | "tech-configuration", Cloud_platform -> 0.5
+      | "flow-scripting", Cloud_platform -> 1.0
+      | ("pdk-install" | "tool-install"), Design_enablement_team -> weeks /. 2.0
+      | "tech-configuration", Design_enablement_team -> 1.5
+      | "flow-scripting", Design_enablement_team -> 2.0
+      | _, (Self_service | Design_enablement_team | Cloud_platform) -> weeks
+    in
+    { task_name = name; weeks; depends_on = deps }
+  in
+  List.map adjust base
+
+let with_graph ~access ~support f =
+  let task_list = tasks ~access ~support in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i t -> Hashtbl.replace index t.task_name i) task_list;
+  let arr = Array.of_list task_list in
+  let n = Array.length arr in
+  let g = Digraph.create n in
+  Array.iteri
+    (fun i t ->
+      List.iter (fun dep -> Digraph.add_edge g (Hashtbl.find index dep) i) t.depends_on)
+    arr;
+  f arr g
+
+(* Weighted longest path over the DAG: finish(i) = weeks(i) + max over
+   predecessors finish(p). *)
+let finish_times arr g =
+  match Digraph.topological_order g with
+  | None -> invalid_arg "Enable: task graph has a cycle"
+  | Some order ->
+    let finish = Array.make (Array.length arr) 0.0 in
+    Array.iter
+      (fun i ->
+        let start =
+          List.fold_left (fun acc p -> Float.max acc finish.(p)) 0.0 (Digraph.pred g i)
+        in
+        finish.(i) <- start +. arr.(i).weeks)
+      order;
+    finish
+
+let time_to_first_gdsii_weeks ~access ~support =
+  with_graph ~access ~support (fun arr g ->
+      Array.fold_left Float.max 0.0 (finish_times arr g))
+
+let critical_path ~access ~support =
+  with_graph ~access ~support (fun arr g ->
+      let finish = finish_times arr g in
+      (* walk back from the sink with the largest finish time *)
+      let worst = ref 0 in
+      Array.iteri (fun i f -> if f > finish.(!worst) then worst := i) finish;
+      let rec back i acc =
+        let acc = arr.(i).task_name :: acc in
+        let preds = Digraph.pred g i in
+        match preds with
+        | [] -> acc
+        | _ ->
+          let best =
+            List.fold_left
+              (fun b p -> match b with None -> Some p | Some q -> if finish.(p) > finish.(q) then Some p else b)
+              None preds
+          in
+          (match best with Some p -> back p acc | None -> acc)
+      in
+      back !worst [])
+
+let total_effort_weeks ~access ~support =
+  List.fold_left (fun acc t -> acc +. t.weeks) 0.0 (tasks ~access ~support)

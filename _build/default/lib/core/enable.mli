@@ -1,0 +1,42 @@
+(** Availability vs. enablement: the setup-task model (experiment E5).
+
+    §III-D's central distinction: having access to tools and PDKs
+    ({e availability}) is not the same as being able to run a design
+    through them ({e enablement}). The gap is a DAG of setup tasks — IT
+    infrastructure, license and NDA negotiation, PDK and tool
+    installation, technology configuration, flow scripting, training, a
+    reference design. Time-to-first-GDSII is the DAG's critical path.
+    Support models shorten or remove tasks: a Design Enablement Team
+    (Rec. 7's DETs) takes over infrastructure and configuration; a cloud
+    platform removes installation entirely; open PDKs remove NDA work. *)
+
+type support =
+  | Self_service  (** research group does everything *)
+  | Design_enablement_team  (** DET assists: config/install accelerated *)
+  | Cloud_platform  (** hosted flow: infra/install/config vanish *)
+
+val support_name : support -> string
+
+type task = {
+  task_name : string;
+  weeks : float;
+  depends_on : string list;
+}
+
+val tasks : access:Educhip_pdk.Pdk.access -> support:support -> task list
+(** The enablement DAG for a given PDK access class and support model.
+    Zero-duration tasks are kept (with [weeks = 0.]) so the DAG shape is
+    stable across scenarios. *)
+
+val time_to_first_gdsii_weeks :
+  access:Educhip_pdk.Pdk.access -> support:support -> float
+(** Critical-path length of the DAG. *)
+
+val critical_path :
+  access:Educhip_pdk.Pdk.access -> support:support -> string list
+(** Task names along the critical path, in execution order. *)
+
+val total_effort_weeks :
+  access:Educhip_pdk.Pdk.access -> support:support -> float
+(** Sum of all task durations — the staff cost (§III-D's "resource-
+    intensive tasks"), as opposed to the calendar critical path. *)

@@ -1,0 +1,34 @@
+type segment = { segment_name : string; value_share : float; europe_share : float }
+
+(* Shares from the paper's §I (fabrication 34% / design 30% of added value;
+   Europe 8% and 10% inside them; equipment 40%, materials 20%); the
+   remaining segments absorb the rest of the value. *)
+let value_chain =
+  [
+    { segment_name = "design"; value_share = 0.30; europe_share = 0.10 };
+    { segment_name = "fabrication"; value_share = 0.34; europe_share = 0.08 };
+    { segment_name = "equipment"; value_share = 0.11; europe_share = 0.40 };
+    { segment_name = "materials"; value_share = 0.05; europe_share = 0.20 };
+    { segment_name = "eda-and-ip"; value_share = 0.08; europe_share = 0.15 };
+    { segment_name = "assembly-and-test"; value_share = 0.12; europe_share = 0.05 };
+  ]
+
+let find_segment name =
+  match List.find_opt (fun s -> s.segment_name = name) value_chain with
+  | Some s -> s
+  | None -> raise Not_found
+
+let europe_weighted_share () =
+  List.fold_left (fun acc s -> acc +. (s.value_share *. s.europe_share)) 0.0 value_chain
+
+let europe_application_share () = 0.55
+
+let design_gap () =
+  (find_segment "equipment").europe_share -. (find_segment "design").europe_share
+
+let scenario_design_share ~added_designers ~years =
+  let base = (find_segment "design").europe_share in
+  let gain =
+    0.004 *. (float_of_int added_designers /. 1000.0) *. (float_of_int years /. 10.0)
+  in
+  Float.min 0.25 (base +. gain)

@@ -1,0 +1,37 @@
+(** Semiconductor value-chain model (experiment E1).
+
+    Encodes the market-share figures the paper's introduction cites:
+    fabrication and design are the two largest value-chain segments (34%
+    and 30% of added value) with Europe contributing only 8% and 10%
+    respectively, against Europe's 40% share in equipment and 20% in
+    materials, and a 55% share of the global market in its strong
+    application areas (industrial and automotive). *)
+
+type segment = {
+  segment_name : string;
+  value_share : float;  (** share of semiconductor added value, Σ = 1 *)
+  europe_share : float;  (** Europe's contribution inside the segment *)
+}
+
+val value_chain : segment list
+(** The six-segment decomposition; shares sum to 1.0. *)
+
+val find_segment : string -> segment
+(** @raise Not_found for an unknown segment. *)
+
+val europe_weighted_share : unit -> float
+(** Europe's overall share of semiconductor added value:
+    Σ value_share·europe_share. *)
+
+val europe_application_share : unit -> float
+(** The 55% share in Europe's strong component areas (§I). *)
+
+val design_gap : unit -> float
+(** Shortfall of the design segment versus the strongest European segment
+    (equipment): [europe_share(equipment) - europe_share(design)]. *)
+
+val scenario_design_share : added_designers:int -> years:int -> float
+(** First-order scenario: Europe's design share if the workforce grows.
+    Each additional thousand designers adds ~0.4 points of segment share
+    per decade (calibrated so closing the METIS gap doubles the share in
+    ~15 years); saturates at 0.25. *)

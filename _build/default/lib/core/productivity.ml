@@ -1,0 +1,65 @@
+module Designs = Educhip_designs.Designs
+module Rtl = Educhip_rtl.Rtl
+module Netlist = Educhip_netlist.Netlist
+module Synth = Educhip_synth.Synth
+module Stats = Educhip_util.Stats
+
+type rtl_measurement = {
+  design_name : string;
+  rtl_statements : int;
+  primitive_gates : int;
+  mapped_cells : int;
+  gates_per_statement : float;
+}
+
+let measure entry ~node =
+  let design = entry.Designs.build () in
+  let rtl_statements = Rtl.statement_count design in
+  let netlist = Rtl.elaborate design in
+  (* flip-flops are gates too: a register-transfer line like [q <= d]
+     instantiates one DFF per bit *)
+  let primitive_gates =
+    Netlist.gate_count netlist + List.length (Netlist.dffs netlist)
+  in
+  let _, report = Synth.synthesize netlist ~node Synth.default_options in
+  {
+    design_name = entry.Designs.name;
+    rtl_statements;
+    primitive_gates;
+    mapped_cells = report.Synth.mapped_cells;
+    gates_per_statement = float_of_int primitive_gates /. float_of_int (max 1 rtl_statements);
+  }
+
+let measure_suite ~node () = List.map (fun e -> measure e ~node) Designs.all
+
+let suite_geomean ms =
+  Stats.geometric_mean (List.map (fun m -> Float.max 1e-9 m.gates_per_statement) ms)
+
+type software_construct = {
+  construct : string;
+  python_lines : int;
+  assembly_instructions : int;
+}
+
+(* Calibrated orders of magnitude: one interpreted line runs hundreds of
+   dispatch instructions; a vectorized library call runs library kernels
+   of thousands to hundreds of thousands of instructions. *)
+let software_expansion =
+  [
+    { construct = "x = a + b"; python_lines = 1; assembly_instructions = 320 };
+    { construct = "xs.sort()"; python_lines = 1; assembly_instructions = 45_000 };
+    { construct = "sum(xs)"; python_lines = 1; assembly_instructions = 9_000 };
+    { construct = "re.findall(p, s)"; python_lines = 1; assembly_instructions = 60_000 };
+    { construct = "np.dot(A, B)"; python_lines = 1; assembly_instructions = 250_000 };
+    { construct = "json.loads(s)"; python_lines = 1; assembly_instructions = 30_000 };
+    { construct = "requests.get(url)"; python_lines = 1; assembly_instructions = 900_000 };
+  ]
+
+let software_geomean () =
+  Stats.geometric_mean
+    (List.map
+       (fun c -> float_of_int c.assembly_instructions /. float_of_int c.python_lines)
+       software_expansion)
+
+let abstraction_gap ~node =
+  software_geomean () /. suite_geomean (measure_suite ~node ())

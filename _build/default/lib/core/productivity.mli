@@ -1,0 +1,46 @@
+(** Frontend/backend productivity metrics (experiment E2).
+
+    §I and §III-B quantify the abstraction gap: "a single line of Python
+    code can generate thousands of assembly instructions. … A single line
+    of RTL code typically generates only 5 to 20 gates." The frontend
+    side is {e measured} on our own flow: every benchmark design is
+    elaborated and technology-mapped, and gates-per-RTL-statement is
+    computed from real data. The software side is a calibrated model of
+    representative Python constructs. *)
+
+type rtl_measurement = {
+  design_name : string;
+  rtl_statements : int;  (** frontend statements (HCL combinator calls) *)
+  primitive_gates : int;  (** gates after elaboration *)
+  mapped_cells : int;  (** standard cells after synthesis *)
+  gates_per_statement : float;
+}
+
+val measure : Educhip_designs.Designs.entry -> node:Educhip_pdk.Pdk.node -> rtl_measurement
+(** Elaborate + synthesize one benchmark and compute the E2 ratio. *)
+
+val measure_suite :
+  node:Educhip_pdk.Pdk.node -> unit -> rtl_measurement list
+(** The whole {!Educhip_designs.Designs.all} suite. *)
+
+val suite_geomean : rtl_measurement list -> float
+(** Geometric mean of gates-per-statement — compared against the paper's
+    5–20 band in EXPERIMENTS.md. *)
+
+type software_construct = {
+  construct : string;
+  python_lines : int;
+  assembly_instructions : int;
+}
+
+val software_expansion : software_construct list
+(** Calibrated expansion factors for representative one-line Python
+    constructs (interpreter dispatch + library code), spanning roughly
+    3 orders of magnitude above RTL. *)
+
+val software_geomean : unit -> float
+(** Geometric mean of assembly instructions per Python line. *)
+
+val abstraction_gap : node:Educhip_pdk.Pdk.node -> float
+(** software_geomean / suite_geomean — the paper's "fast road to success"
+    asymmetry as one number. *)

@@ -1,0 +1,173 @@
+module Pdk = Educhip_pdk.Pdk
+module Flow = Educhip_flow.Flow
+module Designs = Educhip_designs.Designs
+
+type state = {
+  graduates_per_year_k : float;
+  time_to_first_gdsii_weeks : float;
+  mpw_cost_per_design_eur : float;
+  hub_wait_weeks : float;
+  course_completion_rate : float;
+}
+
+let horizon_years = 10
+
+let graduates_at_horizon scenario =
+  Workforce.graduates_per_year scenario ~year:horizon_years
+
+let reference_node () = Pdk.find_node "edu130"
+
+let baseline_state () =
+  let node = reference_node () in
+  {
+    graduates_per_year_k = graduates_at_horizon Workforce.baseline;
+    time_to_first_gdsii_weeks =
+      Enable.time_to_first_gdsii_weeks ~access:Pdk.Nda ~support:Enable.Self_service;
+    mpw_cost_per_design_eur = Costmodel.mpw_slot_cost_eur node ~area_mm2:1.0;
+    (* without a shared hub, support is a single local staffer *)
+    hub_wait_weeks =
+      (Cloudhub.simulate
+         { Cloudhub.default_params with Cloudhub.det_teams = 1; arrivals_per_week = 0.5 })
+        .Cloudhub.mean_wait_weeks;
+    course_completion_rate = 0.6;
+  }
+
+type recommendation = { id : int; title : string; lever : string }
+
+let recommendations =
+  [
+    { id = 1; title = "Low-barrier programs in schools";
+      lever = "workforce: exposure up, interest decline stopped" };
+    { id = 2; title = "Information campaigns";
+      lever = "workforce: EE choice and specialization up" };
+    { id = 3; title = "Coordinated education funding";
+      lever = "workforce: every funnel stage scaled" };
+    { id = 4; title = "Automation and standardization";
+      lever = "enablement: templated flow scripting (DET-grade config effort)" };
+    { id = 5; title = "Open-source hardware";
+      lever = "enablement: NDA work removed (open PDK access)" };
+    { id = 6; title = "Strengthening of Europractice";
+      lever = "economics: 50% sponsored MPW slots" };
+    { id = 7; title = "Centralized design enablement infrastructure";
+      lever = "hub: pooled DET queue + cloud platform setup" };
+    { id = 8; title = "Target group-oriented enablement";
+      lever = "teaching: tiered pathways raise course completion" };
+  ]
+
+let apply id s =
+  match id with
+  | 1 ->
+    { s with
+      graduates_per_year_k =
+        graduates_at_horizon (Workforce.with_low_barrier_programs Workforce.baseline) }
+  | 2 ->
+    { s with
+      graduates_per_year_k =
+        graduates_at_horizon (Workforce.with_information_campaigns Workforce.baseline) }
+  | 3 ->
+    { s with
+      graduates_per_year_k =
+        graduates_at_horizon (Workforce.with_coordinated_funding Workforce.baseline) }
+  | 4 ->
+    (* template flows make self-service configuration as fast as DET help *)
+    { s with
+      time_to_first_gdsii_weeks =
+        Float.min s.time_to_first_gdsii_weeks
+          (Enable.time_to_first_gdsii_weeks ~access:Pdk.Nda
+             ~support:Enable.Design_enablement_team) }
+  | 5 ->
+    { s with
+      time_to_first_gdsii_weeks =
+        Float.min s.time_to_first_gdsii_weeks
+          (Enable.time_to_first_gdsii_weeks ~access:Pdk.Open_pdk
+             ~support:Enable.Self_service) }
+  | 6 ->
+    { s with
+      mpw_cost_per_design_eur =
+        Costmodel.sponsored_cost_eur (reference_node ()) ~area_mm2:1.0 ~subsidy:0.5 }
+  | 7 ->
+    let hub = Cloudhub.simulate Cloudhub.default_params in
+    { s with
+      hub_wait_weeks = hub.Cloudhub.mean_wait_weeks;
+      time_to_first_gdsii_weeks =
+        Float.min s.time_to_first_gdsii_weeks
+          (Enable.time_to_first_gdsii_weeks ~access:Pdk.Nda
+             ~support:Enable.Cloud_platform) }
+  | 8 ->
+    (* matching the pathway to the learner keeps beginners from drowning in
+       advanced-flow setup: completion approaches the technical success
+       rate of the teaching tier *)
+    { s with course_completion_rate = 0.9 }
+  | _ -> invalid_arg "Recommend.apply: id must be in 1..8"
+
+let apply_all s = List.fold_left (fun acc r -> apply r.id acc) s recommendations
+
+(* {1 Tiers (Rec. 8 / E9)} *)
+
+type tier_plan = {
+  tier : Cloudhub.tier;
+  node : Pdk.node;
+  preset : Flow.preset;
+  support : Enable.support;
+  reference_design : string;
+}
+
+let tier_plan tier =
+  match tier with
+  | Cloudhub.Beginner ->
+    {
+      tier;
+      node = Pdk.find_node "edu130";
+      preset = Flow.Teaching_flow;
+      support = Enable.Cloud_platform;
+      reference_design = "adder8";
+    }
+  | Cloudhub.Intermediate ->
+    {
+      tier;
+      node = Pdk.find_node "edu130";
+      preset = Flow.Open_flow;
+      support = Enable.Self_service;
+      reference_design = "alu8";
+    }
+  | Cloudhub.Advanced ->
+    {
+      tier;
+      node = Pdk.find_node "edu16";
+      preset = Flow.Commercial_flow;
+      support = Enable.Design_enablement_team;
+      reference_design = "fir4x8";
+    }
+
+type tier_report = {
+  plan : tier_plan;
+  setup_weeks : float;
+  mpw_cost_eur : float;
+  fits_semester : bool;
+  ppa : Flow.ppa;
+}
+
+let evaluate_tier tier =
+  let plan = tier_plan tier in
+  let cfg = Flow.config ~node:plan.node plan.preset in
+  let result = Flow.run_design (Designs.find plan.reference_design) cfg in
+  let setup_weeks =
+    Enable.time_to_first_gdsii_weeks ~access:plan.node.Pdk.access ~support:plan.support
+  in
+  let layout = result.Flow.layout in
+  let area_mm2 = Educhip_gds.Gds.area_mm2 layout in
+  let mpw_cost_eur = Costmodel.mpw_slot_cost_eur plan.node ~area_mm2 in
+  let design_weeks =
+    Tapeout.design_effort_weeks plan.node ~gates:(max 1 result.Flow.ppa.Flow.cells)
+      ~experienced:false
+  in
+  let latency =
+    setup_weeks +. design_weeks +. plan.node.Pdk.turnaround_weeks
+  in
+  {
+    plan;
+    setup_weeks;
+    mpw_cost_eur;
+    fits_semester = latency <= Tapeout.duration_weeks Tapeout.Semester_course;
+    ppa = result.Flow.ppa;
+  }

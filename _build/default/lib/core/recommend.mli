@@ -1,0 +1,61 @@
+(** The paper's eight recommendations as executable scenarios (§IV), plus
+    the tiered-enablement evaluation of experiment E9.
+
+    Each recommendation is modeled as a transformation of a baseline
+    {!state} whose fields are computed from the other educhip models
+    (workforce funnel, enablement DAG, MPW economics, hub queueing, flow
+    PPA) — so the "effect" of a recommendation is derived from the same
+    machinery the experiments use, not hand-typed numbers. *)
+
+type state = {
+  graduates_per_year_k : float;  (** thousands, at the 10-year horizon *)
+  time_to_first_gdsii_weeks : float;  (** enablement critical path *)
+  mpw_cost_per_design_eur : float;  (** reference 1 mm² at edu130 *)
+  hub_wait_weeks : float;  (** mean enablement-job wait *)
+  course_completion_rate : float;  (** students finishing a tape-out course *)
+}
+
+val baseline_state : unit -> state
+
+type recommendation = {
+  id : int;  (** 1..8 as numbered in the paper *)
+  title : string;
+  lever : string;  (** which state fields it moves and through which model *)
+}
+
+val recommendations : recommendation list
+
+val apply : int -> state -> state
+(** Apply recommendation [id] (1..8).
+    @raise Invalid_argument for ids outside 1..8. *)
+
+val apply_all : state -> state
+(** All eight recommendations composed in order. *)
+
+(** {1 Tiered enablement (Recommendation 8 / experiment E9)} *)
+
+type tier_plan = {
+  tier : Cloudhub.tier;
+  node : Educhip_pdk.Pdk.node;
+  preset : Educhip_flow.Flow.preset;
+  support : Enable.support;
+  reference_design : string;  (** benchmark name from {!Educhip_designs} *)
+}
+
+val tier_plan : Cloudhub.tier -> tier_plan
+(** Beginner: open node, teaching preset, cloud platform (TinyTapeout
+    pathway). Intermediate: open node, open flow, self-service (IHP
+    OpenPDK + OpenROAD pathway). Advanced: edu16, commercial flow,
+    DET-assisted (commercial enablement service pathway). *)
+
+type tier_report = {
+  plan : tier_plan;
+  setup_weeks : float;
+  mpw_cost_eur : float;  (** for the flow result's actual die area *)
+  fits_semester : bool;  (** setup + design + turnaround vs 14 weeks *)
+  ppa : Educhip_flow.Flow.ppa;
+}
+
+val evaluate_tier : Cloudhub.tier -> tier_report
+(** Run the tier's reference design through the full flow at the tier's
+    node/preset and combine with the setup and cost models. *)

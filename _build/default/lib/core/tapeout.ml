@@ -1,0 +1,85 @@
+module Pdk = Educhip_pdk.Pdk
+
+type project_kind =
+  | Semester_course
+  | Bachelor_thesis
+  | Master_thesis
+  | Research_project
+  | Phd
+
+let duration_weeks = function
+  | Semester_course -> 14.0
+  | Bachelor_thesis -> 26.0
+  | Master_thesis -> 39.0
+  | Research_project -> 104.0
+  | Phd -> 208.0
+
+let project_kinds =
+  [ Semester_course; Bachelor_thesis; Master_thesis; Research_project; Phd ]
+
+let kind_name = function
+  | Semester_course -> "semester course"
+  | Bachelor_thesis -> "BSc thesis"
+  | Master_thesis -> "MSc thesis"
+  | Research_project -> "research project"
+  | Phd -> "PhD"
+
+(* Effort: a 1k-gate block at 180 nm takes an experienced team ~4 weeks;
+   each 10x in gates adds ~6 weeks, advanced nodes multiply the backend
+   effort (more rules, more signoff corners), novices pay 2.5x. *)
+let design_effort_weeks node ~gates ~experienced =
+  if gates < 1 then invalid_arg "Tapeout.design_effort_weeks: gates must be >= 1";
+  let size_factor = 4.0 +. (6.0 *. log10 (float_of_int gates /. 1000.0 +. 1.0)) in
+  let process_factor = 1.0 +. (0.35 *. log (180.0 /. node.Pdk.feature_nm)) in
+  let experience_factor = if experienced then 1.0 else 2.5 in
+  size_factor *. process_factor *. experience_factor
+
+let expected_shuttle_wait_weeks ~runs_per_year =
+  if runs_per_year < 1 then invalid_arg "Tapeout: runs_per_year must be >= 1";
+  52.0 /. float_of_int runs_per_year /. 2.0
+
+let total_latency_weeks node ~gates ~experienced ~runs_per_year =
+  design_effort_weeks node ~gates ~experienced
+  +. expected_shuttle_wait_weeks ~runs_per_year
+  +. node.Pdk.turnaround_weeks
+
+let fits kind ~latency_weeks = latency_weeks <= duration_weeks kind
+
+let feasible_kinds node ~gates ~experienced ~runs_per_year =
+  let latency = total_latency_weeks node ~gates ~experienced ~runs_per_year in
+  List.filter (fun kind -> fits kind ~latency_weeks:latency) project_kinds
+
+type slot = { design_name : string; area_mm2 : float }
+
+type shuttle_plan = {
+  node : Pdk.node;
+  capacity_mm2 : float;
+  accepted : slot list;
+  rejected : slot list;
+  used_mm2 : float;
+  cost_per_design_eur : float;
+}
+
+let plan_shuttle node ~capacity_mm2 slots =
+  if capacity_mm2 <= 0.0 then invalid_arg "Tapeout.plan_shuttle: capacity must be positive";
+  let sorted =
+    List.sort (fun a b -> compare (b.area_mm2, a.design_name) (a.area_mm2, b.design_name)) slots
+  in
+  let accepted, rejected, used =
+    List.fold_left
+      (fun (acc, rej, used) slot ->
+        if slot.area_mm2 <= 0.0 then (acc, slot :: rej, used)
+        else if used +. slot.area_mm2 <= capacity_mm2 then (slot :: acc, rej, used +. slot.area_mm2)
+        else (acc, slot :: rej, used))
+      ([], [], 0.0) sorted
+  in
+  let accepted = List.rev accepted and rejected = List.rev rejected in
+  let cost_per_design_eur =
+    match accepted with
+    | [] -> 0.0
+    | _ ->
+      let mean_area = used /. float_of_int (List.length accepted) in
+      Costmodel.cost_per_design_on_shuttle_eur node ~designs:(List.length accepted)
+        ~area_mm2:mean_area
+  in
+  { node; capacity_mm2; accepted; rejected; used_mm2 = used; cost_per_design_eur }

@@ -1,0 +1,62 @@
+(** Tape-out latency and shuttle scheduling (experiment E8).
+
+    §III-C observes that "turn-around times from design to packaged chips
+    exceed typical course lengths, thesis or research project durations".
+    This module quantifies that: total latency = design effort + wait for
+    the next shuttle departure + the node's fabrication/packaging
+    turnaround, compared against academic time budgets. It also provides
+    the shuttle-aggregation planner used by the TinyTapeout-style example
+    (many small student designs packed onto one MPW run). *)
+
+type project_kind =
+  | Semester_course  (** 14 weeks *)
+  | Bachelor_thesis  (** 26 weeks *)
+  | Master_thesis  (** 39 weeks *)
+  | Research_project  (** 2 years *)
+  | Phd  (** 4 years *)
+
+val duration_weeks : project_kind -> float
+
+val project_kinds : project_kind list
+
+val kind_name : project_kind -> string
+
+val design_effort_weeks :
+  Educhip_pdk.Pdk.node -> gates:int -> experienced:bool -> float
+(** First-silicon design effort: grows with log(gate count) and with
+    process complexity; an experienced team is ~2.5× faster (the paper's
+    re-training cost for fresh doctoral students). *)
+
+val expected_shuttle_wait_weeks : runs_per_year:int -> float
+(** Mean wait for the next departure of a periodic shuttle (half the
+    period). @raise Invalid_argument if [runs_per_year < 1]. *)
+
+val total_latency_weeks :
+  Educhip_pdk.Pdk.node -> gates:int -> experienced:bool -> runs_per_year:int -> float
+(** design effort + shuttle wait + fab turnaround. *)
+
+val fits : project_kind -> latency_weeks:float -> bool
+
+val feasible_kinds :
+  Educhip_pdk.Pdk.node -> gates:int -> experienced:bool -> runs_per_year:int ->
+  project_kind list
+(** Academic formats that can contain a tape-out at this node. *)
+
+(** {1 Shuttle aggregation} *)
+
+type slot = { design_name : string; area_mm2 : float }
+
+type shuttle_plan = {
+  node : Educhip_pdk.Pdk.node;
+  capacity_mm2 : float;
+  accepted : slot list;
+  rejected : slot list;
+  used_mm2 : float;
+  cost_per_design_eur : float;  (** shared mask NRE across accepted slots *)
+}
+
+val plan_shuttle :
+  Educhip_pdk.Pdk.node -> capacity_mm2:float -> slot list -> shuttle_plan
+(** First-fit-decreasing packing of submitted designs into one MPW run;
+    the cost per accepted design comes from
+    {!Costmodel.cost_per_design_on_shuttle_eur} at the mean slot area. *)

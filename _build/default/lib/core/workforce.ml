@@ -1,0 +1,106 @@
+type rates = {
+  school_exposure : float;
+  stem_choice : float;
+  ee_choice : float;
+  semiconductor_specialization : float;
+  completion : float;
+}
+
+type scenario = {
+  scenario_name : string;
+  cohort : int;
+  rates : rates;
+  interest_trend : float;
+  demand_start : float;
+  demand_growth : float;
+}
+
+type year_point = {
+  year : int;
+  graduates : float;
+  demand : float;
+  cumulative_gap : float;
+}
+
+(* Year-0 funnel: 5000k cohort × 0.18 exposure × 0.35 STEM × 0.08 EE ×
+   0.14 specialization × 0.88 completion ≈ 3.1k graduates/year. *)
+let baseline =
+  {
+    scenario_name = "baseline";
+    cohort = 5000;
+    rates =
+      {
+        school_exposure = 0.18;
+        stem_choice = 0.35;
+        ee_choice = 0.08;
+        semiconductor_specialization = 0.14;
+        completion = 0.88;
+      };
+    interest_trend = 0.985 (* EE interest slowly eroding *);
+    demand_start = 4.0;
+    demand_growth = 0.05;
+  }
+
+let clamp01 x = Float.max 0.0 (Float.min 1.0 x)
+
+let graduates_per_year s ~year =
+  let r = s.rates in
+  let ee = clamp01 (r.ee_choice *. (s.interest_trend ** float_of_int year)) in
+  float_of_int s.cohort *. r.school_exposure *. r.stem_choice *. ee
+  *. r.semiconductor_specialization *. r.completion
+
+let simulate s ~years =
+  let rec go year gap acc =
+    if year > years then List.rev acc
+    else begin
+      let graduates = graduates_per_year s ~year in
+      let demand = s.demand_start *. ((1.0 +. s.demand_growth) ** float_of_int year) in
+      let gap = gap +. Float.max 0.0 (demand -. graduates) in
+      go (year + 1) gap ({ year; graduates; demand; cumulative_gap = gap } :: acc)
+    end
+  in
+  go 0 0.0 []
+
+let with_low_barrier_programs s =
+  {
+    s with
+    scenario_name = s.scenario_name ^ "+schools";
+    rates = { s.rates with school_exposure = clamp01 (s.rates.school_exposure *. 1.8) };
+    interest_trend = Float.max s.interest_trend 1.0;
+  }
+
+let with_information_campaigns s =
+  {
+    s with
+    scenario_name = s.scenario_name ^ "+campaigns";
+    rates =
+      {
+        s.rates with
+        ee_choice = clamp01 (s.rates.ee_choice *. 1.4);
+        semiconductor_specialization =
+          clamp01 (s.rates.semiconductor_specialization *. 1.35);
+      };
+  }
+
+let with_coordinated_funding s =
+  {
+    s with
+    scenario_name = s.scenario_name ^ "+funding";
+    rates =
+      {
+        school_exposure = clamp01 (s.rates.school_exposure *. 1.15);
+        stem_choice = clamp01 (s.rates.stem_choice *. 1.05);
+        ee_choice = clamp01 (s.rates.ee_choice *. 1.1);
+        semiconductor_specialization =
+          clamp01 (s.rates.semiconductor_specialization *. 1.15);
+        completion = clamp01 (s.rates.completion *. 1.05);
+      };
+  }
+
+let shortage_eliminated_year s ~years =
+  let points = simulate s ~years in
+  let rec find = function
+    | [] -> None
+    | p :: rest -> if p.graduates >= p.demand then Some p.year else find rest
+  in
+  find points

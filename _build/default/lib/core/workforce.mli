@@ -1,0 +1,56 @@
+(** Chip-design workforce pipeline model (experiment E7).
+
+    §I and §III-A describe a funnel that leaks at every stage: school
+    students never exposed to the field, STEM students choosing software
+    or AI, EE students not specializing in semiconductors, and specialists
+    lost to other industries. The model tracks a yearly cohort through
+    those stages, with interest in microelectronics declining over time
+    (the paper: graduate numbers "stagnated … and even declined in some
+    countries") while industry demand grows. Recommendations 1–3 map to
+    parameter changes; experiment E7 compares the trajectories. *)
+
+type rates = {
+  school_exposure : float;  (** fraction of a cohort aware of chip design *)
+  stem_choice : float;  (** aware students entering STEM degrees *)
+  ee_choice : float;  (** STEM students choosing EE *)
+  semiconductor_specialization : float;  (** EE students specializing *)
+  completion : float;  (** specialists graduating into the field *)
+}
+
+type scenario = {
+  scenario_name : string;
+  cohort : int;  (** European yearly age cohort (thousands) considered *)
+  rates : rates;
+  interest_trend : float;  (** multiplicative yearly drift on ee_choice *)
+  demand_start : float;  (** open designer positions in year 0 (thousands) *)
+  demand_growth : float;  (** yearly demand growth *)
+}
+
+type year_point = {
+  year : int;
+  graduates : float;  (** thousands *)
+  demand : float;  (** thousands *)
+  cumulative_gap : float;  (** thousands, positive = shortage *)
+}
+
+val baseline : scenario
+(** Calibrated to the METIS picture: ≈3.1k graduates/year in year 0,
+    slowly declining, against demand growing from 4k at 5%/year. *)
+
+val graduates_per_year : scenario -> year:int -> float
+
+val simulate : scenario -> years:int -> year_point list
+
+(** {1 Recommendation levers (Recs. 1–3)} *)
+
+val with_low_barrier_programs : scenario -> scenario
+(** Rec. 1: school programs raise exposure and stop the interest decline. *)
+
+val with_information_campaigns : scenario -> scenario
+(** Rec. 2: campaigns raise EE choice and specialization. *)
+
+val with_coordinated_funding : scenario -> scenario
+(** Rec. 3: funding scales every stage modestly and boosts completion. *)
+
+val shortage_eliminated_year : scenario -> years:int -> int option
+(** First simulated year whose yearly graduates meet yearly demand. *)

@@ -1,0 +1,1 @@
+lib/cts/cts.ml: Educhip_netlist Educhip_pdk Educhip_place Float Format List

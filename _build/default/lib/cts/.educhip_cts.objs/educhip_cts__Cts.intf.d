@@ -1,0 +1,1 @@
+lib/cts/cts.mli: Educhip_netlist Educhip_place Format

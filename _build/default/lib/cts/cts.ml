@@ -1,0 +1,191 @@
+module Netlist = Educhip_netlist.Netlist
+module Pdk = Educhip_pdk.Pdk
+module Place = Educhip_place.Place
+
+type tree =
+  | Leaf of (Netlist.cell_id * float * float) list (* directly driven sinks *)
+  | Branch of { x : float; y : float; children : tree list }
+
+type t = {
+  node : Pdk.node;
+  root : tree option;
+  root_x : float;
+  root_y : float;
+  sinks : int;
+  buffers : int;
+  depth : int;
+  wirelength : float;
+  cap : float;
+  delays : (Netlist.cell_id * float) list;
+}
+
+let manhattan (x0, y0) (x1, y1) = Float.abs (x0 -. x1) +. Float.abs (y0 -. y1)
+
+let centroid points =
+  let n = float_of_int (List.length points) in
+  let sx = List.fold_left (fun a (_, x, _) -> a +. x) 0.0 points in
+  let sy = List.fold_left (fun a (_, _, y) -> a +. y) 0.0 points in
+  (sx /. n, sy /. n)
+
+(* Recursive bisection: split along the axis with the larger spread so the
+   tree adapts to the sink distribution. *)
+let rec build points =
+  if List.length points <= 4 then Leaf points
+  else begin
+    let xs = List.map (fun (_, x, _) -> x) points in
+    let ys = List.map (fun (_, _, y) -> y) points in
+    let spread vs =
+      List.fold_left Float.max neg_infinity vs -. List.fold_left Float.min infinity vs
+    in
+    let split_on_x = spread xs >= spread ys in
+    let sorted =
+      List.sort
+        (fun (_, x0, y0) (_, x1, y1) ->
+          if split_on_x then compare (x0, y0) (x1, y1) else compare (y0, x0) (y1, x1))
+        points
+    in
+    let n = List.length sorted in
+    let rec take k acc = function
+      | rest when k = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | p :: rest -> take (k - 1) (p :: acc) rest
+    in
+    let left, right = take (n / 2) [] sorted in
+    let x, y = centroid points in
+    Branch { x; y; children = [ build left; build right ] }
+  end
+
+let synthesize placement =
+  let node = Place.node placement in
+  let netlist = Place.netlist placement in
+  let die_w, die_h = Place.die_um placement in
+  let root_x = die_w /. 2.0 and root_y = die_h /. 2.0 in
+  let sinks =
+    List.map
+      (fun id ->
+        let x, y = Place.location placement id in
+        (id, x, y))
+      (Netlist.dffs netlist)
+  in
+  match sinks with
+  | [] ->
+    {
+      node;
+      root = None;
+      root_x;
+      root_y;
+      sinks = 0;
+      buffers = 0;
+      depth = 0;
+      wirelength = 0.0;
+      cap = 0.0;
+      delays = [];
+    }
+  | _ ->
+    let tree = build sinks in
+    let buf = Pdk.find_cell node "BUF_X2" in
+    let dff = Pdk.dff_cell node in
+    let buffers = ref 0 in
+    let depth = ref 0 in
+    let wirelength = ref 0.0 in
+    let cap = ref 0.0 in
+    let delays = ref [] in
+    (* walk the tree accumulating insertion delay from the root; every tree
+       node carries a buffer that drives its children through wires *)
+    let rec walk parent_pos level delay tree =
+      if level > !depth then depth := level;
+      incr buffers;
+      let pos, fanout_cap, recurse =
+        match tree with
+        | Leaf pts ->
+          let pos = centroid pts in
+          let wire_to_sinks =
+            List.fold_left (fun acc (_, x, y) -> acc +. manhattan pos (x, y)) 0.0 pts
+          in
+          let sink_cap =
+            (float_of_int (List.length pts) *. dff.Pdk.input_cap_ff)
+            +. Pdk.wire_cap_ff node ~length_um:wire_to_sinks
+          in
+          ( pos,
+            sink_cap,
+            fun delay_here ->
+              wirelength := !wirelength +. wire_to_sinks;
+              List.iter
+                (fun (id, x, y) ->
+                  let wire = manhattan pos (x, y) in
+                  let d =
+                    delay_here
+                    +. Pdk.wire_delay_ps node ~length_um:wire ~load_ff:dff.Pdk.input_cap_ff
+                  in
+                  delays := (id, d) :: !delays)
+                pts )
+        | Branch { x; y; children } ->
+          let child_cap =
+            float_of_int (List.length children) *. buf.Pdk.input_cap_ff
+          in
+          ( (x, y),
+            child_cap,
+            fun delay_here -> List.iter (walk (x, y) (level + 1) delay_here) children )
+      in
+      let wire = manhattan parent_pos pos in
+      wirelength := !wirelength +. wire;
+      cap := !cap +. Pdk.wire_cap_ff node ~length_um:wire +. buf.Pdk.input_cap_ff;
+      let stage =
+        Pdk.wire_delay_ps node ~length_um:wire ~load_ff:buf.Pdk.input_cap_ff
+        +. buf.Pdk.intrinsic_ps
+        +. (buf.Pdk.load_ps_per_ff *. fanout_cap)
+      in
+      cap := !cap +. fanout_cap;
+      recurse (delay +. stage)
+    in
+    walk (root_x, root_y) 1 0.0 tree;
+    {
+      node;
+      root = Some tree;
+      root_x;
+      root_y;
+      sinks = List.length sinks;
+      buffers = !buffers;
+      depth = !depth;
+      wirelength = !wirelength;
+      cap = !cap;
+      delays = List.rev !delays;
+    }
+
+let sink_count t = t.sinks
+let buffer_count t = t.buffers
+let levels t = t.depth
+let wirelength_um t = t.wirelength
+let total_cap_ff t = t.cap
+
+let skew_ps t =
+  match t.delays with
+  | [] -> 0.0
+  | (_, d) :: rest ->
+    let mn, mx =
+      List.fold_left (fun (mn, mx) (_, d) -> (Float.min mn d, Float.max mx d)) (d, d) rest
+    in
+    mx -. mn
+
+let max_insertion_delay_ps t =
+  List.fold_left (fun acc (_, d) -> Float.max acc d) 0.0 t.delays
+
+let insertion_delays_ps t = t.delays
+
+let buffer_locations t =
+  let acc = ref [] in
+  let rec walk level = function
+    | Leaf pts ->
+      let x, y = centroid pts in
+      acc := (x, y, level) :: !acc
+    | Branch { x; y; children } ->
+      acc := (x, y, level) :: !acc;
+      List.iter (walk (level + 1)) children
+  in
+  (match t.root with None -> () | Some tree -> walk 1 tree);
+  List.rev !acc
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "clock tree: %d sinks, %d buffers over %d levels, %.0f um wire, %.1f fF, skew %.1f ps (max insertion %.1f ps)"
+    t.sinks t.buffers t.depth t.wirelength t.cap (skew_ps t) (max_insertion_delay_ps t)

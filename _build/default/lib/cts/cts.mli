@@ -1,0 +1,49 @@
+(** Clock-tree synthesis.
+
+    Builds a buffered distribution tree from the die-center clock root to
+    every placed flip-flop: sinks are recursively bisected along
+    alternating axes (an H-tree-like topology on the actual sink
+    distribution), a buffer is placed at each partition's center of mass,
+    and groups of at most four sinks are driven directly by their leaf
+    buffer. The result quantifies what the flow needs from a clock tree:
+
+    - insertion delay per sink and the global {b skew} (max − min), which
+      tightens the setup check in {!Educhip_timing.Timing.analyze};
+    - total tree {b wirelength} and {b capacitance} (wire + buffer +
+      sink clock pins), which replace the power model's per-flop
+      estimate;
+    - the buffer count, which placement area should account for.
+
+    Purely geometric: buffers are annotations, not netlist cells, matching
+    how global flows treat the clock before detailed implementation. *)
+
+type t
+
+val synthesize : Educhip_place.Place.t -> t
+(** Build the tree for all flip-flops of a placement. A design without
+    registers yields an empty tree (zero everything). *)
+
+val sink_count : t -> int
+
+val buffer_count : t -> int
+
+val levels : t -> int
+(** Depth of the buffer tree (0 when empty). *)
+
+val wirelength_um : t -> float
+
+val total_cap_ff : t -> float
+(** Wire capacitance + buffer input pins + flip-flop clock pins. *)
+
+val skew_ps : t -> float
+(** Maximum difference between sink insertion delays. *)
+
+val max_insertion_delay_ps : t -> float
+
+val insertion_delays_ps : t -> (Educhip_netlist.Netlist.cell_id * float) list
+(** Per-sink insertion delay, in register order. *)
+
+val buffer_locations : t -> (float * float * int) list
+(** (x, y, level) of every inserted buffer — for layout/reporting. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/designs/arith.ml: Array Educhip_rtl List Printf

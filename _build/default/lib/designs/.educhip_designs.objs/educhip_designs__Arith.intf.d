@@ -1,0 +1,1 @@
+lib/designs/arith.mli: Educhip_rtl

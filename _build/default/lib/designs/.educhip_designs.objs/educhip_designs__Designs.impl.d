@@ -1,0 +1,1 @@
+lib/designs/designs.ml: Educhip_netlist Educhip_rtl List Printf

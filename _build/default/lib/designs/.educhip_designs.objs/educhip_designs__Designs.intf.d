@@ -1,0 +1,1 @@
+lib/designs/designs.mli: Educhip_netlist Educhip_rtl

@@ -1,0 +1,133 @@
+module Rtl = Educhip_rtl.Rtl
+
+(* one-bit helpers over Rtl signals *)
+let full_adder d a b cin =
+  let axb = Rtl.bxor d a b in
+  let sum = Rtl.bxor d axb cin in
+  let carry = Rtl.bor d (Rtl.band d a b) (Rtl.band d axb cin) in
+  (sum, carry)
+
+let half_adder d a b = (Rtl.bxor d a b, Rtl.band d a b)
+
+let carry_select_adder ~width ~block =
+  if block < 1 then invalid_arg "Arith.carry_select_adder: block must be >= 1";
+  let d = Rtl.create ~name:(Printf.sprintf "csel%d_%d" width block) in
+  let a = Rtl.input d "a" width in
+  let b = Rtl.input d "b" width in
+  (* per block: ripple both polarities, select by the incoming carry *)
+  let zero = Rtl.lit d ~width:1 0 and one = Rtl.lit d ~width:1 1 in
+  let rec ripple_with xs ys cin acc =
+    match (xs, ys) with
+    | [], [] -> (List.rev acc, cin)
+    | x :: xs, y :: ys ->
+      let s, c = full_adder d x y cin in
+      ripple_with xs ys c (s :: acc)
+    | _ -> assert false
+  in
+  let rec blocks lo carry acc =
+    if lo >= width then (List.rev acc, carry)
+    else begin
+      let hi = min (width - 1) (lo + block - 1) in
+      let xs = List.init (hi - lo + 1) (fun i -> Rtl.bit a (lo + i)) in
+      let ys = List.init (hi - lo + 1) (fun i -> Rtl.bit b (lo + i)) in
+      if lo = 0 then begin
+        (* first block: real carry-in of zero, no selection needed *)
+        let sums, cout = ripple_with xs ys zero [] in
+        blocks (hi + 1) cout (List.rev sums @ acc)
+      end
+      else begin
+        let sums0, cout0 = ripple_with xs ys zero [] in
+        let sums1, cout1 = ripple_with xs ys one [] in
+        let sel = carry in
+        let sums =
+          List.map2 (fun s0 s1 -> Rtl.mux2 d ~sel s0 s1) sums0 sums1
+        in
+        let cout = Rtl.mux2 d ~sel cout0 cout1 in
+        blocks (hi + 1) cout (List.rev sums @ acc)
+      end
+    end
+  in
+  let sums, carry = blocks 0 zero [] in
+  Rtl.output d "sum" (Rtl.concat (carry :: List.rev sums));
+  d
+
+let kogge_stone_adder ~width =
+  let d = Rtl.create ~name:(Printf.sprintf "kogge%d" width) in
+  let a = Rtl.input d "a" width in
+  let b = Rtl.input d "b" width in
+  let g = Array.init width (fun i -> Rtl.band d (Rtl.bit a i) (Rtl.bit b i)) in
+  let p = Array.init width (fun i -> Rtl.bxor d (Rtl.bit a i) (Rtl.bit b i)) in
+  (* prefix network: (G, P) composed over doubling spans *)
+  let big_g = Array.copy g and big_p = Array.copy p in
+  let span = ref 1 in
+  while !span < width do
+    let next_g = Array.copy big_g and next_p = Array.copy big_p in
+    for i = !span to width - 1 do
+      next_g.(i) <- Rtl.bor d big_g.(i) (Rtl.band d big_p.(i) big_g.(i - !span));
+      next_p.(i) <- Rtl.band d big_p.(i) big_p.(i - !span)
+    done;
+    Array.blit next_g 0 big_g 0 width;
+    Array.blit next_p 0 big_p 0 width;
+    span := !span * 2
+  done;
+  (* carry into bit i is G over [0, i-1]; sum_i = p_i xor c_i *)
+  let zero = Rtl.lit d ~width:1 0 in
+  let sums =
+    Array.to_list
+      (Array.init width (fun i ->
+           let c = if i = 0 then zero else big_g.(i - 1) in
+           Rtl.bxor d p.(i) c))
+  in
+  Rtl.output d "sum" (Rtl.concat (big_g.(width - 1) :: List.rev sums));
+  d
+
+let wallace_multiplier ~width =
+  let d = Rtl.create ~name:(Printf.sprintf "wallace%d" width) in
+  let a = Rtl.input d "a" width in
+  let b = Rtl.input d "b" width in
+  let out_width = 2 * width in
+  (* partial-product columns: column c holds bits a_i·b_j with i+j=c *)
+  let columns = Array.make out_width [] in
+  for i = 0 to width - 1 do
+    for j = 0 to width - 1 do
+      let bit = Rtl.band d (Rtl.bit a i) (Rtl.bit b j) in
+      columns.(i + j) <- bit :: columns.(i + j)
+    done
+  done;
+  (* carry-save reduction: 3:2 and 2:2 compressors until every column has
+     at most two bits *)
+  let reduced = ref false in
+  while not !reduced do
+    reduced := true;
+    let next = Array.make out_width [] in
+    for c = 0 to out_width - 1 do
+      let rec compress bits =
+        match bits with
+        | x :: y :: z :: rest ->
+          let s, carry = full_adder d x y z in
+          next.(c) <- s :: next.(c);
+          if c + 1 < out_width then next.(c + 1) <- carry :: next.(c + 1);
+          compress rest
+        | [ x; y ] when List.length columns.(c) > 2 ->
+          let s, carry = half_adder d x y in
+          next.(c) <- s :: next.(c);
+          if c + 1 < out_width then next.(c + 1) <- carry :: next.(c + 1)
+        | rest -> next.(c) <- rest @ next.(c)
+      in
+      compress columns.(c)
+    done;
+    Array.blit next 0 columns 0 out_width;
+    Array.iter (fun col -> if List.length col > 2 then reduced := false) columns
+  done;
+  (* final carry-propagate addition over the two remaining rows *)
+  let zero = Rtl.lit d ~width:1 0 in
+  let nth_or_zero col n = match List.nth_opt col n with Some b -> b | None -> zero in
+  let row n = Array.to_list (Array.map (fun col -> nth_or_zero col n) columns) in
+  let row0 = row 0 and row1 = row 1 in
+  let product =
+    let x = Rtl.concat (List.rev row0) in
+    let y = Rtl.concat (List.rev row1) in
+    Rtl.add d x y
+  in
+  Rtl.output d "product" product;
+  d

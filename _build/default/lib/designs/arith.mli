@@ -1,0 +1,26 @@
+(** Arithmetic architecture generators.
+
+    The same function implemented with different micro-architectures —
+    the classic backend-course design-space exploration. Experiment X2
+    runs all of them through the flow and compares area/delay:
+
+    - adders: ripple-carry (in {!Designs}), carry-select, Kogge–Stone
+      parallel prefix;
+    - multipliers: array (in {!Designs}), Wallace carry-save tree.
+
+    All generators take the operand width and produce designs with the
+    same port interface as their {!Designs} counterparts ([a], [b], and
+    [sum]/[product]), so they are drop-in comparable and
+    equivalence-checkable against each other. *)
+
+val carry_select_adder : width:int -> block:int -> Educhip_rtl.Rtl.design
+(** [width]-bit adder with carry out, built from [block]-bit ripple blocks
+    computed for both carry-ins and selected by the rippling block carry.
+    @raise Invalid_argument if [block < 1]. *)
+
+val kogge_stone_adder : width:int -> Educhip_rtl.Rtl.design
+(** Parallel-prefix adder: O(log width) carry depth. *)
+
+val wallace_multiplier : width:int -> Educhip_rtl.Rtl.design
+(** Carry-save (3:2 compressor) partial-product reduction followed by one
+    final carry-propagate adder; full 2·width product. *)

@@ -1,0 +1,557 @@
+module Rtl = Educhip_rtl.Rtl
+module Netlist = Educhip_netlist.Netlist
+
+let ripple_adder ~width =
+  let d = Rtl.create ~name:(Printf.sprintf "adder%d" width) in
+  let a = Rtl.input d "a" width in
+  let b = Rtl.input d "b" width in
+  Rtl.output d "sum" (Rtl.add_carry d a b);
+  d
+
+let multiplier ~width =
+  let d = Rtl.create ~name:(Printf.sprintf "mult%d" width) in
+  let a = Rtl.input d "a" width in
+  let b = Rtl.input d "b" width in
+  Rtl.output d "product" (Rtl.mul d a b);
+  d
+
+let alu ~width =
+  let d = Rtl.create ~name:(Printf.sprintf "alu%d" width) in
+  let a = Rtl.input d "a" width in
+  let b = Rtl.input d "b" width in
+  let op = Rtl.input d "op" 3 in
+  let lt = Rtl.zero_extend d (Rtl.lt d a b) width in
+  let results =
+    [
+      Rtl.add d a b;
+      Rtl.sub d a b;
+      Rtl.band d a b;
+      Rtl.bor d a b;
+      Rtl.bxor d a b;
+      Rtl.bnot d a;
+      b;
+      lt;
+    ]
+  in
+  let y = Rtl.mux d ~sel:op results in
+  Rtl.output d "y" y;
+  let zero = Rtl.bnot d (Rtl.or_reduce d y) in
+  Rtl.output d "zero" zero;
+  d
+
+let comparator ~width =
+  let d = Rtl.create ~name:(Printf.sprintf "cmp%d" width) in
+  let a = Rtl.input d "a" width in
+  let b = Rtl.input d "b" width in
+  Rtl.output d "eq" (Rtl.eq d a b);
+  Rtl.output d "lt" (Rtl.lt d a b);
+  Rtl.output d "gt" (Rtl.lt d b a);
+  d
+
+let popcount ~width =
+  let d = Rtl.create ~name:(Printf.sprintf "popcount%d" width) in
+  let a = Rtl.input d "a" width in
+  let result_width =
+    let rec bits n acc = if n = 0 then acc else bits (n / 2) (acc + 1) in
+    bits width 0
+  in
+  (* adder tree over zero-extended bits *)
+  let rec sum_tree = function
+    | [] -> Rtl.lit d ~width:result_width 0
+    | [ s ] -> Rtl.zero_extend d s result_width
+    | signals ->
+      let rec pair acc = function
+        | [] -> List.rev acc
+        | [ x ] -> List.rev (Rtl.zero_extend d x result_width :: acc)
+        | x :: y :: rest ->
+          let w = max (Rtl.width x) (Rtl.width y) + 1 in
+          let w = min w result_width in
+          let s = Rtl.add d (Rtl.zero_extend d x w) (Rtl.zero_extend d y w) in
+          pair (s :: acc) rest
+      in
+      sum_tree (pair [] signals)
+  in
+  let bits = List.init width (fun i -> Rtl.bit a i) in
+  Rtl.output d "count" (sum_tree bits);
+  d
+
+let priority_encoder ~width =
+  let d = Rtl.create ~name:(Printf.sprintf "prio%d" width) in
+  let a = Rtl.input d "a" width in
+  let index_width =
+    let rec bits n acc = if n <= 1 then acc else bits ((n + 1) / 2) (acc + 1) in
+    max 1 (bits width 0)
+  in
+  (* fold from LSB: higher bits override *)
+  let index = ref (Rtl.lit d ~width:index_width 0) in
+  for i = 0 to width - 1 do
+    let here = Rtl.lit d ~width:index_width i in
+    index := Rtl.mux2 d ~sel:(Rtl.bit a i) !index here
+  done;
+  Rtl.output d "index" !index;
+  Rtl.output d "valid" (Rtl.or_reduce d a);
+  d
+
+let gray_counter ~width =
+  let d = Rtl.create ~name:(Printf.sprintf "gray%d" width) in
+  let binary =
+    Rtl.reg_feedback d ~width (fun q -> Rtl.add d q (Rtl.lit d ~width 1))
+  in
+  let gray = Rtl.bxor d binary (Rtl.shift_right d binary 1) in
+  Rtl.output d "gray" gray;
+  d
+
+let lfsr ~width =
+  if width < 3 then invalid_arg "Designs.lfsr: width must be >= 3";
+  let d = Rtl.create ~name:(Printf.sprintf "lfsr%d" width) in
+  let q =
+    Rtl.reg_feedback d ~width (fun q ->
+        (* taps: msb and a low-order pair; lock-up escape forces a 1 into
+           the feedback when the register is all zeros *)
+        let t1 = Rtl.bit q (width - 1) in
+        let t2 = Rtl.bit q (width / 2) in
+        let t3 = Rtl.bit q 0 in
+        let fb = Rtl.bxor d (Rtl.bxor d t1 t2) t3 in
+        let zero = Rtl.bnot d (Rtl.or_reduce d q) in
+        let fb = Rtl.bor d fb zero in
+        Rtl.concat [ Rtl.slice q ~hi:(width - 2) ~lo:0; fb ]
+        (* shift left through the feedback bit *))
+  in
+  Rtl.output d "state" q;
+  d
+
+let shift_register ~depth ~width =
+  if depth < 1 then invalid_arg "Designs.shift_register: depth must be >= 1";
+  let d = Rtl.create ~name:(Printf.sprintf "pipe%dx%d" depth width) in
+  let a = Rtl.input d "a" width in
+  let rec stage n s = if n = 0 then s else stage (n - 1) (Rtl.reg d s) in
+  Rtl.output d "y" (stage depth a);
+  d
+
+let fir_filter ~taps ~width =
+  if taps < 2 then invalid_arg "Designs.fir_filter: taps must be >= 2";
+  let d = Rtl.create ~name:(Printf.sprintf "fir%dx%d" taps width) in
+  let x = Rtl.input d "x" width in
+  (* delay line *)
+  let delayed =
+    let rec go n s acc = if n = 0 then List.rev acc else go (n - 1) (Rtl.reg d s) (s :: acc) in
+    go taps x []
+  in
+  (* small constant coefficients 1,2,3,… keep the multipliers as shifts+adds *)
+  let acc_width = width + 8 in
+  let products =
+    List.mapi
+      (fun i s ->
+        let coefficient = (i mod 3) + 1 in
+        let wide = Rtl.zero_extend d s acc_width in
+        match coefficient with
+        | 1 -> wide
+        | 2 -> Rtl.shift_left d wide 1
+        | 3 -> Rtl.add d wide (Rtl.shift_left d wide 1)
+        | _ -> assert false)
+      delayed
+  in
+  let y = List.fold_left (fun acc p -> Rtl.add d acc p) (Rtl.lit d ~width:acc_width 0) products in
+  Rtl.output d "y" (Rtl.reg d y);
+  d
+
+let accumulator_cpu ~width =
+  let d = Rtl.create ~name:(Printf.sprintf "acc_cpu%d" width) in
+  let opcode = Rtl.input d "opcode" 3 in
+  let imm = Rtl.input d "imm" width in
+  let acc =
+    Rtl.reg_feedback d ~width (fun acc ->
+        let alternatives =
+          [
+            acc; (* 0: nop *)
+            imm; (* 1: load *)
+            Rtl.add d acc imm; (* 2: add *)
+            Rtl.sub d acc imm; (* 3: sub *)
+            Rtl.band d acc imm; (* 4: and *)
+            Rtl.bor d acc imm; (* 5: or *)
+            Rtl.bxor d acc imm; (* 6: xor *)
+            Rtl.lit d ~width 0; (* 7: clear *)
+          ]
+        in
+        Rtl.mux d ~sel:opcode alternatives)
+  in
+  Rtl.output d "acc" acc;
+  Rtl.output d "zero" (Rtl.bnot d (Rtl.or_reduce d acc));
+  d
+
+let crossbar ~ports ~width =
+  if ports < 2 then invalid_arg "Designs.crossbar: ports must be >= 2";
+  let d = Rtl.create ~name:(Printf.sprintf "xbar%dx%d" ports width) in
+  let sel_width =
+    let rec bits n acc = if n <= 1 then acc else bits ((n + 1) / 2) (acc + 1) in
+    max 1 (bits ports 0)
+  in
+  let ins = List.init ports (fun i -> Rtl.input d (Printf.sprintf "in%d" i) width) in
+  List.init ports (fun o -> o)
+  |> List.iter (fun o ->
+         let sel = Rtl.input d (Printf.sprintf "sel%d" o) sel_width in
+         Rtl.output d (Printf.sprintf "out%d" o) (Rtl.mux d ~sel ins));
+  d
+
+let unbalanced_chain ~width =
+  if width < 2 then invalid_arg "Designs.unbalanced_chain: width must be >= 2";
+  let d = Rtl.create ~name:(Printf.sprintf "chain%d" width) in
+  let a = Rtl.input d "a" width in
+  (* deliberately linear: what a novice writes as a for-loop accumulation *)
+  let acc = ref (Rtl.bit a 0) in
+  for i = 1 to width - 1 do
+    acc := Rtl.bor d !acc (Rtl.bit a i)
+  done;
+  Rtl.output d "any" !acc;
+  d
+
+let barrel_shifter ~width =
+  if width < 2 || width land (width - 1) <> 0 then
+    invalid_arg "Designs.barrel_shifter: width must be a power of two >= 2";
+  let stages =
+    let rec bits n acc = if n <= 1 then acc else bits (n / 2) (acc + 1) in
+    bits width 0
+  in
+  let d = Rtl.create ~name:(Printf.sprintf "bshift%d" width) in
+  let a = Rtl.input d "a" width in
+  let sh = Rtl.input d "sh" stages in
+  (* stage i conditionally rotates by 2^i: log-depth mux network *)
+  let rotate_left s k =
+    let lo = Rtl.slice s ~hi:(width - 1 - k) ~lo:0 in
+    let hi = Rtl.slice s ~hi:(width - 1) ~lo:(width - k) in
+    Rtl.concat [ lo; hi ]
+  in
+  let result = ref a in
+  for i = 0 to stages - 1 do
+    let rotated = rotate_left !result (1 lsl i) in
+    result := Rtl.mux2 d ~sel:(Rtl.bit sh i) !result rotated
+  done;
+  Rtl.output d "y" !result;
+  d
+
+(* 8N1 UART transmitter. All state lives in one register vector:
+   bits 0..3  state   (0 idle, 1 start bit, 2..9 data bits, 10 stop bit)
+   bits 4..11 shift   (data, LSB transmitted first)
+   bits 12..13 baud   (divide-by-4 counter, advances while busy) *)
+let uart_tx () =
+  let d = Rtl.create ~name:"uart_tx" in
+  let start = Rtl.input d "start" 1 in
+  let data = Rtl.input d "data" 8 in
+  let state_of r = Rtl.slice r ~hi:3 ~lo:0 in
+  let shift_of r = Rtl.slice r ~hi:11 ~lo:4 in
+  let baud_of r = Rtl.slice r ~hi:13 ~lo:12 in
+  let regs =
+    Rtl.reg_feedback d ~width:14 (fun r ->
+        let state = state_of r and shift = shift_of r and baud = baud_of r in
+        let idle = Rtl.eq d state (Rtl.lit d ~width:4 0) in
+        let stopping = Rtl.eq d state (Rtl.lit d ~width:4 10) in
+        let busy = Rtl.bnot d idle in
+        let tick = Rtl.eq d baud (Rtl.lit d ~width:2 3) in
+        let accepting = Rtl.band d start idle in
+        (* baud: counts while busy, clears when idle *)
+        let baud_next =
+          Rtl.mux2 d ~sel:busy (Rtl.lit d ~width:2 0)
+            (Rtl.add d baud (Rtl.lit d ~width:2 1))
+        in
+        (* state: advance on tick; wrap after the stop bit *)
+        let advanced =
+          Rtl.mux2 d ~sel:stopping
+            (Rtl.add d state (Rtl.lit d ~width:4 1))
+            (Rtl.lit d ~width:4 0)
+        in
+        let state_ticked = Rtl.mux2 d ~sel:tick state advanced in
+        let state_busy = Rtl.mux2 d ~sel:busy state state_ticked in
+        let state_next =
+          Rtl.mux2 d ~sel:accepting state_busy (Rtl.lit d ~width:4 1)
+        in
+        (* shift: load on accept; shift right on tick inside the data bits *)
+        let in_data_bits =
+          Rtl.band d
+            (Rtl.le d (Rtl.lit d ~width:4 2) state)
+            (Rtl.le d state (Rtl.lit d ~width:4 9))
+        in
+        let shifted = Rtl.shift_right d shift 1 in
+        let do_shift = Rtl.band d tick in_data_bits in
+        let shift_moved = Rtl.mux2 d ~sel:do_shift shift shifted in
+        let shift_next = Rtl.mux2 d ~sel:accepting shift_moved data in
+        Rtl.concat [ baud_next; shift_next; state_next ])
+  in
+  let state = state_of regs and shift = shift_of regs in
+  let idle = Rtl.eq d state (Rtl.lit d ~width:4 0) in
+  let starting = Rtl.eq d state (Rtl.lit d ~width:4 1) in
+  let stopping = Rtl.eq d state (Rtl.lit d ~width:4 10) in
+  let line_high = Rtl.bor d idle stopping in
+  let data_bit = Rtl.bit shift 0 in
+  let tx =
+    Rtl.mux2 d ~sel:line_high
+      (Rtl.mux2 d ~sel:starting data_bit (Rtl.lit d ~width:1 0))
+      (Rtl.lit d ~width:1 1)
+  in
+  Rtl.output d "tx" tx;
+  Rtl.output d "busy" (Rtl.bnot d idle);
+  d
+
+type instruction =
+  | Nop
+  | Addi of int * int * int
+  | Add of int * int * int
+  | Sub of int * int * int
+  | And_ of int * int * int
+  | Or_ of int * int * int
+  | Xor_ of int * int * int
+  | Shl1 of int * int
+  | Shr1 of int * int
+  | Loadi of int * int
+  | Beqz of int * int
+  | Jmp of int
+  | Halt
+
+let check_reg r = if r < 0 || r > 7 then invalid_arg "Designs.encode: register out of 0..7"
+
+let check_imm i =
+  if i < 0 || i > 63 then invalid_arg "Designs.encode: immediate out of 0..63"
+
+let encode instr =
+  let word op rd rs imm =
+    check_reg rd;
+    check_reg rs;
+    check_imm imm;
+    (op lsl 12) lor (rd lsl 9) lor (rs lsl 6) lor imm
+  in
+  match instr with
+  | Nop -> word 0 0 0 0
+  | Addi (rd, rs, imm) -> word 1 rd rs imm
+  | Add (rd, rs, rt) -> word 2 rd rs rt
+  | Sub (rd, rs, rt) -> word 3 rd rs rt
+  | And_ (rd, rs, rt) -> word 4 rd rs rt
+  | Or_ (rd, rs, rt) -> word 5 rd rs rt
+  | Xor_ (rd, rs, rt) -> word 6 rd rs rt
+  | Shl1 (rd, rs) -> word 7 rd rs 0
+  | Shr1 (rd, rs) -> word 8 rd rs 0
+  | Loadi (rd, imm) -> word 9 rd 0 imm
+  | Beqz (rs, target) -> word 10 0 rs target
+  | Jmp target -> word 11 0 0 target
+  | Halt -> word 15 0 0 0
+
+(* Machine state in one register vector:
+   bits 0..127   register file (r0 at 0..15, …, r7 at 112..127)
+   bits 128..132 pc
+   bit  133      halted *)
+let risc16 ~program =
+  if List.length program > 32 then invalid_arg "Designs.risc16: program exceeds 32 words";
+  let words =
+    List.map encode program @ List.init (32 - List.length program) (fun _ -> encode Halt)
+  in
+  let d = Rtl.create ~name:"risc16" in
+  let reg_slice r i = Rtl.slice r ~hi:((i * 16) + 15) ~lo:(i * 16) in
+  let pc_of r = Rtl.slice r ~hi:132 ~lo:128 in
+  let halted_of r = Rtl.bit r 133 in
+  let state =
+    Rtl.reg_feedback d ~width:134 (fun st ->
+        let regs = List.init 8 (fun i -> reg_slice st i) in
+        let pc = pc_of st and halted = halted_of st in
+        (* fetch: the ROM is a 32-way literal mux *)
+        let instr = Rtl.mux d ~sel:pc (List.map (fun w -> Rtl.lit d ~width:16 w) words) in
+        let op = Rtl.slice instr ~hi:15 ~lo:12 in
+        let rd = Rtl.slice instr ~hi:11 ~lo:9 in
+        let rs = Rtl.slice instr ~hi:8 ~lo:6 in
+        let imm6 = Rtl.slice instr ~hi:5 ~lo:0 in
+        let rt = Rtl.slice instr ~hi:2 ~lo:0 in
+        let rs_val = Rtl.mux d ~sel:rs regs in
+        let rt_val = Rtl.mux d ~sel:rt regs in
+        let imm16 = Rtl.zero_extend d imm6 16 in
+        (* execute: one result per opcode, selected by op *)
+        let zero16 = Rtl.lit d ~width:16 0 in
+        let results =
+          [
+            zero16 (* 0 nop: write disabled *);
+            Rtl.add d rs_val imm16 (* 1 addi *);
+            Rtl.add d rs_val rt_val (* 2 add *);
+            Rtl.sub d rs_val rt_val (* 3 sub *);
+            Rtl.band d rs_val rt_val (* 4 and *);
+            Rtl.bor d rs_val rt_val (* 5 or *);
+            Rtl.bxor d rs_val rt_val (* 6 xor *);
+            Rtl.shift_left d rs_val 1 (* 7 shl1 *);
+            Rtl.shift_right d rs_val 1 (* 8 shr1 *);
+            imm16 (* 9 loadi *);
+            zero16 (* 10 beqz *);
+            zero16 (* 11 jmp *);
+            zero16;
+            zero16;
+            zero16;
+            zero16 (* 15 halt *);
+          ]
+        in
+        let result = Rtl.mux d ~sel:op results in
+        (* write enable: opcodes 1..9 *)
+        let op_ge_1 = Rtl.le d (Rtl.lit d ~width:4 1) op in
+        let op_le_9 = Rtl.le d op (Rtl.lit d ~width:4 9) in
+        let running = Rtl.bnot d halted in
+        let write_en = Rtl.band d running (Rtl.band d op_ge_1 op_le_9) in
+        (* next pc: absolute branch targets, sticky halt *)
+        let is_beqz = Rtl.eq d op (Rtl.lit d ~width:4 10) in
+        let is_jmp = Rtl.eq d op (Rtl.lit d ~width:4 11) in
+        let is_halt = Rtl.eq d op (Rtl.lit d ~width:4 15) in
+        let rs_zero = Rtl.bnot d (Rtl.or_reduce d rs_val) in
+        let take_branch =
+          Rtl.bor d (Rtl.band d is_beqz rs_zero) is_jmp
+        in
+        let target = Rtl.slice imm6 ~hi:4 ~lo:0 in
+        let pc_inc = Rtl.add d pc (Rtl.lit d ~width:5 1) in
+        let pc_run = Rtl.mux2 d ~sel:take_branch pc_inc target in
+        let pc_hold = Rtl.mux2 d ~sel:(Rtl.bor d halted is_halt) pc_run pc in
+        let halted_next = Rtl.bor d halted (Rtl.band d running is_halt) in
+        (* register file write *)
+        let regs_next =
+          List.mapi
+            (fun i q ->
+              let me = Rtl.eq d rd (Rtl.lit d ~width:3 i) in
+              let en = Rtl.band d write_en me in
+              Rtl.mux2 d ~sel:en q result)
+            regs
+        in
+        (* pack MSB-first: halted, pc, r7 .. r0 *)
+        Rtl.concat ((Rtl.bit halted_next 0 :: [ pc_hold ]) @ List.rev regs_next))
+  in
+  Rtl.output d "r7" (reg_slice state 7);
+  Rtl.output d "pc" (pc_of state);
+  Rtl.output d "halted" (halted_of state);
+  d
+
+let demo_program =
+  [
+    Loadi (1, 5) (* counter *);
+    Loadi (3, 1) (* constant one *);
+    Loadi (7, 0) (* sum *);
+    Beqz (1, 7) (* 3: loop head *);
+    Add (7, 7, 1);
+    Sub (1, 1, 3);
+    Jmp 3;
+    Halt (* 7 *);
+  ]
+
+type entry = {
+  name : string;
+  description : string;
+  category : string;
+  build : unit -> Rtl.design;
+}
+
+let all =
+  [
+    {
+      name = "adder8";
+      description = "8-bit ripple-carry adder with carry out";
+      category = "arithmetic";
+      build = (fun () -> ripple_adder ~width:8);
+    };
+    {
+      name = "adder16";
+      description = "16-bit ripple-carry adder with carry out";
+      category = "arithmetic";
+      build = (fun () -> ripple_adder ~width:16);
+    };
+    {
+      name = "mult4";
+      description = "4x4 array multiplier";
+      category = "arithmetic";
+      build = (fun () -> multiplier ~width:4);
+    };
+    {
+      name = "mult8";
+      description = "8x8 array multiplier";
+      category = "arithmetic";
+      build = (fun () -> multiplier ~width:8);
+    };
+    {
+      name = "alu8";
+      description = "8-bit 8-operation ALU with zero flag";
+      category = "arithmetic";
+      build = (fun () -> alu ~width:8);
+    };
+    {
+      name = "popcount16";
+      description = "16-bit population count";
+      category = "logic";
+      build = (fun () -> popcount ~width:16);
+    };
+    {
+      name = "cmp16";
+      description = "16-bit comparator (eq/lt/gt)";
+      category = "logic";
+      build = (fun () -> comparator ~width:16);
+    };
+    {
+      name = "prio16";
+      description = "16-bit priority encoder";
+      category = "logic";
+      build = (fun () -> priority_encoder ~width:16);
+    };
+    {
+      name = "xbar4x8";
+      description = "4-port 8-bit crossbar switch";
+      category = "logic";
+      build = (fun () -> crossbar ~ports:4 ~width:8);
+    };
+    {
+      name = "gray8";
+      description = "8-bit Gray-code counter";
+      category = "sequential";
+      build = (fun () -> gray_counter ~width:8);
+    };
+    {
+      name = "lfsr16";
+      description = "16-bit LFSR with lock-up escape";
+      category = "sequential";
+      build = (fun () -> lfsr ~width:16);
+    };
+    {
+      name = "pipe4x8";
+      description = "4-stage 8-bit pipeline register chain";
+      category = "sequential";
+      build = (fun () -> shift_register ~depth:4 ~width:8);
+    };
+    {
+      name = "fir4x8";
+      description = "4-tap 8-bit FIR filter, registered output";
+      category = "system";
+      build = (fun () -> fir_filter ~taps:4 ~width:8);
+    };
+    {
+      name = "acc_cpu8";
+      description = "8-bit accumulator machine (8 opcodes)";
+      category = "system";
+      build = (fun () -> accumulator_cpu ~width:8);
+    };
+    {
+      name = "chain64";
+      description = "naively-coded linear 64-bit OR reduction (A1 workload)";
+      category = "logic";
+      build = (fun () -> unbalanced_chain ~width:64);
+    };
+    {
+      name = "bshift16";
+      description = "16-bit logarithmic barrel rotator";
+      category = "logic";
+      build = (fun () -> barrel_shifter ~width:16);
+    };
+    {
+      name = "uart_tx";
+      description = "8N1 UART transmitter with divide-by-4 baud generator";
+      category = "system";
+      build = (fun () -> uart_tx ());
+    };
+    {
+      name = "cpu16";
+      description = "16-bit RISC processor (8 regs, 32-word ROM, demo program)";
+      category = "system";
+      build = (fun () -> risc16 ~program:demo_program);
+    };
+  ]
+
+let find name =
+  match List.find_opt (fun e -> e.name = name) all with
+  | Some e -> e
+  | None -> raise Not_found
+
+let netlist entry = Rtl.elaborate (entry.build ())

@@ -1,0 +1,117 @@
+(** Benchmark circuit generators.
+
+    The workload suite used by the examples, tests, and every experiment
+    bench: arithmetic blocks, control logic, and small sequential systems,
+    all built through the public {!Educhip_rtl.Rtl} combinators. Each entry
+    exposes its un-elaborated design so callers can measure frontend
+    statistics (statement counts for experiment E2) before elaboration. *)
+
+type entry = {
+  name : string;
+  description : string;
+  category : string;  (** "arithmetic" | "logic" | "sequential" | "system" *)
+  build : unit -> Educhip_rtl.Rtl.design;
+      (** constructs the design with outputs declared, ready to elaborate *)
+}
+
+val all : entry list
+(** The full suite, stable order. *)
+
+val find : string -> entry
+(** @raise Not_found for an unknown design name. *)
+
+val netlist : entry -> Educhip_netlist.Netlist.t
+(** Build and elaborate in one step. *)
+
+(** {1 Individual generators}
+
+    Exposed for direct use in examples; widths are parameters. *)
+
+val ripple_adder : width:int -> Educhip_rtl.Rtl.design
+(** [a + b] with carry out. *)
+
+val multiplier : width:int -> Educhip_rtl.Rtl.design
+(** [a * b], full product. *)
+
+val alu : width:int -> Educhip_rtl.Rtl.design
+(** 8-operation ALU: add, sub, and, or, xor, not-a, pass-b, a<b;
+    3-bit opcode, zero flag output. *)
+
+val comparator : width:int -> Educhip_rtl.Rtl.design
+(** eq / lt / gt outputs. *)
+
+val popcount : width:int -> Educhip_rtl.Rtl.design
+(** Ones count of the input. *)
+
+val priority_encoder : width:int -> Educhip_rtl.Rtl.design
+(** Index of the highest set bit plus a valid flag. *)
+
+val gray_counter : width:int -> Educhip_rtl.Rtl.design
+(** Free-running Gray-code counter. *)
+
+val lfsr : width:int -> Educhip_rtl.Rtl.design
+(** Fibonacci LFSR with a fixed primitive-ish tap set and lock-up escape. *)
+
+val shift_register : depth:int -> width:int -> Educhip_rtl.Rtl.design
+(** [depth]-stage pipeline of [width]-bit registers. *)
+
+val fir_filter : taps:int -> width:int -> Educhip_rtl.Rtl.design
+(** Direct-form FIR with small constant coefficients; the HLS example's
+    hand-written reference. *)
+
+val accumulator_cpu : width:int -> Educhip_rtl.Rtl.design
+(** A tiny accumulator machine: 3-bit opcode + immediate instruction input,
+    accumulator register, ALU, zero flag — the "mini CPU" workload. *)
+
+val crossbar : ports:int -> width:int -> Educhip_rtl.Rtl.design
+(** Fully-populated mux crossbar with per-output select inputs. *)
+
+val unbalanced_chain : width:int -> Educhip_rtl.Rtl.design
+(** A naively-coded linear OR-reduction: depth = width − 1 before
+    optimization. The workload for the synthesis ablation (A1) — the
+    balance pass turns it into a log-depth tree. *)
+
+val barrel_shifter : width:int -> Educhip_rtl.Rtl.design
+(** Logarithmic left-rotate: [y = rotl(a, sh)]. [width] must be a power
+    of two. *)
+
+val uart_tx : unit -> Educhip_rtl.Rtl.design
+(** 8N1 UART transmitter with a divide-by-4 baud generator: inputs
+    [start] and [data\[7:0\]], outputs [tx] and [busy]. The frame is
+    start bit (0), 8 data bits LSB-first, stop bit (1), each held for 4
+    clocks. *)
+
+(** {1 A 16-bit RISC processor}
+
+    The flagship "system" workload: eight 16-bit registers, a 32-entry
+    instruction ROM baked into logic, absolute branches, and a sticky
+    halt — a complete (if tiny) stored-program machine, in the spirit of
+    the open processor cores the paper's §II highlights. *)
+
+type instruction =
+  | Nop
+  | Addi of int * int * int  (** rd, rs, imm6: rd ← rs + imm *)
+  | Add of int * int * int  (** rd, rs, rt *)
+  | Sub of int * int * int
+  | And_ of int * int * int
+  | Or_ of int * int * int
+  | Xor_ of int * int * int
+  | Shl1 of int * int  (** rd, rs: rd ← rs << 1 *)
+  | Shr1 of int * int
+  | Loadi of int * int  (** rd, imm6 (zero-extended) *)
+  | Beqz of int * int  (** rs, target: absolute branch when rs = 0 *)
+  | Jmp of int  (** absolute target *)
+  | Halt
+
+val encode : instruction -> int
+(** 16-bit machine word: op(4) rd(3) rs(3) imm/rt(6, rt in the low 3). *)
+
+val risc16 : program:instruction list -> Educhip_rtl.Rtl.design
+(** Build the processor with the program in its ROM (max 32 instructions;
+    shorter programs are padded with {!Halt}). Outputs: [r7] (the
+    convention result register), [pc], [halted].
+    @raise Invalid_argument on programs over 32 instructions or register
+    indices outside 0..7. *)
+
+val demo_program : instruction list
+(** Sums 5+4+3+2+1 into r7 and halts — the ROM of the ["cpu16"] entry. *)

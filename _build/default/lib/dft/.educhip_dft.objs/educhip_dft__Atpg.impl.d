@@ -1,0 +1,1 @@
+lib/dft/atpg.ml: Array Educhip_netlist Educhip_sat Educhip_util Format Hashtbl Int64 List Seq

@@ -1,0 +1,1 @@
+lib/dft/atpg.mli: Educhip_netlist Format

@@ -1,0 +1,1 @@
+lib/dft/dft.ml: Array Educhip_netlist Educhip_sim Hashtbl List String

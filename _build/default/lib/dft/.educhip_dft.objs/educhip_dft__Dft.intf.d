@@ -1,0 +1,1 @@
+lib/dft/dft.mli: Educhip_netlist Educhip_sim

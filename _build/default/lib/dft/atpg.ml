@@ -1,0 +1,358 @@
+module Netlist = Educhip_netlist.Netlist
+module Sat = Educhip_sat.Sat
+module Rng = Educhip_util.Rng
+module Digraph = Educhip_util.Digraph
+
+type fault = { fault_net : Netlist.cell_id; stuck_at : bool }
+
+type pattern = {
+  assignment : (Netlist.cell_id * bool) list;
+  detects : fault list;
+}
+
+type report = {
+  total_faults : int;
+  detected_random : int;
+  detected_sat : int;
+  untestable : int;
+  aborted : int;
+  coverage : float;
+  patterns : pattern list;
+}
+
+(* Truth table of any combinational kind, in the (arity, table) form used
+   throughout — the single source for simulation and CNF alike. *)
+let table_of_kind = Netlist.kind_table
+
+(* pseudo-inputs: primary inputs then register Qs *)
+let pseudo_inputs netlist = Netlist.inputs netlist @ Netlist.dffs netlist
+
+(* observables: nets feeding output markers and register D pins *)
+let observables netlist =
+  let nets =
+    List.map (fun id -> (Netlist.fanins netlist id).(0)) (Netlist.outputs netlist)
+    @ List.map (fun id -> (Netlist.fanins netlist id).(0)) (Netlist.dffs netlist)
+  in
+  List.sort_uniq compare nets
+
+let enumerate_faults netlist =
+  let faults = ref [] in
+  Netlist.iter_cells netlist (fun id c ->
+      match c.Netlist.kind with
+      | Netlist.Output | Netlist.Const _ -> ()
+      | Netlist.Input | Netlist.Dff | Netlist.Buf | Netlist.Not | Netlist.And
+      | Netlist.Or | Netlist.Xor | Netlist.Nand | Netlist.Nor | Netlist.Xnor
+      | Netlist.Mux | Netlist.Mapped _ ->
+        faults := { fault_net = id; stuck_at = true } :: { fault_net = id; stuck_at = false }
+                  :: !faults);
+  List.rev !faults
+
+(* {1 Bit-parallel simulation}
+
+   One int word holds one pattern per bit (62 usable). Gates evaluate
+   wordwise; [Mapped] kinds expand their truth tables minterm by minterm. *)
+
+let word_bits = 62
+
+let eval_kind kind fanin_words =
+  match kind with
+  | Netlist.Buf -> fanin_words.(0)
+  | Netlist.Not -> lnot fanin_words.(0)
+  | Netlist.And -> fanin_words.(0) land fanin_words.(1)
+  | Netlist.Or -> fanin_words.(0) lor fanin_words.(1)
+  | Netlist.Xor -> fanin_words.(0) lxor fanin_words.(1)
+  | Netlist.Nand -> lnot (fanin_words.(0) land fanin_words.(1))
+  | Netlist.Nor -> lnot (fanin_words.(0) lor fanin_words.(1))
+  | Netlist.Xnor -> lnot (fanin_words.(0) lxor fanin_words.(1))
+  | Netlist.Mux ->
+    let s = fanin_words.(0) in
+    (s land fanin_words.(2)) lor (lnot s land fanin_words.(1))
+  | Netlist.Mapped m ->
+    let out = ref 0 in
+    for minterm = 0 to (1 lsl m.Netlist.arity) - 1 do
+      if (m.Netlist.table lsr minterm) land 1 = 1 then begin
+        let hit = ref (-1) (* all ones *) in
+        for j = 0 to m.Netlist.arity - 1 do
+          let w = fanin_words.(j) in
+          hit := !hit land (if (minterm lsr j) land 1 = 1 then w else lnot w)
+        done;
+        out := !out lor !hit
+      end
+    done;
+    !out
+  | Netlist.Input | Netlist.Output | Netlist.Const _ | Netlist.Dff -> 0
+
+(* evaluate the whole netlist for a batch; [input_words] is indexed like
+   [pseudo_inputs netlist] *)
+let simulate_batch netlist order input_words =
+  let n = Netlist.cell_count netlist in
+  let words = Array.make n 0 in
+  List.iteri (fun i id -> words.(id) <- input_words.(i)) (pseudo_inputs netlist);
+  Array.iter
+    (fun id ->
+      let c = Netlist.cell netlist id in
+      match c.Netlist.kind with
+      | Netlist.Input | Netlist.Dff -> ()
+      | Netlist.Const b -> words.(id) <- (if b then -1 else 0)
+      | Netlist.Output -> words.(id) <- words.(c.Netlist.fanins.(0))
+      | _ ->
+        words.(id) <- eval_kind c.Netlist.kind (Array.map (fun f -> words.(f)) c.Netlist.fanins))
+    order;
+  words
+
+(* {1 Fault simulation} *)
+
+(* fanout graph with register Q pins as cut points *)
+let fanout_graph netlist =
+  let n = Netlist.cell_count netlist in
+  let g = Digraph.create n in
+  Netlist.iter_cells netlist (fun id c ->
+      match c.Netlist.kind with
+      | Netlist.Dff -> () (* Q is a cut point *)
+      | _ -> Array.iter (fun f -> Digraph.add_edge g f id) c.Netlist.fanins);
+  g
+
+(* downstream cone of a net, in topological order *)
+let fanout_cone g order net =
+  let reachable = Digraph.reachable_from g [ net ] in
+  Array.to_list (Array.of_seq (Seq.filter (fun id -> reachable.(id)) (Array.to_seq order)))
+
+let run ?(random_patterns = 256) ?(seed = 1) ?(sat_conflict_limit = 20_000) netlist =
+  (match Netlist.validate netlist with
+  | [] -> ()
+  | _ -> invalid_arg "Atpg.run: invalid netlist");
+  let order = Netlist.combinational_topo_order netlist in
+  let inputs = pseudo_inputs netlist in
+  let n_inputs = List.length inputs in
+  let n = Netlist.cell_count netlist in
+  let obs = observables netlist in
+  let faults = enumerate_faults netlist in
+  let status = Hashtbl.create 256 (* fault -> `Random | `Sat | `Untestable *) in
+  let rng = Rng.create ~seed in
+  let graph = fanout_graph netlist in
+  (* each fault's cone computed once (shared by both polarities) *)
+  let cones = Hashtbl.create 64 in
+  let cone_of net =
+    match Hashtbl.find_opt cones net with
+    | Some c -> c
+    | None ->
+      let c = fanout_cone graph order net in
+      Hashtbl.replace cones net c;
+      c
+  in
+  (* random phase, in batches of [word_bits]; fault values live in a
+     generation-stamped scratch array so no per-fault allocation happens *)
+  let faulty_val = Array.make n 0 in
+  let stamp = Array.make n (-1) in
+  let generation = ref 0 in
+  let batches = (random_patterns + word_bits - 1) / word_bits in
+  for _ = 1 to batches do
+    let input_words =
+      Array.init n_inputs (fun _ ->
+          Int64.to_int (Int64.shift_right_logical (Rng.bits64 rng) 2))
+    in
+    let good = simulate_batch netlist order input_words in
+    let scratch = Array.make 6 0 in
+    List.iter
+      (fun fault ->
+        if not (Hashtbl.mem status fault) then begin
+          let net = fault.fault_net in
+          let forced = if fault.stuck_at then -1 else 0 in
+          incr generation;
+          let gen = !generation in
+          let value id = if stamp.(id) = gen then faulty_val.(id) else good.(id) in
+          stamp.(net) <- gen;
+          faulty_val.(net) <- forced;
+          List.iter
+            (fun id ->
+              if id <> net then begin
+                let c = Netlist.cell netlist id in
+                match c.Netlist.kind with
+                | Netlist.Input | Netlist.Dff | Netlist.Const _ -> ()
+                | Netlist.Output ->
+                  stamp.(id) <- gen;
+                  faulty_val.(id) <- value c.Netlist.fanins.(0)
+                | _ ->
+                  let fanins = c.Netlist.fanins in
+                  for j = 0 to Array.length fanins - 1 do
+                    scratch.(j) <- value fanins.(j)
+                  done;
+                  stamp.(id) <- gen;
+                  faulty_val.(id) <- eval_kind c.Netlist.kind scratch
+              end)
+            (cone_of net);
+          let mask = (1 lsl word_bits) - 1 in
+          let detected =
+            List.exists (fun o -> (value o lxor good.(o)) land mask <> 0) obs
+          in
+          if detected then Hashtbl.replace status fault `Random
+        end)
+      faults
+  done;
+  (* SAT phase: one fresh solver per fault, encoding only the logic that
+     matters — the transitive fanin support of the observables the fault
+     can reach, plus the faulty copy of the fault's cone. Local faults get
+     tiny CNFs; global ones (scan enables) pay full price but are rare. *)
+  let sat_patterns = ref [] in
+  let remaining = List.filter (fun f -> not (Hashtbl.mem status f)) faults in
+  List.iter
+    (fun fault ->
+      let net = fault.fault_net in
+      let cone = cone_of net in
+      let in_cone = Hashtbl.create 64 in
+      List.iter (fun id -> Hashtbl.replace in_cone id ()) cone;
+      let reached_obs = List.filter (Hashtbl.mem in_cone) obs in
+      if reached_obs = [] then Hashtbl.replace status fault `Untestable
+      else begin
+        (* backward support of the reached observables *)
+        let support = Hashtbl.create 256 in
+        let rec back id =
+          if not (Hashtbl.mem support id) then begin
+            Hashtbl.replace support id ();
+            let c = Netlist.cell netlist id in
+            match c.Netlist.kind with
+            | Netlist.Input | Netlist.Dff -> ()
+            | _ -> Array.iter back c.Netlist.fanins
+          end
+        in
+        List.iter back reached_obs;
+        let solver = Sat.create () in
+        let good_var = Hashtbl.create 256 in
+        let gvar id =
+          match Hashtbl.find_opt good_var id with
+          | Some v -> v
+          | None ->
+            let v = Sat.fresh_var solver in
+            Hashtbl.replace good_var id v;
+            v
+        in
+        let encode_cell var_of id (c : Netlist.cell) =
+          match c.Netlist.kind with
+          | Netlist.Input | Netlist.Dff -> ()
+          | Netlist.Const b ->
+            Sat.add_clause solver [ (if b then var_of id else -(var_of id)) ]
+          | Netlist.Output -> Sat.add_equiv solver (var_of id) (var_of c.Netlist.fanins.(0))
+          | k -> (
+            match table_of_kind k with
+            | None -> ()
+            | Some (arity, table) ->
+              let out = var_of id in
+              for minterm = 0 to (1 lsl arity) - 1 do
+                let out_lit = if (table lsr minterm) land 1 = 1 then out else -out in
+                let antecedents =
+                  List.init arity (fun j ->
+                      let v = var_of c.Netlist.fanins.(j) in
+                      if (minterm lsr j) land 1 = 1 then -v else v)
+                in
+                Sat.add_clause solver (out_lit :: antecedents)
+              done)
+        in
+        (* good circuit over the support, in topological order *)
+        Array.iter
+          (fun id ->
+            if Hashtbl.mem support id then
+              encode_cell gvar id (Netlist.cell netlist id))
+          order;
+        (* faulty copy over cone ∩ support; the fault net forced *)
+        let faulty_var = Hashtbl.create 64 in
+        let fvar id =
+          match Hashtbl.find_opt faulty_var id with Some v -> v | None -> gvar id
+        in
+        let fault_var = Sat.fresh_var solver in
+        Hashtbl.replace faulty_var net fault_var;
+        Sat.add_clause solver [ (if fault.stuck_at then fault_var else -fault_var) ];
+        List.iter
+          (fun id ->
+            if id <> net && Hashtbl.mem support id then begin
+              let c = Netlist.cell netlist id in
+              match c.Netlist.kind with
+              | Netlist.Input | Netlist.Dff | Netlist.Const _ -> ()
+              | _ ->
+                Hashtbl.replace faulty_var id (Sat.fresh_var solver);
+                encode_cell fvar id c
+            end)
+          cone;
+        let xors =
+          List.map
+            (fun o ->
+              let x = Sat.fresh_var solver in
+              Sat.add_xor solver x (gvar o) (fvar o);
+              x)
+            reached_obs
+        in
+        Sat.add_clause solver xors;
+        match Sat.solve ~conflict_limit:sat_conflict_limit solver with
+        | Sat.Unsat -> Hashtbl.replace status fault `Untestable
+        | Sat.Unknown -> Hashtbl.replace status fault `Aborted
+        | Sat.Sat model ->
+          Hashtbl.replace status fault `Sat;
+          let assignment =
+            List.map
+              (fun id ->
+                match Hashtbl.find_opt good_var id with
+                | Some v -> (id, model.(v))
+                | None -> (id, false) (* outside the support: don't care *))
+              inputs
+          in
+          sat_patterns := { assignment; detects = [ fault ] } :: !sat_patterns
+      end)
+    remaining;
+  let count tag =
+    Hashtbl.fold (fun _ t acc -> if t = tag then acc + 1 else acc) status 0
+  in
+  let total_faults = List.length faults in
+  let detected_random = count `Random in
+  let detected_sat = count `Sat in
+  let untestable = count `Untestable in
+  let aborted = count `Aborted in
+  let testable = total_faults - untestable in
+  {
+    total_faults;
+    detected_random;
+    detected_sat;
+    untestable;
+    aborted;
+    coverage =
+      (if testable = 0 then 1.0
+       else float_of_int (detected_random + detected_sat) /. float_of_int testable);
+    patterns = List.rev !sat_patterns;
+  }
+
+let detects netlist pat fault =
+  let order = Netlist.combinational_topo_order netlist in
+  let inputs = pseudo_inputs netlist in
+  let input_words =
+    Array.of_list
+      (List.map
+         (fun id ->
+           match List.assoc_opt id pat.assignment with
+           | Some true -> -1
+           | Some false | None -> 0)
+         inputs)
+  in
+  let good = simulate_batch netlist order input_words in
+  let net = fault.fault_net in
+  let forced = if fault.stuck_at then -1 else 0 in
+  let faulty = Hashtbl.create 32 in
+  Hashtbl.replace faulty net forced;
+  let value id = match Hashtbl.find_opt faulty id with Some w -> w | None -> good.(id) in
+  List.iter
+    (fun id ->
+      if id <> net then begin
+        let c = Netlist.cell netlist id in
+        match c.Netlist.kind with
+        | Netlist.Input | Netlist.Dff | Netlist.Const _ -> ()
+        | Netlist.Output -> Hashtbl.replace faulty id (value c.Netlist.fanins.(0))
+        | _ ->
+          Hashtbl.replace faulty id
+            (eval_kind c.Netlist.kind (Array.map value c.Netlist.fanins))
+      end)
+    (fanout_cone (fanout_graph netlist) order net);
+  List.exists (fun o -> value o land 1 <> good.(o) land 1) (observables netlist)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "ATPG: %d faults, %d detected by random patterns, %d by SAT, %d untestable, %d aborted -> %.1f%% coverage (%d directed patterns)"
+    r.total_faults r.detected_random r.detected_sat r.untestable r.aborted
+    (r.coverage *. 100.0)
+    (List.length r.patterns)

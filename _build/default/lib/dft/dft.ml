@@ -1,0 +1,94 @@
+module Netlist = Educhip_netlist.Netlist
+module Sim = Educhip_sim.Sim
+
+type report = {
+  chain_length : int;
+  muxes_added : int;
+  scan_in_label : string;
+  scan_en_label : string;
+  scan_out_label : string;
+}
+
+let scan_en_label = "scan_en"
+let scan_in_label = "scan_in"
+let scan_out_label = "scan_out"
+
+(* Copy the netlist cell-for-cell in id order (so ids are preserved),
+   leaving flip-flops floating; then build the chain muxes and connect. *)
+let insert_scan netlist =
+  let dffs = Netlist.dffs netlist in
+  if dffs = [] then invalid_arg "Dft.insert_scan: design has no flip-flops";
+  List.iter
+    (fun id ->
+      let label = Netlist.label netlist id in
+      let base =
+        match String.index_opt label '[' with
+        | Some i -> String.sub label 0 i
+        | None -> label
+      in
+      if base = scan_en_label || base = scan_in_label || base = scan_out_label then
+        invalid_arg "Dft.insert_scan: scan port name already in use")
+    (Netlist.inputs netlist @ Netlist.outputs netlist);
+  let scan = Netlist.create ~name:(Netlist.name netlist ^ "_scan") in
+  let d_pins = Hashtbl.create 16 in
+  Netlist.iter_cells netlist (fun id c ->
+      let copied =
+        match c.Netlist.kind with
+        | Netlist.Input -> Netlist.add_input scan ~label:c.Netlist.label
+        | Netlist.Const b -> Netlist.add_const scan b
+        | Netlist.Output ->
+          Netlist.add_output scan ~label:c.Netlist.label c.Netlist.fanins.(0)
+        | Netlist.Dff ->
+          Hashtbl.replace d_pins id c.Netlist.fanins.(0);
+          Netlist.add_dff_floating scan
+        | Netlist.Buf | Netlist.Not | Netlist.And | Netlist.Or | Netlist.Xor
+        | Netlist.Nand | Netlist.Nor | Netlist.Xnor | Netlist.Mux | Netlist.Mapped _ ->
+          Netlist.add_gate scan c.Netlist.kind c.Netlist.fanins
+      in
+      (* the copy must preserve ids: fanins then refer to the same cells *)
+      if copied <> id then invalid_arg "Dft.insert_scan: id preservation failed");
+  let scan_en = Netlist.add_input scan ~label:scan_en_label in
+  let scan_in = Netlist.add_input scan ~label:scan_in_label in
+  let muxes = ref 0 in
+  let last =
+    List.fold_left
+      (fun prev dff ->
+        let d_orig = Hashtbl.find d_pins dff in
+        let mux = Netlist.add_gate scan Netlist.Mux [| scan_en; d_orig; prev |] in
+        incr muxes;
+        Netlist.connect_dff scan dff ~d:mux;
+        dff)
+      scan_in dffs
+  in
+  ignore (Netlist.add_output scan ~label:scan_out_label last);
+  ( scan,
+    {
+      chain_length = List.length dffs;
+      muxes_added = !muxes;
+      scan_in_label;
+      scan_en_label;
+      scan_out_label;
+    } )
+
+let shift_in_pattern sim ~bits =
+  Sim.set_bus sim scan_en_label 1;
+  List.iter
+    (fun b ->
+      Sim.set_bus sim scan_in_label (if b then 1 else 0);
+      Sim.step sim)
+    bits;
+  Sim.set_bus sim scan_en_label 0;
+  Sim.eval sim
+
+let shift_out_state sim ~length =
+  Sim.set_bus sim scan_en_label 1;
+  Sim.set_bus sim scan_in_label 0;
+  let bits = ref [] in
+  for _ = 1 to length do
+    Sim.eval sim;
+    bits := (Sim.read_bus sim scan_out_label = 1) :: !bits;
+    Sim.step sim
+  done;
+  Sim.set_bus sim scan_en_label 0;
+  Sim.eval sim;
+  List.rev !bits

@@ -1,0 +1,37 @@
+(** Design-for-test: scan-chain insertion.
+
+    Converts every flip-flop into a scan flop by inserting a mux in front
+    of its D pin and threading all registers into a single shift chain:
+
+    - new primary inputs [scan_en] and [scan_in];
+    - new primary output [scan_out] (the last register's Q);
+    - with [scan_en]=0 the design is functionally unchanged;
+    - with [scan_en]=1 the registers form one shift register from
+      [scan_in] to [scan_out], giving full controllability and
+      observability of the state — the testability collateral a
+      manufacturing test (and a student lab) needs.
+
+    The chain order is register creation order. *)
+
+type report = {
+  chain_length : int;  (** flip-flops on the chain *)
+  muxes_added : int;
+  scan_in_label : string;
+  scan_en_label : string;
+  scan_out_label : string;
+}
+
+val insert_scan : Educhip_netlist.Netlist.t -> Educhip_netlist.Netlist.t * report
+(** Non-destructive: returns a scan-ready copy of the netlist.
+    @raise Invalid_argument if the design has no flip-flops or already
+    has a port named [scan_en], [scan_in], or [scan_out]. *)
+
+val shift_in_pattern :
+  Educhip_sim.Sim.t -> bits:bool list -> unit
+(** Test-mode helper: raise [scan_en], clock the pattern into the chain
+    (first list element ends up in the {e last} chain position), lower
+    [scan_en]. The simulator must run a scan-inserted netlist. *)
+
+val shift_out_state : Educhip_sim.Sim.t -> length:int -> bool list
+(** Capture the chain contents by shifting [length] bits out through
+    [scan_out] (destroys the state; returns last register first). *)

@@ -1,0 +1,1 @@
+lib/drc/drc.ml: Array Educhip_netlist Educhip_pdk Educhip_place Educhip_route Educhip_util Float Format List

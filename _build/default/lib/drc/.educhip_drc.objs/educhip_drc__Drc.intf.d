@@ -1,0 +1,1 @@
+lib/drc/drc.mli: Educhip_netlist Educhip_pdk Educhip_route Format

@@ -1,0 +1,31 @@
+(** Design-rule and connectivity checking on a placed-and-routed design.
+
+    Our routing fabric is gridded, so classical width/spacing rules reduce
+    to capacity discipline on the grid; the checker verifies that, plus the
+    physical and logical invariants a signoff run would:
+
+    - placement legality (cells on rows, inside the die, non-overlapping);
+    - congestion: no tile boundary above its track capacity;
+    - connectivity: every net's routed tiles connect all its pins;
+    - netlist soundness (re-validated) and no floating flip-flop inputs;
+    - maximum unbuffered net length (an antenna-rule stand-in). *)
+
+type violation =
+  | Placement_illegal of string
+  | Congestion_overflow of { tiles_over : int; worst_ratio : float }
+  | Net_disconnected of Educhip_netlist.Netlist.cell_id  (** driver id *)
+  | Netlist_unsound of string
+  | Net_too_long of { driver : Educhip_netlist.Netlist.cell_id; length_um : float; limit_um : float }
+
+type report = {
+  violations : violation list;
+  checks_run : int;
+  clean : bool;
+}
+
+val check : Educhip_route.Route.t -> report
+
+val max_net_length_um : Educhip_pdk.Pdk.node -> float
+(** The antenna-stand-in limit: nets longer than this need a buffer. *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,1 @@
+lib/flow/flow.ml: Educhip_cts Educhip_designs Educhip_drc Educhip_gds Educhip_netlist Educhip_pdk Educhip_place Educhip_power Educhip_route Educhip_synth Educhip_timing Float Format List Printf

@@ -1,0 +1,297 @@
+module Netlist = Educhip_netlist.Netlist
+module Pdk = Educhip_pdk.Pdk
+module Synth = Educhip_synth.Synth
+module Place = Educhip_place.Place
+module Route = Educhip_route.Route
+module Timing = Educhip_timing.Timing
+module Power = Educhip_power.Power
+module Drc = Educhip_drc.Drc
+module Gds = Educhip_gds.Gds
+module Designs = Educhip_designs.Designs
+module Cts = Educhip_cts.Cts
+
+type preset = Open_flow | Commercial_flow | Teaching_flow
+
+type config = {
+  node : Pdk.node;
+  synth_options : Synth.options;
+  place_effort : Place.effort;
+  route_effort : Route.effort;
+  clock_period_ps : float;
+  utilization : float;
+  power_cycles : int;
+  sizing_rounds : int;
+  max_fanout : int option;
+}
+
+let preset_name = function
+  | Open_flow -> "open"
+  | Commercial_flow -> "commercial"
+  | Teaching_flow -> "teaching"
+
+(* Default clock: ~35 NAND2 stages of the node's intrinsic delay — tight
+   enough to expose the preset gap, loose enough that designs close. *)
+let default_clock node =
+  let nand = Pdk.find_cell node "NAND2_X1" in
+  35.0 *. (nand.Pdk.intrinsic_ps +. (nand.Pdk.load_ps_per_ff *. 6.0))
+
+let config ~node ?clock_period_ps preset =
+  let clock_period_ps =
+    match clock_period_ps with
+    | Some c -> c
+    | None -> (
+      match preset with
+      | Teaching_flow -> 3.0 *. default_clock node
+      | Open_flow | Commercial_flow -> default_clock node)
+  in
+  match preset with
+  | Open_flow ->
+    {
+      node;
+      synth_options = Synth.default_options;
+      place_effort = Place.default_effort;
+      route_effort = Route.default_effort;
+      clock_period_ps;
+      utilization = 0.6;
+      power_cycles = 200;
+      sizing_rounds = 0;
+      max_fanout = Some 24;
+    }
+  | Commercial_flow ->
+    {
+      node;
+      synth_options = Synth.high_effort_options;
+      place_effort = Place.high_effort;
+      route_effort = Route.high_effort;
+      clock_period_ps;
+      utilization = 0.7;
+      power_cycles = 400;
+      sizing_rounds = 6;
+      max_fanout = Some 12;
+    }
+  | Teaching_flow ->
+    {
+      node;
+      synth_options = Synth.low_effort_options;
+      place_effort = Place.low_effort;
+      route_effort = Route.low_effort;
+      clock_period_ps;
+      utilization = 0.5;
+      power_cycles = 100;
+      sizing_rounds = 0;
+      max_fanout = None;
+    }
+
+type ppa = {
+  area_um2 : float;
+  cells : int;
+  fmax_mhz : float;
+  wns_ps : float;
+  total_power_uw : float;
+  wirelength_um : float;
+  drc_clean : bool;
+}
+
+type step_report = { step_name : string; detail : string }
+
+type result = {
+  cfg : config;
+  mapped : Netlist.t;
+  synth_report : Synth.report;
+  placement : Place.t;
+  routed : Route.t;
+  clock_tree : Cts.t;
+  timing : Timing.report;
+  power : Power.report;
+  drc : Drc.report;
+  layout : Gds.t;
+  ppa : ppa;
+  steps : step_report list;
+}
+
+let step_names =
+  [ "synthesis"; "sizing"; "buffering"; "placement"; "cts"; "routing"; "sta"; "power";
+    "drc"; "gds" ]
+
+(* Timing-driven gate sizing: upsize every mapped cell on the critical
+   path one drive notch per round, re-timing with ideal wires in between.
+   Stops early when an iteration stops helping. *)
+let size_gates mapped ~node ~rounds =
+  let rec go round upsized_total best_arrival =
+    if round = rounds then (upsized_total, best_arrival)
+    else begin
+      let report =
+        Timing.analyze mapped ~node ~clock_period_ps:1e9 ()
+      in
+      let arrival = report.Timing.critical_arrival_ps in
+      if arrival >= best_arrival && round > 0 then (upsized_total, best_arrival)
+      else begin
+        let upsized = Synth.upsize_cells mapped ~node report.Timing.critical_path in
+        if upsized = 0 then (upsized_total, Float.min arrival best_arrival)
+        else go (round + 1) (upsized_total + upsized) (Float.min arrival best_arrival)
+      end
+    end
+  in
+  go 0 0 infinity
+
+let run netlist cfg =
+  (* 1. synthesis *)
+  let mapped, synth_report = Synth.synthesize netlist ~node:cfg.node cfg.synth_options in
+  let synth_step =
+    {
+      step_name = "synthesis";
+      detail =
+        Printf.sprintf "%d AIG nodes -> %d, depth %d -> %d, %d cells, %.0f um2"
+          synth_report.Synth.aig_nodes_initial synth_report.Synth.aig_nodes_optimized
+          synth_report.Synth.aig_depth_initial synth_report.Synth.aig_depth_optimized
+          synth_report.Synth.mapped_cells synth_report.Synth.mapped_area_um2;
+    }
+  in
+  (* 1b. timing-driven gate sizing *)
+  let sizing_step =
+    if cfg.sizing_rounds = 0 then { step_name = "sizing"; detail = "disabled" }
+    else begin
+      let upsized, arrival = size_gates mapped ~node:cfg.node ~rounds:cfg.sizing_rounds in
+      {
+        step_name = "sizing";
+        detail =
+          Printf.sprintf "%d cells upsized over <=%d rounds, ideal-wire arrival %.0f ps"
+            upsized cfg.sizing_rounds arrival;
+      }
+    end
+  in
+  (* 1c. fanout buffering *)
+  let buffering_step =
+    match cfg.max_fanout with
+    | None -> { step_name = "buffering"; detail = "disabled" }
+    | Some max_fanout ->
+      let buffers = Synth.buffer_fanout mapped ~node:cfg.node ~max_fanout in
+      {
+        step_name = "buffering";
+        detail = Printf.sprintf "%d buffers inserted (max fanout %d)" buffers max_fanout;
+      }
+  in
+  (* sizing and buffering change the cell population: refresh the report *)
+  let synth_report =
+    { synth_report with
+      Synth.mapped_area_um2 = Synth.mapped_area_um2 mapped ~node:cfg.node;
+      Synth.mapped_cells =
+        List.fold_left (fun acc (_, n) -> acc + n) 0 (Synth.cell_usage mapped) }
+  in
+  (* 2. placement *)
+  let placement =
+    Place.place mapped ~node:cfg.node ~utilization:cfg.utilization cfg.place_effort
+  in
+  let die_w, die_h = Place.die_um placement in
+  let place_step =
+    {
+      step_name = "placement";
+      detail =
+        Printf.sprintf "die %.1f x %.1f um, %d rows, HPWL %.0f um, utilization %.0f%%" die_w
+          die_h (Place.row_count placement) (Place.hpwl_um placement)
+          (Place.utilization placement *. 100.0);
+    }
+  in
+  (* 3. clock-tree synthesis *)
+  let clock_tree = Cts.synthesize placement in
+  let cts_step =
+    {
+      step_name = "cts";
+      detail =
+        (if Cts.sink_count clock_tree = 0 then "no registers - skipped"
+         else Format.asprintf "%a" Cts.pp_summary clock_tree);
+    }
+  in
+  (* 4. routing *)
+  let routed = Route.route placement cfg.route_effort in
+  let nx, ny = Route.grid_size routed in
+  let route_step =
+    {
+      step_name = "routing";
+      detail =
+        Printf.sprintf "grid %dx%d, wirelength %.0f um, %d vias, overflow %d" nx ny
+          (Route.wirelength_um routed) (Route.via_count routed) (Route.overflow routed);
+    }
+  in
+  (* 4. timing with routed wire lengths *)
+  let wire_length_of_net id = Route.net_wirelength_um routed id in
+  let timing =
+    Timing.analyze mapped ~node:cfg.node ~wire_length_of_net
+      ~clock_skew_ps:(Cts.skew_ps clock_tree) ~clock_period_ps:cfg.clock_period_ps ()
+  in
+  let sta_step =
+    { step_name = "sta"; detail = Format.asprintf "%a" Timing.pp_report timing }
+  in
+  (* 5. power at the constrained clock *)
+  let clock_mhz = 1e6 /. cfg.clock_period_ps in
+  let power =
+    Power.estimate mapped ~node:cfg.node ~clock_mhz ~wire_length_of_net
+      ~cycles:cfg.power_cycles
+      ?clock_tree_cap_ff:
+        (if Cts.sink_count clock_tree = 0 then None
+         else Some (Cts.total_cap_ff clock_tree))
+      ()
+  in
+  let power_step =
+    { step_name = "power"; detail = Format.asprintf "%a" Power.pp_report power }
+  in
+  (* 6. signoff DRC *)
+  let drc = Drc.check routed in
+  let drc_step =
+    {
+      step_name = "drc";
+      detail =
+        (if drc.Drc.clean then Printf.sprintf "clean (%d checks)" drc.Drc.checks_run
+         else
+           Printf.sprintf "%d violations in %d checks"
+             (List.length drc.Drc.violations)
+             drc.Drc.checks_run);
+    }
+  in
+  (* 7. GDS export *)
+  let layout = Gds.build routed in
+  let gds_step =
+    {
+      step_name = "gds";
+      detail =
+        Printf.sprintf "%d rects, %.4f mm2" (Gds.rect_count layout) (Gds.area_mm2 layout);
+    }
+  in
+  let ppa =
+    {
+      area_um2 = synth_report.Synth.mapped_area_um2;
+      cells = synth_report.Synth.mapped_cells + synth_report.Synth.flip_flops;
+      fmax_mhz = timing.Timing.max_frequency_mhz;
+      wns_ps = timing.Timing.wns_ps;
+      total_power_uw = power.Power.total_uw;
+      wirelength_um = Route.wirelength_um routed;
+      drc_clean = drc.Drc.clean;
+    }
+  in
+  {
+    cfg;
+    mapped;
+    synth_report;
+    placement;
+    routed;
+    clock_tree;
+    timing;
+    power;
+    drc;
+    layout;
+    ppa;
+    steps =
+      [ synth_step; sizing_step; buffering_step; place_step; cts_step; route_step;
+        sta_step; power_step; drc_step; gds_step ];
+  }
+
+let run_design entry cfg = run (Designs.netlist entry) cfg
+
+let pp_summary ppf r =
+  Format.fprintf ppf "flow report: %s @ %s, clock %.0f ps@."
+    (Netlist.name r.mapped) r.cfg.node.Pdk.node_name r.cfg.clock_period_ps;
+  List.iter (fun s -> Format.fprintf ppf "  %-10s %s@." s.step_name s.detail) r.steps;
+  Format.fprintf ppf
+    "  PPA: %.0f um2, %d cells, fmax %.1f MHz, %.1f uW, wirelength %.0f um, DRC %s@."
+    r.ppa.area_um2 r.ppa.cells r.ppa.fmax_mhz r.ppa.total_power_uw r.ppa.wirelength_um
+    (if r.ppa.drc_clean then "clean" else "VIOLATIONS")

@@ -1,0 +1,82 @@
+(** RTL-to-GDSII flow orchestration.
+
+    This is the "vendor- and technology-independent template" of the
+    paper's Recommendation 4: the backend is a fixed sequence of abstract
+    steps — synthesis, placement, routing, timing signoff, DRC, GDS export
+    — each parameterized by the technology node and an effort preset. The
+    same template instantiated with different presets models the flows the
+    paper compares:
+
+    - {!Open_flow}: conservative effort, the open-source-tool operating
+      point (experiment E6's baseline);
+    - {!Commercial_flow}: high effort everywhere — more optimization
+      passes, delay-driven mapping, large annealing and rip-up budgets;
+    - {!Teaching_flow}: minimum effort and relaxed clocks, the
+      "beginner tier" of Recommendation 8. *)
+
+type preset = Open_flow | Commercial_flow | Teaching_flow
+
+type config = {
+  node : Educhip_pdk.Pdk.node;
+  synth_options : Educhip_synth.Synth.options;
+  place_effort : Educhip_place.Place.effort;
+  route_effort : Educhip_route.Route.effort;
+  clock_period_ps : float;
+  utilization : float;
+  power_cycles : int;
+  sizing_rounds : int;
+      (** timing-driven gate-sizing iterations after synthesis: each round
+          upsizes the critical path's cells one drive strength (0 = off —
+          open-source flows historically lack this step, §III-D) *)
+  max_fanout : int option;
+      (** fanout-buffering limit applied after synthesis ([None] = off);
+          high-fanout nets (scan enables, opcode decoders) get buffer
+          trees, which also keeps routed nets under the DRC length rule *)
+}
+
+val config :
+  node:Educhip_pdk.Pdk.node -> ?clock_period_ps:float -> preset -> config
+(** Instantiate the step template. The default clock constraint scales
+    with the node (tighter on smaller geometries). *)
+
+val preset_name : preset -> string
+
+type ppa = {
+  area_um2 : float;
+  cells : int;
+  fmax_mhz : float;
+  wns_ps : float;
+  total_power_uw : float;
+  wirelength_um : float;
+  drc_clean : bool;
+}
+
+type step_report = { step_name : string; detail : string }
+
+type result = {
+  cfg : config;
+  mapped : Educhip_netlist.Netlist.t;
+  synth_report : Educhip_synth.Synth.report;
+  placement : Educhip_place.Place.t;
+  routed : Educhip_route.Route.t;
+  clock_tree : Educhip_cts.Cts.t;
+  timing : Educhip_timing.Timing.report;
+  power : Educhip_power.Power.report;
+  drc : Educhip_drc.Drc.report;
+  layout : Educhip_gds.Gds.t;
+  ppa : ppa;
+  steps : step_report list;  (** one per template step, in order *)
+}
+
+val run : Educhip_netlist.Netlist.t -> config -> result
+(** Execute the whole template on an elaborated RTL netlist.
+    @raise Invalid_argument on an empty or already-mapped netlist. *)
+
+val run_design : Educhip_designs.Designs.entry -> config -> result
+(** Convenience: elaborate a benchmark entry and {!run} it. *)
+
+val pp_summary : Format.formatter -> result -> unit
+(** Multi-line human-readable flow report. *)
+
+val step_names : string list
+(** The template's step sequence (Recommendation 4's partitioning). *)

@@ -1,0 +1,1 @@
+lib/gds/gds.ml: Buffer Bytes Educhip_netlist Educhip_pdk Educhip_place Educhip_route Float Int32 List Printf String

@@ -1,0 +1,1 @@
+lib/gds/gds.mli: Educhip_route

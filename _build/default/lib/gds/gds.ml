@@ -1,0 +1,180 @@
+module Netlist = Educhip_netlist.Netlist
+module Pdk = Educhip_pdk.Pdk
+module Place = Educhip_place.Place
+module Route = Educhip_route.Route
+
+type layer = Outline | Row | Cell_body | Metal_h | Metal_v | Via
+
+type rect = { layer : layer; x0 : float; y0 : float; x1 : float; y1 : float }
+
+type t = { design_name : string; die_w : float; die_h : float; rects : rect list }
+
+let layer_number = function
+  | Outline -> 0
+  | Row -> 1
+  | Cell_body -> 2
+  | Metal_h -> 3
+  | Metal_v -> 4
+  | Via -> 5
+
+let build routed =
+  let placement = Route.placement routed in
+  let netlist = Place.netlist placement in
+  let node = Place.node placement in
+  let die_w, die_h = Place.die_um placement in
+  let h = node.Pdk.row_height_um in
+  let rects = ref [] in
+  let add layer x0 y0 x1 y1 =
+    rects := { layer; x0 = Float.min x0 x1; y0 = Float.min y0 y1;
+               x1 = Float.max x0 x1; y1 = Float.max y0 y1 }
+             :: !rects
+  in
+  add Outline 0.0 0.0 die_w die_h;
+  for r = 0 to Place.row_count placement - 1 do
+    add Row 0.0 (float_of_int r *. h) die_w (float_of_int (r + 1) *. h)
+  done;
+  Netlist.iter_cells netlist (fun id _ ->
+      let w = Place.cell_width_um placement id in
+      if w > 0.0 then begin
+        let x, y = Place.location placement id in
+        add Cell_body (x -. (w /. 2.0)) (y -. (h /. 2.0)) (x +. (w /. 2.0)) (y +. (h /. 2.0))
+      end);
+  let tile = Route.tile_um routed in
+  let half_wire = Float.max 0.05 (node.Pdk.track_pitch_um /. 2.0) in
+  let center (tx, ty) = ((float_of_int tx +. 0.5) *. tile, (float_of_int ty +. 0.5) *. tile) in
+  List.iter
+    (fun (driver, _) ->
+      List.iter
+        (fun seg ->
+          let x0, y0 = center seg.Route.from_xy in
+          let x1, y1 = center seg.Route.to_xy in
+          let horizontal = y0 = y1 in
+          let layer = if horizontal then Metal_h else Metal_v in
+          add layer (x0 -. half_wire) (y0 -. half_wire) (x1 +. half_wire) (y1 +. half_wire);
+          if seg.Route.layer_change then
+            add Via (x0 -. half_wire) (y0 -. half_wire) (x0 +. half_wire) (y0 +. half_wire))
+        (Route.net_segments routed driver))
+    (Place.nets placement);
+  { design_name = Netlist.name netlist; die_w; die_h; rects = List.rev !rects }
+
+let rect_count t = List.length t.rects
+
+let area_mm2 t = t.die_w *. t.die_h /. 1e6
+
+(* {1 GDSII stream encoding}
+
+   Records are [length:u16][type:u8][datatype:u8][payload]; all big-endian.
+   Coordinates are database units of 1 nm (µm × 1000) to keep precision. *)
+
+let record buffer record_type data_type payload =
+  let len = 4 + Bytes.length payload in
+  Buffer.add_uint8 buffer (len lsr 8);
+  Buffer.add_uint8 buffer (len land 0xff);
+  Buffer.add_uint8 buffer record_type;
+  Buffer.add_uint8 buffer data_type;
+  Buffer.add_bytes buffer payload
+
+let int16_payload values =
+  let b = Bytes.create (2 * List.length values) in
+  List.iteri
+    (fun i v ->
+      Bytes.set_uint8 b (2 * i) ((v lsr 8) land 0xff);
+      Bytes.set_uint8 b ((2 * i) + 1) (v land 0xff))
+    values;
+  b
+
+let int32_payload values =
+  let b = Bytes.create (4 * List.length values) in
+  List.iteri
+    (fun i v ->
+      Bytes.set_int32_be b (4 * i) (Int32.of_int v))
+    values;
+  b
+
+let string_payload s =
+  (* GDSII strings are padded to even length with a NUL *)
+  let s = if String.length s mod 2 = 1 then s ^ "\000" else s in
+  Bytes.of_string s
+
+(* GDSII 8-byte real: sign bit, 7-bit excess-64 hex exponent, 56-bit
+   mantissa with value = mantissa * 16^(exp-64). *)
+let real8_payload x =
+  let b = Bytes.make 8 '\000' in
+  if x <> 0.0 then begin
+    let sign = if x < 0.0 then 0x80 else 0 in
+    let x = Float.abs x in
+    let exponent = ref 64 in
+    let mantissa = ref x in
+    while !mantissa >= 1.0 do
+      mantissa := !mantissa /. 16.0;
+      incr exponent
+    done;
+    while !mantissa < 0.0625 do
+      mantissa := !mantissa *. 16.0;
+      decr exponent
+    done;
+    Bytes.set_uint8 b 0 (sign lor (!exponent land 0x7f));
+    let m = ref !mantissa in
+    for i = 1 to 7 do
+      m := !m *. 256.0;
+      let byte = int_of_float !m in
+      Bytes.set_uint8 b i (min 255 byte);
+      m := !m -. float_of_int byte
+    done
+  end;
+  b
+
+let timestamp = [ 2025; 1; 1; 0; 0; 0 ]
+
+let to_gds_bytes t =
+  let buffer = Buffer.create 4096 in
+  record buffer 0x00 0x02 (int16_payload [ 600 ]) (* HEADER: version 6 *);
+  record buffer 0x01 0x02 (int16_payload (timestamp @ timestamp)) (* BGNLIB *);
+  record buffer 0x02 0x06 (string_payload "EDUCHIP.DB") (* LIBNAME *);
+  (* UNITS: user unit = 1e-3 (um in mm), database unit = 1e-9 m (nm) *)
+  let units = Bytes.cat (real8_payload 1e-3) (real8_payload 1e-9) in
+  record buffer 0x03 0x05 units;
+  record buffer 0x05 0x02 (int16_payload (timestamp @ timestamp)) (* BGNSTR *);
+  record buffer 0x06 0x06 (string_payload (String.uppercase_ascii t.design_name)) (* STRNAME *);
+  let dbu x = int_of_float (Float.round (x *. 1000.0)) in
+  List.iter
+    (fun r ->
+      record buffer 0x08 0x00 Bytes.empty (* BOUNDARY *);
+      record buffer 0x0d 0x02 (int16_payload [ layer_number r.layer ]) (* LAYER *);
+      record buffer 0x0e 0x02 (int16_payload [ 0 ]) (* DATATYPE *);
+      let xy =
+        [
+          dbu r.x0; dbu r.y0;
+          dbu r.x1; dbu r.y0;
+          dbu r.x1; dbu r.y1;
+          dbu r.x0; dbu r.y1;
+          dbu r.x0; dbu r.y0;
+        ]
+      in
+      record buffer 0x10 0x03 (int32_payload xy) (* XY *);
+      record buffer 0x11 0x00 Bytes.empty (* ENDEL *))
+    t.rects;
+  record buffer 0x07 0x00 Bytes.empty (* ENDSTR *);
+  record buffer 0x04 0x00 Bytes.empty (* ENDLIB *);
+  Buffer.to_bytes buffer
+
+let to_text t =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer
+    (Printf.sprintf "design %s die %.2f x %.2f um, %d rects\n" t.design_name t.die_w t.die_h
+       (rect_count t));
+  List.iter
+    (fun r ->
+      Buffer.add_string buffer
+        (Printf.sprintf "L%d %.3f %.3f %.3f %.3f\n" (layer_number r.layer) r.x0 r.y0 r.x1
+           r.y1))
+    t.rects;
+  Buffer.contents buffer
+
+let write_gds t ~path =
+  let oc = open_out_bin path in
+  (try output_bytes oc (to_gds_bytes t)
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc

@@ -1,0 +1,50 @@
+(** Layout database and GDSII stream writer — the flow's final artifact.
+
+    {!build} converts a placed-and-routed design into rectangles on a small
+    layer stack (die outline, cell rows, cell bodies, alternating
+    horizontal/vertical routing metals, vias), and {!to_gds_bytes} encodes
+    it as a structurally valid GDSII stream file (HEADER/BGNLIB/UNITS/
+    BGNSTR/BOUNDARY…ENDLIB with big-endian records and 8-byte-real units),
+    readable by KLayout-class viewers. {!to_text} is the human-readable
+    dump used in reports and tests. *)
+
+type layer =
+  | Outline  (** die boundary, layer 0 *)
+  | Row  (** placement rows, layer 1 *)
+  | Cell_body  (** standard cells, layer 2 *)
+  | Metal_h  (** horizontal routing, layer 3 *)
+  | Metal_v  (** vertical routing, layer 4 *)
+  | Via  (** layer transitions, layer 5 *)
+
+type rect = {
+  layer : layer;
+  x0 : float;
+  y0 : float;
+  x1 : float;
+  y1 : float;  (** µm, x0 ≤ x1, y0 ≤ y1 *)
+}
+
+type t = {
+  design_name : string;
+  die_w : float;
+  die_h : float;
+  rects : rect list;
+}
+
+val layer_number : layer -> int
+
+val build : Educhip_route.Route.t -> t
+(** Generate the layout of a routed design. *)
+
+val rect_count : t -> int
+
+val area_mm2 : t -> float
+
+val to_gds_bytes : t -> bytes
+(** Binary GDSII stream (1 µm database unit, 1e-3 user unit). *)
+
+val to_text : t -> string
+(** One line per rectangle: [layer x0 y0 x1 y1]. *)
+
+val write_gds : t -> path:string -> unit
+(** [to_gds_bytes] to a file. *)

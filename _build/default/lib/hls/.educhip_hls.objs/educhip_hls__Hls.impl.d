@@ -1,0 +1,1 @@
+lib/hls/hls.ml: Array Educhip_rtl Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/hls/hls.mli: Educhip_rtl

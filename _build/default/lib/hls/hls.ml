@@ -1,0 +1,319 @@
+module Rtl = Educhip_rtl.Rtl
+
+type op_kind = Add | Sub | Mul | And_ | Or_ | Xor_ | Lt | Mux_
+
+type node =
+  | In of string
+  | Cst of int
+  | Op of op_kind * int * int
+  | Op3 of op_kind * int * int * int (* mux: cond, a, b *)
+
+type program = {
+  prog_name : string;
+  width : int;
+  mutable nodes : node array;
+  mutable size : int;
+  mutable inputs : (string * int) list; (* name, node id; reversed *)
+  mutable outputs : (string * int) list; (* reversed *)
+}
+
+type value = int
+
+let create ~name ~width =
+  if width < 1 || width > 30 then invalid_arg "Hls.create: width must be in 1..30";
+  { prog_name = name; width; nodes = [||]; size = 0; inputs = []; outputs = [] }
+
+let append p node =
+  if p.size = Array.length p.nodes then begin
+    let grown = Array.make (max 32 (2 * p.size)) (Cst 0) in
+    Array.blit p.nodes 0 grown 0 p.size;
+    p.nodes <- grown
+  end;
+  p.nodes.(p.size) <- node;
+  p.size <- p.size + 1;
+  p.size - 1
+
+let check p v name =
+  if v < 0 || v >= p.size then invalid_arg (Printf.sprintf "Hls.%s: bad value" name)
+
+let input p name =
+  let id = append p (In name) in
+  p.inputs <- (name, id) :: p.inputs;
+  id
+
+let const p v =
+  if v < 0 then invalid_arg "Hls.const: value must be non-negative";
+  append p (Cst (v land ((1 lsl p.width) - 1)))
+
+let binop p kind a b =
+  check p a "binop";
+  check p b "binop";
+  append p (Op (kind, a, b))
+
+let add p = binop p Add
+let sub p = binop p Sub
+let mul p = binop p Mul
+let band p = binop p And_
+let bor p = binop p Or_
+let bxor p = binop p Xor_
+let lt p = binop p Lt
+
+let mux p ~cond a b =
+  check p cond "mux";
+  check p a "mux";
+  check p b "mux";
+  append p (Op3 (Mux_, cond, a, b))
+
+let output p name v =
+  check p v "output";
+  p.outputs <- (name, v) :: p.outputs
+
+let operation_count p =
+  let n = ref 0 in
+  for i = 0 to p.size - 1 do
+    match p.nodes.(i) with
+    | Op _ | Op3 _ -> incr n
+    | In _ | Cst _ -> ()
+  done;
+  !n
+
+(* {1 Scheduling} *)
+
+type resources = { adders : int; multipliers : int; logic_units : int }
+
+let unconstrained = { adders = max_int / 2; multipliers = max_int / 2; logic_units = max_int / 2 }
+
+type unit_class = Adder | Multiplier | Logic
+
+let class_of_kind = function
+  | Add | Sub -> Adder
+  | Mul -> Multiplier
+  | And_ | Or_ | Xor_ | Lt | Mux_ -> Logic
+
+type schedule = {
+  cycle_of : int array; (* per node; -1 for inputs/consts *)
+  unit_of : string array; (* per node; "" for inputs/consts *)
+  total_cycles : int;
+}
+
+let operands p id =
+  match p.nodes.(id) with
+  | In _ | Cst _ -> []
+  | Op (_, a, b) -> [ a; b ]
+  | Op3 (_, c, a, b) -> [ c; a; b ]
+
+(* Critical-path priority: height of the node above the DAG's outputs. *)
+let heights p =
+  let height = Array.make p.size 0 in
+  (* consumers list *)
+  let consumers = Array.make p.size [] in
+  for id = 0 to p.size - 1 do
+    List.iter (fun o -> consumers.(o) <- id :: consumers.(o)) (operands p id)
+  done;
+  for id = p.size - 1 downto 0 do
+    let h =
+      List.fold_left (fun acc c -> max acc (height.(c) + 1)) 0 consumers.(id)
+    in
+    height.(id) <- h
+  done;
+  height
+
+let schedule p resources =
+  if resources.adders < 1 || resources.multipliers < 1 || resources.logic_units < 1 then
+    invalid_arg "Hls.schedule: resource bounds must be >= 1";
+  (match p.outputs with [] -> invalid_arg "Hls.schedule: program has no outputs" | _ -> ());
+  let cycle_of = Array.make p.size (-1) in
+  let unit_of = Array.make p.size "" in
+  let height = heights p in
+  let limit = function
+    | Adder -> resources.adders
+    | Multiplier -> resources.multipliers
+    | Logic -> resources.logic_units
+  in
+  let unit_prefix = function
+    | Add -> "add"
+    | Sub -> "sub"
+    | Mul -> "mul"
+    | And_ -> "and"
+    | Or_ -> "or"
+    | Xor_ -> "xor"
+    | Lt -> "lt"
+    | Mux_ -> "mux"
+  in
+  (* list scheduling: per cycle, start ready ops by descending height until
+     unit classes are exhausted *)
+  let ops =
+    let acc = ref [] in
+    for id = p.size - 1 downto 0 do
+      match p.nodes.(id) with
+      | Op _ | Op3 _ -> acc := id :: !acc
+      | In _ | Cst _ -> ()
+    done;
+    !acc
+  in
+  let unscheduled = ref (List.length ops) in
+  let max_cycles = (p.size * 4) + 8 in
+  let cycle = ref 0 in
+  while !unscheduled > 0 && !cycle < max_cycles do
+    let used = Hashtbl.create 4 in
+    let class_used c = try Hashtbl.find used c with Not_found -> 0 in
+    let ready id =
+      cycle_of.(id) = -1
+      && List.for_all
+           (fun o ->
+             match p.nodes.(o) with
+             | In _ | Cst _ -> true
+             | Op _ | Op3 _ -> cycle_of.(o) >= 0 && cycle_of.(o) < !cycle)
+           (operands p id)
+    in
+    let candidates =
+      List.filter ready ops
+      |> List.sort (fun a b -> compare (-height.(a), a) (-height.(b), b))
+    in
+    List.iter
+      (fun id ->
+        let kind =
+          match p.nodes.(id) with
+          | Op (k, _, _) | Op3 (k, _, _, _) -> k
+          | In _ | Cst _ -> assert false
+        in
+        let c = class_of_kind kind in
+        let n = class_used c in
+        if n < limit c then begin
+          Hashtbl.replace used c (n + 1);
+          cycle_of.(id) <- !cycle;
+          unit_of.(id) <- Printf.sprintf "%s%d" (unit_prefix kind) n;
+          decr unscheduled
+        end)
+      candidates;
+    incr cycle
+  done;
+  if !unscheduled > 0 then invalid_arg "Hls.schedule: scheduling did not converge";
+  let total_cycles =
+    Array.fold_left (fun acc c -> max acc (c + 1)) 0 cycle_of
+  in
+  (* a pure wire program (outputs directly from inputs) still takes 1 cycle
+     through the output register *)
+  { cycle_of; unit_of; total_cycles = max 1 total_cycles }
+
+let latency s = s.total_cycles
+
+let cycles_used s =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun c ->
+      if c >= 0 then Hashtbl.replace tbl c (1 + try Hashtbl.find tbl c with Not_found -> 0))
+    s.cycle_of;
+  Hashtbl.fold (fun c n acc -> (c, n) :: acc) tbl [] |> List.sort compare
+
+let bound_unit s v =
+  if v < 0 || v >= Array.length s.unit_of then invalid_arg "Hls.bound_unit: bad value";
+  if s.unit_of.(v) = "" then None else Some s.unit_of.(v)
+
+(* {1 RTL generation} *)
+
+let to_rtl p s =
+  let d = Rtl.create ~name:p.prog_name in
+  let w = p.width in
+  (* availability time of a node's value: inputs/consts at cycle 0,
+     operations one cycle after they start *)
+  let avail id =
+    match p.nodes.(id) with
+    | In _ | Cst _ -> 0
+    | Op _ | Op3 _ -> s.cycle_of.(id) + 1
+  in
+  (* base (unregistered) signal per node, built on demand in dependency
+     order; delayed versions cached per (node, cycle) *)
+  let base = Array.make p.size None in
+  let delayed : (int * int, Rtl.signal) Hashtbl.t = Hashtbl.create 64 in
+  let rec signal_of id =
+    match base.(id) with
+    | Some sg -> sg
+    | None ->
+      let sg =
+        match p.nodes.(id) with
+        | In name -> Rtl.input d name w
+        | Cst v -> Rtl.lit d ~width:w v
+        | Op (kind, a, b) ->
+          let start = s.cycle_of.(id) in
+          let sa = value_at a start and sb = value_at b start in
+          let combinational =
+            match kind with
+            | Add -> Rtl.add d sa sb
+            | Sub -> Rtl.sub d sa sb
+            | Mul ->
+              let product = Rtl.mul d sa sb in
+              Rtl.slice product ~hi:(w - 1) ~lo:0
+            | And_ -> Rtl.band d sa sb
+            | Or_ -> Rtl.bor d sa sb
+            | Xor_ -> Rtl.bxor d sa sb
+            | Lt -> Rtl.zero_extend d (Rtl.lt d sa sb) w
+            | Mux_ -> assert false
+          in
+          Rtl.reg d combinational
+        | Op3 (Mux_, c, t, e) ->
+          let start = s.cycle_of.(id) in
+          let sc = value_at c start and st = value_at t start and se = value_at e start in
+          (* Rtl.mux2 picks its second operand when sel is 1 *)
+          Rtl.reg d (Rtl.mux2 d ~sel:(Rtl.bit sc 0) se st)
+        | Op3 ((Add | Sub | Mul | And_ | Or_ | Xor_ | Lt), _, _, _) -> assert false
+      in
+      base.(id) <- Some sg;
+      sg
+  (* the node's value as seen by a stage computing at [cycle] *)
+  and value_at id cycle =
+    let a = avail id in
+    if cycle < a then invalid_arg "Hls.to_rtl: schedule violates a dependency";
+    let rec delay_to c =
+      if c = a then signal_of id
+      else
+        match Hashtbl.find_opt delayed (id, c) with
+        | Some sg -> sg
+        | None ->
+          let sg = Rtl.reg d (delay_to (c - 1)) in
+          Hashtbl.replace delayed (id, c) sg;
+          sg
+    in
+    delay_to cycle
+  in
+  (* materialize every declared input port, used or not, so the generated
+     module's interface matches the program's *)
+  List.iter (fun (_, id) -> ignore (signal_of id)) (List.rev p.inputs);
+  List.iter
+    (fun (name, id) ->
+      (* all outputs aligned to the pipeline latency *)
+      Rtl.output d name (value_at id s.total_cycles))
+    (List.rev p.outputs);
+  d
+
+(* {1 Reference semantics} *)
+
+let reference_eval p bindings =
+  let mask = (1 lsl p.width) - 1 in
+  let memo = Array.make p.size None in
+  let rec eval id =
+    match memo.(id) with
+    | Some v -> v
+    | None ->
+      let v =
+        match p.nodes.(id) with
+        | In name -> List.assoc name bindings land mask
+        | Cst v -> v
+        | Op (kind, a, b) -> (
+          let va = eval a and vb = eval b in
+          match kind with
+          | Add -> (va + vb) land mask
+          | Sub -> (va - vb) land mask
+          | Mul -> va * vb land mask
+          | And_ -> va land vb
+          | Or_ -> va lor vb
+          | Xor_ -> va lxor vb
+          | Lt -> if va < vb then 1 else 0
+          | Mux_ -> assert false)
+        | Op3 (Mux_, c, t, e) -> if eval c land 1 = 1 then eval t else eval e
+        | Op3 ((Add | Sub | Mul | And_ | Or_ | Xor_ | Lt), _, _, _) -> assert false
+      in
+      memo.(id) <- Some v;
+      v
+  in
+  List.map (fun (name, id) -> (name, eval id)) (List.rev p.outputs)

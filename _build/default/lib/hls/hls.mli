@@ -1,0 +1,83 @@
+(** High-level synthesis: dataflow programs to pipelined RTL.
+
+    The frontend-productivity remedy of §III-B and Recommendation 4: the
+    designer writes an untimed dataflow expression over a fixed datapath
+    width, and the tool performs
+
+    + {b scheduling} — resource-constrained list scheduling with
+      critical-path-height priority (which degenerates to ASAP when the
+      resource bounds are unconstrained);
+    + {b binding} — operations assigned to numbered functional units;
+    + {b RTL generation} — a fully pipelined datapath with one register
+      stage per schedule cycle, operands delayed through shift registers
+      to their consumers' stages.
+
+    The generated design initiates one input set per clock and produces
+    outputs after {!latency} cycles. {!reference_eval} is the untimed
+    semantics the pipeline must agree with. *)
+
+type program
+(** A dataflow program under construction (fixed width, named I/O). *)
+
+type value
+(** A node of the dataflow graph. *)
+
+val create : name:string -> width:int -> program
+(** @raise Invalid_argument if [width] is outside 1..30. *)
+
+val input : program -> string -> value
+val const : program -> int -> value
+
+val add : program -> value -> value -> value
+val sub : program -> value -> value -> value
+val mul : program -> value -> value -> value
+(** Product truncated to the program width. *)
+
+val band : program -> value -> value -> value
+val bor : program -> value -> value -> value
+val bxor : program -> value -> value -> value
+val lt : program -> value -> value -> value
+(** Unsigned compare; 0 or 1 in program width. *)
+
+val mux : program -> cond:value -> value -> value -> value
+(** C-style selection on [cond]'s LSB: [mux ~cond t e] is [t] when the
+    bit is 1 and [e] otherwise. *)
+
+val output : program -> string -> value -> unit
+
+val operation_count : program -> int
+
+(** {1 Scheduling} *)
+
+type resources = { adders : int; multipliers : int; logic_units : int }
+
+val unconstrained : resources
+(** Effectively unlimited units — yields the ASAP schedule. *)
+
+type schedule
+
+val schedule : program -> resources -> schedule
+(** Resource-constrained list scheduling (priority: critical-path depth).
+    @raise Invalid_argument if any resource bound is < 1 or the program
+    has no outputs. *)
+
+val latency : schedule -> int
+(** Pipeline depth in cycles from input to output. *)
+
+val cycles_used : schedule -> (int * int) list
+(** (cycle, operations started) histogram. *)
+
+val bound_unit : schedule -> value -> string option
+(** Functional unit assigned to an operation node, e.g. ["add0"];
+    [None] for inputs/constants. *)
+
+(** {1 Code generation and reference semantics} *)
+
+val to_rtl : program -> schedule -> Educhip_rtl.Rtl.design
+(** Pipelined datapath; input buses and output buses carry the program's
+    I/O names. Outputs are registered and valid {!latency} cycles after
+    their inputs enter. *)
+
+val reference_eval : program -> (string * int) list -> (string * int) list
+(** Untimed evaluation of the dataflow under an input binding.
+    @raise Not_found if an input name is missing from the binding. *)

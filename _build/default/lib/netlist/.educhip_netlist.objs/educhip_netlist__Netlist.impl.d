@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Array Educhip_util Format Hashtbl List Printf

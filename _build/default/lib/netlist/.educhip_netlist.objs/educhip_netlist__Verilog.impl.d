@@ -1,0 +1,1 @@
+lib/netlist/verilog.ml: Array Buffer Format Hashtbl List Netlist Printf Result String

@@ -1,0 +1,30 @@
+(** Structural Verilog interchange.
+
+    {!emit} renders a netlist — primitive or technology-mapped — as a
+    flat structural Verilog-2001 module: one wire per cell output,
+    primitive gates as built-in gate instantiations ([and], [or], …),
+    technology cells and flip-flops as named module instantiations with
+    positional connections, and [assign] statements for output ports and
+    constants. The result is accepted by standard Verilog front-ends and
+    by {!parse}.
+
+    {!parse} reads back the same structural subset, which makes
+    write→read→equivalence-check round trips possible (the test suite
+    closes the loop through {!Educhip_cec.Cec}). It is not a general
+    Verilog parser: behavioural constructs, expressions, and vectors
+    beyond the emitted form are rejected with a located error. *)
+
+val emit : Netlist.t -> string
+(** The module source text. Bus ports are emitted as Verilog vectors
+    ([input [7:0] a]); internal nets are scalar wires [n<id>]. *)
+
+val write_file : Netlist.t -> path:string -> unit
+
+type parse_error = { line : int; message : string }
+
+val parse : string -> (Netlist.t, parse_error) result
+(** Parse one structural module in the emitted dialect. *)
+
+val parse_file : path:string -> (Netlist.t, parse_error) result
+
+val pp_parse_error : Format.formatter -> parse_error -> unit

@@ -1,0 +1,1 @@
+lib/pdk/memgen.ml: Format Pdk

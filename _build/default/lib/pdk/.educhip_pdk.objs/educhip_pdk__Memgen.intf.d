@@ -1,0 +1,1 @@
+lib/pdk/memgen.mli: Format Pdk

@@ -1,0 +1,1 @@
+lib/pdk/pdk.ml: Array Format List Printf

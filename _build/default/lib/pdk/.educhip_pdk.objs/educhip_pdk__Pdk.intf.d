@@ -1,0 +1,1 @@
+lib/pdk/pdk.mli: Format

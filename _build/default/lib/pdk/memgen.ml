@@ -1,0 +1,67 @@
+type macro = {
+  words : int;
+  bits : int;
+  node : Pdk.node;
+  area_um2 : float;
+  access_ps : float;
+  cycle_ps : float;
+  leakage_uw : float;
+  read_energy_pj : float;
+  write_energy_pj : float;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let generate node ~words ~bits =
+  if (not (is_power_of_two words)) || words < 16 || words > 1 lsl 20 then
+    invalid_arg "Memgen.generate: words must be a power of two in 16..2^20";
+  if bits < 1 || bits > 256 then invalid_arg "Memgen.generate: bits must be in 1..256";
+  let f_um = node.Pdk.feature_nm /. 1000.0 in
+  let capacity = float_of_int (words * bits) in
+  (* 6T cell ≈ 140 F²; periphery (decoders, sense amps, drivers) adds a
+     fixed fraction plus a per-column and per-row term *)
+  let cell_area = 140.0 *. f_um *. f_um in
+  let array_area = capacity *. cell_area in
+  let rows = float_of_int words in
+  let cols = float_of_int bits in
+  let periphery = (array_area *. 0.25) +. (cell_area *. 40.0 *. (rows +. cols)) in
+  let area_um2 = array_area +. periphery in
+  (* delay: decoder ~ log2(words) gates + wordline/bitline RC growing with
+     the array's linear dimension *)
+  let s = Pdk.scale_from_180 node in
+  let gate_ps = 30.0 *. s in
+  let log2w = log (float_of_int words) /. log 2.0 in
+  let rc_ps = 12.0 *. s *. sqrt (capacity /. 1024.0) in
+  let sense_ps = 60.0 *. s in
+  let access_ps = (gate_ps *. log2w) +. rc_ps +. sense_ps in
+  let cycle_ps = access_ps *. 1.4 in
+  (* leakage per cell scaled like the standard cells; energy from charging
+     the bitlines of one row *)
+  let cell_leak_nw = 0.002 *. (180.0 /. node.Pdk.feature_nm) ** 1.4 in
+  let leakage_uw = capacity *. cell_leak_nw /. 1000.0 in
+  let v = node.Pdk.voltage in
+  let bitline_cap_ff = 0.15 *. rows *. s in
+  let read_energy_pj = cols *. bitline_cap_ff *. v *. v *. 0.5 /. 1000.0 in
+  {
+    words;
+    bits;
+    node;
+    area_um2;
+    access_ps;
+    cycle_ps;
+    leakage_uw;
+    read_energy_pj;
+    write_energy_pj = read_energy_pj *. 1.3;
+  }
+
+let kbytes m = float_of_int (m.words * m.bits) /. 8.0 /. 1024.0
+
+let bits_per_um2 m = float_of_int (m.words * m.bits) /. m.area_um2
+
+let max_frequency_mhz m = 1e6 /. m.cycle_ps
+
+let pp ppf m =
+  Format.fprintf ppf
+    "SRAM %dx%d @ %s: %.0f um2 (%.2f bits/um2), access %.0f ps (%.0f MHz), %.1f uW leak, %.2f pJ/read"
+    m.words m.bits m.node.Pdk.node_name m.area_um2 (bits_per_um2 m) m.access_ps
+    (max_frequency_mhz m) m.leakage_uw m.read_energy_pj

@@ -1,0 +1,39 @@
+(** SRAM macro generator model.
+
+    §III-D lists "management of technology-specific databases such as
+    PDKs, libraries, IP blocks, and generators (e.g., memory generators)"
+    among the enablement tasks. This module is that generator's model
+    side: given a word count and width it produces the macro datasheet a
+    floorplanner and power/cost budget needs — area, access/cycle time,
+    leakage, and energy per access — following first-order SRAM scaling
+    (6T bit cell ≈ 140 F², periphery amortized, wordline/bitline delay
+    growing with the square root of the capacity).
+
+    Generated macros are black boxes for planning (the flow's gate-level
+    netlists do not instantiate them); the SoC-planning example combines
+    them with synthesized logic into a die budget. *)
+
+type macro = {
+  words : int;
+  bits : int;
+  node : Pdk.node;
+  area_um2 : float;
+  access_ps : float;  (** address-to-data read latency *)
+  cycle_ps : float;  (** minimum clock period *)
+  leakage_uw : float;
+  read_energy_pj : float;  (** per read access *)
+  write_energy_pj : float;
+}
+
+val generate : Pdk.node -> words:int -> bits:int -> macro
+(** @raise Invalid_argument unless [words] is a power of two in 16..2²⁰
+    and [bits] is in 1..256. *)
+
+val kbytes : macro -> float
+
+val bits_per_um2 : macro -> float
+(** Storage density — rises steeply with scaling. *)
+
+val max_frequency_mhz : macro -> float
+
+val pp : Format.formatter -> macro -> unit

@@ -1,0 +1,1 @@
+lib/place/place.ml: Array Educhip_netlist Educhip_pdk Educhip_util Float Hashtbl List Printf

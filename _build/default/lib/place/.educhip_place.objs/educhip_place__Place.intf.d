@@ -1,0 +1,1 @@
+lib/place/place.mli: Educhip_netlist Educhip_pdk

@@ -1,0 +1,400 @@
+module Netlist = Educhip_netlist.Netlist
+module Pdk = Educhip_pdk.Pdk
+module Rng = Educhip_util.Rng
+
+type effort = { global_iterations : int; annealing_moves : int; seed : int }
+
+let default_effort = { global_iterations = 30; annealing_moves = 20_000; seed = 1 }
+let high_effort = { global_iterations = 60; annealing_moves = 120_000; seed = 1 }
+let low_effort = { global_iterations = 15; annealing_moves = 0; seed = 1 }
+
+type role =
+  | Movable of float (* cell width; lives in a row *)
+  | Pad_in of int (* ordinal among inputs *)
+  | Pad_out of int
+  | Ghost (* zero-footprint net driver: constants *)
+
+type t = {
+  netlist : Netlist.t;
+  node : Pdk.node;
+  die_w : float;
+  die_h : float;
+  rows : int;
+  roles : role array;
+  xs : float array;
+  ys : float array;
+  nets : (int * int list) array; (* driver, sinks; |pins| >= 2 *)
+  cell_area : float;
+}
+
+let netlist t = t.netlist
+let node t = t.node
+let die_um t = (t.die_w, t.die_h)
+let row_count t = t.rows
+let location t id = (t.xs.(id), t.ys.(id))
+
+let cell_width_um t id =
+  match t.roles.(id) with
+  | Movable w -> w
+  | Pad_in _ | Pad_out _ | Ghost -> 0.0
+
+let nets t = Array.to_list t.nets
+
+let cell_footprint node (c : Netlist.cell) =
+  let h = node.Pdk.row_height_um in
+  match c.kind with
+  | Netlist.Mapped m -> Some ((Pdk.find_cell node m.Netlist.cell_name).Pdk.area /. h)
+  | Netlist.Dff -> Some ((Pdk.dff_cell node).Pdk.area /. h)
+  | Netlist.Input | Netlist.Output | Netlist.Const _ -> None
+  | Netlist.Buf | Netlist.Not | Netlist.And | Netlist.Or | Netlist.Xor | Netlist.Nand
+  | Netlist.Nor | Netlist.Xnor | Netlist.Mux ->
+    (* unmapped primitive gates get a NAND2-equivalent footprint so the
+       placer also works on pre-mapping netlists *)
+    Some ((Pdk.find_cell node "NAND2_X1").Pdk.area /. h)
+
+let build_nets netlist =
+  let n = Netlist.cell_count netlist in
+  let sinks = Array.make n [] in
+  Netlist.iter_cells netlist (fun id c ->
+      Array.iter (fun f -> sinks.(f) <- id :: sinks.(f)) c.Netlist.fanins);
+  let nets = ref [] in
+  for id = 0 to n - 1 do
+    match sinks.(id) with
+    | [] -> ()
+    | pins -> nets := (id, List.rev pins) :: !nets
+  done;
+  Array.of_list (List.rev !nets)
+
+let place netlist ~node ?(utilization = 0.65) effort =
+  if utilization <= 0.0 || utilization > 0.95 then
+    invalid_arg "Place.place: utilization must be in (0, 0.95]";
+  let n = Netlist.cell_count netlist in
+  if n = 0 then invalid_arg "Place.place: empty netlist";
+  let rng = Rng.create ~seed:effort.seed in
+  (* {2 Roles and floorplan} *)
+  let roles = Array.make n Ghost in
+  let total_area = ref 0.0 in
+  let in_ordinal = ref 0 and out_ordinal = ref 0 in
+  Netlist.iter_cells netlist (fun id c ->
+      match c.Netlist.kind with
+      | Netlist.Input ->
+        roles.(id) <- Pad_in !in_ordinal;
+        incr in_ordinal
+      | Netlist.Output ->
+        roles.(id) <- Pad_out !out_ordinal;
+        incr out_ordinal
+      | Netlist.Const _ -> roles.(id) <- Ghost
+      | _ -> (
+        match cell_footprint node c with
+        | Some w ->
+          roles.(id) <- Movable (w :: [] |> List.hd);
+          total_area := !total_area +. (w *. node.Pdk.row_height_um)
+        | None -> roles.(id) <- Ghost));
+  let h = node.Pdk.row_height_um in
+  let core_area = Float.max (!total_area /. utilization) (h *. h *. 4.0) in
+  let die = sqrt core_area in
+  let rows = max 2 (int_of_float (die /. h)) in
+  let die_h = float_of_int rows *. h in
+  (* tiny designs can have a single cell wider than the square-root die:
+     the die width must fit the widest cell with some routing slack *)
+  let widest =
+    let w = ref 0.0 in
+    Netlist.iter_cells netlist (fun _ c ->
+        match cell_footprint node c with
+        | Some width -> if width > !w then w := width
+        | None -> ());
+    !w
+  in
+  let die_w = ref (Float.max (core_area /. die_h) (widest *. 1.1)) in
+  (* {2 Pad locations} *)
+  let xs = Array.make n 0.0 and ys = Array.make n 0.0 in
+  let n_in = max 1 !in_ordinal and n_out = max 1 !out_ordinal in
+  let position_pads () =
+    Array.iteri
+      (fun id role ->
+        match role with
+        | Pad_in k ->
+          xs.(id) <- 0.0;
+          ys.(id) <- die_h *. (float_of_int k +. 0.5) /. float_of_int n_in
+        | Pad_out k ->
+          xs.(id) <- !die_w;
+          ys.(id) <- die_h *. (float_of_int k +. 0.5) /. float_of_int n_out
+        | Movable _ | Ghost -> ())
+      roles
+  in
+  position_pads ();
+  Array.iteri
+    (fun id role ->
+      match role with
+      | Movable _ | Ghost ->
+        xs.(id) <- (!die_w /. 2.0) +. Rng.float rng (!die_w /. 10.0) -. (!die_w /. 20.0);
+        ys.(id) <- (die_h /. 2.0) +. Rng.float rng (die_h /. 10.0) -. (die_h /. 20.0)
+      | Pad_in _ | Pad_out _ -> ())
+    roles;
+  let nets = build_nets netlist in
+  (* adjacency for the force-directed pass *)
+  let neighbors = Array.make n [] in
+  Array.iter
+    (fun (driver, sinks) ->
+      List.iter
+        (fun s ->
+          neighbors.(driver) <- s :: neighbors.(driver);
+          neighbors.(s) <- driver :: neighbors.(s))
+        sinks)
+    nets;
+  (* {2 Global placement: barycentric relaxation} *)
+  for _ = 1 to effort.global_iterations do
+    for id = 0 to n - 1 do
+      match roles.(id) with
+      | Movable _ | Ghost -> (
+        match neighbors.(id) with
+        | [] -> ()
+        | ns ->
+          let sx = List.fold_left (fun acc j -> acc +. xs.(j)) 0.0 ns in
+          let sy = List.fold_left (fun acc j -> acc +. ys.(j)) 0.0 ns in
+          let k = float_of_int (List.length ns) in
+          (* damped move keeps the relaxation stable *)
+          xs.(id) <- (0.2 *. xs.(id)) +. (0.8 *. sx /. k);
+          ys.(id) <- (0.2 *. ys.(id)) +. (0.8 *. sy /. k))
+      | Pad_in _ | Pad_out _ -> ()
+    done
+  done;
+  (* {2 Legalization: capacity-aware row assignment + tetris packing}
+
+     Cells are taken nearest-row-first; a cell that does not fit its
+     preferred row walks outward to the closest row with room. Total cell
+     area is at most [utilization]·core, so a fitting row always exists. *)
+  let movable =
+    let ids = ref [] in
+    for id = n - 1 downto 0 do
+      match roles.(id) with Movable _ -> ids := id :: !ids | _ -> ()
+    done;
+    !ids
+  in
+  let row_of_y y = max 0 (min (rows - 1) (int_of_float (y /. h))) in
+  let width_of id = match roles.(id) with Movable w -> w | _ -> 0.0 in
+  let legalize () =
+    let clean = ref true in
+    let remaining = Array.make rows !die_w in
+    let members = Array.make rows [] in
+    (* first-fit-decreasing: wide cells claim their rows while everything
+       is still empty, so a cell spanning half the die always finds room *)
+    let ordered =
+      List.sort
+        (fun a b ->
+          compare (-.width_of a, ys.(a), xs.(a), a) (-.width_of b, ys.(b), xs.(b), b))
+        movable
+    in
+    List.iter
+      (fun id ->
+        let w = width_of id in
+        let preferred = row_of_y ys.(id) in
+        let rec pick offset =
+          let below = preferred - offset and above = preferred + offset in
+          if offset > rows then begin
+            (* nothing fits: take the emptiest row and flag the failure so
+               the caller can grow the die and retry *)
+            clean := false;
+            let best = ref 0 in
+            for r = 1 to rows - 1 do
+              if remaining.(r) > remaining.(!best) then best := r
+            done;
+            !best
+          end
+          else if below >= 0 && remaining.(below) >= w then below
+          else if above < rows && remaining.(above) >= w then above
+          else pick (offset + 1)
+        in
+        let r = pick 0 in
+        remaining.(r) <- remaining.(r) -. w;
+        members.(r) <- id :: members.(r))
+      ordered;
+    for r = 0 to rows - 1 do
+      let row = List.sort (fun a b -> compare (xs.(a), a) (xs.(b), b)) members.(r) in
+      let y = (float_of_int r +. 0.5) *. h in
+      let total = List.fold_left (fun acc id -> acc +. width_of id) 0.0 row in
+      let bary =
+        match row with
+        | [] -> 0.0
+        | _ ->
+          List.fold_left (fun acc id -> acc +. xs.(id)) 0.0 row
+          /. float_of_int (List.length row)
+      in
+      let cursor =
+        ref (Float.max 0.0 (Float.min (!die_w -. total) (bary -. (total /. 2.0))))
+      in
+      List.iter
+        (fun id ->
+          let w = width_of id in
+          xs.(id) <- !cursor +. (w /. 2.0);
+          ys.(id) <- y;
+          cursor := !cursor +. w)
+        row
+    done;
+    !clean
+  in
+  (* row quantization can defeat the area-based die width when cells span
+     a large fraction of a row: grow the die until packing succeeds *)
+  let rec legalize_fitting attempts =
+    if not (legalize ()) && attempts > 0 then begin
+      die_w := !die_w *. 1.3;
+      position_pads ();
+      ignore (legalize_fitting (attempts - 1))
+    end
+  in
+  legalize_fitting 8;
+  (* ghosts snap to nearest row center to keep geometry meaningful *)
+  Array.iteri
+    (fun id role ->
+      match role with
+      | Ghost ->
+        xs.(id) <- Float.max 0.0 (Float.min !die_w xs.(id));
+        ys.(id) <- (float_of_int (row_of_y ys.(id)) +. 0.5) *. h
+      | Movable _ | Pad_in _ | Pad_out _ -> ())
+    roles;
+  let t =
+    {
+      netlist;
+      node;
+      die_w = !die_w;
+      die_h;
+      rows;
+      roles;
+      xs;
+      ys;
+      nets;
+      cell_area = !total_area;
+    }
+  in
+  (* {2 Detailed placement: annealing over position swaps}
+
+     Swapping two cells of similar width (or adjacent cells in one row)
+     keeps the placement legal without re-packing; the cost delta is the
+     HPWL change over the nets touching the two cells. *)
+  if effort.annealing_moves > 0 then begin
+    let movable_arr = Array.of_list movable in
+    let m = Array.length movable_arr in
+    if m >= 2 then begin
+      (* nets touching each cell *)
+      let touching = Array.make n [] in
+      Array.iteri
+        (fun net_idx (driver, sinks) ->
+          touching.(driver) <- net_idx :: touching.(driver);
+          List.iter (fun s -> touching.(s) <- net_idx :: touching.(s)) sinks)
+        nets;
+      let net_cost idx =
+        let driver, sinks = nets.(idx) in
+        let min_x = ref xs.(driver) and max_x = ref xs.(driver) in
+        let min_y = ref ys.(driver) and max_y = ref ys.(driver) in
+        List.iter
+          (fun s ->
+            if xs.(s) < !min_x then min_x := xs.(s);
+            if xs.(s) > !max_x then max_x := xs.(s);
+            if ys.(s) < !min_y then min_y := ys.(s);
+            if ys.(s) > !max_y then max_y := ys.(s))
+          sinks;
+        !max_x -. !min_x +. (!max_y -. !min_y)
+      in
+      let local_cost a b =
+        let seen = Hashtbl.create 8 in
+        let sum = ref 0.0 in
+        List.iter
+          (fun idx ->
+            if not (Hashtbl.mem seen idx) then begin
+              Hashtbl.replace seen idx ();
+              sum := !sum +. net_cost idx
+            end)
+          (touching.(a) @ touching.(b));
+        !sum
+      in
+      let temperature = ref (!die_w /. 4.0) in
+      let cooling = 0.999 ** (20_000.0 /. float_of_int effort.annealing_moves) in
+      for _ = 1 to effort.annealing_moves do
+        let a = movable_arr.(Rng.int rng m) in
+        let b = movable_arr.(Rng.int rng m) in
+        if a <> b then begin
+          let before = local_cost a b in
+          let ax = xs.(a) and ay = ys.(a) and bx = xs.(b) and by = ys.(b) in
+          xs.(a) <- bx;
+          ys.(a) <- by;
+          xs.(b) <- ax;
+          ys.(b) <- ay;
+          let after = local_cost a b in
+          let delta = after -. before in
+          let accept =
+            delta <= 0.0
+            || Rng.float rng 1.0 < exp (-.delta /. Float.max 1e-6 !temperature)
+          in
+          if not accept then begin
+            xs.(a) <- ax;
+            ys.(a) <- ay;
+            xs.(b) <- bx;
+            ys.(b) <- by
+          end;
+          temperature := !temperature *. cooling
+        end
+      done;
+      (* swapped cells of different widths can overlap or overflow a row:
+         run the capacity-aware legalizer again (the die is already sized) *)
+      ignore (legalize ())
+    end
+  end;
+  t
+
+let net_hpwl_of t (driver, sinks) =
+  let min_x = ref t.xs.(driver) and max_x = ref t.xs.(driver) in
+  let min_y = ref t.ys.(driver) and max_y = ref t.ys.(driver) in
+  List.iter
+    (fun s ->
+      if t.xs.(s) < !min_x then min_x := t.xs.(s);
+      if t.xs.(s) > !max_x then max_x := t.xs.(s);
+      if t.ys.(s) < !min_y then min_y := t.ys.(s);
+      if t.ys.(s) > !max_y then max_y := t.ys.(s))
+    sinks;
+  !max_x -. !min_x +. (!max_y -. !min_y)
+
+let hpwl_um t = Array.fold_left (fun acc net -> acc +. net_hpwl_of t net) 0.0 t.nets
+
+let net_hpwl_um t driver =
+  let rec find i =
+    if i >= Array.length t.nets then 0.0
+    else
+      let d, sinks = t.nets.(i) in
+      if d = driver then net_hpwl_of t (d, sinks) else find (i + 1)
+  in
+  find 0
+
+let check_legal t =
+  let problems = ref [] in
+  let h = t.node.Pdk.row_height_um in
+  let by_row = Hashtbl.create 16 in
+  Array.iteri
+    (fun id role ->
+      match role with
+      | Movable w ->
+        let x = t.xs.(id) and y = t.ys.(id) in
+        if x -. (w /. 2.0) < -1e-6 || x +. (w /. 2.0) > t.die_w +. 1e-6 then
+          problems := Printf.sprintf "cell %d outside die in x" id :: !problems;
+        let r = int_of_float (y /. h) in
+        let center = (float_of_int r +. 0.5) *. h in
+        if Float.abs (y -. center) > 1e-6 then
+          problems := Printf.sprintf "cell %d not on a row center" id :: !problems;
+        let row = try Hashtbl.find by_row r with Not_found -> [] in
+        Hashtbl.replace by_row r ((id, x -. (w /. 2.0), x +. (w /. 2.0)) :: row)
+      | Pad_in _ | Pad_out _ | Ghost -> ())
+    t.roles;
+  Hashtbl.iter
+    (fun _ cells ->
+      let sorted = List.sort (fun (_, l1, _) (_, l2, _) -> compare l1 l2) cells in
+      let rec overlaps = function
+        | (a, _, r1) :: ((b, l2, _) :: _ as rest) ->
+          if r1 -. l2 > 1e-6 then
+            problems := Printf.sprintf "cells %d and %d overlap" a b :: !problems;
+          overlaps rest
+        | [ _ ] | [] -> ()
+      in
+      overlaps sorted)
+    by_row;
+  List.rev !problems
+
+let utilization t = t.cell_area /. (t.die_w *. t.die_h)

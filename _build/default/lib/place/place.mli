@@ -1,0 +1,70 @@
+(** Standard-cell placement.
+
+    Takes a technology-mapped netlist and produces legal row-based cell
+    locations on a generated floorplan:
+
+    + {b floorplan}: die sized from total cell area and a target
+      utilization, row grid from the node's row height;
+    + {b I/O}: primary inputs become pads on the left die edge, outputs on
+      the right, evenly spaced;
+    + {b global placement}: iterative force-directed relaxation toward the
+      barycenter of connected cells (pads act as anchors);
+    + {b legalization}: row assignment and tetris-style packing without
+      overlap;
+    + {b detailed placement}: simulated annealing over intra- and
+      inter-row swaps minimizing half-perimeter wirelength (HPWL).
+
+    Effort presets model the open/commercial gap of experiment E6: the
+    annealing budget is the knob. All distances are in µm. *)
+
+type effort = {
+  global_iterations : int;
+  annealing_moves : int;  (** 0 disables detailed placement *)
+  seed : int;
+}
+
+type t
+
+val default_effort : effort
+val high_effort : effort
+val low_effort : effort
+
+val place :
+  Educhip_netlist.Netlist.t ->
+  node:Educhip_pdk.Pdk.node ->
+  ?utilization:float ->
+  effort ->
+  t
+(** [place netlist ~node effort] places every cell of the netlist.
+    @raise Invalid_argument if [utilization] is outside (0, 0.95] or the
+    netlist has nothing to place. *)
+
+val netlist : t -> Educhip_netlist.Netlist.t
+val node : t -> Educhip_pdk.Pdk.node
+
+val die_um : t -> float * float
+(** (width, height). *)
+
+val row_count : t -> int
+
+val location : t -> Educhip_netlist.Netlist.cell_id -> float * float
+(** Center of the placed cell / pad. *)
+
+val cell_width_um : t -> Educhip_netlist.Netlist.cell_id -> float
+(** Footprint width (0 for pads). *)
+
+val hpwl_um : t -> float
+(** Total half-perimeter wirelength over all nets. *)
+
+val net_hpwl_um : t -> Educhip_netlist.Netlist.cell_id -> float
+(** HPWL of the net driven by the given cell (0 if it has no sinks). *)
+
+val nets : t -> (Educhip_netlist.Netlist.cell_id * Educhip_netlist.Netlist.cell_id list) list
+(** Every net as (driver, sinks); single-pin nets omitted. *)
+
+val check_legal : t -> string list
+(** Empty when placement is legal: all cells inside the die, on a row,
+    and non-overlapping within each row. *)
+
+val utilization : t -> float
+(** Achieved cell-area / core-area ratio. *)

@@ -1,0 +1,1 @@
+lib/power/power.ml: Array Educhip_netlist Educhip_pdk Educhip_sim Educhip_util Format List

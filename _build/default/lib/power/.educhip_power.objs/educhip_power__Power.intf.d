@@ -1,0 +1,1 @@
+lib/power/power.mli: Educhip_netlist Educhip_pdk Format

@@ -1,0 +1,66 @@
+(** Power estimation.
+
+    Dynamic power comes from simulation-based switching activity: the
+    netlist is run for a number of cycles under seeded random stimuli, the
+    per-net toggle rates are recorded, and
+
+      P_dyn = Σ_nets ½ · α · C_net · V² · f
+
+    with C_net the sink pin caps plus wire capacitance. Leakage sums the
+    per-cell library values; clock-tree power toggles every flip-flop clock
+    pin (plus an estimated distribution wire) at 2f. Results in µW. *)
+
+type report = {
+  dynamic_uw : float;
+  leakage_uw : float;
+  clock_uw : float;
+  total_uw : float;
+  mean_activity : float;  (** average toggles per net per cycle *)
+  cycles_simulated : int;
+}
+
+val estimate :
+  Educhip_netlist.Netlist.t ->
+  node:Educhip_pdk.Pdk.node ->
+  clock_mhz:float ->
+  ?wire_length_of_net:(Educhip_netlist.Netlist.cell_id -> float) ->
+  ?cycles:int ->
+  ?seed:int ->
+  ?clock_tree_cap_ff:float ->
+  unit ->
+  report
+(** Defaults: 200 cycles, seed 1, zero wire lengths. When
+    [clock_tree_cap_ff] is given (from {!Educhip_cts.Cts.total_cap_ff}) it
+    replaces the built-in per-flip-flop clock-network estimate.
+    @raise Invalid_argument if [clock_mhz <= 0] or [cycles <= 0]. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+(** {1 Clock-gating analysis}
+
+    Registers built with an enable ([q' = en ? d : q]) burn clock power on
+    every cycle even while holding. Replacing the recirculating mux with a
+    gated clock removes both the mux and the idle clock toggles — the
+    classic first power optimization. This analysis finds the candidates
+    and quantifies the opportunity; it does not transform the netlist
+    (educhip's single implicit clock has no net to gate). *)
+
+type gating_report = {
+  total_flops : int;
+  gateable_flops : int;  (** D pin driven by a recirculating mux *)
+  mux_cells_removable : int;
+  clock_power_saving_uw : float;
+      (** idle-cycle clock power recoverable at the given activity *)
+}
+
+val clock_gating :
+  Educhip_netlist.Netlist.t ->
+  node:Educhip_pdk.Pdk.node ->
+  clock_mhz:float ->
+  ?enable_duty:float ->
+  unit ->
+  gating_report
+(** [enable_duty] (default 0.25) is the fraction of cycles the enables are
+    active; savings scale with (1 − duty).
+    @raise Invalid_argument if [clock_mhz <= 0] or [enable_duty] outside
+    [0,1]. *)

@@ -1,0 +1,1 @@
+lib/route/route.ml: Array Educhip_netlist Educhip_pdk Educhip_place Educhip_util Float Hashtbl List

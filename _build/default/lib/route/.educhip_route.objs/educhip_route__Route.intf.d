@@ -1,0 +1,1 @@
+lib/route/route.mli: Educhip_netlist Educhip_place

@@ -1,0 +1,64 @@
+(** Global routing on a capacitated grid.
+
+    The die is discretized into routing tiles at the node's track pitch
+    (coarsened to keep tile counts manageable); each tile boundary has a
+    capacity derived from the metal-layer count. Every placed net is
+    decomposed into driver→sink two-pin connections, each routed with A*
+    over the congestion-aware grid; negotiated rip-up-and-reroute passes
+    (history cost, as in PathFinder) resolve overflows. Effort presets
+    control the number of negotiation rounds — the E6/A3 knob.
+
+    Results expose per-net routed wirelength (feeding STA wire delays),
+    via counts, the congestion map, and remaining overflow (fed to DRC). *)
+
+type effort = {
+  rrr_rounds : int;  (** rip-up-and-reroute negotiation rounds (≥ 0) *)
+  seed : int;
+}
+
+type t
+
+val default_effort : effort
+val high_effort : effort
+val low_effort : effort
+
+type segment = {
+  from_xy : int * int;  (** tile coordinates *)
+  to_xy : int * int;
+  layer_change : bool;  (** a via: direction change or pin hop *)
+}
+
+val route : Educhip_place.Place.t -> effort -> t
+(** Route all nets of a placement. Never fails: unresolved congestion is
+    reported as overflow rather than an error. *)
+
+val placement : t -> Educhip_place.Place.t
+
+val grid_size : t -> int * int
+(** Tiles in x and y. *)
+
+val tile_um : t -> float
+(** Edge length of one routing tile. *)
+
+val wirelength_um : t -> float
+(** Total routed wirelength. *)
+
+val net_wirelength_um : t -> Educhip_netlist.Netlist.cell_id -> float
+(** Routed length of the net driven by the cell (0 when unrouted/absent). *)
+
+val via_count : t -> int
+
+val overflow : t -> int
+(** Tile-boundary crossings above capacity summed over the grid; 0 means
+    congestion-clean routing. *)
+
+val congestion : t -> float array array
+(** Per-tile usage / capacity (max over the four boundaries); for reports
+    and the congestion-map example. *)
+
+val net_segments : t -> Educhip_netlist.Netlist.cell_id -> segment list
+(** Routed segments of a net (empty when absent). *)
+
+val fully_connected : t -> bool
+(** Every net's pins are connected through its routed tiles — checked with
+    a union-find over tile adjacency; the invariant DRC re-verifies. *)

@@ -1,0 +1,1 @@
+lib/rtl/rtl.ml: Array Educhip_netlist Format List Printf

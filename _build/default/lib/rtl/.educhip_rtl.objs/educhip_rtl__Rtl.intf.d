@@ -1,0 +1,1 @@
+lib/rtl/rtl.mli: Educhip_netlist

@@ -1,0 +1,341 @@
+module Netlist = Educhip_netlist.Netlist
+
+type design = {
+  id : int;
+  netlist : Netlist.t;
+  mutable statements : int;
+  mutable finished : bool;
+  mutable output_count : int;
+}
+
+(* Signals carry the id of their owning design so that accidentally mixing
+   two designs fails fast instead of producing a corrupt netlist. *)
+type signal = { owner : int; bits : int array (* LSB first *) }
+
+let next_design_id = ref 0
+
+let create ~name =
+  incr next_design_id;
+  {
+    id = !next_design_id;
+    netlist = Netlist.create ~name;
+    statements = 0;
+    finished = false;
+    output_count = 0;
+  }
+
+let statement_count d = d.statements
+
+let stmt d =
+  if d.finished then invalid_arg "Rtl: design already elaborated";
+  d.statements <- d.statements + 1
+
+let check_owner d s =
+  if s.owner <> d.id then invalid_arg "Rtl: signal belongs to a different design"
+
+let check_same_width a b =
+  if Array.length a.bits <> Array.length b.bits then
+    invalid_arg
+      (Printf.sprintf "Rtl: width mismatch (%d vs %d)" (Array.length a.bits)
+         (Array.length b.bits))
+
+let width s = Array.length s.bits
+
+let mk d bits = { owner = d.id; bits }
+
+(* {1 Ports and literals} *)
+
+let input d name w =
+  if w <= 0 then invalid_arg "Rtl.input: width must be positive";
+  stmt d;
+  let bits =
+    Array.init w (fun i ->
+        let label = if w = 1 then name else Printf.sprintf "%s[%d]" name i in
+        Netlist.add_input d.netlist ~label)
+  in
+  mk d bits
+
+let output d name s =
+  check_owner d s;
+  stmt d;
+  d.output_count <- d.output_count + 1;
+  Array.iteri
+    (fun i b ->
+      let label = if width s = 1 then name else Printf.sprintf "%s[%d]" name i in
+      ignore (Netlist.add_output d.netlist ~label b))
+    s.bits
+
+let lit d ~width:w value =
+  if w <= 0 then invalid_arg "Rtl.lit: width must be positive";
+  if value < 0 then invalid_arg "Rtl.lit: value must be non-negative";
+  stmt d;
+  let bits = Array.init w (fun i -> Netlist.add_const d.netlist ((value lsr i) land 1 = 1)) in
+  mk d bits
+
+(* {1 Structure} *)
+
+let bit s i =
+  if i < 0 || i >= width s then invalid_arg "Rtl.bit: index out of range";
+  { s with bits = [| s.bits.(i) |] }
+
+let slice s ~hi ~lo =
+  if lo < 0 || hi >= width s || hi < lo then invalid_arg "Rtl.slice: bad range";
+  { s with bits = Array.sub s.bits lo (hi - lo + 1) }
+
+let concat = function
+  | [] -> invalid_arg "Rtl.concat: empty list"
+  | first :: _ as parts ->
+    List.iter
+      (fun s -> if s.owner <> first.owner then invalid_arg "Rtl.concat: mixed designs")
+      parts;
+    (* MSB-first argument order, LSB-first storage: reverse then append *)
+    let bits = List.rev parts |> List.map (fun s -> s.bits) |> Array.concat in
+    { owner = first.owner; bits }
+
+let repeat s n =
+  if n <= 0 then invalid_arg "Rtl.repeat: count must be positive";
+  concat (List.init n (fun _ -> s))
+
+(* {1 Bitwise logic} *)
+
+let unary_gate d kind s =
+  check_owner d s;
+  stmt d;
+  { s with bits = Array.map (fun b -> Netlist.add_gate d.netlist kind [| b |]) s.bits }
+
+let binary_gate d kind a b =
+  check_owner d a;
+  check_owner d b;
+  check_same_width a b;
+  stmt d;
+  mk d (Array.init (width a) (fun i -> Netlist.add_gate d.netlist kind [| a.bits.(i); b.bits.(i) |]))
+
+let bnot d s = unary_gate d Netlist.Not s
+let band d a b = binary_gate d Netlist.And a b
+let bor d a b = binary_gate d Netlist.Or a b
+let bxor d a b = binary_gate d Netlist.Xor a b
+
+let reduce d kind s =
+  check_owner d s;
+  stmt d;
+  (* balanced reduction tree keeps depth logarithmic *)
+  let rec tree = function
+    | [] -> invalid_arg "Rtl.reduce: empty signal"
+    | [ b ] -> b
+    | bits ->
+      let rec pair acc = function
+        | [] -> List.rev acc
+        | [ x ] -> List.rev (x :: acc)
+        | x :: y :: rest -> pair (Netlist.add_gate d.netlist kind [| x; y |] :: acc) rest
+      in
+      tree (pair [] bits)
+  in
+  mk d [| tree (Array.to_list s.bits) |]
+
+let and_reduce d s = reduce d Netlist.And s
+let or_reduce d s = reduce d Netlist.Or s
+let xor_reduce d s = reduce d Netlist.Xor s
+
+(* {1 Selection} *)
+
+let mux2 d ~sel a b =
+  check_owner d sel;
+  check_owner d a;
+  check_owner d b;
+  if width sel <> 1 then invalid_arg "Rtl.mux2: selector must be one bit";
+  check_same_width a b;
+  stmt d;
+  let s = sel.bits.(0) in
+  mk d
+    (Array.init (width a) (fun i ->
+         Netlist.add_gate d.netlist Netlist.Mux [| s; a.bits.(i); b.bits.(i) |]))
+
+let mux d ~sel cases =
+  check_owner d sel;
+  (match cases with [] -> invalid_arg "Rtl.mux: empty case list" | _ -> ());
+  List.iter (check_owner d) cases;
+  let n = List.length cases in
+  let needed_bits =
+    let rec bits_for k acc = if k <= 1 then acc else bits_for ((k + 1) / 2) (acc + 1) in
+    bits_for n 0
+  in
+  if width sel < needed_bits then invalid_arg "Rtl.mux: selector too narrow";
+  stmt d;
+  (* pad to a power of two by replicating the last case, then fold a
+     balanced select tree from the selector LSB upward *)
+  let last = List.nth cases (n - 1) in
+  let rec level sel_idx items =
+    match items with
+    | [ single ] -> single
+    | _ ->
+      let sel_bit = bit sel sel_idx in
+      let rec pair acc = function
+        | [] -> List.rev acc
+        | [ x ] -> List.rev (mux2 d ~sel:sel_bit x last :: acc)
+        | x :: y :: rest -> pair (mux2 d ~sel:sel_bit x y :: acc) rest
+      in
+      level (sel_idx + 1) (pair [] items)
+  in
+  level 0 cases
+
+(* {1 Arithmetic} *)
+
+let full_adder d a b cin =
+  let n = d.netlist in
+  let axb = Netlist.add_gate n Netlist.Xor [| a; b |] in
+  let sum = Netlist.add_gate n Netlist.Xor [| axb; cin |] in
+  let ab = Netlist.add_gate n Netlist.And [| a; b |] in
+  let cx = Netlist.add_gate n Netlist.And [| axb; cin |] in
+  let cout = Netlist.add_gate n Netlist.Or [| ab; cx |] in
+  (sum, cout)
+
+let ripple d a b ~carry_in ~keep_carry =
+  check_owner d a;
+  check_owner d b;
+  check_same_width a b;
+  stmt d;
+  let n = d.netlist in
+  let w = width a in
+  let carry = ref (Netlist.add_const n carry_in) in
+  let sums = Array.make w 0 in
+  for i = 0 to w - 1 do
+    let s, c = full_adder d a.bits.(i) b.bits.(i) !carry in
+    sums.(i) <- s;
+    carry := c
+  done;
+  if keep_carry then mk d (Array.append sums [| !carry |]) else mk d sums
+
+let add d a b = ripple d a b ~carry_in:false ~keep_carry:false
+
+let add_carry d a b = ripple d a b ~carry_in:false ~keep_carry:true
+
+let sub d a b =
+  let nb = bnot d b in
+  ripple d a nb ~carry_in:true ~keep_carry:false
+
+let zero_extend d s w =
+  check_owner d s;
+  if width s >= w then s
+  else begin
+    let zero = Netlist.add_const d.netlist false in
+    mk d (Array.append s.bits (Array.make (w - width s) zero))
+  end
+
+let mul d a b =
+  check_owner d a;
+  check_owner d b;
+  stmt d;
+  let wa = width a and wb = width b in
+  let wr = wa + wb in
+  let n = d.netlist in
+  let zero = Netlist.add_const n false in
+  (* shift-and-add: partial product row i = (a AND b.(i)) << i *)
+  let row i =
+    let masked =
+      Array.init wa (fun j -> Netlist.add_gate n Netlist.And [| a.bits.(j); b.bits.(i) |])
+    in
+    let padded = Array.make wr zero in
+    Array.blit masked 0 padded i (min wa (wr - i));
+    mk d padded
+  in
+  let acc = ref (mk d (Array.make wr zero)) in
+  for i = 0 to wb - 1 do
+    acc := ripple d !acc (row i) ~carry_in:false ~keep_carry:false
+  done;
+  !acc
+
+let eq d a b =
+  let x = bxor d a b in
+  let any = or_reduce d x in
+  bnot d any
+
+let neq d a b =
+  let x = bxor d a b in
+  or_reduce d x
+
+(* a < b computed as the borrow of a - b *)
+let lt d a b =
+  check_owner d a;
+  check_owner d b;
+  check_same_width a b;
+  stmt d;
+  let nb = bnot d b in
+  let diff = ripple d a nb ~carry_in:true ~keep_carry:true in
+  let carry_bit = bit diff (width a) in
+  bnot d carry_bit
+
+let le d a b =
+  let gt = lt d b a in
+  bnot d gt
+
+let shift_left d s n =
+  check_owner d s;
+  if n < 0 then invalid_arg "Rtl.shift_left: negative shift";
+  stmt d;
+  let w = width s in
+  let zero = Netlist.add_const d.netlist false in
+  mk d (Array.init w (fun i -> if i < n then zero else s.bits.(i - n)))
+
+let shift_right d s n =
+  check_owner d s;
+  if n < 0 then invalid_arg "Rtl.shift_right: negative shift";
+  stmt d;
+  let w = width s in
+  let zero = Netlist.add_const d.netlist false in
+  mk d (Array.init w (fun i -> if i + n < w then s.bits.(i + n) else zero))
+
+(* {1 Sequential} *)
+
+let reg d ?enable x =
+  check_owner d x;
+  stmt d;
+  match enable with
+  | None -> mk d (Array.map (fun b -> Netlist.add_dff d.netlist ~d:b) x.bits)
+  | Some en ->
+    check_owner d en;
+    if width en <> 1 then invalid_arg "Rtl.reg: enable must be one bit";
+    let n = d.netlist in
+    let e = en.bits.(0) in
+    mk d
+      (Array.map
+         (fun b ->
+           let q = Netlist.add_dff_floating n in
+           let next = Netlist.add_gate n Netlist.Mux [| e; q; b |] in
+           Netlist.connect_dff n q ~d:next;
+           q)
+         x.bits)
+
+let reg_feedback d ~width:w f =
+  if w <= 0 then invalid_arg "Rtl.reg_feedback: width must be positive";
+  stmt d;
+  let n = d.netlist in
+  let qs = Array.init w (fun _ -> Netlist.add_dff_floating n) in
+  let q = mk d qs in
+  let next = f q in
+  check_owner d next;
+  if width next <> w then invalid_arg "Rtl.reg_feedback: next-state width mismatch";
+  Array.iteri (fun i dff -> Netlist.connect_dff n dff ~d:next.bits.(i)) qs;
+  q
+
+let counter d ~width:w ?enable () =
+  reg_feedback d ~width:w (fun q ->
+      let one = lit d ~width:w 1 in
+      let next = add d q one in
+      match enable with
+      | None -> next
+      | Some en -> mux2 d ~sel:en q next)
+
+let elaborate d =
+  if d.finished then invalid_arg "Rtl.elaborate: already elaborated";
+  if d.output_count = 0 then failwith "Rtl.elaborate: design has no outputs";
+  d.finished <- true;
+  (match Netlist.validate d.netlist with
+  | [] -> ()
+  | violations ->
+    let msg =
+      Format.asprintf "Rtl.elaborate: invalid netlist:@ %a"
+        (Format.pp_print_list Netlist.pp_violation)
+        violations
+    in
+    failwith msg);
+  d.netlist

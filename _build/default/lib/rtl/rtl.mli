@@ -1,0 +1,120 @@
+(** Hardware-construction-language frontend.
+
+    This is the educhip equivalent of a Chisel-style HCL: designs are
+    described with typed bit-vector combinators in OCaml, and elaboration
+    produces a flat {!Educhip_netlist.Netlist.t} of primitive gates. The
+    paper's frontend-productivity discussion (§III-B) is measured on this
+    layer: each public combinator call counts as one elaborated RTL
+    statement, and experiment E2 reports gates per statement.
+
+    All vectors are unsigned, widths are static, and width mismatches raise
+    [Invalid_argument] at construction time (the "linting" the paper's
+    enablement services would provide). Registers are posedge DFFs with an
+    implicit common clock and reset-to-zero semantics. *)
+
+type design
+(** A design under construction. *)
+
+type signal
+(** A bit-vector value inside one design. *)
+
+val create : name:string -> design
+
+val elaborate : design -> Educhip_netlist.Netlist.t
+(** Finish the design and return its netlist.
+    @raise Failure if the design has no outputs or fails validation. *)
+
+val statement_count : design -> int
+(** Number of RTL statements elaborated so far (the E2 denominator). *)
+
+(** {1 Ports and literals} *)
+
+val input : design -> string -> int -> signal
+(** [input d name width] declares a primary-input bus. *)
+
+val output : design -> string -> signal -> unit
+(** Declare a primary-output bus; each bit becomes [name\[i\]]. *)
+
+val lit : design -> width:int -> int -> signal
+(** Constant vector; the value is truncated to [width] bits.
+    @raise Invalid_argument if [width <= 0] or negative value. *)
+
+(** {1 Structure} *)
+
+val width : signal -> int
+
+val bit : signal -> int -> signal
+(** Single-bit selection, LSB is index 0. *)
+
+val slice : signal -> hi:int -> lo:int -> signal
+(** Inclusive bit range [hi..lo]. *)
+
+val concat : signal list -> signal
+(** MSB-first concatenation.
+    @raise Invalid_argument on an empty list. *)
+
+val repeat : signal -> int -> signal
+(** [repeat s n] concatenates [n] copies of [s]. *)
+
+val zero_extend : design -> signal -> int -> signal
+(** Pad with zero MSBs up to the given width (identity if already wider). *)
+
+(** {1 Bitwise logic} *)
+
+val bnot : design -> signal -> signal
+val band : design -> signal -> signal -> signal
+val bor : design -> signal -> signal -> signal
+val bxor : design -> signal -> signal -> signal
+
+val and_reduce : design -> signal -> signal
+val or_reduce : design -> signal -> signal
+val xor_reduce : design -> signal -> signal
+
+(** {1 Selection} *)
+
+val mux2 : design -> sel:signal -> signal -> signal -> signal
+(** [mux2 d ~sel a b] is [a] when [sel]=0 and [b] when [sel]=1;
+    [sel] must be one bit wide, [a] and [b] equal widths. *)
+
+val mux : design -> sel:signal -> signal list -> signal
+(** Select tree over a power-of-two-padded case list (extra cases replicate
+    the last entry); [sel] must be wide enough to index the list. *)
+
+(** {1 Arithmetic (unsigned)} *)
+
+val add : design -> signal -> signal -> signal
+(** Ripple-carry addition, result has the operand width (carry dropped). *)
+
+val add_carry : design -> signal -> signal -> signal
+(** Addition with the carry kept: result is one bit wider. *)
+
+val sub : design -> signal -> signal -> signal
+(** Two's-complement subtraction, borrow dropped. *)
+
+val mul : design -> signal -> signal -> signal
+(** Shift-and-add array multiplier; result width is the sum of widths. *)
+
+val eq : design -> signal -> signal -> signal
+val neq : design -> signal -> signal -> signal
+val lt : design -> signal -> signal -> signal
+(** Unsigned comparison, one-bit result. *)
+
+val le : design -> signal -> signal -> signal
+val shift_left : design -> signal -> int -> signal
+(** Constant shift, width preserved, zeros shifted in. *)
+
+val shift_right : design -> signal -> int -> signal
+
+(** {1 Sequential} *)
+
+val reg : design -> ?enable:signal -> signal -> signal
+(** [reg d ?enable x] is [x] delayed by one clock; when [enable] (one bit)
+    is low the register holds its value. Resets to zero. *)
+
+val reg_feedback : design -> width:int -> (signal -> signal) -> signal
+(** [reg_feedback d ~width f] creates a register whose next-state is
+    [f q] where [q] is the register output — the idiom for counters and
+    FSMs. Returns [q]. *)
+
+val counter : design -> width:int -> ?enable:signal -> unit -> signal
+(** Free-running (or enabled) modulo-2{^width} counter. *)

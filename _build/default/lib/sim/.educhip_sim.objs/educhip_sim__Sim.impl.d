@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Educhip_netlist Hashtbl List String

@@ -1,0 +1,1 @@
+lib/sim/vcd.ml: Array Buffer Bytes Char Educhip_netlist Hashtbl List Printf Sim String

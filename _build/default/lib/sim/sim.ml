@@ -1,0 +1,141 @@
+module Netlist = Educhip_netlist.Netlist
+
+type t = {
+  netlist : Netlist.t;
+  order : Netlist.cell_id array; (* combinational topological order *)
+  values : bool array; (* current net values *)
+  state : bool array; (* flip-flop Q values, indexed by cell id *)
+  inputs_by_name : (string, Netlist.cell_id array) Hashtbl.t;
+  outputs_by_name : (string, Netlist.cell_id array) Hashtbl.t;
+}
+
+(* "x[3]" -> ("x", 3); "x" -> ("x", 0) *)
+let parse_label label =
+  let len = String.length label in
+  match String.index_opt label '[' with
+  | Some i when len >= i + 3 && label.[len - 1] = ']' -> (
+    let base = String.sub label 0 i in
+    let digits = String.sub label (i + 1) (len - i - 2) in
+    match int_of_string_opt digits with
+    | Some idx when idx >= 0 -> (base, idx)
+    | Some _ | None -> (label, 0))
+  | Some _ | None -> (label, 0)
+
+let group_buses netlist ids =
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun id ->
+      let base, idx = parse_label (Netlist.label netlist id) in
+      let entries = try Hashtbl.find by_name base with Not_found -> [] in
+      Hashtbl.replace by_name base ((idx, id) :: entries))
+    ids;
+  let result = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun base entries ->
+      let sorted = List.sort (fun (i, _) (j, _) -> compare i j) entries in
+      Hashtbl.replace result base (Array.of_list (List.map snd sorted)))
+    by_name;
+  result
+
+let create netlist =
+  let n = Netlist.cell_count netlist in
+  {
+    netlist;
+    order = Netlist.combinational_topo_order netlist;
+    values = Array.make n false;
+    state = Array.make n false;
+    inputs_by_name = group_buses netlist (Netlist.inputs netlist);
+    outputs_by_name = group_buses netlist (Netlist.outputs netlist);
+  }
+
+let netlist t = t.netlist
+
+let reset t =
+  Array.fill t.values 0 (Array.length t.values) false;
+  Array.fill t.state 0 (Array.length t.state) false
+
+let set_input t id v =
+  match Netlist.kind t.netlist id with
+  | Netlist.Input -> t.values.(id) <- v
+  | _ -> invalid_arg "Sim.set_input: not a primary input"
+
+let value t id =
+  if id < 0 || id >= Array.length t.values then invalid_arg "Sim.value: id out of range";
+  t.values.(id)
+
+let input_bus t name =
+  match Hashtbl.find_opt t.inputs_by_name name with
+  | Some ids -> ids
+  | None -> raise Not_found
+
+let output_bus t name =
+  match Hashtbl.find_opt t.outputs_by_name name with
+  | Some ids -> ids
+  | None -> raise Not_found
+
+let set_bus t name v =
+  let ids = input_bus t name in
+  Array.iteri (fun i id -> t.values.(id) <- (v lsr i) land 1 = 1) ids
+
+let read_bus t name =
+  let ids = output_bus t name in
+  if Array.length ids > 62 then invalid_arg "Sim.read_bus: bus wider than 62 bits";
+  let v = ref 0 in
+  Array.iteri (fun i id -> if t.values.(id) then v := !v lor (1 lsl i)) ids;
+  !v
+
+let eval_cell t id (c : Netlist.cell) =
+  let v = t.values in
+  let f i = v.(c.fanins.(i)) in
+  match c.kind with
+  | Netlist.Input -> ()
+  | Netlist.Const b -> v.(id) <- b
+  | Netlist.Output -> v.(id) <- f 0
+  | Netlist.Buf -> v.(id) <- f 0
+  | Netlist.Not -> v.(id) <- not (f 0)
+  | Netlist.And -> v.(id) <- f 0 && f 1
+  | Netlist.Or -> v.(id) <- f 0 || f 1
+  | Netlist.Xor -> v.(id) <- f 0 <> f 1
+  | Netlist.Nand -> v.(id) <- not (f 0 && f 1)
+  | Netlist.Nor -> v.(id) <- not (f 0 || f 1)
+  | Netlist.Xnor -> v.(id) <- f 0 = f 1
+  | Netlist.Mux -> v.(id) <- (if f 0 then f 2 else f 1)
+  | Netlist.Dff -> () (* refreshed from state before the topo sweep *)
+  | Netlist.Mapped m ->
+    let index = ref 0 in
+    for i = 0 to m.arity - 1 do
+      if f i then index := !index lor (1 lsl i)
+    done;
+    v.(id) <- (m.table lsr !index) land 1 = 1
+
+(* The topological order cuts DFF Q edges, so consumers of a register may
+   precede it in [t.order]; publish all register values first, then sweep. *)
+let eval t =
+  let nl = t.netlist in
+  List.iter (fun id -> t.values.(id) <- t.state.(id)) (Netlist.dffs nl);
+  Array.iter (fun id -> eval_cell t id (Netlist.cell nl id)) t.order
+
+let step t =
+  eval t;
+  (* sample every D pin from the settled combinational values, then commit *)
+  let nl = t.netlist in
+  let dffs = Netlist.dffs nl in
+  let sampled = List.map (fun id -> (id, t.values.((Netlist.fanins nl id).(0)))) dffs in
+  List.iter (fun (id, d) -> t.state.(id) <- d) sampled
+
+let run_cycles t n =
+  for _ = 1 to n do
+    step t
+  done
+
+type trace = { cycle : int; values : (string * int) list }
+
+let run_testbench t ~stimuli ~watch =
+  reset t;
+  List.mapi
+    (fun cycle assignments ->
+      List.iter (fun (name, v) -> set_bus t name v) assignments;
+      step t;
+      eval t;
+      { cycle; values = List.map (fun name -> (name, read_bus t name)) watch })
+    stimuli

@@ -1,0 +1,68 @@
+(** Levelized cycle-based netlist simulator.
+
+    Evaluates a {!Educhip_netlist.Netlist.t} — primitive gates or
+    technology-mapped cells alike — one clock cycle at a time. Cells are
+    evaluated in a precomputed combinational topological order, flip-flops
+    update atomically on {!step}, and all registers reset to zero. This is
+    the reference model used to check that synthesis and technology mapping
+    preserve design semantics, and the engine behind the testbench driver
+    used in examples.
+
+    Buses follow the RTL labelling convention: a multi-bit port [x] appears
+    as inputs/outputs labelled [x\[0\]], [x\[1\]], … *)
+
+type t
+
+val create : Educhip_netlist.Netlist.t -> t
+(** Build a simulator. Registers start at zero, inputs at zero.
+    @raise Failure if the netlist has a combinational cycle. *)
+
+val netlist : t -> Educhip_netlist.Netlist.t
+
+val reset : t -> unit
+(** Zero all registers and inputs. *)
+
+(** {1 Bit-level access} *)
+
+val set_input : t -> Educhip_netlist.Netlist.cell_id -> bool -> unit
+(** @raise Invalid_argument if the cell is not a primary input. *)
+
+val value : t -> Educhip_netlist.Netlist.cell_id -> bool
+(** Current value of any net (valid after {!eval} or {!step}). *)
+
+(** {1 Bus-level access} *)
+
+val input_bus : t -> string -> Educhip_netlist.Netlist.cell_id array
+(** LSB-first cell ids of the named input bus ([x] or [x\[i\]] labels).
+    @raise Not_found if no input carries the name. *)
+
+val output_bus : t -> string -> Educhip_netlist.Netlist.cell_id array
+(** LSB-first output-marker ids of the named output bus.
+    @raise Not_found if no output carries the name. *)
+
+val set_bus : t -> string -> int -> unit
+(** Drive an input bus with an unsigned integer (truncated to its width). *)
+
+val read_bus : t -> string -> int
+(** Read an output bus as an unsigned integer (bus width must be ≤ 62). *)
+
+(** {1 Evaluation} *)
+
+val eval : t -> unit
+(** Propagate the current inputs and register state through the
+    combinational logic (no clock edge). *)
+
+val step : t -> unit
+(** [eval] then clock all flip-flops once. *)
+
+val run_cycles : t -> int -> unit
+(** [step] repeated. *)
+
+(** {1 Testbench} *)
+
+type trace = { cycle : int; values : (string * int) list }
+
+val run_testbench :
+  t -> stimuli:(string * int) list list -> watch:string list -> trace list
+(** Apply one stimulus alist per cycle (bus name → value), step, and record
+    the watched output buses after each edge. *)

@@ -1,0 +1,98 @@
+type signal = {
+  name : string;
+  ids : Educhip_netlist.Netlist.cell_id array; (* LSB first *)
+  code : string; (* VCD identifier code *)
+  mutable samples : int list; (* reversed *)
+}
+
+type t = { sim : Sim.t; signals : signal list; mutable cycles : int }
+
+(* printable VCD identifier codes: '!' .. '~' then two-char codes *)
+let code_of_index i =
+  let base = 94 and first = 33 in
+  if i < base then String.make 1 (Char.chr (first + i))
+  else
+    Printf.sprintf "%c%c"
+      (Char.chr (first + (i / base)))
+      (Char.chr (first + (i mod base)))
+
+let create sim ~watch =
+  let signals =
+    List.mapi
+      (fun i name ->
+        let ids =
+          match Sim.input_bus sim name with
+          | ids -> ids
+          | exception Not_found -> Sim.output_bus sim name
+        in
+        { name; ids; code = code_of_index i; samples = [] })
+      watch
+  in
+  { sim; signals; cycles = 0 }
+
+let bus_value t ids =
+  let v = ref 0 in
+  Array.iteri (fun i id -> if Sim.value t.sim id then v := !v lor (1 lsl i)) ids;
+  !v
+
+let sample t =
+  List.iter (fun s -> s.samples <- bus_value t s.ids :: s.samples) t.signals;
+  t.cycles <- t.cycles + 1
+
+let cycles_recorded t = t.cycles
+
+let binary_string width v =
+  let b = Bytes.make width '0' in
+  for i = 0 to width - 1 do
+    if (v lsr i) land 1 = 1 then Bytes.set b (width - 1 - i) '1'
+  done;
+  Bytes.to_string b
+
+let render ?(timescale_ns = 1) ?(design_name = "educhip") t =
+  let buffer = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+  add "$date educhip simulation $end\n";
+  add "$version educhip sim $end\n";
+  add "$timescale %d ns $end\n" timescale_ns;
+  add "$scope module %s $end\n" design_name;
+  List.iter
+    (fun s ->
+      let w = Array.length s.ids in
+      if w = 1 then add "$var wire 1 %s %s $end\n" s.code s.name
+      else add "$var wire %d %s %s [%d:0] $end\n" w s.code s.name (w - 1))
+    t.signals;
+  add "$upscope $end\n$enddefinitions $end\n";
+  let per_signal = List.map (fun s -> (s, Array.of_list (List.rev s.samples))) t.signals in
+  let previous = Hashtbl.create 8 in
+  for cycle = 0 to t.cycles - 1 do
+    let changes =
+      List.filter_map
+        (fun (s, samples) ->
+          let v = samples.(cycle) in
+          match Hashtbl.find_opt previous s.code with
+          | Some old when old = v -> None
+          | _ ->
+            Hashtbl.replace previous s.code v;
+            Some (s, v))
+        per_signal
+    in
+    if changes <> [] || cycle = 0 then begin
+      add "#%d\n" (cycle * timescale_ns);
+      List.iter
+        (fun (s, v) ->
+          let w = Array.length s.ids in
+          if w = 1 then add "%d%s\n" (v land 1) s.code
+          else add "b%s %s\n" (binary_string w v) s.code)
+        changes
+    end
+  done;
+  add "#%d\n" (t.cycles * timescale_ns);
+  Buffer.contents buffer
+
+let write_file ?timescale_ns t ~path =
+  let oc = open_out path in
+  (try output_string oc (render ?timescale_ns t)
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc

@@ -1,0 +1,24 @@
+(** VCD (Value Change Dump) waveform recording.
+
+    Records selected buses of a running {!Sim} and renders an IEEE-1364
+    VCD file that standard waveform viewers (GTKWave and friends) open
+    directly — the debugging collateral a teaching flow needs.
+
+    Usage: {!create} with the buses to watch, call {!sample} once per
+    clock cycle (after [Sim.eval]), then {!render} or {!write_file}. *)
+
+type t
+
+val create : Sim.t -> watch:string list -> t
+(** Watch the named input and output buses (inputs are looked up first;
+    names that are neither raise [Not_found]). *)
+
+val sample : t -> unit
+(** Record the watched values at the next timestep. *)
+
+val cycles_recorded : t -> int
+
+val render : ?timescale_ns:int -> ?design_name:string -> t -> string
+(** The complete VCD text. Default timescale 1 ns per cycle. *)
+
+val write_file : ?timescale_ns:int -> t -> path:string -> unit

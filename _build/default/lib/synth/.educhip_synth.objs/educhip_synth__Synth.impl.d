@@ -1,0 +1,1 @@
+lib/synth/synth.ml: Array Educhip_aig Educhip_netlist Educhip_pdk Float Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/synth/synth.mli: Educhip_aig Educhip_netlist Educhip_pdk

@@ -1,0 +1,115 @@
+(** Logic synthesis: AIG optimization scripting and cut-based technology
+    mapping onto a {!Educhip_pdk.Pdk} standard-cell library.
+
+    The pipeline is the classical one the paper's backend-productivity
+    section assumes tool flows provide: netlist → AIG (structural hashing,
+    constant propagation) → interleaved rewrite/balance passes → k-feasible
+    cut enumeration → boolean matching against the library (pin
+    permutations and input phases, inverters inserted for unmatched
+    polarities) → mapped netlist with the original registers re-attached.
+
+    Two mapping objectives model the open-vs-commercial effort gap of
+    experiment E6: [Area] minimizes an area-flow estimate, [Delay]
+    minimizes worst arrival in picoseconds. *)
+
+type objective = Area | Delay
+
+type options = {
+  optimization_passes : int;  (** rewrite+balance iterations (0 = raw) *)
+  cut_k : int;  (** max cut width, 2..6 (cells only go to 3 pins) *)
+  cuts_per_node : int;  (** priority-cut budget *)
+  objective : objective;
+}
+
+val default_options : options
+(** 2 passes, k=4, 8 cuts/node, [Area]. *)
+
+val high_effort_options : options
+(** 4 passes, k=4, 16 cuts/node, [Delay] — the "commercial" preset. *)
+
+val low_effort_options : options
+(** 1 pass, k=3, 4 cuts/node, [Area] — the "open flow" preset. *)
+
+type report = {
+  aig_nodes_initial : int;  (** AND nodes after extraction *)
+  aig_nodes_optimized : int;
+  aig_depth_initial : int;
+  aig_depth_optimized : int;
+  mapped_cells : int;  (** combinational library cells instantiated *)
+  inverters_added : int;  (** polarity-fix inverters among them *)
+  mapped_area_um2 : float;  (** combinational + flip-flop area *)
+  flip_flops : int;
+}
+
+val optimize :
+  Educhip_aig.Aig.sequential -> passes:int -> Educhip_aig.Aig.sequential
+(** [passes] iterations of rewrite followed by balance, after an initial
+    cone extraction. *)
+
+val map :
+  Educhip_aig.Aig.sequential ->
+  node:Educhip_pdk.Pdk.node ->
+  options ->
+  Educhip_netlist.Netlist.t
+(** Technology mapping only (no optimization). The result contains
+    [Mapped] cells, [Dff]s, ports, and possibly [Const] drivers.
+    @raise Failure if some logic cone cannot be covered (cannot happen
+    with the shipped library, which covers every 2-input function up to
+    input phase). *)
+
+val synthesize :
+  Educhip_netlist.Netlist.t ->
+  node:Educhip_pdk.Pdk.node ->
+  options ->
+  Educhip_netlist.Netlist.t * report
+(** Full flow: extract → optimize → map, with the measurement record used
+    by flow reports and benches. *)
+
+val mapped_area_um2 : Educhip_netlist.Netlist.t -> node:Educhip_pdk.Pdk.node -> float
+(** Total standard-cell area of a mapped netlist (library cells looked up
+    by name; flip-flops priced as [DFF_X1]). Inputs, outputs, and constant
+    drivers are free.
+    @raise Not_found if a mapped cell name is not in the node's library. *)
+
+val cell_usage : Educhip_netlist.Netlist.t -> (string * int) list
+(** Mapped-cell census, sorted by name — flow report data. *)
+
+val next_drive : Educhip_pdk.Pdk.node -> string -> string option
+(** The next drive strength of a library cell ([NAND2_X1 → NAND2_X2 →
+    NAND2_X4]); [None] when already at the largest available drive. *)
+
+val upsize_cells :
+  Educhip_netlist.Netlist.t ->
+  node:Educhip_pdk.Pdk.node ->
+  Educhip_netlist.Netlist.cell_id list ->
+  int
+(** Replace each listed mapped cell with its next drive strength in place;
+    returns how many cells were actually upsized. Non-mapped cells and
+    cells already at maximum drive are skipped. The timing-driven sizing
+    loop in the flow feeds this with critical-path cells. *)
+
+val buffer_fanout :
+  Educhip_netlist.Netlist.t -> node:Educhip_pdk.Pdk.node -> max_fanout:int -> int
+(** Insert [BUF_X4] trees so that no net drives more than [max_fanout]
+    sinks (applied recursively, so a 134-sink net becomes a balanced
+    buffer tree). Semantics-neutral — equivalence checking sees through
+    buffers. Returns the number of buffers added.
+    @raise Invalid_argument if [max_fanout < 2]. *)
+
+(** {1 FPGA technology mapping}
+
+    The paper's §III-B discusses FPGAs as a partial alternative to ASIC
+    flows. K-LUT mapping quantifies that route: depth-optimal covering of
+    the optimized AIG with K-input lookup tables. *)
+
+type lut_report = {
+  k : int;
+  luts : int;  (** LUTs in the chosen cover *)
+  lut_depth : int;  (** LUT levels on the longest path *)
+  lut_flip_flops : int;
+}
+
+val lut_map : Educhip_netlist.Netlist.t -> k:int -> lut_report
+(** Optimize (default passes) and cover with K-input LUTs, K in 3..6.
+    Depth-optimal cut selection with an area-flow tie-break.
+    @raise Invalid_argument if [k] is outside 3..6. *)

@@ -1,0 +1,1 @@
+lib/timing/timing.ml: Array Educhip_netlist Educhip_pdk Float Format List

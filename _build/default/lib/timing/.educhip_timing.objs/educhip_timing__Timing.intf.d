@@ -1,0 +1,1 @@
+lib/timing/timing.mli: Educhip_netlist Educhip_pdk Format

@@ -1,0 +1,272 @@
+module Netlist = Educhip_netlist.Netlist
+module Pdk = Educhip_pdk.Pdk
+
+type report = {
+  clock_period_ps : float;
+  wns_ps : float;
+  tns_ps : float;
+  max_frequency_mhz : float;
+  critical_path : Netlist.cell_id list;
+  critical_arrival_ps : float;
+  endpoints : int;
+  failing_endpoints : int;
+  whs_ps : float;
+  hold_failing_endpoints : int;
+}
+
+let setup_margin_ps node = 0.35 *. (Pdk.dff_cell node).Pdk.intrinsic_ps
+
+let hold_margin_ps node = 0.15 *. (Pdk.dff_cell node).Pdk.intrinsic_ps
+
+(* Library characteristics of a cell, including primitive-gate stand-ins. *)
+let cell_of_kind node = function
+  | Netlist.Mapped m -> Some (Pdk.find_cell node m.Netlist.cell_name)
+  | Netlist.Dff -> Some (Pdk.dff_cell node)
+  | Netlist.Buf -> Some (Pdk.find_cell node "BUF_X1")
+  | Netlist.Not -> Some (Pdk.find_cell node "INV_X1")
+  | Netlist.And -> Some (Pdk.find_cell node "AND2_X1")
+  | Netlist.Or -> Some (Pdk.find_cell node "OR2_X1")
+  | Netlist.Xor -> Some (Pdk.find_cell node "XOR2_X1")
+  | Netlist.Nand -> Some (Pdk.find_cell node "NAND2_X1")
+  | Netlist.Nor -> Some (Pdk.find_cell node "NOR2_X1")
+  | Netlist.Xnor -> Some (Pdk.find_cell node "XNOR2_X1")
+  | Netlist.Mux -> Some (Pdk.find_cell node "MUX2_X1")
+  | Netlist.Input | Netlist.Output | Netlist.Const _ -> None
+
+(* Load on each driver: sum of sink pin caps plus the net's wire cap. *)
+let net_loads netlist ~node ~wire_length_of_net =
+  let n = Netlist.cell_count netlist in
+  let load = Array.make n 0.0 in
+  Netlist.iter_cells netlist (fun _ c ->
+      match cell_of_kind node c.Netlist.kind with
+      | Some cell ->
+        Array.iter (fun f -> load.(f) <- load.(f) +. cell.Pdk.input_cap_ff) c.Netlist.fanins
+      | None -> (
+        match c.Netlist.kind with
+        | Netlist.Output ->
+          (* output pad load *)
+          Array.iter (fun f -> load.(f) <- load.(f) +. 4.0) c.Netlist.fanins
+        | _ -> ()));
+  for id = 0 to n - 1 do
+    load.(id) <- load.(id) +. Pdk.wire_cap_ff node ~length_um:(wire_length_of_net id)
+  done;
+  load
+
+let compute netlist ~node ~wire_length_of_net ~derate =
+  let n = Netlist.cell_count netlist in
+  let load = net_loads netlist ~node ~wire_length_of_net in
+  let arrival = Array.make n 0.0 in
+  let from_pin = Array.make n (-1) in
+  let order = Netlist.combinational_topo_order netlist in
+  let stage_delay id kind =
+    match cell_of_kind node kind with
+    | Some cell ->
+      derate *. (cell.Pdk.intrinsic_ps +. (cell.Pdk.load_ps_per_ff *. load.(id)))
+    | None -> 0.0
+  in
+  let wire_arc driver =
+    derate
+    *. Pdk.wire_delay_ps node ~length_um:(wire_length_of_net driver) ~load_ff:load.(driver)
+  in
+  (* DFF Q launches are sources: publish clk-to-Q before the sweep *)
+  List.iter
+    (fun id -> arrival.(id) <- stage_delay id Netlist.Dff)
+    (Netlist.dffs netlist);
+  Array.iter
+    (fun id ->
+      let c = Netlist.cell netlist id in
+      match c.Netlist.kind with
+      | Netlist.Input | Netlist.Const _ | Netlist.Dff -> ()
+      | Netlist.Output ->
+        Array.iter
+          (fun f ->
+            let a = arrival.(f) +. wire_arc f in
+            if a >= arrival.(id) then begin
+              arrival.(id) <- a;
+              from_pin.(id) <- f
+            end)
+          c.Netlist.fanins
+      | Netlist.Buf | Netlist.Not | Netlist.And | Netlist.Or | Netlist.Xor | Netlist.Nand
+      | Netlist.Nor | Netlist.Xnor | Netlist.Mux | Netlist.Mapped _ ->
+        let worst = ref 0.0 and worst_pin = ref (-1) in
+        Array.iter
+          (fun f ->
+            let a = arrival.(f) +. wire_arc f in
+            if a >= !worst then begin
+              worst := a;
+              worst_pin := f
+            end)
+          c.Netlist.fanins;
+        arrival.(id) <- !worst +. stage_delay id c.Netlist.kind;
+        from_pin.(id) <- !worst_pin)
+    order;
+  (arrival, from_pin, wire_arc)
+
+(* Earliest register-launched arrivals: the same delay model minimized
+   instead of maximized. Primary inputs and constants carry [infinity] so
+   only register-to-register paths participate in the hold check
+   (input-to-register hold is governed by external input-delay
+   constraints, which this single-clock model does not take). *)
+let compute_min netlist ~node ~wire_length_of_net ~derate =
+  let n = Netlist.cell_count netlist in
+  let load = net_loads netlist ~node ~wire_length_of_net in
+  let arrival = Array.make n infinity in
+  let order = Netlist.combinational_topo_order netlist in
+  let stage_delay id kind =
+    match cell_of_kind node kind with
+    | Some cell ->
+      derate *. (cell.Pdk.intrinsic_ps +. (cell.Pdk.load_ps_per_ff *. load.(id)))
+    | None -> 0.0
+  in
+  let wire_arc driver =
+    derate
+    *. Pdk.wire_delay_ps node ~length_um:(wire_length_of_net driver) ~load_ff:load.(driver)
+  in
+  List.iter
+    (fun id -> arrival.(id) <- stage_delay id Netlist.Dff)
+    (Netlist.dffs netlist);
+  Array.iter
+    (fun id ->
+      let c = Netlist.cell netlist id in
+      match c.Netlist.kind with
+      | Netlist.Input | Netlist.Const _ | Netlist.Dff -> ()
+      | Netlist.Output ->
+        Array.iter (fun f -> arrival.(id) <- arrival.(f) +. wire_arc f) c.Netlist.fanins
+      | Netlist.Buf | Netlist.Not | Netlist.And | Netlist.Or | Netlist.Xor | Netlist.Nand
+      | Netlist.Nor | Netlist.Xnor | Netlist.Mux | Netlist.Mapped _ ->
+        let best = ref infinity in
+        Array.iter
+          (fun f ->
+            let a = arrival.(f) +. wire_arc f in
+            if a < !best then best := a)
+          c.Netlist.fanins;
+        arrival.(id) <- !best +. stage_delay id c.Netlist.kind)
+    order;
+  (arrival, wire_arc)
+
+let arrival_times netlist ~node ?(wire_length_of_net = fun _ -> 0.0) () =
+  let arrival, _, _ = compute netlist ~node ~wire_length_of_net ~derate:1.0 in
+  arrival
+
+let analyze netlist ~node ?(wire_length_of_net = fun _ -> 0.0) ?(clock_skew_ps = 0.0)
+    ?(derate = 1.0) ~clock_period_ps () =
+  if clock_period_ps <= 0.0 then invalid_arg "Timing.analyze: clock period must be positive";
+  if derate <= 0.0 then invalid_arg "Timing.analyze: derate must be positive";
+  let arrival, from_pin, wire_arc = compute netlist ~node ~wire_length_of_net ~derate in
+  let setup = derate *. setup_margin_ps node in
+  (* endpoints: primary outputs (required = T) and DFF D pins (T - setup) *)
+  let endpoint_slacks =
+    List.map
+      (fun id -> (id, clock_period_ps -. arrival.(id)))
+      (Netlist.outputs netlist)
+    @ List.map
+        (fun id ->
+          let d = (Netlist.fanins netlist id).(0) in
+          let capture_arrival = arrival.(d) +. wire_arc d in
+          (id, clock_period_ps -. setup -. clock_skew_ps -. capture_arrival))
+        (Netlist.dffs netlist)
+  in
+  let wns =
+    List.fold_left (fun acc (_, s) -> Float.min acc s) infinity endpoint_slacks
+  in
+  let wns = if wns = infinity then clock_period_ps else wns in
+  let tns =
+    List.fold_left (fun acc (_, s) -> if s < 0.0 then acc +. s else acc) 0.0 endpoint_slacks
+  in
+  let failing =
+    List.length (List.filter (fun (_, s) -> s < 0.0) endpoint_slacks)
+  in
+  (* hold: the earliest new data through each register's D pin must not
+     outrun the hold window extended by skew *)
+  let min_arrival, min_wire_arc = compute_min netlist ~node ~wire_length_of_net ~derate in
+  let hold = derate *. hold_margin_ps node in
+  let hold_slacks =
+    List.filter_map
+      (fun id ->
+        let d = (Netlist.fanins netlist id).(0) in
+        if min_arrival.(d) = infinity then None (* no register-launched path *)
+        else Some (min_arrival.(d) +. min_wire_arc d -. hold -. clock_skew_ps))
+      (Netlist.dffs netlist)
+  in
+  let whs =
+    List.fold_left Float.min infinity hold_slacks
+  in
+  let whs = if whs = infinity then clock_period_ps else whs in
+  let hold_failing = List.length (List.filter (fun s -> s < 0.0) hold_slacks) in
+  (* critical path: backtrack from the worst endpoint *)
+  let worst_endpoint =
+    List.fold_left
+      (fun best (id, s) ->
+        match best with
+        | None -> Some (id, s)
+        | Some (_, bs) -> if s < bs then Some (id, s) else best)
+      None endpoint_slacks
+  in
+  let critical_path, critical_arrival =
+    match worst_endpoint with
+    | None -> ([], 0.0)
+    | Some (endpoint, _) ->
+      let rec backtrack id acc =
+        if id < 0 then acc
+        else
+          let acc = id :: acc in
+          match Netlist.kind netlist id with
+          | Netlist.Dff | Netlist.Input | Netlist.Const _ -> acc
+          | _ -> backtrack from_pin.(id) acc
+      in
+      let path, data_pin =
+        match Netlist.kind netlist endpoint with
+        | Netlist.Dff ->
+          let d = (Netlist.fanins netlist endpoint).(0) in
+          (backtrack d [ endpoint ], d)
+        | _ -> (backtrack from_pin.(endpoint) [ endpoint ], endpoint)
+      in
+      let critical_arrival =
+        match Netlist.kind netlist endpoint with
+        | Netlist.Dff -> arrival.(data_pin) +. wire_arc data_pin
+        | _ -> arrival.(endpoint)
+      in
+      (path, critical_arrival)
+  in
+  {
+    clock_period_ps;
+    wns_ps = wns;
+    tns_ps = tns;
+    max_frequency_mhz = 1e6 /. Float.max 1.0 (clock_period_ps -. wns);
+    critical_path;
+    critical_arrival_ps = critical_arrival;
+    endpoints = List.length endpoint_slacks;
+    failing_endpoints = failing;
+    whs_ps = whs;
+    hold_failing_endpoints = hold_failing;
+  }
+
+type corner = Slow | Typical | Fast
+
+let corner_name = function Slow -> "slow" | Typical -> "typical" | Fast -> "fast"
+
+let corner_derate = function Slow -> 1.25 | Typical -> 1.0 | Fast -> 0.8
+
+let analyze_corners netlist ~node ?wire_length_of_net ?clock_skew_ps ~clock_period_ps () =
+  List.map
+    (fun corner ->
+      ( corner,
+        analyze netlist ~node ?wire_length_of_net ?clock_skew_ps
+          ~derate:(corner_derate corner) ~clock_period_ps () ))
+    [ Slow; Typical; Fast ]
+
+let signoff netlist ~node ?wire_length_of_net ?clock_skew_ps ~clock_period_ps () =
+  let corners =
+    analyze_corners netlist ~node ?wire_length_of_net ?clock_skew_ps ~clock_period_ps ()
+  in
+  let setup_ok = (List.assoc Slow corners).wns_ps >= 0.0 in
+  let hold_ok = (List.assoc Fast corners).whs_ps >= 0.0 in
+  setup_ok && hold_ok
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "clock %.0f ps: WNS %.1f ps, TNS %.1f ps, WHS %.1f ps (%d hold viol.), fmax %.1f MHz, %d/%d endpoints failing, critical path %d cells (%.1f ps)"
+    r.clock_period_ps r.wns_ps r.tns_ps r.whs_ps r.hold_failing_endpoints
+    r.max_frequency_mhz r.failing_endpoints r.endpoints
+    (List.length r.critical_path)
+    r.critical_arrival_ps

@@ -1,0 +1,100 @@
+(** Graph-based static timing analysis.
+
+    Computes arrival times through the combinational cones of a (mapped or
+    primitive) netlist under a single-clock constraint, with a lumped
+    cell + wire delay model:
+
+    - cell delay = intrinsic + slope · (pin caps of fanouts + wire cap);
+    - wire delay = Elmore estimate from the per-net routed (or HPWL
+      estimated) length;
+    - flip-flops launch at clk-to-Q and capture with a setup margin;
+    - endpoints are primary outputs and flip-flop D pins.
+
+    Unmapped primitive gates are timed as their library equivalents
+    (e.g. [And] as [AND2_X1]) so the same engine serves pre- and
+    post-mapping netlists. All times in picoseconds. *)
+
+type report = {
+  clock_period_ps : float;
+  wns_ps : float;  (** worst negative setup slack (positive = met) *)
+  tns_ps : float;  (** total negative setup slack, ≤ 0 *)
+  max_frequency_mhz : float;  (** 1 / (period − wns) *)
+  critical_path : Educhip_netlist.Netlist.cell_id list;
+      (** startpoint … endpoint cells along the worst path *)
+  critical_arrival_ps : float;
+  endpoints : int;
+  failing_endpoints : int;
+  whs_ps : float;
+      (** worst hold slack: the shortest register-to-register path's
+          margin over hold time + skew; [clock_period_ps] when the design
+          has no registers *)
+  hold_failing_endpoints : int;
+}
+
+val analyze :
+  Educhip_netlist.Netlist.t ->
+  node:Educhip_pdk.Pdk.node ->
+  ?wire_length_of_net:(Educhip_netlist.Netlist.cell_id -> float) ->
+  ?clock_skew_ps:float ->
+  ?derate:float ->
+  clock_period_ps:float ->
+  unit ->
+  report
+(** [wire_length_of_net] maps a driver cell to its routed net length in µm
+    (defaults to 0 — pre-placement "ideal wire" timing). [clock_skew_ps]
+    (default 0) tightens every register capture check by the clock tree's
+    worst skew. [derate] (default 1) scales every cell and wire delay —
+    the process-corner knob.
+    @raise Invalid_argument if [clock_period_ps <= 0]. *)
+
+val arrival_times :
+  Educhip_netlist.Netlist.t ->
+  node:Educhip_pdk.Pdk.node ->
+  ?wire_length_of_net:(Educhip_netlist.Netlist.cell_id -> float) ->
+  unit ->
+  float array
+(** Per-cell output arrival time — exposed for power/flow diagnostics. *)
+
+val setup_margin_ps : Educhip_pdk.Pdk.node -> float
+(** Flip-flop setup time used at capture endpoints. *)
+
+val hold_margin_ps : Educhip_pdk.Pdk.node -> float
+(** Flip-flop hold requirement used in the min-path check. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+(** {1 Process corners}
+
+    First-order corner modeling: all cell and wire delays are derated by a
+    corner factor while the clock-tree skew (a mismatch term) stays fixed.
+    Setup signs off at the slow corner, hold at the fast corner — a fast
+    min-path can fail hold against constant skew even when the typical
+    corner passes. *)
+
+type corner = Slow | Typical | Fast
+
+val corner_name : corner -> string
+
+val corner_derate : corner -> float
+(** 1.25 / 1.0 / 0.8. *)
+
+val analyze_corners :
+  Educhip_netlist.Netlist.t ->
+  node:Educhip_pdk.Pdk.node ->
+  ?wire_length_of_net:(Educhip_netlist.Netlist.cell_id -> float) ->
+  ?clock_skew_ps:float ->
+  clock_period_ps:float ->
+  unit ->
+  (corner * report) list
+(** One {!report} per corner, slow first. *)
+
+val signoff :
+  Educhip_netlist.Netlist.t ->
+  node:Educhip_pdk.Pdk.node ->
+  ?wire_length_of_net:(Educhip_netlist.Netlist.cell_id -> float) ->
+  ?clock_skew_ps:float ->
+  clock_period_ps:float ->
+  unit ->
+  bool
+(** True when setup passes at the slow corner {e and} hold passes at the
+    fast corner. *)

@@ -1,0 +1,1 @@
+lib/util/digraph.ml: Array List Printf Queue Stack

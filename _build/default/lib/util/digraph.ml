@@ -1,0 +1,100 @@
+type t = {
+  n : int;
+  succ : int list array;
+  pred : int list array;
+  (* successor/predecessor lists are built reversed and re-reversed on
+     demand; [dirty] tracks whether the cached order is current. *)
+  mutable edges : int;
+}
+
+let create n =
+  { n; succ = Array.make n []; pred = Array.make n []; edges = 0 }
+
+let vertex_count t = t.n
+
+let edge_count t = t.edges
+
+let check t v name =
+  if v < 0 || v >= t.n then invalid_arg (Printf.sprintf "Digraph.%s: vertex %d out of range" name v)
+
+let add_edge t u v =
+  check t u "add_edge";
+  check t v "add_edge";
+  t.succ.(u) <- v :: t.succ.(u);
+  t.pred.(v) <- u :: t.pred.(v);
+  t.edges <- t.edges + 1
+
+let succ t v =
+  check t v "succ";
+  List.rev t.succ.(v)
+
+let pred t v =
+  check t v "pred";
+  List.rev t.pred.(v)
+
+let out_degree t v =
+  check t v "out_degree";
+  List.length t.succ.(v)
+
+let in_degree t v =
+  check t v "in_degree";
+  List.length t.pred.(v)
+
+let topological_order t =
+  let indeg = Array.init t.n (fun v -> List.length t.pred.(v)) in
+  (* a simple FIFO over increasing vertex ids keeps the order stable *)
+  let queue = Queue.create () in
+  for v = 0 to t.n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  let order = Array.make t.n 0 in
+  let filled = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.take queue in
+    order.(!filled) <- v;
+    incr filled;
+    List.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue)
+      (List.rev t.succ.(v))
+  done;
+  if !filled = t.n then Some order else None
+
+let has_cycle t = topological_order t = None
+
+let longest_path_levels t =
+  match topological_order t with
+  | None -> None
+  | Some order ->
+    let level = Array.make t.n 0 in
+    Array.iter
+      (fun v ->
+        List.iter
+          (fun w -> if level.(v) + 1 > level.(w) then level.(w) <- level.(v) + 1)
+          t.succ.(v))
+      order;
+    Some level
+
+let reachable_from t seeds =
+  let seen = Array.make t.n false in
+  let stack = Stack.create () in
+  List.iter
+    (fun v ->
+      check t v "reachable_from";
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        Stack.push v stack
+      end)
+    seeds;
+  while not (Stack.is_empty stack) do
+    let v = Stack.pop stack in
+    List.iter
+      (fun w ->
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          Stack.push w stack
+        end)
+      t.succ.(v)
+  done;
+  seen

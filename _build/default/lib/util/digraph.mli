@@ -1,0 +1,43 @@
+(** Compact directed graph over integer vertices [0 .. n-1].
+
+    The graph is built once with [add_edge] and then frozen implicitly by
+    the traversal functions (adjacency is stored in growable buckets).
+    Used for netlist connectivity, STA levelization, enablement task DAGs,
+    and HLS data-dependence graphs. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an edgeless graph with [n] vertices. *)
+
+val vertex_count : t -> int
+
+val edge_count : t -> int
+
+val add_edge : t -> int -> int -> unit
+(** [add_edge g u v] adds a directed edge [u -> v]. Parallel edges are
+    kept (netlists can legitimately connect one driver to a sink twice). *)
+
+val succ : t -> int -> int list
+(** Successors of a vertex, in insertion order. *)
+
+val pred : t -> int -> int list
+(** Predecessors of a vertex, in insertion order. *)
+
+val out_degree : t -> int -> int
+
+val in_degree : t -> int -> int
+
+val topological_order : t -> int array option
+(** Kahn topological sort; [None] if the graph has a cycle. Deterministic:
+    ties resolve in increasing vertex order. *)
+
+val has_cycle : t -> bool
+
+val longest_path_levels : t -> int array option
+(** For a DAG, the length of the longest edge path ending at each vertex
+    (sources are level 0); [None] on a cyclic graph. This is the
+    levelization used by STA and by synthesis depth metrics. *)
+
+val reachable_from : t -> int list -> bool array
+(** Forward reachability from a seed set. *)

@@ -1,0 +1,80 @@
+type 'a entry = { priority : float; order : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_order : int;
+}
+
+let create () = { data = [||]; size = 0; next_order = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let less a b =
+  a.priority < b.priority || (a.priority = b.priority && a.order < b.order)
+
+let grow t =
+  let capacity = max 16 (2 * Array.length t.data) in
+  let dummy = t.data.(0) in
+  let data = Array.make capacity dummy in
+  Array.blit t.data 0 data 0 t.size;
+  t.data <- data
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t.data.(i) t.data.(parent) then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.size && less t.data.(left) t.data.(!smallest) then smallest := left;
+  if right < t.size && less t.data.(right) t.data.(!smallest) then smallest := right;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t ~priority value =
+  let entry = { priority; order = t.next_order; value } in
+  t.next_order <- t.next_order + 1;
+  if Array.length t.data = 0 then t.data <- Array.make 16 entry
+  else if t.size = Array.length t.data then grow t;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some top.value
+  end
+
+let pop_exn t =
+  match pop t with
+  | Some v -> v
+  | None -> raise Not_found
+
+let peek t = if t.size = 0 then None else Some t.data.(0).value
+
+let peek_priority t = if t.size = 0 then None else Some t.data.(0).priority
+
+let clear t =
+  t.size <- 0;
+  t.next_order <- 0

@@ -1,0 +1,71 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+    sqrt var
+
+let sorted xs = List.sort compare xs
+
+let median xs =
+  match sorted xs with
+  | [] -> 0.0
+  | ys ->
+    let a = Array.of_list ys in
+    let n = Array.length a in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let percentile p xs =
+  match sorted xs with
+  | [] -> 0.0
+  | ys ->
+    let a = Array.of_list ys in
+    let n = Array.length a in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    let idx = max 0 (min (n - 1) (rank - 1)) in
+    a.(idx)
+
+let minimum = function
+  | [] -> 0.0
+  | x :: xs -> List.fold_left Float.min x xs
+
+let maximum = function
+  | [] -> 0.0
+  | x :: xs -> List.fold_left Float.max x xs
+
+let geometric_mean = function
+  | [] -> 0.0
+  | xs ->
+    let log_sum =
+      List.fold_left
+        (fun acc x ->
+          if x <= 0.0 then invalid_arg "Stats.geometric_mean: non-positive sample";
+          acc +. log x)
+        0.0 xs
+    in
+    exp (log_sum /. float_of_int (List.length xs))
+
+let histogram ~bins xs =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  match xs with
+  | [] -> [||]
+  | _ ->
+    let lo = minimum xs and hi = maximum xs in
+    let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+    let counts = Array.make bins 0 in
+    let place x =
+      let idx = int_of_float ((x -. lo) /. width) in
+      let idx = max 0 (min (bins - 1) idx) in
+      counts.(idx) <- counts.(idx) + 1
+    in
+    List.iter place xs;
+    Array.mapi
+      (fun i c ->
+        let b_lo = lo +. (float_of_int i *. width) in
+        (b_lo, b_lo +. width, c))
+      counts

@@ -1,0 +1,24 @@
+(** Small descriptive-statistics helpers for reports and benches. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 for the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 for fewer than two samples. *)
+
+val median : float list -> float
+(** Median (average of middle pair for even lengths); 0 for empty. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,100\]], nearest-rank method. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+val geometric_mean : float list -> float
+(** Geometric mean of positive samples; used for PPA-ratio summaries.
+    @raise Invalid_argument if any sample is non-positive. *)
+
+val histogram : bins:int -> float list -> (float * float * int) array
+(** [histogram ~bins xs] is an array of [(lo, hi, count)] covering the data
+    range in equal-width bins. Empty input gives an empty array. *)

@@ -1,0 +1,85 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  title : string;
+  columns : (string * align) list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.add_row (%s): expected %d cells, got %d" t.title
+         (List.length t.columns) (List.length cells));
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let headers = List.map fst t.columns in
+  let widths =
+    List.mapi
+      (fun i header ->
+        let cell_width = function
+          | Cells cells -> String.length (List.nth cells i)
+          | Rule -> 0
+        in
+        List.fold_left (fun acc r -> max acc (cell_width r)) (String.length header) rows)
+      headers
+  in
+  let pad align width s =
+    let gap = width - String.length s in
+    if gap <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make gap ' '
+      | Right -> String.make gap ' ' ^ s
+  in
+  let aligns = List.map snd t.columns in
+  let line cells =
+    let padded = List.map2 (fun (a, w) c -> pad a w c) (List.combine aligns widths) cells in
+    "| " ^ String.concat " | " padded ^ " |"
+  in
+  let rule =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+  in
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer t.title;
+  Buffer.add_char buffer '\n';
+  Buffer.add_string buffer rule;
+  Buffer.add_char buffer '\n';
+  Buffer.add_string buffer (line headers);
+  Buffer.add_char buffer '\n';
+  Buffer.add_string buffer rule;
+  Buffer.add_char buffer '\n';
+  List.iter
+    (fun r ->
+      (match r with
+      | Cells cells -> Buffer.add_string buffer (line cells)
+      | Rule -> Buffer.add_string buffer rule);
+      Buffer.add_char buffer '\n')
+    rows;
+  Buffer.add_string buffer rule;
+  Buffer.add_char buffer '\n';
+  Buffer.contents buffer
+
+let print t = print_string (render t)
+
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let cell_pct x = Printf.sprintf "%.1f%%" (x *. 100.0)
+
+let cell_int = string_of_int
+
+let cell_money x =
+  let abs = Float.abs x in
+  if abs >= 1e9 then Printf.sprintf "$%.1fB" (x /. 1e9)
+  else if abs >= 100e6 then Printf.sprintf "$%.0fM" (x /. 1e6)
+  else if abs >= 1e6 then Printf.sprintf "$%.1fM" (x /. 1e6)
+  else if abs >= 1e3 then Printf.sprintf "$%.0fk" (x /. 1e3)
+  else Printf.sprintf "$%.0f" x

@@ -1,0 +1,35 @@
+(** ASCII table rendering for bench and CLI reports.
+
+    Every experiment bench prints its result through this module so the
+    tables in EXPERIMENTS.md regenerate byte-identically. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> columns:(string * align) list -> t
+(** A table with a caption and typed columns. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; the cell count must match the column count.
+    @raise Invalid_argument on arity mismatch. *)
+
+val add_rule : t -> unit
+(** Append a horizontal separator between row groups. *)
+
+val render : t -> string
+(** The full table, title included, newline-terminated. *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Fixed-point cell formatting (default 2 decimals). *)
+
+val cell_pct : float -> string
+(** Percentage cell: [cell_pct 0.34 = "34.0%"]. *)
+
+val cell_int : int -> string
+
+val cell_money : float -> string
+(** Engineering money format: ["$5.0M"], ["$725M"], ["$1.2B"]. *)

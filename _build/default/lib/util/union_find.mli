@@ -1,0 +1,21 @@
+(** Disjoint-set forest with path compression and union by rank.
+
+    Used for net connectivity checks after routing (all terminals of a net
+    must end up in one component) and for clustering in placement. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the element's set. *)
+
+val union : t -> int -> int -> unit
+(** Merge the two elements' sets (no-op when already merged). *)
+
+val same : t -> int -> int -> bool
+(** Whether the two elements are in one set. *)
+
+val count : t -> int
+(** Number of distinct sets. *)

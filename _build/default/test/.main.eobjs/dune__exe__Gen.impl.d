@@ -1,0 +1,1 @@
+test/gen.ml: Array Educhip_netlist Educhip_rtl Educhip_sim Educhip_util List Printf

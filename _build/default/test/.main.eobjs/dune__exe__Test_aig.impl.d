@@ -1,0 +1,1 @@
+test/test_aig.ml: Alcotest Array Educhip_aig Educhip_netlist Educhip_rtl Educhip_sim Format Gen List Printf QCheck QCheck_alcotest

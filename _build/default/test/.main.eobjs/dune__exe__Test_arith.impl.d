@@ -1,0 +1,1 @@
+test/test_arith.ml: Alcotest Educhip_cec Educhip_designs Educhip_netlist Educhip_rtl Educhip_sim Format List Printf

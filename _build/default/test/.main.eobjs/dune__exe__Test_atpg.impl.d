@@ -1,0 +1,1 @@
+test/test_atpg.ml: Alcotest Educhip_designs Educhip_dft Educhip_netlist Educhip_pdk Educhip_rtl Educhip_synth Format List Printf String

@@ -1,0 +1,1 @@
+test/test_bmc.ml: Alcotest Educhip_bmc Educhip_designs Educhip_netlist Educhip_rtl Format

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Educhip Educhip_designs Educhip_flow Educhip_pdk Float List Printf

@@ -1,0 +1,1 @@
+test/test_cts.ml: Alcotest Educhip_cts Educhip_designs Educhip_netlist Educhip_pdk Educhip_place Educhip_synth Format List String

@@ -1,0 +1,1 @@
+test/test_designs.ml: Alcotest Array Educhip_designs Educhip_netlist Educhip_rtl Educhip_sim Format List Printf

@@ -1,0 +1,1 @@
+test/test_dft.ml: Alcotest Educhip_designs Educhip_dft Educhip_netlist Educhip_pdk Educhip_rtl Educhip_sim Educhip_synth Educhip_util Format List

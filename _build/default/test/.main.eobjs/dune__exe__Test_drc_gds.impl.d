@@ -1,0 +1,1 @@
+test/test_drc_gds.ml: Alcotest Bytes Educhip_designs Educhip_drc Educhip_gds Educhip_pdk Educhip_place Educhip_route Educhip_synth Filename Format List Printf String Sys

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Educhip_designs Educhip_flow Educhip_netlist Educhip_pdk Educhip_sim Educhip_synth Format List String

@@ -1,0 +1,1 @@
+test/test_hls.ml: Alcotest Array Educhip_hls Educhip_rtl Educhip_sim Educhip_util List Printf QCheck QCheck_alcotest

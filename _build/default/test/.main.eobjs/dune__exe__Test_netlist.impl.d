@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Educhip_netlist Educhip_sim Format List Printf String

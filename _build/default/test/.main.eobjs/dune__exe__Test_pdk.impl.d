@@ -1,0 +1,1 @@
+test/test_pdk.ml: Alcotest Educhip_pdk Hashtbl List Printf

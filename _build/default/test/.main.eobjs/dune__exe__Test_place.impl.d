@@ -1,0 +1,1 @@
+test/test_place.ml: Alcotest Educhip_designs Educhip_netlist Educhip_pdk Educhip_place Educhip_synth Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Educhip_designs Educhip_pdk Educhip_power Educhip_rtl Educhip_synth

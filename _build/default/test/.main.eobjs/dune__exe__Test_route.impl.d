@@ -1,0 +1,1 @@
+test/test_route.ml: Alcotest Array Educhip_designs Educhip_pdk Educhip_place Educhip_route Educhip_synth Gen List QCheck QCheck_alcotest

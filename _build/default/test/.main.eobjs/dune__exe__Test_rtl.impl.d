@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Educhip_netlist Educhip_rtl Educhip_sim Gen List Printf QCheck QCheck_alcotest

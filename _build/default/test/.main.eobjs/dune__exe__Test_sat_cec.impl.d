@@ -1,0 +1,1 @@
+test/test_sat_cec.ml: Alcotest Array Educhip_cec Educhip_designs Educhip_netlist Educhip_pdk Educhip_rtl Educhip_sat Educhip_synth Educhip_util Format Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Educhip_netlist Educhip_sim List Printf

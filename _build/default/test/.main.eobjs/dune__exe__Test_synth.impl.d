@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array Educhip_aig Educhip_cec Educhip_designs Educhip_dft Educhip_netlist Educhip_pdk Educhip_rtl Educhip_sim Educhip_synth Gen List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Array Educhip_designs Educhip_netlist Educhip_pdk Educhip_synth Educhip_timing Float List

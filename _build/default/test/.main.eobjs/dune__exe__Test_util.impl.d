@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Educhip_util Float List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_vcd_lut.ml: Alcotest Educhip_designs Educhip_sim Educhip_synth Filename String Sys

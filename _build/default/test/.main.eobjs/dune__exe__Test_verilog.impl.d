@@ -1,0 +1,1 @@
+test/test_verilog.ml: Alcotest Educhip_cec Educhip_designs Educhip_netlist Educhip_pdk Educhip_synth Filename Format Gen List QCheck QCheck_alcotest Result String Sys

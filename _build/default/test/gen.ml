@@ -1,0 +1,126 @@
+(* Random-design generation shared by the RTL, synthesis, and flow tests.
+
+   [random_design seed] builds a random combinational-plus-registers design
+   through the public Rtl combinators and returns it with the stimulus
+   interface: input bus names with widths and output bus names. The same
+   seed always yields the same design. *)
+
+module Rng = Educhip_util.Rng
+module Rtl = Educhip_rtl.Rtl
+module Sim = Educhip_sim.Sim
+module Netlist = Educhip_netlist.Netlist
+
+type harness = {
+  netlist : Netlist.t;
+  input_widths : (string * int) list;
+  output_names : string list;
+}
+
+let random_signal rng pool = Rng.choice rng (Array.of_list pool)
+
+(* Grow a pool of signals by applying random combinators, then emit a few
+   outputs. Widths are kept in a small set so binary ops can always find
+   compatible operands. *)
+let random_design ?(inputs = 3) ?(ops = 25) ?(registers = true) seed =
+  let rng = Rng.create ~seed in
+  let d = Rtl.create ~name:(Printf.sprintf "random_%d" seed) in
+  let widths = [| 1; 2; 4 |] in
+  let input_widths =
+    List.init inputs (fun i ->
+        (Printf.sprintf "in%d" i, widths.(Rng.int rng (Array.length widths))))
+  in
+  let pool = ref (List.map (fun (n, w) -> Rtl.input d n w) input_widths) in
+  (* one literal per width guarantees operand availability *)
+  pool := Rtl.lit d ~width:1 1 :: Rtl.lit d ~width:2 2 :: Rtl.lit d ~width:4 9 :: !pool;
+  let pick_width rng w =
+    let candidates = List.filter (fun s -> Rtl.width s = w) !pool in
+    match candidates with
+    | [] -> None
+    | _ -> Some (random_signal rng candidates)
+  in
+  let any rng = random_signal rng !pool in
+  let add s = pool := s :: !pool in
+  for _ = 1 to ops do
+    let s = any rng in
+    let w = Rtl.width s in
+    match Rng.int rng 12 with
+    | 0 -> add (Rtl.bnot d s)
+    | 1 -> (
+      match pick_width rng w with
+      | Some u -> add (Rtl.band d s u)
+      | None -> add (Rtl.bnot d s))
+    | 2 -> (
+      match pick_width rng w with
+      | Some u -> add (Rtl.bor d s u)
+      | None -> add (Rtl.bnot d s))
+    | 3 -> (
+      match pick_width rng w with
+      | Some u -> add (Rtl.bxor d s u)
+      | None -> add (Rtl.bnot d s))
+    | 4 -> (
+      match pick_width rng w with
+      | Some u -> add (Rtl.add d s u)
+      | None -> add (Rtl.bnot d s))
+    | 5 -> (
+      match pick_width rng w with
+      | Some u -> add (Rtl.sub d s u)
+      | None -> add (Rtl.bnot d s))
+    | 6 -> (
+      match pick_width rng w with
+      | Some u -> add (Rtl.eq d s u)
+      | None -> add (Rtl.or_reduce d s))
+    | 7 -> (
+      match pick_width rng w with
+      | Some u -> add (Rtl.lt d s u)
+      | None -> add (Rtl.and_reduce d s))
+    | 8 -> (
+      match (pick_width rng 1, pick_width rng w) with
+      | Some sel, Some u -> add (Rtl.mux2 d ~sel s u)
+      | _, _ -> add (Rtl.xor_reduce d s))
+    | 9 -> add (Rtl.shift_left d s (Rng.int rng (w + 1)))
+    | 10 -> add (Rtl.shift_right d s (Rng.int rng (w + 1)))
+    | 11 -> if registers then add (Rtl.reg d s) else add (Rtl.bnot d s)
+    | _ -> assert false
+  done;
+  (* outputs: the three most recently created signals plus one reduction *)
+  let rec firstn n = function
+    | [] -> []
+    | x :: rest -> if n = 0 then [] else x :: firstn (n - 1) rest
+  in
+  let outs = firstn 3 !pool in
+  let output_names =
+    List.mapi
+      (fun i s ->
+        let name = Printf.sprintf "out%d" i in
+        Rtl.output d name s;
+        name)
+      outs
+  in
+  let netlist = Rtl.elaborate d in
+  { netlist; input_widths; output_names }
+
+(* Drive both netlists with identical random stimuli and compare every
+   watched output on every cycle. *)
+let equivalent ?(cycles = 24) ~seed reference candidate ~input_widths ~output_names =
+  let rng = Rng.create ~seed in
+  let sim_a = Sim.create reference in
+  let sim_b = Sim.create candidate in
+  let ok = ref true in
+  Sim.reset sim_a;
+  Sim.reset sim_b;
+  for _cycle = 1 to cycles do
+    List.iter
+      (fun (name, w) ->
+        let v = Rng.int rng (1 lsl w) in
+        Sim.set_bus sim_a name v;
+        Sim.set_bus sim_b name v)
+      input_widths;
+    Sim.step sim_a;
+    Sim.step sim_b;
+    Sim.eval sim_a;
+    Sim.eval sim_b;
+    List.iter
+      (fun name -> if Sim.read_bus sim_a name <> Sim.read_bus sim_b name then ok := false)
+      output_names
+  done;
+  !ok

@@ -1,0 +1,29 @@
+let () =
+  Alcotest.run "educhip"
+    [
+      ("util", Test_util.suite);
+      ("netlist", Test_netlist.suite);
+      ("rtl", Test_rtl.suite);
+      ("sim", Test_sim.suite);
+      ("aig", Test_aig.suite);
+      ("pdk", Test_pdk.suite);
+      ("synth", Test_synth.suite);
+      ("place", Test_place.suite);
+      ("route", Test_route.suite);
+      ("timing", Test_timing.suite);
+      ("power", Test_power.suite);
+      ("drc-gds", Test_drc_gds.suite);
+      ("hls", Test_hls.suite);
+      ("designs", Test_designs.suite);
+      ("flow", Test_flow.suite);
+      ("sat-cec", Test_sat_cec.suite);
+      ("verilog", Test_verilog.suite);
+      ("cts", Test_cts.suite);
+      ("vcd-lut", Test_vcd_lut.suite);
+      ("arith", Test_arith.suite);
+      ("dft", Test_dft.suite);
+      ("memgen-corners", Test_memgen_corners.suite);
+      ("atpg", Test_atpg.suite);
+      ("bmc", Test_bmc.suite);
+      ("core", Test_core.suite);
+    ]

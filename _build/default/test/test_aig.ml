@@ -1,0 +1,266 @@
+module Aig = Educhip_aig.Aig
+module Netlist = Educhip_netlist.Netlist
+
+let check = Alcotest.check
+
+(* {1 Constructor simplification rules} *)
+
+let test_constant_rules () =
+  let t = Aig.create () in
+  let a = Aig.add_input t in
+  check Alcotest.int "x&0=0" Aig.const_false (Aig.add_and t a Aig.const_false);
+  check Alcotest.int "x&1=x" a (Aig.add_and t a Aig.const_true);
+  check Alcotest.int "x&x=x" a (Aig.add_and t a a);
+  check Alcotest.int "x&!x=0" Aig.const_false (Aig.add_and t a (Aig.negate a))
+
+let test_strash () =
+  let t = Aig.create () in
+  let a = Aig.add_input t in
+  let b = Aig.add_input t in
+  let g1 = Aig.add_and t a b in
+  let g2 = Aig.add_and t b a in
+  check Alcotest.int "commutative hash" g1 g2;
+  check Alcotest.int "no duplicate node" 4 (Aig.node_count t)
+
+let test_containment_rules () =
+  let t = Aig.create () in
+  let a = Aig.add_input t in
+  let b = Aig.add_input t in
+  let ab = Aig.add_and t a b in
+  check Alcotest.int "(a&b)&a = a&b" ab (Aig.add_and t ab a);
+  check Alcotest.int "(a&b)&!a = 0" Aig.const_false (Aig.add_and t ab (Aig.negate a));
+  check Alcotest.int "!(a&b)&!a = !a" (Aig.negate a)
+    (Aig.add_and t (Aig.negate ab) (Aig.negate a))
+
+let test_or_xor_mux_semantics () =
+  let t = Aig.create () in
+  let a = Aig.add_input t in
+  let b = Aig.add_input t in
+  let s = Aig.add_input t in
+  let or_ = Aig.add_or t a b in
+  let xor = Aig.add_xor t a b in
+  let mux = Aig.add_mux t ~sel:s ~f:a ~g:b in
+  List.iter
+    (fun (va, vb, vs) ->
+      let inputs = [| va; vb; vs |] in
+      check Alcotest.bool "or" (va || vb) (Aig.simulate t or_ ~inputs);
+      check Alcotest.bool "xor" (va <> vb) (Aig.simulate t xor ~inputs);
+      check Alcotest.bool "mux" (if vs then vb else va) (Aig.simulate t mux ~inputs))
+    [
+      (false, false, false);
+      (false, true, false);
+      (true, false, true);
+      (true, true, true);
+      (false, true, true);
+      (true, false, false);
+    ]
+
+let test_depth () =
+  let t = Aig.create () in
+  let a = Aig.add_input t in
+  let b = Aig.add_input t in
+  let c = Aig.add_input t in
+  let d = Aig.add_input t in
+  (* chain: ((a&b)&c)&d -> depth 3 *)
+  let x = Aig.add_and t (Aig.add_and t (Aig.add_and t a b) c) d in
+  check Alcotest.int "chain depth" 3 (Aig.depth t ~outputs:[ x ])
+
+(* {1 Netlist round trips} *)
+
+let adder_netlist () =
+  let module Rtl = Educhip_rtl.Rtl in
+  let d = Rtl.create ~name:"add8" in
+  let a = Rtl.input d "a" 8 in
+  let b = Rtl.input d "b" 8 in
+  Rtl.output d "y" (Rtl.add d a b);
+  Rtl.elaborate d
+
+let test_of_netlist_counts () =
+  let nl = adder_netlist () in
+  let seq = Aig.of_netlist nl in
+  check Alcotest.int "16 pseudo-inputs" 16 (Aig.input_count seq.Aig.aig);
+  check Alcotest.int "8 cones" 8 (List.length seq.Aig.output_cones);
+  check Alcotest.bool "has ands" true (Aig.and_count seq.Aig.aig > 0)
+
+let round_trip_equivalent pass seed =
+  let h = Gen.random_design seed in
+  let seq = Aig.of_netlist h.Gen.netlist in
+  let optimized = pass seq in
+  let rebuilt = Aig.to_netlist optimized ~name:"rebuilt" in
+  Netlist.validate rebuilt = []
+  && Gen.equivalent ~seed:(seed + 1000) h.Gen.netlist rebuilt
+       ~input_widths:h.Gen.input_widths ~output_names:h.Gen.output_names
+
+let prop_round_trip =
+  QCheck.Test.make ~name:"of_netlist/to_netlist preserves semantics" ~count:40
+    QCheck.small_nat
+    (round_trip_equivalent (fun seq -> seq))
+
+let prop_extract_cone =
+  QCheck.Test.make ~name:"extract_cone preserves semantics" ~count:40 QCheck.small_nat
+    (round_trip_equivalent Aig.extract_cone)
+
+let prop_balance =
+  QCheck.Test.make ~name:"balance preserves semantics" ~count:40 QCheck.small_nat
+    (round_trip_equivalent Aig.balance)
+
+let prop_rewrite =
+  QCheck.Test.make ~name:"rewrite preserves semantics" ~count:40 QCheck.small_nat
+    (round_trip_equivalent Aig.rewrite)
+
+let prop_all_passes_stacked =
+  QCheck.Test.make ~name:"rewrite+balance+extract preserves semantics" ~count:40
+    QCheck.small_nat
+    (round_trip_equivalent (fun seq -> Aig.extract_cone (Aig.balance (Aig.rewrite seq))))
+
+let test_balance_reduces_chain_depth () =
+  (* a 16-way AND chain has depth 15; balancing must give ceil(log2 16)=4 *)
+  let nl = Netlist.create ~name:"chain" in
+  let inputs = Array.init 16 (fun i -> Netlist.add_input nl ~label:(Printf.sprintf "i%d" i)) in
+  let acc = ref inputs.(0) in
+  for i = 1 to 15 do
+    acc := Netlist.add_gate nl Netlist.And [| !acc; inputs.(i) |]
+  done;
+  ignore (Netlist.add_output nl ~label:"y" !acc);
+  let seq = Aig.of_netlist nl in
+  let outputs = List.map snd seq.Aig.output_cones in
+  check Alcotest.int "chain depth" 15 (Aig.depth seq.Aig.aig ~outputs);
+  let balanced = Aig.balance seq in
+  let outputs = List.map snd balanced.Aig.output_cones in
+  check Alcotest.int "balanced depth" 4 (Aig.depth balanced.Aig.aig ~outputs)
+
+let test_rewrite_never_grows () =
+  for seed = 0 to 19 do
+    let h = Gen.random_design seed in
+    let seq = Aig.of_netlist h.Gen.netlist in
+    let before = Aig.and_count seq.Aig.aig in
+    let after = Aig.and_count (Aig.rewrite seq).Aig.aig in
+    check Alcotest.bool "rewrite does not grow" true (after <= before)
+  done
+
+let test_constant_folding_through_aig () =
+  (* y = a & 0 collapses to constant; rebuild emits no AND gates *)
+  let nl = Netlist.create ~name:"fold" in
+  let a = Netlist.add_input nl ~label:"a" in
+  let zero = Netlist.add_const nl false in
+  let g = Netlist.add_gate nl Netlist.And [| a; zero |] in
+  ignore (Netlist.add_output nl ~label:"y" g);
+  let seq = Aig.of_netlist nl in
+  check Alcotest.int "folded away" 0 (Aig.and_count seq.Aig.aig);
+  let rebuilt = Aig.to_netlist seq ~name:"fold2" in
+  check Alcotest.int "no gates" 0 (Netlist.gate_count rebuilt)
+
+(* mapped cells re-enter the AIG through Shannon expansion of their truth
+   tables; round-trip must preserve the function *)
+let test_mapped_netlist_expansion () =
+  let nl = Netlist.create ~name:"m" in
+  let a = Netlist.add_input nl ~label:"a" in
+  let b = Netlist.add_input nl ~label:"b" in
+  let c = Netlist.add_input nl ~label:"c" in
+  (* AOI21: !((a&b) | c) *)
+  let table = ref 0 in
+  for i = 0 to 7 do
+    let va = i land 1 = 1 and vb = (i lsr 1) land 1 = 1 and vc = (i lsr 2) land 1 = 1 in
+    if not ((va && vb) || vc) then table := !table lor (1 lsl i)
+  done;
+  let g =
+    Netlist.add_gate nl
+      (Netlist.Mapped { Netlist.cell_name = "AOI21_X1"; arity = 3; table = !table })
+      [| a; b; c |]
+  in
+  ignore (Netlist.add_output nl ~label:"y" g);
+  let seq = Aig.of_netlist nl in
+  let rebuilt = Aig.to_netlist seq ~name:"expanded" in
+  Alcotest.(check (list string))
+    "valid" []
+    (List.map (fun v -> Format.asprintf "%a" Netlist.pp_violation v) (Netlist.validate rebuilt));
+  let module Sim = Educhip_sim.Sim in
+  let s1 = Sim.create nl and s2 = Sim.create rebuilt in
+  for i = 0 to 7 do
+    List.iter
+      (fun (name, bit) ->
+        Sim.set_bus s1 name ((i lsr bit) land 1);
+        Sim.set_bus s2 name ((i lsr bit) land 1))
+      [ ("a", 0); ("b", 1); ("c", 2) ];
+    Sim.eval s1;
+    Sim.eval s2;
+    check Alcotest.int "same function" (Sim.read_bus s1 "y") (Sim.read_bus s2 "y")
+  done
+
+(* {1 Cuts} *)
+
+let test_cut_tables () =
+  let t = Aig.create () in
+  let a = Aig.add_input t in
+  let b = Aig.add_input t in
+  let g = Aig.add_and t a b in
+  let cuts = Aig.enumerate_cuts t ~k:4 ~per_node:8 in
+  let node = Aig.node_of_lit g in
+  let node_cuts = cuts.(node) in
+  check Alcotest.bool "has trivial cut" true
+    (List.exists (fun c -> c.Aig.leaves = [| node |]) node_cuts);
+  (* the {a,b} cut computes AND: table 0b1000 over leaves sorted (a, b) *)
+  let ab_cut =
+    List.find_opt
+      (fun c -> Array.length c.Aig.leaves = 2 && not (Array.mem node c.Aig.leaves))
+      node_cuts
+  in
+  match ab_cut with
+  | None -> Alcotest.fail "missing {a,b} cut"
+  | Some c -> check Alcotest.int "AND table" 0b1000 c.Aig.table
+
+let test_cut_xor_table () =
+  let t = Aig.create () in
+  let a = Aig.add_input t in
+  let b = Aig.add_input t in
+  let g = Aig.add_xor t a b in
+  let cuts = Aig.enumerate_cuts t ~k:4 ~per_node:8 in
+  let node = Aig.node_of_lit g in
+  (* g is complemented or not depending on construction: test via the
+     positive node function *)
+  let xor_cut =
+    List.find_opt
+      (fun c ->
+        Array.length c.Aig.leaves = 2
+        && c.Aig.leaves.(0) = Aig.node_of_lit a
+        && c.Aig.leaves.(1) = Aig.node_of_lit b)
+      cuts.(node)
+  in
+  match xor_cut with
+  | None -> Alcotest.fail "missing {a,b} cut on xor"
+  | Some c ->
+    let expected = if Aig.is_complemented g then 0b1001 else 0b0110 in
+    check Alcotest.int "XOR table" expected c.Aig.table
+
+let test_cut_leaf_bound () =
+  let t = Aig.create () in
+  let inputs = List.init 6 (fun _ -> Aig.add_input t) in
+  let g = List.fold_left (fun acc i -> Aig.add_and t acc i) (List.hd inputs) (List.tl inputs) in
+  let cuts = Aig.enumerate_cuts t ~k:4 ~per_node:16 in
+  Array.iter
+    (List.iter (fun c ->
+         check Alcotest.bool "leaf bound" true (Array.length c.Aig.leaves <= 4)))
+    cuts;
+  ignore g
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_round_trip; prop_extract_cone; prop_balance; prop_rewrite; prop_all_passes_stacked ]
+
+let suite =
+  [
+    Alcotest.test_case "constant rules" `Quick test_constant_rules;
+    Alcotest.test_case "structural hashing" `Quick test_strash;
+    Alcotest.test_case "containment rules" `Quick test_containment_rules;
+    Alcotest.test_case "or/xor/mux semantics" `Quick test_or_xor_mux_semantics;
+    Alcotest.test_case "depth" `Quick test_depth;
+    Alcotest.test_case "of_netlist counts" `Quick test_of_netlist_counts;
+    Alcotest.test_case "balance reduces chain depth" `Quick test_balance_reduces_chain_depth;
+    Alcotest.test_case "rewrite never grows" `Quick test_rewrite_never_grows;
+    Alcotest.test_case "constant folding" `Quick test_constant_folding_through_aig;
+    Alcotest.test_case "mapped netlist expansion" `Quick test_mapped_netlist_expansion;
+    Alcotest.test_case "cut tables (and)" `Quick test_cut_tables;
+    Alcotest.test_case "cut tables (xor)" `Quick test_cut_xor_table;
+    Alcotest.test_case "cut leaf bound" `Quick test_cut_leaf_bound;
+  ]
+  @ qsuite

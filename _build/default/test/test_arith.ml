@@ -1,0 +1,88 @@
+module Arith = Educhip_designs.Arith
+module Designs = Educhip_designs.Designs
+module Rtl = Educhip_rtl.Rtl
+module Sim = Educhip_sim.Sim
+module Cec = Educhip_cec.Cec
+
+let check = Alcotest.check
+
+let exhaustive_adder design w =
+  let sim = Sim.create (Rtl.elaborate design) in
+  for a = 0 to (1 lsl w) - 1 do
+    for b = 0 to (1 lsl w) - 1 do
+      Sim.set_bus sim "a" a;
+      Sim.set_bus sim "b" b;
+      Sim.eval sim;
+      check Alcotest.int (Printf.sprintf "%d+%d" a b) (a + b) (Sim.read_bus sim "sum")
+    done
+  done
+
+let test_carry_select_exhaustive () =
+  exhaustive_adder (Arith.carry_select_adder ~width:5 ~block:2) 5
+
+let test_kogge_stone_exhaustive () = exhaustive_adder (Arith.kogge_stone_adder ~width:5) 5
+
+let test_wallace_exhaustive () =
+  let sim = Sim.create (Rtl.elaborate (Arith.wallace_multiplier ~width:4)) in
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      Sim.set_bus sim "a" a;
+      Sim.set_bus sim "b" b;
+      Sim.eval sim;
+      check Alcotest.int (Printf.sprintf "%d*%d" a b) (a * b) (Sim.read_bus sim "product")
+    done
+  done
+
+(* all three adders are formally equivalent to the ripple reference *)
+let test_adders_formally_equivalent () =
+  let reference = Rtl.elaborate (Designs.ripple_adder ~width:12) in
+  List.iter
+    (fun (name, design) ->
+      let nl = Rtl.elaborate design in
+      match Cec.check reference nl with
+      | Cec.Equivalent -> ()
+      | v -> Alcotest.failf "%s vs ripple: %s" name (Format.asprintf "%a" Cec.pp_verdict v))
+    [
+      ("carry-select", Arith.carry_select_adder ~width:12 ~block:4);
+      ("kogge-stone", Arith.kogge_stone_adder ~width:12);
+    ]
+
+let test_wallace_formally_equivalent () =
+  let reference = Rtl.elaborate (Designs.multiplier ~width:5) in
+  let wallace = Rtl.elaborate (Arith.wallace_multiplier ~width:5) in
+  match Cec.check reference wallace with
+  | Cec.Equivalent -> ()
+  | v -> Alcotest.failf "wallace vs array: %s" (Format.asprintf "%a" Cec.pp_verdict v)
+
+let test_kogge_stone_shallower () =
+  let module Netlist = Educhip_netlist.Netlist in
+  let ripple = Rtl.elaborate (Designs.ripple_adder ~width:32) in
+  let kogge = Rtl.elaborate (Arith.kogge_stone_adder ~width:32) in
+  check Alcotest.bool "parallel prefix is shallower" true
+    (Netlist.logic_depth kogge < Netlist.logic_depth ripple);
+  check Alcotest.bool "but larger" true
+    (Netlist.gate_count kogge > Netlist.gate_count ripple)
+
+let test_wallace_shallower () =
+  let module Netlist = Educhip_netlist.Netlist in
+  let array_mult = Rtl.elaborate (Designs.multiplier ~width:8) in
+  let wallace = Rtl.elaborate (Arith.wallace_multiplier ~width:8) in
+  check Alcotest.bool "carry-save tree is shallower" true
+    (Netlist.logic_depth wallace < Netlist.logic_depth array_mult)
+
+let test_bad_block () =
+  Alcotest.check_raises "block >= 1"
+    (Invalid_argument "Arith.carry_select_adder: block must be >= 1") (fun () ->
+      ignore (Arith.carry_select_adder ~width:8 ~block:0))
+
+let suite =
+  [
+    Alcotest.test_case "carry-select exhaustive" `Quick test_carry_select_exhaustive;
+    Alcotest.test_case "kogge-stone exhaustive" `Quick test_kogge_stone_exhaustive;
+    Alcotest.test_case "wallace exhaustive" `Quick test_wallace_exhaustive;
+    Alcotest.test_case "adders formally equivalent" `Quick test_adders_formally_equivalent;
+    Alcotest.test_case "wallace formally equivalent" `Quick test_wallace_formally_equivalent;
+    Alcotest.test_case "kogge-stone shallower" `Quick test_kogge_stone_shallower;
+    Alcotest.test_case "wallace shallower" `Quick test_wallace_shallower;
+    Alcotest.test_case "bad block" `Quick test_bad_block;
+  ]

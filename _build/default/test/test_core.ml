@@ -1,0 +1,464 @@
+(* Tests for the enablement-platform models: Market, Costmodel, Tapeout,
+   Workforce, Cloudhub, Enable, Productivity, Recommend. *)
+
+module Market = Educhip.Market
+module Costmodel = Educhip.Costmodel
+module Tapeout = Educhip.Tapeout
+module Workforce = Educhip.Workforce
+module Cloudhub = Educhip.Cloudhub
+module Enable = Educhip.Enable
+module Productivity = Educhip.Productivity
+module Recommend = Educhip.Recommend
+module Pdk = Educhip_pdk.Pdk
+module Designs = Educhip_designs.Designs
+
+let check = Alcotest.check
+
+(* {1 Market (E1)} *)
+
+let test_market_shares_sum () =
+  let total = List.fold_left (fun acc s -> acc +. s.Market.value_share) 0.0 Market.value_chain in
+  check (Alcotest.float 1e-9) "value shares sum to 1" 1.0 total
+
+let test_market_paper_numbers () =
+  check (Alcotest.float 1e-9) "design 30% of value" 0.30 (Market.find_segment "design").Market.value_share;
+  check (Alcotest.float 1e-9) "fabrication 34%" 0.34 (Market.find_segment "fabrication").Market.value_share;
+  check (Alcotest.float 1e-9) "europe design 10%" 0.10 (Market.find_segment "design").Market.europe_share;
+  check (Alcotest.float 1e-9) "europe fab 8%" 0.08 (Market.find_segment "fabrication").Market.europe_share;
+  check (Alcotest.float 1e-9) "europe equipment 40%" 0.40 (Market.find_segment "equipment").Market.europe_share;
+  check (Alcotest.float 1e-9) "europe materials 20%" 0.20 (Market.find_segment "materials").Market.europe_share;
+  check (Alcotest.float 1e-9) "55% application share" 0.55 (Market.europe_application_share ())
+
+let test_market_weighted_share () =
+  let w = Market.europe_weighted_share () in
+  (* Europe overall ~10-15% of semiconductor value *)
+  check Alcotest.bool "plausible overall share" true (w > 0.08 && w < 0.20)
+
+let test_market_scenario () =
+  let now = Market.scenario_design_share ~added_designers:0 ~years:10 in
+  let more = Market.scenario_design_share ~added_designers:20_000 ~years:10 in
+  check (Alcotest.float 1e-9) "no change without designers" 0.10 now;
+  check Alcotest.bool "designers grow share" true (more > now);
+  let capped = Market.scenario_design_share ~added_designers:10_000_000 ~years:50 in
+  check (Alcotest.float 1e-9) "saturates" 0.25 capped
+
+(* {1 Costmodel (E3/E4)} *)
+
+let test_cost_anchors () =
+  check (Alcotest.float 1.0) "130nm = $5M" 5.0e6
+    (Costmodel.design_cost_usd (Pdk.find_node "edu130"));
+  check (Alcotest.float 1.0) "2nm = $725M" 725.0e6
+    (Costmodel.design_cost_usd (Pdk.find_node "edu2"))
+
+let test_cost_monotone () =
+  let costs = List.map Costmodel.design_cost_usd Pdk.nodes in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a < b && monotone rest
+    | [ _ ] | [] -> true
+  in
+  check Alcotest.bool "strictly rising" true (monotone costs)
+
+let test_breakdown_sums () =
+  List.iter
+    (fun node ->
+      let b = Costmodel.breakdown node in
+      let total =
+        b.Costmodel.engineering_usd +. b.Costmodel.eda_licenses_usd
+        +. b.Costmodel.ip_licensing_usd +. b.Costmodel.masks_and_prototypes_usd
+        +. b.Costmodel.software_and_validation_usd
+      in
+      check (Alcotest.float 1.0) (node.Pdk.node_name ^ " breakdown sums")
+        (Costmodel.design_cost_usd node) total;
+      check Alcotest.bool "all components positive" true
+        (b.Costmodel.engineering_usd > 0.0 && b.Costmodel.software_and_validation_usd > 0.0))
+    Pdk.nodes
+
+let test_mpw_vs_full_run () =
+  let node = Pdk.find_node "edu130" in
+  let slot = Costmodel.mpw_slot_cost_eur node ~area_mm2:2.0 in
+  check (Alcotest.float 1e-6) "2 mm2 slot" (2.0 *. node.Pdk.mpw_cost_eur_per_mm2) slot;
+  check Alcotest.bool "mpw far below full run" true
+    (slot < Costmodel.full_run_cost_eur node /. 10.0);
+  (* minimum billed area *)
+  let tiny = Costmodel.mpw_slot_cost_eur node ~area_mm2:0.01 in
+  check (Alcotest.float 1e-6) "minimum area billed"
+    (node.Pdk.min_mpw_area_mm2 *. node.Pdk.mpw_cost_eur_per_mm2)
+    tiny
+
+let test_shuttle_sharing () =
+  let node = Pdk.find_node "edu130" in
+  let solo = Costmodel.cost_per_design_on_shuttle_eur node ~designs:1 ~area_mm2:1.0 in
+  let shared = Costmodel.cost_per_design_on_shuttle_eur node ~designs:20 ~area_mm2:1.0 in
+  check Alcotest.bool "sharing reduces cost" true (shared < solo /. 5.0);
+  check Alcotest.bool "floors at slot price" true
+    (shared >= Costmodel.mpw_slot_cost_eur node ~area_mm2:1.0);
+  Alcotest.check_raises "zero designs" (Invalid_argument "Costmodel: designs must be >= 1")
+    (fun () -> ignore (Costmodel.cost_per_design_on_shuttle_eur node ~designs:0 ~area_mm2:1.0))
+
+let test_sponsorship () =
+  let node = Pdk.find_node "edu130" in
+  let full = Costmodel.mpw_slot_cost_eur node ~area_mm2:1.0 in
+  check (Alcotest.float 1e-6) "half subsidy" (full /. 2.0)
+    (Costmodel.sponsored_cost_eur node ~area_mm2:1.0 ~subsidy:0.5);
+  check (Alcotest.float 1e-6) "clamped subsidy" 0.0
+    (Costmodel.sponsored_cost_eur node ~area_mm2:1.0 ~subsidy:1.5)
+
+let test_yield_model () =
+  let node = Pdk.find_node "edu130" in
+  let y_small = Costmodel.production_yield node ~area_mm2:1.0 in
+  let y_large = Costmodel.production_yield node ~area_mm2:400.0 in
+  check Alcotest.bool "yield in (0,1]" true (y_small > 0.0 && y_small <= 1.0);
+  check Alcotest.bool "bigger dies yield worse" true (y_large < y_small);
+  check Alcotest.bool "small die yields well on mature node" true (y_small > 0.99);
+  let advanced = Pdk.find_node "edu3" in
+  check Alcotest.bool "advanced nodes yield worse" true
+    (Costmodel.production_yield advanced ~area_mm2:100.0
+    < Costmodel.production_yield node ~area_mm2:100.0)
+
+let test_dies_per_wafer () =
+  let node = Pdk.find_node "edu130" in
+  let small = Costmodel.dies_per_wafer node ~area_mm2:10.0 in
+  let large = Costmodel.dies_per_wafer node ~area_mm2:100.0 in
+  check Alcotest.bool "thousands of small dies" true (small > 5000);
+  check Alcotest.bool "fewer large dies" true (large < small);
+  (* gross count must be below the zero-edge-loss bound *)
+  check Alcotest.bool "edge loss applied" true
+    (float_of_int small < Float.pi *. 150.0 *. 150.0 /. 10.0)
+
+let test_cost_per_good_die () =
+  let mature = Pdk.find_node "edu130" and advanced = Pdk.find_node "edu5" in
+  let c_mature = Costmodel.cost_per_good_die_eur mature ~area_mm2:50.0 in
+  let c_advanced = Costmodel.cost_per_good_die_eur advanced ~area_mm2:50.0 in
+  check Alcotest.bool "positive" true (c_mature > 0.0);
+  check Alcotest.bool "advanced silicon costs more" true (c_advanced > c_mature);
+  (* die cost grows super-linearly with area (fewer dies x worse yield) *)
+  let c1 = Costmodel.cost_per_good_die_eur mature ~area_mm2:25.0 in
+  let c4 = Costmodel.cost_per_good_die_eur mature ~area_mm2:100.0 in
+  check Alcotest.bool "superlinear in area" true (c4 > 4.0 *. c1)
+
+let test_affordability_frontier () =
+  let affordable = Costmodel.affordable_nodes ~budget_eur:30_000.0 ~area_mm2:1.0 in
+  let names = List.map (fun n -> n.Pdk.node_name) affordable in
+  check Alcotest.bool "mature nodes affordable" true (List.mem "edu180" names && List.mem "edu130" names);
+  check Alcotest.bool "advanced nodes excluded" true (not (List.mem "edu7" names))
+
+(* {1 Tapeout (E8)} *)
+
+let test_latency_exceeds_course () =
+  (* the paper's claim: turnaround alone busts a semester at any node *)
+  List.iter
+    (fun node ->
+      let latency =
+        Tapeout.total_latency_weeks node ~gates:2000 ~experienced:false ~runs_per_year:4
+      in
+      check Alcotest.bool
+        (node.Pdk.node_name ^ " cannot fit a semester course")
+        false
+        (Tapeout.fits Tapeout.Semester_course ~latency_weeks:latency))
+    Pdk.nodes
+
+let test_phd_fits_everywhere () =
+  List.iter
+    (fun node ->
+      let latency =
+        Tapeout.total_latency_weeks node ~gates:50_000 ~experienced:false ~runs_per_year:2
+      in
+      check Alcotest.bool (node.Pdk.node_name ^ " fits a PhD") true
+        (Tapeout.fits Tapeout.Phd ~latency_weeks:latency))
+    Pdk.nodes
+
+let test_experience_helps () =
+  let node = Pdk.find_node "edu65" in
+  let novice = Tapeout.design_effort_weeks node ~gates:10_000 ~experienced:false in
+  let expert = Tapeout.design_effort_weeks node ~gates:10_000 ~experienced:true in
+  check (Alcotest.float 1e-9) "2.5x factor" (expert *. 2.5) novice
+
+let test_feasible_kinds_shrink_with_node () =
+  let mature =
+    Tapeout.feasible_kinds (Pdk.find_node "edu180") ~gates:2000 ~experienced:true
+      ~runs_per_year:6
+  in
+  let advanced =
+    Tapeout.feasible_kinds (Pdk.find_node "edu7") ~gates:2000 ~experienced:true
+      ~runs_per_year:2
+  in
+  check Alcotest.bool "fewer formats at advanced nodes" true
+    (List.length advanced <= List.length mature)
+
+let test_shuttle_planning () =
+  let node = Pdk.find_node "edu130" in
+  let slots =
+    List.init 10 (fun i ->
+        { Tapeout.design_name = Printf.sprintf "d%d" i; area_mm2 = 0.5 +. (0.3 *. float_of_int i) })
+  in
+  let plan = Tapeout.plan_shuttle node ~capacity_mm2:10.0 slots in
+  check Alcotest.bool "capacity respected" true (plan.Tapeout.used_mm2 <= 10.0);
+  check Alcotest.int "all slots accounted" 10
+    (List.length plan.Tapeout.accepted + List.length plan.Tapeout.rejected);
+  check Alcotest.bool "some accepted" true (plan.Tapeout.accepted <> []);
+  check Alcotest.bool "shared cost positive" true (plan.Tapeout.cost_per_design_eur > 0.0)
+
+let test_shuttle_wait () =
+  check (Alcotest.float 1e-9) "quarterly shuttle waits 6.5 weeks" 6.5
+    (Tapeout.expected_shuttle_wait_weeks ~runs_per_year:4)
+
+(* {1 Workforce (E7)} *)
+
+let test_baseline_calibration () =
+  let g0 = Workforce.graduates_per_year Workforce.baseline ~year:0 in
+  check Alcotest.bool "about 3.1k graduates in year 0" true (g0 > 2.7 && g0 < 3.5)
+
+let test_baseline_declines () =
+  let g0 = Workforce.graduates_per_year Workforce.baseline ~year:0 in
+  let g10 = Workforce.graduates_per_year Workforce.baseline ~year:10 in
+  check Alcotest.bool "declining interest" true (g10 < g0)
+
+let test_baseline_shortage_grows () =
+  let points = Workforce.simulate Workforce.baseline ~years:15 in
+  let last = List.nth points (List.length points - 1) in
+  check Alcotest.bool "gap accumulates" true (last.Workforce.cumulative_gap > 10.0);
+  check Alcotest.bool "never eliminated" true
+    (Workforce.shortage_eliminated_year Workforce.baseline ~years:15 = None)
+
+let test_interventions_help () =
+  let all_three =
+    Workforce.baseline
+    |> Workforce.with_low_barrier_programs
+    |> Workforce.with_information_campaigns
+    |> Workforce.with_coordinated_funding
+  in
+  let g10_base = Workforce.graduates_per_year Workforce.baseline ~year:10 in
+  let g10_all = Workforce.graduates_per_year all_three ~year:10 in
+  check Alcotest.bool "interventions raise graduates" true (g10_all > 2.0 *. g10_base);
+  check Alcotest.bool "demand eventually met" true
+    (Workforce.shortage_eliminated_year all_three ~years:15 <> None)
+
+let test_rates_clamped () =
+  let s = Workforce.with_low_barrier_programs (Workforce.with_low_barrier_programs Workforce.baseline) in
+  check Alcotest.bool "exposure <= 1" true (s.Workforce.rates.Workforce.school_exposure <= 1.0)
+
+(* {1 Cloudhub (E10)} *)
+
+let test_hub_simulation_basics () =
+  let stats = Cloudhub.simulate Cloudhub.default_params in
+  check Alcotest.bool "jobs completed" true (stats.Cloudhub.completed > 100);
+  check Alcotest.bool "utilization in (0,1]" true
+    (stats.Cloudhub.utilization > 0.0 && stats.Cloudhub.utilization <= 1.0);
+  check Alcotest.bool "waits non-negative" true (stats.Cloudhub.mean_wait_weeks >= 0.0);
+  check Alcotest.bool "p95 >= mean" true
+    (stats.Cloudhub.p95_wait_weeks >= stats.Cloudhub.mean_wait_weeks *. 0.99)
+
+let test_hub_determinism () =
+  let a = Cloudhub.simulate Cloudhub.default_params in
+  let b = Cloudhub.simulate Cloudhub.default_params in
+  check Alcotest.int "same completions" a.Cloudhub.completed b.Cloudhub.completed;
+  check (Alcotest.float 1e-12) "same wait" a.Cloudhub.mean_wait_weeks b.Cloudhub.mean_wait_weeks
+
+let test_more_teams_less_wait () =
+  let base = { Cloudhub.default_params with Cloudhub.arrivals_per_week = 2.0 } in
+  let small = Cloudhub.simulate { base with Cloudhub.det_teams = 2 } in
+  let large = Cloudhub.simulate { base with Cloudhub.det_teams = 6 } in
+  check Alcotest.bool "more teams reduce wait" true
+    (large.Cloudhub.mean_wait_weeks < small.Cloudhub.mean_wait_weeks)
+
+let test_pooling_advantage () =
+  (* the Rec. 7 argument: a pooled queue beats isolated single-team sites.
+     A long horizon is needed — near saturation, M/G/1 takes hundreds of
+     service times to reach steady state, and short runs are dominated by
+     the empty-system warm-up transient *)
+  let cmp =
+    Cloudhub.centralized_vs_federated
+      { Cloudhub.default_params with
+        Cloudhub.arrivals_per_week = 2.5;
+        horizon_weeks = 4000.0 }
+      ~sites:5
+  in
+  check Alcotest.bool "pooling reduces waits" true (cmp.Cloudhub.pooling_speedup > 2.0)
+
+let test_hub_bad_args () =
+  Alcotest.check_raises "teams" (Invalid_argument "Cloudhub.simulate: need at least one team")
+    (fun () ->
+      ignore (Cloudhub.simulate { Cloudhub.default_params with Cloudhub.det_teams = 0 }))
+
+let test_tier_services_ordered () =
+  check Alcotest.bool "advanced costs most effort" true
+    (Cloudhub.tier_service_weeks Cloudhub.Advanced
+    > Cloudhub.tier_service_weeks Cloudhub.Intermediate
+    && Cloudhub.tier_service_weeks Cloudhub.Intermediate
+       > Cloudhub.tier_service_weeks Cloudhub.Beginner)
+
+(* {1 Enable (E5)} *)
+
+let test_enablement_orderings () =
+  let t_self = Enable.time_to_first_gdsii_weeks ~access:Pdk.Nda ~support:Enable.Self_service in
+  let t_det =
+    Enable.time_to_first_gdsii_weeks ~access:Pdk.Nda ~support:Enable.Design_enablement_team
+  in
+  let t_cloud =
+    Enable.time_to_first_gdsii_weeks ~access:Pdk.Nda ~support:Enable.Cloud_platform
+  in
+  check Alcotest.bool "DET faster than self-service" true (t_det < t_self);
+  check Alcotest.bool "cloud fastest" true (t_cloud < t_det)
+
+let test_open_pdk_helps () =
+  let nda = Enable.time_to_first_gdsii_weeks ~access:Pdk.Nda ~support:Enable.Self_service in
+  let open_ = Enable.time_to_first_gdsii_weeks ~access:Pdk.Open_pdk ~support:Enable.Self_service in
+  let track =
+    Enable.time_to_first_gdsii_weeks ~access:Pdk.Nda_with_track_record
+      ~support:Enable.Self_service
+  in
+  check Alcotest.bool "open beats nda" true (open_ < nda);
+  check Alcotest.bool "track record slowest" true (track > nda)
+
+let test_critical_path_valid () =
+  let path = Enable.critical_path ~access:Pdk.Nda ~support:Enable.Self_service in
+  check Alcotest.bool "nonempty" true (path <> []);
+  check Alcotest.string "ends at reference design" "reference-design"
+    (List.nth path (List.length path - 1));
+  (* every named task exists in the task list *)
+  let tasks = Enable.tasks ~access:Pdk.Nda ~support:Enable.Self_service in
+  List.iter
+    (fun name ->
+      check Alcotest.bool (name ^ " exists") true
+        (List.exists (fun t -> t.Enable.task_name = name) tasks))
+    path
+
+let test_effort_vs_calendar () =
+  let effort = Enable.total_effort_weeks ~access:Pdk.Nda ~support:Enable.Self_service in
+  let calendar = Enable.time_to_first_gdsii_weeks ~access:Pdk.Nda ~support:Enable.Self_service in
+  check Alcotest.bool "effort exceeds critical path" true (effort > calendar)
+
+(* {1 Productivity (E2)} *)
+
+let test_rtl_ratio_in_paper_band () =
+  let node = Pdk.find_node "edu130" in
+  let ms = Productivity.measure_suite ~node () in
+  let geomean = Productivity.suite_geomean ms in
+  (* the paper's §III-B claim: 5 to 20 gates per RTL line *)
+  check Alcotest.bool
+    (Printf.sprintf "geomean %.1f within 5-20" geomean)
+    true
+    (geomean >= 5.0 && geomean <= 20.0)
+
+let test_software_expansion_thousands () =
+  let g = Productivity.software_geomean () in
+  check Alcotest.bool "thousands of instructions per line" true (g > 1000.0)
+
+let test_abstraction_gap_large () =
+  let node = Pdk.find_node "edu130" in
+  check Alcotest.bool "gap of orders of magnitude" true
+    (Productivity.abstraction_gap ~node > 100.0)
+
+let test_measurement_fields () =
+  let node = Pdk.find_node "edu130" in
+  let m = Productivity.measure (Designs.find "adder8") ~node in
+  check Alcotest.bool "statements counted" true (m.Productivity.rtl_statements > 0);
+  check Alcotest.bool "gates counted" true (m.Productivity.primitive_gates > 0);
+  check Alcotest.bool "cells counted" true (m.Productivity.mapped_cells > 0)
+
+(* {1 Recommend (E9 + scenarios)} *)
+
+let test_eight_recommendations () =
+  check Alcotest.int "eight recommendations" 8 (List.length Recommend.recommendations);
+  List.iteri
+    (fun i r -> check Alcotest.int "ids ordered" (i + 1) r.Recommend.id)
+    Recommend.recommendations
+
+let test_each_recommendation_improves_something () =
+  let s0 = Recommend.baseline_state () in
+  List.iter
+    (fun r ->
+      let s1 = Recommend.apply r.Recommend.id s0 in
+      let improved =
+        s1.Recommend.graduates_per_year_k > s0.Recommend.graduates_per_year_k
+        || s1.Recommend.time_to_first_gdsii_weeks < s0.Recommend.time_to_first_gdsii_weeks
+        || s1.Recommend.mpw_cost_per_design_eur < s0.Recommend.mpw_cost_per_design_eur
+        || s1.Recommend.hub_wait_weeks < s0.Recommend.hub_wait_weeks
+        || s1.Recommend.course_completion_rate > s0.Recommend.course_completion_rate
+      in
+      check Alcotest.bool
+        (Printf.sprintf "R%d improves the state" r.Recommend.id)
+        true improved)
+    Recommend.recommendations
+
+let test_apply_all_composes () =
+  let s0 = Recommend.baseline_state () in
+  let s = Recommend.apply_all s0 in
+  check Alcotest.bool "graduates up" true
+    (s.Recommend.graduates_per_year_k > s0.Recommend.graduates_per_year_k);
+  check Alcotest.bool "setup down" true
+    (s.Recommend.time_to_first_gdsii_weeks < s0.Recommend.time_to_first_gdsii_weeks);
+  check Alcotest.bool "mpw cheaper" true
+    (s.Recommend.mpw_cost_per_design_eur < s0.Recommend.mpw_cost_per_design_eur)
+
+let test_apply_bad_id () =
+  Alcotest.check_raises "id range" (Invalid_argument "Recommend.apply: id must be in 1..8")
+    (fun () -> ignore (Recommend.apply 9 (Recommend.baseline_state ())))
+
+let test_tier_plans_distinct () =
+  let b = Recommend.tier_plan Cloudhub.Beginner in
+  let i = Recommend.tier_plan Cloudhub.Intermediate in
+  let a = Recommend.tier_plan Cloudhub.Advanced in
+  check Alcotest.bool "beginner uses an open node" true
+    (b.Recommend.node.Pdk.access = Pdk.Open_pdk);
+  check Alcotest.bool "advanced uses an advanced node" true
+    (a.Recommend.node.Pdk.feature_nm < i.Recommend.node.Pdk.feature_nm)
+
+let test_tier_evaluation () =
+  let b = Recommend.evaluate_tier Cloudhub.Beginner in
+  let a = Recommend.evaluate_tier Cloudhub.Advanced in
+  check Alcotest.bool "beginner setup minimal" true
+    (b.Recommend.setup_weeks < a.Recommend.setup_weeks);
+  check Alcotest.bool "beginner flow clean" true b.Recommend.ppa.Educhip_flow.Flow.drc_clean;
+  check Alcotest.bool "advanced flow clean" true a.Recommend.ppa.Educhip_flow.Flow.drc_clean;
+  check Alcotest.bool "advanced costs more" true
+    (a.Recommend.mpw_cost_eur > 0.0 && b.Recommend.mpw_cost_eur > 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "market shares sum" `Quick test_market_shares_sum;
+    Alcotest.test_case "market paper numbers" `Quick test_market_paper_numbers;
+    Alcotest.test_case "market weighted share" `Quick test_market_weighted_share;
+    Alcotest.test_case "market scenario" `Quick test_market_scenario;
+    Alcotest.test_case "cost anchors" `Quick test_cost_anchors;
+    Alcotest.test_case "cost monotone" `Quick test_cost_monotone;
+    Alcotest.test_case "breakdown sums" `Quick test_breakdown_sums;
+    Alcotest.test_case "mpw vs full run" `Quick test_mpw_vs_full_run;
+    Alcotest.test_case "shuttle sharing" `Quick test_shuttle_sharing;
+    Alcotest.test_case "sponsorship" `Quick test_sponsorship;
+    Alcotest.test_case "affordability frontier" `Quick test_affordability_frontier;
+    Alcotest.test_case "yield model" `Quick test_yield_model;
+    Alcotest.test_case "dies per wafer" `Quick test_dies_per_wafer;
+    Alcotest.test_case "cost per good die" `Quick test_cost_per_good_die;
+    Alcotest.test_case "latency exceeds course" `Quick test_latency_exceeds_course;
+    Alcotest.test_case "phd fits everywhere" `Quick test_phd_fits_everywhere;
+    Alcotest.test_case "experience helps" `Quick test_experience_helps;
+    Alcotest.test_case "feasible kinds shrink" `Quick test_feasible_kinds_shrink_with_node;
+    Alcotest.test_case "shuttle planning" `Quick test_shuttle_planning;
+    Alcotest.test_case "shuttle wait" `Quick test_shuttle_wait;
+    Alcotest.test_case "workforce calibration" `Quick test_baseline_calibration;
+    Alcotest.test_case "workforce declines" `Quick test_baseline_declines;
+    Alcotest.test_case "shortage grows" `Quick test_baseline_shortage_grows;
+    Alcotest.test_case "interventions help" `Quick test_interventions_help;
+    Alcotest.test_case "rates clamped" `Quick test_rates_clamped;
+    Alcotest.test_case "hub basics" `Quick test_hub_simulation_basics;
+    Alcotest.test_case "hub determinism" `Quick test_hub_determinism;
+    Alcotest.test_case "more teams less wait" `Quick test_more_teams_less_wait;
+    Alcotest.test_case "pooling advantage" `Quick test_pooling_advantage;
+    Alcotest.test_case "hub bad args" `Quick test_hub_bad_args;
+    Alcotest.test_case "tier services ordered" `Quick test_tier_services_ordered;
+    Alcotest.test_case "enablement orderings" `Quick test_enablement_orderings;
+    Alcotest.test_case "open pdk helps" `Quick test_open_pdk_helps;
+    Alcotest.test_case "critical path valid" `Quick test_critical_path_valid;
+    Alcotest.test_case "effort vs calendar" `Quick test_effort_vs_calendar;
+    Alcotest.test_case "rtl ratio in paper band" `Slow test_rtl_ratio_in_paper_band;
+    Alcotest.test_case "software expansion" `Quick test_software_expansion_thousands;
+    Alcotest.test_case "abstraction gap" `Slow test_abstraction_gap_large;
+    Alcotest.test_case "measurement fields" `Quick test_measurement_fields;
+    Alcotest.test_case "eight recommendations" `Quick test_eight_recommendations;
+    Alcotest.test_case "each recommendation improves" `Quick test_each_recommendation_improves_something;
+    Alcotest.test_case "apply all composes" `Quick test_apply_all_composes;
+    Alcotest.test_case "apply bad id" `Quick test_apply_bad_id;
+    Alcotest.test_case "tier plans distinct" `Quick test_tier_plans_distinct;
+    Alcotest.test_case "tier evaluation" `Slow test_tier_evaluation;
+  ]

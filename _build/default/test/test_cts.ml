@@ -1,0 +1,92 @@
+module Cts = Educhip_cts.Cts
+module Place = Educhip_place.Place
+module Synth = Educhip_synth.Synth
+module Pdk = Educhip_pdk.Pdk
+module Designs = Educhip_designs.Designs
+module Netlist = Educhip_netlist.Netlist
+
+let check = Alcotest.check
+
+let node = Pdk.find_node "edu130"
+
+let placed name =
+  let nl = Designs.netlist (Designs.find name) in
+  let mapped, _ = Synth.synthesize nl ~node Synth.default_options in
+  Place.place mapped ~node Place.default_effort
+
+let test_empty_for_combinational () =
+  let tree = Cts.synthesize (placed "adder8") in
+  check Alcotest.int "no sinks" 0 (Cts.sink_count tree);
+  check Alcotest.int "no buffers" 0 (Cts.buffer_count tree);
+  check (Alcotest.float 1e-9) "no skew" 0.0 (Cts.skew_ps tree);
+  check (Alcotest.float 1e-9) "no cap" 0.0 (Cts.total_cap_ff tree)
+
+let test_covers_all_registers () =
+  let placement = placed "fir4x8" in
+  let tree = Cts.synthesize placement in
+  let dffs = Netlist.dffs (Place.netlist placement) in
+  check Alcotest.int "every register is a sink" (List.length dffs) (Cts.sink_count tree);
+  let delays = Cts.insertion_delays_ps tree in
+  check Alcotest.int "every sink has a delay" (List.length dffs) (List.length delays);
+  List.iter
+    (fun id ->
+      check Alcotest.bool "sink listed" true (List.mem_assoc id delays))
+    dffs
+
+let test_positive_metrics () =
+  let tree = Cts.synthesize (placed "fir4x8") in
+  check Alcotest.bool "buffers inserted" true (Cts.buffer_count tree > 0);
+  check Alcotest.bool "levels" true (Cts.levels tree >= 1);
+  check Alcotest.bool "wire" true (Cts.wirelength_um tree > 0.0);
+  check Alcotest.bool "cap" true (Cts.total_cap_ff tree > 0.0);
+  check Alcotest.bool "insertion delay" true (Cts.max_insertion_delay_ps tree > 0.0);
+  check Alcotest.bool "skew non-negative" true (Cts.skew_ps tree >= 0.0);
+  check Alcotest.bool "skew below max insertion" true
+    (Cts.skew_ps tree <= Cts.max_insertion_delay_ps tree)
+
+let test_tree_cap_exceeds_pin_cap () =
+  let placement = placed "fir4x8" in
+  let tree = Cts.synthesize placement in
+  let dffs = List.length (Netlist.dffs (Place.netlist placement)) in
+  let pin_cap = float_of_int dffs *. (Pdk.dff_cell node).Pdk.input_cap_ff in
+  check Alcotest.bool "tree cap > bare pins" true (Cts.total_cap_ff tree > pin_cap)
+
+let test_deterministic () =
+  let placement = placed "gray8" in
+  let t1 = Cts.synthesize placement and t2 = Cts.synthesize placement in
+  check (Alcotest.float 1e-12) "same skew" (Cts.skew_ps t1) (Cts.skew_ps t2);
+  check Alcotest.int "same buffers" (Cts.buffer_count t1) (Cts.buffer_count t2)
+
+let test_buffer_locations_inside_die () =
+  let placement = placed "fir4x8" in
+  let tree = Cts.synthesize placement in
+  let die_w, die_h = Place.die_um placement in
+  List.iter
+    (fun (x, y, level) ->
+      check Alcotest.bool "x inside" true (x >= 0.0 && x <= die_w);
+      check Alcotest.bool "y inside" true (y >= 0.0 && y <= die_h);
+      check Alcotest.bool "level positive" true (level >= 1))
+    (Cts.buffer_locations tree)
+
+let test_bigger_designs_deeper_trees () =
+  let small = Cts.synthesize (placed "gray8") in
+  let large = Cts.synthesize (placed "fir4x8") in
+  check Alcotest.bool "more sinks, at least as many buffers" true
+    (Cts.buffer_count large >= Cts.buffer_count small)
+
+let test_summary_renders () =
+  let tree = Cts.synthesize (placed "gray8") in
+  let s = Format.asprintf "%a" Cts.pp_summary tree in
+  check Alcotest.bool "mentions sinks" true (String.length s > 20)
+
+let suite =
+  [
+    Alcotest.test_case "empty for combinational" `Quick test_empty_for_combinational;
+    Alcotest.test_case "covers all registers" `Quick test_covers_all_registers;
+    Alcotest.test_case "positive metrics" `Quick test_positive_metrics;
+    Alcotest.test_case "tree cap exceeds pins" `Quick test_tree_cap_exceeds_pin_cap;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "buffers inside die" `Quick test_buffer_locations_inside_die;
+    Alcotest.test_case "bigger designs deeper trees" `Quick test_bigger_designs_deeper_trees;
+    Alcotest.test_case "summary renders" `Quick test_summary_renders;
+  ]

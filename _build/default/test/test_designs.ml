@@ -1,0 +1,329 @@
+module Designs = Educhip_designs.Designs
+module Netlist = Educhip_netlist.Netlist
+module Rtl = Educhip_rtl.Rtl
+module Sim = Educhip_sim.Sim
+
+let check = Alcotest.check
+
+let test_all_elaborate () =
+  List.iter
+    (fun entry ->
+      let nl = Designs.netlist entry in
+      check Alcotest.(list string)
+        (entry.Designs.name ^ " valid")
+        []
+        (List.map
+           (fun v -> Format.asprintf "%a" Netlist.pp_violation v)
+           (Netlist.validate nl)))
+    Designs.all
+
+let test_find () =
+  let e = Designs.find "alu8" in
+  check Alcotest.string "name" "alu8" e.Designs.name;
+  Alcotest.check_raises "unknown" Not_found (fun () -> ignore (Designs.find "nonexistent"))
+
+let test_categories_covered () =
+  let categories = List.map (fun e -> e.Designs.category) Designs.all in
+  List.iter
+    (fun c -> check Alcotest.bool (c ^ " present") true (List.mem c categories))
+    [ "arithmetic"; "logic"; "sequential"; "system" ]
+
+let sim_of name =
+  Sim.create (Designs.netlist (Designs.find name))
+
+let test_alu_operations () =
+  let sim = sim_of "alu8" in
+  let run op a b =
+    Sim.set_bus sim "op" op;
+    Sim.set_bus sim "a" a;
+    Sim.set_bus sim "b" b;
+    Sim.eval sim;
+    Sim.read_bus sim "y"
+  in
+  check Alcotest.int "add" ((100 + 55) land 255) (run 0 100 55);
+  check Alcotest.int "sub" ((100 - 55) land 255) (run 1 100 55);
+  check Alcotest.int "and" (100 land 55) (run 2 100 55);
+  check Alcotest.int "or" (100 lor 55) (run 3 100 55);
+  check Alcotest.int "xor" (100 lxor 55) (run 4 100 55);
+  check Alcotest.int "not a" (lnot 100 land 255) (run 5 100 55);
+  check Alcotest.int "pass b" 55 (run 6 100 55);
+  check Alcotest.int "lt" 0 (run 7 100 55);
+  check Alcotest.int "lt true" 1 (run 7 55 100);
+  (* zero flag *)
+  Sim.set_bus sim "op" 1;
+  Sim.set_bus sim "a" 42;
+  Sim.set_bus sim "b" 42;
+  Sim.eval sim;
+  check Alcotest.int "zero flag" 1 (Sim.read_bus sim "zero")
+
+let test_comparator () =
+  let sim = sim_of "cmp16" in
+  let run a b =
+    Sim.set_bus sim "a" a;
+    Sim.set_bus sim "b" b;
+    Sim.eval sim;
+    (Sim.read_bus sim "eq", Sim.read_bus sim "lt", Sim.read_bus sim "gt")
+  in
+  check (Alcotest.triple Alcotest.int Alcotest.int Alcotest.int) "equal" (1, 0, 0)
+    (run 1234 1234);
+  check (Alcotest.triple Alcotest.int Alcotest.int Alcotest.int) "less" (0, 1, 0)
+    (run 100 1234);
+  check (Alcotest.triple Alcotest.int Alcotest.int Alcotest.int) "greater" (0, 0, 1)
+    (run 9999 1234)
+
+let test_popcount () =
+  let sim = sim_of "popcount16" in
+  List.iter
+    (fun v ->
+      Sim.set_bus sim "a" v;
+      Sim.eval sim;
+      let expected =
+        let rec count n = if n = 0 then 0 else (n land 1) + count (n lsr 1) in
+        count v
+      in
+      check Alcotest.int (Printf.sprintf "popcount %d" v) expected (Sim.read_bus sim "count"))
+    [ 0; 1; 3; 0xffff; 0x5555; 0x8001; 1234 ]
+
+let test_priority_encoder () =
+  let sim = sim_of "prio16" in
+  let run v =
+    Sim.set_bus sim "a" v;
+    Sim.eval sim;
+    (Sim.read_bus sim "index", Sim.read_bus sim "valid")
+  in
+  check (Alcotest.pair Alcotest.int Alcotest.int) "empty" (0, 0) (run 0);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "bit 0" (0, 1) (run 1);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "bit 15" (15, 1) (run 0x8000);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "highest wins" (10, 1) (run 0x0455)
+
+let test_gray_counter_properties () =
+  let sim = sim_of "gray8" in
+  let prev = ref (-1) in
+  for _ = 1 to 50 do
+    Sim.eval sim;
+    let g = Sim.read_bus sim "gray" in
+    if !prev >= 0 then begin
+      let diff = g lxor !prev in
+      (* consecutive Gray codes differ in exactly one bit *)
+      check Alcotest.bool "one-bit change" true (diff <> 0 && diff land (diff - 1) = 0)
+    end;
+    prev := g;
+    Sim.step sim
+  done
+
+let test_lfsr_cycles_without_lockup () =
+  let sim = sim_of "lfsr16" in
+  let seen_nonzero = ref false in
+  for _ = 1 to 100 do
+    Sim.step sim;
+    Sim.eval sim;
+    if Sim.read_bus sim "state" <> 0 then seen_nonzero := true
+  done;
+  check Alcotest.bool "escaped all-zero state" true !seen_nonzero
+
+let test_shift_register_latency () =
+  let sim = sim_of "pipe4x8" in
+  Sim.set_bus sim "a" 99;
+  Sim.run_cycles sim 4;
+  Sim.eval sim;
+  check Alcotest.int "arrives after 4 cycles" 99 (Sim.read_bus sim "y")
+
+let test_accumulator_cpu_program () =
+  let sim = sim_of "acc_cpu8" in
+  let exec op imm =
+    Sim.set_bus sim "opcode" op;
+    Sim.set_bus sim "imm" imm;
+    Sim.step sim;
+    Sim.eval sim
+  in
+  exec 1 10 (* load 10 *);
+  check Alcotest.int "load" 10 (Sim.read_bus sim "acc");
+  exec 2 5 (* add 5 *);
+  check Alcotest.int "add" 15 (Sim.read_bus sim "acc");
+  exec 3 3 (* sub 3 *);
+  check Alcotest.int "sub" 12 (Sim.read_bus sim "acc");
+  exec 4 0x0a (* and *);
+  check Alcotest.int "and" 8 (Sim.read_bus sim "acc");
+  exec 6 0xff (* xor *);
+  check Alcotest.int "xor" 0xf7 (Sim.read_bus sim "acc");
+  exec 7 0 (* clear *);
+  check Alcotest.int "clear" 0 (Sim.read_bus sim "acc");
+  check Alcotest.int "zero flag" 1 (Sim.read_bus sim "zero");
+  exec 0 77 (* nop *);
+  check Alcotest.int "nop holds" 0 (Sim.read_bus sim "acc")
+
+let test_crossbar_routing () =
+  let sim = sim_of "xbar4x8" in
+  List.iteri
+    (fun i v -> Sim.set_bus sim (Printf.sprintf "in%d" i) v)
+    [ 11; 22; 33; 44 ];
+  (* out0 <- in3, out1 <- in2, out2 <- in1, out3 <- in0 *)
+  List.iteri (fun o s -> Sim.set_bus sim (Printf.sprintf "sel%d" o) s) [ 3; 2; 1; 0 ];
+  Sim.eval sim;
+  check Alcotest.int "out0" 44 (Sim.read_bus sim "out0");
+  check Alcotest.int "out1" 33 (Sim.read_bus sim "out1");
+  check Alcotest.int "out2" 22 (Sim.read_bus sim "out2");
+  check Alcotest.int "out3" 11 (Sim.read_bus sim "out3")
+
+let test_fir_impulse_response () =
+  let sim = sim_of "fir4x8" in
+  (* impulse: coefficients appear in sequence (1, 2, 3, 1) *)
+  Sim.set_bus sim "x" 1;
+  Sim.step sim;
+  Sim.set_bus sim "x" 0;
+  let response = ref [] in
+  for _ = 1 to 6 do
+    Sim.step sim;
+    Sim.eval sim;
+    response := Sim.read_bus sim "y" :: !response
+  done;
+  let r = List.rev !response in
+  (* tap i carries coefficient (i mod 3)+1 = 1,2,3,1; the first reading
+     already sees the impulse one tap deep (coefficient 2) because the
+     registered output adds a cycle *)
+  check Alcotest.(list int) "impulse response" [ 2; 3; 1; 0; 0; 0 ] r
+
+let test_barrel_shifter () =
+  let sim = sim_of "bshift16" in
+  let rotl v k = ((v lsl k) lor (v lsr (16 - k))) land 0xffff in
+  List.iter
+    (fun (v, k) ->
+      Sim.set_bus sim "a" v;
+      Sim.set_bus sim "sh" k;
+      Sim.eval sim;
+      check Alcotest.int
+        (Printf.sprintf "rotl %x by %d" v k)
+        (if k = 0 then v else rotl v k)
+        (Sim.read_bus sim "y"))
+    [ (0x0001, 0); (0x0001, 1); (0x8000, 1); (0xABCD, 4); (0x1234, 15); (0xFFFF, 7); (0x00F0, 12) ]
+
+let test_uart_tx_frame () =
+  let sim = sim_of "uart_tx" in
+  Sim.eval sim;
+  check Alcotest.int "idle line high" 1 (Sim.read_bus sim "tx");
+  check Alcotest.int "not busy" 0 (Sim.read_bus sim "busy");
+  (* send 0x55 = 01010101: LSB-first serial bits 1,0,1,0,1,0,1,0 *)
+  Sim.set_bus sim "start" 1;
+  Sim.set_bus sim "data" 0x55;
+  Sim.step sim;
+  Sim.set_bus sim "start" 0;
+  Sim.eval sim;
+  check Alcotest.int "busy after start" 1 (Sim.read_bus sim "busy");
+  (* sample 40 cycles: 10 symbols x 4 clocks *)
+  let samples = ref [] in
+  for _ = 1 to 40 do
+    Sim.eval sim;
+    samples := Sim.read_bus sim "tx" :: !samples;
+    Sim.step sim
+  done;
+  let samples = Array.of_list (List.rev !samples) in
+  let symbol k = samples.((k * 4) + 1) (* mid-symbol sample *) in
+  check Alcotest.int "start bit" 0 (symbol 0);
+  List.iteri
+    (fun i expected ->
+      check Alcotest.int (Printf.sprintf "data bit %d" i) expected (symbol (i + 1)))
+    [ 1; 0; 1; 0; 1; 0; 1; 0 ];
+  check Alcotest.int "stop bit" 1 (symbol 9);
+  Sim.eval sim;
+  check Alcotest.int "idle again" 0 (Sim.read_bus sim "busy");
+  check Alcotest.int "line high again" 1 (Sim.read_bus sim "tx")
+
+let test_cpu16_demo_program () =
+  let sim = sim_of "cpu16" in
+  Sim.run_cycles sim 40;
+  Sim.eval sim;
+  check Alcotest.int "halted" 1 (Sim.read_bus sim "halted");
+  check Alcotest.int "r7 = 5+4+3+2+1" 15 (Sim.read_bus sim "r7");
+  check Alcotest.int "pc stuck at halt" 7 (Sim.read_bus sim "pc");
+  (* halting is sticky *)
+  Sim.run_cycles sim 10;
+  Sim.eval sim;
+  check Alcotest.int "still halted" 1 (Sim.read_bus sim "halted");
+  check Alcotest.int "r7 unchanged" 15 (Sim.read_bus sim "r7")
+
+let test_cpu16_alu_program () =
+  (* exercise every ALU opcode:
+     r1 = 12; r2 = 10
+     r3 = r1 & r2 = 8;  r4 = r1 | r2 = 14;  r5 = r1 ^ r2 = 6
+     r6 = r5 << 1 = 12; r6 = r6 >> 1 = 6;   r7 = r6 + 50 (addi) = 56 *)
+  let program =
+    [
+      Designs.Loadi (1, 12);
+      Designs.Loadi (2, 10);
+      Designs.And_ (3, 1, 2);
+      Designs.Or_ (4, 1, 2);
+      Designs.Xor_ (5, 1, 2);
+      Designs.Shl1 (6, 5);
+      Designs.Shr1 (6, 6);
+      Designs.Addi (7, 6, 50);
+      Designs.Halt;
+    ]
+  in
+  let nl = Educhip_rtl.Rtl.elaborate (Designs.risc16 ~program) in
+  let sim = Sim.create nl in
+  Sim.run_cycles sim 12;
+  Sim.eval sim;
+  check Alcotest.int "r7 = (12^10)<<1>>1 + 50" 56 (Sim.read_bus sim "r7");
+  check Alcotest.int "halted" 1 (Sim.read_bus sim "halted")
+
+let test_cpu16_branch_not_taken () =
+  let program =
+    [
+      Designs.Loadi (1, 1) (* r1 nonzero *);
+      Designs.Beqz (1, 4) (* not taken *);
+      Designs.Loadi (7, 42);
+      Designs.Halt;
+      Designs.Loadi (7, 13) (* skipped branch target *);
+      Designs.Halt;
+    ]
+  in
+  let nl = Educhip_rtl.Rtl.elaborate (Designs.risc16 ~program) in
+  let sim = Sim.create nl in
+  Sim.run_cycles sim 8;
+  Sim.eval sim;
+  check Alcotest.int "fall-through path taken" 42 (Sim.read_bus sim "r7")
+
+let test_cpu16_encode_bounds () =
+  Alcotest.check_raises "register range"
+    (Invalid_argument "Designs.encode: register out of 0..7") (fun () ->
+      ignore (Designs.encode (Designs.Add (8, 0, 0))));
+  Alcotest.check_raises "immediate range"
+    (Invalid_argument "Designs.encode: immediate out of 0..63") (fun () ->
+      ignore (Designs.encode (Designs.Loadi (0, 64))));
+  Alcotest.check_raises "program size"
+    (Invalid_argument "Designs.risc16: program exceeds 32 words") (fun () ->
+      ignore (Designs.risc16 ~program:(List.init 33 (fun _ -> Designs.Nop))))
+
+let test_multiplier_spot () =
+  let sim = sim_of "mult8" in
+  List.iter
+    (fun (a, b) ->
+      Sim.set_bus sim "a" a;
+      Sim.set_bus sim "b" b;
+      Sim.eval sim;
+      check Alcotest.int "product" (a * b) (Sim.read_bus sim "product"))
+    [ (0, 0); (255, 255); (17, 12); (200, 3) ]
+
+let suite =
+  [
+    Alcotest.test_case "all elaborate" `Quick test_all_elaborate;
+    Alcotest.test_case "find" `Quick test_find;
+    Alcotest.test_case "categories covered" `Quick test_categories_covered;
+    Alcotest.test_case "alu operations" `Quick test_alu_operations;
+    Alcotest.test_case "comparator" `Quick test_comparator;
+    Alcotest.test_case "popcount" `Quick test_popcount;
+    Alcotest.test_case "priority encoder" `Quick test_priority_encoder;
+    Alcotest.test_case "gray counter" `Quick test_gray_counter_properties;
+    Alcotest.test_case "lfsr no lockup" `Quick test_lfsr_cycles_without_lockup;
+    Alcotest.test_case "shift register latency" `Quick test_shift_register_latency;
+    Alcotest.test_case "accumulator cpu" `Quick test_accumulator_cpu_program;
+    Alcotest.test_case "crossbar" `Quick test_crossbar_routing;
+    Alcotest.test_case "fir impulse response" `Quick test_fir_impulse_response;
+    Alcotest.test_case "multiplier spot checks" `Quick test_multiplier_spot;
+    Alcotest.test_case "barrel shifter" `Quick test_barrel_shifter;
+    Alcotest.test_case "cpu16 demo program" `Quick test_cpu16_demo_program;
+    Alcotest.test_case "cpu16 alu program" `Quick test_cpu16_alu_program;
+    Alcotest.test_case "cpu16 branch not taken" `Quick test_cpu16_branch_not_taken;
+    Alcotest.test_case "cpu16 encode bounds" `Quick test_cpu16_encode_bounds;
+    Alcotest.test_case "uart tx frame" `Quick test_uart_tx_frame;
+  ]

@@ -1,0 +1,136 @@
+module Drc = Educhip_drc.Drc
+module Gds = Educhip_gds.Gds
+module Place = Educhip_place.Place
+module Route = Educhip_route.Route
+module Synth = Educhip_synth.Synth
+module Pdk = Educhip_pdk.Pdk
+module Designs = Educhip_designs.Designs
+
+let check = Alcotest.check
+
+let node = Pdk.find_node "edu130"
+
+let routed_design name =
+  let nl = Designs.netlist (Designs.find name) in
+  let mapped, _ = Synth.synthesize nl ~node Synth.default_options in
+  let placement = Place.place mapped ~node Place.default_effort in
+  Route.route placement Route.default_effort
+
+let test_clean_design_passes () =
+  let routed = routed_design "alu8" in
+  let report = Drc.check routed in
+  check Alcotest.bool "clean" true report.Drc.clean;
+  check Alcotest.int "all checks ran" 5 report.Drc.checks_run;
+  check Alcotest.int "no violations" 0 (List.length report.Drc.violations)
+
+let test_all_benchmarks_signoff () =
+  List.iter
+    (fun name ->
+      let report = Drc.check (routed_design name) in
+      check Alcotest.bool (name ^ " signoff") true report.Drc.clean)
+    [ "adder8"; "gray8"; "cmp16"; "fir4x8" ]
+
+let test_violation_formatting () =
+  let s = Format.asprintf "%a" Drc.pp_violation (Drc.Net_disconnected 42) in
+  check Alcotest.string "message" "net 42: pins not connected" s;
+  let s2 =
+    Format.asprintf "%a" Drc.pp_violation
+      (Drc.Net_too_long { driver = 3; length_um = 900.0; limit_um = 500.0 })
+  in
+  check Alcotest.bool "mentions limit" true (String.length s2 > 10)
+
+let test_max_net_length_scales () =
+  let big = Pdk.find_node "edu180" and small = Pdk.find_node "edu28" in
+  check Alcotest.bool "limit shrinks with node" true
+    (Drc.max_net_length_um small < Drc.max_net_length_um big)
+
+(* {1 GDS} *)
+
+let test_layout_contents () =
+  let routed = routed_design "adder8" in
+  let layout = Gds.build routed in
+  check Alcotest.bool "rects present" true (Gds.rect_count layout > 10);
+  check Alcotest.bool "area positive" true (Gds.area_mm2 layout > 0.0);
+  (* at least one rect on every expected layer *)
+  List.iter
+    (fun layer ->
+      check Alcotest.bool
+        (Printf.sprintf "layer %d populated" (Gds.layer_number layer))
+        true
+        (List.exists (fun r -> r.Gds.layer = layer) layout.Gds.rects))
+    [ Gds.Outline; Gds.Row; Gds.Cell_body; Gds.Metal_h; Gds.Metal_v ]
+
+let test_rects_inside_die () =
+  let routed = routed_design "adder8" in
+  let layout = Gds.build routed in
+  List.iter
+    (fun r ->
+      check Alcotest.bool "normalized" true (r.Gds.x0 <= r.Gds.x1 && r.Gds.y0 <= r.Gds.y1);
+      match r.Gds.layer with
+      | Gds.Cell_body ->
+        check Alcotest.bool "cell inside die" true
+          (r.Gds.x0 >= -1e-6
+          && r.Gds.x1 <= layout.Gds.die_w +. 1e-6
+          && r.Gds.y0 >= -1e-6
+          && r.Gds.y1 <= layout.Gds.die_h +. 1e-6)
+      | _ -> ())
+    layout.Gds.rects
+
+let test_gds_binary_structure () =
+  let routed = routed_design "adder8" in
+  let layout = Gds.build routed in
+  let bytes = Gds.to_gds_bytes layout in
+  check Alcotest.bool "nonempty" true (Bytes.length bytes > 100);
+  (* HEADER record: length 6, type 0x00, datatype 0x02, version 600 *)
+  check Alcotest.int "header length" 6 ((Bytes.get_uint8 bytes 0 lsl 8) lor Bytes.get_uint8 bytes 1);
+  check Alcotest.int "header type" 0x00 (Bytes.get_uint8 bytes 2);
+  check Alcotest.int "header datatype" 0x02 (Bytes.get_uint8 bytes 3);
+  check Alcotest.int "version 600" 600
+    ((Bytes.get_uint8 bytes 4 lsl 8) lor Bytes.get_uint8 bytes 5);
+  (* final record must be ENDLIB (0x04) *)
+  let n = Bytes.length bytes in
+  check Alcotest.int "endlib" 0x04 (Bytes.get_uint8 bytes (n - 2));
+  (* records must tile the stream exactly *)
+  let rec walk off count =
+    if off = n then count
+    else begin
+      let len = (Bytes.get_uint8 bytes off lsl 8) lor Bytes.get_uint8 bytes (off + 1) in
+      check Alcotest.bool "record length sane" true (len >= 4 && off + len <= n);
+      walk (off + len) (count + 1)
+    end
+  in
+  let records = walk 0 0 in
+  check Alcotest.bool "many records" true (records > 10)
+
+let test_gds_text_dump () =
+  let routed = routed_design "adder8" in
+  let layout = Gds.build routed in
+  let text = Gds.to_text layout in
+  check Alcotest.bool "starts with design" true (String.length text > 0 && String.sub text 0 6 = "design");
+  let lines = String.split_on_char '\n' text in
+  (* header + one line per rect + trailing newline *)
+  check Alcotest.int "line count" (Gds.rect_count layout + 2) (List.length lines)
+
+let test_write_gds_file () =
+  let routed = routed_design "adder8" in
+  let layout = Gds.build routed in
+  let path = Filename.temp_file "educhip" ".gds" in
+  Gds.write_gds layout ~path;
+  let ic = open_in_bin path in
+  let size = in_channel_length ic in
+  close_in ic;
+  Sys.remove path;
+  check Alcotest.int "file size matches" (Bytes.length (Gds.to_gds_bytes layout)) size
+
+let suite =
+  [
+    Alcotest.test_case "clean design passes" `Quick test_clean_design_passes;
+    Alcotest.test_case "all benchmarks signoff" `Quick test_all_benchmarks_signoff;
+    Alcotest.test_case "violation formatting" `Quick test_violation_formatting;
+    Alcotest.test_case "max net length scales" `Quick test_max_net_length_scales;
+    Alcotest.test_case "layout contents" `Quick test_layout_contents;
+    Alcotest.test_case "rects inside die" `Quick test_rects_inside_die;
+    Alcotest.test_case "gds binary structure" `Quick test_gds_binary_structure;
+    Alcotest.test_case "gds text dump" `Quick test_gds_text_dump;
+    Alcotest.test_case "write gds file" `Quick test_write_gds_file;
+  ]

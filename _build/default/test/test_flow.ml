@@ -1,0 +1,102 @@
+module Flow = Educhip_flow.Flow
+module Pdk = Educhip_pdk.Pdk
+module Designs = Educhip_designs.Designs
+module Netlist = Educhip_netlist.Netlist
+module Sim = Educhip_sim.Sim
+
+let check = Alcotest.check
+
+let node = Pdk.find_node "edu130"
+
+let test_open_flow_end_to_end () =
+  let cfg = Flow.config ~node Flow.Open_flow in
+  let r = Flow.run_design (Designs.find "alu8") cfg in
+  check Alcotest.bool "drc clean" true r.Flow.ppa.Flow.drc_clean;
+  check Alcotest.bool "timing met" true (r.Flow.ppa.Flow.wns_ps > 0.0);
+  check Alcotest.bool "area positive" true (r.Flow.ppa.Flow.area_um2 > 0.0);
+  check Alcotest.bool "power positive" true (r.Flow.ppa.Flow.total_power_uw > 0.0);
+  check Alcotest.int "all steps ran" (List.length Flow.step_names) (List.length r.Flow.steps)
+
+let test_flow_preserves_function () =
+  let entry = Designs.find "adder8" in
+  let original = Designs.netlist entry in
+  let cfg = Flow.config ~node Flow.Open_flow in
+  let r = Flow.run original cfg in
+  let sim = Sim.create r.Flow.mapped in
+  for i = 0 to 20 do
+    let a = (i * 37) land 255 and b = (i * 91) land 255 in
+    Sim.set_bus sim "a" a;
+    Sim.set_bus sim "b" b;
+    Sim.eval sim;
+    check Alcotest.int "sum through full flow" (a + b) (Sim.read_bus sim "sum")
+  done
+
+let test_commercial_beats_open () =
+  let entry = Designs.find "alu8" in
+  let period = 5000.0 in
+  let open_r =
+    Flow.run_design entry (Flow.config ~node ~clock_period_ps:period Flow.Open_flow)
+  in
+  let comm_r =
+    Flow.run_design entry (Flow.config ~node ~clock_period_ps:period Flow.Commercial_flow)
+  in
+  (* the E6 claim: commercial effort reaches at least the open flow's fmax *)
+  check Alcotest.bool "commercial fmax >= open" true
+    (comm_r.Flow.ppa.Flow.fmax_mhz >= open_r.Flow.ppa.Flow.fmax_mhz *. 0.98)
+
+let test_teaching_flow_runs () =
+  let cfg = Flow.config ~node Flow.Teaching_flow in
+  let r = Flow.run_design (Designs.find "adder8") cfg in
+  check Alcotest.bool "drc clean" true r.Flow.ppa.Flow.drc_clean;
+  check Alcotest.bool "relaxed clock" true (cfg.Flow.clock_period_ps > 3000.0)
+
+let test_step_names_stable () =
+  check
+    Alcotest.(list string)
+    "template steps"
+    [ "synthesis"; "sizing"; "buffering"; "placement"; "cts"; "routing"; "sta"; "power";
+      "drc"; "gds" ]
+    Flow.step_names
+
+let test_sequential_design_through_flow () =
+  let cfg = Flow.config ~node Flow.Open_flow in
+  let r = Flow.run_design (Designs.find "fir4x8") cfg in
+  check Alcotest.bool "has flip-flops" true (r.Flow.synth_report.Educhip_synth.Synth.flip_flops > 0);
+  check Alcotest.bool "drc clean" true r.Flow.ppa.Flow.drc_clean;
+  (* the FIR must still filter: constant input settles to a constant output *)
+  let sim = Sim.create r.Flow.mapped in
+  Sim.set_bus sim "x" 1;
+  Sim.run_cycles sim 16;
+  Sim.eval sim;
+  let settled = Sim.read_bus sim "y" in
+  (* coefficients 1,2,3,1 sum to 7 *)
+  check Alcotest.int "dc gain" 7 settled
+
+let test_summary_renders () =
+  let cfg = Flow.config ~node Flow.Teaching_flow in
+  let r = Flow.run_design (Designs.find "adder8") cfg in
+  let s = Format.asprintf "%a" Flow.pp_summary r in
+  check Alcotest.bool "mentions PPA" true
+    (String.length s > 50
+    &&
+    let rec contains i =
+      i + 4 <= String.length s && (String.sub s i 4 = "PPA:" || contains (i + 1))
+    in
+    contains 0)
+
+let test_preset_names () =
+  check Alcotest.string "open" "open" (Flow.preset_name Flow.Open_flow);
+  check Alcotest.string "commercial" "commercial" (Flow.preset_name Flow.Commercial_flow);
+  check Alcotest.string "teaching" "teaching" (Flow.preset_name Flow.Teaching_flow)
+
+let suite =
+  [
+    Alcotest.test_case "open flow end to end" `Slow test_open_flow_end_to_end;
+    Alcotest.test_case "flow preserves function" `Slow test_flow_preserves_function;
+    Alcotest.test_case "commercial beats open" `Slow test_commercial_beats_open;
+    Alcotest.test_case "teaching flow runs" `Quick test_teaching_flow_runs;
+    Alcotest.test_case "step names stable" `Quick test_step_names_stable;
+    Alcotest.test_case "sequential design through flow" `Slow test_sequential_design_through_flow;
+    Alcotest.test_case "summary renders" `Quick test_summary_renders;
+    Alcotest.test_case "preset names" `Quick test_preset_names;
+  ]

@@ -1,0 +1,196 @@
+module Hls = Educhip_hls.Hls
+module Rtl = Educhip_rtl.Rtl
+module Sim = Educhip_sim.Sim
+module Rng = Educhip_util.Rng
+
+let check = Alcotest.check
+
+(* y = (a + b) * c - d, z = (a < d) ? a : b *)
+let sample_program () =
+  let p = Hls.create ~name:"sample" ~width:8 in
+  let a = Hls.input p "a" in
+  let b = Hls.input p "b" in
+  let c = Hls.input p "c" in
+  let d = Hls.input p "d" in
+  let s = Hls.add p a b in
+  let m = Hls.mul p s c in
+  let y = Hls.sub p m d in
+  let cond = Hls.lt p a d in
+  let z = Hls.mux p ~cond a b in
+  Hls.output p "y" y;
+  Hls.output p "z" z;
+  p
+
+let run_pipeline p s inputs =
+  let d = Hls.to_rtl p s in
+  let sim = Sim.create (Rtl.elaborate d) in
+  List.iter (fun (name, v) -> Sim.set_bus sim name v) inputs;
+  Sim.run_cycles sim (Hls.latency s);
+  Sim.eval sim;
+  sim
+
+let test_reference_eval () =
+  let p = sample_program () in
+  let result = Hls.reference_eval p [ ("a", 3); ("b", 4); ("c", 5); ("d", 6) ] in
+  check Alcotest.int "y = (3+4)*5-6" ((7 * 5) - 6) (List.assoc "y" result);
+  check Alcotest.int "z = 3<6 ? 3 : 4" 3 (List.assoc "z" result)
+
+let test_pipeline_matches_reference () =
+  let p = sample_program () in
+  let s = Hls.schedule p Hls.unconstrained in
+  let inputs = [ ("a", 3); ("b", 4); ("c", 5); ("d", 6) ] in
+  let sim = run_pipeline p s inputs in
+  let expected = Hls.reference_eval p inputs in
+  check Alcotest.int "pipeline y" (List.assoc "y" expected) (Sim.read_bus sim "y");
+  check Alcotest.int "pipeline z" (List.assoc "z" expected) (Sim.read_bus sim "z")
+
+let prop_pipeline_equals_reference =
+  QCheck.Test.make ~name:"hls pipeline equals reference (random inputs)" ~count:40
+    QCheck.(quad (int_bound 255) (int_bound 255) (int_bound 255) (int_bound 255))
+    (fun (a, b, c, d) ->
+      let p = sample_program () in
+      let s = Hls.schedule p Hls.unconstrained in
+      let inputs = [ ("a", a); ("b", b); ("c", c); ("d", d) ] in
+      let sim = run_pipeline p s inputs in
+      let expected = Hls.reference_eval p inputs in
+      Sim.read_bus sim "y" = List.assoc "y" expected
+      && Sim.read_bus sim "z" = List.assoc "z" expected)
+
+let test_constrained_schedule_longer () =
+  (* 8 independent adds: unconstrained = 1 cycle, 2 adders = 4 cycles *)
+  let p = Hls.create ~name:"adds" ~width:8 in
+  let xs = List.init 8 (fun i -> Hls.input p (Printf.sprintf "x%d" i)) in
+  List.iteri
+    (fun i x ->
+      let k = Hls.const p (i + 1) in
+      Hls.output p (Printf.sprintf "y%d" i) (Hls.add p x k))
+    xs;
+  let fast = Hls.schedule p Hls.unconstrained in
+  let slow = Hls.schedule p { Hls.adders = 2; multipliers = 1; logic_units = 1 } in
+  check Alcotest.int "asap latency" 1 (Hls.latency fast);
+  check Alcotest.int "constrained latency" 4 (Hls.latency slow)
+
+let test_constrained_still_correct () =
+  let p = sample_program () in
+  let s = Hls.schedule p { Hls.adders = 1; multipliers = 1; logic_units = 1 } in
+  let inputs = [ ("a", 10); ("b", 20); ("c", 3); ("d", 100) ] in
+  let sim = run_pipeline p s inputs in
+  let expected = Hls.reference_eval p inputs in
+  check Alcotest.int "y" (List.assoc "y" expected) (Sim.read_bus sim "y");
+  check Alcotest.int "z" (List.assoc "z" expected) (Sim.read_bus sim "z")
+
+let test_resource_limit_respected () =
+  let p = Hls.create ~name:"mulheavy" ~width:6 in
+  let a = Hls.input p "a" in
+  let b = Hls.input p "b" in
+  let products = List.init 5 (fun i -> Hls.mul p a (Hls.const p (i + 1))) in
+  let total = List.fold_left (fun acc m -> Hls.add p acc m) b products in
+  Hls.output p "y" total;
+  let s = Hls.schedule p { Hls.adders = 8; multipliers = 1; logic_units = 8 } in
+  (* with one multiplier, the five products take five distinct cycles *)
+  let per_cycle = Hls.cycles_used s in
+  check Alcotest.bool "at least 5 cycles for muls" true (Hls.latency s >= 5);
+  List.iter (fun (_, n) -> check Alcotest.bool "bounded" true (n <= 9)) per_cycle
+
+let test_binding_names () =
+  let p = Hls.create ~name:"bind" ~width:4 in
+  let a = Hls.input p "a" in
+  let b = Hls.input p "b" in
+  let s1 = Hls.add p a b in
+  let s2 = Hls.add p s1 b in
+  Hls.output p "y" s2;
+  let s = Hls.schedule p { Hls.adders = 1; multipliers = 1; logic_units = 1 } in
+  check Alcotest.bool "input has no unit" true (Hls.bound_unit s a = None);
+  check Alcotest.(option string) "first add on add0" (Some "add0") (Hls.bound_unit s s1);
+  check Alcotest.(option string) "second add on add0" (Some "add0") (Hls.bound_unit s s2)
+
+let test_operation_count () =
+  let p = sample_program () in
+  check Alcotest.int "5 operations" 5 (Hls.operation_count p)
+
+let test_streaming_pipeline () =
+  (* new inputs every cycle: results must emerge in order, L cycles later *)
+  let p = Hls.create ~name:"stream" ~width:8 in
+  let a = Hls.input p "a" in
+  let y = Hls.add p (Hls.mul p a a) (Hls.const p 1) in
+  Hls.output p "y" y;
+  let s = Hls.schedule p Hls.unconstrained in
+  let d = Hls.to_rtl p s in
+  let sim = Sim.create (Rtl.elaborate d) in
+  let latency = Hls.latency s in
+  let inputs = [ 2; 3; 4; 5; 6; 7; 8 ] in
+  let outputs = ref [] in
+  List.iteri
+    (fun i v ->
+      Sim.set_bus sim "a" v;
+      Sim.step sim;
+      Sim.eval sim;
+      if i >= latency - 1 then outputs := Sim.read_bus sim "y" :: !outputs)
+    inputs;
+  let expected =
+    List.filteri (fun i _ -> i < List.length !outputs) inputs
+    |> List.map (fun v -> ((v * v) + 1) land 255)
+  in
+  check Alcotest.(list int) "streaming results" expected (List.rev !outputs)
+
+let test_bad_args () =
+  Alcotest.check_raises "width" (Invalid_argument "Hls.create: width must be in 1..30")
+    (fun () -> ignore (Hls.create ~name:"w" ~width:0));
+  let p = Hls.create ~name:"r" ~width:4 in
+  let a = Hls.input p "a" in
+  Hls.output p "y" a;
+  Alcotest.check_raises "resources"
+    (Invalid_argument "Hls.schedule: resource bounds must be >= 1") (fun () ->
+      ignore (Hls.schedule p { Hls.adders = 0; multipliers = 1; logic_units = 1 }));
+  let q = Hls.create ~name:"noout" ~width:4 in
+  ignore (Hls.input q "a");
+  Alcotest.check_raises "no outputs"
+    (Invalid_argument "Hls.schedule: program has no outputs") (fun () ->
+      ignore (Hls.schedule q Hls.unconstrained))
+
+let prop_random_programs_correct =
+  QCheck.Test.make ~name:"random dataflow programs synthesize correctly" ~count:25
+    QCheck.small_nat (fun seed ->
+      let rng = Rng.create ~seed in
+      let p = Hls.create ~name:"rand" ~width:8 in
+      let pool = ref (List.init 3 (fun i -> Hls.input p (Printf.sprintf "i%d" i))) in
+      for _ = 1 to 12 do
+        let pick () = Rng.choice rng (Array.of_list !pool) in
+        let v =
+          match Rng.int rng 7 with
+          | 0 -> Hls.add p (pick ()) (pick ())
+          | 1 -> Hls.sub p (pick ()) (pick ())
+          | 2 -> Hls.mul p (pick ()) (pick ())
+          | 3 -> Hls.band p (pick ()) (pick ())
+          | 4 -> Hls.bxor p (pick ()) (pick ())
+          | 5 -> Hls.lt p (pick ()) (pick ())
+          | 6 -> Hls.mux p ~cond:(pick ()) (pick ()) (pick ())
+          | _ -> assert false
+        in
+        pool := v :: !pool
+      done;
+      Hls.output p "y" (List.hd !pool);
+      let s =
+        Hls.schedule p { Hls.adders = 2; multipliers = 1; logic_units = 2 }
+      in
+      let inputs = List.init 3 (fun i -> (Printf.sprintf "i%d" i, Rng.int rng 256)) in
+      let sim = run_pipeline p s inputs in
+      Sim.read_bus sim "y" = List.assoc "y" (Hls.reference_eval p inputs))
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_pipeline_equals_reference; prop_random_programs_correct ]
+
+let suite =
+  [
+    Alcotest.test_case "reference eval" `Quick test_reference_eval;
+    Alcotest.test_case "pipeline matches reference" `Quick test_pipeline_matches_reference;
+    Alcotest.test_case "constrained schedule longer" `Quick test_constrained_schedule_longer;
+    Alcotest.test_case "constrained still correct" `Quick test_constrained_still_correct;
+    Alcotest.test_case "resource limit respected" `Quick test_resource_limit_respected;
+    Alcotest.test_case "binding names" `Quick test_binding_names;
+    Alcotest.test_case "operation count" `Quick test_operation_count;
+    Alcotest.test_case "streaming pipeline" `Quick test_streaming_pipeline;
+    Alcotest.test_case "bad args" `Quick test_bad_args;
+  ]
+  @ qsuite

@@ -1,0 +1,114 @@
+module Memgen = Educhip_pdk.Memgen
+module Pdk = Educhip_pdk.Pdk
+module Timing = Educhip_timing.Timing
+module Synth = Educhip_synth.Synth
+module Designs = Educhip_designs.Designs
+
+let check = Alcotest.check
+
+(* {1 Memory generator} *)
+
+let node130 = Pdk.find_node "edu130"
+
+let test_macro_basics () =
+  let m = Memgen.generate node130 ~words:1024 ~bits:32 in
+  check Alcotest.bool "area positive" true (m.Memgen.area_um2 > 0.0);
+  check Alcotest.bool "access positive" true (m.Memgen.access_ps > 0.0);
+  check Alcotest.bool "cycle > access" true (m.Memgen.cycle_ps > m.Memgen.access_ps);
+  check (Alcotest.float 1e-9) "4 KB" 4.0 (Memgen.kbytes m);
+  check Alcotest.bool "write costs more than read" true
+    (m.Memgen.write_energy_pj > m.Memgen.read_energy_pj)
+
+let test_capacity_scaling () =
+  let small = Memgen.generate node130 ~words:256 ~bits:32 in
+  let large = Memgen.generate node130 ~words:4096 ~bits:32 in
+  check Alcotest.bool "16x capacity, more area" true
+    (large.Memgen.area_um2 > 10.0 *. small.Memgen.area_um2);
+  check Alcotest.bool "bigger arrays are slower" true
+    (large.Memgen.access_ps > small.Memgen.access_ps);
+  check Alcotest.bool "but denser" true
+    (Memgen.bits_per_um2 large > Memgen.bits_per_um2 small)
+
+let test_node_scaling () =
+  let old_node = Memgen.generate (Pdk.find_node "edu180") ~words:1024 ~bits:32 in
+  let new_node = Memgen.generate (Pdk.find_node "edu16") ~words:1024 ~bits:32 in
+  check Alcotest.bool "newer node much denser" true
+    (Memgen.bits_per_um2 new_node > 20.0 *. Memgen.bits_per_um2 old_node);
+  check Alcotest.bool "newer node faster" true
+    (new_node.Memgen.access_ps < old_node.Memgen.access_ps);
+  check Alcotest.bool "newer node leaks more per bit" true
+    (new_node.Memgen.leakage_uw > old_node.Memgen.leakage_uw)
+
+let test_macro_bounds () =
+  Alcotest.check_raises "words power of two"
+    (Invalid_argument "Memgen.generate: words must be a power of two in 16..2^20")
+    (fun () -> ignore (Memgen.generate node130 ~words:1000 ~bits:8));
+  Alcotest.check_raises "bits range"
+    (Invalid_argument "Memgen.generate: bits must be in 1..256") (fun () ->
+      ignore (Memgen.generate node130 ~words:256 ~bits:0))
+
+let test_sram_beats_flops_on_density () =
+  (* the reason memory generators exist: an SRAM macro stores a bit far
+     more densely than a flip-flop *)
+  let m = Memgen.generate node130 ~words:1024 ~bits:32 in
+  let dff_area = (Pdk.dff_cell node130).Pdk.area in
+  let flop_bits_per_um2 = 1.0 /. dff_area in
+  check Alcotest.bool "macro denser than registers" true
+    (Memgen.bits_per_um2 m > 3.0 *. flop_bits_per_um2)
+
+(* {1 Corners} *)
+
+let mapped name =
+  let nl = Designs.netlist (Designs.find name) in
+  fst (Synth.synthesize nl ~node:node130 Synth.default_options)
+
+let test_corner_ordering () =
+  let m = mapped "alu8" in
+  let corners = Timing.analyze_corners m ~node:node130 ~clock_period_ps:3000.0 () in
+  check Alcotest.int "three corners" 3 (List.length corners);
+  let slack c = (List.assoc c corners).Timing.wns_ps in
+  check Alcotest.bool "slow has least setup slack" true
+    (slack Timing.Slow < slack Timing.Typical && slack Timing.Typical < slack Timing.Fast)
+
+let test_fast_corner_hold_is_tightest () =
+  let m = mapped "gray8" in
+  let skew = 30.0 in
+  let corners =
+    Timing.analyze_corners m ~node:node130 ~clock_skew_ps:skew ~clock_period_ps:3000.0 ()
+  in
+  let whs c = (List.assoc c corners).Timing.whs_ps in
+  check Alcotest.bool "fast corner tightest hold" true
+    (whs Timing.Fast < whs Timing.Typical && whs Timing.Typical < whs Timing.Slow)
+
+let test_signoff () =
+  let m = mapped "gray8" in
+  check Alcotest.bool "passes with a loose clock" true
+    (Timing.signoff m ~node:node130 ~clock_period_ps:1e5 ());
+  check Alcotest.bool "fails with an impossible clock" false
+    (Timing.signoff m ~node:node130 ~clock_period_ps:10.0 ());
+  (* hold-only failure: huge skew, loose clock *)
+  check Alcotest.bool "fails on hold with huge skew" false
+    (Timing.signoff m ~node:node130 ~clock_skew_ps:1e4 ~clock_period_ps:1e6 ())
+
+let test_derate_scales_arrival () =
+  let m = mapped "adder8" in
+  let base = Timing.analyze m ~node:node130 ~clock_period_ps:5000.0 () in
+  let slow =
+    Timing.analyze m ~node:node130 ~derate:1.25 ~clock_period_ps:5000.0 ()
+  in
+  check (Alcotest.float 1e-6) "arrival scales by derate"
+    (base.Timing.critical_arrival_ps *. 1.25)
+    slow.Timing.critical_arrival_ps
+
+let suite =
+  [
+    Alcotest.test_case "macro basics" `Quick test_macro_basics;
+    Alcotest.test_case "capacity scaling" `Quick test_capacity_scaling;
+    Alcotest.test_case "node scaling" `Quick test_node_scaling;
+    Alcotest.test_case "macro bounds" `Quick test_macro_bounds;
+    Alcotest.test_case "sram denser than flops" `Quick test_sram_beats_flops_on_density;
+    Alcotest.test_case "corner ordering" `Quick test_corner_ordering;
+    Alcotest.test_case "fast corner hold tightest" `Quick test_fast_corner_hold_is_tightest;
+    Alcotest.test_case "signoff" `Quick test_signoff;
+    Alcotest.test_case "derate scales arrival" `Quick test_derate_scales_arrival;
+  ]

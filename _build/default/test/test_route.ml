@@ -1,0 +1,108 @@
+module Place = Educhip_place.Place
+module Route = Educhip_route.Route
+module Synth = Educhip_synth.Synth
+module Pdk = Educhip_pdk.Pdk
+module Designs = Educhip_designs.Designs
+
+let check = Alcotest.check
+
+let node = Pdk.find_node "edu130"
+
+let placed name effort =
+  let nl = Designs.netlist (Designs.find name) in
+  let mapped, _ = Synth.synthesize nl ~node Synth.default_options in
+  Place.place mapped ~node effort
+
+let test_routes_connected () =
+  List.iter
+    (fun name ->
+      let placement = placed name Place.default_effort in
+      let routed = Route.route placement Route.default_effort in
+      check Alcotest.bool (name ^ " fully connected") true (Route.fully_connected routed))
+    [ "adder8"; "alu8"; "gray8" ]
+
+let test_wirelength_positive () =
+  let placement = placed "adder8" Place.default_effort in
+  let routed = Route.route placement Route.default_effort in
+  check Alcotest.bool "positive wirelength" true (Route.wirelength_um routed > 0.0);
+  check Alcotest.bool "vias" true (Route.via_count routed > 0)
+
+let test_wirelength_sums () =
+  let placement = placed "adder8" Place.default_effort in
+  let routed = Route.route placement Route.default_effort in
+  let from_nets =
+    List.fold_left
+      (fun acc (driver, _) -> acc +. Route.net_wirelength_um routed driver)
+      0.0 (Place.nets placement)
+  in
+  check (Alcotest.float 1e-6) "net sum equals total" (Route.wirelength_um routed) from_nets
+
+let test_rrr_reduces_overflow () =
+  (* congested: high utilization and minimal effort *)
+  let placement = placed "mult8" Place.low_effort in
+  let r0 = Route.route placement { Route.rrr_rounds = 0; seed = 1 } in
+  let r8 = Route.route placement { Route.rrr_rounds = 8; seed = 1 } in
+  check Alcotest.bool "negotiation does not increase overflow" true
+    (Route.overflow r8 <= Route.overflow r0)
+
+let test_congestion_map_shape () =
+  let placement = placed "adder8" Place.default_effort in
+  let routed = Route.route placement Route.default_effort in
+  let nx, ny = Route.grid_size routed in
+  let map = Route.congestion routed in
+  check Alcotest.int "x dim" nx (Array.length map);
+  check Alcotest.int "y dim" ny (Array.length map.(0));
+  Array.iter
+    (Array.iter (fun v -> check Alcotest.bool "non-negative" true (v >= 0.0)))
+    map
+
+let test_segments_match_wirelength () =
+  let placement = placed "adder8" Place.default_effort in
+  let routed = Route.route placement Route.default_effort in
+  List.iter
+    (fun (driver, _) ->
+      let segments = Route.net_segments routed driver in
+      let expected = Route.net_wirelength_um routed driver in
+      check (Alcotest.float 1e-6) "segment count * tile"
+        expected
+        (float_of_int (List.length segments) *. Route.tile_um routed))
+    (Place.nets placement)
+
+let test_determinism () =
+  let placement = placed "alu8" Place.default_effort in
+  let r1 = Route.route placement Route.default_effort in
+  let r2 = Route.route placement Route.default_effort in
+  check (Alcotest.float 1e-9) "same wirelength" (Route.wirelength_um r1)
+    (Route.wirelength_um r2);
+  check Alcotest.int "same vias" (Route.via_count r1) (Route.via_count r2)
+
+let test_grid_reasonable () =
+  let placement = placed "adder8" Place.default_effort in
+  let routed = Route.route placement Route.default_effort in
+  let nx, ny = Route.grid_size routed in
+  check Alcotest.bool "grid at least 2x2" true (nx >= 2 && ny >= 2);
+  check Alcotest.bool "grid bounded" true (nx <= 256 && ny <= 256)
+
+let prop_random_designs_route_connected =
+  QCheck.Test.make ~name:"random mapped designs route fully connected" ~count:12
+    QCheck.small_nat (fun seed ->
+      let h = Gen.random_design seed in
+      let mapped, _ = Synth.synthesize h.Gen.netlist ~node Synth.default_options in
+      let placement = Place.place mapped ~node Place.low_effort in
+      let routed = Route.route placement Route.default_effort in
+      Route.fully_connected routed)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_random_designs_route_connected ]
+
+let suite =
+  [
+    Alcotest.test_case "routes connected" `Quick test_routes_connected;
+    Alcotest.test_case "wirelength positive" `Quick test_wirelength_positive;
+    Alcotest.test_case "wirelength sums" `Quick test_wirelength_sums;
+    Alcotest.test_case "rrr reduces overflow" `Quick test_rrr_reduces_overflow;
+    Alcotest.test_case "congestion map shape" `Quick test_congestion_map_shape;
+    Alcotest.test_case "segments match wirelength" `Quick test_segments_match_wirelength;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "grid reasonable" `Quick test_grid_reasonable;
+  ]
+  @ qsuite

@@ -1,0 +1,323 @@
+module Rtl = Educhip_rtl.Rtl
+module Sim = Educhip_sim.Sim
+
+let check = Alcotest.check
+
+(* Build a two-operand combinational design, return a closure evaluating it
+   through the simulator. *)
+let binop_harness ~w f =
+  let d = Rtl.create ~name:"binop" in
+  let a = Rtl.input d "a" w in
+  let b = Rtl.input d "b" w in
+  Rtl.output d "y" (f d a b);
+  let sim = Sim.create (Rtl.elaborate d) in
+  fun x y ->
+    Sim.set_bus sim "a" x;
+    Sim.set_bus sim "b" y;
+    Sim.eval sim;
+    Sim.read_bus sim "y"
+
+let mask w = (1 lsl w) - 1
+
+let exhaustive ~w f reference name =
+  let eval = binop_harness ~w f in
+  for x = 0 to mask w do
+    for y = 0 to mask w do
+      check Alcotest.int
+        (Printf.sprintf "%s %d %d" name x y)
+        (reference x y land mask w)
+        (eval x y)
+    done
+  done
+
+let test_add () = exhaustive ~w:4 Rtl.add (fun x y -> x + y) "add"
+let test_sub () = exhaustive ~w:4 Rtl.sub (fun x y -> x - y) "sub"
+let test_and () = exhaustive ~w:3 Rtl.band (fun x y -> x land y) "and"
+let test_or () = exhaustive ~w:3 Rtl.bor (fun x y -> x lor y) "or"
+let test_xor () = exhaustive ~w:3 Rtl.bxor (fun x y -> x lxor y) "xor"
+let test_eq () = exhaustive ~w:3 Rtl.eq (fun x y -> if x = y then 1 else 0) "eq"
+let test_neq () = exhaustive ~w:3 Rtl.neq (fun x y -> if x <> y then 1 else 0) "neq"
+let test_lt () = exhaustive ~w:4 Rtl.lt (fun x y -> if x < y then 1 else 0) "lt"
+let test_le () = exhaustive ~w:4 Rtl.le (fun x y -> if x <= y then 1 else 0) "le"
+
+let test_add_carry () =
+  let eval = binop_harness ~w:4 Rtl.add_carry in
+  for x = 0 to 15 do
+    for y = 0 to 15 do
+      check Alcotest.int "add_carry" (x + y) (eval x y)
+    done
+  done
+
+let test_mul () =
+  let eval = binop_harness ~w:4 Rtl.mul in
+  for x = 0 to 15 do
+    for y = 0 to 15 do
+      check Alcotest.int "mul" (x * y) (eval x y)
+    done
+  done
+
+let test_not () =
+  let d = Rtl.create ~name:"not" in
+  let a = Rtl.input d "a" 5 in
+  Rtl.output d "y" (Rtl.bnot d a);
+  let sim = Sim.create (Rtl.elaborate d) in
+  for x = 0 to 31 do
+    Sim.set_bus sim "a" x;
+    Sim.eval sim;
+    check Alcotest.int "not" (lnot x land 31) (Sim.read_bus sim "y")
+  done
+
+let test_shifts () =
+  let d = Rtl.create ~name:"sh" in
+  let a = Rtl.input d "a" 6 in
+  Rtl.output d "l2" (Rtl.shift_left d a 2);
+  Rtl.output d "r3" (Rtl.shift_right d a 3);
+  let sim = Sim.create (Rtl.elaborate d) in
+  for x = 0 to 63 do
+    Sim.set_bus sim "a" x;
+    Sim.eval sim;
+    check Alcotest.int "shl" ((x lsl 2) land 63) (Sim.read_bus sim "l2");
+    check Alcotest.int "shr" (x lsr 3) (Sim.read_bus sim "r3")
+  done
+
+let test_mux2 () =
+  let d = Rtl.create ~name:"mux2" in
+  let s = Rtl.input d "s" 1 in
+  let a = Rtl.input d "a" 4 in
+  let b = Rtl.input d "b" 4 in
+  Rtl.output d "y" (Rtl.mux2 d ~sel:s a b);
+  let sim = Sim.create (Rtl.elaborate d) in
+  Sim.set_bus sim "a" 5;
+  Sim.set_bus sim "b" 9;
+  Sim.set_bus sim "s" 0;
+  Sim.eval sim;
+  check Alcotest.int "sel=0 -> a" 5 (Sim.read_bus sim "y");
+  Sim.set_bus sim "s" 1;
+  Sim.eval sim;
+  check Alcotest.int "sel=1 -> b" 9 (Sim.read_bus sim "y")
+
+let test_mux_tree () =
+  let d = Rtl.create ~name:"mux4" in
+  let s = Rtl.input d "s" 2 in
+  let cases = List.init 4 (fun i -> Rtl.lit d ~width:8 (10 * (i + 1))) in
+  Rtl.output d "y" (Rtl.mux d ~sel:s cases);
+  let sim = Sim.create (Rtl.elaborate d) in
+  List.iteri
+    (fun i expected ->
+      Sim.set_bus sim "s" i;
+      Sim.eval sim;
+      check Alcotest.int "mux case" expected (Sim.read_bus sim "y"))
+    [ 10; 20; 30; 40 ]
+
+let test_mux_non_power_of_two () =
+  let d = Rtl.create ~name:"mux3" in
+  let s = Rtl.input d "s" 2 in
+  let cases = List.init 3 (fun i -> Rtl.lit d ~width:4 (i + 1)) in
+  Rtl.output d "y" (Rtl.mux d ~sel:s cases);
+  let sim = Sim.create (Rtl.elaborate d) in
+  List.iteri
+    (fun i expected ->
+      Sim.set_bus sim "s" i;
+      Sim.eval sim;
+      check Alcotest.int "mux3 case" expected (Sim.read_bus sim "y"))
+    [ 1; 2; 3; 3 (* padding replicates the last case *) ]
+
+let test_reductions () =
+  let d = Rtl.create ~name:"red" in
+  let a = Rtl.input d "a" 5 in
+  Rtl.output d "andr" (Rtl.and_reduce d a);
+  Rtl.output d "orr" (Rtl.or_reduce d a);
+  Rtl.output d "xorr" (Rtl.xor_reduce d a);
+  let sim = Sim.create (Rtl.elaborate d) in
+  for x = 0 to 31 do
+    Sim.set_bus sim "a" x;
+    Sim.eval sim;
+    check Alcotest.int "andr" (if x = 31 then 1 else 0) (Sim.read_bus sim "andr");
+    check Alcotest.int "orr" (if x > 0 then 1 else 0) (Sim.read_bus sim "orr");
+    let parity = ref 0 in
+    for i = 0 to 4 do
+      parity := !parity lxor ((x lsr i) land 1)
+    done;
+    check Alcotest.int "xorr" !parity (Sim.read_bus sim "xorr")
+  done
+
+let test_concat_slice () =
+  let d = Rtl.create ~name:"cs" in
+  let a = Rtl.input d "a" 4 in
+  let b = Rtl.input d "b" 4 in
+  let cat = Rtl.concat [ a; b ] (* a is MSB *) in
+  Rtl.output d "cat" cat;
+  Rtl.output d "hi" (Rtl.slice cat ~hi:7 ~lo:4);
+  Rtl.output d "lo" (Rtl.slice cat ~hi:3 ~lo:0);
+  Rtl.output d "b2" (Rtl.bit cat 2);
+  let sim = Sim.create (Rtl.elaborate d) in
+  Sim.set_bus sim "a" 0xA;
+  Sim.set_bus sim "b" 0x5;
+  Sim.eval sim;
+  check Alcotest.int "concat" 0xA5 (Sim.read_bus sim "cat");
+  check Alcotest.int "hi slice" 0xA (Sim.read_bus sim "hi");
+  check Alcotest.int "lo slice" 0x5 (Sim.read_bus sim "lo");
+  check Alcotest.int "bit 2" 1 (Sim.read_bus sim "b2")
+
+let test_zero_extend_repeat () =
+  let d = Rtl.create ~name:"ze" in
+  let a = Rtl.input d "a" 3 in
+  Rtl.output d "z" (Rtl.zero_extend d a 6);
+  Rtl.output d "r" (Rtl.repeat a 2);
+  let sim = Sim.create (Rtl.elaborate d) in
+  Sim.set_bus sim "a" 0b101;
+  Sim.eval sim;
+  check Alcotest.int "zero extend" 0b101 (Sim.read_bus sim "z");
+  check Alcotest.int "repeat" 0b101101 (Sim.read_bus sim "r")
+
+let test_reg_delay () =
+  let d = Rtl.create ~name:"reg" in
+  let a = Rtl.input d "a" 4 in
+  Rtl.output d "q" (Rtl.reg d a);
+  let sim = Sim.create (Rtl.elaborate d) in
+  Sim.set_bus sim "a" 7;
+  Sim.eval sim;
+  check Alcotest.int "before edge: reset value" 0 (Sim.read_bus sim "q");
+  Sim.step sim;
+  Sim.eval sim;
+  check Alcotest.int "after edge" 7 (Sim.read_bus sim "q")
+
+let test_reg_enable () =
+  let d = Rtl.create ~name:"regen" in
+  let a = Rtl.input d "a" 4 in
+  let en = Rtl.input d "en" 1 in
+  Rtl.output d "q" (Rtl.reg d ~enable:en a);
+  let sim = Sim.create (Rtl.elaborate d) in
+  Sim.set_bus sim "a" 5;
+  Sim.set_bus sim "en" 1;
+  Sim.step sim;
+  Sim.eval sim;
+  check Alcotest.int "loaded" 5 (Sim.read_bus sim "q");
+  Sim.set_bus sim "a" 9;
+  Sim.set_bus sim "en" 0;
+  Sim.step sim;
+  Sim.eval sim;
+  check Alcotest.int "held" 5 (Sim.read_bus sim "q");
+  Sim.set_bus sim "en" 1;
+  Sim.step sim;
+  Sim.eval sim;
+  check Alcotest.int "loaded again" 9 (Sim.read_bus sim "q")
+
+let test_counter () =
+  let d = Rtl.create ~name:"ctr" in
+  Rtl.output d "c" (Rtl.counter d ~width:3 ());
+  let sim = Sim.create (Rtl.elaborate d) in
+  for expected = 0 to 10 do
+    Sim.eval sim;
+    check Alcotest.int "count" (expected mod 8) (Sim.read_bus sim "c");
+    Sim.step sim
+  done
+
+let test_counter_enable () =
+  let d = Rtl.create ~name:"ctre" in
+  let en = Rtl.input d "en" 1 in
+  Rtl.output d "c" (Rtl.counter d ~width:4 ~enable:en ());
+  let sim = Sim.create (Rtl.elaborate d) in
+  Sim.set_bus sim "en" 1;
+  Sim.run_cycles sim 5;
+  Sim.eval sim;
+  check Alcotest.int "counted 5" 5 (Sim.read_bus sim "c");
+  Sim.set_bus sim "en" 0;
+  Sim.run_cycles sim 3;
+  Sim.eval sim;
+  check Alcotest.int "held at 5" 5 (Sim.read_bus sim "c")
+
+let test_reg_feedback_fsm () =
+  (* two-bit Gray-code cycler built with reg_feedback *)
+  let d = Rtl.create ~name:"gray" in
+  let q =
+    Rtl.reg_feedback d ~width:2 (fun q ->
+        let b0 = Rtl.bit q 0 and b1 = Rtl.bit q 1 in
+        Rtl.concat [ b0; Rtl.bnot d b1 ] (* next = (b0, !b1): 00 01 11 10 *))
+  in
+  Rtl.output d "q" q;
+  let sim = Sim.create (Rtl.elaborate d) in
+  let seen = ref [] in
+  for _ = 1 to 4 do
+    Sim.eval sim;
+    seen := Sim.read_bus sim "q" :: !seen;
+    Sim.step sim
+  done;
+  check Alcotest.(list int) "gray sequence" [ 0b00; 0b01; 0b11; 0b10 ] (List.rev !seen)
+
+let test_width_mismatch_raises () =
+  let d = Rtl.create ~name:"werr" in
+  let a = Rtl.input d "a" 2 in
+  let b = Rtl.input d "b" 3 in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Rtl: width mismatch (2 vs 3)")
+    (fun () -> ignore (Rtl.add d a b))
+
+let test_cross_design_raises () =
+  let d1 = Rtl.create ~name:"d1" in
+  let d2 = Rtl.create ~name:"d2" in
+  let a = Rtl.input d1 "a" 2 in
+  Alcotest.check_raises "cross design"
+    (Invalid_argument "Rtl: signal belongs to a different design") (fun () ->
+      ignore (Rtl.bnot d2 a))
+
+let test_no_outputs_fails () =
+  let d = Rtl.create ~name:"empty" in
+  ignore (Rtl.input d "a" 1);
+  Alcotest.check_raises "no outputs" (Failure "Rtl.elaborate: design has no outputs")
+    (fun () -> ignore (Rtl.elaborate d))
+
+let test_statement_count () =
+  let d = Rtl.create ~name:"sc" in
+  let a = Rtl.input d "a" 4 in
+  let b = Rtl.input d "b" 4 in
+  Rtl.output d "y" (Rtl.add d a b);
+  check Alcotest.int "4 statements" 4 (Rtl.statement_count d)
+
+let prop_random_designs_elaborate =
+  QCheck.Test.make ~name:"random designs elaborate and validate" ~count:50
+    QCheck.small_nat (fun seed ->
+      let h = Gen.random_design seed in
+      Educhip_netlist.Netlist.validate h.Gen.netlist = [])
+
+let prop_add_commutative =
+  QCheck.Test.make ~name:"rtl add commutative" ~count:50
+    QCheck.(pair (int_bound 255) (int_bound 255))
+    (fun (x, y) ->
+      let eval = binop_harness ~w:8 Rtl.add in
+      eval x y = eval y x)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest [ prop_random_designs_elaborate; prop_add_commutative ]
+
+let suite =
+  [
+    Alcotest.test_case "add exhaustive" `Quick test_add;
+    Alcotest.test_case "sub exhaustive" `Quick test_sub;
+    Alcotest.test_case "and exhaustive" `Quick test_and;
+    Alcotest.test_case "or exhaustive" `Quick test_or;
+    Alcotest.test_case "xor exhaustive" `Quick test_xor;
+    Alcotest.test_case "eq exhaustive" `Quick test_eq;
+    Alcotest.test_case "neq exhaustive" `Quick test_neq;
+    Alcotest.test_case "lt exhaustive" `Quick test_lt;
+    Alcotest.test_case "le exhaustive" `Quick test_le;
+    Alcotest.test_case "add_carry" `Quick test_add_carry;
+    Alcotest.test_case "mul exhaustive" `Quick test_mul;
+    Alcotest.test_case "not" `Quick test_not;
+    Alcotest.test_case "shifts" `Quick test_shifts;
+    Alcotest.test_case "mux2" `Quick test_mux2;
+    Alcotest.test_case "mux tree" `Quick test_mux_tree;
+    Alcotest.test_case "mux non-power-of-two" `Quick test_mux_non_power_of_two;
+    Alcotest.test_case "reductions" `Quick test_reductions;
+    Alcotest.test_case "concat/slice/bit" `Quick test_concat_slice;
+    Alcotest.test_case "zero_extend/repeat" `Quick test_zero_extend_repeat;
+    Alcotest.test_case "reg delays one cycle" `Quick test_reg_delay;
+    Alcotest.test_case "reg enable holds" `Quick test_reg_enable;
+    Alcotest.test_case "counter" `Quick test_counter;
+    Alcotest.test_case "counter with enable" `Quick test_counter_enable;
+    Alcotest.test_case "reg_feedback fsm" `Quick test_reg_feedback_fsm;
+    Alcotest.test_case "width mismatch raises" `Quick test_width_mismatch_raises;
+    Alcotest.test_case "cross-design raises" `Quick test_cross_design_raises;
+    Alcotest.test_case "no outputs fails" `Quick test_no_outputs_fails;
+    Alcotest.test_case "statement count" `Quick test_statement_count;
+  ]
+  @ qsuite

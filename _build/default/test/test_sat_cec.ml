@@ -1,0 +1,281 @@
+module Sat = Educhip_sat.Sat
+module Cec = Educhip_cec.Cec
+module Netlist = Educhip_netlist.Netlist
+module Synth = Educhip_synth.Synth
+module Pdk = Educhip_pdk.Pdk
+module Rtl = Educhip_rtl.Rtl
+module Designs = Educhip_designs.Designs
+
+let check = Alcotest.check
+
+(* {1 SAT solver} *)
+
+let test_sat_trivial () =
+  let s = Sat.create () in
+  let a = Sat.fresh_var s in
+  Sat.add_clause s [ a ];
+  (match Sat.solve s with
+  | Sat.Sat model -> check Alcotest.bool "a true" true model.(a)
+  | Sat.Unsat | Sat.Unknown -> Alcotest.fail "satisfiable");
+  Sat.add_clause s [ -a ];
+  check Alcotest.bool "now unsat" true (Sat.solve s = Sat.Unsat)
+
+let test_sat_empty_clause () =
+  let s = Sat.create () in
+  Sat.add_clause s [];
+  check Alcotest.bool "empty clause unsat" true (Sat.solve s = Sat.Unsat)
+
+let test_sat_implication_chain () =
+  let s = Sat.create () in
+  let vars = Array.init 20 (fun _ -> Sat.fresh_var s) in
+  for i = 0 to 18 do
+    Sat.add_clause s [ -vars.(i); vars.(i + 1) ]
+  done;
+  Sat.add_clause s [ vars.(0) ];
+  (match Sat.solve s with
+  | Sat.Sat model ->
+    Array.iter (fun v -> check Alcotest.bool "all forced true" true model.(v)) vars
+  | Sat.Unsat | Sat.Unknown -> Alcotest.fail "chain is satisfiable");
+  Sat.add_clause s [ -vars.(19) ];
+  check Alcotest.bool "contradiction" true (Sat.solve s = Sat.Unsat)
+
+let test_sat_pigeonhole_3_2 () =
+  (* 3 pigeons in 2 holes: classic small UNSAT instance *)
+  let s = Sat.create () in
+  let p = Array.init 3 (fun _ -> Array.init 2 (fun _ -> Sat.fresh_var s)) in
+  for i = 0 to 2 do
+    Sat.add_clause s [ p.(i).(0); p.(i).(1) ]
+  done;
+  for h = 0 to 1 do
+    for i = 0 to 2 do
+      for j = i + 1 to 2 do
+        Sat.add_clause s [ -p.(i).(h); -p.(j).(h) ]
+      done
+    done
+  done;
+  check Alcotest.bool "pigeonhole unsat" true (Sat.solve s = Sat.Unsat)
+
+let test_sat_xor_consistency () =
+  let s = Sat.create () in
+  let a = Sat.fresh_var s and b = Sat.fresh_var s and x = Sat.fresh_var s in
+  Sat.add_xor s x a b;
+  Sat.add_clause s [ x ];
+  Sat.add_clause s [ a ];
+  (match Sat.solve s with
+  | Sat.Sat model ->
+    check Alcotest.bool "a=1" true model.(a);
+    check Alcotest.bool "b=0" false model.(b)
+  | Sat.Unsat | Sat.Unknown -> Alcotest.fail "satisfiable");
+  Sat.add_clause s [ b ];
+  check Alcotest.bool "1 xor 1 <> 1" true (Sat.solve s = Sat.Unsat)
+
+let test_sat_and_consistency () =
+  let s = Sat.create () in
+  let a = Sat.fresh_var s and b = Sat.fresh_var s and o = Sat.fresh_var s in
+  Sat.add_and s o a b;
+  Sat.add_clause s [ o ];
+  (match Sat.solve s with
+  | Sat.Sat model ->
+    check Alcotest.bool "a" true model.(a);
+    check Alcotest.bool "b" true model.(b)
+  | Sat.Unsat | Sat.Unknown -> Alcotest.fail "satisfiable")
+
+let test_sat_assumptions () =
+  let s = Sat.create () in
+  let a = Sat.fresh_var s and b = Sat.fresh_var s in
+  Sat.add_clause s [ a; b ];
+  check Alcotest.bool "sat under a" true (Sat.solve ~assumptions:[ a ] s <> Sat.Unsat);
+  check Alcotest.bool "sat under -a (b forced)" true
+    (Sat.solve ~assumptions:[ -a ] s <> Sat.Unsat);
+  check Alcotest.bool "unsat under both negative" true
+    (Sat.solve ~assumptions:[ -a; -b ] s = Sat.Unsat);
+  (* solver is reusable after assumption solving *)
+  check Alcotest.bool "still sat" true (Sat.solve s <> Sat.Unsat)
+
+let prop_sat_random_3cnf =
+  (* random 3-CNF at low clause density: verify returned models *)
+  QCheck.Test.make ~name:"sat models satisfy their formulas" ~count:60 QCheck.small_nat
+    (fun seed ->
+      let rng = Educhip_util.Rng.create ~seed:(seed + 1) in
+      let s = Sat.create () in
+      let n = 12 in
+      let vars = Array.init n (fun _ -> Sat.fresh_var s) in
+      let clauses =
+        List.init 30 (fun _ ->
+            List.init 3 (fun _ ->
+                let v = vars.(Educhip_util.Rng.int rng n) in
+                if Educhip_util.Rng.bool rng then v else -v))
+      in
+      List.iter (Sat.add_clause s) clauses;
+      match Sat.solve s with
+      | Sat.Unsat | Sat.Unknown -> true (* nothing to verify without a proof checker *)
+      | Sat.Sat model ->
+        List.for_all
+          (List.exists (fun l ->
+               let v = model.(abs l) in
+               if l > 0 then v else not v))
+          clauses)
+
+let prop_sat_agrees_with_brute_force =
+  (* small random CNF at the hard density (~4.3 clauses/var): the solver's
+     SAT/UNSAT verdict must match exhaustive enumeration *)
+  QCheck.Test.make ~name:"sat verdict matches brute force" ~count:80 QCheck.small_nat
+    (fun seed ->
+      let rng = Educhip_util.Rng.create ~seed:(seed + 100) in
+      let n = 8 in
+      let s = Sat.create () in
+      let vars = Array.init n (fun _ -> Sat.fresh_var s) in
+      let clauses =
+        List.init 34 (fun _ ->
+            List.init 3 (fun _ ->
+                let v = vars.(Educhip_util.Rng.int rng n) in
+                if Educhip_util.Rng.bool rng then v else -v))
+      in
+      List.iter (Sat.add_clause s) clauses;
+      let brute_force_sat =
+        let satisfies assignment =
+          List.for_all
+            (List.exists (fun l ->
+                 let bit = (assignment lsr (abs l - 1)) land 1 = 1 in
+                 if l > 0 then bit else not bit))
+            clauses
+        in
+        let rec try_all a = a < 1 lsl n && (satisfies a || try_all (a + 1)) in
+        try_all 0
+      in
+      (match Sat.solve s with
+      | Sat.Sat _ -> brute_force_sat
+      | Sat.Unsat -> not brute_force_sat
+      | Sat.Unknown -> false (* no limit given: must not happen *)))
+
+(* {1 CEC} *)
+
+let node = Pdk.find_node "edu130"
+
+let test_cec_self_equivalence () =
+  let nl = Designs.netlist (Designs.find "adder8") in
+  check Alcotest.bool "self equivalent" true (Cec.check nl nl = Cec.Equivalent)
+
+let test_cec_synthesis_formally_verified () =
+  List.iter
+    (fun name ->
+      let nl = Designs.netlist (Designs.find name) in
+      let mapped, _ = Synth.synthesize nl ~node Synth.default_options in
+      match Cec.check nl mapped with
+      | Cec.Equivalent -> ()
+      | v ->
+        Alcotest.failf "%s: %s" name (Format.asprintf "%a" Cec.pp_verdict v))
+    [ "adder8"; "adder16"; "mult4"; "alu8"; "gray8"; "lfsr16"; "cmp16"; "prio16";
+      "popcount16"; "xbar4x8"; "fir4x8"; "pipe4x8"; "acc_cpu8"; "chain64" ]
+
+let test_cec_detects_wrong_gate () =
+  (* same interface, OR instead of AND: must yield a counterexample *)
+  let build kind =
+    let nl = Netlist.create ~name:"g" in
+    let a = Netlist.add_input nl ~label:"a" in
+    let b = Netlist.add_input nl ~label:"b" in
+    let g = Netlist.add_gate nl kind [| a; b |] in
+    ignore (Netlist.add_output nl ~label:"y" g);
+    nl
+  in
+  match Cec.check (build Netlist.And) (build Netlist.Or) with
+  | Cec.Not_equivalent cex ->
+    check Alcotest.string "output named" "y" cex.Cec.distinguishing_output;
+    (* the counterexample must actually distinguish AND from OR: a xor b *)
+    let va = List.assoc "a" cex.Cec.input_values in
+    let vb = List.assoc "b" cex.Cec.input_values in
+    check Alcotest.bool "distinguishing input" true ((va && vb) <> (va || vb))
+  | v -> Alcotest.failf "expected counterexample, got %s" (Format.asprintf "%a" Cec.pp_verdict v)
+
+let test_cec_detects_subtle_bug () =
+  (* adder with the carry into bit 3 dropped *)
+  let good = Designs.netlist (Designs.find "adder8") in
+  let bad =
+    let d = Rtl.create ~name:"bad_adder" in
+    let a = Rtl.input d "a" 8 in
+    let b = Rtl.input d "b" 8 in
+    let lo_a = Rtl.slice a ~hi:2 ~lo:0 and lo_b = Rtl.slice b ~hi:2 ~lo:0 in
+    let hi_a = Rtl.slice a ~hi:7 ~lo:3 and hi_b = Rtl.slice b ~hi:7 ~lo:3 in
+    let lo = Rtl.add_carry d lo_a lo_b in
+    let hi = Rtl.add_carry d hi_a hi_b in
+    (* reconstruct without propagating the low carry into the high part *)
+    let lo_sum = Rtl.slice lo ~hi:2 ~lo:0 in
+    Rtl.output d "sum" (Rtl.concat [ hi; lo_sum ]);
+    Rtl.elaborate d
+  in
+  match Cec.check good bad with
+  | Cec.Not_equivalent cex ->
+    let va = List.assoc_opt "a[0]" cex.Cec.input_values in
+    check Alcotest.bool "inputs reported" true (va <> None)
+  | v -> Alcotest.failf "expected counterexample, got %s" (Format.asprintf "%a" Cec.pp_verdict v)
+
+let test_cec_incomparable_interfaces () =
+  let one =
+    let d = Rtl.create ~name:"one" in
+    let a = Rtl.input d "a" 2 in
+    Rtl.output d "y" a;
+    Rtl.elaborate d
+  in
+  let other =
+    let d = Rtl.create ~name:"other" in
+    let b = Rtl.input d "b" 2 in
+    Rtl.output d "y" b;
+    Rtl.elaborate d
+  in
+  (match Cec.check one other with
+  | Cec.Incomparable _ -> ()
+  | v -> Alcotest.failf "expected incomparable, got %s" (Format.asprintf "%a" Cec.pp_verdict v));
+  let sequential =
+    let d = Rtl.create ~name:"seq" in
+    let a = Rtl.input d "a" 2 in
+    Rtl.output d "y" (Rtl.reg d a);
+    Rtl.elaborate d
+  in
+  let combinational =
+    let d = Rtl.create ~name:"comb" in
+    let a = Rtl.input d "a" 2 in
+    Rtl.output d "y" a;
+    Rtl.elaborate d
+  in
+  match Cec.check sequential combinational with
+  | Cec.Incomparable _ -> ()
+  | v -> Alcotest.failf "expected incomparable, got %s" (Format.asprintf "%a" Cec.pp_verdict v)
+
+let test_cec_sequential_register_correspondence () =
+  (* gray counter: RTL vs mapped; registers as cut points *)
+  let nl = Designs.netlist (Designs.find "gray8") in
+  let mapped, _ = Synth.synthesize nl ~node Synth.high_effort_options in
+  check Alcotest.bool "sequential equivalence" true (Cec.check nl mapped = Cec.Equivalent)
+
+let prop_cec_agrees_with_simulation =
+  QCheck.Test.make ~name:"cec equivalent implies simulation equivalent" ~count:20
+    QCheck.small_nat (fun seed ->
+      let h = Gen.random_design seed in
+      let mapped, _ = Synth.synthesize h.Gen.netlist ~node Synth.default_options in
+      match Cec.check h.Gen.netlist mapped with
+      | Cec.Equivalent ->
+        Gen.equivalent ~seed:(seed + 31337) h.Gen.netlist mapped
+          ~input_widths:h.Gen.input_widths ~output_names:h.Gen.output_names
+      | Cec.Not_equivalent _ | Cec.Incomparable _ -> false)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_sat_random_3cnf; prop_sat_agrees_with_brute_force; prop_cec_agrees_with_simulation ]
+
+let suite =
+  [
+    Alcotest.test_case "sat trivial" `Quick test_sat_trivial;
+    Alcotest.test_case "sat empty clause" `Quick test_sat_empty_clause;
+    Alcotest.test_case "sat implication chain" `Quick test_sat_implication_chain;
+    Alcotest.test_case "sat pigeonhole" `Quick test_sat_pigeonhole_3_2;
+    Alcotest.test_case "sat xor consistency" `Quick test_sat_xor_consistency;
+    Alcotest.test_case "sat and consistency" `Quick test_sat_and_consistency;
+    Alcotest.test_case "sat assumptions" `Quick test_sat_assumptions;
+    Alcotest.test_case "cec self equivalence" `Quick test_cec_self_equivalence;
+    Alcotest.test_case "cec verifies synthesis" `Slow test_cec_synthesis_formally_verified;
+    Alcotest.test_case "cec detects wrong gate" `Quick test_cec_detects_wrong_gate;
+    Alcotest.test_case "cec detects subtle bug" `Quick test_cec_detects_subtle_bug;
+    Alcotest.test_case "cec incomparable interfaces" `Quick test_cec_incomparable_interfaces;
+    Alcotest.test_case "cec sequential correspondence" `Quick test_cec_sequential_register_correspondence;
+  ]
+  @ qsuite

@@ -1,0 +1,200 @@
+module Synth = Educhip_synth.Synth
+module Aig = Educhip_aig.Aig
+module Pdk = Educhip_pdk.Pdk
+module Netlist = Educhip_netlist.Netlist
+module Rtl = Educhip_rtl.Rtl
+module Sim = Educhip_sim.Sim
+
+let check = Alcotest.check
+
+let node = Pdk.find_node "edu130"
+
+let adder_netlist w =
+  let d = Rtl.create ~name:(Printf.sprintf "add%d" w) in
+  let a = Rtl.input d "a" w in
+  let b = Rtl.input d "b" w in
+  Rtl.output d "y" (Rtl.add_carry d a b);
+  Rtl.elaborate d
+
+let test_map_adder_correct () =
+  let nl = adder_netlist 6 in
+  let mapped, report = Synth.synthesize nl ~node Synth.default_options in
+  check Alcotest.int "valid" 0 (List.length (Netlist.validate mapped));
+  check Alcotest.bool "has cells" true (report.Synth.mapped_cells > 0);
+  check Alcotest.bool "has area" true (report.Synth.mapped_area_um2 > 0.0);
+  let sim = Sim.create mapped in
+  for x = 0 to 63 do
+    let y = (x * 7) mod 64 in
+    Sim.set_bus sim "a" x;
+    Sim.set_bus sim "b" y;
+    Sim.eval sim;
+    check Alcotest.int "sum" (x + y) (Sim.read_bus sim "y")
+  done
+
+let test_sequential_mapping () =
+  let d = Rtl.create ~name:"accum" in
+  let a = Rtl.input d "a" 4 in
+  let acc = Rtl.reg_feedback d ~width:4 (fun q -> Rtl.add d q a) in
+  Rtl.output d "acc" acc;
+  let nl = Rtl.elaborate d in
+  let mapped, report = Synth.synthesize nl ~node Synth.default_options in
+  check Alcotest.int "4 flip-flops" 4 report.Synth.flip_flops;
+  let sim = Sim.create mapped in
+  Sim.set_bus sim "a" 3;
+  Sim.run_cycles sim 5;
+  Sim.eval sim;
+  check Alcotest.int "accumulated 15" 15 (Sim.read_bus sim "acc")
+
+let prop_synthesis_preserves_semantics options name =
+  QCheck.Test.make ~name ~count:30 QCheck.small_nat (fun seed ->
+      let h = Gen.random_design seed in
+      let mapped, _ = Synth.synthesize h.Gen.netlist ~node options in
+      Netlist.validate mapped = []
+      && Gen.equivalent ~seed:(seed + 7777) h.Gen.netlist mapped
+           ~input_widths:h.Gen.input_widths ~output_names:h.Gen.output_names)
+
+let prop_default = prop_synthesis_preserves_semantics Synth.default_options
+    "synthesis preserves semantics (default)"
+
+let prop_high =
+  prop_synthesis_preserves_semantics Synth.high_effort_options
+    "synthesis preserves semantics (high effort)"
+
+let prop_low =
+  prop_synthesis_preserves_semantics Synth.low_effort_options
+    "synthesis preserves semantics (low effort)"
+
+let test_optimization_reduces_nodes () =
+  (* redundant logic: y = (a&b) | (a&b) duplicated through xor identities *)
+  let d = Rtl.create ~name:"red" in
+  let a = Rtl.input d "a" 8 in
+  let b = Rtl.input d "b" 8 in
+  let x1 = Rtl.band d a b in
+  let x2 = Rtl.band d a b in
+  let y = Rtl.bor d x1 x2 in
+  let z = Rtl.bxor d y (Rtl.lit d ~width:8 0) in
+  Rtl.output d "y" z;
+  let nl = Rtl.elaborate d in
+  let _, report = Synth.synthesize nl ~node Synth.default_options in
+  (* 8 AND gates suffice after sharing: mapped cell count must be small *)
+  check Alcotest.bool "sharing found" true (report.Synth.mapped_cells <= 10)
+
+let test_high_effort_improves_depth () =
+  (* a long and-chain: delay-oriented mapping + balance must shorten it *)
+  let d = Rtl.create ~name:"chain" in
+  let a = Rtl.input d "a" 16 in
+  Rtl.output d "y" (Rtl.and_reduce d a);
+  let nl = Rtl.elaborate d in
+  let _, r_low = Synth.synthesize nl ~node Synth.low_effort_options in
+  let _, r_high = Synth.synthesize nl ~node Synth.high_effort_options in
+  check Alcotest.bool "optimized depth no worse" true
+    (r_high.Synth.aig_depth_optimized <= r_low.Synth.aig_depth_optimized)
+
+let test_area_objective_cheaper () =
+  let nl = adder_netlist 8 in
+  let area_mapped, _ = Synth.synthesize nl ~node Synth.default_options in
+  let delay_mapped, _ = Synth.synthesize nl ~node Synth.high_effort_options in
+  let a_area = Synth.mapped_area_um2 area_mapped ~node in
+  let a_delay = Synth.mapped_area_um2 delay_mapped ~node in
+  (* delay mapping may spend area, but not an order of magnitude *)
+  check Alcotest.bool "area objective is not larger" true (a_area <= a_delay *. 1.25)
+
+let test_cell_usage_census () =
+  let nl = adder_netlist 4 in
+  let mapped, _ = Synth.synthesize nl ~node Synth.default_options in
+  let usage = Synth.cell_usage mapped in
+  check Alcotest.bool "census nonempty" true (usage <> []);
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 usage in
+  let mapped_count = ref 0 in
+  Netlist.iter_cells mapped (fun _ c ->
+      match c.Netlist.kind with Netlist.Mapped _ -> incr mapped_count | _ -> ());
+  check Alcotest.int "census total matches" !mapped_count total
+
+let test_report_depth_improves () =
+  let nl = adder_netlist 12 in
+  let _, report = Synth.synthesize nl ~node Synth.default_options in
+  check Alcotest.bool "optimization does not deepen" true
+    (report.Synth.aig_depth_optimized <= report.Synth.aig_depth_initial);
+  check Alcotest.bool "optimization does not grow" true
+    (report.Synth.aig_nodes_optimized <= report.Synth.aig_nodes_initial)
+
+let test_bad_cut_k_rejected () =
+  let nl = adder_netlist 2 in
+  let seq = Aig.of_netlist nl in
+  Alcotest.check_raises "cut_k range" (Invalid_argument "Synth.map: cut_k must be in 2..6")
+    (fun () ->
+      ignore (Synth.map seq ~node { Synth.default_options with Synth.cut_k = 1 }))
+
+let test_constant_output_design () =
+  (* an output tied to a constant must survive mapping *)
+  let d = Rtl.create ~name:"const" in
+  let a = Rtl.input d "a" 2 in
+  Rtl.output d "zero" (Rtl.band d a (Rtl.lit d ~width:2 0));
+  Rtl.output d "echo" a;
+  let nl = Rtl.elaborate d in
+  let mapped, _ = Synth.synthesize nl ~node Synth.default_options in
+  let sim = Sim.create mapped in
+  Sim.set_bus sim "a" 3;
+  Sim.eval sim;
+  check Alcotest.int "constant zero" 0 (Sim.read_bus sim "zero");
+  check Alcotest.int "echo" 3 (Sim.read_bus sim "echo")
+
+let test_mapped_area_accounts_dffs () =
+  let d = Rtl.create ~name:"ff" in
+  let a = Rtl.input d "a" 4 in
+  Rtl.output d "q" (Rtl.reg d a);
+  let nl = Rtl.elaborate d in
+  let mapped, _ = Synth.synthesize nl ~node Synth.default_options in
+  let area = Synth.mapped_area_um2 mapped ~node in
+  let dff_area = (Pdk.dff_cell node).Pdk.area in
+  check Alcotest.bool "at least 4 dffs of area" true (area >= 4.0 *. dff_area)
+
+let test_buffer_fanout () =
+  (* scan-inserted CPU has a 134-fanout scan-enable net *)
+  let rtl = Educhip_rtl.Rtl.elaborate (Educhip_designs.Designs.risc16 ~program:Educhip_designs.Designs.demo_program) in
+  let scanned, _ = Educhip_dft.Dft.insert_scan rtl in
+  let mapped, _ = Synth.synthesize scanned ~node Synth.default_options in
+  let worst_fanout nl =
+    Array.fold_left max 0 (Netlist.fanout_counts nl)
+  in
+  check Alcotest.bool "has a high-fanout net" true (worst_fanout mapped > 32);
+  let buffers = Synth.buffer_fanout mapped ~node ~max_fanout:8 in
+  check Alcotest.bool "buffers inserted" true (buffers > 10);
+  (* every net now fans out to at most 8 sinks *)
+  check Alcotest.bool "fanout bounded" true (worst_fanout mapped <= 8);
+  check Alcotest.int "still valid" 0 (List.length (Netlist.validate mapped));
+  (* and the transform is formally semantics-neutral *)
+  check Alcotest.bool "equivalent" true
+    (Educhip_cec.Cec.check scanned mapped = Educhip_cec.Cec.Equivalent)
+
+let test_buffer_fanout_noop_on_small () =
+  let nl = adder_netlist 4 in
+  let mapped, _ = Synth.synthesize nl ~node Synth.default_options in
+  let buffers = Synth.buffer_fanout mapped ~node ~max_fanout:64 in
+  check Alcotest.int "nothing to do" 0 buffers
+
+let test_buffer_fanout_bad_arg () =
+  let nl = adder_netlist 2 in
+  Alcotest.check_raises "max_fanout >= 2"
+    (Invalid_argument "Synth.buffer_fanout: max_fanout must be >= 2") (fun () ->
+      ignore (Synth.buffer_fanout nl ~node ~max_fanout:1))
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_default; prop_high; prop_low ]
+
+let suite =
+  [
+    Alcotest.test_case "map adder correct" `Quick test_map_adder_correct;
+    Alcotest.test_case "sequential mapping" `Quick test_sequential_mapping;
+    Alcotest.test_case "optimization reduces nodes" `Quick test_optimization_reduces_nodes;
+    Alcotest.test_case "high effort improves depth" `Quick test_high_effort_improves_depth;
+    Alcotest.test_case "area objective cheaper" `Quick test_area_objective_cheaper;
+    Alcotest.test_case "cell usage census" `Quick test_cell_usage_census;
+    Alcotest.test_case "report depth improves" `Quick test_report_depth_improves;
+    Alcotest.test_case "bad cut_k rejected" `Quick test_bad_cut_k_rejected;
+    Alcotest.test_case "constant output design" `Quick test_constant_output_design;
+    Alcotest.test_case "mapped area accounts dffs" `Quick test_mapped_area_accounts_dffs;
+    Alcotest.test_case "buffer fanout" `Quick test_buffer_fanout;
+    Alcotest.test_case "buffer fanout noop" `Quick test_buffer_fanout_noop_on_small;
+    Alcotest.test_case "buffer fanout bad arg" `Quick test_buffer_fanout_bad_arg;
+  ]
+  @ qsuite

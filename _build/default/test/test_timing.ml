@@ -1,0 +1,154 @@
+module Timing = Educhip_timing.Timing
+module Synth = Educhip_synth.Synth
+module Pdk = Educhip_pdk.Pdk
+module Netlist = Educhip_netlist.Netlist
+module Designs = Educhip_designs.Designs
+
+let check = Alcotest.check
+
+let node = Pdk.find_node "edu130"
+
+let mapped name =
+  let nl = Designs.netlist (Designs.find name) in
+  fst (Synth.synthesize nl ~node Synth.default_options)
+
+let test_single_gate_arrival () =
+  let nl = Netlist.create ~name:"one" in
+  let a = Netlist.add_input nl ~label:"a" in
+  let b = Netlist.add_input nl ~label:"b" in
+  let g = Netlist.add_gate nl Netlist.And [| a; b |] in
+  ignore (Netlist.add_output nl ~label:"y" g);
+  let arrival = Timing.arrival_times nl ~node () in
+  let cell = Pdk.find_cell node "AND2_X1" in
+  (* load: output pad 4 fF; no wires *)
+  let expected = cell.Pdk.intrinsic_ps +. (cell.Pdk.load_ps_per_ff *. 4.0) in
+  check (Alcotest.float 1e-6) "gate arrival" expected arrival.(g);
+  check (Alcotest.float 1e-6) "output marker copies" expected arrival.(List.hd (Netlist.outputs nl))
+
+let test_chain_adds_up () =
+  let nl = Netlist.create ~name:"chain" in
+  let a = Netlist.add_input nl ~label:"a" in
+  let g1 = Netlist.add_gate nl Netlist.Not [| a |] in
+  let g2 = Netlist.add_gate nl Netlist.Not [| g1 |] in
+  let g3 = Netlist.add_gate nl Netlist.Not [| g2 |] in
+  ignore (Netlist.add_output nl ~label:"y" g3);
+  let arrival = Timing.arrival_times nl ~node () in
+  check Alcotest.bool "monotone along chain" true
+    (arrival.(g1) < arrival.(g2) && arrival.(g2) < arrival.(g3))
+
+let test_slack_signs () =
+  let m = mapped "alu8" in
+  let loose = Timing.analyze m ~node ~clock_period_ps:1e6 () in
+  check Alcotest.bool "loose clock met" true (loose.Timing.wns_ps > 0.0);
+  check Alcotest.int "no failing endpoints" 0 loose.Timing.failing_endpoints;
+  let tight = Timing.analyze m ~node ~clock_period_ps:10.0 () in
+  check Alcotest.bool "tight clock violated" true (tight.Timing.wns_ps < 0.0);
+  check Alcotest.bool "tns negative" true (tight.Timing.tns_ps < 0.0);
+  check Alcotest.bool "failing endpoints" true (tight.Timing.failing_endpoints > 0)
+
+let test_fmax_consistent () =
+  let m = mapped "alu8" in
+  let r = Timing.analyze m ~node ~clock_period_ps:2000.0 () in
+  (* run again exactly at the reported fmax period: slack should be ~0 *)
+  let period = 1e6 /. r.Timing.max_frequency_mhz in
+  let r2 = Timing.analyze m ~node ~clock_period_ps:period () in
+  check Alcotest.bool "fmax period closes" true (Float.abs r2.Timing.wns_ps < 1e-6)
+
+let test_critical_path_endpoints () =
+  let m = mapped "alu8" in
+  let r = Timing.analyze m ~node ~clock_period_ps:2000.0 () in
+  (match r.Timing.critical_path with
+  | [] -> Alcotest.fail "critical path empty"
+  | first :: _ ->
+    let k = Netlist.kind m first in
+    check Alcotest.bool "starts at a source" true
+      (match k with
+      | Netlist.Input | Netlist.Dff | Netlist.Const _ -> true
+      | _ -> false));
+  let last = List.nth r.Timing.critical_path (List.length r.Timing.critical_path - 1) in
+  check Alcotest.bool "ends at an endpoint" true
+    (match Netlist.kind m last with
+    | Netlist.Output | Netlist.Dff -> true
+    | _ -> false)
+
+let test_wires_slow_things_down () =
+  let m = mapped "alu8" in
+  let ideal = Timing.analyze m ~node ~clock_period_ps:2000.0 () in
+  let wired =
+    Timing.analyze m ~node ~wire_length_of_net:(fun _ -> 50.0) ~clock_period_ps:2000.0 ()
+  in
+  check Alcotest.bool "wires reduce fmax" true
+    (wired.Timing.max_frequency_mhz < ideal.Timing.max_frequency_mhz)
+
+let test_sequential_endpoints () =
+  let m = mapped "gray8" in
+  let r = Timing.analyze m ~node ~clock_period_ps:5000.0 () in
+  (* gray8 has 8 dffs and an 8-bit output: 16 endpoints *)
+  check Alcotest.int "endpoints" 16 r.Timing.endpoints
+
+let test_smaller_node_faster () =
+  let nl = Designs.netlist (Designs.find "alu8") in
+  let n130 = Pdk.find_node "edu130" and n28 = Pdk.find_node "edu28" in
+  let m130, _ = Synth.synthesize nl ~node:n130 Synth.default_options in
+  let m28, _ = Synth.synthesize nl ~node:n28 Synth.default_options in
+  let r130 = Timing.analyze m130 ~node:n130 ~clock_period_ps:1e5 () in
+  let r28 = Timing.analyze m28 ~node:n28 ~clock_period_ps:1e5 () in
+  check Alcotest.bool "scaling speeds up" true
+    (r28.Timing.max_frequency_mhz > r130.Timing.max_frequency_mhz)
+
+let test_hold_met_on_register_chain () =
+  (* direct register-to-register transfer: clk-to-Q alone exceeds hold *)
+  let m = mapped "pipe4x8" in
+  let r = Timing.analyze m ~node ~clock_period_ps:5000.0 () in
+  check Alcotest.bool "hold met" true (r.Timing.whs_ps > 0.0);
+  check Alcotest.int "no hold violations" 0 r.Timing.hold_failing_endpoints;
+  (* min path can never exceed max path: whs must be below the worst
+     arrival *)
+  check Alcotest.bool "min below max" true
+    (r.Timing.whs_ps +. Timing.hold_margin_ps node <= r.Timing.critical_arrival_ps +. 1e-6)
+
+let test_hold_violated_by_skew () =
+  let m = mapped "pipe4x8" in
+  let clean = Timing.analyze m ~node ~clock_period_ps:5000.0 () in
+  let skewed =
+    Timing.analyze m ~node ~clock_skew_ps:(clean.Timing.whs_ps +. 10.0)
+      ~clock_period_ps:5000.0 ()
+  in
+  check Alcotest.bool "skew eats hold margin" true (skewed.Timing.whs_ps < 0.0);
+  check Alcotest.bool "violations reported" true (skewed.Timing.hold_failing_endpoints > 0)
+
+let test_hold_trivial_for_combinational () =
+  let m = mapped "adder8" in
+  let r = Timing.analyze m ~node ~clock_period_ps:2000.0 () in
+  check (Alcotest.float 1e-9) "no registers: whs = period" 2000.0 r.Timing.whs_ps;
+  check Alcotest.int "no hold endpoints" 0 r.Timing.hold_failing_endpoints
+
+let test_skew_reduces_setup_slack () =
+  let m = mapped "gray8" in
+  let no_skew = Timing.analyze m ~node ~clock_period_ps:3000.0 () in
+  let with_skew = Timing.analyze m ~node ~clock_skew_ps:100.0 ~clock_period_ps:3000.0 () in
+  check (Alcotest.float 1e-6) "setup slack drops by the skew" 100.0
+    (no_skew.Timing.wns_ps -. with_skew.Timing.wns_ps)
+
+let test_bad_clock_rejected () =
+  let m = mapped "adder8" in
+  Alcotest.check_raises "non-positive clock"
+    (Invalid_argument "Timing.analyze: clock period must be positive") (fun () ->
+      ignore (Timing.analyze m ~node ~clock_period_ps:0.0 ()))
+
+let suite =
+  [
+    Alcotest.test_case "single gate arrival" `Quick test_single_gate_arrival;
+    Alcotest.test_case "chain adds up" `Quick test_chain_adds_up;
+    Alcotest.test_case "slack signs" `Quick test_slack_signs;
+    Alcotest.test_case "fmax consistent" `Quick test_fmax_consistent;
+    Alcotest.test_case "critical path endpoints" `Quick test_critical_path_endpoints;
+    Alcotest.test_case "wires slow things down" `Quick test_wires_slow_things_down;
+    Alcotest.test_case "sequential endpoints" `Quick test_sequential_endpoints;
+    Alcotest.test_case "smaller node faster" `Quick test_smaller_node_faster;
+    Alcotest.test_case "bad clock rejected" `Quick test_bad_clock_rejected;
+    Alcotest.test_case "hold met on register chain" `Quick test_hold_met_on_register_chain;
+    Alcotest.test_case "hold violated by skew" `Quick test_hold_violated_by_skew;
+    Alcotest.test_case "hold trivial for combinational" `Quick test_hold_trivial_for_combinational;
+    Alcotest.test_case "skew reduces setup slack" `Quick test_skew_reduces_setup_slack;
+  ]

@@ -1,0 +1,133 @@
+module Sim = Educhip_sim.Sim
+module Vcd = Educhip_sim.Vcd
+module Synth = Educhip_synth.Synth
+module Designs = Educhip_designs.Designs
+
+let check = Alcotest.check
+
+let contains needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* {1 VCD} *)
+
+let test_vcd_structure () =
+  let sim = Sim.create (Designs.netlist (Designs.find "gray8")) in
+  let vcd = Vcd.create sim ~watch:[ "gray" ] in
+  for _ = 1 to 8 do
+    Sim.eval sim;
+    Vcd.sample vcd;
+    Sim.step sim
+  done;
+  check Alcotest.int "cycles" 8 (Vcd.cycles_recorded vcd);
+  let text = Vcd.render vcd in
+  check Alcotest.bool "timescale" true (contains "$timescale 1 ns $end" text);
+  check Alcotest.bool "var decl" true (contains "$var wire 8 ! gray [7:0] $end" text);
+  check Alcotest.bool "enddefinitions" true (contains "$enddefinitions $end" text);
+  check Alcotest.bool "binary values" true (contains "b0000000" text);
+  check Alcotest.bool "time marks" true (contains "#0" text && contains "#8" text)
+
+let test_vcd_value_changes_only () =
+  (* a constant signal must appear once, not every cycle *)
+  let sim = Sim.create (Designs.netlist (Designs.find "adder8")) in
+  Sim.set_bus sim "a" 3;
+  Sim.set_bus sim "b" 4;
+  let vcd = Vcd.create sim ~watch:[ "a"; "sum" ] in
+  for _ = 1 to 5 do
+    Sim.eval sim;
+    Vcd.sample vcd;
+    Sim.step sim
+  done;
+  let text = Vcd.render vcd in
+  let count needle =
+    let rec go i acc =
+      if i + String.length needle > String.length text then acc
+      else if String.sub text i (String.length needle) = needle then
+        go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  check Alcotest.int "constant bus dumped once" 1 (count "b00000011 !")
+
+let test_vcd_scalar_signal () =
+  let sim = Sim.create (Designs.netlist (Designs.find "uart_tx")) in
+  let vcd = Vcd.create sim ~watch:[ "tx"; "busy" ] in
+  Sim.set_bus sim "start" 1;
+  Sim.set_bus sim "data" 0xA5;
+  for _ = 1 to 12 do
+    Sim.eval sim;
+    Vcd.sample vcd;
+    Sim.step sim;
+    Sim.set_bus sim "start" 0
+  done;
+  let text = Vcd.render vcd in
+  check Alcotest.bool "scalar var" true (contains "$var wire 1 ! tx $end" text);
+  check Alcotest.bool "scalar changes" true (contains "1!" text && contains "0!" text)
+
+let test_vcd_unknown_bus () =
+  let sim = Sim.create (Designs.netlist (Designs.find "adder8")) in
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Vcd.create sim ~watch:[ "nonexistent" ]))
+
+let test_vcd_file () =
+  let sim = Sim.create (Designs.netlist (Designs.find "gray8")) in
+  let vcd = Vcd.create sim ~watch:[ "gray" ] in
+  Sim.eval sim;
+  Vcd.sample vcd;
+  let path = Filename.temp_file "educhip" ".vcd" in
+  Vcd.write_file vcd ~path;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  close_in ic;
+  Sys.remove path;
+  check Alcotest.bool "file written" true (len > 50)
+
+(* {1 LUT mapping} *)
+
+let test_lut_map_basics () =
+  let nl = Designs.netlist (Designs.find "alu8") in
+  let r = Synth.lut_map nl ~k:4 in
+  check Alcotest.int "k recorded" 4 r.Synth.k;
+  check Alcotest.bool "luts" true (r.Synth.luts > 0);
+  check Alcotest.bool "depth" true (r.Synth.lut_depth > 0);
+  check Alcotest.int "no ffs in alu" 0 r.Synth.lut_flip_flops
+
+let test_lut_wider_k_fewer_luts () =
+  let nl = Designs.netlist (Designs.find "alu8") in
+  let r4 = Synth.lut_map nl ~k:4 in
+  let r6 = Synth.lut_map nl ~k:6 in
+  check Alcotest.bool "k=6 no more LUTs than k=4" true (r6.Synth.luts <= r4.Synth.luts);
+  check Alcotest.bool "k=6 no deeper" true (r6.Synth.lut_depth <= r4.Synth.lut_depth)
+
+let test_lut_sequential () =
+  let nl = Designs.netlist (Designs.find "gray8") in
+  let r = Synth.lut_map nl ~k:4 in
+  check Alcotest.int "ffs counted" 8 r.Synth.lut_flip_flops
+
+let test_lut_depth_bound () =
+  (* an N-input function needs at least ceil(log_k N) LUT levels *)
+  let nl = Designs.netlist (Designs.find "chain64") in
+  let r = Synth.lut_map nl ~k:4 in
+  check Alcotest.bool "depth >= log4(64) = 3" true (r.Synth.lut_depth >= 3);
+  check Alcotest.bool "luts >= 64/3" true (r.Synth.luts >= 21)
+
+let test_lut_bad_k () =
+  let nl = Designs.netlist (Designs.find "adder8") in
+  Alcotest.check_raises "k range" (Invalid_argument "Synth.lut_map: k must be in 3..6")
+    (fun () -> ignore (Synth.lut_map nl ~k:2))
+
+let suite =
+  [
+    Alcotest.test_case "vcd structure" `Quick test_vcd_structure;
+    Alcotest.test_case "vcd change-only dumping" `Quick test_vcd_value_changes_only;
+    Alcotest.test_case "vcd scalar signal" `Quick test_vcd_scalar_signal;
+    Alcotest.test_case "vcd unknown bus" `Quick test_vcd_unknown_bus;
+    Alcotest.test_case "vcd file" `Quick test_vcd_file;
+    Alcotest.test_case "lut map basics" `Quick test_lut_map_basics;
+    Alcotest.test_case "lut wider k fewer luts" `Quick test_lut_wider_k_fewer_luts;
+    Alcotest.test_case "lut sequential" `Quick test_lut_sequential;
+    Alcotest.test_case "lut depth bound" `Quick test_lut_depth_bound;
+    Alcotest.test_case "lut bad k" `Quick test_lut_bad_k;
+  ]
