@@ -25,6 +25,8 @@ module Productivity = Educhip.Productivity
 module Recommend = Educhip.Recommend
 module Table = Educhip_util.Table
 module Stats = Educhip_util.Stats
+module Obs = Educhip_obs.Obs
+module Jsonout = Educhip_obs.Jsonout
 
 let node130 = Pdk.find_node "edu130"
 
@@ -857,7 +859,87 @@ let micro_benchmarks () =
       | Some _ | None -> Printf.printf "%-28s (no estimate)\n" name)
     (List.sort compare rows)
 
+(* Flow telemetry: run every E6 design under each preset with a collector
+   installed, dump per-step wall times (and final PPA) to BENCH_flow.json,
+   then measure that the disabled-telemetry probes cost nothing. *)
+let flow_telemetry () =
+  banner "FLOW" "per-step wall times -> BENCH_flow.json, telemetry overhead";
+  let presets =
+    [ (Flow.Open_flow, "open");
+      (Flow.Commercial_flow, "commercial");
+      (Flow.Teaching_flow, "teaching") ]
+  in
+  let runs =
+    List.concat_map
+      (fun (preset, preset_label) ->
+        List.map
+          (fun name ->
+            let entry = Designs.find name in
+            let c = Obs.create () in
+            let r =
+              Obs.with_collector c (fun () ->
+                  Flow.run_design entry (Flow.config ~node:node130 preset))
+            in
+            let total_ms =
+              List.fold_left
+                (fun acc root -> acc +. Obs.span_duration_ms root)
+                0.0 (Obs.root_spans c)
+            in
+            let steps =
+              List.map
+                (fun s ->
+                  Jsonout.Obj
+                    [ ("step", Jsonout.String s.Flow.step_name);
+                      ( "wall_ms",
+                        match s.Flow.wall_ms with
+                        | Some ms -> Jsonout.Float ms
+                        | None -> Jsonout.Null ) ])
+                r.Flow.steps
+            in
+            Printf.printf "  %-10s %-10s %8.2f ms\n" name preset_label total_ms;
+            Jsonout.Obj
+              [ ("design", Jsonout.String name);
+                ("preset", Jsonout.String preset_label);
+                ("node", Jsonout.String "edu130");
+                ("total_ms", Jsonout.Float total_ms);
+                ("steps", Jsonout.List steps);
+                ( "ppa",
+                  Jsonout.Obj
+                    [ ("area_um2", Jsonout.Float r.Flow.ppa.Flow.area_um2);
+                      ("cells", Jsonout.Int r.Flow.ppa.Flow.cells);
+                      ("fmax_mhz", Jsonout.Float r.Flow.ppa.Flow.fmax_mhz);
+                      ("wns_ps", Jsonout.Float r.Flow.ppa.Flow.wns_ps);
+                      ("total_power_uw", Jsonout.Float r.Flow.ppa.Flow.total_power_uw);
+                      ("wirelength_um", Jsonout.Float r.Flow.ppa.Flow.wirelength_um);
+                      ("drc_clean", Jsonout.Bool r.Flow.ppa.Flow.drc_clean) ] ) ])
+          e6_designs)
+      presets
+  in
+  Jsonout.write_file ~path:"BENCH_flow.json" (Jsonout.Obj [ ("runs", Jsonout.List runs) ]);
+  Printf.printf "wrote BENCH_flow.json (%d runs)\n" (List.length runs);
+  (* overhead of the disabled probes: same design, with and without a
+     collector installed; medians over a few repetitions *)
+  let time_run () =
+    let t0 = Unix.gettimeofday () in
+    ignore (Flow.run_design (Designs.find "alu8") (Flow.config ~node:node130 Flow.Open_flow));
+    (Unix.gettimeofday () -. t0) *. 1000.0
+  in
+  let reps = 5 in
+  let disabled = List.init reps (fun _ -> time_run ()) in
+  let enabled =
+    List.init reps (fun _ -> Obs.with_collector (Obs.create ()) time_run)
+  in
+  Printf.printf
+    "alu8 open flow, median of %d: telemetry off %.2f ms, on %.2f ms\n" reps
+    (Stats.percentile 50.0 disabled)
+    (Stats.percentile 50.0 enabled)
+
 let () =
+  let flow_only = Array.exists (fun a -> a = "--flow-only") Sys.argv in
+  if flow_only then begin
+    flow_telemetry ();
+    exit 0
+  end;
   let skip_micro = Array.exists (fun a -> a = "--no-micro") Sys.argv in
   e1_value_chain ();
   e2_abstraction_gap ();
@@ -879,5 +961,6 @@ let () =
   x4_test_generation ();
   x5_soc_planning ();
   x6_node_scaling ();
+  flow_telemetry ();
   if not skip_micro then micro_benchmarks ();
   print_endline "\nall experiments regenerated."

@@ -16,6 +16,7 @@ module Verilog = Educhip_netlist.Verilog
 module Dft = Educhip_dft.Dft
 module Synth = Educhip_synth.Synth
 module Table = Educhip_util.Table
+module Obs = Educhip_obs.Obs
 
 open Cmdliner
 
@@ -59,8 +60,36 @@ let list_nodes () =
     Pdk.nodes;
   Table.print table
 
+(* When --trace/--metrics is given, install a collector and arrange for
+   the files to be written exactly once — also on the early [exit] paths
+   (DRC violations, verification failure), hence [at_exit]. *)
+let setup_telemetry trace_path metrics_path =
+  match (trace_path, metrics_path) with
+  | None, None -> ()
+  | _ ->
+    let c = Obs.create () in
+    Obs.install c;
+    let written = ref false in
+    let write () =
+      if not !written then begin
+        written := true;
+        Option.iter
+          (fun path ->
+            Obs.write_trace c ~path;
+            Printf.printf "trace written to %s\n%!" path)
+          trace_path;
+        Option.iter
+          (fun path ->
+            Obs.write_metrics c ~path;
+            Printf.printf "metrics written to %s\n%!" path)
+          metrics_path
+      end
+    in
+    at_exit write
+
 let run_flow design_name node_name preset_name_ clock_ps gds_path verilog_path verify
-    scan =
+    scan trace_path metrics_path =
+  setup_telemetry trace_path metrics_path;
   match Designs.find design_name with
   | exception Not_found ->
     Printf.eprintf "unknown design %s (try: eduflow list)\n" design_name;
@@ -159,12 +188,30 @@ let scan_arg =
     value & flag
     & info [ "scan" ] ~doc:"Insert a scan chain before synthesis (sequential designs only).")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"PATH"
+        ~doc:
+          "Record a hierarchical trace of the run and write it to this file in Chrome \
+           trace_event JSON (open in chrome://tracing or Perfetto).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"PATH"
+        ~doc:"Write kernel counters, gauges, and histograms to this file as JSON.")
+
+let run_term =
+  Term.(
+    const run_flow $ design_arg $ node_arg $ preset_arg $ clock_arg $ gds_arg
+    $ verilog_arg $ verify_arg $ scan_arg $ trace_arg $ metrics_arg)
+
 let run_cmd =
   let doc = "run the full synthesis/place/route/signoff flow on a design" in
-  Cmd.v (Cmd.info "run" ~doc)
-    Term.(
-      const run_flow $ design_arg $ node_arg $ preset_arg $ clock_arg $ gds_arg
-      $ verilog_arg $ verify_arg $ scan_arg)
+  Cmd.v (Cmd.info "run" ~doc) run_term
 
 let list_cmd =
   let doc = "list the benchmark designs" in
@@ -195,4 +242,18 @@ let nodes_cmd =
 let () =
   let doc = "educhip RTL-to-GDSII flow driver" in
   let info = Cmd.info "eduflow" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; list_cmd; nodes_cmd; fpga_cmd ]))
+  (* [run] is the default command: [eduflow counter --trace t.json] is
+     shorthand for [eduflow run counter --trace t.json]. *)
+  let argv =
+    let argv = Sys.argv in
+    let commands = [ "run"; "list"; "nodes"; "fpga" ] in
+    if
+      Array.length argv > 1
+      && (not (String.length argv.(1) > 0 && argv.(1).[0] = '-'))
+      && not (List.mem argv.(1) commands)
+    then Array.append [| argv.(0); "run" |] (Array.sub argv 1 (Array.length argv - 1))
+    else argv
+  in
+  exit
+    (Cmd.eval ~argv
+       (Cmd.group ~default:run_term info [ run_cmd; list_cmd; nodes_cmd; fpga_cmd ]))

@@ -15,6 +15,7 @@ module Cloudhub = Educhip.Cloudhub
 module Enable = Educhip.Enable
 module Recommend = Educhip.Recommend
 module Table = Educhip_util.Table
+module Obs = Educhip_obs.Obs
 
 open Cmdliner
 
@@ -155,6 +156,23 @@ let enablement_report () =
         [ Enable.Self_service; Enable.Design_enablement_team; Enable.Cloud_platform ])
     [ Pdk.Open_pdk; Pdk.Nda; Pdk.Nda_with_track_record ]
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"PATH"
+        ~doc:"Write the scenario's counters, gauges, and histograms to this file as JSON.")
+
+(* Run a report with a metrics collector installed when --metrics is given. *)
+let with_metrics metrics_path f =
+  match metrics_path with
+  | None -> f ()
+  | Some path ->
+    let c = Obs.create () in
+    Obs.with_collector c f;
+    Obs.write_metrics c ~path;
+    Printf.printf "metrics written to %s\n%!" path
+
 let years_arg =
   Arg.(value & opt int 15 & info [ "years" ] ~docv:"N" ~doc:"Simulation horizon in years.")
 
@@ -174,13 +192,21 @@ let () =
     [
       cmd "market" "value-chain shares (E1)" Term.(const market $ const ());
       cmd "costs" "design and MPW cost curves (E3/E4)" Term.(const costs $ const ());
-      cmd "workforce" "designer-pipeline scenarios (E7)" Term.(const workforce $ years_arg);
-      cmd "hub" "enablement-hub queue simulation (E10)" Term.(const hub $ teams_arg $ arrivals_arg);
+      cmd "workforce" "designer-pipeline scenarios (E7)"
+        Term.(
+          const (fun m years -> with_metrics m (fun () -> workforce years))
+          $ metrics_arg $ years_arg);
+      cmd "hub" "enablement-hub queue simulation (E10)"
+        Term.(
+          const (fun m teams arrivals -> with_metrics m (fun () -> hub teams arrivals))
+          $ metrics_arg $ teams_arg $ arrivals_arg);
       cmd "enable" "availability-vs-enablement matrix (E5)"
         Term.(const enablement_report $ const ());
       cmd "recommendations" "the paper's eight recommendations as scenarios"
         Term.(const recommendations $ const ());
-      cmd "tiers" "tiered enablement pathways (E9)" Term.(const tiers $ const ());
+      cmd "tiers" "tiered enablement pathways (E9)"
+        Term.(
+          const (fun m () -> with_metrics m tiers) $ metrics_arg $ const ());
     ]
   in
   exit (Cmd.eval (Cmd.group info cmds))

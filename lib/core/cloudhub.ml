@@ -1,6 +1,7 @@
 module Rng = Educhip_util.Rng
 module Pqueue = Educhip_util.Pqueue
 module Stats = Educhip_util.Stats
+module Obs = Educhip_obs.Obs
 
 type tier = Beginner | Intermediate | Advanced
 
@@ -104,6 +105,9 @@ let simulate p =
         | Some (job, started) ->
           incr completed;
           sojourns := (now -. job.arrived) :: !sojourns;
+          if Obs.enabled () then
+            Obs.incr_counter "hub.jobs_completed"
+              ~labels:[ ("tier", tier_name job.tier) ];
           ignore started
         | None -> ());
         team_busy_job.(team) <- None;
@@ -120,6 +124,11 @@ let simulate p =
      them at their accrued value so overloaded systems are not reported as
      fast merely because their queue never drains *)
   Queue.iter (fun job -> waits := (p.horizon_weeks -. job.arrived) :: !waits) queue;
+  if Obs.enabled () then begin
+    Obs.add_counter "hub.jobs_abandoned" (Queue.length queue + in_service);
+    List.iter (fun w -> Obs.observe "hub.wait_weeks" w) !waits;
+    Obs.set_gauge "hub.peak_queue" (float_of_int !peak_queue)
+  end;
   {
     completed = !completed;
     abandoned = Queue.length queue + in_service;

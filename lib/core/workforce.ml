@@ -59,7 +59,15 @@ let simulate s ~years =
       go (year + 1) gap ({ year; graduates; demand; cumulative_gap = gap } :: acc)
     end
   in
-  go 0 0.0 []
+  let points = go 0 0.0 [] in
+  (if Educhip_obs.Obs.enabled () then
+     let module Obs = Educhip_obs.Obs in
+     let labels = [ ("scenario", s.scenario_name) ] in
+     Obs.add_counter "workforce.years_simulated" ~labels (years + 1);
+     match List.rev points with
+     | last :: _ -> Obs.set_gauge "workforce.final_gap_k" ~labels last.cumulative_gap
+     | [] -> ());
+  points
 
 let with_low_barrier_programs s =
   {

@@ -92,6 +92,15 @@ let priority_encoder ~width =
   Rtl.output d "valid" (Rtl.or_reduce d a);
   d
 
+let binary_counter ~width =
+  let d = Rtl.create ~name:(Printf.sprintf "counter%d" width) in
+  let count =
+    Rtl.reg_feedback d ~width (fun q -> Rtl.add d q (Rtl.lit d ~width 1))
+  in
+  Rtl.output d "count" count;
+  Rtl.output d "tc" (Rtl.and_reduce d count);
+  d
+
 let gray_counter ~width =
   let d = Rtl.create ~name:(Printf.sprintf "gray%d" width) in
   let binary =
@@ -492,6 +501,12 @@ let all =
       description = "4-port 8-bit crossbar switch";
       category = "logic";
       build = (fun () -> crossbar ~ports:4 ~width:8);
+    };
+    {
+      name = "counter";
+      description = "8-bit binary up-counter with terminal count";
+      category = "sequential";
+      build = (fun () -> binary_counter ~width:8);
     };
     {
       name = "gray8";

@@ -46,6 +46,11 @@ val popcount : width:int -> Educhip_rtl.Rtl.design
 val priority_encoder : width:int -> Educhip_rtl.Rtl.design
 (** Index of the highest set bit plus a valid flag. *)
 
+val binary_counter : width:int -> Educhip_rtl.Rtl.design
+(** Free-running binary up-counter with a terminal-count output — the
+    smallest sequential workload (the ["counter"] entry), handy for
+    smoke-testing the flow and its telemetry. *)
+
 val gray_counter : width:int -> Educhip_rtl.Rtl.design
 (** Free-running Gray-code counter. *)
 

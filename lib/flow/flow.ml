@@ -9,6 +9,8 @@ module Drc = Educhip_drc.Drc
 module Gds = Educhip_gds.Gds
 module Designs = Educhip_designs.Designs
 module Cts = Educhip_cts.Cts
+module Sat = Educhip_sat.Sat
+module Obs = Educhip_obs.Obs
 
 type preset = Open_flow | Commercial_flow | Teaching_flow
 
@@ -92,7 +94,7 @@ type ppa = {
   drc_clean : bool;
 }
 
-type step_report = { step_name : string; detail : string }
+type step_report = { step_name : string; detail : string; wall_ms : float option }
 
 type result = {
   cfg : config;
@@ -134,42 +136,61 @@ let size_gates mapped ~node ~rounds =
   in
   go 0 0 infinity
 
+(* All counter families the kernels can report, so a metrics dump shows
+   them at zero even for steps that never fired (Prometheus idiom). *)
+let kernel_metric_names =
+  Synth.metric_names @ Place.metric_names @ Route.metric_names @ Sat.metric_names
+
 let run netlist cfg =
+  Obs.with_span "flow.run"
+    ~attrs:
+      [ ("design", Obs.Str (Netlist.name netlist));
+        ("node", Obs.Str cfg.node.Pdk.node_name);
+        ("clock_period_ps", Obs.Float cfg.clock_period_ps) ]
+  @@ fun () ->
+  if Obs.enabled () then List.iter (fun n -> Obs.declare_counter n) kernel_metric_names;
+  (* Wrap one template step in a span named after it; the closure returns
+     (value, detail line) and may attach span attributes. *)
+  let step name f =
+    let (v, detail), wall_ms = Obs.timed name f in
+    (v, { step_name = name; detail; wall_ms })
+  in
   (* 1. synthesis *)
-  let mapped, synth_report = Synth.synthesize netlist ~node:cfg.node cfg.synth_options in
-  let synth_step =
-    {
-      step_name = "synthesis";
-      detail =
-        Printf.sprintf "%d AIG nodes -> %d, depth %d -> %d, %d cells, %.0f um2"
-          synth_report.Synth.aig_nodes_initial synth_report.Synth.aig_nodes_optimized
-          synth_report.Synth.aig_depth_initial synth_report.Synth.aig_depth_optimized
-          synth_report.Synth.mapped_cells synth_report.Synth.mapped_area_um2;
-    }
+  let (mapped, synth_report), synth_step =
+    step "synthesis" (fun () ->
+        let mapped, r = Synth.synthesize netlist ~node:cfg.node cfg.synth_options in
+        Obs.set_attr "cells" (Obs.Int r.Synth.mapped_cells);
+        Obs.set_attr "aig_nodes" (Obs.Int r.Synth.aig_nodes_optimized);
+        ( (mapped, r),
+          Printf.sprintf "%d AIG nodes -> %d, depth %d -> %d, %d cells, %.0f um2"
+            r.Synth.aig_nodes_initial r.Synth.aig_nodes_optimized
+            r.Synth.aig_depth_initial r.Synth.aig_depth_optimized r.Synth.mapped_cells
+            r.Synth.mapped_area_um2 ))
   in
-  (* 1b. timing-driven gate sizing *)
-  let sizing_step =
-    if cfg.sizing_rounds = 0 then { step_name = "sizing"; detail = "disabled" }
-    else begin
-      let upsized, arrival = size_gates mapped ~node:cfg.node ~rounds:cfg.sizing_rounds in
-      {
-        step_name = "sizing";
-        detail =
-          Printf.sprintf "%d cells upsized over <=%d rounds, ideal-wire arrival %.0f ps"
-            upsized cfg.sizing_rounds arrival;
-      }
-    end
+  (* 2. timing-driven gate sizing *)
+  let (), sizing_step =
+    step "sizing" (fun () ->
+        if cfg.sizing_rounds = 0 then ((), "disabled")
+        else begin
+          let upsized, arrival =
+            size_gates mapped ~node:cfg.node ~rounds:cfg.sizing_rounds
+          in
+          Obs.set_attr "cells_upsized" (Obs.Int upsized);
+          ( (),
+            Printf.sprintf
+              "%d cells upsized over <=%d rounds, ideal-wire arrival %.0f ps" upsized
+              cfg.sizing_rounds arrival )
+        end)
   in
-  (* 1c. fanout buffering *)
-  let buffering_step =
-    match cfg.max_fanout with
-    | None -> { step_name = "buffering"; detail = "disabled" }
-    | Some max_fanout ->
-      let buffers = Synth.buffer_fanout mapped ~node:cfg.node ~max_fanout in
-      {
-        step_name = "buffering";
-        detail = Printf.sprintf "%d buffers inserted (max fanout %d)" buffers max_fanout;
-      }
+  (* 3. fanout buffering *)
+  let (), buffering_step =
+    step "buffering" (fun () ->
+        match cfg.max_fanout with
+        | None -> ((), "disabled")
+        | Some max_fanout ->
+          let buffers = Synth.buffer_fanout mapped ~node:cfg.node ~max_fanout in
+          Obs.set_attr "buffers" (Obs.Int buffers);
+          ((), Printf.sprintf "%d buffers inserted (max fanout %d)" buffers max_fanout))
   in
   (* sizing and buffering change the cell population: refresh the report *)
   let synth_report =
@@ -178,84 +199,92 @@ let run netlist cfg =
       Synth.mapped_cells =
         List.fold_left (fun acc (_, n) -> acc + n) 0 (Synth.cell_usage mapped) }
   in
-  (* 2. placement *)
-  let placement =
-    Place.place mapped ~node:cfg.node ~utilization:cfg.utilization cfg.place_effort
+  (* 4. placement *)
+  let placement, place_step =
+    step "placement" (fun () ->
+        let placement =
+          Place.place mapped ~node:cfg.node ~utilization:cfg.utilization cfg.place_effort
+        in
+        let die_w, die_h = Place.die_um placement in
+        Obs.set_attr "cells" (Obs.Int synth_report.Synth.mapped_cells);
+        Obs.set_attr "hpwl_um" (Obs.Float (Place.hpwl_um placement));
+        Obs.set_attr "rows" (Obs.Int (Place.row_count placement));
+        ( placement,
+          Printf.sprintf "die %.1f x %.1f um, %d rows, HPWL %.0f um, utilization %.0f%%"
+            die_w die_h (Place.row_count placement) (Place.hpwl_um placement)
+            (Place.utilization placement *. 100.0) ))
   in
-  let die_w, die_h = Place.die_um placement in
-  let place_step =
-    {
-      step_name = "placement";
-      detail =
-        Printf.sprintf "die %.1f x %.1f um, %d rows, HPWL %.0f um, utilization %.0f%%" die_w
-          die_h (Place.row_count placement) (Place.hpwl_um placement)
-          (Place.utilization placement *. 100.0);
-    }
+  (* 5. clock-tree synthesis *)
+  let clock_tree, cts_step =
+    step "cts" (fun () ->
+        let clock_tree = Cts.synthesize placement in
+        Obs.set_attr "sinks" (Obs.Int (Cts.sink_count clock_tree));
+        Obs.set_attr "skew_ps" (Obs.Float (Cts.skew_ps clock_tree));
+        ( clock_tree,
+          if Cts.sink_count clock_tree = 0 then "no registers - skipped"
+          else Format.asprintf "%a" Cts.pp_summary clock_tree ))
   in
-  (* 3. clock-tree synthesis *)
-  let clock_tree = Cts.synthesize placement in
-  let cts_step =
-    {
-      step_name = "cts";
-      detail =
-        (if Cts.sink_count clock_tree = 0 then "no registers - skipped"
-         else Format.asprintf "%a" Cts.pp_summary clock_tree);
-    }
+  (* 6. routing *)
+  let routed, route_step =
+    step "routing" (fun () ->
+        let routed = Route.route placement cfg.route_effort in
+        let nx, ny = Route.grid_size routed in
+        Obs.set_attr "wirelength_um" (Obs.Float (Route.wirelength_um routed));
+        Obs.set_attr "vias" (Obs.Int (Route.via_count routed));
+        Obs.set_attr "overflow" (Obs.Int (Route.overflow routed));
+        ( routed,
+          Printf.sprintf "grid %dx%d, wirelength %.0f um, %d vias, overflow %d" nx ny
+            (Route.wirelength_um routed) (Route.via_count routed) (Route.overflow routed)
+        ))
   in
-  (* 4. routing *)
-  let routed = Route.route placement cfg.route_effort in
-  let nx, ny = Route.grid_size routed in
-  let route_step =
-    {
-      step_name = "routing";
-      detail =
-        Printf.sprintf "grid %dx%d, wirelength %.0f um, %d vias, overflow %d" nx ny
-          (Route.wirelength_um routed) (Route.via_count routed) (Route.overflow routed);
-    }
-  in
-  (* 4. timing with routed wire lengths *)
   let wire_length_of_net id = Route.net_wirelength_um routed id in
-  let timing =
-    Timing.analyze mapped ~node:cfg.node ~wire_length_of_net
-      ~clock_skew_ps:(Cts.skew_ps clock_tree) ~clock_period_ps:cfg.clock_period_ps ()
+  (* 7. timing with routed wire lengths *)
+  let timing, sta_step =
+    step "sta" (fun () ->
+        let timing =
+          Timing.analyze mapped ~node:cfg.node ~wire_length_of_net
+            ~clock_skew_ps:(Cts.skew_ps clock_tree) ~clock_period_ps:cfg.clock_period_ps
+            ()
+        in
+        Obs.set_attr "wns_ps" (Obs.Float timing.Timing.wns_ps);
+        Obs.set_attr "fmax_mhz" (Obs.Float timing.Timing.max_frequency_mhz);
+        (timing, Format.asprintf "%a" Timing.pp_report timing))
   in
-  let sta_step =
-    { step_name = "sta"; detail = Format.asprintf "%a" Timing.pp_report timing }
+  (* 8. power at the constrained clock *)
+  let power, power_step =
+    step "power" (fun () ->
+        let clock_mhz = 1e6 /. cfg.clock_period_ps in
+        let power =
+          Power.estimate mapped ~node:cfg.node ~clock_mhz ~wire_length_of_net
+            ~cycles:cfg.power_cycles
+            ?clock_tree_cap_ff:
+              (if Cts.sink_count clock_tree = 0 then None
+               else Some (Cts.total_cap_ff clock_tree))
+            ()
+        in
+        Obs.set_attr "total_uw" (Obs.Float power.Power.total_uw);
+        (power, Format.asprintf "%a" Power.pp_report power))
   in
-  (* 5. power at the constrained clock *)
-  let clock_mhz = 1e6 /. cfg.clock_period_ps in
-  let power =
-    Power.estimate mapped ~node:cfg.node ~clock_mhz ~wire_length_of_net
-      ~cycles:cfg.power_cycles
-      ?clock_tree_cap_ff:
-        (if Cts.sink_count clock_tree = 0 then None
-         else Some (Cts.total_cap_ff clock_tree))
-      ()
+  (* 9. signoff DRC *)
+  let drc, drc_step =
+    step "drc" (fun () ->
+        let drc = Drc.check routed in
+        Obs.set_attr "violations" (Obs.Int (List.length drc.Drc.violations));
+        ( drc,
+          if drc.Drc.clean then Printf.sprintf "clean (%d checks)" drc.Drc.checks_run
+          else
+            Printf.sprintf "%d violations in %d checks"
+              (List.length drc.Drc.violations)
+              drc.Drc.checks_run ))
   in
-  let power_step =
-    { step_name = "power"; detail = Format.asprintf "%a" Power.pp_report power }
-  in
-  (* 6. signoff DRC *)
-  let drc = Drc.check routed in
-  let drc_step =
-    {
-      step_name = "drc";
-      detail =
-        (if drc.Drc.clean then Printf.sprintf "clean (%d checks)" drc.Drc.checks_run
-         else
-           Printf.sprintf "%d violations in %d checks"
-             (List.length drc.Drc.violations)
-             drc.Drc.checks_run);
-    }
-  in
-  (* 7. GDS export *)
-  let layout = Gds.build routed in
-  let gds_step =
-    {
-      step_name = "gds";
-      detail =
-        Printf.sprintf "%d rects, %.4f mm2" (Gds.rect_count layout) (Gds.area_mm2 layout);
-    }
+  (* 10. GDS export *)
+  let layout, gds_step =
+    step "gds" (fun () ->
+        let layout = Gds.build routed in
+        Obs.set_attr "rects" (Obs.Int (Gds.rect_count layout));
+        ( layout,
+          Printf.sprintf "%d rects, %.4f mm2" (Gds.rect_count layout)
+            (Gds.area_mm2 layout) ))
   in
   let ppa =
     {
@@ -268,6 +297,12 @@ let run netlist cfg =
       drc_clean = drc.Drc.clean;
     }
   in
+  if Obs.enabled () then begin
+    Obs.set_attr "cells" (Obs.Int ppa.cells);
+    Obs.set_attr "wns_ps" (Obs.Float ppa.wns_ps);
+    Obs.set_attr "wirelength_um" (Obs.Float ppa.wirelength_um);
+    Obs.set_attr "drc_clean" (Obs.Bool ppa.drc_clean)
+  end;
   {
     cfg;
     mapped;
@@ -290,7 +325,12 @@ let run_design entry cfg = run (Designs.netlist entry) cfg
 let pp_summary ppf r =
   Format.fprintf ppf "flow report: %s @ %s, clock %.0f ps@."
     (Netlist.name r.mapped) r.cfg.node.Pdk.node_name r.cfg.clock_period_ps;
-  List.iter (fun s -> Format.fprintf ppf "  %-10s %s@." s.step_name s.detail) r.steps;
+  List.iter
+    (fun s ->
+      match s.wall_ms with
+      | Some ms -> Format.fprintf ppf "  %-10s [%7.2f ms] %s@." s.step_name ms s.detail
+      | None -> Format.fprintf ppf "  %-10s %s@." s.step_name s.detail)
+    r.steps;
   Format.fprintf ppf
     "  PPA: %.0f um2, %d cells, fmax %.1f MHz, %.1f uW, wirelength %.0f um, DRC %s@."
     r.ppa.area_um2 r.ppa.cells r.ppa.fmax_mhz r.ppa.total_power_uw r.ppa.wirelength_um

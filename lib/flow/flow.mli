@@ -51,7 +51,13 @@ type ppa = {
   drc_clean : bool;
 }
 
-type step_report = { step_name : string; detail : string }
+type step_report = {
+  step_name : string;
+  detail : string;
+  wall_ms : float option;
+      (** measured step wall time; [None] unless an [Educhip_obs.Obs]
+          collector was installed during {!run} *)
+}
 
 type result = {
   cfg : config;
@@ -70,6 +76,14 @@ type result = {
 
 val run : Educhip_netlist.Netlist.t -> config -> result
 (** Execute the whole template on an elaborated RTL netlist.
+
+    When an [Educhip_obs.Obs] collector is installed, the run is traced:
+    a root [flow.run] span contains one child span per {!step_names}
+    entry carrying the step's key numbers (cells, HPWL, wirelength, WNS,
+    DRC violations, ...) as attributes, the kernels nest their own spans
+    and report their counters underneath, and every kernel counter
+    family is pre-declared so it appears in the metrics dump even at
+    zero. Without a collector the instrumentation is a no-op.
     @raise Invalid_argument on an empty or already-mapped netlist. *)
 
 val run_design : Educhip_designs.Designs.entry -> config -> result
@@ -80,3 +94,8 @@ val pp_summary : Format.formatter -> result -> unit
 
 val step_names : string list
 (** The template's step sequence (Recommendation 4's partitioning). *)
+
+val kernel_metric_names : string list
+(** Every counter family the flow's kernels can report to
+    [Educhip_obs.Obs] (synthesis, placement, routing, SAT), declared at
+    zero at the start of a telemetry-enabled {!run}. *)

@@ -1,0 +1,287 @@
+module Stats = Educhip_util.Stats
+
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+type span = {
+  name : string;
+  start_us : float;
+  mutable stop_us : float; (* nan until the span closes *)
+  mutable attrs : (string * value) list; (* newest first *)
+  mutable children : span list; (* newest first *)
+}
+
+type metric_key = { metric_name : string; labels : (string * string) list }
+
+type collector = {
+  epoch : float;
+  mutable roots : span list; (* newest first *)
+  mutable stack : span list; (* innermost first *)
+  counters : (metric_key, int ref) Hashtbl.t;
+  gauges : (metric_key, float ref) Hashtbl.t;
+  histograms : (metric_key, float list ref) Hashtbl.t; (* newest first *)
+}
+
+let create () =
+  {
+    epoch = Unix.gettimeofday ();
+    roots = [];
+    stack = [];
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+  }
+
+(* The installed sink. Every probe below checks this first, so with no
+   collector the cost is one load and branch. *)
+let current : collector option ref = ref None
+
+let install c = current := Some c
+let uninstall () = current := None
+let enabled () = !current <> None
+
+let with_collector c f =
+  let previous = !current in
+  current := Some c;
+  Fun.protect ~finally:(fun () -> current := previous) f
+
+(* {1 Spans} *)
+
+let now_us c = (Unix.gettimeofday () -. c.epoch) *. 1e6
+
+let timed ?(attrs = []) name f =
+  match !current with
+  | None -> (f (), None)
+  | Some c ->
+    let span =
+      { name; start_us = now_us c; stop_us = Float.nan; attrs = List.rev attrs; children = [] }
+    in
+    (match c.stack with
+    | parent :: _ -> parent.children <- span :: parent.children
+    | [] -> c.roots <- span :: c.roots);
+    c.stack <- span :: c.stack;
+    let v =
+      Fun.protect
+        ~finally:(fun () ->
+          span.stop_us <- now_us c;
+          match c.stack with
+          | top :: rest when top == span -> c.stack <- rest
+          | _ ->
+            (* a child escaped without closing (exception path already
+               handled by its own protect); drop down to this span *)
+            let rec unwind = function
+              | top :: rest when top == span -> rest
+              | _ :: rest -> unwind rest
+              | [] -> []
+            in
+            c.stack <- unwind c.stack)
+        f
+    in
+    (v, Some ((span.stop_us -. span.start_us) /. 1000.0))
+
+let with_span ?attrs name f = fst (timed ?attrs name f)
+
+let set_attr key v =
+  match !current with
+  | None -> ()
+  | Some c -> (
+    match c.stack with
+    | [] -> ()
+    | span :: _ -> span.attrs <- (key, v) :: span.attrs)
+
+let root_spans c = List.rev c.roots
+let span_name s = s.name
+let span_children s = List.rev s.children
+
+let span_duration_ms s =
+  if Float.is_nan s.stop_us then 0.0 else (s.stop_us -. s.start_us) /. 1000.0
+
+(* first-set order, later writes to the same key winning *)
+let span_attrs s =
+  let latest = Hashtbl.create 8 in
+  List.iter
+    (fun (k, v) -> if not (Hashtbl.mem latest k) then Hashtbl.replace latest k v)
+    s.attrs;
+  let emitted = Hashtbl.create 8 in
+  List.fold_left
+    (fun acc (k, _) ->
+      if Hashtbl.mem emitted k then acc
+      else begin
+        Hashtbl.replace emitted k ();
+        (k, Hashtbl.find latest k) :: acc
+      end)
+    [] s.attrs
+
+(* {1 Metrics} *)
+
+let key name labels = { metric_name = name; labels = List.sort compare labels }
+
+let add_counter ?(labels = []) name n =
+  match !current with
+  | None -> ()
+  | Some c -> (
+    let k = key name labels in
+    match Hashtbl.find_opt c.counters k with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.replace c.counters k (ref n))
+
+let incr_counter ?labels name = add_counter ?labels name 1
+let declare_counter ?labels name = add_counter ?labels name 0
+
+let set_gauge ?(labels = []) name v =
+  match !current with
+  | None -> ()
+  | Some c -> (
+    let k = key name labels in
+    match Hashtbl.find_opt c.gauges k with
+    | Some r -> r := v
+    | None -> Hashtbl.replace c.gauges k (ref v))
+
+let observe ?(labels = []) name v =
+  match !current with
+  | None -> ()
+  | Some c -> (
+    let k = key name labels in
+    match Hashtbl.find_opt c.histograms k with
+    | Some r -> r := v :: !r
+    | None -> Hashtbl.replace c.histograms k (ref [ v ]))
+
+let counter_value c ?(labels = []) name =
+  match Hashtbl.find_opt c.counters (key name labels) with Some r -> !r | None -> 0
+
+let gauge_value c ?(labels = []) name =
+  Option.map ( ! ) (Hashtbl.find_opt c.gauges (key name labels))
+
+let histogram_samples c ?(labels = []) name =
+  match Hashtbl.find_opt c.histograms (key name labels) with
+  | Some r -> List.rev !r
+  | None -> []
+
+(* {1 Export} *)
+
+let value_json = function
+  | Bool b -> Jsonout.Bool b
+  | Int i -> Jsonout.Int i
+  | Float f -> Jsonout.Float f
+  | Str s -> Jsonout.String s
+
+(* trace-event category: the span name's dot-prefix groups kernels
+   ("place", "route", ...) under one color in the viewer *)
+let category name =
+  match String.index_opt name '.' with
+  | Some i when i > 0 -> String.sub name 0 i
+  | Some _ | None -> "flow"
+
+let trace_json c =
+  let events = ref [] in
+  let rec emit span =
+    let dur = if Float.is_nan span.stop_us then 0.0 else span.stop_us -. span.start_us in
+    events :=
+      Jsonout.Obj
+        [
+          ("name", Jsonout.String span.name);
+          ("cat", Jsonout.String (category span.name));
+          ("ph", Jsonout.String "X");
+          ("ts", Jsonout.Float span.start_us);
+          ("dur", Jsonout.Float dur);
+          ("pid", Jsonout.Int 1);
+          ("tid", Jsonout.Int 1);
+          ("args", Jsonout.Obj (List.map (fun (k, v) -> (k, value_json v)) (span_attrs span)));
+        ]
+      :: !events;
+    List.iter emit (span_children span)
+  in
+  List.iter emit (root_spans c);
+  Jsonout.Obj
+    [
+      ("traceEvents", Jsonout.List (List.rev !events));
+      ("displayTimeUnit", Jsonout.String "ms");
+    ]
+
+let labels_json labels =
+  Jsonout.Obj (List.map (fun (k, v) -> (k, Jsonout.String v)) labels)
+
+let sorted_entries tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let histogram_bins = 8
+
+let metrics_json c =
+  let counters =
+    List.map
+      (fun (k, r) ->
+        Jsonout.Obj
+          [
+            ("name", Jsonout.String k.metric_name);
+            ("labels", labels_json k.labels);
+            ("value", Jsonout.Int !r);
+          ])
+      (sorted_entries c.counters)
+  in
+  let gauges =
+    List.map
+      (fun (k, r) ->
+        Jsonout.Obj
+          [
+            ("name", Jsonout.String k.metric_name);
+            ("labels", labels_json k.labels);
+            ("value", Jsonout.Float !r);
+          ])
+      (sorted_entries c.gauges)
+  in
+  let histograms =
+    List.map
+      (fun (k, r) ->
+        let xs = List.rev !r in
+        let bins =
+          Stats.histogram ~bins:histogram_bins xs
+          |> Array.to_list
+          |> List.map (fun (lo, hi, count) ->
+                 Jsonout.Obj
+                   [
+                     ("lo", Jsonout.Float lo);
+                     ("hi", Jsonout.Float hi);
+                     ("count", Jsonout.Int count);
+                   ])
+        in
+        Jsonout.Obj
+          [
+            ("name", Jsonout.String k.metric_name);
+            ("labels", labels_json k.labels);
+            ("count", Jsonout.Int (List.length xs));
+            ("sum", Jsonout.Float (List.fold_left ( +. ) 0.0 xs));
+            ("min", Jsonout.Float (Stats.minimum xs));
+            ("max", Jsonout.Float (Stats.maximum xs));
+            ("mean", Jsonout.Float (Stats.mean xs));
+            ("p50", Jsonout.Float (Stats.median xs));
+            ("p95", Jsonout.Float (Stats.percentile 95.0 xs));
+            ("bins", Jsonout.List bins);
+          ])
+      (sorted_entries c.histograms)
+  in
+  Jsonout.Obj
+    [
+      ("counters", Jsonout.List counters);
+      ("gauges", Jsonout.List gauges);
+      ("histograms", Jsonout.List histograms);
+    ]
+
+let write_trace c ~path = Jsonout.write_file ~path (trace_json c)
+let write_metrics c ~path = Jsonout.write_file ~path (metrics_json c)
+
+let pp_value ppf = function
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.pp_print_string ppf s
+
+let pp_trace ppf c =
+  let rec pp depth span =
+    Format.fprintf ppf "%s%-*s %9.2f ms" (String.make (2 * depth) ' ')
+      (max 1 (28 - (2 * depth)))
+      span.name (span_duration_ms span);
+    List.iter (fun (k, v) -> Format.fprintf ppf "  %s=%a" k pp_value v) (span_attrs span);
+    Format.fprintf ppf "@.";
+    List.iter (pp (depth + 1)) (span_children span)
+  in
+  List.iter (pp 0) (root_spans c)

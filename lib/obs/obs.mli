@@ -1,0 +1,127 @@
+(** Observability: tracing spans and a metrics registry for the flow.
+
+    The paper's position is that enablement gaps are {e measurable} —
+    productivity, flow effort, and PPA differences between open and
+    commercial flows (§III-D, experiment E6). This module gives every
+    flow step and inner-loop kernel structured telemetry so those
+    comparisons can be made quantitatively:
+
+    - {b spans}: hierarchical wall-clock intervals ({!with_span}) with
+      key/value attributes, exportable as Chrome [trace_event] JSON
+      (load the file in [chrome://tracing] or Perfetto) or rendered as
+      an indented tree ({!pp_trace});
+    - {b metrics}: labeled counters, gauges, and histograms
+      (summarized with [Educhip_util.Stats]) dumped as flat JSON.
+
+    Telemetry is {b off by default}: every probe first checks whether a
+    collector is installed ({!install} / {!with_collector}), so an
+    uninstrumented run pays one branch per probe and allocates nothing.
+    The registry is deliberately not thread-safe — the flow is
+    single-threaded and the probes must stay cheap. *)
+
+(** {1 Collector} *)
+
+type collector
+(** Accumulates spans and metrics between {!install} and {!uninstall}.
+    Timestamps are microseconds since the collector was created
+    ([Unix.gettimeofday]-based). *)
+
+val create : unit -> collector
+
+val install : collector -> unit
+(** Make [collector] the telemetry sink for every probe in the process.
+    Replaces any previously installed collector. *)
+
+val uninstall : unit -> unit
+(** Return to the no-op sink. *)
+
+val enabled : unit -> bool
+(** Is a collector installed? Instrumented code may use this to skip
+    work (e.g. recomputing a statistic) that only feeds telemetry. *)
+
+val with_collector : collector -> (unit -> 'a) -> 'a
+(** [with_collector c f] installs [c] around [f], restoring the
+    previous sink afterwards (also on exceptions). *)
+
+(** {1 Spans} *)
+
+type value = Bool of bool | Int of int | Float of float | Str of string
+(** Span attribute / trace-event argument values. *)
+
+type span
+
+val with_span : ?attrs:(string * value) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span nested under the current
+    one (or as a root). The span is closed when [f] returns or raises.
+    With no collector installed this is exactly [f ()]. *)
+
+val timed : ?attrs:(string * value) list -> string -> (unit -> 'a) -> 'a * float option
+(** Like {!with_span}, additionally returning the span's wall time in
+    milliseconds — [None] when telemetry is disabled. *)
+
+val set_attr : string -> value -> unit
+(** Attach an attribute to the innermost open span. Setting a key again
+    overwrites its value. No-op without a collector or open span. *)
+
+val root_spans : collector -> span list
+(** Completed top-level spans, oldest first. *)
+
+val span_name : span -> string
+
+val span_duration_ms : span -> float
+(** Wall time; [0.] for a span that never closed. *)
+
+val span_attrs : span -> (string * value) list
+(** Attributes in first-set order, later writes to a key winning. *)
+
+val span_children : span -> span list
+(** Direct children, oldest first. *)
+
+(** {1 Metrics}
+
+    Metrics are identified by name plus an optional label set (sorted
+    internally, so label order never distinguishes two series). *)
+
+val add_counter : ?labels:(string * string) list -> string -> int -> unit
+(** Add to a monotonic counter, creating it at the given value. *)
+
+val incr_counter : ?labels:(string * string) list -> string -> unit
+
+val declare_counter : ?labels:(string * string) list -> string -> unit
+(** Register a counter family at zero so it appears in the metrics dump
+    even when the instrumented code never ran (Prometheus-style). *)
+
+val set_gauge : ?labels:(string * string) list -> string -> float -> unit
+(** Last-write-wins instantaneous value. *)
+
+val observe : ?labels:(string * string) list -> string -> float -> unit
+(** Record one histogram sample. *)
+
+val counter_value : collector -> ?labels:(string * string) list -> string -> int
+(** Current value; [0] for an unregistered counter. *)
+
+val gauge_value : collector -> ?labels:(string * string) list -> string -> float option
+
+val histogram_samples : collector -> ?labels:(string * string) list -> string -> float list
+(** Samples in observation order; [[]] for an unregistered histogram. *)
+
+(** {1 Export} *)
+
+val trace_json : collector -> Jsonout.t
+(** Chrome [trace_event] JSON: an object with a [traceEvents] array of
+    complete ([ph = "X"]) events — [name], [cat] (the span name's
+    dot-prefix), [ts]/[dur] in microseconds, and the span attributes
+    under [args]. *)
+
+val metrics_json : collector -> Jsonout.t
+(** Flat dump: [counters] and [gauges] as [{name; labels; value}];
+    [histograms] additionally carry [count], [sum], [min], [max],
+    [mean], [p50], [p95] and equal-width [bins] (computed with
+    [Educhip_util.Stats]). Entries are sorted by name then labels. *)
+
+val write_trace : collector -> path:string -> unit
+val write_metrics : collector -> path:string -> unit
+
+val pp_trace : Format.formatter -> collector -> unit
+(** Human-readable span tree: one line per span with its wall time and
+    attributes, children indented under parents. *)

@@ -1,6 +1,9 @@
 module Netlist = Educhip_netlist.Netlist
 module Pdk = Educhip_pdk.Pdk
 module Rng = Educhip_util.Rng
+module Obs = Educhip_obs.Obs
+
+let metric_names = [ "place.moves_accepted"; "place.moves_rejected" ]
 
 type effort = { global_iterations : int; annealing_moves : int; seed : int }
 
@@ -143,22 +146,25 @@ let place netlist ~node ?(utilization = 0.65) effort =
         sinks)
     nets;
   (* {2 Global placement: barycentric relaxation} *)
-  for _ = 1 to effort.global_iterations do
-    for id = 0 to n - 1 do
-      match roles.(id) with
-      | Movable _ | Ghost -> (
-        match neighbors.(id) with
-        | [] -> ()
-        | ns ->
-          let sx = List.fold_left (fun acc j -> acc +. xs.(j)) 0.0 ns in
-          let sy = List.fold_left (fun acc j -> acc +. ys.(j)) 0.0 ns in
-          let k = float_of_int (List.length ns) in
-          (* damped move keeps the relaxation stable *)
-          xs.(id) <- (0.2 *. xs.(id)) +. (0.8 *. sx /. k);
-          ys.(id) <- (0.2 *. ys.(id)) +. (0.8 *. sy /. k))
-      | Pad_in _ | Pad_out _ -> ()
-    done
-  done;
+  Obs.with_span "place.global"
+    ~attrs:[ ("iterations", Obs.Int effort.global_iterations); ("cells", Obs.Int n) ]
+    (fun () ->
+      for _ = 1 to effort.global_iterations do
+        for id = 0 to n - 1 do
+          match roles.(id) with
+          | Movable _ | Ghost -> (
+            match neighbors.(id) with
+            | [] -> ()
+            | ns ->
+              let sx = List.fold_left (fun acc j -> acc +. xs.(j)) 0.0 ns in
+              let sy = List.fold_left (fun acc j -> acc +. ys.(j)) 0.0 ns in
+              let k = float_of_int (List.length ns) in
+              (* damped move keeps the relaxation stable *)
+              xs.(id) <- (0.2 *. xs.(id)) +. (0.8 *. sx /. k);
+              ys.(id) <- (0.2 *. ys.(id)) +. (0.8 *. sy /. k))
+          | Pad_in _ | Pad_out _ -> ()
+        done
+      done);
   (* {2 Legalization: capacity-aware row assignment + tetris packing}
 
      Cells are taken nearest-row-first; a cell that does not fit its
@@ -242,7 +248,7 @@ let place netlist ~node ?(utilization = 0.65) effort =
       ignore (legalize_fitting (attempts - 1))
     end
   in
-  legalize_fitting 8;
+  Obs.with_span "place.legalize" (fun () -> legalize_fitting 8);
   (* ghosts snap to nearest row center to keep geometry meaningful *)
   Array.iteri
     (fun id role ->
@@ -274,7 +280,10 @@ let place netlist ~node ?(utilization = 0.65) effort =
   if effort.annealing_moves > 0 then begin
     let movable_arr = Array.of_list movable in
     let m = Array.length movable_arr in
-    if m >= 2 then begin
+    if m >= 2 then
+      Obs.with_span "place.anneal"
+        ~attrs:[ ("moves", Obs.Int effort.annealing_moves) ]
+      @@ fun () -> begin
       (* nets touching each cell *)
       let touching = Array.make n [] in
       Array.iteri
@@ -309,7 +318,11 @@ let place netlist ~node ?(utilization = 0.65) effort =
       in
       let temperature = ref (!die_w /. 4.0) in
       let cooling = 0.999 ** (20_000.0 /. float_of_int effort.annealing_moves) in
-      for _ = 1 to effort.annealing_moves do
+      let obs_on = Obs.enabled () in
+      let accepted = ref 0 and rejected = ref 0 in
+      (* sample the temperature schedule at ~64 points across the run *)
+      let sample_every = max 1 (effort.annealing_moves / 64) in
+      for move = 1 to effort.annealing_moves do
         let a = movable_arr.(Rng.int rng m) in
         let b = movable_arr.(Rng.int rng m) in
         if a <> b then begin
@@ -325,15 +338,26 @@ let place netlist ~node ?(utilization = 0.65) effort =
             delta <= 0.0
             || Rng.float rng 1.0 < exp (-.delta /. Float.max 1e-6 !temperature)
           in
-          if not accept then begin
+          if accept then incr accepted
+          else begin
+            rejected := !rejected + 1;
             xs.(a) <- ax;
             ys.(a) <- ay;
             xs.(b) <- bx;
             ys.(b) <- by
           end;
           temperature := !temperature *. cooling
-        end
+        end;
+        if obs_on && move mod sample_every = 0 then
+          Obs.observe "place.temperature" !temperature
       done;
+      if obs_on then begin
+        Obs.add_counter "place.moves_accepted" !accepted;
+        Obs.add_counter "place.moves_rejected" !rejected;
+        Obs.set_attr "accepted" (Obs.Int !accepted);
+        Obs.set_attr "rejected" (Obs.Int !rejected);
+        Obs.set_attr "final_temperature" (Obs.Float !temperature)
+      end;
       (* swapped cells of different widths can overlap or overflow a row:
          run the capacity-aware legalizer again (the die is already sized) *)
       ignore (legalize ())

@@ -68,3 +68,9 @@ val check_legal : t -> string list
 
 val utilization : t -> float
 (** Achieved cell-area / core-area ratio. *)
+
+val metric_names : string list
+(** Counter families {!place} reports to [Educhip_obs.Obs] when
+    telemetry is enabled (annealing moves accepted/rejected); the
+    temperature schedule is additionally sampled into the
+    [place.temperature] histogram. *)

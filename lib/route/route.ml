@@ -3,6 +3,9 @@ module Pdk = Educhip_pdk.Pdk
 module Place = Educhip_place.Place
 module Pqueue = Educhip_util.Pqueue
 module Union_find = Educhip_util.Union_find
+module Obs = Educhip_obs.Obs
+
+let metric_names = [ "route.rrr_rounds"; "route.nets_ripped" ]
 
 type effort = { rrr_rounds : int; seed : int }
 
@@ -166,7 +169,9 @@ let route placement effort =
              (Place.net_hpwl_um placement a.driver)
              (Place.net_hpwl_um placement b.driver))
   in
-  List.iter route_net nets;
+  Obs.with_span "route.initial"
+    ~attrs:[ ("nets", Obs.Int (List.length nets)) ]
+    (fun () -> List.iter route_net nets);
   (* {2 Negotiated rip-up and reroute}
 
      Each round rips up the nets crossing overflowed edges and reroutes
@@ -198,6 +203,8 @@ let route placement effort =
   in
   let best = ref (snapshot ()) in
   let best_score = ref (total_overflow (), total_edges ()) in
+  let obs_on = Obs.enabled () in
+  if obs_on then Obs.observe "route.overflow" (float_of_int (total_overflow ()));
   let rec negotiate round =
     if round < effort.rrr_rounds then begin
       match overflowed_edges () with
@@ -213,6 +220,11 @@ let route placement effort =
         List.iter rip_up victims;
         List.iter route_net victims;
         let score = (total_overflow (), total_edges ()) in
+        if obs_on then begin
+          Obs.incr_counter "route.rrr_rounds";
+          Obs.add_counter "route.nets_ripped" (List.length victims);
+          Obs.observe "route.overflow" (float_of_int (fst score))
+        end;
         if score < !best_score then begin
           best_score := score;
           best := snapshot ()
@@ -220,7 +232,9 @@ let route placement effort =
         negotiate (round + 1)
     end
   in
-  negotiate 0;
+  Obs.with_span "route.negotiate"
+    ~attrs:[ ("max_rounds", Obs.Int effort.rrr_rounds) ]
+    (fun () -> negotiate 0);
   if (total_overflow (), total_edges ()) > !best_score then restore !best;
   let by_driver = Hashtbl.create 64 in
   List.iter (fun net -> Hashtbl.replace by_driver net.driver net) nets;

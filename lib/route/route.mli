@@ -62,3 +62,9 @@ val net_segments : t -> Educhip_netlist.Netlist.cell_id -> segment list
 val fully_connected : t -> bool
 (** Every net's pins are connected through its routed tiles — checked with
     a union-find over tile adjacency; the invariant DRC re-verifies. *)
+
+val metric_names : string list
+(** Counter families {!route} reports to [Educhip_obs.Obs] when
+    telemetry is enabled (negotiation rounds run, nets ripped up); the
+    post-pass overflow trajectory is additionally sampled into the
+    [route.overflow] histogram. *)

@@ -28,7 +28,14 @@ type t = {
   mutable qhead : int; (* propagation frontier into the trail *)
   mutable trivially_unsat : bool;
   seen : (int, unit) Hashtbl.t; (* scratch for conflict analysis *)
+  (* cumulative search statistics, flushed to Educhip_obs per solve *)
+  mutable n_decisions : int;
+  mutable n_conflicts : int;
+  mutable n_propagations : int;
+  mutable n_restarts : int;
 }
+
+type stats = { decisions : int; conflicts : int; propagations : int; restarts : int }
 
 type result = Sat of bool array | Unsat | Unknown
 
@@ -50,7 +57,22 @@ let create () =
     qhead = 0;
     trivially_unsat = false;
     seen = Hashtbl.create 64;
+    n_decisions = 0;
+    n_conflicts = 0;
+    n_propagations = 0;
+    n_restarts = 0;
   }
+
+let stats t =
+  {
+    decisions = t.n_decisions;
+    conflicts = t.n_conflicts;
+    propagations = t.n_propagations;
+    restarts = t.n_restarts;
+  }
+
+let metric_names =
+  [ "sat.decisions"; "sat.conflicts"; "sat.propagations"; "sat.restarts" ]
 
 let fresh_var t =
   t.nvars <- t.nvars + 1;
@@ -140,6 +162,7 @@ let propagate t =
   while !conflict = None && t.qhead < t.trail_size do
     let lit = t.trail.(t.qhead) in
     t.qhead <- t.qhead + 1;
+    t.n_propagations <- t.n_propagations + 1;
     let false_lit = -lit in
     let idx = lit_index false_lit in
     let pending = t.watches.(idx) in
@@ -315,7 +338,7 @@ let reset_search t =
   t.qhead <- 0;
   t.trail_lim <- []
 
-let solve ?(assumptions = []) ?conflict_limit t =
+let solve_inner ~assumptions ~conflict_limit t =
   if t.trivially_unsat then Unsat
   else begin
     reset_search t;
@@ -342,6 +365,7 @@ let solve ?(assumptions = []) ?conflict_limit t =
         | Some conflict_cid ->
           incr conflicts;
           incr total_conflicts;
+          t.n_conflicts <- t.n_conflicts + 1;
           (match conflict_limit with
           | Some limit when !total_conflicts > limit -> raise (Done Unknown)
           | Some _ | None -> ());
@@ -355,6 +379,7 @@ let solve ?(assumptions = []) ?conflict_limit t =
           if !conflicts >= !restart_limit then begin
             conflicts := 0;
             restart_limit := !restart_limit * 2;
+            t.n_restarts <- t.n_restarts + 1;
             backjump_to t !assumption_depth
           end
         | None -> (
@@ -383,6 +408,7 @@ let solve ?(assumptions = []) ?conflict_limit t =
             end
             else begin
               t.trail_lim <- t.trail_size :: t.trail_lim;
+              t.n_decisions <- t.n_decisions + 1;
               enqueue t (if t.phase.(v) then v else -v) ~reason:(-1)
             end));
         search ()
@@ -390,6 +416,22 @@ let solve ?(assumptions = []) ?conflict_limit t =
       search ()
     with Done r -> r
   end
+
+module Obs = Educhip_obs.Obs
+
+let solve ?(assumptions = []) ?conflict_limit t =
+  let d0 = t.n_decisions
+  and c0 = t.n_conflicts
+  and p0 = t.n_propagations
+  and r0 = t.n_restarts in
+  let result = solve_inner ~assumptions ~conflict_limit t in
+  if Obs.enabled () then begin
+    Obs.add_counter "sat.decisions" (t.n_decisions - d0);
+    Obs.add_counter "sat.conflicts" (t.n_conflicts - c0);
+    Obs.add_counter "sat.propagations" (t.n_propagations - p0);
+    Obs.add_counter "sat.restarts" (t.n_restarts - r0)
+  end;
+  result
 
 let check_model t model =
   let ok = ref true in

@@ -38,6 +38,19 @@ val check_model : t -> bool array -> bool
 (** Does the assignment satisfy every clause added so far? (Debugging and
     test-oracle helper.) *)
 
+(** {1 Search statistics} *)
+
+type stats = { decisions : int; conflicts : int; propagations : int; restarts : int }
+(** Cumulative over the solver's lifetime (re-solving accumulates).
+    [propagations] counts literals propagated, not propagate calls. *)
+
+val stats : t -> stats
+
+val metric_names : string list
+(** The counter families {!solve} reports to [Educhip_obs.Obs] (the
+    per-solve deltas of {!stats}); exposed so orchestrators can declare
+    them up front. *)
+
 (** {1 Convenience constraints} *)
 
 val add_and : t -> int -> int -> int -> unit

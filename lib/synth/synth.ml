@@ -1,6 +1,10 @@
 module Netlist = Educhip_netlist.Netlist
 module Aig = Educhip_aig.Aig
 module Pdk = Educhip_pdk.Pdk
+module Obs = Educhip_obs.Obs
+
+let metric_names =
+  [ "synth.aig_rewrites"; "synth.cells_upsized"; "synth.buffers_inserted" ]
 
 type objective = Area | Delay
 
@@ -33,7 +37,24 @@ type report = {
 
 let optimize seq ~passes =
   let rec go seq n =
-    if n = 0 then seq else go (Aig.balance (Aig.rewrite seq)) (n - 1)
+    if n = 0 then seq
+    else if not (Obs.enabled ()) then go (Aig.balance (Aig.rewrite seq)) (n - 1)
+    else begin
+      (* per-pass telemetry: the node-count reduction is the number of
+         rewrite/balance substitutions that stuck *)
+      let before = Aig.and_count seq.Aig.aig in
+      let optimized =
+        Obs.with_span "synth.pass"
+          ~attrs:[ ("nodes_in", Obs.Int before) ]
+          (fun () ->
+            let optimized = Aig.balance (Aig.rewrite seq) in
+            Obs.set_attr "nodes_out" (Obs.Int (Aig.and_count optimized.Aig.aig));
+            optimized)
+      in
+      Obs.add_counter "synth.aig_rewrites"
+        (max 0 (before - Aig.and_count optimized.Aig.aig));
+      go optimized (n - 1)
+    end
   in
   go (Aig.extract_cone seq) passes
 
@@ -349,6 +370,7 @@ let upsize_cells netlist ~node ids =
           incr upsized)
       | _ -> ())
     ids;
+  if Obs.enabled () then Obs.add_counter "synth.cells_upsized" !upsized;
   !upsized
 
 let buffer_fanout netlist ~node ~max_fanout =
@@ -409,6 +431,7 @@ let buffer_fanout netlist ~node ~max_fanout =
         layer pins
       end
   done;
+  if Obs.enabled () then Obs.add_counter "synth.buffers_inserted" !added;
   !added
 
 type lut_report = { k : int; luts : int; lut_depth : int; lut_flip_flops : int }

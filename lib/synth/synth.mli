@@ -113,3 +113,9 @@ val lut_map : Educhip_netlist.Netlist.t -> k:int -> lut_report
 (** Optimize (default passes) and cover with K-input LUTs, K in 3..6.
     Depth-optimal cut selection with an area-flow tie-break.
     @raise Invalid_argument if [k] is outside 3..6. *)
+
+val metric_names : string list
+(** Counter families this module reports to [Educhip_obs.Obs] when
+    telemetry is enabled: AIG rewrites that stuck per optimization pass,
+    cells upsized by the sizing loop, buffers inserted for fanout
+    control. *)

@@ -56,7 +56,12 @@ let histogram ~bins xs =
   | [] -> [||]
   | _ ->
     let lo = minimum xs and hi = maximum xs in
-    let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+    if lo = hi then
+      (* constant input: the data range is a point, so equal-width binning
+         would degenerate; report one unit-width bin centered on it *)
+      [| (lo -. 0.5, lo +. 0.5, List.length xs) |]
+    else
+    let width = (hi -. lo) /. float_of_int bins in
     let counts = Array.make bins 0 in
     let place x =
       let idx = int_of_float ((x -. lo) /. width) in

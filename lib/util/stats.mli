@@ -21,4 +21,6 @@ val geometric_mean : float list -> float
 
 val histogram : bins:int -> float list -> (float * float * int) array
 (** [histogram ~bins xs] is an array of [(lo, hi, count)] covering the data
-    range in equal-width bins. Empty input gives an empty array. *)
+    range in equal-width bins. Empty input gives an empty array; a
+    constant-valued input (zero-width data range) gives a single
+    unit-width bin centered on the value holding every sample. *)

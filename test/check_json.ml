@@ -1,0 +1,77 @@
+(* Smoke-check the JSON files eduflow --trace/--metrics emit: parseable,
+   trace_event-shaped, one span per flow step plus nested kernel spans,
+   and kernel counters present in the metrics dump. Usage:
+     check_json TRACE.json METRICS.json *)
+
+module Jsonout = Educhip_obs.Jsonout
+module Flow = Educhip_flow.Flow
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("check_json: " ^ s);
+      exit 1)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let () =
+  if Array.length Sys.argv <> 3 then fail "usage: check_json TRACE.json METRICS.json";
+  let trace_path = Sys.argv.(1) and metrics_path = Sys.argv.(2) in
+  let trace = Jsonout.of_string (read_file trace_path) in
+  let events =
+    match Jsonout.member "traceEvents" trace with
+    | Some (Jsonout.List evs) -> evs
+    | _ -> fail "no traceEvents array in %s" trace_path
+  in
+  let names =
+    List.map
+      (fun ev ->
+        match Jsonout.member "name" ev with
+        | Some (Jsonout.String s) -> s
+        | _ -> fail "trace event without a name")
+      events
+  in
+  List.iter
+    (fun step ->
+      if not (List.mem step names) then fail "missing span for flow step %S" step)
+    Flow.step_names;
+  List.iter
+    (fun ev ->
+      (if Jsonout.member "ph" ev <> Some (Jsonout.String "X") then
+         fail "trace event is not a complete (ph=X) event");
+      List.iter
+        (fun field ->
+          if Jsonout.member field ev = None then fail "trace event missing %s" field)
+        [ "cat"; "ts"; "dur"; "pid"; "tid"; "args" ])
+    events;
+  let kernel_prefixes = [ "synth."; "place."; "route."; "sat." ] in
+  (if
+     not
+       (List.exists
+          (fun n -> List.exists (fun p -> String.starts_with ~prefix:p n) kernel_prefixes)
+          names)
+   then fail "no nested kernel spans in %s" trace_path);
+  let metrics = Jsonout.of_string (read_file metrics_path) in
+  let counter_names =
+    match Jsonout.member "counters" metrics with
+    | Some (Jsonout.List cs) ->
+      List.filter_map
+        (fun c ->
+          match Jsonout.member "name" c with
+          | Some (Jsonout.String s) -> Some s
+          | _ -> None)
+        cs
+    | _ -> fail "no counters array in %s" metrics_path
+  in
+  List.iter
+    (fun prefix ->
+      if not (List.exists (fun n -> String.starts_with ~prefix n) counter_names) then
+        fail "no %s* counters in %s" prefix metrics_path)
+    kernel_prefixes;
+  Printf.printf "check_json: OK (%d trace events, %d counter series)\n"
+    (List.length events) (List.length counter_names)

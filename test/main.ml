@@ -26,4 +26,5 @@ let () =
       ("atpg", Test_atpg.suite);
       ("bmc", Test_bmc.suite);
       ("core", Test_core.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,242 @@
+module Obs = Educhip_obs.Obs
+module Jsonout = Educhip_obs.Jsonout
+module Stats = Educhip_util.Stats
+
+let check = Alcotest.check
+
+(* {1 Spans} *)
+
+let test_span_nesting () =
+  let c = Obs.create () in
+  Obs.with_collector c (fun () ->
+      Obs.with_span "outer" (fun () ->
+          Obs.with_span "first" (fun () -> ());
+          Obs.with_span "second" (fun () -> ()));
+      Obs.with_span "later" (fun () -> ()));
+  let roots = Obs.root_spans c in
+  check Alcotest.(list string) "roots in order" [ "outer"; "later" ]
+    (List.map Obs.span_name roots);
+  let outer = List.hd roots in
+  check Alcotest.(list string) "children in order" [ "first"; "second" ]
+    (List.map Obs.span_name (Obs.span_children outer));
+  check Alcotest.(list int) "leaves have no children" [ 0; 0 ]
+    (List.map (fun s -> List.length (Obs.span_children s)) (Obs.span_children outer));
+  List.iter
+    (fun s ->
+      check Alcotest.bool "duration non-negative" true (Obs.span_duration_ms s >= 0.0))
+    roots
+
+let test_span_exception_safety () =
+  let c = Obs.create () in
+  Obs.with_collector c (fun () ->
+      (try Obs.with_span "boom" (fun () -> failwith "inner") with Failure _ -> ());
+      (* the stack must have unwound: this is a sibling, not a child *)
+      Obs.with_span "after" (fun () -> ()));
+  check Alcotest.(list string) "escaped span closed, stack unwound"
+    [ "boom"; "after" ]
+    (List.map Obs.span_name (Obs.root_spans c))
+
+let test_span_attrs () =
+  let c = Obs.create () in
+  Obs.with_collector c (fun () ->
+      Obs.with_span "s" ~attrs:[ ("k", Obs.Int 1) ] (fun () ->
+          Obs.set_attr "extra" (Obs.Str "v");
+          Obs.set_attr "k" (Obs.Int 2)));
+  match Obs.root_spans c with
+  | [ s ] ->
+    check Alcotest.bool "overwrite wins" true
+      (List.assoc "k" (Obs.span_attrs s) = Obs.Int 2);
+    check Alcotest.bool "later attr present" true
+      (List.assoc "extra" (Obs.span_attrs s) = Obs.Str "v")
+  | _ -> Alcotest.fail "expected one root span"
+
+let test_timed () =
+  let c = Obs.create () in
+  let (v, ms_on), ms_off =
+    ( Obs.with_collector c (fun () -> Obs.timed "t" (fun () -> 41 + 1)),
+      snd (Obs.timed "t" (fun () -> ())) )
+  in
+  check Alcotest.int "value passed through" 42 v;
+  check Alcotest.bool "Some wall time when enabled" true (ms_on <> None);
+  check Alcotest.bool "None when disabled" true (ms_off = None)
+
+(* {1 No-op sink} *)
+
+let test_noop_sink () =
+  check Alcotest.bool "disabled by default" false (Obs.enabled ());
+  (* every probe must be a no-op, not an error *)
+  let v = Obs.with_span "ignored" (fun () -> 7) in
+  check Alcotest.int "with_span is identity" 7 v;
+  Obs.incr_counter "nope";
+  Obs.set_gauge "nope" 1.0;
+  Obs.observe "nope" 1.0;
+  Obs.set_attr "nope" (Obs.Int 1);
+  let c = Obs.create () in
+  check Alcotest.int "nothing was recorded" 0 (Obs.counter_value c "nope");
+  check Alcotest.(list string) "no spans recorded" []
+    (List.map Obs.span_name (Obs.root_spans c))
+
+let test_with_collector_restores () =
+  let c = Obs.create () in
+  Obs.with_collector c (fun () ->
+      check Alcotest.bool "enabled inside" true (Obs.enabled ()));
+  check Alcotest.bool "disabled after" false (Obs.enabled ());
+  (try Obs.with_collector c (fun () -> failwith "x") with Failure _ -> ());
+  check Alcotest.bool "disabled after exception" false (Obs.enabled ())
+
+(* {1 Metrics} *)
+
+let test_counters () =
+  let c = Obs.create () in
+  Obs.with_collector c (fun () ->
+      Obs.incr_counter "hits";
+      Obs.add_counter "hits" 4;
+      Obs.add_counter "hits" ~labels:[ ("design", "alu8"); ("preset", "open") ] 2;
+      (* label order must not distinguish series *)
+      Obs.add_counter "hits" ~labels:[ ("preset", "open"); ("design", "alu8") ] 3;
+      Obs.declare_counter "never_fired");
+  check Alcotest.int "unlabeled series" 5 (Obs.counter_value c "hits");
+  check Alcotest.int "labeled series, order-insensitive" 5
+    (Obs.counter_value c "hits" ~labels:[ ("design", "alu8"); ("preset", "open") ]);
+  check Alcotest.int "declared at zero" 0 (Obs.counter_value c "never_fired");
+  check Alcotest.int "unregistered reads zero" 0 (Obs.counter_value c "absent")
+
+let test_gauges () =
+  let c = Obs.create () in
+  Obs.with_collector c (fun () ->
+      Obs.set_gauge "temp" 4.0;
+      Obs.set_gauge "temp" 2.5);
+  check Alcotest.bool "last write wins" true (Obs.gauge_value c "temp" = Some 2.5);
+  check Alcotest.bool "unset gauge is None" true (Obs.gauge_value c "other" = None)
+
+let test_histograms () =
+  let c = Obs.create () in
+  Obs.with_collector c (fun () ->
+      List.iter (Obs.observe "wait") [ 3.0; 1.0; 2.0 ]);
+  check
+    Alcotest.(list (float 1e-9))
+    "samples in observation order" [ 3.0; 1.0; 2.0 ]
+    (Obs.histogram_samples c "wait");
+  check Alcotest.(list (float 1e-9)) "unregistered is empty" []
+    (Obs.histogram_samples c "absent")
+
+(* {1 JSON emitter and parser} *)
+
+let test_json_escaping () =
+  check Alcotest.string "quotes and backslash" {|"a\"b\\c"|}
+    (Jsonout.escape_string {|a"b\c|});
+  check Alcotest.string "control characters" {|"\n\t\u0001"|}
+    (Jsonout.escape_string "\n\t\x01");
+  check Alcotest.string "string emit" "\"line\\nbreak\""
+    (Jsonout.to_string (Jsonout.String "line\nbreak"))
+
+let test_json_nonfinite () =
+  check Alcotest.string "nan is null" "null" (Jsonout.to_string (Jsonout.Float nan));
+  check Alcotest.string "infinity is null" "null"
+    (Jsonout.to_string (Jsonout.Float infinity))
+
+let test_json_roundtrip () =
+  let v =
+    Jsonout.Obj
+      [ ("name", Jsonout.String "flow \"quoted\"\n");
+        ("count", Jsonout.Int 42);
+        ("ratio", Jsonout.Float 2.5);
+        ("whole", Jsonout.Float 5.0);
+        ("ok", Jsonout.Bool true);
+        ("nothing", Jsonout.Null);
+        ("xs", Jsonout.List [ Jsonout.Int 1; Jsonout.Int (-2) ]) ]
+  in
+  check Alcotest.bool "compact round-trip" true
+    (Jsonout.of_string (Jsonout.to_string v) = v);
+  check Alcotest.bool "pretty round-trip" true
+    (Jsonout.of_string (Jsonout.to_string ~pretty:true v) = v);
+  check Alcotest.bool "unicode escape decodes" true
+    (Jsonout.of_string "\"\\u0041\\u00e9\"" = Jsonout.String "A\xc3\xa9");
+  check Alcotest.bool "trailing garbage rejected" true
+    (try
+       ignore (Jsonout.of_string "{} x");
+       false
+     with Failure _ -> true)
+
+(* {1 Export schemas} *)
+
+let test_trace_event_schema () =
+  let c = Obs.create () in
+  Obs.with_collector c (fun () ->
+      Obs.with_span "parent" ~attrs:[ ("cells", Obs.Int 3) ] (fun () ->
+          Obs.with_span "child" (fun () -> ())));
+  let json = Jsonout.of_string (Jsonout.to_string (Obs.trace_json c)) in
+  match Jsonout.member "traceEvents" json with
+  | Some (Jsonout.List events) ->
+    check Alcotest.int "one event per span" 2 (List.length events);
+    List.iter
+      (fun ev ->
+        check Alcotest.bool "complete event" true
+          (Jsonout.member "ph" ev = Some (Jsonout.String "X"));
+        List.iter
+          (fun field ->
+            check Alcotest.bool (field ^ " present") true
+              (Jsonout.member field ev <> None))
+          [ "name"; "cat"; "ts"; "dur"; "pid"; "tid"; "args" ])
+      events;
+    let names =
+      List.filter_map
+        (fun ev ->
+          match Jsonout.member "name" ev with
+          | Some (Jsonout.String s) -> Some s
+          | _ -> None)
+        events
+    in
+    check Alcotest.(list string) "depth-first order" [ "parent"; "child" ] names
+  | _ -> Alcotest.fail "traceEvents array missing"
+
+let test_metrics_schema () =
+  let c = Obs.create () in
+  Obs.with_collector c (fun () ->
+      Obs.add_counter "n" 2;
+      Obs.observe "h" 1.0;
+      Obs.observe "h" 3.0);
+  let json = Jsonout.of_string (Jsonout.to_string (Obs.metrics_json c)) in
+  (match Jsonout.member "counters" json with
+  | Some (Jsonout.List [ counter ]) ->
+    check Alcotest.bool "counter value" true
+      (Jsonout.member "value" counter = Some (Jsonout.Int 2))
+  | _ -> Alcotest.fail "counters array missing");
+  match Jsonout.member "histograms" json with
+  | Some (Jsonout.List [ h ]) ->
+    check Alcotest.bool "count" true (Jsonout.member "count" h = Some (Jsonout.Int 2));
+    check Alcotest.bool "mean" true (Jsonout.member "mean" h = Some (Jsonout.Float 2.0));
+    check Alcotest.bool "bins present" true (Jsonout.member "bins" h <> None)
+  | _ -> Alcotest.fail "histograms array missing"
+
+(* {1 Stats.histogram constant-input regression} *)
+
+let test_stats_histogram_constant () =
+  match Stats.histogram ~bins:8 [ 4.0; 4.0; 4.0 ] with
+  | [| (lo, hi, n) |] ->
+    check Alcotest.int "all samples in the one bin" 3 n;
+    check (Alcotest.float 1e-9) "unit width around the value" 1.0 (hi -. lo);
+    check Alcotest.bool "value inside the bin" true (lo <= 4.0 && 4.0 <= hi)
+  | bins ->
+    Alcotest.failf "expected a single bin for constant input, got %d"
+      (Array.length bins)
+
+let suite =
+  [
+    Alcotest.test_case "span nesting and ordering" `Quick test_span_nesting;
+    Alcotest.test_case "span exception safety" `Quick test_span_exception_safety;
+    Alcotest.test_case "span attributes" `Quick test_span_attrs;
+    Alcotest.test_case "timed wall time" `Quick test_timed;
+    Alcotest.test_case "no-op sink" `Quick test_noop_sink;
+    Alcotest.test_case "with_collector restores" `Quick test_with_collector_restores;
+    Alcotest.test_case "counters and labels" `Quick test_counters;
+    Alcotest.test_case "gauges" `Quick test_gauges;
+    Alcotest.test_case "histogram samples" `Quick test_histograms;
+    Alcotest.test_case "json escaping" `Quick test_json_escaping;
+    Alcotest.test_case "json non-finite floats" `Quick test_json_nonfinite;
+    Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "trace-event schema" `Quick test_trace_event_schema;
+    Alcotest.test_case "metrics schema" `Quick test_metrics_schema;
+    Alcotest.test_case "stats histogram constant input" `Quick
+      test_stats_histogram_constant;
+  ]
