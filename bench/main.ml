@@ -27,6 +27,8 @@ module Table = Educhip_util.Table
 module Stats = Educhip_util.Stats
 module Obs = Educhip_obs.Obs
 module Jsonout = Educhip_obs.Jsonout
+module Fault = Educhip_fault.Fault
+module Guard = Educhip_fault.Guard
 
 let node130 = Pdk.find_node "edu130"
 
@@ -934,7 +936,88 @@ let flow_telemetry () =
     (Stats.percentile 50.0 disabled)
     (Stats.percentile 50.0 enabled)
 
+(* Fault matrix: inject every (site, kind) pair into a small design's
+   guarded flow and measure how often the retry/degradation machinery
+   recovers a terminating, complete run -> BENCH_faults.json. *)
+let fault_matrix () =
+  banner "FAULTS" "recovery rates under injected faults -> BENCH_faults.json";
+  let design = "alu8" in
+  let entry = Designs.find design in
+  let netlist = Designs.netlist entry in
+  let cfg = Flow.config ~node:node130 Flow.Open_flow in
+  let kinds = [ Fault.Crash; Fault.Hang; Fault.Corrupt ] in
+  let seed = 7 in
+  let count = 2 (* <= retries, so every single-site fault is recoverable *) in
+  let cells =
+    List.concat_map
+      (fun site ->
+        List.map
+          (fun kind ->
+            let plan = [ Fault.arming ~count site kind ] in
+            let outcome () =
+              Fault.with_plan ~seed plan (fun () -> Flow.run_guarded netlist cfg)
+            in
+            let o1 = outcome () and o2 = outcome () in
+            let verdict = Flow.outcome_verdict o1 in
+            let attempts o =
+              match o with
+              | Flow.Completed r ->
+                List.fold_left (fun acc e -> acc + e.Flow.attempts) 0 r.Flow.execs
+              | Flow.Aborted a ->
+                List.fold_left (fun acc e -> acc + e.Flow.attempts) 0 a.Flow.trail
+            in
+            let deterministic =
+              Flow.outcome_verdict o1 = Flow.outcome_verdict o2
+              && attempts o1 = attempts o2
+            in
+            let recovered =
+              match o1 with Flow.Completed _ -> true | Flow.Aborted _ -> false
+            in
+            Printf.printf "  %-16s %-8s %-22s attempts %2d  %s\n" site
+              (Fault.kind_name kind)
+              (Flow.verdict_to_string verdict)
+              (attempts o1)
+              (if recovered then "recovered" else "FAILED");
+            ( recovered,
+              deterministic,
+              Jsonout.Obj
+                [ ("site", Jsonout.String site);
+                  ("kind", Jsonout.String (Fault.kind_name kind));
+                  ("count", Jsonout.Int count);
+                  ("verdict", Jsonout.String (Flow.verdict_to_string verdict));
+                  ("attempts", Jsonout.Int (attempts o1));
+                  ("recovered", Jsonout.Bool recovered);
+                  ("deterministic", Jsonout.Bool deterministic) ] ))
+          kinds)
+      Flow.fault_sites
+  in
+  let n = List.length cells in
+  let recovered = List.length (List.filter (fun (r, _, _) -> r) cells) in
+  let deterministic = List.length (List.filter (fun (_, d, _) -> d) cells) in
+  let recovery_rate = float_of_int recovered /. float_of_int n in
+  Printf.printf
+    "recovery rate %d/%d (%.0f%%), deterministic %d/%d, retries %d, ladder rungs <= 3\n"
+    recovered n (100.0 *. recovery_rate) deterministic n
+    Guard.default_policy.Guard.max_retries;
+  Jsonout.write_file ~path:"BENCH_faults.json"
+    (Jsonout.Obj
+       [ ("design", Jsonout.String design);
+         ("preset", Jsonout.String "open");
+         ("fault_seed", Jsonout.Int seed);
+         ("count_per_site", Jsonout.Int count);
+         ("max_retries", Jsonout.Int Guard.default_policy.Guard.max_retries);
+         ("cells", Jsonout.List (List.map (fun (_, _, j) -> j) cells));
+         ("recovery_rate", Jsonout.Float recovery_rate);
+         ( "deterministic_rate",
+           Jsonout.Float (float_of_int deterministic /. float_of_int n) ) ]);
+  Printf.printf "wrote BENCH_faults.json (%d cells)\n" n
+
 let () =
+  let faults_only = Array.exists (fun a -> a = "--faults") Sys.argv in
+  if faults_only then begin
+    fault_matrix ();
+    exit 0
+  end;
   let flow_only = Array.exists (fun a -> a = "--flow-only") Sys.argv in
   if flow_only then begin
     flow_telemetry ();
@@ -962,5 +1045,6 @@ let () =
   x5_soc_planning ();
   x6_node_scaling ();
   flow_telemetry ();
+  fault_matrix ();
   if not skip_micro then micro_benchmarks ();
   print_endline "\nall experiments regenerated."

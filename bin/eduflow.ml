@@ -17,6 +17,8 @@ module Dft = Educhip_dft.Dft
 module Synth = Educhip_synth.Synth
 module Table = Educhip_util.Table
 module Obs = Educhip_obs.Obs
+module Fault = Educhip_fault.Fault
+module Guard = Educhip_fault.Guard
 
 open Cmdliner
 
@@ -88,8 +90,26 @@ let setup_telemetry trace_path metrics_path =
     at_exit write
 
 let run_flow design_name node_name preset_name_ clock_ps gds_path verilog_path verify
-    scan trace_path metrics_path =
+    scan trace_path metrics_path inject_specs fault_seed retries step_budget_ms =
   setup_telemetry trace_path metrics_path;
+  let plan =
+    try List.map Fault.arming_of_string inject_specs
+    with Invalid_argument msg ->
+      Printf.eprintf "%s\n" msg;
+      Printf.eprintf "known sites: %s\n" (String.concat " " Flow.fault_sites);
+      exit 1
+  in
+  List.iter
+    (fun (a : Fault.arming) ->
+      if not (List.mem a.Fault.site Flow.fault_sites) then
+        Printf.eprintf "warning: fault site %s is not probed by this flow\n"
+          a.Fault.site)
+    plan;
+  let policy =
+    { Guard.default_policy with Guard.max_retries = retries;
+      Guard.step_budget_ms = step_budget_ms }
+  in
+  if plan <> [] then Fault.arm ~seed:fault_seed plan;
   match Designs.find design_name with
   | exception Not_found ->
     Printf.eprintf "unknown design %s (try: eduflow list)\n" design_name;
@@ -120,7 +140,22 @@ let run_flow design_name node_name preset_name_ clock_ps gds_path verilog_path v
           scanned
         end
       in
-      let result = Flow.run rtl cfg in
+      let result =
+        match Flow.run_guarded ~policy rtl cfg with
+        | Flow.Completed result -> result
+        | Flow.Aborted a ->
+          Printf.printf "flow FAILED at step %s: %s\n" a.Flow.failed_step
+            a.Flow.failure_reason;
+          List.iter
+            (fun e ->
+              Printf.printf "  %-10s %d attempt%s%s\n" e.Flow.step e.Flow.attempts
+                (if e.Flow.attempts = 1 then "" else "s")
+                (match e.Flow.step_failure with
+                | Some r -> " - " ^ r
+                | None -> if e.Flow.rung > 0 then " (degraded)" else ""))
+            a.Flow.trail;
+          exit 4
+      in
       Format.printf "%a" Flow.pp_summary result;
       if not result.Flow.drc.Drc.clean then begin
         print_endline "DRC violations:";
@@ -204,10 +239,37 @@ let metrics_arg =
     & info [ "metrics" ] ~docv:"PATH"
         ~doc:"Write kernel counters, gauges, and histograms to this file as JSON.")
 
+let inject_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "inject" ] ~docv:"SITE:KIND[@N]"
+        ~doc:
+          "Arm a deterministic fault (repeatable): KIND is crash, hang, or corrupt; \
+           \\@N fires it N times. Example: --inject flow.routing:crash\\@2.")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:"Seed for the fault plan (reproducible injection).")
+
+let retries_arg =
+  Arg.(
+    value & opt int Guard.default_policy.Guard.max_retries
+    & info [ "retries" ] ~docv:"N"
+        ~doc:"Extra attempts per effort rung before a step degrades.")
+
+let step_budget_arg =
+  Arg.(
+    value & opt float Guard.default_policy.Guard.step_budget_ms
+    & info [ "step-budget" ] ~docv:"MS"
+        ~doc:"Simulated per-attempt work budget charged by an injected hang.")
+
 let run_term =
   Term.(
     const run_flow $ design_arg $ node_arg $ preset_arg $ clock_arg $ gds_arg
-    $ verilog_arg $ verify_arg $ scan_arg $ trace_arg $ metrics_arg)
+    $ verilog_arg $ verify_arg $ scan_arg $ trace_arg $ metrics_arg $ inject_arg
+    $ fault_seed_arg $ retries_arg $ step_budget_arg)
 
 let run_cmd =
   let doc = "run the full synthesis/place/route/signoff flow on a design" in

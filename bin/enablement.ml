@@ -89,9 +89,17 @@ let workforce years =
         last.Workforce.demand last.Workforce.cumulative_gap)
     scenarios
 
-let hub teams arrivals =
+let hub teams arrivals outages mtbf mttr =
+  let outages =
+    if not outages then None
+    else
+      Some
+        { Cloudhub.default_outages with
+          Cloudhub.mtbf_weeks = mtbf; Cloudhub.mttr_weeks = mttr }
+  in
   let params =
-    { Cloudhub.default_params with Cloudhub.det_teams = teams; arrivals_per_week = arrivals }
+    { Cloudhub.default_params with
+      Cloudhub.det_teams = teams; arrivals_per_week = arrivals; outages }
   in
   let stats = Cloudhub.simulate params in
   Printf.printf
@@ -100,7 +108,14 @@ let hub teams arrivals =
     teams arrivals params.Cloudhub.horizon_weeks stats.Cloudhub.completed
     stats.Cloudhub.mean_wait_weeks stats.Cloudhub.p95_wait_weeks
     (stats.Cloudhub.utilization *. 100.0)
-    stats.Cloudhub.peak_queue
+    stats.Cloudhub.peak_queue;
+  if outages <> None then
+    Printf.printf
+    "  outages (MTBF %.1f wks, MTTR %.1f wks): availability %.1f%%, %d outages, %d \
+     service retries, %d jobs gave up\n"
+      mtbf mttr
+      (stats.Cloudhub.availability *. 100.0)
+      stats.Cloudhub.team_outages stats.Cloudhub.service_retries stats.Cloudhub.gave_up
 
 let recommendations () =
   let s0 = Recommend.baseline_state () in
@@ -183,6 +198,26 @@ let arrivals_arg =
   Arg.(
     value & opt float 1.5 & info [ "arrivals" ] ~docv:"R" ~doc:"Job arrivals per week.")
 
+let outages_arg =
+  Arg.(
+    value & flag
+    & info [ "outages" ]
+        ~doc:
+          "Give every DET team an MTBF/MTTR failure-repair process; interrupted jobs \
+           retry under capped backoff. Reports availability alongside wait times.")
+
+let mtbf_arg =
+  Arg.(
+    value
+    & opt float Cloudhub.default_outages.Cloudhub.mtbf_weeks
+    & info [ "mtbf" ] ~docv:"WEEKS" ~doc:"Mean team up-time between failures.")
+
+let mttr_arg =
+  Arg.(
+    value
+    & opt float Cloudhub.default_outages.Cloudhub.mttr_weeks
+    & info [ "mttr" ] ~docv:"WEEKS" ~doc:"Mean repair time per outage.")
+
 let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
 
 let () =
@@ -198,8 +233,9 @@ let () =
           $ metrics_arg $ years_arg);
       cmd "hub" "enablement-hub queue simulation (E10)"
         Term.(
-          const (fun m teams arrivals -> with_metrics m (fun () -> hub teams arrivals))
-          $ metrics_arg $ teams_arg $ arrivals_arg);
+          const (fun m teams arrivals outages mtbf mttr ->
+              with_metrics m (fun () -> hub teams arrivals outages mtbf mttr))
+          $ metrics_arg $ teams_arg $ arrivals_arg $ outages_arg $ mtbf_arg $ mttr_arg);
       cmd "enable" "availability-vs-enablement matrix (E5)"
         Term.(const enablement_report $ const ());
       cmd "recommendations" "the paper's eight recommendations as scenarios"

@@ -92,7 +92,7 @@ let check netlist ~property ~depth ?(induction = true) () =
   Sat.add_clause solver (Array.to_list (Array.map (fun vars -> -vars.(prop)) frames));
   match Sat.solve solver with
   | Sat.Sat model when not (Sat.check_model solver model) ->
-    failwith "Bmc.check: solver returned an invalid model"
+    invalid_arg "Bmc.check: solver returned an invalid model"
   | Sat.Sat model ->
     (* first violating frame gives the trace length *)
     let violated_at =

@@ -39,7 +39,8 @@ val check :
 (** [check netlist ~property ~depth ()] — [property] names a one-bit
     output; [induction] defaults to true.
     @raise Invalid_argument if the output does not exist, is not one bit,
-    or [depth < 1]; if the netlist fails validation. *)
+    or [depth < 1]; if the netlist fails validation; or if the solver
+    returns a model that fails the final consistency check. *)
 
 val replay : Educhip_netlist.Netlist.t -> property:string -> trace -> bool
 (** Confirm a counterexample by simulation-style evaluation: [true] when

@@ -15,12 +15,34 @@ let tier_service_weeks = function
   | Intermediate -> 2.0
   | Advanced -> 6.0
 
+type outage_params = {
+  mtbf_weeks : float;
+  mttr_weeks : float;
+  max_service_retries : int;
+  backoff_base_weeks : float;
+  backoff_cap_weeks : float;
+}
+
+let default_outages =
+  {
+    mtbf_weeks = 26.0;
+    mttr_weeks = 2.0;
+    max_service_retries = 3;
+    backoff_base_weeks = 0.25;
+    backoff_cap_weeks = 2.0;
+  }
+
+let retry_backoff_weeks o k =
+  if k <= 0 then 0.0
+  else min o.backoff_cap_weeks (o.backoff_base_weeks *. (2.0 ** float_of_int (k - 1)))
+
 type params = {
   det_teams : int;
   arrivals_per_week : float;
   tier_mix : (tier * float) list;
   horizon_weeks : float;
   seed : int;
+  outages : outage_params option;
 }
 
 let default_params =
@@ -30,21 +52,34 @@ let default_params =
     tier_mix = [ (Beginner, 0.5); (Intermediate, 0.35); (Advanced, 0.15) ];
     horizon_weeks = 260.0;
     seed = 42;
+    outages = None;
   }
 
 type stats = {
   completed : int;
   abandoned : int;
+  gave_up : int;
   mean_wait_weeks : float;
   p95_wait_weeks : float;
   mean_sojourn_weeks : float;
   utilization : float;
+  availability : float;
+  team_outages : int;
+  service_retries : int;
   peak_queue : int;
 }
 
-type event = Arrival | Departure of int (* team index *)
+type job = { arrived : float; tier : tier; mutable interruptions : int }
 
-type job = { arrived : float; tier : tier }
+(* [Departure] carries the service generation that scheduled it so a
+   departure left over from a service interrupted by an outage is
+   recognizably stale and ignored. *)
+type event =
+  | Arrival
+  | Departure of int * int (* team index, service generation *)
+  | Team_down of int
+  | Team_up of int
+  | Requeue of job (* an interrupted job re-submitting after backoff *)
 
 let pick_tier rng mix =
   let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 mix in
@@ -59,31 +94,55 @@ let simulate p =
   if p.det_teams < 1 then invalid_arg "Cloudhub.simulate: need at least one team";
   if p.arrivals_per_week <= 0.0 then invalid_arg "Cloudhub.simulate: arrival rate must be positive";
   if p.horizon_weeks <= 0.0 then invalid_arg "Cloudhub.simulate: horizon must be positive";
+  (match p.outages with
+  | Some o when o.mtbf_weeks <= 0.0 || o.mttr_weeks <= 0.0 ->
+    invalid_arg "Cloudhub.simulate: MTBF and MTTR must be positive"
+  | _ -> ());
   let rng = Rng.create ~seed:p.seed in
+  (* Outage timing draws from a separate stream so arrival/service
+     randomness is identical with and without outages — common random
+     numbers for availability comparisons. *)
+  let outage_rng = Rng.create ~seed:(p.seed + 7919) in
   let events = Pqueue.create () in
   let queue = Queue.create () in
   let team_busy_job = Array.make p.det_teams None in
-  let busy_weeks = ref 0.0 in
+  let team_down = Array.make p.det_teams false in
+  let team_down_since = Array.make p.det_teams 0.0 in
+  let team_service_id = Array.make p.det_teams 0 in
+  let busy_weeks = ref 0.0 and down_weeks = ref 0.0 in
   let waits = ref [] and sojourns = ref [] in
   let completed = ref 0 and peak_queue = ref 0 in
+  let team_outages = ref 0 and service_retries = ref 0 and gave_up = ref 0 in
   let schedule t ev = Pqueue.push events ~priority:t ev in
   schedule (Rng.exponential rng ~rate:p.arrivals_per_week) Arrival;
+  (match p.outages with
+  | None -> ()
+  | Some o ->
+    for team = 0 to p.det_teams - 1 do
+      schedule (Rng.exponential outage_rng ~rate:(1.0 /. o.mtbf_weeks)) (Team_down team)
+    done);
   let start_service now job team =
     let service =
       Rng.exponential rng ~rate:(1.0 /. tier_service_weeks job.tier)
     in
     team_busy_job.(team) <- Some (job, now);
-    busy_weeks := !busy_weeks +. service;
     waits := (now -. job.arrived) :: !waits;
-    schedule (now +. service) (Departure team)
+    schedule (now +. service) (Departure (team, team_service_id.(team)))
   in
   let free_team () =
     let rec find i =
       if i >= p.det_teams then None
-      else if team_busy_job.(i) = None then Some i
+      else if team_busy_job.(i) = None && not team_down.(i) then Some i
       else find (i + 1)
     in
     find 0
+  in
+  let submit now job =
+    match free_team () with
+    | Some team -> start_service now job team
+    | None ->
+      Queue.add job queue;
+      if Queue.length queue > !peak_queue then peak_queue := Queue.length queue
   in
   let rec run () =
     match Pqueue.peek_priority events with
@@ -92,51 +151,104 @@ let simulate p =
     | Some now -> (
       match Pqueue.pop_exn events with
       | Arrival ->
-        let job = { arrived = now; tier = pick_tier rng p.tier_mix } in
-        (match free_team () with
-        | Some team -> start_service now job team
-        | None ->
-          Queue.add job queue;
-          if Queue.length queue > !peak_queue then peak_queue := Queue.length queue);
+        submit now { arrived = now; tier = pick_tier rng p.tier_mix; interruptions = 0 };
         schedule (now +. Rng.exponential rng ~rate:p.arrivals_per_week) Arrival;
         run ()
-      | Departure team ->
+      | Departure (team, id) when id = team_service_id.(team) ->
         (match team_busy_job.(team) with
         | Some (job, started) ->
           incr completed;
+          busy_weeks := !busy_weeks +. (now -. started);
           sojourns := (now -. job.arrived) :: !sojourns;
           if Obs.enabled () then
             Obs.incr_counter "hub.jobs_completed"
-              ~labels:[ ("tier", tier_name job.tier) ];
-          ignore started
+              ~labels:[ ("tier", tier_name job.tier) ]
         | None -> ());
         team_busy_job.(team) <- None;
+        team_service_id.(team) <- team_service_id.(team) + 1;
         (if not (Queue.is_empty queue) then
            let job = Queue.take queue in
            start_service now job team);
+        run ()
+      | Departure (_, _) -> run () (* stale: that service was interrupted *)
+      | Team_down team ->
+        let o = Option.get p.outages in
+        incr team_outages;
+        if Obs.enabled () then Obs.incr_counter "hub.team_outages";
+        team_down.(team) <- true;
+        team_down_since.(team) <- now;
+        (* interrupt any in-flight service: the work done so far still
+           counts as busy time, the job retries after a capped
+           exponential backoff or gives up *)
+        (match team_busy_job.(team) with
+        | Some (job, started) ->
+          busy_weeks := !busy_weeks +. (now -. started);
+          team_busy_job.(team) <- None;
+          team_service_id.(team) <- team_service_id.(team) + 1;
+          job.interruptions <- job.interruptions + 1;
+          if job.interruptions > o.max_service_retries then begin
+            incr gave_up;
+            if Obs.enabled () then Obs.incr_counter "hub.jobs_given_up"
+          end
+          else begin
+            incr service_retries;
+            if Obs.enabled () then Obs.incr_counter "hub.service_retries";
+            schedule (now +. retry_backoff_weeks o job.interruptions) (Requeue job)
+          end
+        | None -> ());
+        schedule (now +. Rng.exponential outage_rng ~rate:(1.0 /. o.mttr_weeks))
+          (Team_up team);
+        run ()
+      | Team_up team ->
+        let o = Option.get p.outages in
+        team_down.(team) <- false;
+        down_weeks := !down_weeks +. (now -. team_down_since.(team));
+        schedule (now +. Rng.exponential outage_rng ~rate:(1.0 /. o.mtbf_weeks))
+          (Team_down team);
+        (if not (Queue.is_empty queue) then
+           let job = Queue.take queue in
+           start_service now job team);
+        run ()
+      | Requeue job ->
+        submit now job;
         run ())
   in
   run ();
-  let in_service =
-    Array.fold_left (fun acc j -> if j = None then acc else acc + 1) 0 team_busy_job
-  in
+  let in_service = ref 0 in
+  (* censor in-flight services and open outages at the horizon *)
+  Array.iteri
+    (fun team slot ->
+      match slot with
+      | Some (_, started) ->
+        incr in_service;
+        busy_weeks := !busy_weeks +. (p.horizon_weeks -. started)
+      | None ->
+        if team_down.(team) then
+          down_weeks := !down_weeks +. (p.horizon_weeks -. team_down_since.(team)))
+    team_busy_job;
   (* jobs still queued at the horizon have accrued (censored) waits; count
      them at their accrued value so overloaded systems are not reported as
      fast merely because their queue never drains *)
   Queue.iter (fun job -> waits := (p.horizon_weeks -. job.arrived) :: !waits) queue;
+  let team_weeks = float_of_int p.det_teams *. p.horizon_weeks in
+  let availability = Float.max 0.0 (1.0 -. (!down_weeks /. team_weeks)) in
   if Obs.enabled () then begin
-    Obs.add_counter "hub.jobs_abandoned" (Queue.length queue + in_service);
+    Obs.add_counter "hub.jobs_abandoned" (Queue.length queue + !in_service);
     List.iter (fun w -> Obs.observe "hub.wait_weeks" w) !waits;
-    Obs.set_gauge "hub.peak_queue" (float_of_int !peak_queue)
+    Obs.set_gauge "hub.peak_queue" (float_of_int !peak_queue);
+    Obs.set_gauge "hub.availability" availability
   end;
   {
     completed = !completed;
-    abandoned = Queue.length queue + in_service;
+    abandoned = Queue.length queue + !in_service;
+    gave_up = !gave_up;
     mean_wait_weeks = Stats.mean !waits;
     p95_wait_weeks = Stats.percentile 95.0 !waits;
     mean_sojourn_weeks = Stats.mean !sojourns;
-    utilization =
-      Float.min 1.0 (!busy_weeks /. (float_of_int p.det_teams *. p.horizon_weeks));
+    utilization = Float.min 1.0 (!busy_weeks /. team_weeks);
+    availability;
+    team_outages = !team_outages;
+    service_retries = !service_retries;
     peak_queue = !peak_queue;
   }
 

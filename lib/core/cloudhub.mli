@@ -17,29 +17,63 @@ val tier_name : tier -> string
 val tier_service_weeks : tier -> float
 (** Mean DET effort per job: 0.5 / 2 / 6 weeks. *)
 
+type outage_params = {
+  mtbf_weeks : float;  (** mean team up-time between failures *)
+  mttr_weeks : float;  (** mean repair time per outage *)
+  max_service_retries : int;
+      (** interruptions a job survives before giving up *)
+  backoff_base_weeks : float;
+      (** delay before an interrupted job's first re-submission *)
+  backoff_cap_weeks : float;  (** ceiling on any single backoff delay *)
+}
+
+val default_outages : outage_params
+(** MTBF 26 weeks, MTTR 2 weeks, 3 retries, backoff 0.25 weeks doubling
+    to a 2-week cap. *)
+
+val retry_backoff_weeks : outage_params -> int -> float
+(** [retry_backoff_weeks o k] is the deterministic delay before an
+    interrupted job's [k]-th re-submission:
+    [min cap (base * 2^(k-1))] — capped and monotone. *)
+
 type params = {
   det_teams : int;
   arrivals_per_week : float;  (** total job arrival rate *)
   tier_mix : (tier * float) list;  (** proportions, need not sum to 1 *)
   horizon_weeks : float;
   seed : int;
+  outages : outage_params option;
+      (** [Some _] gives every DET an MTBF/MTTR failure-repair process:
+          an outage interrupts the team's in-flight job, which retries
+          under capped exponential backoff or gives up. Outage timing
+          draws from its own seeded stream, so arrival and service
+          randomness is identical with and without outages (common
+          random numbers). [None] models perfectly reliable teams. *)
 }
 
 val default_params : params
-(** 3 teams, 1.5 jobs/week, mix 0.5/0.35/0.15, 260 weeks, seed 42. *)
+(** 3 teams, 1.5 jobs/week, mix 0.5/0.35/0.15, 260 weeks, seed 42,
+    no outages. *)
 
 type stats = {
   completed : int;
   abandoned : int;  (** still queued/in service at the horizon *)
+  gave_up : int;  (** jobs that exhausted their service retries *)
   mean_wait_weeks : float;
   p95_wait_weeks : float;
   mean_sojourn_weeks : float;  (** wait + service *)
   utilization : float;  (** busy team-weeks / available team-weeks *)
+  availability : float;
+      (** 1 - (outage team-weeks / total team-weeks); 1.0 without
+          outages *)
+  team_outages : int;  (** outages that began within the horizon *)
+  service_retries : int;  (** interrupted services that re-submitted *)
   peak_queue : int;
 }
 
 val simulate : params -> stats
-(** @raise Invalid_argument on non-positive teams, rate, or horizon. *)
+(** @raise Invalid_argument on non-positive teams, rate, horizon, MTBF,
+    or MTTR. *)
 
 type comparison = {
   centralized : stats;  (** one hub with n teams, pooled queue *)

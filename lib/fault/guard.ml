@@ -1,0 +1,101 @@
+type policy = {
+  max_retries : int;
+  base_backoff_ms : float;
+  backoff_factor : float;
+  max_backoff_ms : float;
+  step_budget_ms : float;
+}
+
+let default_policy =
+  {
+    max_retries = 2;
+    base_backoff_ms = 50.;
+    backoff_factor = 2.;
+    max_backoff_ms = 400.;
+    step_budget_ms = 1000.;
+  }
+
+let no_retry = { default_policy with max_retries = 0 }
+
+let backoff_ms p k =
+  if k <= 0 then 0.
+  else
+    min p.max_backoff_ms
+      (p.base_backoff_ms *. (p.backoff_factor ** float_of_int (k - 1)))
+
+type failure = Crashed of string | Hung | Corrupted of string
+
+let failure_to_string = function
+  | Crashed msg -> "crashed: " ^ msg
+  | Hung -> "hung: step budget exhausted"
+  | Corrupted reason -> "corrupted: " ^ reason
+
+type attempt = {
+  rung : int;
+  number : int;
+  backoff_applied_ms : float;
+  failed : failure option;
+}
+
+type 'a outcome = Completed of 'a | Degraded of 'a * int | Gave_up of failure
+
+type 'a execution = {
+  outcome : 'a outcome;
+  attempts : int;
+  trace : attempt list;
+  sim_ms : float;
+}
+
+let execute ?(policy = default_policy) ?(accept = fun _ -> None) ~site rungs =
+  if rungs = [] then invalid_arg "Guard.execute: empty degradation ladder";
+  let rungs = Array.of_list rungs in
+  let attempts = ref 0 in
+  let trace = ref [] in
+  let sim_ms = ref 0. in
+  let record rung backoff failed =
+    incr attempts;
+    trace := { rung; number = !attempts; backoff_applied_ms = backoff; failed } :: !trace
+  in
+  let run_attempt rung_idx =
+    try
+      Fault.check site;
+      let v = (rungs.(rung_idx)) () in
+      if Fault.corrupted site then Result.Error (Corrupted "injected corruption")
+      else
+        match accept v with
+        | None -> Result.Ok v
+        | Some reason -> Result.Error (Corrupted reason)
+    with
+    | Fault.Injected (_, Fault.Hang) ->
+        sim_ms := !sim_ms +. policy.step_budget_ms;
+        Result.Error Hung
+    | Fault.Injected (_, _) -> Result.Error (Crashed "injected crash")
+    | exn -> Result.Error (Crashed (Printexc.to_string exn))
+  in
+  let rec rung_loop rung_idx last_failure =
+    if rung_idx >= Array.length rungs then
+      { outcome = Gave_up last_failure; attempts = !attempts;
+        trace = List.rev !trace; sim_ms = !sim_ms }
+    else
+      (* Failure count within this rung drives the backoff schedule;
+         descending a rung resets it so the fallback gets fresh, short
+         delays. *)
+      let rec attempt_loop failures =
+        let backoff = backoff_ms policy failures in
+        sim_ms := !sim_ms +. backoff;
+        match run_attempt rung_idx with
+        | Result.Ok v ->
+            record rung_idx backoff None;
+            let outcome =
+              if rung_idx = 0 then Completed v else Degraded (v, rung_idx)
+            in
+            { outcome; attempts = !attempts; trace = List.rev !trace;
+              sim_ms = !sim_ms }
+        | Result.Error f ->
+            record rung_idx backoff (Some f);
+            if failures < policy.max_retries then attempt_loop (failures + 1)
+            else rung_loop (rung_idx + 1) f
+      in
+      attempt_loop 0
+  in
+  rung_loop 0 (Crashed "no attempt made")

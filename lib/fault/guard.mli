@@ -1,0 +1,82 @@
+(** Guarded step execution: bounded retry, capped exponential backoff in
+    simulated time, per-attempt work budgets, and a degradation ladder.
+
+    A guard runs one flow step under a {!policy}. The step is given as a
+    non-empty list of {b rungs} — thunks ordered from the configured
+    effort down to the cheapest fallback. Each attempt probes the step's
+    fault site, runs the current rung, and classifies the result; a
+    failed attempt waits a deterministic backoff (simulated — no clock
+    is read and no sleep happens) and retries. When a rung exhausts its
+    retries the guard descends the ladder; when the ladder is exhausted
+    it gives up with the last failure instead of raising.
+
+    All timing here is {e simulated} milliseconds: backoff delays and
+    blown budgets are accounted numerically so executions are
+    reproducible and instantaneous. Wall-clock timing of real kernel
+    work stays the business of [Educhip_obs]. *)
+
+type policy = {
+  max_retries : int;  (** extra attempts per rung after the first *)
+  base_backoff_ms : float;  (** delay after the first failed attempt *)
+  backoff_factor : float;  (** multiplier per subsequent failure *)
+  max_backoff_ms : float;  (** cap on any single delay *)
+  step_budget_ms : float;  (** simulated work budget charged by a hang *)
+}
+
+val default_policy : policy
+(** 2 retries, 50 ms base backoff doubling to a 400 ms cap, 1000 ms
+    step budget. *)
+
+val no_retry : policy
+(** [max_retries = 0]: every failure immediately descends the ladder. *)
+
+val backoff_ms : policy -> int -> float
+(** [backoff_ms p k] is the simulated delay after the [k]-th failed
+    attempt of a rung ([k >= 1]): [min max (base * factor^(k-1))].
+    Deterministic — no jitter — so delays are capped and monotone. *)
+
+type failure =
+  | Crashed of string  (** exception text from the step *)
+  | Hung  (** fault-injected hang: the attempt blew [step_budget_ms] *)
+  | Corrupted of string  (** the step returned but its result failed the
+                             guard's acceptance check *)
+
+val failure_to_string : failure -> string
+
+type attempt = {
+  rung : int;  (** ladder index (0 = configured effort) *)
+  number : int;  (** 1-based attempt counter across the whole step *)
+  backoff_applied_ms : float;  (** simulated delay waited before this attempt *)
+  failed : failure option;  (** [None] iff the attempt succeeded *)
+}
+
+type 'a outcome =
+  | Completed of 'a  (** first rung, some attempt succeeded *)
+  | Degraded of 'a * int  (** succeeded on ladder rung > 0 *)
+  | Gave_up of failure  (** ladder exhausted; last failure *)
+
+type 'a execution = {
+  outcome : 'a outcome;
+  attempts : int;  (** total attempts across all rungs *)
+  trace : attempt list;  (** chronological *)
+  sim_ms : float;  (** simulated time spent on backoff and hangs *)
+}
+
+val execute :
+  ?policy:policy ->
+  ?accept:('a -> string option) ->
+  site:string ->
+  (unit -> 'a) list ->
+  'a execution
+(** [execute ~site rungs] runs a step under the guard.
+
+    Per attempt: {!Fault.check}[ site] is probed, the current rung's
+    thunk runs, then a [Corrupt] arming of [site] ({!Fault.corrupted})
+    or a rejection by [accept] (default: accept everything) produces a
+    [Corrupted] failure that is retried like any other.
+    [Fault.Injected] becomes [Crashed]/[Hung] — whether raised by this
+    guard's own probe or by a kernel-interior site inside the thunk;
+    any other exception becomes [Crashed] with the exception text.
+    Exceptions never escape [execute].
+
+    @raise Invalid_argument if [rungs] is empty. *)

@@ -11,6 +11,8 @@ module Designs = Educhip_designs.Designs
 module Cts = Educhip_cts.Cts
 module Sat = Educhip_sat.Sat
 module Obs = Educhip_obs.Obs
+module Fault = Educhip_fault.Fault
+module Guard = Educhip_fault.Guard
 
 type preset = Open_flow | Commercial_flow | Teaching_flow
 
@@ -96,6 +98,16 @@ type ppa = {
 
 type step_report = { step_name : string; detail : string; wall_ms : float option }
 
+type verdict = Ok | Degraded of string list | Failed of string
+
+type step_exec = {
+  step : string;
+  attempts : int;
+  rung : int;
+  sim_backoff_ms : float;
+  step_failure : string option;
+}
+
 type result = {
   cfg : config;
   mapped : Netlist.t;
@@ -109,7 +121,27 @@ type result = {
   layout : Gds.t;
   ppa : ppa;
   steps : step_report list;
+  execs : step_exec list;
+  verdict : verdict;
 }
+
+type abort = {
+  failed_step : string;
+  failure_reason : string;
+  trail : step_exec list;
+  trail_reports : step_report list;
+}
+
+type run_outcome = Completed of result | Aborted of abort
+
+let outcome_verdict = function
+  | Completed r -> r.verdict
+  | Aborted a -> Failed a.failed_step
+
+let verdict_to_string = function
+  | Ok -> "ok"
+  | Degraded steps -> "degraded(" ^ String.concat "," steps ^ ")"
+  | Failed step -> "failed(" ^ step ^ ")"
 
 let step_names =
   [ "synthesis"; "sizing"; "buffering"; "placement"; "cts"; "routing"; "sta"; "power";
@@ -141,184 +173,317 @@ let size_gates mapped ~node ~rounds =
 let kernel_metric_names =
   Synth.metric_names @ Place.metric_names @ Route.metric_names @ Sat.metric_names
 
-let run netlist cfg =
+let robustness_metric_names =
+  [ "flow.step_retries"; "flow.step_degradations"; "flow.steps_failed" ]
+
+(* SAT's site is deliberately absent: the template never calls the
+   solver (CEC is a separate verification pass), so arming it inside a
+   flow fault matrix would silently never fire. *)
+let fault_sites =
+  List.map (fun s -> "flow." ^ s) step_names
+  @ Synth.fault_sites @ Place.fault_sites @ Route.fault_sites
+
+(* One typed precondition check before any kernel runs, so degenerate
+   inputs fail the same way regardless of which step would have tripped
+   over them mid-pipeline. *)
+let validate_netlist netlist =
+  let problem =
+    if Netlist.cell_count netlist = 0 then Some "empty netlist"
+    else if Netlist.outputs netlist = [] then Some "netlist has no outputs"
+    else begin
+      let already_mapped = ref false in
+      Netlist.iter_cells netlist (fun _ cell ->
+          match cell.Netlist.kind with
+          | Netlist.Mapped _ -> already_mapped := true
+          | _ -> ());
+      if !already_mapped then Some "netlist is already technology-mapped"
+      else None
+    end
+  in
+  match problem with
+  | Some p ->
+    invalid_arg (Printf.sprintf "Flow.run: %s (design %S)" p (Netlist.name netlist))
+  | None -> ()
+
+(* Degradation ladders: the configured effort first, then strictly
+   simpler presets; structural dedup so a config already at the bottom
+   doesn't re-run an identical rung. *)
+let dedup_rungs xs =
+  List.rev
+    (List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs)
+
+exception Step_gave_up of string * string
+
+let run_guarded ?(policy = Guard.default_policy) netlist cfg =
+  validate_netlist netlist;
   Obs.with_span "flow.run"
     ~attrs:
       [ ("design", Obs.Str (Netlist.name netlist));
         ("node", Obs.Str cfg.node.Pdk.node_name);
         ("clock_period_ps", Obs.Float cfg.clock_period_ps) ]
   @@ fun () ->
-  if Obs.enabled () then List.iter (fun n -> Obs.declare_counter n) kernel_metric_names;
-  (* Wrap one template step in a span named after it; the closure returns
-     (value, detail line) and may attach span attributes. *)
-  let step name f =
-    let (v, detail), wall_ms = Obs.timed name f in
-    (v, { step_name = name; detail; wall_ms })
+  if Obs.enabled () then
+    List.iter (fun n -> Obs.declare_counter n)
+      (kernel_metric_names @ robustness_metric_names);
+  let execs = ref [] in
+  let reports = ref [] in
+  (* Run one template step under a guard. [rungs] is the degradation
+     ladder, configured effort first; each rung returns (value, detail
+     line) and may attach span attributes. The whole guarded step —
+     retries included — lives in one span named after the step. *)
+  let step ?accept name rungs =
+    let site = "flow." ^ name in
+    let exec, wall_ms =
+      Obs.timed name (fun () ->
+          let e = Guard.execute ~policy ?accept ~site rungs in
+          if Obs.enabled () then begin
+            Obs.set_attr "attempts" (Obs.Int e.Guard.attempts);
+            if e.Guard.attempts > 1 then
+              Obs.add_counter "flow.step_retries" (e.Guard.attempts - 1);
+            match e.Guard.outcome with
+            | Guard.Completed _ -> ()
+            | Guard.Degraded (_, rung) ->
+              Obs.set_attr "degraded_to_rung" (Obs.Int rung);
+              Obs.incr_counter "flow.step_degradations"
+            | Guard.Gave_up _ -> Obs.incr_counter "flow.steps_failed"
+          end;
+          e)
+    in
+    let record rung step_failure =
+      execs :=
+        { step = name; attempts = exec.Guard.attempts; rung;
+          sim_backoff_ms = exec.Guard.sim_ms; step_failure }
+        :: !execs
+    in
+    let report detail = reports := { step_name = name; detail; wall_ms } :: !reports in
+    match exec.Guard.outcome with
+    | Guard.Completed (v, detail) ->
+      record 0 None;
+      report detail;
+      v
+    | Guard.Degraded ((v, detail), rung) ->
+      record rung None;
+      report (Printf.sprintf "%s [degraded to effort rung %d]" detail rung);
+      v
+    | Guard.Gave_up f ->
+      let reason = Guard.failure_to_string f in
+      record (-1) (Some reason);
+      report ("FAILED: " ^ reason);
+      raise (Step_gave_up (name, reason))
   in
-  (* 1. synthesis *)
-  let (mapped, synth_report), synth_step =
-    step "synthesis" (fun () ->
-        let mapped, r = Synth.synthesize netlist ~node:cfg.node cfg.synth_options in
-        Obs.set_attr "cells" (Obs.Int r.Synth.mapped_cells);
-        Obs.set_attr "aig_nodes" (Obs.Int r.Synth.aig_nodes_optimized);
-        ( (mapped, r),
-          Printf.sprintf "%d AIG nodes -> %d, depth %d -> %d, %d cells, %.0f um2"
-            r.Synth.aig_nodes_initial r.Synth.aig_nodes_optimized
-            r.Synth.aig_depth_initial r.Synth.aig_depth_optimized r.Synth.mapped_cells
-            r.Synth.mapped_area_um2 ))
-  in
-  (* 2. timing-driven gate sizing *)
-  let (), sizing_step =
-    step "sizing" (fun () ->
-        if cfg.sizing_rounds = 0 then ((), "disabled")
-        else begin
-          let upsized, arrival =
-            size_gates mapped ~node:cfg.node ~rounds:cfg.sizing_rounds
-          in
-          Obs.set_attr "cells_upsized" (Obs.Int upsized);
-          ( (),
-            Printf.sprintf
-              "%d cells upsized over <=%d rounds, ideal-wire arrival %.0f ps" upsized
-              cfg.sizing_rounds arrival )
-        end)
-  in
-  (* 3. fanout buffering *)
-  let (), buffering_step =
-    step "buffering" (fun () ->
-        match cfg.max_fanout with
-        | None -> ((), "disabled")
-        | Some max_fanout ->
-          let buffers = Synth.buffer_fanout mapped ~node:cfg.node ~max_fanout in
-          Obs.set_attr "buffers" (Obs.Int buffers);
-          ((), Printf.sprintf "%d buffers inserted (max fanout %d)" buffers max_fanout))
-  in
-  (* sizing and buffering change the cell population: refresh the report *)
-  let synth_report =
-    { synth_report with
-      Synth.mapped_area_um2 = Synth.mapped_area_um2 mapped ~node:cfg.node;
-      Synth.mapped_cells =
-        List.fold_left (fun acc (_, n) -> acc + n) 0 (Synth.cell_usage mapped) }
-  in
-  (* 4. placement *)
-  let placement, place_step =
-    step "placement" (fun () ->
-        let placement =
-          Place.place mapped ~node:cfg.node ~utilization:cfg.utilization cfg.place_effort
-        in
-        let die_w, die_h = Place.die_um placement in
-        Obs.set_attr "cells" (Obs.Int synth_report.Synth.mapped_cells);
-        Obs.set_attr "hpwl_um" (Obs.Float (Place.hpwl_um placement));
-        Obs.set_attr "rows" (Obs.Int (Place.row_count placement));
-        ( placement,
-          Printf.sprintf "die %.1f x %.1f um, %d rows, HPWL %.0f um, utilization %.0f%%"
-            die_w die_h (Place.row_count placement) (Place.hpwl_um placement)
-            (Place.utilization placement *. 100.0) ))
-  in
-  (* 5. clock-tree synthesis *)
-  let clock_tree, cts_step =
-    step "cts" (fun () ->
-        let clock_tree = Cts.synthesize placement in
-        Obs.set_attr "sinks" (Obs.Int (Cts.sink_count clock_tree));
-        Obs.set_attr "skew_ps" (Obs.Float (Cts.skew_ps clock_tree));
-        ( clock_tree,
-          if Cts.sink_count clock_tree = 0 then "no registers - skipped"
-          else Format.asprintf "%a" Cts.pp_summary clock_tree ))
-  in
-  (* 6. routing *)
-  let routed, route_step =
-    step "routing" (fun () ->
-        let routed = Route.route placement cfg.route_effort in
-        let nx, ny = Route.grid_size routed in
-        Obs.set_attr "wirelength_um" (Obs.Float (Route.wirelength_um routed));
-        Obs.set_attr "vias" (Obs.Int (Route.via_count routed));
-        Obs.set_attr "overflow" (Obs.Int (Route.overflow routed));
-        ( routed,
-          Printf.sprintf "grid %dx%d, wirelength %.0f um, %d vias, overflow %d" nx ny
-            (Route.wirelength_um routed) (Route.via_count routed) (Route.overflow routed)
-        ))
-  in
-  let wire_length_of_net id = Route.net_wirelength_um routed id in
-  (* 7. timing with routed wire lengths *)
-  let timing, sta_step =
-    step "sta" (fun () ->
-        let timing =
-          Timing.analyze mapped ~node:cfg.node ~wire_length_of_net
-            ~clock_skew_ps:(Cts.skew_ps clock_tree) ~clock_period_ps:cfg.clock_period_ps
-            ()
-        in
-        Obs.set_attr "wns_ps" (Obs.Float timing.Timing.wns_ps);
-        Obs.set_attr "fmax_mhz" (Obs.Float timing.Timing.max_frequency_mhz);
-        (timing, Format.asprintf "%a" Timing.pp_report timing))
-  in
-  (* 8. power at the constrained clock *)
-  let power, power_step =
-    step "power" (fun () ->
-        let clock_mhz = 1e6 /. cfg.clock_period_ps in
-        let power =
-          Power.estimate mapped ~node:cfg.node ~clock_mhz ~wire_length_of_net
-            ~cycles:cfg.power_cycles
-            ?clock_tree_cap_ff:
-              (if Cts.sink_count clock_tree = 0 then None
-               else Some (Cts.total_cap_ff clock_tree))
-            ()
-        in
-        Obs.set_attr "total_uw" (Obs.Float power.Power.total_uw);
-        (power, Format.asprintf "%a" Power.pp_report power))
-  in
-  (* 9. signoff DRC *)
-  let drc, drc_step =
-    step "drc" (fun () ->
-        let drc = Drc.check routed in
-        Obs.set_attr "violations" (Obs.Int (List.length drc.Drc.violations));
-        ( drc,
-          if drc.Drc.clean then Printf.sprintf "clean (%d checks)" drc.Drc.checks_run
-          else
-            Printf.sprintf "%d violations in %d checks"
-              (List.length drc.Drc.violations)
-              drc.Drc.checks_run ))
-  in
-  (* 10. GDS export *)
-  let layout, gds_step =
-    step "gds" (fun () ->
-        let layout = Gds.build routed in
-        Obs.set_attr "rects" (Obs.Int (Gds.rect_count layout));
-        ( layout,
-          Printf.sprintf "%d rects, %.4f mm2" (Gds.rect_count layout)
-            (Gds.area_mm2 layout) ))
-  in
-  let ppa =
-    {
-      area_um2 = synth_report.Synth.mapped_area_um2;
-      cells = synth_report.Synth.mapped_cells + synth_report.Synth.flip_flops;
-      fmax_mhz = timing.Timing.max_frequency_mhz;
-      wns_ps = timing.Timing.wns_ps;
-      total_power_uw = power.Power.total_uw;
-      wirelength_um = Route.wirelength_um routed;
-      drc_clean = drc.Drc.clean;
-    }
-  in
-  if Obs.enabled () then begin
-    Obs.set_attr "cells" (Obs.Int ppa.cells);
-    Obs.set_attr "wns_ps" (Obs.Float ppa.wns_ps);
-    Obs.set_attr "wirelength_um" (Obs.Float ppa.wirelength_um);
-    Obs.set_attr "drc_clean" (Obs.Bool ppa.drc_clean)
-  end;
-  {
-    cfg;
-    mapped;
-    synth_report;
-    placement;
-    routed;
-    clock_tree;
-    timing;
-    power;
-    drc;
-    layout;
-    ppa;
-    steps =
-      [ synth_step; sizing_step; buffering_step; place_step; cts_step; route_step;
-        sta_step; power_step; drc_step; gds_step ];
-  }
+  try
+    (* 1. synthesis *)
+    let mapped, synth_report =
+      step "synthesis"
+        (List.map
+           (fun opts () ->
+             let mapped, r = Synth.synthesize netlist ~node:cfg.node opts in
+             Obs.set_attr "cells" (Obs.Int r.Synth.mapped_cells);
+             Obs.set_attr "aig_nodes" (Obs.Int r.Synth.aig_nodes_optimized);
+             ( (mapped, r),
+               Printf.sprintf "%d AIG nodes -> %d, depth %d -> %d, %d cells, %.0f um2"
+                 r.Synth.aig_nodes_initial r.Synth.aig_nodes_optimized
+                 r.Synth.aig_depth_initial r.Synth.aig_depth_optimized
+                 r.Synth.mapped_cells r.Synth.mapped_area_um2 ))
+           (dedup_rungs
+              [ cfg.synth_options; Synth.default_options; Synth.low_effort_options ]))
+    in
+    (* 2. timing-driven gate sizing *)
+    let () =
+      step "sizing"
+        (List.map
+           (fun rounds () ->
+             if rounds = 0 then ((), "disabled")
+             else begin
+               let upsized, arrival = size_gates mapped ~node:cfg.node ~rounds in
+               Obs.set_attr "cells_upsized" (Obs.Int upsized);
+               ( (),
+                 Printf.sprintf
+                   "%d cells upsized over <=%d rounds, ideal-wire arrival %.0f ps"
+                   upsized rounds arrival )
+             end)
+           (dedup_rungs [ cfg.sizing_rounds; 0 ]))
+    in
+    (* 3. fanout buffering *)
+    let () =
+      step "buffering"
+        (List.map
+           (fun max_fanout () ->
+             match max_fanout with
+             | None -> ((), "disabled")
+             | Some max_fanout ->
+               let buffers = Synth.buffer_fanout mapped ~node:cfg.node ~max_fanout in
+               Obs.set_attr "buffers" (Obs.Int buffers);
+               ( (),
+                 Printf.sprintf "%d buffers inserted (max fanout %d)" buffers
+                   max_fanout ))
+           (dedup_rungs [ cfg.max_fanout; None ]))
+    in
+    (* sizing and buffering change the cell population: refresh the report *)
+    let synth_report =
+      { synth_report with
+        Synth.mapped_area_um2 = Synth.mapped_area_um2 mapped ~node:cfg.node;
+        Synth.mapped_cells =
+          List.fold_left (fun acc (_, n) -> acc + n) 0 (Synth.cell_usage mapped) }
+    in
+    (* 4. placement *)
+    let placement =
+      step "placement"
+        (List.map
+           (fun effort () ->
+             let placement =
+               Place.place mapped ~node:cfg.node ~utilization:cfg.utilization effort
+             in
+             let die_w, die_h = Place.die_um placement in
+             Obs.set_attr "cells" (Obs.Int synth_report.Synth.mapped_cells);
+             Obs.set_attr "hpwl_um" (Obs.Float (Place.hpwl_um placement));
+             Obs.set_attr "rows" (Obs.Int (Place.row_count placement));
+             ( placement,
+               Printf.sprintf
+                 "die %.1f x %.1f um, %d rows, HPWL %.0f um, utilization %.0f%%" die_w
+                 die_h (Place.row_count placement) (Place.hpwl_um placement)
+                 (Place.utilization placement *. 100.0) ))
+           (dedup_rungs [ cfg.place_effort; Place.default_effort; Place.low_effort ]))
+    in
+    (* 5. clock-tree synthesis *)
+    let clock_tree =
+      step "cts"
+        [ (fun () ->
+            let clock_tree = Cts.synthesize placement in
+            Obs.set_attr "sinks" (Obs.Int (Cts.sink_count clock_tree));
+            Obs.set_attr "skew_ps" (Obs.Float (Cts.skew_ps clock_tree));
+            ( clock_tree,
+              if Cts.sink_count clock_tree = 0 then "no registers - skipped"
+              else Format.asprintf "%a" Cts.pp_summary clock_tree )) ]
+    in
+    (* 6. routing *)
+    let routed =
+      step "routing"
+        (List.map
+           (fun effort () ->
+             let routed = Route.route placement effort in
+             let nx, ny = Route.grid_size routed in
+             Obs.set_attr "wirelength_um" (Obs.Float (Route.wirelength_um routed));
+             Obs.set_attr "vias" (Obs.Int (Route.via_count routed));
+             Obs.set_attr "overflow" (Obs.Int (Route.overflow routed));
+             ( routed,
+               Printf.sprintf "grid %dx%d, wirelength %.0f um, %d vias, overflow %d"
+                 nx ny (Route.wirelength_um routed) (Route.via_count routed)
+                 (Route.overflow routed) ))
+           (dedup_rungs [ cfg.route_effort; Route.default_effort; Route.low_effort ]))
+    in
+    let wire_length_of_net id = Route.net_wirelength_um routed id in
+    (* 7. timing with routed wire lengths *)
+    let timing =
+      step "sta"
+        [ (fun () ->
+            let timing =
+              Timing.analyze mapped ~node:cfg.node ~wire_length_of_net
+                ~clock_skew_ps:(Cts.skew_ps clock_tree)
+                ~clock_period_ps:cfg.clock_period_ps ()
+            in
+            Obs.set_attr "wns_ps" (Obs.Float timing.Timing.wns_ps);
+            Obs.set_attr "fmax_mhz" (Obs.Float timing.Timing.max_frequency_mhz);
+            (timing, Format.asprintf "%a" Timing.pp_report timing)) ]
+    in
+    (* 8. power at the constrained clock *)
+    let power =
+      step "power"
+        (List.map
+           (fun cycles () ->
+             let clock_mhz = 1e6 /. cfg.clock_period_ps in
+             let power =
+               Power.estimate mapped ~node:cfg.node ~clock_mhz ~wire_length_of_net
+                 ~cycles
+                 ?clock_tree_cap_ff:
+                   (if Cts.sink_count clock_tree = 0 then None
+                    else Some (Cts.total_cap_ff clock_tree))
+                 ()
+             in
+             Obs.set_attr "total_uw" (Obs.Float power.Power.total_uw);
+             (power, Format.asprintf "%a" Power.pp_report power))
+           (dedup_rungs [ cfg.power_cycles; max 25 (cfg.power_cycles / 4) ]))
+    in
+    (* 9. signoff DRC *)
+    let drc =
+      step "drc"
+        [ (fun () ->
+            let drc = Drc.check routed in
+            Obs.set_attr "violations" (Obs.Int (List.length drc.Drc.violations));
+            ( drc,
+              if drc.Drc.clean then Printf.sprintf "clean (%d checks)" drc.Drc.checks_run
+              else
+                Printf.sprintf "%d violations in %d checks"
+                  (List.length drc.Drc.violations)
+                  drc.Drc.checks_run )) ]
+    in
+    (* 10. GDS export *)
+    let layout =
+      step "gds"
+        [ (fun () ->
+            let layout = Gds.build routed in
+            Obs.set_attr "rects" (Obs.Int (Gds.rect_count layout));
+            ( layout,
+              Printf.sprintf "%d rects, %.4f mm2" (Gds.rect_count layout)
+                (Gds.area_mm2 layout) )) ]
+    in
+    let ppa =
+      {
+        area_um2 = synth_report.Synth.mapped_area_um2;
+        cells = synth_report.Synth.mapped_cells + synth_report.Synth.flip_flops;
+        fmax_mhz = timing.Timing.max_frequency_mhz;
+        wns_ps = timing.Timing.wns_ps;
+        total_power_uw = power.Power.total_uw;
+        wirelength_um = Route.wirelength_um routed;
+        drc_clean = drc.Drc.clean;
+      }
+    in
+    let execs = List.rev !execs in
+    let degraded_steps =
+      List.filter_map (fun e -> if e.rung > 0 then Some e.step else None) execs
+    in
+    let verdict = if degraded_steps = [] then Ok else Degraded degraded_steps in
+    if Obs.enabled () then begin
+      Obs.set_attr "cells" (Obs.Int ppa.cells);
+      Obs.set_attr "wns_ps" (Obs.Float ppa.wns_ps);
+      Obs.set_attr "wirelength_um" (Obs.Float ppa.wirelength_um);
+      Obs.set_attr "drc_clean" (Obs.Bool ppa.drc_clean);
+      Obs.set_attr "verdict" (Obs.Str (verdict_to_string verdict))
+    end;
+    Completed
+      {
+        cfg;
+        mapped;
+        synth_report;
+        placement;
+        routed;
+        clock_tree;
+        timing;
+        power;
+        drc;
+        layout;
+        ppa;
+        steps = List.rev !reports;
+        execs;
+        verdict;
+      }
+  with Step_gave_up (failed_step, failure_reason) ->
+    if Obs.enabled () then
+      Obs.set_attr "verdict" (Obs.Str (verdict_to_string (Failed failed_step)));
+    Aborted
+      {
+        failed_step;
+        failure_reason;
+        trail = List.rev !execs;
+        trail_reports = List.rev !reports;
+      }
+
+let run netlist cfg =
+  match run_guarded netlist cfg with
+  | Completed r -> r
+  | Aborted a ->
+    failwith
+      (Printf.sprintf "Flow.run: step %s gave up (%s)" a.failed_step a.failure_reason)
 
 let run_design entry cfg = run (Designs.netlist entry) cfg
 
@@ -334,4 +499,12 @@ let pp_summary ppf r =
   Format.fprintf ppf
     "  PPA: %.0f um2, %d cells, fmax %.1f MHz, %.1f uW, wirelength %.0f um, DRC %s@."
     r.ppa.area_um2 r.ppa.cells r.ppa.fmax_mhz r.ppa.total_power_uw r.ppa.wirelength_um
-    (if r.ppa.drc_clean then "clean" else "VIOLATIONS")
+    (if r.ppa.drc_clean then "clean" else "VIOLATIONS");
+  (match r.verdict with
+  | Ok -> ()
+  | verdict ->
+    let retries =
+      List.fold_left (fun acc e -> acc + e.attempts - 1) 0 r.execs
+    in
+    Format.fprintf ppf "  verdict: %s (%d retried attempts)@."
+      (verdict_to_string verdict) retries)

@@ -59,6 +59,26 @@ type step_report = {
           collector was installed during {!run} *)
 }
 
+type verdict =
+  | Ok  (** every step completed at its configured effort *)
+  | Degraded of string list
+      (** completed, but the named steps only succeeded on a lower
+          rung of their effort-degradation ladder *)
+  | Failed of string
+      (** the named step exhausted its retries and its ladder *)
+
+type step_exec = {
+  step : string;
+  attempts : int;  (** total attempts across all ladder rungs (>= 1) *)
+  rung : int;
+      (** ladder rung of the successful attempt: 0 = configured effort,
+          [> 0] = degraded, [-1] = the step gave up *)
+  sim_backoff_ms : float;
+      (** simulated time this step spent on backoff delays and blown
+          hang budgets (see {!Educhip_fault.Guard}) *)
+  step_failure : string option;  (** give-up reason; [None] on success *)
+}
+
 type result = {
   cfg : config;
   mapped : Educhip_netlist.Netlist.t;
@@ -72,19 +92,62 @@ type result = {
   layout : Educhip_gds.Gds.t;
   ppa : ppa;
   steps : step_report list;  (** one per template step, in order *)
+  execs : step_exec list;  (** per-step guarded-execution records, in order *)
+  verdict : verdict;  (** {!Ok} or {!Degraded} — a completed run never
+                          carries {!Failed} *)
 }
 
-val run : Educhip_netlist.Netlist.t -> config -> result
-(** Execute the whole template on an elaborated RTL netlist.
+type abort = {
+  failed_step : string;
+  failure_reason : string;
+  trail : step_exec list;
+      (** execution records up to and including the failed step *)
+  trail_reports : step_report list;  (** matching human-readable lines *)
+}
+
+type run_outcome = Completed of result | Aborted of abort
+
+val outcome_verdict : run_outcome -> verdict
+(** The flow-level verdict: the result's own on [Completed],
+    [Failed step] on [Aborted]. *)
+
+val verdict_to_string : verdict -> string
+
+val run_guarded :
+  ?policy:Educhip_fault.Guard.policy ->
+  Educhip_netlist.Netlist.t ->
+  config ->
+  run_outcome
+(** Execute the whole template on an elaborated RTL netlist, every step
+    under an {!Educhip_fault.Guard}: a failing step (a kernel exception,
+    an injected fault from an armed {!Educhip_fault.Fault} plan, or a
+    blown step budget) is retried with capped exponential backoff in
+    simulated time, then re-run down an effort-degradation ladder
+    (configured preset → default → low), and only aborts the flow once
+    the ladder is exhausted. Step exceptions therefore never escape:
+    the outcome is always [Completed] (verdict {!Ok} or {!Degraded}) or
+    [Aborted] (verdict {!Failed}), and with a fault plan armed the
+    outcome is reproducible from the plan's [(seed, plan)].
 
     When an [Educhip_obs.Obs] collector is installed, the run is traced:
     a root [flow.run] span contains one child span per {!step_names}
     entry carrying the step's key numbers (cells, HPWL, wirelength, WNS,
-    DRC violations, ...) as attributes, the kernels nest their own spans
-    and report their counters underneath, and every kernel counter
-    family is pre-declared so it appears in the metrics dump even at
-    zero. Without a collector the instrumentation is a no-op.
-    @raise Invalid_argument on an empty or already-mapped netlist. *)
+    DRC violations, ...) plus its [attempts] and degradation rung as
+    attributes; retries, degradations, and give-ups are counted in the
+    {!robustness_metric_names} families, and every kernel counter family
+    is pre-declared so it appears in the metrics dump even at zero.
+    Without a collector the instrumentation — and the disarmed fault
+    probes — are no-ops.
+    @raise Invalid_argument on an empty netlist, a netlist with no
+    outputs, or an already technology-mapped netlist. *)
+
+val run : Educhip_netlist.Netlist.t -> config -> result
+(** {!run_guarded} with the default policy, unwrapped for the common
+    case where nothing is expected to fail.
+    @raise Invalid_argument on an empty netlist, a netlist with no
+    outputs, or an already technology-mapped netlist.
+    @raise Failure if a step exhausts its retry/degradation budget
+    (only reachable under fault injection or a kernel defect). *)
 
 val run_design : Educhip_designs.Designs.entry -> config -> result
 (** Convenience: elaborate a benchmark entry and {!run} it. *)
@@ -99,3 +162,13 @@ val kernel_metric_names : string list
 (** Every counter family the flow's kernels can report to
     [Educhip_obs.Obs] (synthesis, placement, routing, SAT), declared at
     zero at the start of a telemetry-enabled {!run}. *)
+
+val robustness_metric_names : string list
+(** Counter families the guarded flow reports: [flow.step_retries],
+    [flow.step_degradations], [flow.steps_failed]. *)
+
+val fault_sites : string list
+(** Every [Educhip_fault] site a {!run_guarded} can probe: one
+    [flow.<step>] site per {!step_names} entry plus the kernel-interior
+    sites of synthesis, placement, and routing. (SAT's [sat.solve] site
+    is excluded — the template itself never calls the solver.) *)

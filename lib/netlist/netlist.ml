@@ -219,7 +219,7 @@ let combinational_graph t =
 let combinational_topo_order t =
   match Digraph.topological_order (combinational_graph t) with
   | Some order -> order
-  | None -> failwith "Netlist.combinational_topo_order: combinational cycle"
+  | None -> invalid_arg "Netlist.combinational_topo_order: combinational cycle"
 
 (* Depth in gate stages: levels count edges, and the final edge into an
    Output/DFF sink crosses no gate, so the gate count on the longest
@@ -227,7 +227,7 @@ let combinational_topo_order t =
    feeds the sink directly). *)
 let logic_depth t =
   match Digraph.longest_path_levels (combinational_graph t) with
-  | None -> failwith "Netlist.logic_depth: combinational cycle"
+  | None -> invalid_arg "Netlist.logic_depth: combinational cycle"
   | Some levels ->
     let stages = ref 0 in
     iter_cells t (fun id c ->

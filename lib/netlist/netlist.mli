@@ -126,12 +126,13 @@ val count_by_kind : t -> (string * int) list
 val logic_depth : t -> int
 (** Longest combinational path (in cells) between sequential boundaries
     (inputs/DFF outputs to outputs/DFF inputs). 0 for purely sequential or
-    empty netlists. *)
+    empty netlists.
+    @raise Invalid_argument if a combinational cycle exists. *)
 
 val combinational_topo_order : t -> cell_id array
 (** Topological order of all cells treating DFF outputs as sources
     (the DFF D-input edge is cut).
-    @raise Failure if a combinational cycle exists. *)
+    @raise Invalid_argument if a combinational cycle exists. *)
 
 type violation =
   | Arity_mismatch of cell_id

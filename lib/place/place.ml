@@ -2,8 +2,11 @@ module Netlist = Educhip_netlist.Netlist
 module Pdk = Educhip_pdk.Pdk
 module Rng = Educhip_util.Rng
 module Obs = Educhip_obs.Obs
+module Fault = Educhip_fault.Fault
 
 let metric_names = [ "place.moves_accepted"; "place.moves_rejected" ]
+
+let fault_sites = [ "place.anneal" ]
 
 type effort = { global_iterations : int; annealing_moves : int; seed : int }
 
@@ -277,7 +280,10 @@ let place netlist ~node ?(utilization = 0.65) effort =
      Swapping two cells of similar width (or adjacent cells in one row)
      keeps the placement legal without re-packing; the cost delta is the
      HPWL change over the nets touching the two cells. *)
-  if effort.annealing_moves > 0 then begin
+  (* A corrupt anneal skips detailed placement entirely: the legalized
+     global placement is still valid, just with a worse wirelength. *)
+  if effort.annealing_moves > 0 && not (Fault.corrupted "place.anneal") then begin
+    Fault.check "place.anneal";
     let movable_arr = Array.of_list movable in
     let m = Array.length movable_arr in
     if m >= 2 then

@@ -74,3 +74,8 @@ val metric_names : string list
     telemetry is enabled (annealing moves accepted/rejected); the
     temperature schedule is additionally sampled into the
     [place.temperature] histogram. *)
+
+val fault_sites : string list
+(** [Educhip_fault] probe sites inside this kernel: ["place.anneal"]
+    (probed before detailed placement; a [Corrupt] arming skips the
+    anneal, returning the legalized global placement unrefined). *)

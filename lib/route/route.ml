@@ -4,8 +4,11 @@ module Place = Educhip_place.Place
 module Pqueue = Educhip_util.Pqueue
 module Union_find = Educhip_util.Union_find
 module Obs = Educhip_obs.Obs
+module Fault = Educhip_fault.Fault
 
 let metric_names = [ "route.rrr_rounds"; "route.nets_ripped" ]
+
+let fault_sites = [ "route.negotiate" ]
 
 type effort = { rrr_rounds : int; seed : int }
 
@@ -232,9 +235,15 @@ let route placement effort =
         negotiate (round + 1)
     end
   in
-  Obs.with_span "route.negotiate"
-    ~attrs:[ ("max_rounds", Obs.Int effort.rrr_rounds) ]
-    (fun () -> negotiate 0);
+  (* A corrupt negotiation skips rip-up-and-reroute: the initial greedy
+     routes are returned as-is, typically with residual overflow that a
+     flow-level acceptance check can see. *)
+  if not (Fault.corrupted "route.negotiate") then begin
+    Fault.check "route.negotiate";
+    Obs.with_span "route.negotiate"
+      ~attrs:[ ("max_rounds", Obs.Int effort.rrr_rounds) ]
+      (fun () -> negotiate 0)
+  end;
   if (total_overflow (), total_edges ()) > !best_score then restore !best;
   let by_driver = Hashtbl.create 64 in
   List.iter (fun net -> Hashtbl.replace by_driver net.driver net) nets;

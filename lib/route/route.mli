@@ -68,3 +68,8 @@ val metric_names : string list
     telemetry is enabled (negotiation rounds run, nets ripped up); the
     post-pass overflow trajectory is additionally sampled into the
     [route.overflow] histogram. *)
+
+val fault_sites : string list
+(** [Educhip_fault] probe sites inside this kernel: ["route.negotiate"]
+    (probed before rip-up-and-reroute; a [Corrupt] arming skips
+    negotiation so the result keeps its residual {!overflow}). *)

@@ -327,7 +327,7 @@ let counter d ~width:w ?enable () =
 
 let elaborate d =
   if d.finished then invalid_arg "Rtl.elaborate: already elaborated";
-  if d.output_count = 0 then failwith "Rtl.elaborate: design has no outputs";
+  if d.output_count = 0 then invalid_arg "Rtl.elaborate: design has no outputs";
   d.finished <- true;
   (match Netlist.validate d.netlist with
   | [] -> ()
@@ -337,5 +337,5 @@ let elaborate d =
         (Format.pp_print_list Netlist.pp_violation)
         violations
     in
-    failwith msg);
+    invalid_arg msg);
   d.netlist

@@ -22,7 +22,8 @@ val create : name:string -> design
 
 val elaborate : design -> Educhip_netlist.Netlist.t
 (** Finish the design and return its netlist.
-    @raise Failure if the design has no outputs or fails validation. *)
+    @raise Invalid_argument if the design was already elaborated, has no
+    outputs, or fails validation. *)
 
 val statement_count : design -> int
 (** Number of RTL statements elaborated so far (the E2 denominator). *)

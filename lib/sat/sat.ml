@@ -418,13 +418,22 @@ let solve_inner ~assumptions ~conflict_limit t =
   end
 
 module Obs = Educhip_obs.Obs
+module Fault = Educhip_fault.Fault
+
+let fault_sites = [ "sat.solve" ]
 
 let solve ?(assumptions = []) ?conflict_limit t =
+  Fault.check "sat.solve";
   let d0 = t.n_decisions
   and c0 = t.n_conflicts
   and p0 = t.n_propagations
   and r0 = t.n_restarts in
-  let result = solve_inner ~assumptions ~conflict_limit t in
+  let result =
+    (* A corrupt solve behaves like an immediate conflict-limit hit:
+       [Unknown] is a legal inconclusive answer every caller handles. *)
+    if Fault.corrupted "sat.solve" then Unknown
+    else solve_inner ~assumptions ~conflict_limit t
+  in
   if Obs.enabled () then begin
     Obs.add_counter "sat.decisions" (t.n_decisions - d0);
     Obs.add_counter "sat.conflicts" (t.n_conflicts - c0);

@@ -51,6 +51,11 @@ val metric_names : string list
     per-solve deltas of {!stats}); exposed so orchestrators can declare
     them up front. *)
 
+val fault_sites : string list
+(** [Educhip_fault] probe sites inside this kernel: ["sat.solve"]
+    (probed at the head of {!solve}; a [Corrupt] arming returns
+    [Unknown], the same inconclusive answer as a conflict-limit hit). *)
+
 (** {1 Convenience constraints} *)
 
 val add_and : t -> int -> int -> int -> unit

@@ -2,9 +2,12 @@ module Netlist = Educhip_netlist.Netlist
 module Aig = Educhip_aig.Aig
 module Pdk = Educhip_pdk.Pdk
 module Obs = Educhip_obs.Obs
+module Fault = Educhip_fault.Fault
 
 let metric_names =
   [ "synth.aig_rewrites"; "synth.cells_upsized"; "synth.buffers_inserted" ]
+
+let fault_sites = [ "synth.map" ]
 
 type objective = Area | Delay
 
@@ -145,6 +148,14 @@ let constant_table table n_leaves =
 let map seq ~node options =
   if options.cut_k < 2 || options.cut_k > 6 then
     invalid_arg "Synth.map: cut_k must be in 2..6";
+  Fault.check "synth.map";
+  (* A corrupt mapping keeps only one cut per node: structurally valid
+     output, visibly worse area — the guard's acceptance check or a
+     retry is expected to recover it. *)
+  let options =
+    if Fault.corrupted "synth.map" then { options with cuts_per_node = 1 }
+    else options
+  in
   let aig = seq.Aig.aig in
   let matches = match_table node in
   let cuts = Aig.enumerate_cuts aig ~k:options.cut_k ~per_node:options.cuts_per_node in

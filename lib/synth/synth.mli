@@ -63,7 +63,8 @@ val synthesize :
   options ->
   Educhip_netlist.Netlist.t * report
 (** Full flow: extract → optimize → map, with the measurement record used
-    by flow reports and benches. *)
+    by flow reports and benches.
+    @raise Failure propagated from {!map} if a cone cannot be covered. *)
 
 val mapped_area_um2 : Educhip_netlist.Netlist.t -> node:Educhip_pdk.Pdk.node -> float
 (** Total standard-cell area of a mapped netlist (library cells looked up
@@ -119,3 +120,8 @@ val metric_names : string list
     telemetry is enabled: AIG rewrites that stuck per optimization pass,
     cells upsized by the sizing loop, buffers inserted for fanout
     control. *)
+
+val fault_sites : string list
+(** [Educhip_fault] probe sites inside this kernel: ["synth.map"]
+    (probed at the head of technology mapping; a [Corrupt] arming
+    degrades the cut budget to one cut per node). *)

@@ -1,0 +1,33 @@
+(* @faultcheck smoke: crash each probe site once on a small design with a
+   single retry; the guarded flow must terminate with a verdict at every
+   site and recover at all of them (one retry absorbs one crash). *)
+
+module Fault = Educhip_fault.Fault
+module Guard = Educhip_fault.Guard
+module Flow = Educhip_flow.Flow
+
+let () =
+  let node = Educhip_pdk.Pdk.find_node "edu130" in
+  let cfg = Flow.config ~node Flow.Open_flow in
+  let netlist = Educhip_designs.Designs.netlist (Educhip_designs.Designs.find "gray8") in
+  let policy = { Guard.default_policy with Guard.max_retries = 1 } in
+  let failures = ref 0 in
+  List.iter
+    (fun site ->
+      let plan = [ Fault.arming site Fault.Crash ] in
+      let outcome =
+        Fault.with_plan ~seed:1 plan (fun () ->
+            Flow.run_guarded ~policy netlist cfg)
+      in
+      let verdict = Flow.verdict_to_string (Flow.outcome_verdict outcome) in
+      Printf.printf "faultcheck  %-16s crash@1  -> %s\n" site verdict;
+      match outcome with
+      | Flow.Completed _ -> ()
+      | Flow.Aborted _ -> incr failures)
+    Flow.fault_sites;
+  if !failures > 0 then begin
+    Printf.printf "faultcheck: %d site(s) did not recover from a single crash\n"
+      !failures;
+    exit 1
+  end;
+  print_endline "faultcheck: all sites recovered"

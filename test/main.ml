@@ -27,4 +27,5 @@ let () =
       ("bmc", Test_bmc.suite);
       ("core", Test_core.suite);
       ("obs", Test_obs.suite);
+      ("fault", Test_fault.suite);
     ]

@@ -1,0 +1,345 @@
+module Fault = Educhip_fault.Fault
+module Guard = Educhip_fault.Guard
+module Flow = Educhip_flow.Flow
+module Sat = Educhip_sat.Sat
+module Pdk = Educhip_pdk.Pdk
+module Designs = Educhip_designs.Designs
+module Cloudhub = Educhip.Cloudhub
+
+let check = Alcotest.check
+
+let node = Pdk.find_node "edu130"
+
+(* {2 Fault plan mechanics} *)
+
+let test_arming_parser () =
+  let a = Fault.arming_of_string "flow.routing:crash" in
+  check Alcotest.string "site" "flow.routing" a.Fault.site;
+  check Alcotest.string "kind" "crash" (Fault.kind_name a.Fault.fault);
+  check Alcotest.int "count" 1 a.Fault.count;
+  let b = Fault.arming_of_string "place.anneal:hang@3" in
+  check Alcotest.int "count@3" 3 b.Fault.count;
+  check Alcotest.string "round trip" "place.anneal:hang@3" (Fault.arming_to_string b);
+  List.iter
+    (fun bad ->
+      match Fault.arming_of_string bad with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "accepted malformed spec %S" bad)
+    [ "nosite"; "x:"; ":crash"; "x:explode"; "x:crash@0"; "x:crash@z" ]
+
+let test_probe_consumption () =
+  Fault.with_plan ~seed:1 [ Fault.arming ~count:2 "s" Fault.Crash ] (fun () ->
+      check Alcotest.int "armed" 2 (Fault.remaining "s");
+      (match Fault.check "s" with
+      | exception Fault.Injected ("s", Fault.Crash) -> ()
+      | _ -> Alcotest.fail "first probe must crash");
+      (match Fault.check "s" with
+      | exception Fault.Injected _ -> ()
+      | _ -> Alcotest.fail "second probe must crash");
+      Fault.check "s" (* exhausted: must not raise *);
+      check Alcotest.int "spent" 0 (Fault.remaining "s");
+      Fault.check "other" (* unarmed site: no-op *));
+  check Alcotest.bool "disarmed after with_plan" false (Fault.active ());
+  Fault.check "s" (* disarmed: no-op *)
+
+let test_corrupt_probe () =
+  Fault.with_plan ~seed:1 [ Fault.arming "s" Fault.Corrupt ] (fun () ->
+      check Alcotest.bool "fires once" true (Fault.corrupted "s");
+      check Alcotest.bool "then spent" false (Fault.corrupted "s");
+      Fault.check "s" (* corrupt arming never raises *))
+
+(* {2 Backoff schedule: capped and monotone} *)
+
+let test_backoff_capped_monotone () =
+  let p = Guard.default_policy in
+  let delays = List.map (Guard.backoff_ms p) [ 1; 2; 3; 4; 5; 6 ] in
+  check
+    Alcotest.(list (float 1e-9))
+    "schedule" [ 50.; 100.; 200.; 400.; 400.; 400. ] delays;
+  List.iter
+    (fun d -> check Alcotest.bool "capped" true (d <= p.Guard.max_backoff_ms))
+    delays;
+  ignore
+    (List.fold_left
+       (fun prev d ->
+         check Alcotest.bool "monotone" true (d >= prev);
+         d)
+       0.0 delays);
+  check Alcotest.(float 1e-9) "no delay before first attempt" 0.0 (Guard.backoff_ms p 0)
+
+(* {2 Guard semantics} *)
+
+let test_guard_retry_recovers () =
+  Fault.with_plan ~seed:1 [ Fault.arming "g" Fault.Crash ] (fun () ->
+      let e = Guard.execute ~site:"g" [ (fun () -> 41) ] in
+      (match e.Guard.outcome with
+      | Guard.Completed v -> check Alcotest.int "value" 41 v
+      | _ -> Alcotest.fail "expected Completed");
+      check Alcotest.int "attempts" 2 e.Guard.attempts;
+      check Alcotest.(float 1e-9) "one backoff" 50.0 e.Guard.sim_ms)
+
+let test_guard_hang_charges_budget () =
+  Fault.with_plan ~seed:1 [ Fault.arming "g" Fault.Hang ] (fun () ->
+      let e = Guard.execute ~site:"g" [ (fun () -> ()) ] in
+      check Alcotest.bool "budget charged" true
+        (e.Guard.sim_ms >= Guard.default_policy.Guard.step_budget_ms))
+
+let test_guard_ladder_descends () =
+  (* three crashes exhaust rung 0 (1 + 2 retries); rung 1 then succeeds *)
+  Fault.with_plan ~seed:1 [ Fault.arming ~count:3 "g" Fault.Crash ] (fun () ->
+      let e = Guard.execute ~site:"g" [ (fun () -> "hi"); (fun () -> "lo") ] in
+      (match e.Guard.outcome with
+      | Guard.Degraded (v, rung) ->
+        check Alcotest.string "fallback value" "lo" v;
+        check Alcotest.int "rung" 1 rung
+      | _ -> Alcotest.fail "expected Degraded");
+      check Alcotest.int "attempts" 4 e.Guard.attempts)
+
+let test_guard_gives_up_without_raising () =
+  Fault.with_plan ~seed:1 [ Fault.arming ~count:99 "g" Fault.Crash ] (fun () ->
+      let e = Guard.execute ~site:"g" [ (fun () -> ()); (fun () -> ()) ] in
+      match e.Guard.outcome with
+      | Guard.Gave_up (Guard.Crashed _) ->
+        check Alcotest.int "attempts" 6 e.Guard.attempts
+      | _ -> Alcotest.fail "expected Gave_up")
+
+let test_guard_corrupt_retries () =
+  Fault.with_plan ~seed:1 [ Fault.arming "g" Fault.Corrupt ] (fun () ->
+      let e = Guard.execute ~site:"g" [ (fun () -> 7) ] in
+      (match e.Guard.outcome with
+      | Guard.Completed v -> check Alcotest.int "value" 7 v
+      | _ -> Alcotest.fail "expected Completed");
+      check Alcotest.int "attempts" 2 e.Guard.attempts)
+
+let test_guard_accept_rejection () =
+  let calls = ref 0 in
+  let e =
+    Guard.execute ~site:"g"
+      ~accept:(fun v -> if v < 2 then Some "too small" else None)
+      [ (fun () -> incr calls; !calls) ]
+  in
+  match e.Guard.outcome with
+  | Guard.Completed v ->
+    check Alcotest.int "accepted third value" 2 v;
+    check Alcotest.int "attempts" 2 e.Guard.attempts
+  | _ -> Alcotest.fail "expected Completed"
+
+(* {2 Guarded flow} *)
+
+let small_cfg = Flow.config ~node Flow.Open_flow
+let small_netlist = Designs.netlist (Designs.find "gray8")
+
+let total_attempts = function
+  | Flow.Completed r ->
+    List.fold_left (fun acc e -> acc + e.Flow.attempts) 0 r.Flow.execs
+  | Flow.Aborted a ->
+    List.fold_left (fun acc e -> acc + e.Flow.attempts) 0 a.Flow.trail
+
+let test_flow_seeded_plan_reproducible () =
+  let plan = [ Fault.arming ~count:2 "flow.routing" Fault.Crash ] in
+  let go () = Fault.with_plan ~seed:11 plan (fun () -> Flow.run_guarded small_netlist small_cfg) in
+  let o1 = go () and o2 = go () in
+  check Alcotest.string "same verdict"
+    (Flow.verdict_to_string (Flow.outcome_verdict o1))
+    (Flow.verdict_to_string (Flow.outcome_verdict o2));
+  check Alcotest.int "same attempts" (total_attempts o1) (total_attempts o2);
+  match o1 with
+  | Flow.Completed r ->
+    check Alcotest.string "recovered" "ok" (Flow.verdict_to_string r.Flow.verdict);
+    let routing = List.find (fun e -> e.Flow.step = "routing") r.Flow.execs in
+    check Alcotest.int "routing retried" 3 routing.Flow.attempts
+  | Flow.Aborted _ -> Alcotest.fail "two crashes with two retries must recover"
+
+let test_flow_every_site_crashed_terminates () =
+  (* every armed site individually saturated with crashes: the run must
+     still terminate with a verdict, never an exception *)
+  List.iter
+    (fun site ->
+      let plan = [ Fault.arming ~count:999 site Fault.Crash ] in
+      let go () =
+        Fault.with_plan ~seed:3 plan (fun () -> Flow.run_guarded small_netlist small_cfg)
+      in
+      let o1 = go () in
+      let v1 = Flow.outcome_verdict o1 in
+      (match v1 with
+      | Flow.Ok ->
+        (* a saturated flow-level site can never pass; only kernel sites
+           that a low-effort rung skips entirely can end Ok *)
+        check Alcotest.bool (site ^ " ok only for skippable kernel site") true
+          (not (String.length site > 5 && String.sub site 0 5 = "flow."))
+      | Flow.Degraded _ | Flow.Failed _ -> ());
+      let o2 = go () in
+      check Alcotest.string (site ^ " verdict reproducible")
+        (Flow.verdict_to_string v1)
+        (Flow.verdict_to_string (Flow.outcome_verdict o2));
+      check Alcotest.int (site ^ " attempts reproducible") (total_attempts o1)
+        (total_attempts o2))
+    Flow.fault_sites
+
+let test_flow_degrades_on_persistent_kernel_crash () =
+  (* crash place.anneal forever: default and high effort anneal, the
+     low-effort rung runs no anneal, so placement completes degraded *)
+  let plan = [ Fault.arming ~count:999 "place.anneal" Fault.Crash ] in
+  match
+    Fault.with_plan ~seed:5 plan (fun () -> Flow.run_guarded small_netlist small_cfg)
+  with
+  | Flow.Completed r -> (
+    match r.Flow.verdict with
+    | Flow.Degraded steps ->
+      check Alcotest.bool "placement degraded" true (List.mem "placement" steps)
+    | v -> Alcotest.failf "expected Degraded, got %s" (Flow.verdict_to_string v))
+  | Flow.Aborted _ -> Alcotest.fail "low-effort placement rung must recover"
+
+let test_flow_failed_verdict_has_trail () =
+  let plan = [ Fault.arming ~count:999 "flow.sta" Fault.Crash ] in
+  match
+    Fault.with_plan ~seed:5 plan (fun () -> Flow.run_guarded small_netlist small_cfg)
+  with
+  | Flow.Completed _ -> Alcotest.fail "saturated sta crash cannot complete"
+  | Flow.Aborted a ->
+    check Alcotest.string "failed step" "sta" a.Flow.failed_step;
+    check Alcotest.string "verdict" "failed(sta)"
+      (Flow.verdict_to_string (Flow.outcome_verdict (Flow.Aborted a)));
+    (* synthesis..routing succeeded, then sta gave up *)
+    check Alcotest.int "trail length" 7 (List.length a.Flow.trail);
+    let last = List.nth a.Flow.trail 6 in
+    check Alcotest.string "trail ends at sta" "sta" last.Flow.step;
+    check Alcotest.bool "give-up reason recorded" true (last.Flow.step_failure <> None)
+
+let test_flow_corrupt_routing_retries () =
+  let plan = [ Fault.arming "flow.routing" Fault.Corrupt ] in
+  match
+    Fault.with_plan ~seed:5 plan (fun () -> Flow.run_guarded small_netlist small_cfg)
+  with
+  | Flow.Completed r ->
+    let routing = List.find (fun e -> e.Flow.step = "routing") r.Flow.execs in
+    check Alcotest.int "corrupted attempt retried" 2 routing.Flow.attempts;
+    check Alcotest.string "recovered" "ok" (Flow.verdict_to_string r.Flow.verdict)
+  | Flow.Aborted _ -> Alcotest.fail "single corruption must recover"
+
+let test_flow_unfaulted_ok () =
+  match Flow.run_guarded small_netlist small_cfg with
+  | Flow.Completed r ->
+    check Alcotest.string "verdict" "ok" (Flow.verdict_to_string r.Flow.verdict);
+    check Alcotest.int "one exec per step" (List.length Flow.step_names)
+      (List.length r.Flow.execs);
+    List.iter
+      (fun e ->
+        check Alcotest.int (e.Flow.step ^ " single attempt") 1 e.Flow.attempts;
+        check Alcotest.(float 1e-9) (e.Flow.step ^ " no sim time") 0.0
+          e.Flow.sim_backoff_ms)
+      r.Flow.execs
+  | Flow.Aborted _ -> Alcotest.fail "unfaulted flow must complete"
+
+(* {2 Kernel-interior site: SAT} *)
+
+let sat_instance () =
+  let t = Sat.create () in
+  let a = Sat.fresh_var t and b = Sat.fresh_var t in
+  Sat.add_clause t [ a; b ];
+  Sat.add_clause t [ -a; b ];
+  t
+
+let test_sat_solve_sites () =
+  (match
+     Fault.with_plan ~seed:1
+       [ Fault.arming "sat.solve" Fault.Crash ]
+       (fun () -> Sat.solve (sat_instance ()))
+   with
+  | exception Fault.Injected ("sat.solve", Fault.Crash) -> ()
+  | _ -> Alcotest.fail "armed sat.solve must crash");
+  (match
+     Fault.with_plan ~seed:1
+       [ Fault.arming "sat.solve" Fault.Corrupt ]
+       (fun () -> Sat.solve (sat_instance ()))
+   with
+  | Sat.Unknown -> ()
+  | _ -> Alcotest.fail "corrupt sat.solve must return Unknown");
+  match Sat.solve (sat_instance ()) with
+  | Sat.Sat _ -> ()
+  | _ -> Alcotest.fail "unfaulted instance is satisfiable"
+
+(* {2 Cloudhub outages} *)
+
+let test_hub_outage_availability () =
+  let p = { Cloudhub.default_params with Cloudhub.outages = Some Cloudhub.default_outages } in
+  let s = Cloudhub.simulate p in
+  check Alcotest.bool "availability below 1" true (s.Cloudhub.availability < 1.0);
+  check Alcotest.bool "availability positive" true (s.Cloudhub.availability > 0.5);
+  check Alcotest.bool "outages happened" true (s.Cloudhub.team_outages > 0);
+  check Alcotest.bool "still completes jobs" true (s.Cloudhub.completed > 100);
+  let s2 = Cloudhub.simulate p in
+  check Alcotest.int "deterministic completed" s.Cloudhub.completed s2.Cloudhub.completed;
+  check Alcotest.int "deterministic outages" s.Cloudhub.team_outages s2.Cloudhub.team_outages;
+  check Alcotest.int "deterministic retries" s.Cloudhub.service_retries
+    s2.Cloudhub.service_retries
+
+let test_hub_no_outages_fully_available () =
+  let s = Cloudhub.simulate Cloudhub.default_params in
+  check Alcotest.(float 1e-9) "availability" 1.0 s.Cloudhub.availability;
+  check Alcotest.int "no outages" 0 s.Cloudhub.team_outages;
+  check Alcotest.int "no retries" 0 s.Cloudhub.service_retries;
+  check Alcotest.int "no give-ups" 0 s.Cloudhub.gave_up
+
+let test_hub_outages_hurt_throughput () =
+  let base = { Cloudhub.default_params with Cloudhub.arrivals_per_week = 1.0 } in
+  let reliable = Cloudhub.simulate base in
+  let flaky =
+    Cloudhub.simulate
+      {
+        base with
+        Cloudhub.outages =
+          Some { Cloudhub.default_outages with Cloudhub.mtbf_weeks = 8.0; mttr_weeks = 4.0 };
+      }
+  in
+  check Alcotest.bool "waits grow under outages" true
+    (flaky.Cloudhub.mean_wait_weeks >= reliable.Cloudhub.mean_wait_weeks);
+  check Alcotest.bool "availability reflects mtbf/mttr" true
+    (flaky.Cloudhub.availability < 0.9)
+
+let test_hub_retry_backoff_capped_monotone () =
+  let o = Cloudhub.default_outages in
+  let delays = List.map (Cloudhub.retry_backoff_weeks o) [ 1; 2; 3; 4; 5; 6 ] in
+  ignore
+    (List.fold_left
+       (fun prev d ->
+         check Alcotest.bool "monotone" true (d >= prev);
+         check Alcotest.bool "capped" true (d <= o.Cloudhub.backoff_cap_weeks);
+         d)
+       0.0 delays);
+  check Alcotest.(float 1e-9) "cap reached" o.Cloudhub.backoff_cap_weeks
+    (Cloudhub.retry_backoff_weeks o 20)
+
+let suite =
+  [
+    Alcotest.test_case "arming parser" `Quick test_arming_parser;
+    Alcotest.test_case "probe consumption" `Quick test_probe_consumption;
+    Alcotest.test_case "corrupt probe" `Quick test_corrupt_probe;
+    Alcotest.test_case "backoff capped and monotone" `Quick test_backoff_capped_monotone;
+    Alcotest.test_case "guard retry recovers" `Quick test_guard_retry_recovers;
+    Alcotest.test_case "guard hang charges budget" `Quick test_guard_hang_charges_budget;
+    Alcotest.test_case "guard ladder descends" `Quick test_guard_ladder_descends;
+    Alcotest.test_case "guard gives up without raising" `Quick
+      test_guard_gives_up_without_raising;
+    Alcotest.test_case "guard corrupt retries" `Quick test_guard_corrupt_retries;
+    Alcotest.test_case "guard accept rejection" `Quick test_guard_accept_rejection;
+    Alcotest.test_case "flow seeded plan reproducible" `Slow
+      test_flow_seeded_plan_reproducible;
+    Alcotest.test_case "flow every site crashed terminates" `Slow
+      test_flow_every_site_crashed_terminates;
+    Alcotest.test_case "flow degrades on persistent kernel crash" `Slow
+      test_flow_degrades_on_persistent_kernel_crash;
+    Alcotest.test_case "flow failed verdict has trail" `Slow
+      test_flow_failed_verdict_has_trail;
+    Alcotest.test_case "flow corrupt routing retries" `Slow
+      test_flow_corrupt_routing_retries;
+    Alcotest.test_case "flow unfaulted ok" `Slow test_flow_unfaulted_ok;
+    Alcotest.test_case "sat.solve fault sites" `Quick test_sat_solve_sites;
+    Alcotest.test_case "hub outage availability" `Quick test_hub_outage_availability;
+    Alcotest.test_case "hub no outages fully available" `Quick
+      test_hub_no_outages_fully_available;
+    Alcotest.test_case "hub outages hurt throughput" `Quick
+      test_hub_outages_hurt_throughput;
+    Alcotest.test_case "hub retry backoff capped monotone" `Quick
+      test_hub_retry_backoff_capped_monotone;
+  ]

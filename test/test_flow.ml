@@ -89,6 +89,47 @@ let test_preset_names () =
   check Alcotest.string "commercial" "commercial" (Flow.preset_name Flow.Commercial_flow);
   check Alcotest.string "teaching" "teaching" (Flow.preset_name Flow.Teaching_flow)
 
+(* degenerate-input matrix: Flow.run must reject malformed netlists with
+   a typed error before any step executes, and still handle legitimately
+   tiny designs *)
+
+let expect_run_rejects name netlist msg =
+  let cfg = Flow.config ~node Flow.Open_flow in
+  Alcotest.check_raises name (Invalid_argument msg) (fun () ->
+      ignore (Flow.run netlist cfg))
+
+let test_rejects_empty_netlist () =
+  expect_run_rejects "empty"
+    (Netlist.create ~name:"empty")
+    "Flow.run: empty netlist (design \"empty\")"
+
+let test_rejects_output_free_netlist () =
+  let n = Netlist.create ~name:"inputs_only" in
+  ignore (Netlist.add_input n ~label:"a");
+  ignore (Netlist.add_input n ~label:"b");
+  expect_run_rejects "no outputs" n
+    "Flow.run: netlist has no outputs (design \"inputs_only\")"
+
+let test_rejects_mapped_netlist () =
+  let mapped, _ =
+    Educhip_synth.Synth.synthesize
+      (Designs.netlist (Designs.find "adder8"))
+      ~node Educhip_synth.Synth.default_options
+  in
+  expect_run_rejects "already mapped" mapped
+    "Flow.run: netlist is already technology-mapped (design \"adder8\")"
+
+let test_single_cell_design_completes () =
+  let d = Educhip_rtl.Rtl.create ~name:"inv1" in
+  let a = Educhip_rtl.Rtl.input d "a" 1 in
+  Educhip_rtl.Rtl.output d "y" (Educhip_rtl.Rtl.bnot d a);
+  let cfg = Flow.config ~node Flow.Open_flow in
+  let r = Flow.run (Educhip_rtl.Rtl.elaborate d) cfg in
+  check Alcotest.string "verdict" "ok" (Flow.verdict_to_string r.Flow.verdict);
+  check Alcotest.bool "drc clean" true r.Flow.ppa.Flow.drc_clean;
+  check Alcotest.int "all steps ran" (List.length Flow.step_names)
+    (List.length r.Flow.steps)
+
 let suite =
   [
     Alcotest.test_case "open flow end to end" `Slow test_open_flow_end_to_end;
@@ -99,4 +140,10 @@ let suite =
     Alcotest.test_case "sequential design through flow" `Slow test_sequential_design_through_flow;
     Alcotest.test_case "summary renders" `Quick test_summary_renders;
     Alcotest.test_case "preset names" `Quick test_preset_names;
+    Alcotest.test_case "rejects empty netlist" `Quick test_rejects_empty_netlist;
+    Alcotest.test_case "rejects output-free netlist" `Quick
+      test_rejects_output_free_netlist;
+    Alcotest.test_case "rejects mapped netlist" `Quick test_rejects_mapped_netlist;
+    Alcotest.test_case "single-cell design completes" `Quick
+      test_single_cell_design_completes;
   ]

@@ -263,7 +263,8 @@ let test_cross_design_raises () =
 let test_no_outputs_fails () =
   let d = Rtl.create ~name:"empty" in
   ignore (Rtl.input d "a" 1);
-  Alcotest.check_raises "no outputs" (Failure "Rtl.elaborate: design has no outputs")
+  Alcotest.check_raises "no outputs"
+    (Invalid_argument "Rtl.elaborate: design has no outputs")
     (fun () -> ignore (Rtl.elaborate d))
 
 let test_statement_count () =
