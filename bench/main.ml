@@ -27,6 +27,7 @@ module Table = Educhip_util.Table
 module Stats = Educhip_util.Stats
 module Obs = Educhip_obs.Obs
 module Jsonout = Educhip_obs.Jsonout
+module Runlog = Educhip_obs.Runlog
 module Fault = Educhip_fault.Fault
 module Guard = Educhip_fault.Guard
 
@@ -863,14 +864,19 @@ let micro_benchmarks () =
 
 (* Flow telemetry: run every E6 design under each preset with a collector
    installed, dump per-step wall times (and final PPA) to BENCH_flow.json,
-   then measure that the disabled-telemetry probes cost nothing. *)
+   append every run to the BENCH_runs.jsonl ledger, report deltas against
+   the previous ledger entries, then measure that the disabled-telemetry
+   probes cost nothing. *)
 let flow_telemetry () =
-  banner "FLOW" "per-step wall times -> BENCH_flow.json, telemetry overhead";
+  banner "FLOW" "per-step wall times -> BENCH_flow.json + BENCH_runs.jsonl ledger";
+  let ledger_path = "BENCH_runs.jsonl" in
+  let history = Runlog.load ~path:ledger_path in
   let presets =
     [ (Flow.Open_flow, "open");
       (Flow.Commercial_flow, "commercial");
       (Flow.Teaching_flow, "teaching") ]
   in
+  let deltas = ref [] in
   let runs =
     List.concat_map
       (fun (preset, preset_label) ->
@@ -878,15 +884,51 @@ let flow_telemetry () =
           (fun name ->
             let entry = Designs.find name in
             let c = Obs.create () in
-            let r =
+            let outcome =
               Obs.with_collector c (fun () ->
-                  Flow.run_design entry (Flow.config ~node:node130 preset))
+                  Flow.run_guarded (Designs.netlist entry)
+                    (Flow.config ~node:node130 preset))
+            in
+            let r =
+              match outcome with
+              | Flow.Completed r -> r
+              | Flow.Aborted a ->
+                failwith (a.Flow.failed_step ^ ": " ^ a.Flow.failure_reason)
             in
             let total_ms =
               List.fold_left
                 (fun acc root -> acc +. Obs.span_duration_ms root)
                 0.0 (Obs.root_spans c)
             in
+            let record =
+              Flow.ledger_record ~design:name ~node:"edu130" ~preset:preset_label
+                outcome
+            in
+            Runlog.append ~path:ledger_path record;
+            (* wall-time trajectory: this run vs the previous ledger entry
+               for the same (design, preset) *)
+            (match
+               Runlog.matching ~design:name ~node:"edu130" ~preset:preset_label
+                 history
+               |> Runlog.last
+             with
+            | Some prev ->
+              let prev_ms = prev.Runlog.total_wall_ms in
+              let pct =
+                if prev_ms > 0.0 then (total_ms -. prev_ms) /. prev_ms *. 100.0
+                else 0.0
+              in
+              deltas :=
+                Jsonout.Obj
+                  [ ("design", Jsonout.String name);
+                    ("preset", Jsonout.String preset_label);
+                    ("prev_total_ms", Jsonout.Float prev_ms);
+                    ("total_ms", Jsonout.Float total_ms);
+                    ("delta_pct", Jsonout.Float pct) ]
+                :: !deltas;
+              Printf.printf "  %-10s %-10s %8.2f ms  (%+.1f%% vs last bench)\n" name
+                preset_label total_ms pct
+            | None -> Printf.printf "  %-10s %-10s %8.2f ms\n" name preset_label total_ms);
             let steps =
               List.map
                 (fun s ->
@@ -898,7 +940,6 @@ let flow_telemetry () =
                         | None -> Jsonout.Null ) ])
                 r.Flow.steps
             in
-            Printf.printf "  %-10s %-10s %8.2f ms\n" name preset_label total_ms;
             Jsonout.Obj
               [ ("design", Jsonout.String name);
                 ("preset", Jsonout.String preset_label);
@@ -917,8 +958,11 @@ let flow_telemetry () =
           e6_designs)
       presets
   in
-  Jsonout.write_file ~path:"BENCH_flow.json" (Jsonout.Obj [ ("runs", Jsonout.List runs) ]);
-  Printf.printf "wrote BENCH_flow.json (%d runs)\n" (List.length runs);
+  Jsonout.write_file ~path:"BENCH_flow.json"
+    (Jsonout.Obj
+       [ ("runs", Jsonout.List runs); ("deltas", Jsonout.List (List.rev !deltas)) ]);
+  Printf.printf "wrote BENCH_flow.json (%d runs, %d deltas) and %d ledger records\n"
+    (List.length runs) (List.length !deltas) (List.length runs);
   (* overhead of the disabled probes: same design, with and without a
      collector installed; medians over a few repetitions *)
   let time_run () =

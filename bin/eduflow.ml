@@ -3,6 +3,8 @@
    Examples:
      dune exec bin/eduflow.exe -- run alu8
      dune exec bin/eduflow.exe -- run mult8 --node edu28 --preset commercial --gds /tmp/m8.gds
+     dune exec bin/eduflow.exe -- run alu8 --trace t.json --ledger runs.jsonl
+     dune exec bin/eduflow.exe -- compare --ledger runs.jsonl
      dune exec bin/eduflow.exe -- list
      dune exec bin/eduflow.exe -- nodes *)
 
@@ -17,6 +19,9 @@ module Dft = Educhip_dft.Dft
 module Synth = Educhip_synth.Synth
 module Table = Educhip_util.Table
 module Obs = Educhip_obs.Obs
+module Prof = Educhip_obs.Prof
+module Runlog = Educhip_obs.Runlog
+module Regress = Educhip_obs.Regress
 module Fault = Educhip_fault.Fault
 module Guard = Educhip_fault.Guard
 
@@ -62,36 +67,30 @@ let list_nodes () =
     Pdk.nodes;
   Table.print table
 
-(* When --trace/--metrics is given, install a collector and arrange for
-   the files to be written exactly once — also on the early [exit] paths
-   (DRC violations, verification failure), hence [at_exit]. *)
-let setup_telemetry trace_path metrics_path =
-  match (trace_path, metrics_path) with
-  | None, None -> ()
-  | _ ->
-    let c = Obs.create () in
-    Obs.install c;
-    let written = ref false in
-    let write () =
-      if not !written then begin
-        written := true;
-        Option.iter
-          (fun path ->
-            Obs.write_trace c ~path;
-            Printf.printf "trace written to %s\n%!" path)
-          trace_path;
-        Option.iter
-          (fun path ->
-            Obs.write_metrics c ~path;
-            Printf.printf "metrics written to %s\n%!" path)
-          metrics_path
-      end
-    in
-    at_exit write
+(* The export plumbing (collector install + exactly-once at_exit writes,
+   covering the early [exit] paths) is shared with the enablement CLI via
+   [Obs.export_on_exit]. A ledger or folded-stack request needs the
+   collector too — per-step wall times come from spans — even when no
+   trace/metrics file was asked for. *)
+let setup_telemetry ?trace ?metrics ?metrics_text ~need_collector () =
+  match Obs.export_on_exit ?trace ?metrics ?metrics_text () with
+  | Some c -> Some c
+  | None ->
+    if not need_collector then None
+    else begin
+      let c = Obs.create () in
+      Obs.install c;
+      Some c
+    end
 
 let run_flow design_name node_name preset_name_ clock_ps gds_path verilog_path verify
-    scan trace_path metrics_path inject_specs fault_seed retries step_budget_ms =
-  setup_telemetry trace_path metrics_path;
+    scan trace_path metrics_path prom_path ledger_path folded_path inject_specs
+    fault_seed retries step_budget_ms =
+  let collector =
+    setup_telemetry ?trace:trace_path ?metrics:metrics_path ?metrics_text:prom_path
+      ~need_collector:(ledger_path <> None || folded_path <> None)
+      ()
+  in
   let plan =
     try List.map Fault.arming_of_string inject_specs
     with Invalid_argument msg ->
@@ -140,8 +139,31 @@ let run_flow design_name node_name preset_name_ clock_ps gds_path verilog_path v
           scanned
         end
       in
+      let outcome = Flow.run_guarded ~policy rtl cfg in
+      (* telemetry deliverables that apply to aborted runs too: the
+         ledger line, the folded stacks, and the profile summary *)
+      (match ledger_path with
+      | Some path ->
+        let record =
+          Flow.ledger_record
+            ~injected:(List.map Fault.arming_to_string plan)
+            ~fault_seed ~max_retries:retries ~design:design_name
+            ~node:node.Pdk.node_name ~preset:(Flow.preset_name preset) outcome
+        in
+        Runlog.append ~path record;
+        Printf.printf "ledger record appended to %s\n" path
+      | None -> ());
+      (match (collector, folded_path) with
+      | Some c, Some path ->
+        Prof.write_folded c ~path;
+        Printf.printf "folded stacks written to %s\n" path
+      | _ -> ());
+      (match collector with
+      | Some c when trace_path <> None ->
+        Format.printf "%a" (Prof.pp_summary ~top:8) (Prof.of_collector c)
+      | _ -> ());
       let result =
-        match Flow.run_guarded ~policy rtl cfg with
+        match outcome with
         | Flow.Completed result -> result
         | Flow.Aborted a ->
           Printf.printf "flow FAILED at step %s: %s\n" a.Flow.failed_step
@@ -239,6 +261,34 @@ let metrics_arg =
     & info [ "metrics" ] ~docv:"PATH"
         ~doc:"Write kernel counters, gauges, and histograms to this file as JSON.")
 
+let prom_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "prom" ] ~docv:"PATH"
+        ~doc:
+          "Write the metrics in Prometheus text exposition format (scrape-ready: \
+           counters, gauges, and histogram summaries with quantiles).")
+
+let ledger_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ledger" ] ~docv:"PATH"
+        ~doc:
+          "Append one JSONL record for this run to the ledger: design, preset, \
+           fault/guard config, verdict, per-step wall times, and the QoR snapshot. \
+           Inspect with 'eduflow report', gate with 'eduflow compare'.")
+
+let folded_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "folded" ] ~docv:"PATH"
+        ~doc:
+          "Write the run's spans as folded stacks (one 'a;b;c <us>' line per unique \
+           path) for flamegraph.pl or any flame-graph renderer.")
+
 let inject_arg =
   Arg.(
     value & opt_all string []
@@ -268,8 +318,9 @@ let step_budget_arg =
 let run_term =
   Term.(
     const run_flow $ design_arg $ node_arg $ preset_arg $ clock_arg $ gds_arg
-    $ verilog_arg $ verify_arg $ scan_arg $ trace_arg $ metrics_arg $ inject_arg
-    $ fault_seed_arg $ retries_arg $ step_budget_arg)
+    $ verilog_arg $ verify_arg $ scan_arg $ trace_arg $ metrics_arg $ prom_arg
+    $ ledger_arg $ folded_arg $ inject_arg $ fault_seed_arg $ retries_arg
+    $ step_budget_arg)
 
 let run_cmd =
   let doc = "run the full synthesis/place/route/signoff flow on a design" in
@@ -301,6 +352,172 @@ let nodes_cmd =
   let doc = "list the technology nodes" in
   Cmd.v (Cmd.info "nodes" ~doc) Term.(const list_nodes $ const ())
 
+(* {1 Ledger inspection and regression gating} *)
+
+let load_ledger path =
+  match Runlog.load ~path with
+  | [] ->
+    Printf.eprintf "ledger %s is missing or holds no parseable records\n" path;
+    exit 2
+  | records -> records
+
+let report_ledger path =
+  let records = load_ledger path in
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "run ledger %s (%d records)" path (List.length records))
+      ~columns:
+        [ ("#", Table.Right); ("design", Table.Left); ("node", Table.Left);
+          ("preset", Table.Left); ("verdict", Table.Left); ("wall ms", Table.Right);
+          ("cells", Table.Right); ("area um2", Table.Right); ("wns ps", Table.Right);
+          ("wire um", Table.Right); ("drc", Table.Right); ("retries", Table.Right) ]
+  in
+  List.iteri
+    (fun i (r : Runlog.record) ->
+      let q fmt f = match r.Runlog.qor with Some q -> fmt (f q) | None -> "-" in
+      Table.add_row table
+        [ Table.cell_int (i + 1); r.Runlog.design; r.Runlog.node; r.Runlog.preset;
+          r.Runlog.verdict;
+          Table.cell_float ~decimals:2 r.Runlog.total_wall_ms;
+          q Table.cell_int (fun x -> x.Runlog.cells);
+          q (Table.cell_float ~decimals:0) (fun x -> x.Runlog.area_um2);
+          q (Table.cell_float ~decimals:1) (fun x -> x.Runlog.wns_ps);
+          q (Table.cell_float ~decimals:0) (fun x -> x.Runlog.wirelength_um);
+          q Table.cell_int (fun x -> x.Runlog.drc_violations);
+          Table.cell_int r.Runlog.guard_retries ])
+    records;
+  Table.print table;
+  match Runlog.last records with
+  | None -> ()
+  | Some r ->
+    Printf.printf "last run (%s @ %s, %s preset) steps:\n" r.Runlog.design
+      r.Runlog.node r.Runlog.preset;
+    List.iter
+      (fun (s : Runlog.step) ->
+        Printf.printf "  %-10s %8.2f ms  %d attempt%s%s\n" s.Runlog.step
+          s.Runlog.wall_ms s.Runlog.attempts
+          (if s.Runlog.attempts = 1 then "" else "s")
+          (if s.Runlog.rung > 0 then Printf.sprintf " (rung %d)" s.Runlog.rung
+           else if s.Runlog.rung < 0 then " (gave up)"
+           else ""))
+      r.Runlog.steps
+
+let all_but_last records =
+  match List.rev records with [] -> [] | _ :: rest -> List.rev rest
+
+let compare_ledger path against max_wall_pct max_step_pct wall_floor_ms max_cells_pct
+    max_area_pct max_wirelength_pct wns_margin_ps max_extra_drc =
+  let records = load_ledger path in
+  let candidate =
+    match Runlog.last records with
+    | Some r -> r
+    | None -> assert false (* load_ledger rejects empty ledgers *)
+  in
+  let history =
+    Runlog.matching ~design:candidate.Runlog.design ~node:candidate.Runlog.node
+      ~preset:candidate.Runlog.preset (all_but_last records)
+  in
+  if history = [] then begin
+    Printf.printf "no baseline run for %s @ %s (%s preset) in %s - nothing to compare\n"
+      candidate.Runlog.design candidate.Runlog.node candidate.Runlog.preset path;
+    exit 0
+  end;
+  let thresholds =
+    { Regress.max_wall_pct; max_step_pct; wall_floor_ms; max_cells_pct; max_area_pct;
+      max_wirelength_pct; wns_margin_ps; max_extra_drc }
+  in
+  let baseline, label =
+    match against with
+    | "median" -> (
+      match Regress.median_baseline history with
+      | Some b -> (b, Printf.sprintf "median of %d runs" (List.length history))
+      | None -> assert false (* history is non-empty *))
+    | "prev" ->
+      ( List.nth history (List.length history - 1),
+        Printf.sprintf "previous run (%d in ledger)" (List.length history) )
+    | other ->
+      Printf.eprintf "unknown baseline mode %s (prev|median)\n" other;
+      exit 2
+  in
+  let report = Regress.compare_records ~thresholds ~baseline_label:label ~baseline candidate in
+  Format.printf "%a" Regress.pp_report report;
+  if Regress.has_regression report then exit 1
+
+let compare_ledger_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "ledger" ] ~docv:"PATH" ~doc:"The JSONL run ledger to read.")
+
+let against_arg =
+  Arg.(
+    value & opt string "prev"
+    & info [ "against" ] ~docv:"MODE"
+        ~doc:
+          "Baseline: 'prev' (the previous comparable run) or 'median' (per-metric \
+           median of every prior comparable run).")
+
+let dflt = Regress.default_thresholds
+
+let max_wall_pct_arg =
+  Arg.(
+    value & opt float dflt.Regress.max_wall_pct
+    & info [ "max-wall-pct" ] ~docv:"PCT"
+        ~doc:"Allowed total wall-time increase in percent.")
+
+let max_step_pct_arg =
+  Arg.(
+    value & opt float dflt.Regress.max_step_pct
+    & info [ "max-step-pct" ] ~docv:"PCT"
+        ~doc:"Allowed per-step wall-time increase in percent.")
+
+let wall_floor_arg =
+  Arg.(
+    value & opt float dflt.Regress.wall_floor_ms
+    & info [ "wall-floor-ms" ] ~docv:"MS"
+        ~doc:"Wall-time increases below this absolute value never count as regressions.")
+
+let max_cells_pct_arg =
+  Arg.(
+    value & opt float dflt.Regress.max_cells_pct
+    & info [ "max-cells-pct" ] ~docv:"PCT" ~doc:"Allowed cell-count increase in percent.")
+
+let max_area_pct_arg =
+  Arg.(
+    value & opt float dflt.Regress.max_area_pct
+    & info [ "max-area-pct" ] ~docv:"PCT" ~doc:"Allowed area increase in percent.")
+
+let max_wirelength_pct_arg =
+  Arg.(
+    value & opt float dflt.Regress.max_wirelength_pct
+    & info [ "max-wirelength-pct" ] ~docv:"PCT"
+        ~doc:"Allowed routed-wirelength increase in percent.")
+
+let wns_margin_arg =
+  Arg.(
+    value & opt float dflt.Regress.wns_margin_ps
+    & info [ "wns-margin-ps" ] ~docv:"PS"
+        ~doc:"Allowed worst-negative-slack worsening in picoseconds.")
+
+let max_drc_arg =
+  Arg.(
+    value & opt int dflt.Regress.max_extra_drc
+    & info [ "max-drc" ] ~docv:"N" ~doc:"Allowed new DRC violations.")
+
+let report_cmd =
+  let doc = "summarize a run ledger (one row per recorded run)" in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const report_ledger $ compare_ledger_arg)
+
+let compare_cmd =
+  let doc =
+    "diff the ledger's last run against a baseline and exit non-zero on regression"
+  in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(
+      const compare_ledger $ compare_ledger_arg $ against_arg $ max_wall_pct_arg
+      $ max_step_pct_arg $ wall_floor_arg $ max_cells_pct_arg $ max_area_pct_arg
+      $ max_wirelength_pct_arg $ wns_margin_arg $ max_drc_arg)
+
 let () =
   let doc = "educhip RTL-to-GDSII flow driver" in
   let info = Cmd.info "eduflow" ~version:"1.0.0" ~doc in
@@ -308,7 +525,7 @@ let () =
      shorthand for [eduflow run counter --trace t.json]. *)
   let argv =
     let argv = Sys.argv in
-    let commands = [ "run"; "list"; "nodes"; "fpga" ] in
+    let commands = [ "run"; "list"; "nodes"; "fpga"; "report"; "compare" ] in
     if
       Array.length argv > 1
       && (not (String.length argv.(1) > 0 && argv.(1).[0] = '-'))
@@ -318,4 +535,5 @@ let () =
   in
   exit
     (Cmd.eval ~argv
-       (Cmd.group ~default:run_term info [ run_cmd; list_cmd; nodes_cmd; fpga_cmd ]))
+       (Cmd.group ~default:run_term info
+          [ run_cmd; list_cmd; nodes_cmd; fpga_cmd; report_cmd; compare_cmd ]))

@@ -178,15 +178,19 @@ let metrics_arg =
     & info [ "metrics" ] ~docv:"PATH"
         ~doc:"Write the scenario's counters, gauges, and histograms to this file as JSON.")
 
-(* Run a report with a metrics collector installed when --metrics is given. *)
-let with_metrics metrics_path f =
-  match metrics_path with
-  | None -> f ()
-  | Some path ->
-    let c = Obs.create () in
-    Obs.with_collector c f;
-    Obs.write_metrics c ~path;
-    Printf.printf "metrics written to %s\n%!" path
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"PATH"
+        ~doc:"Write the scenario's spans to this file as Chrome trace_event JSON.")
+
+(* Run a report with a collector installed when --metrics or --trace is
+   given; the install + exactly-once at_exit export is the same
+   [Obs.export_on_exit] plumbing eduflow uses. *)
+let with_telemetry metrics_path trace_path f =
+  ignore (Obs.export_on_exit ?trace:trace_path ?metrics:metrics_path () : Obs.collector option);
+  f ()
 
 let years_arg =
   Arg.(value & opt int 15 & info [ "years" ] ~docv:"N" ~doc:"Simulation horizon in years.")
@@ -229,20 +233,22 @@ let () =
       cmd "costs" "design and MPW cost curves (E3/E4)" Term.(const costs $ const ());
       cmd "workforce" "designer-pipeline scenarios (E7)"
         Term.(
-          const (fun m years -> with_metrics m (fun () -> workforce years))
-          $ metrics_arg $ years_arg);
+          const (fun m t years -> with_telemetry m t (fun () -> workforce years))
+          $ metrics_arg $ trace_arg $ years_arg);
       cmd "hub" "enablement-hub queue simulation (E10)"
         Term.(
-          const (fun m teams arrivals outages mtbf mttr ->
-              with_metrics m (fun () -> hub teams arrivals outages mtbf mttr))
-          $ metrics_arg $ teams_arg $ arrivals_arg $ outages_arg $ mtbf_arg $ mttr_arg);
+          const (fun m t teams arrivals outages mtbf mttr ->
+              with_telemetry m t (fun () -> hub teams arrivals outages mtbf mttr))
+          $ metrics_arg $ trace_arg $ teams_arg $ arrivals_arg $ outages_arg $ mtbf_arg
+          $ mttr_arg);
       cmd "enable" "availability-vs-enablement matrix (E5)"
         Term.(const enablement_report $ const ());
       cmd "recommendations" "the paper's eight recommendations as scenarios"
         Term.(const recommendations $ const ());
       cmd "tiers" "tiered enablement pathways (E9)"
         Term.(
-          const (fun m () -> with_metrics m tiers) $ metrics_arg $ const ());
+          const (fun m t () -> with_telemetry m t tiers)
+          $ metrics_arg $ trace_arg $ const ());
     ]
   in
   exit (Cmd.eval (Cmd.group info cmds))

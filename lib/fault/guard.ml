@@ -1,3 +1,5 @@
+module Obs = Educhip_obs.Obs
+
 type policy = {
   max_retries : int;
   base_backoff_ms : float;
@@ -56,26 +58,47 @@ let execute ?(policy = default_policy) ?(accept = fun _ -> None) ~site rungs =
     incr attempts;
     trace := { rung; number = !attempts; backoff_applied_ms = backoff; failed } :: !trace
   in
-  let run_attempt rung_idx =
-    try
-      Fault.check site;
-      let v = (rungs.(rung_idx)) () in
-      if Fault.corrupted site then Result.Error (Corrupted "injected corruption")
-      else
-        match accept v with
-        | None -> Result.Ok v
-        | Some reason -> Result.Error (Corrupted reason)
-    with
-    | Fault.Injected (_, Fault.Hang) ->
-        sim_ms := !sim_ms +. policy.step_budget_ms;
-        Result.Error Hung
-    | Fault.Injected (_, _) -> Result.Error (Crashed "injected crash")
-    | exn -> Result.Error (Crashed (Printexc.to_string exn))
+  (* Each attempt gets its own child span so a trace of a faulty run
+     shows where the time went: attempt number, rung, and the simulated
+     backoff waited before it, with the failure kind attached when the
+     attempt died. *)
+  let run_attempt rung_idx backoff =
+    Obs.with_span "guard.attempt"
+      ~attrs:
+        [ ("site", Obs.Str site);
+          ("attempt", Obs.Int (!attempts + 1));
+          ("rung", Obs.Int rung_idx);
+          ("backoff_ms", Obs.Float backoff) ]
+    @@ fun () ->
+    let result =
+      try
+        Fault.check site;
+        let v = (rungs.(rung_idx)) () in
+        if Fault.corrupted site then Result.Error (Corrupted "injected corruption")
+        else
+          match accept v with
+          | None -> Result.Ok v
+          | Some reason -> Result.Error (Corrupted reason)
+      with
+      | Fault.Injected (_, Fault.Hang) ->
+          sim_ms := !sim_ms +. policy.step_budget_ms;
+          Result.Error Hung
+      | Fault.Injected (_, _) -> Result.Error (Crashed "injected crash")
+      | exn -> Result.Error (Crashed (Printexc.to_string exn))
+    in
+    (match result with
+    | Result.Ok _ -> ()
+    | Result.Error f -> Obs.set_attr "failed" (Obs.Str (failure_to_string f)));
+    result
   in
   let rec rung_loop rung_idx last_failure =
-    if rung_idx >= Array.length rungs then
+    if rung_idx >= Array.length rungs then begin
+      Obs.incr_counter ~labels:[ ("site", site) ] "guard.gave_up";
+      if !attempts > 1 then
+        Obs.add_counter ~labels:[ ("site", site) ] "guard.retries" (!attempts - 1);
       { outcome = Gave_up last_failure; attempts = !attempts;
         trace = List.rev !trace; sim_ms = !sim_ms }
+    end
     else
       (* Failure count within this rung drives the backoff schedule;
          descending a rung resets it so the fallback gets fresh, short
@@ -83,12 +106,19 @@ let execute ?(policy = default_policy) ?(accept = fun _ -> None) ~site rungs =
       let rec attempt_loop failures =
         let backoff = backoff_ms policy failures in
         sim_ms := !sim_ms +. backoff;
-        match run_attempt rung_idx with
+        if backoff > 0. then Obs.observe ~labels:[ ("site", site) ] "guard.backoff_ms" backoff;
+        match run_attempt rung_idx backoff with
         | Result.Ok v ->
             record rung_idx backoff None;
             let outcome =
-              if rung_idx = 0 then Completed v else Degraded (v, rung_idx)
+              if rung_idx = 0 then Completed v
+              else begin
+                Obs.incr_counter ~labels:[ ("site", site) ] "guard.degraded";
+                Degraded (v, rung_idx)
+              end
             in
+            if !attempts > 1 then
+              Obs.add_counter ~labels:[ ("site", site) ] "guard.retries" (!attempts - 1);
             { outcome; attempts = !attempts; trace = List.rev !trace;
               sim_ms = !sim_ms }
         | Result.Error f ->

@@ -13,7 +13,15 @@
     All timing here is {e simulated} milliseconds: backoff delays and
     blown budgets are accounted numerically so executions are
     reproducible and instantaneous. Wall-clock timing of real kernel
-    work stays the business of [Educhip_obs]. *)
+    work stays the business of [Educhip_obs].
+
+    When telemetry is enabled, every attempt is recorded as a
+    [guard.attempt] child span (attributes: [site], [attempt] number,
+    [rung], [backoff_ms], and [failed] when the attempt died), backoff
+    waits feed the [guard.backoff_ms] histogram, and the counters
+    [guard.retries], [guard.degraded], and [guard.gave_up] (all labeled
+    by site) count recovery work — so a trace of a faulty run shows
+    where the time went. *)
 
 type policy = {
   max_retries : int;  (** extra attempts per rung after the first *)

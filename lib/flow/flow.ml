@@ -11,6 +11,7 @@ module Designs = Educhip_designs.Designs
 module Cts = Educhip_cts.Cts
 module Sat = Educhip_sat.Sat
 module Obs = Educhip_obs.Obs
+module Runlog = Educhip_obs.Runlog
 module Fault = Educhip_fault.Fault
 module Guard = Educhip_fault.Guard
 
@@ -174,7 +175,8 @@ let kernel_metric_names =
   Synth.metric_names @ Place.metric_names @ Route.metric_names @ Sat.metric_names
 
 let robustness_metric_names =
-  [ "flow.step_retries"; "flow.step_degradations"; "flow.steps_failed" ]
+  [ "flow.step_retries"; "flow.step_degradations"; "flow.steps_failed";
+    "guard.retries"; "guard.degraded"; "guard.gave_up"; "fault.injected" ]
 
 (* SAT's site is deliberately absent: the template never calls the
    solver (CEC is a separate verification pass), so arming it inside a
@@ -486,6 +488,49 @@ let run netlist cfg =
       (Printf.sprintf "Flow.run: step %s gave up (%s)" a.failed_step a.failure_reason)
 
 let run_design entry cfg = run (Designs.netlist entry) cfg
+
+(* One run, one ledger line: the QoR-and-runtime record [eduflow
+   report/compare] and the bench harness persist. Per-step wall times
+   come from telemetry, so install a collector around the run to get
+   non-zero walls. *)
+let ledger_record ?(injected = []) ?fault_seed ?max_retries ~design ~node ~preset
+    outcome =
+  let steps_of reports execs =
+    List.map
+      (fun (r : step_report) ->
+        let e = List.find_opt (fun e -> e.step = r.step_name) execs in
+        { Runlog.step = r.step_name;
+          wall_ms = Option.value r.wall_ms ~default:0.0;
+          attempts = (match e with Some e -> e.attempts | None -> 1);
+          rung = (match e with Some e -> e.rung | None -> 0) })
+      reports
+  in
+  let total steps = List.fold_left (fun acc s -> acc +. s.Runlog.wall_ms) 0.0 steps in
+  let guard_stats execs =
+    ( List.fold_left (fun acc e -> acc + max 0 (e.attempts - 1)) 0 execs,
+      List.length (List.filter (fun e -> e.rung > 0) execs) )
+  in
+  match outcome with
+  | Completed r ->
+    let steps = steps_of r.steps r.execs in
+    let guard_retries, guard_degraded = guard_stats r.execs in
+    Runlog.make ~design ~node ~preset ~verdict:(verdict_to_string r.verdict)
+      ~total_wall_ms:(total steps) ~injected ?fault_seed ?max_retries ~guard_retries
+      ~guard_degraded ~steps
+      ~qor:
+        { Runlog.cells = r.ppa.cells;
+          area_um2 = r.ppa.area_um2;
+          wns_ps = r.ppa.wns_ps;
+          wirelength_um = r.ppa.wirelength_um;
+          drc_violations = List.length r.drc.Drc.violations }
+      ()
+  | Aborted a ->
+    let steps = steps_of a.trail_reports a.trail in
+    let guard_retries, guard_degraded = guard_stats a.trail in
+    Runlog.make ~design ~node ~preset
+      ~verdict:(verdict_to_string (Failed a.failed_step))
+      ~total_wall_ms:(total steps) ~injected ?fault_seed ?max_retries ~guard_retries
+      ~guard_degraded ~steps ()
 
 let pp_summary ppf r =
   Format.fprintf ppf "flow report: %s @ %s, clock %.0f ps@."

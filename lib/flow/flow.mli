@@ -152,6 +152,24 @@ val run : Educhip_netlist.Netlist.t -> config -> result
 val run_design : Educhip_designs.Designs.entry -> config -> result
 (** Convenience: elaborate a benchmark entry and {!run} it. *)
 
+val ledger_record :
+  ?injected:string list ->
+  ?fault_seed:int ->
+  ?max_retries:int ->
+  design:string ->
+  node:string ->
+  preset:string ->
+  run_outcome ->
+  Educhip_obs.Runlog.record
+(** Summarize a run outcome as one {!Educhip_obs.Runlog} ledger record:
+    verdict, per-step wall times with guard attempts and rungs, total
+    wall time, guard retry/degradation totals, and (for completed runs)
+    the QoR snapshot — cells, area, WNS, total wirelength, DRC violation
+    count. [injected]/[fault_seed]/[max_retries] document the fault and
+    guard configuration the run executed under. Per-step wall times are
+    zero unless an [Educhip_obs.Obs] collector was installed during the
+    run. *)
+
 val pp_summary : Format.formatter -> result -> unit
 (** Multi-line human-readable flow report. *)
 
@@ -164,8 +182,11 @@ val kernel_metric_names : string list
     zero at the start of a telemetry-enabled {!run}. *)
 
 val robustness_metric_names : string list
-(** Counter families the guarded flow reports: [flow.step_retries],
-    [flow.step_degradations], [flow.steps_failed]. *)
+(** Counter families the guarded flow reports or pre-declares:
+    [flow.step_retries], [flow.step_degradations], [flow.steps_failed],
+    plus the guard-level [guard.retries] / [guard.degraded] /
+    [guard.gave_up] and the injector's [fault.injected] — declared at
+    zero so a clean run's metrics dump still shows the whole family. *)
 
 val fault_sites : string list
 (** Every [Educhip_fault] site a {!run_guarded} can probe: one

@@ -136,6 +136,13 @@ let set_gauge ?(labels = []) name v =
     | Some r -> r := v
     | None -> Hashtbl.replace c.gauges k (ref v))
 
+let declare_gauge ?(labels = []) name =
+  match !current with
+  | None -> ()
+  | Some c ->
+    let k = key name labels in
+    if not (Hashtbl.mem c.gauges k) then Hashtbl.replace c.gauges k (ref 0.0)
+
 let observe ?(labels = []) name v =
   match !current with
   | None -> ()
@@ -255,6 +262,8 @@ let metrics_json c =
             ("mean", Jsonout.Float (Stats.mean xs));
             ("p50", Jsonout.Float (Stats.median xs));
             ("p95", Jsonout.Float (Stats.percentile 95.0 xs));
+            ("p99", Jsonout.Float (Stats.percentile 99.0 xs));
+            ("stddev", Jsonout.Float (Stats.stddev xs));
             ("bins", Jsonout.List bins);
           ])
       (sorted_entries c.histograms)
@@ -268,6 +277,131 @@ let metrics_json c =
 
 let write_trace c ~path = Jsonout.write_file ~path (trace_json c)
 let write_metrics c ~path = Jsonout.write_file ~path (metrics_json c)
+
+(* {1 Prometheus text exposition} *)
+
+(* Prometheus metric and label names are [a-zA-Z_:][a-zA-Z0-9_:]*; our
+   dotted names ("place.moves_accepted") sanitize to underscores. *)
+let prom_name s =
+  let s = if s = "" then "_" else s in
+  String.mapi
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> c
+      | '0' .. '9' when i > 0 -> c
+      | _ -> '_')
+    s
+
+(* label values allow any UTF-8 but require backslash, double quote,
+   and newline escaped *)
+let prom_label_value s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let prom_labels labels =
+  if labels = [] then ""
+  else
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" (prom_name k) (prom_label_value v))
+           labels)
+    ^ "}"
+
+let prom_number f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let metrics_text c =
+  let buf = Buffer.create 1024 in
+  let typed = Hashtbl.create 16 in
+  let type_line name kind =
+    if not (Hashtbl.mem typed name) then begin
+      Hashtbl.replace typed name ();
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  List.iter
+    (fun (k, r) ->
+      let name = prom_name k.metric_name in
+      type_line name "counter";
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s %d\n" name (prom_labels k.labels) !r))
+    (sorted_entries c.counters);
+  List.iter
+    (fun (k, r) ->
+      let name = prom_name k.metric_name in
+      type_line name "gauge";
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s %s\n" name (prom_labels k.labels) (prom_number !r)))
+    (sorted_entries c.gauges);
+  List.iter
+    (fun (k, r) ->
+      let xs = List.rev !r in
+      let name = prom_name k.metric_name in
+      type_line name "summary";
+      List.iter
+        (fun (q, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" name
+               (prom_labels (k.labels @ [ ("quantile", q) ]))
+               (prom_number v)))
+        [ ("0.5", Stats.median xs);
+          ("0.95", Stats.percentile 95.0 xs);
+          ("0.99", Stats.percentile 99.0 xs) ];
+      Buffer.add_string buf
+        (Printf.sprintf "%s_sum%s %s\n" name (prom_labels k.labels)
+           (prom_number (List.fold_left ( +. ) 0.0 xs)));
+      Buffer.add_string buf
+        (Printf.sprintf "%s_count%s %d\n" name (prom_labels k.labels) (List.length xs)))
+    (sorted_entries c.histograms);
+  Buffer.contents buf
+
+let write_metrics_text c ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (metrics_text c))
+
+(* {1 CLI export plumbing}
+
+   Shared by eduflow and enablement: install a collector when any export
+   path was requested and write each requested file exactly once at
+   process exit — also on early [exit] paths (DRC violations,
+   verification failure), hence [at_exit]. *)
+
+let export_on_exit ?trace ?metrics ?metrics_text:text_path () =
+  match (trace, metrics, text_path) with
+  | None, None, None -> None
+  | _ ->
+    let c = create () in
+    install c;
+    let written = ref false in
+    at_exit (fun () ->
+        if not !written then begin
+          written := true;
+          let emit what write = function
+            | None -> ()
+            | Some path ->
+              write c ~path;
+              Printf.printf "%s written to %s\n%!" what path
+          in
+          emit "trace" write_trace trace;
+          emit "metrics" write_metrics metrics;
+          emit "metrics text" write_metrics_text text_path
+        end);
+    Some c
 
 let pp_value ppf = function
   | Bool b -> Format.pp_print_bool ppf b

@@ -94,6 +94,11 @@ val declare_counter : ?labels:(string * string) list -> string -> unit
 val set_gauge : ?labels:(string * string) list -> string -> float -> unit
 (** Last-write-wins instantaneous value. *)
 
+val declare_gauge : ?labels:(string * string) list -> string -> unit
+(** Register a gauge at [0.] so it appears in dumps even when never set
+    (Prometheus-style zero registration, like {!declare_counter}).
+    Never overwrites an existing value. *)
+
 val observe : ?labels:(string * string) list -> string -> float -> unit
 (** Record one histogram sample. *)
 
@@ -116,11 +121,35 @@ val trace_json : collector -> Jsonout.t
 val metrics_json : collector -> Jsonout.t
 (** Flat dump: [counters] and [gauges] as [{name; labels; value}];
     [histograms] additionally carry [count], [sum], [min], [max],
-    [mean], [p50], [p95] and equal-width [bins] (computed with
-    [Educhip_util.Stats]). Entries are sorted by name then labels. *)
+    [mean], [p50], [p95], [p99], [stddev] and equal-width [bins]
+    (computed with [Educhip_util.Stats]). Entries are sorted by name
+    then labels. *)
+
+val prom_name : string -> string
+(** Sanitize a metric or label name to the Prometheus charset
+    [[a-zA-Z_:][a-zA-Z0-9_:]*]: offending characters (including a
+    leading digit) become underscores. *)
+
+val metrics_text : collector -> string
+(** Prometheus text exposition (version 0.0.4): one [# TYPE] line per
+    family, counters and gauges as single samples, histograms as
+    summaries ([quantile="0.5"/"0.95"/"0.99"] plus [_sum]/[_count]).
+    Metric and label names are sanitized to [[a-zA-Z0-9_:]] (dots become
+    underscores); label values escape backslash, double quote, and
+    newline per the exposition format. *)
 
 val write_trace : collector -> path:string -> unit
 val write_metrics : collector -> path:string -> unit
+val write_metrics_text : collector -> path:string -> unit
+
+val export_on_exit :
+  ?trace:string -> ?metrics:string -> ?metrics_text:string -> unit -> collector option
+(** CLI plumbing shared by the [eduflow] and [enablement] binaries: when
+    any path is given, install a fresh collector and arrange (via
+    [at_exit], idempotently) for each requested file to be written
+    exactly once — announced on stdout — even when the process exits
+    early. Returns the installed collector, [None] when every path is
+    absent. *)
 
 val pp_trace : Format.formatter -> collector -> unit
 (** Human-readable span tree: one line per span with its wall time and

@@ -1,0 +1,120 @@
+type node = { node_name : string; total_us : float; children : node list }
+
+let rec of_span s =
+  {
+    node_name = Obs.span_name s;
+    total_us = Obs.span_duration_ms s *. 1000.0;
+    children = List.map of_span (Obs.span_children s);
+  }
+
+let of_collector c = List.map of_span (Obs.root_spans c)
+
+let self_us n =
+  let child_total = List.fold_left (fun acc ch -> acc +. ch.total_us) 0.0 n.children in
+  Float.max 0.0 (n.total_us -. child_total)
+
+(* {1 Per-name aggregation} *)
+
+type agg = {
+  agg_name : string;
+  calls : int;
+  agg_total_us : float;
+  agg_self_us : float;
+  max_us : float;
+}
+
+let aggregate forest =
+  let tbl = Hashtbl.create 32 in
+  let rec visit n =
+    let a =
+      match Hashtbl.find_opt tbl n.node_name with
+      | Some a -> a
+      | None ->
+        let a =
+          { agg_name = n.node_name; calls = 0; agg_total_us = 0.0; agg_self_us = 0.0;
+            max_us = 0.0 }
+        in
+        Hashtbl.replace tbl n.node_name a;
+        a
+    in
+    Hashtbl.replace tbl n.node_name
+      { a with
+        calls = a.calls + 1;
+        agg_total_us = a.agg_total_us +. n.total_us;
+        agg_self_us = a.agg_self_us +. self_us n;
+        max_us = Float.max a.max_us n.total_us };
+    List.iter visit n.children
+  in
+  List.iter visit forest;
+  Hashtbl.fold (fun _ a acc -> a :: acc) tbl []
+  |> List.sort (fun a b ->
+         match compare b.agg_self_us a.agg_self_us with
+         | 0 -> compare a.agg_name b.agg_name
+         | c -> c)
+
+(* {1 Critical path} *)
+
+let heaviest = function
+  | [] -> None
+  | n :: ns ->
+    Some (List.fold_left (fun best x -> if x.total_us > best.total_us then x else best) n ns)
+
+let critical_path forest =
+  let rec descend acc n =
+    let acc = (n.node_name, n.total_us) :: acc in
+    match heaviest n.children with None -> List.rev acc | Some ch -> descend acc ch
+  in
+  match heaviest forest with None -> [] | Some root -> descend [] root
+
+(* {1 Folded stacks} *)
+
+let frame name =
+  String.map (fun c -> if c = ';' then '_' else c) name
+
+let folded forest =
+  let tbl = Hashtbl.create 64 in
+  let rec visit path n =
+    let path = n.node_name :: path in
+    let key = List.rev path in
+    let prev = match Hashtbl.find_opt tbl key with Some v -> v | None -> 0.0 in
+    Hashtbl.replace tbl key (prev +. self_us n);
+    List.iter (visit path) n.children
+  in
+  List.iter (visit []) forest;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let folded_lines forest =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (path, us) ->
+      Buffer.add_string buf (String.concat ";" (List.map frame path));
+      Buffer.add_string buf (Printf.sprintf " %.0f\n" (Float.round us)))
+    (folded forest);
+  Buffer.contents buf
+
+let write_folded c ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (folded_lines (of_collector c)))
+
+let pp_summary ?(top = 10) ppf forest =
+  let aggs = aggregate forest in
+  let shown = List.filteri (fun i _ -> i < top) aggs in
+  Format.fprintf ppf "hot spans by self-time:@.";
+  List.iter
+    (fun a ->
+      Format.fprintf ppf "  %-28s %5d call%s  total %9.2f ms  self %9.2f ms@."
+        a.agg_name a.calls
+        (if a.calls = 1 then " " else "s")
+        (a.agg_total_us /. 1000.0) (a.agg_self_us /. 1000.0))
+    shown;
+  (match critical_path forest with
+  | [] -> ()
+  | path ->
+    Format.fprintf ppf "critical path: %s@."
+      (String.concat " > "
+         (List.map
+            (fun (name, us) -> Printf.sprintf "%s (%.2f ms)" name (us /. 1000.0))
+            path)))

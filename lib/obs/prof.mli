@@ -1,0 +1,73 @@
+(** Trace analysis over a collector's span tree.
+
+    PR 1 records {e where} a flow run spent its time as a span tree;
+    this module answers the questions a tree alone doesn't: which span
+    {e names} dominate (self-time vs. total-time aggregation), what the
+    single hottest root-to-leaf path was (the critical path a student
+    should optimize first), and a [flamegraph.pl]-compatible folded-stack
+    export so a trace can be rendered as a flame graph.
+
+    Analysis runs over {!node} values — a plain duration tree. Use
+    {!of_collector} to lift a recorded trace; tests hand-build nodes
+    directly, so every computation here is deterministic and
+    clock-free. *)
+
+type node = {
+  node_name : string;
+  total_us : float;  (** inclusive wall time of this span, microseconds *)
+  children : node list;
+}
+
+val of_collector : Obs.collector -> node list
+(** The collector's completed root spans as duration trees, oldest
+    first. Span durations are inclusive ([Obs.span_duration_ms] scaled
+    to microseconds). *)
+
+val self_us : node -> float
+(** Exclusive time: [total_us] minus the children's [total_us] sum,
+    clamped at zero (clock skew between a parent and its children must
+    not produce negative self-time). *)
+
+(** {1 Per-name aggregation} *)
+
+type agg = {
+  agg_name : string;
+  calls : int;  (** number of spans with this name *)
+  agg_total_us : float;  (** sum of inclusive times *)
+  agg_self_us : float;  (** sum of exclusive times *)
+  max_us : float;  (** largest single inclusive time *)
+}
+
+val aggregate : node list -> agg list
+(** Collapse a forest by span name. Sorted by [agg_self_us] descending,
+    ties by name. A span nested under a same-named span still
+    contributes its own self-time exactly once ([agg_total_us] of a
+    recursive name can exceed wall time; [agg_self_us] cannot). *)
+
+(** {1 Critical path} *)
+
+val critical_path : node list -> (string * float) list
+(** The hottest root-to-leaf chain: start from the root with the largest
+    [total_us], then repeatedly descend into the heaviest child. Each
+    element is [(name, total_us)], outermost first; [[]] for an empty
+    forest. *)
+
+(** {1 Folded stacks} *)
+
+val folded : node list -> (string list * float) list
+(** One entry per unique root-to-node path: the path (outermost first)
+    and the summed {e self}-time of the spans at that path. Paths are
+    merged across the forest and sorted lexicographically, so the output
+    is deterministic regardless of recording order. *)
+
+val folded_lines : node list -> string
+(** {!folded} in [flamegraph.pl] format: one [a;b;c <count>] line per
+    unique path, count in integer microseconds (rounded). Semicolons in
+    span names are replaced with [_] so they cannot split a frame. *)
+
+val write_folded : Obs.collector -> path:string -> unit
+(** [folded_lines (of_collector c)] written to [path]. *)
+
+val pp_summary : ?top:int -> Format.formatter -> node list -> unit
+(** Human-readable profile: the [top] (default 10) names by self-time
+    (calls, total ms, self ms), then the critical path. *)

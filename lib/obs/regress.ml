@@ -1,0 +1,190 @@
+module Stats = Educhip_util.Stats
+
+type thresholds = {
+  max_wall_pct : float;
+  max_step_pct : float;
+  wall_floor_ms : float;
+  max_cells_pct : float;
+  max_area_pct : float;
+  max_wirelength_pct : float;
+  wns_margin_ps : float;
+  max_extra_drc : int;
+}
+
+let default_thresholds =
+  {
+    max_wall_pct = 75.0;
+    max_step_pct = 150.0;
+    wall_floor_ms = 100.0;
+    max_cells_pct = 2.0;
+    max_area_pct = 2.0;
+    max_wirelength_pct = 5.0;
+    wns_margin_ps = 1.0;
+    max_extra_drc = 0;
+  }
+
+type finding = {
+  metric : string;
+  baseline : float;
+  candidate : float;
+  delta : float;
+  delta_pct : float;
+  regressed : bool;
+}
+
+type report = { design : string; baseline_label : string; findings : finding list }
+
+let pct delta baseline = if baseline = 0.0 then 0.0 else 100.0 *. delta /. baseline
+
+(* verdict rank: a candidate that completes less cleanly than its
+   baseline is a regression regardless of the numbers *)
+let verdict_rank v =
+  if v = "ok" then 0
+  else if String.length v >= 8 && String.sub v 0 8 = "degraded" then 1
+  else 2
+
+let wall_finding t metric ~max_pct baseline candidate =
+  let delta = candidate -. baseline in
+  let delta_pct = pct delta baseline in
+  let regressed = delta > t.wall_floor_ms && delta_pct > max_pct in
+  { metric; baseline; candidate; delta; delta_pct; regressed }
+
+let rel_finding metric ~max_pct baseline candidate =
+  let delta = candidate -. baseline in
+  let delta_pct = pct delta baseline in
+  (* a metric that grows from zero is suspicious but has no meaningful
+     percentage; treat any growth from a zero baseline as regressing *)
+  let regressed = if baseline = 0.0 then delta > 0.0 else delta_pct > max_pct in
+  { metric; baseline; candidate; delta; delta_pct; regressed }
+
+let qor_findings t (b : Runlog.qor) (c : Runlog.qor) =
+  let wns_worsening = b.Runlog.wns_ps -. c.Runlog.wns_ps in
+  [ rel_finding "qor.cells" ~max_pct:t.max_cells_pct
+      (float_of_int b.Runlog.cells) (float_of_int c.Runlog.cells);
+    rel_finding "qor.area_um2" ~max_pct:t.max_area_pct b.Runlog.area_um2
+      c.Runlog.area_um2;
+    rel_finding "qor.wirelength_um" ~max_pct:t.max_wirelength_pct
+      b.Runlog.wirelength_um c.Runlog.wirelength_um;
+    { metric = "qor.wns_ps"; baseline = b.Runlog.wns_ps; candidate = c.Runlog.wns_ps;
+      delta = wns_worsening; delta_pct = 0.0;
+      regressed = wns_worsening > t.wns_margin_ps };
+    { metric = "qor.drc_violations";
+      baseline = float_of_int b.Runlog.drc_violations;
+      candidate = float_of_int c.Runlog.drc_violations;
+      delta = float_of_int (c.Runlog.drc_violations - b.Runlog.drc_violations);
+      delta_pct = 0.0;
+      regressed = c.Runlog.drc_violations - b.Runlog.drc_violations > t.max_extra_drc }
+  ]
+
+let compare_records ?(thresholds = default_thresholds) ?(baseline_label = "baseline")
+    ~baseline candidate =
+  let t = thresholds in
+  let b = baseline and c = candidate in
+  let total =
+    wall_finding t "total_wall_ms" ~max_pct:t.max_wall_pct b.Runlog.total_wall_ms
+      c.Runlog.total_wall_ms
+  in
+  let steps =
+    List.filter_map
+      (fun (cs : Runlog.step) ->
+        List.find_opt (fun (bs : Runlog.step) -> bs.Runlog.step = cs.Runlog.step)
+          b.Runlog.steps
+        |> Option.map (fun (bs : Runlog.step) ->
+               wall_finding t ("step." ^ cs.Runlog.step) ~max_pct:t.max_step_pct
+                 bs.Runlog.wall_ms cs.Runlog.wall_ms))
+      c.Runlog.steps
+  in
+  let qor =
+    match (b.Runlog.qor, c.Runlog.qor) with
+    | Some bq, Some cq -> qor_findings t bq cq
+    | _ -> []
+  in
+  let verdict =
+    let br = verdict_rank b.Runlog.verdict and cr = verdict_rank c.Runlog.verdict in
+    { metric = "verdict"; baseline = float_of_int br; candidate = float_of_int cr;
+      delta = float_of_int (cr - br); delta_pct = 0.0; regressed = cr > br }
+  in
+  { design = c.Runlog.design;
+    baseline_label;
+    findings = (total :: steps) @ qor @ [ verdict ] }
+
+(* {1 Median baseline} *)
+
+let median_baseline records =
+  match records with
+  | [] -> None
+  | sample :: _ ->
+    let med f = Stats.median (List.map f records) in
+    let step_names =
+      List.fold_left
+        (fun acc (r : Runlog.record) ->
+          List.fold_left
+            (fun acc (s : Runlog.step) ->
+              if List.mem s.Runlog.step acc then acc else acc @ [ s.Runlog.step ])
+            acc r.Runlog.steps)
+        [] records
+    in
+    let steps =
+      List.filter_map
+        (fun name ->
+          let walls =
+            List.filter_map
+              (fun (r : Runlog.record) ->
+                List.find_opt (fun (s : Runlog.step) -> s.Runlog.step = name)
+                  r.Runlog.steps
+                |> Option.map (fun (s : Runlog.step) -> s.Runlog.wall_ms))
+              records
+          in
+          if walls = [] then None
+          else
+            Some
+              { Runlog.step = name; wall_ms = Stats.median walls; attempts = 1; rung = 0 })
+        step_names
+    in
+    let qors = List.filter_map (fun (r : Runlog.record) -> r.Runlog.qor) records in
+    let qor =
+      if qors = [] then None
+      else
+        let qmed f = Stats.median (List.map f qors) in
+        Some
+          { Runlog.cells =
+              int_of_float (qmed (fun q -> float_of_int q.Runlog.cells));
+            area_um2 = qmed (fun q -> q.Runlog.area_um2);
+            wns_ps = qmed (fun q -> q.Runlog.wns_ps);
+            wirelength_um = qmed (fun q -> q.Runlog.wirelength_um);
+            drc_violations =
+              int_of_float (qmed (fun q -> float_of_int q.Runlog.drc_violations)) }
+    in
+    let verdict =
+      let rank =
+        int_of_float
+          (med (fun r -> float_of_int (verdict_rank r.Runlog.verdict)))
+      in
+      if rank = 0 then "ok" else if rank = 1 then "degraded(median)" else "failed(median)"
+    in
+    Some
+      { sample with
+        Runlog.verdict;
+        total_wall_ms = med (fun r -> r.Runlog.total_wall_ms);
+        steps;
+        qor;
+        extra = [] }
+
+let regressions report = List.filter (fun f -> f.regressed) report.findings
+let has_regression report = List.exists (fun f -> f.regressed) report.findings
+
+let pp_report ppf report =
+  Format.fprintf ppf "regression check: %s vs %s@." report.design report.baseline_label;
+  List.iter
+    (fun f ->
+      let trend =
+        if f.delta_pct <> 0.0 then Printf.sprintf "%+.1f%%" f.delta_pct
+        else Printf.sprintf "%+g" f.delta
+      in
+      Format.fprintf ppf "  %-22s %12.2f -> %12.2f  %-8s %s@." f.metric f.baseline
+        f.candidate trend
+        (if f.regressed then "REGRESSED" else "ok"))
+    report.findings;
+  let n = List.length (regressions report) in
+  if n = 0 then Format.fprintf ppf "no regression@."
+  else Format.fprintf ppf "%d metric%s regressed@." n (if n = 1 then "" else "s")

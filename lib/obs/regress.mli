@@ -1,0 +1,69 @@
+(** QoR and runtime regression detection over ledger records.
+
+    The question a regression gate answers is the ROADMAP's "did this
+    change make the flow slower or worse?": diff the latest {!Runlog}
+    record against a baseline (the previous comparable run, or the
+    ledger median), flag every metric whose worsening exceeds its
+    threshold, and summarize into a pass/fail verdict that can gate CI
+    ([eduflow compare] exits non-zero on regression).
+
+    Wall-time checks use a relative threshold {e and} an absolute floor,
+    so millisecond-scale noise on tiny designs cannot flake a gate while
+    a genuine 2x slowdown on a real design still trips it. QoR checks
+    are purely relative (the flow is deterministic, so an identical
+    re-run diffs to exactly zero). *)
+
+type thresholds = {
+  max_wall_pct : float;  (** allowed total wall-time increase, percent *)
+  max_step_pct : float;  (** allowed per-step wall-time increase, percent *)
+  wall_floor_ms : float;  (** wall increases below this absolute value never regress *)
+  max_cells_pct : float;
+  max_area_pct : float;
+  max_wirelength_pct : float;
+  wns_margin_ps : float;  (** allowed WNS worsening (toward negative), picoseconds *)
+  max_extra_drc : int;  (** allowed new DRC violations *)
+}
+
+val default_thresholds : thresholds
+(** 75% total / 150% per-step wall with a 100 ms floor; 2% cells and
+    area, 5% wirelength, 1 ps WNS margin, 0 new DRC violations. *)
+
+type finding = {
+  metric : string;  (** e.g. [total_wall_ms], [step.routing], [qor.cells], [verdict] *)
+  baseline : float;
+  candidate : float;
+  delta : float;  (** [candidate - baseline]; positive = worse for every metric here *)
+  delta_pct : float;  (** [delta] relative to baseline (0 when baseline is 0) *)
+  regressed : bool;
+}
+
+type report = {
+  design : string;
+  baseline_label : string;  (** e.g. ["previous run"] or ["median of 5 runs"] *)
+  findings : finding list;
+}
+
+val compare_records :
+  ?thresholds:thresholds ->
+  ?baseline_label:string ->
+  baseline:Runlog.record ->
+  Runlog.record ->
+  report
+(** Diff a candidate against one baseline record. Compares total wall
+    time, per-step wall times (steps present in both, matched by name),
+    the QoR snapshot (when both carry one), and the verdict rank
+    ([ok < degraded < failed]). WNS is compared as a worsening in ps
+    against [wns_margin_ps]; its [delta] is the worsening, so positive
+    still means worse. *)
+
+val median_baseline : Runlog.record list -> Runlog.record option
+(** A synthetic baseline: per-field medians over the given records
+    (total wall, per-step walls matched by name, each QoR field;
+    verdict is the records' median rank). [None] for an empty list. *)
+
+val regressions : report -> finding list
+val has_regression : report -> bool
+
+val pp_report : Format.formatter -> report -> unit
+(** One line per finding with baseline, candidate, and delta, flagging
+    regressions, then the overall verdict. *)

@@ -1,0 +1,177 @@
+let schema_version = 1
+
+type step = { step : string; wall_ms : float; attempts : int; rung : int }
+
+type qor = {
+  cells : int;
+  area_um2 : float;
+  wns_ps : float;
+  wirelength_um : float;
+  drc_violations : int;
+}
+
+type record = {
+  schema : int;
+  design : string;
+  node : string;
+  preset : string;
+  verdict : string;
+  total_wall_ms : float;
+  injected : string list;
+  fault_seed : int option;
+  max_retries : int option;
+  guard_retries : int;
+  guard_degraded : int;
+  steps : step list;
+  qor : qor option;
+  extra : (string * Jsonout.t) list;
+}
+
+let make ~design ~node ~preset ~verdict ~total_wall_ms ?(injected = []) ?fault_seed
+    ?max_retries ?(guard_retries = 0) ?(guard_degraded = 0) ?(steps = []) ?qor () =
+  { schema = schema_version; design; node; preset; verdict; total_wall_ms; injected;
+    fault_seed; max_retries; guard_retries; guard_degraded; steps; qor; extra = [] }
+
+(* {1 Encoding} *)
+
+let step_json s =
+  Jsonout.Obj
+    [ ("step", Jsonout.String s.step);
+      ("wall_ms", Jsonout.Float s.wall_ms);
+      ("attempts", Jsonout.Int s.attempts);
+      ("rung", Jsonout.Int s.rung) ]
+
+let qor_json q =
+  Jsonout.Obj
+    [ ("cells", Jsonout.Int q.cells);
+      ("area_um2", Jsonout.Float q.area_um2);
+      ("wns_ps", Jsonout.Float q.wns_ps);
+      ("wirelength_um", Jsonout.Float q.wirelength_um);
+      ("drc_violations", Jsonout.Int q.drc_violations) ]
+
+let to_json r =
+  let opt_int = function Some i -> Jsonout.Int i | None -> Jsonout.Null in
+  Jsonout.Obj
+    ([ ("schema", Jsonout.Int r.schema);
+       ("design", Jsonout.String r.design);
+       ("node", Jsonout.String r.node);
+       ("preset", Jsonout.String r.preset);
+       ("verdict", Jsonout.String r.verdict);
+       ("total_wall_ms", Jsonout.Float r.total_wall_ms);
+       ("injected", Jsonout.List (List.map (fun s -> Jsonout.String s) r.injected));
+       ("fault_seed", opt_int r.fault_seed);
+       ("max_retries", opt_int r.max_retries);
+       ("guard_retries", Jsonout.Int r.guard_retries);
+       ("guard_degraded", Jsonout.Int r.guard_degraded);
+       ("steps", Jsonout.List (List.map step_json r.steps));
+       ("qor", match r.qor with Some q -> qor_json q | None -> Jsonout.Null) ]
+    @ r.extra)
+
+(* {1 Tolerant decoding} *)
+
+let known_fields =
+  [ "schema"; "design"; "node"; "preset"; "verdict"; "total_wall_ms"; "injected";
+    "fault_seed"; "max_retries"; "guard_retries"; "guard_degraded"; "steps"; "qor" ]
+
+let as_float = function
+  | Some (Jsonout.Float f) -> Some f
+  | Some (Jsonout.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let as_int = function
+  | Some (Jsonout.Int i) -> Some i
+  | Some (Jsonout.Float f) -> Some (int_of_float f)
+  | _ -> None
+
+let as_string = function Some (Jsonout.String s) -> Some s | _ -> None
+
+let get_float j key d = Option.value (as_float (Jsonout.member key j)) ~default:d
+let get_int j key d = Option.value (as_int (Jsonout.member key j)) ~default:d
+let get_string j key d = Option.value (as_string (Jsonout.member key j)) ~default:d
+
+let step_of_json j =
+  { step = get_string j "step" "?";
+    wall_ms = get_float j "wall_ms" 0.0;
+    attempts = get_int j "attempts" 1;
+    rung = get_int j "rung" 0 }
+
+let qor_of_json j =
+  { cells = get_int j "cells" 0;
+    area_um2 = get_float j "area_um2" 0.0;
+    wns_ps = get_float j "wns_ps" 0.0;
+    wirelength_um = get_float j "wirelength_um" 0.0;
+    drc_violations = get_int j "drc_violations" 0 }
+
+let of_json j =
+  let members =
+    match j with
+    | Jsonout.Obj ms -> ms
+    | _ -> failwith "Runlog.of_json: record is not a JSON object"
+  in
+  let injected =
+    match Jsonout.member "injected" j with
+    | Some (Jsonout.List xs) ->
+      List.filter_map (function Jsonout.String s -> Some s | _ -> None) xs
+    | _ -> []
+  in
+  let steps =
+    match Jsonout.member "steps" j with
+    | Some (Jsonout.List xs) -> List.map step_of_json xs
+    | _ -> []
+  in
+  let qor =
+    match Jsonout.member "qor" j with
+    | Some (Jsonout.Obj _ as q) -> Some (qor_of_json q)
+    | _ -> None
+  in
+  { schema = get_int j "schema" schema_version;
+    design = get_string j "design" "?";
+    node = get_string j "node" "?";
+    preset = get_string j "preset" "?";
+    verdict = get_string j "verdict" "?";
+    total_wall_ms = get_float j "total_wall_ms" 0.0;
+    injected;
+    fault_seed = as_int (Jsonout.member "fault_seed" j);
+    max_retries = as_int (Jsonout.member "max_retries" j);
+    guard_retries = get_int j "guard_retries" 0;
+    guard_degraded = get_int j "guard_degraded" 0;
+    steps;
+    qor;
+    extra = List.filter (fun (k, _) -> not (List.mem k known_fields)) members }
+
+(* {1 File I/O} *)
+
+let append ~path r =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Jsonout.to_string (to_json r));
+      output_char oc '\n')
+
+let load ~path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let records = ref [] in
+        (try
+           while true do
+             let line = String.trim (input_line ic) in
+             if line <> "" then
+               match of_json (Jsonout.of_string line) with
+               | r -> records := r :: !records
+               | exception Failure _ -> ()
+           done
+         with End_of_file -> ());
+        List.rev !records)
+  end
+
+let last = function [] -> None | records -> Some (List.nth records (List.length records - 1))
+
+let matching ~design ~node ~preset records =
+  List.filter
+    (fun r -> r.design = design && r.node = node && r.preset = preset)
+    records

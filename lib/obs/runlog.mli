@@ -1,0 +1,91 @@
+(** Append-only JSONL run ledger.
+
+    iEDA's experience (PAPERS.md) is that an open flow earns trust by
+    continuously publishing QoR and runtime numbers; Croc's is that
+    students need reproducible end-to-end runs they can {e compare}.
+    This module is the persistent record both presume: every flow run
+    appends one JSON object per line capturing what ran (design, node,
+    preset, fault/guard configuration), what happened (verdict, retries,
+    degradations, per-step wall times) and what came out (the QoR
+    snapshot). [Regress] diffs records; [eduflow report/compare] reads
+    them.
+
+    The format is forward-tolerant: each record is tagged with
+    {!schema_version}, unknown fields survive a read/write round trip in
+    {!record.extra}, and {!load} skips lines it cannot parse instead of
+    failing the whole ledger. *)
+
+val schema_version : int
+(** Version written by {!to_json}; currently [1]. *)
+
+type step = {
+  step : string;
+  wall_ms : float;  (** 0 when the run was not telemetry-instrumented *)
+  attempts : int;  (** guard attempts, [1] = clean first try *)
+  rung : int;  (** effort-ladder rung that produced the result; [-1] = gave up *)
+}
+
+type qor = {
+  cells : int;
+  area_um2 : float;
+  wns_ps : float;
+  wirelength_um : float;
+  drc_violations : int;
+}
+
+type record = {
+  schema : int;
+  design : string;
+  node : string;
+  preset : string;
+  verdict : string;  (** [Flow.verdict_to_string] form: [ok], [degraded(...)], [failed(...)] *)
+  total_wall_ms : float;
+  injected : string list;  (** armed fault specs, [Fault.arming_to_string] form *)
+  fault_seed : int option;
+  max_retries : int option;
+  guard_retries : int;  (** total retried attempts across all steps *)
+  guard_degraded : int;  (** steps that completed below configured effort *)
+  steps : step list;
+  qor : qor option;  (** [None] for aborted runs *)
+  extra : (string * Jsonout.t) list;  (** unknown fields, preserved verbatim *)
+}
+
+val make :
+  design:string ->
+  node:string ->
+  preset:string ->
+  verdict:string ->
+  total_wall_ms:float ->
+  ?injected:string list ->
+  ?fault_seed:int ->
+  ?max_retries:int ->
+  ?guard_retries:int ->
+  ?guard_degraded:int ->
+  ?steps:step list ->
+  ?qor:qor ->
+  unit ->
+  record
+
+val to_json : record -> Jsonout.t
+(** One flat object; [extra] members are re-emitted after the known
+    fields. *)
+
+val of_json : Jsonout.t -> record
+(** Tolerant decode: missing fields take neutral defaults, numeric
+    fields accept either [Int] or [Float], and unrecognized members are
+    collected into [extra].
+    @raise Failure if the value is not a JSON object. *)
+
+val append : path:string -> record -> unit
+(** Append one compact line to the ledger, creating the file if needed. *)
+
+val load : path:string -> record list
+(** All parseable records, file order. Blank and malformed lines are
+    skipped (an append-only ledger shared between tool versions must
+    not be poisoned by one bad line). A missing file is an empty ledger. *)
+
+val last : record list -> record option
+
+val matching : design:string -> node:string -> preset:string -> record list -> record list
+(** Records of the same (design, node, preset) triple — the comparable
+    population for regression checks. *)

@@ -1,0 +1,25 @@
+(* Append a synthetically slowed copy of a ledger's last record: 10x the
+   wall times plus a 500 ms absolute bump, comfortably past both the
+   relative threshold and the absolute floor of the default regression
+   gate. The @regresscheck alias uses this to assert that
+   [eduflow compare] detects the slowdown. *)
+
+module Runlog = Educhip_obs.Runlog
+
+let () =
+  let path = Sys.argv.(1) in
+  match Runlog.last (Runlog.load ~path) with
+  | None ->
+    prerr_endline "regressgen: ledger is empty";
+    exit 2
+  | Some r ->
+    let slow ms = (ms *. 10.0) +. 500.0 in
+    let slowed =
+      { r with
+        Runlog.total_wall_ms = slow r.Runlog.total_wall_ms;
+        steps =
+          List.map
+            (fun s -> { s with Runlog.wall_ms = slow s.Runlog.wall_ms })
+            r.Runlog.steps }
+    in
+    Runlog.append ~path slowed

@@ -130,6 +130,34 @@ let test_json_escaping () =
   check Alcotest.string "string emit" "\"line\\nbreak\""
     (Jsonout.to_string (Jsonout.String "line\nbreak"))
 
+let test_json_control_chars () =
+  (* every control character U+0000-U+001F must emit as an escape and
+     survive a parse round trip *)
+  for code = 0 to 0x1f do
+    let s = Printf.sprintf "a%cb" (Char.chr code) in
+    let emitted = Jsonout.escape_string s in
+    String.iter
+      (fun c ->
+        check Alcotest.bool
+          (Printf.sprintf "U+%04X emits no raw control byte" code)
+          true
+          (Char.code c >= 0x20))
+      emitted;
+    check Alcotest.bool
+      (Printf.sprintf "U+%04X round-trips" code)
+      true
+      (Jsonout.of_string emitted = Jsonout.String s)
+  done
+
+let test_json_non_ascii () =
+  (* UTF-8 multi-byte sequences and stray high bytes pass through verbatim *)
+  let utf8 = "caf\xc3\xa9 \xe2\x82\xac" in
+  check Alcotest.string "utf-8 passes through" ("\"" ^ utf8 ^ "\"")
+    (Jsonout.escape_string utf8);
+  let stray = "x\xffy\x80z" in
+  check Alcotest.bool "high bytes round-trip" true
+    (Jsonout.of_string (Jsonout.escape_string stray) = Jsonout.String stray)
+
 let test_json_nonfinite () =
   check Alcotest.string "nan is null" "null" (Jsonout.to_string (Jsonout.Float nan));
   check Alcotest.string "infinity is null" "null"
@@ -208,6 +236,62 @@ let test_metrics_schema () =
     check Alcotest.bool "mean" true (Jsonout.member "mean" h = Some (Jsonout.Float 2.0));
     check Alcotest.bool "bins present" true (Jsonout.member "bins" h <> None)
   | _ -> Alcotest.fail "histograms array missing"
+
+let test_histogram_summary_stats () =
+  let samples = List.init 100 (fun i -> float_of_int (i + 1)) in
+  let c = Obs.create () in
+  Obs.with_collector c (fun () ->
+      List.iter (Obs.observe "lat") samples;
+      Obs.declare_gauge "depth");
+  let json = Jsonout.of_string (Jsonout.to_string (Obs.metrics_json c)) in
+  (match Jsonout.member "histograms" json with
+  | Some (Jsonout.List [ h ]) ->
+    let field name =
+      match Jsonout.member name h with
+      | Some (Jsonout.Float f) -> f
+      | Some (Jsonout.Int i) -> float_of_int i
+      | _ -> Alcotest.failf "histogram field %s missing" name
+    in
+    check (Alcotest.float 1e-6) "p99" (Stats.percentile 99.0 samples) (field "p99");
+    check (Alcotest.float 1e-6) "stddev" (Stats.stddev samples) (field "stddev");
+    check Alcotest.bool "p95 still present" true (Jsonout.member "p95" h <> None)
+  | _ -> Alcotest.fail "histograms array missing");
+  check Alcotest.bool "declare_gauge registers at zero" true
+    (Obs.gauge_value c "depth" = Some 0.0)
+
+(* {1 Prometheus text exposition} *)
+
+let test_metrics_text () =
+  let c = Obs.create () in
+  Obs.with_collector c (fun () ->
+      Obs.add_counter "place.moves_accepted" ~labels:[ ("design", "alu8") ] 7;
+      Obs.add_counter "place.moves_accepted" ~labels:[ ("design", "mult8") ] 2;
+      Obs.set_gauge "queue.depth" 2.5;
+      List.iter (Obs.observe "guard.backoff_ms") [ 50.0; 100.0 ]);
+  let text = Obs.metrics_text c in
+  let lines = String.split_on_char '\n' text in
+  let has l = List.mem l lines in
+  check Alcotest.bool "dotted name sanitized + labeled" true
+    (has {|place_moves_accepted{design="alu8"} 7|});
+  check Alcotest.bool "one TYPE line per family" true
+    (1
+    = List.length
+        (List.filter (fun l -> l = "# TYPE place_moves_accepted counter") lines));
+  check Alcotest.bool "gauge line" true (has "queue_depth 2.5");
+  check Alcotest.bool "summary quantile" true
+    (has {|guard_backoff_ms{quantile="0.5"} 75|});
+  check Alcotest.bool "summary sum and count" true
+    (has "guard_backoff_ms_sum 150" && has "guard_backoff_ms_count 2")
+
+let test_metrics_text_escaping () =
+  let c = Obs.create () in
+  Obs.with_collector c (fun () ->
+      Obs.incr_counter "hits" ~labels:[ ("path", "a\\b \"q\" \nend") ]);
+  let text = Obs.metrics_text c in
+  check Alcotest.bool "backslash, quote, newline escaped" true
+    (let expected = {|hits{path="a\\b \"q\" \nend"} 1|} in
+     List.mem expected (String.split_on_char '\n' text));
+  check Alcotest.string "leading digit sanitized" "_2x" (Obs.prom_name "42x")
 
 (* {1 Stats.histogram constant-input regression} *)
 

@@ -1,0 +1,145 @@
+module Obs = Educhip_obs.Obs
+module Prof = Educhip_obs.Prof
+
+let check = Alcotest.check
+
+let node ?(children = []) name total_us =
+  { Prof.node_name = name; total_us; children }
+
+(* alu-like shape used by several cases:
+     run(100) > synth(30) > opt(10)
+              > place(50) > anneal(45)
+   self: run 20, synth 20, opt 10, place 5, anneal 45 *)
+let tree =
+  node "run" 100.0
+    ~children:
+      [ node "synth" 30.0 ~children:[ node "opt" 10.0 ];
+        node "place" 50.0 ~children:[ node "anneal" 45.0 ] ]
+
+(* {1 Self-time} *)
+
+let test_self_single () =
+  check (Alcotest.float 1e-9) "leaf self = total" 7.5 (Prof.self_us (node "x" 7.5))
+
+let test_self_vs_total () =
+  check (Alcotest.float 1e-9) "parent self excludes children" 20.0 (Prof.self_us tree);
+  check (Alcotest.float 1e-9) "inner node" 5.0
+    (Prof.self_us (node "place" 50.0 ~children:[ node "anneal" 45.0 ]))
+
+let test_self_clamped () =
+  (* children can overlap the parent end by clock skew; never negative *)
+  let skewed = node "p" 10.0 ~children:[ node "c" 12.0 ] in
+  check (Alcotest.float 1e-9) "clamped at zero" 0.0 (Prof.self_us skewed)
+
+(* {1 Aggregation} *)
+
+let test_aggregate () =
+  let aggs = Prof.aggregate [ tree ] in
+  let find name = List.find (fun a -> a.Prof.agg_name = name) aggs in
+  check Alcotest.int "five names" 5 (List.length aggs);
+  check Alcotest.string "sorted by self-time desc" "anneal"
+    (List.hd aggs).Prof.agg_name;
+  let synth = find "synth" in
+  check Alcotest.int "calls" 1 synth.Prof.calls;
+  check (Alcotest.float 1e-9) "total" 30.0 synth.Prof.agg_total_us;
+  check (Alcotest.float 1e-9) "self" 20.0 synth.Prof.agg_self_us;
+  (* total self-time across names equals wall time of the forest *)
+  let self_sum = List.fold_left (fun acc a -> acc +. a.Prof.agg_self_us) 0.0 aggs in
+  check (Alcotest.float 1e-9) "self partitions wall time" 100.0 self_sum
+
+let test_aggregate_recursive_name () =
+  (* a name nested under itself: totals double-count, self must not *)
+  let rec_tree = node "f" 10.0 ~children:[ node "f" 6.0 ] in
+  match Prof.aggregate [ rec_tree ] with
+  | [ a ] ->
+    check Alcotest.int "two calls, one name" 2 a.Prof.calls;
+    check (Alcotest.float 1e-9) "total exceeds wall" 16.0 a.Prof.agg_total_us;
+    check (Alcotest.float 1e-9) "self equals wall" 10.0 a.Prof.agg_self_us;
+    check (Alcotest.float 1e-9) "max is the largest single span" 10.0 a.Prof.max_us
+  | aggs -> Alcotest.failf "expected one aggregate, got %d" (List.length aggs)
+
+(* {1 Critical path} *)
+
+let test_critical_path_deep_chain () =
+  let chain =
+    node "a" 100.0
+      ~children:[ node "b" 80.0 ~children:[ node "c" 60.0 ~children:[ node "d" 1.0 ] ] ]
+  in
+  check
+    Alcotest.(list string)
+    "follows the chain to the leaf" [ "a"; "b"; "c"; "d" ]
+    (List.map fst (Prof.critical_path [ chain ]))
+
+let test_critical_path_picks_heaviest () =
+  let forest = [ node "light" 10.0; tree ] in
+  check
+    Alcotest.(list string)
+    "heaviest root, then heaviest child" [ "run"; "place"; "anneal" ]
+    (List.map fst (Prof.critical_path forest));
+  check Alcotest.bool "empty forest" true (Prof.critical_path [] = [])
+
+(* {1 Folded stacks} *)
+
+let test_folded_paths () =
+  let folded = Prof.folded [ tree ] in
+  check Alcotest.int "one entry per unique path" 5 (List.length folded);
+  let weight path = List.assoc path folded in
+  check (Alcotest.float 1e-9) "root keeps only self-time" 20.0 (weight [ "run" ]);
+  check (Alcotest.float 1e-9) "leaf path" 45.0 (weight [ "run"; "place"; "anneal" ]);
+  (* duplicate paths across the forest merge *)
+  let merged = Prof.folded [ node "r" 3.0; node "r" 4.0 ] in
+  check Alcotest.int "merged to one line" 1 (List.length merged);
+  check (Alcotest.float 1e-9) "weights summed" 7.0 (List.assoc [ "r" ] merged)
+
+let test_folded_lines_format () =
+  let lines = String.split_on_char '\n' (Prof.folded_lines [ tree ]) in
+  let lines = List.filter (fun l -> l <> "") lines in
+  check Alcotest.int "five lines" 5 (List.length lines);
+  List.iter
+    (fun line ->
+      match String.rindex_opt line ' ' with
+      | None -> Alcotest.failf "no count field in %S" line
+      | Some i ->
+        let count = String.sub line (i + 1) (String.length line - i - 1) in
+        check Alcotest.bool
+          (Printf.sprintf "integer count in %S" line)
+          true
+          (int_of_string_opt count <> None))
+    lines;
+  check Alcotest.bool "stack separator present" true
+    (List.exists (fun l -> String.length l > 9 && String.sub l 0 9 = "run;place") lines);
+  (* a semicolon inside a span name must not split the frame *)
+  check Alcotest.string "semicolon sanitized" "a_b 2\n"
+    (Prof.folded_lines [ node "a;b" 2.0 ])
+
+(* {1 From a live collector} *)
+
+let test_of_collector () =
+  let c = Obs.create () in
+  Obs.with_collector c (fun () ->
+      Obs.with_span "outer" (fun () -> Obs.with_span "inner" (fun () -> ())));
+  match Prof.of_collector c with
+  | [ root ] ->
+    check Alcotest.string "root name" "outer" root.Prof.node_name;
+    check
+      Alcotest.(list string)
+      "child preserved" [ "inner" ]
+      (List.map (fun n -> n.Prof.node_name) root.Prof.children);
+    check Alcotest.bool "duration scaled to us, non-negative" true
+      (root.Prof.total_us >= 0.0)
+  | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+
+let suite =
+  [
+    Alcotest.test_case "self-time of a single node" `Quick test_self_single;
+    Alcotest.test_case "self-time vs total-time" `Quick test_self_vs_total;
+    Alcotest.test_case "self-time clamped at zero" `Quick test_self_clamped;
+    Alcotest.test_case "per-name aggregation" `Quick test_aggregate;
+    Alcotest.test_case "recursive name self-time" `Quick test_aggregate_recursive_name;
+    Alcotest.test_case "critical path: deep chain" `Quick test_critical_path_deep_chain;
+    Alcotest.test_case "critical path: heaviest branch" `Quick
+      test_critical_path_picks_heaviest;
+    Alcotest.test_case "folded stack paths" `Quick test_folded_paths;
+    Alcotest.test_case "folded lines format" `Quick test_folded_lines_format;
+    Alcotest.test_case "node tree from collector" `Quick test_of_collector;
+  ]
