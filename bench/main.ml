@@ -30,6 +30,10 @@ module Jsonout = Educhip_obs.Jsonout
 module Runlog = Educhip_obs.Runlog
 module Fault = Educhip_fault.Fault
 module Guard = Educhip_fault.Guard
+module Mclock = Educhip_util.Mclock
+module Manifest = Educhip_sched.Manifest
+module Cache = Educhip_sched.Cache
+module Sched = Educhip_sched.Sched
 
 let node130 = Pdk.find_node "edu130"
 
@@ -965,10 +969,12 @@ let flow_telemetry () =
     (List.length runs) (List.length !deltas) (List.length runs);
   (* overhead of the disabled probes: same design, with and without a
      collector installed; medians over a few repetitions *)
+  (* monotonic clock: the same timebase the scheduler's workers use, and
+     immune to wall-clock steps between the two samples *)
   let time_run () =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Mclock.now_ms () in
     ignore (Flow.run_design (Designs.find "alu8") (Flow.config ~node:node130 Flow.Open_flow));
-    (Unix.gettimeofday () -. t0) *. 1000.0
+    Mclock.elapsed_ms t0
   in
   let reps = 5 in
   let disabled = List.init reps (fun _ -> time_run ()) in
@@ -1056,7 +1062,89 @@ let fault_matrix () =
            Jsonout.Float (float_of_int deterministic /. float_of_int n) ) ]);
   Printf.printf "wrote BENCH_faults.json (%d cells)\n" n
 
+(* Campaign scheduler: the same 12-job multi-tenant manifest serially
+   (1 worker, cold cache), in parallel (4 workers, cold cache), and warm
+   (4 workers, the parallel run's cache) -> BENCH_batch.json. *)
+let batch_bench () =
+  banner "BATCH" "campaign makespans: serial vs parallel vs warm cache -> BENCH_batch.json";
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  let manifest =
+    Manifest.parse_string ~source:"bench-batch"
+      {|
+tenant uni-a weight=2
+tenant uni-b weight=1
+tenant course weight=1
+gray8   tenant=uni-a
+adder8  tenant=uni-a preset=commercial
+mult4   tenant=uni-a priority=2
+lfsr16  tenant=uni-a preset=teaching
+counter tenant=uni-b
+cmp16   tenant=uni-b preset=commercial
+prio16  tenant=uni-b
+popcount16 tenant=uni-b preset=teaching
+counter tenant=course preset=teaching repeat=2
+gray8   tenant=course preset=teaching repeat=2
+|}
+  in
+  let njobs = List.length manifest.Manifest.jobs in
+  let dir_serial = "BENCH_batch_cache_serial" in
+  let dir_par = "BENCH_batch_cache_parallel" in
+  rm_rf dir_serial;
+  rm_rf dir_par;
+  let campaign ~workers ~dir =
+    snd (Sched.run ~workers ~cache:(Cache.create ~dir ()) manifest)
+  in
+  let serial = campaign ~workers:1 ~dir:dir_serial in
+  let workers = min 4 (Sched.default_workers ()) in
+  let parallel = campaign ~workers ~dir:dir_par in
+  let warm = campaign ~workers ~dir:dir_par in
+  rm_rf dir_serial;
+  rm_rf dir_par;
+  let hit_rate (s : Sched.summary) =
+    let total = s.Sched.cache_hits + s.Sched.cache_misses in
+    if total = 0 then 0.0 else float_of_int s.Sched.cache_hits /. float_of_int total
+  in
+  let line label (s : Sched.summary) =
+    Printf.printf "%-22s %2d workers  makespan %8.1f ms  hit rate %3.0f%%\n" label
+      s.Sched.workers s.Sched.makespan_ms (100.0 *. hit_rate s)
+  in
+  line "serial cold" serial;
+  line "parallel cold" parallel;
+  line "parallel warm" warm;
+  Printf.printf "parallel speedup %.2fx, warm-cache speedup %.1fx (over serial cold)\n"
+    (serial.Sched.makespan_ms /. parallel.Sched.makespan_ms)
+    (serial.Sched.makespan_ms /. warm.Sched.makespan_ms);
+  Jsonout.write_file ~path:"BENCH_batch.json"
+    (Jsonout.Obj
+       [ ("jobs", Jsonout.Int njobs);
+         ("workers", Jsonout.Int workers);
+         ("serial_ms", Jsonout.Float serial.Sched.makespan_ms);
+         ("parallel_ms", Jsonout.Float parallel.Sched.makespan_ms);
+         ("warm_ms", Jsonout.Float warm.Sched.makespan_ms);
+         ( "parallel_speedup",
+           Jsonout.Float (serial.Sched.makespan_ms /. parallel.Sched.makespan_ms) );
+         ( "warm_speedup",
+           Jsonout.Float (serial.Sched.makespan_ms /. warm.Sched.makespan_ms) );
+         ("cold_hit_rate", Jsonout.Float (hit_rate parallel));
+         ("warm_hit_rate", Jsonout.Float (hit_rate warm));
+         ("summary_serial", Sched.summary_json serial);
+         ("summary_parallel", Sched.summary_json parallel);
+         ("summary_warm", Sched.summary_json warm) ]);
+  Printf.printf "wrote BENCH_batch.json (%d jobs)\n" njobs
+
 let () =
+  let batch_only = Array.exists (fun a -> a = "--batch") Sys.argv in
+  if batch_only then begin
+    batch_bench ();
+    exit 0
+  end;
   let faults_only = Array.exists (fun a -> a = "--faults") Sys.argv in
   if faults_only then begin
     fault_matrix ();

@@ -24,6 +24,10 @@ module Runlog = Educhip_obs.Runlog
 module Regress = Educhip_obs.Regress
 module Fault = Educhip_fault.Fault
 module Guard = Educhip_fault.Guard
+module Jsonout = Educhip_obs.Jsonout
+module Manifest = Educhip_sched.Manifest
+module Cache = Educhip_sched.Cache
+module Sched = Educhip_sched.Sched
 
 open Cmdliner
 
@@ -518,6 +522,170 @@ let compare_cmd =
       $ max_step_pct_arg $ wall_floor_arg $ max_cells_pct_arg $ max_area_pct_arg
       $ max_wirelength_pct_arg $ wns_margin_arg $ max_drc_arg)
 
+(* {1 Campaign batch runs} *)
+
+let batch_job_key (j : Manifest.job) =
+  let netlist = Designs.netlist (Designs.find j.Manifest.design) in
+  let node = Pdk.find_node j.Manifest.node in
+  let cfg = Flow.config ~node ?clock_period_ps:j.Manifest.clock_ps j.Manifest.preset in
+  Cache.job_key ~netlist ~cfg ~inject:j.Manifest.inject
+    ~fault_seed:j.Manifest.fault_seed ~retries:j.Manifest.retries
+
+let run_batch manifest_path jobs_opt no_cache cache_dir cache_max dry_run max_requeues
+    trace_path metrics_path prom_path ledger_path summary_path =
+  let manifest =
+    match Manifest.load ~path:manifest_path with
+    | m -> m
+    | exception Invalid_argument msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+    | exception Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  let cache =
+    if no_cache then None else Some (Cache.create ~max_entries:cache_max ~dir:cache_dir ())
+  in
+  let workers = Option.value jobs_opt ~default:(Sched.default_workers ()) in
+  if workers < 1 then begin
+    Printf.eprintf "--jobs must be >= 1, got %d\n" workers;
+    exit 2
+  end;
+  let njobs = List.length manifest.Manifest.jobs in
+  if dry_run then begin
+    Printf.printf "campaign %s: %d job%s on %d worker%s, cache %s\n" manifest_path
+      njobs
+      (if njobs = 1 then "" else "s")
+      workers
+      (if workers = 1 then "" else "s")
+      (match cache with
+      | Some _ -> Printf.sprintf "on (%s, max %d entries)" cache_dir cache_max
+      | None -> "off");
+    List.iter
+      (fun (j : Manifest.job) ->
+        let prediction =
+          match cache with
+          | None -> "run "
+          | Some c -> if Cache.probe c (batch_job_key j) then "hit " else "miss"
+        in
+        Printf.printf "  %s  %s\n" prediction (Manifest.job_summary j))
+      manifest.Manifest.jobs;
+    let hits =
+      match cache with
+      | None -> 0
+      | Some c ->
+        List.length
+          (List.filter (fun j -> Cache.probe c (batch_job_key j)) manifest.Manifest.jobs)
+    in
+    Printf.printf "predicted: %d cache hit%s, %d flow run%s (nothing executed)\n" hits
+      (if hits = 1 then "" else "s")
+      (njobs - hits)
+      (if njobs - hits = 1 then "" else "s")
+  end
+  else begin
+    let _collector =
+      setup_telemetry ?trace:trace_path ?metrics:metrics_path ?metrics_text:prom_path
+        ~need_collector:false ()
+    in
+    let results, summary = Sched.run ~workers ?cache ~max_requeues manifest in
+    List.iter
+      (fun (r : Sched.job_result) ->
+        Printf.printf "  %-5s w%d  %s  -> %s\n"
+          (if r.Sched.from_cache then "hit" else "run")
+          r.Sched.worker
+          (Manifest.job_summary r.Sched.job)
+          r.Sched.verdict)
+      results;
+    (* ledger records in manifest order, so report/compare see a stable
+       sequence regardless of which worker finished first *)
+    Option.iter
+      (fun path ->
+        List.iter (fun (r : Sched.job_result) -> Runlog.append ~path r.Sched.record) results)
+      ledger_path;
+    Option.iter
+      (fun path -> Jsonout.write_file ~path (Sched.summary_json summary))
+      summary_path;
+    Format.printf "%a" Sched.pp_summary summary;
+    if summary.Sched.failed > 0 then exit 5
+  end
+
+let manifest_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"MANIFEST"
+        ~doc:
+          "Campaign manifest: one 'DESIGN key=value ...' job per line plus optional \
+           'tenant NAME weight=W' fair-share declarations ('#' comments).")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains to run jobs on (default: the machine's recommended domain \
+           count, capped at 16).")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ] ~doc:"Disable the content-addressed result cache.")
+
+let cache_dir_arg =
+  Arg.(
+    value & opt string Cache.default_dir
+    & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Result cache directory.")
+
+let cache_max_arg =
+  Arg.(
+    value & opt int Cache.default_max_entries
+    & info [ "cache-max" ] ~docv:"N"
+        ~doc:"Cache entry cap; least-recently-used entries beyond it are evicted.")
+
+let dry_run_arg =
+  Arg.(
+    value & flag
+    & info [ "dry-run" ]
+        ~doc:
+          "Resolve and print the job list with per-job cache-hit predictions, then \
+           exit without running anything.")
+
+let max_requeues_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "max-requeues" ] ~docv:"N"
+        ~doc:
+          "How many times a job whose worker crashed (the sched.worker fault site) is \
+           requeued before it is marked failed.")
+
+let summary_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "summary" ] ~docv:"PATH" ~doc:"Write the campaign summary as JSON.")
+
+let batch_cmd =
+  let doc = "run a multi-tenant campaign manifest on parallel workers" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs every job of a campaign manifest through the guarded flow on a pool of \
+         parallel worker domains, dispatching fairly across tenants (stride \
+         scheduling over the declared weights) and replaying identical jobs from a \
+         content-addressed result cache. Results, PPA, and ledger records are \
+         independent of the worker count; exit status 5 means at least one job \
+         failed.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "batch" ~doc ~man)
+    Term.(
+      const run_batch $ manifest_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg
+      $ cache_max_arg $ dry_run_arg $ max_requeues_arg $ trace_arg $ metrics_arg
+      $ prom_arg $ ledger_arg $ summary_arg)
+
 let () =
   let doc = "educhip RTL-to-GDSII flow driver" in
   let info = Cmd.info "eduflow" ~version:"1.0.0" ~doc in
@@ -525,7 +693,7 @@ let () =
      shorthand for [eduflow run counter --trace t.json]. *)
   let argv =
     let argv = Sys.argv in
-    let commands = [ "run"; "list"; "nodes"; "fpga"; "report"; "compare" ] in
+    let commands = [ "run"; "list"; "nodes"; "fpga"; "report"; "compare"; "batch" ] in
     if
       Array.length argv > 1
       && (not (String.length argv.(1) > 0 && argv.(1).[0] = '-'))
@@ -536,4 +704,4 @@ let () =
   exit
     (Cmd.eval ~argv
        (Cmd.group ~default:run_term info
-          [ run_cmd; list_cmd; nodes_cmd; fpga_cmd; report_cmd; compare_cmd ]))
+          [ run_cmd; list_cmd; nodes_cmd; fpga_cmd; report_cmd; compare_cmd; batch_cmd ]))

@@ -59,7 +59,15 @@ type slots = { mutable crash : int; mutable hang : int; mutable corrupt : int }
 
 type injector = { sites : (string, slots) Hashtbl.t; rng : Rng.t }
 
-let current : injector option ref = ref None
+(* Domain-local, like the [Obs] sink: each scheduler worker arms its
+   job's plan in its own domain, so one worker's firings never consume
+   another worker's budget and batch results stay independent of worker
+   count. A fresh domain starts disarmed. *)
+let current : injector option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let get_current () = Domain.DLS.get current
+let set_current v = Domain.DLS.set current v
 
 let arm ~seed plan =
   let sites = Hashtbl.create 16 in
@@ -79,15 +87,15 @@ let arm ~seed plan =
       | Hang -> s.hang <- s.hang + a.count
       | Corrupt -> s.corrupt <- s.corrupt + a.count)
     plan;
-  current := Some { sites; rng = Rng.create ~seed }
+  set_current (Some { sites; rng = Rng.create ~seed })
 
-let disarm () = current := None
-let active () = !current <> None
+let disarm () = set_current None
+let active () = get_current () <> None
 
 let with_plan ~seed plan f =
-  let saved = !current in
+  let saved = get_current () in
   arm ~seed plan;
-  Fun.protect ~finally:(fun () -> current := saved) f
+  Fun.protect ~finally:(fun () -> set_current saved) f
 
 let fire site kind =
   Obs.incr_counter
@@ -95,7 +103,7 @@ let fire site kind =
     "fault.injected"
 
 let check site =
-  match !current with
+  match get_current () with
   | None -> ()
   | Some inj -> (
       match Hashtbl.find_opt inj.sites site with
@@ -124,7 +132,7 @@ let check site =
           | Some Corrupt -> ())
 
 let corrupted site =
-  match !current with
+  match get_current () with
   | None -> false
   | Some inj -> (
       match Hashtbl.find_opt inj.sites site with
@@ -135,7 +143,7 @@ let corrupted site =
       | _ -> false)
 
 let remaining site =
-  match !current with
+  match get_current () with
   | None -> 0
   | Some inj -> (
       match Hashtbl.find_opt inj.sites site with

@@ -61,9 +61,11 @@ exception Injected of string * kind
     must let it escape. *)
 
 val arm : seed:int -> plan -> unit
-(** Install a fault plan process-wide, replacing any previous one.
-    Armings accumulate per (site, kind): arming a site twice with counts
-    2 and 3 behaves like one arming with count 5. *)
+(** Install a fault plan for the current domain, replacing any previous
+    one. The injector is domain-local (like the [Educhip_obs] sink), so
+    parallel scheduler workers arm independently and a fresh domain
+    starts disarmed. Armings accumulate per (site, kind): arming a site
+    twice with counts 2 and 3 behaves like one arming with count 5. *)
 
 val disarm : unit -> unit
 (** Remove the plan. Probes return to their no-op fast path. *)

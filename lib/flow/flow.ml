@@ -87,6 +87,26 @@ let config ~node ?clock_period_ps preset =
       max_fanout = None;
     }
 
+(* Every config field spelled out, so any knob that can change a result
+   changes the signature (and thus the scheduler's cache key). Floats
+   print with %h (exact hex) — two configs differing in the 15th digit
+   must not collide. *)
+let config_signature cfg =
+  let objective =
+    match cfg.synth_options.Synth.objective with
+    | Synth.Area -> "area"
+    | Synth.Delay -> "delay"
+  in
+  Printf.sprintf
+    "node=%s;synth=%d/%d/%d/%s;place=%d/%d/%d;route=%d/%d;clock=%h;util=%h;power=%d;sizing=%d;fanout=%s"
+    cfg.node.Pdk.node_name cfg.synth_options.Synth.optimization_passes
+    cfg.synth_options.Synth.cut_k cfg.synth_options.Synth.cuts_per_node objective
+    cfg.place_effort.Place.global_iterations cfg.place_effort.Place.annealing_moves
+    cfg.place_effort.Place.seed cfg.route_effort.Route.rrr_rounds
+    cfg.route_effort.Route.seed cfg.clock_period_ps cfg.utilization cfg.power_cycles
+    cfg.sizing_rounds
+    (match cfg.max_fanout with None -> "off" | Some k -> string_of_int k)
+
 type ppa = {
   area_um2 : float;
   cells : int;

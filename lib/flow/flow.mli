@@ -41,6 +41,13 @@ val config :
 
 val preset_name : preset -> string
 
+val config_signature : config -> string
+(** A deterministic, human-readable rendering of {e every} field of the
+    config (node name, all synthesis/placement/routing knobs, clock,
+    utilization, power cycles, sizing rounds, fanout cap). Two configs
+    that could produce different flow results render differently — the
+    config component of [Educhip_sched.Cache] keys. *)
+
 type ppa = {
   area_um2 : float;
   cells : int;

@@ -312,3 +312,37 @@ let pp_summary ppf t =
     (List.length (outputs t))
     (List.length (dffs t))
     (gate_count t) (logic_depth t)
+
+(* The canonical form spells out everything evaluation depends on: cell
+   ids are positional, so (kind, fanins) per id pins the whole graph;
+   Mapped cells add their truth table (a renamed library cell with a
+   different function must not collide); port labels pin the interface.
+   The netlist's display name is deliberately excluded — two structurally
+   identical designs hash equal, which is exactly what a content-
+   addressed result cache wants. *)
+let structural_digest t =
+  let buf = Buffer.create (64 * t.size) in
+  iter_cells t (fun id c ->
+      Buffer.add_string buf (string_of_int id);
+      Buffer.add_char buf '=';
+      (match c.kind with
+      | Mapped m ->
+        Buffer.add_string buf m.cell_name;
+        Buffer.add_char buf '/';
+        Buffer.add_string buf (string_of_int m.arity);
+        Buffer.add_char buf '/';
+        Buffer.add_string buf (string_of_int m.table)
+      | k -> Buffer.add_string buf (kind_name k));
+      (match c.kind with
+      | Input | Output ->
+        Buffer.add_char buf '\'';
+        Buffer.add_string buf c.label
+      | _ -> ());
+      Buffer.add_char buf '(';
+      Array.iter
+        (fun f ->
+          Buffer.add_string buf (string_of_int f);
+          Buffer.add_char buf ',')
+        c.fanins;
+      Buffer.add_string buf ");");
+  Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -156,3 +156,11 @@ val kind_table : kind -> (int * int) option
     same evaluation semantics the simulator uses, so SAT encoders and
     fault simulators cannot drift from it. [None] for [Input], [Output],
     [Const], and [Dff]. *)
+
+val structural_digest : t -> string
+(** Hex digest of the netlist's canonical structural form: every cell's
+    kind (including mapped-cell truth tables), fanins, and port labels —
+    but {e not} the netlist's display name, so structurally identical
+    designs hash equal. The key ingredient of the scheduler's
+    content-addressed result cache: any change that could alter flow
+    results changes the digest. *)

@@ -33,11 +33,16 @@ let escape_string s =
   Buffer.contents buf
 
 (* integer-valued floats keep a ".0" so Float survives a round trip; JSON
-   has no representation for non-finite numbers, so those become null *)
+   has no representation for non-finite numbers, so those become null.
+   12 significant digits cover almost every value we emit; when they do
+   not reparse to the same double (the result cache replays PPA numbers
+   and must be bit-exact) fall back to the full 17 *)
 let float_repr f =
   if not (Float.is_finite f) then "null"
   else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
-  else Printf.sprintf "%.12g" f
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
 
 let to_string ?(pretty = false) v =
   let buf = Buffer.create 256 in

@@ -1,4 +1,5 @@
 module Stats = Educhip_util.Stats
+module Mclock = Educhip_util.Mclock
 
 type value = Bool of bool | Int of int | Float of float | Str of string
 
@@ -23,7 +24,7 @@ type collector = {
 
 let create () =
   {
-    epoch = Unix.gettimeofday ();
+    epoch = Mclock.now_s ();
     roots = [];
     stack = [];
     counters = Hashtbl.create 32;
@@ -31,25 +32,33 @@ let create () =
     histograms = Hashtbl.create 16;
   }
 
-(* The installed sink. Every probe below checks this first, so with no
-   collector the cost is one load and branch. *)
-let current : collector option ref = ref None
+(* The installed sink, one slot per domain: every probe below checks it
+   first, so with no collector the cost is one DLS load and a branch.
+   Domain-local (rather than a plain ref) so parallel scheduler workers
+   each trace into their own collector without synchronization — a
+   freshly spawned domain starts with no collector installed. *)
+let current : collector option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
-let install c = current := Some c
-let uninstall () = current := None
-let enabled () = !current <> None
+let get_current () = Domain.DLS.get current
+let set_current v = Domain.DLS.set current v
+
+let install c = set_current (Some c)
+let uninstall () = set_current None
+let enabled () = get_current () <> None
+let installed () = get_current ()
 
 let with_collector c f =
-  let previous = !current in
-  current := Some c;
-  Fun.protect ~finally:(fun () -> current := previous) f
+  let previous = get_current () in
+  set_current (Some c);
+  Fun.protect ~finally:(fun () -> set_current previous) f
 
 (* {1 Spans} *)
 
-let now_us c = (Unix.gettimeofday () -. c.epoch) *. 1e6
+let now_us c = (Mclock.now_s () -. c.epoch) *. 1e6
 
 let timed ?(attrs = []) name f =
-  match !current with
+  match get_current () with
   | None -> (f (), None)
   | Some c ->
     let span =
@@ -81,7 +90,7 @@ let timed ?(attrs = []) name f =
 let with_span ?attrs name f = fst (timed ?attrs name f)
 
 let set_attr key v =
-  match !current with
+  match get_current () with
   | None -> ()
   | Some c -> (
     match c.stack with
@@ -116,7 +125,7 @@ let span_attrs s =
 let key name labels = { metric_name = name; labels = List.sort compare labels }
 
 let add_counter ?(labels = []) name n =
-  match !current with
+  match get_current () with
   | None -> ()
   | Some c -> (
     let k = key name labels in
@@ -128,7 +137,7 @@ let incr_counter ?labels name = add_counter ?labels name 1
 let declare_counter ?labels name = add_counter ?labels name 0
 
 let set_gauge ?(labels = []) name v =
-  match !current with
+  match get_current () with
   | None -> ()
   | Some c -> (
     let k = key name labels in
@@ -137,14 +146,14 @@ let set_gauge ?(labels = []) name v =
     | None -> Hashtbl.replace c.gauges k (ref v))
 
 let declare_gauge ?(labels = []) name =
-  match !current with
+  match get_current () with
   | None -> ()
   | Some c ->
     let k = key name labels in
     if not (Hashtbl.mem c.gauges k) then Hashtbl.replace c.gauges k (ref 0.0)
 
 let observe ?(labels = []) name v =
-  match !current with
+  match get_current () with
   | None -> ()
   | Some c -> (
     let k = key name labels in
@@ -162,6 +171,44 @@ let histogram_samples c ?(labels = []) name =
   match Hashtbl.find_opt c.histograms (key name labels) with
   | Some r -> List.rev !r
   | None -> []
+
+(* {1 Merging}
+
+   Fold a worker collector into a campaign-level one: counters add,
+   gauges last-write-wins (the source is the newer state), histogram
+   samples append, and completed root spans transfer re-based onto the
+   destination's epoch — both epochs come from the same monotonic clock,
+   so the offset is exact and the merged trace keeps real timing. *)
+
+let merge ~into:dst src =
+  Hashtbl.iter
+    (fun k r ->
+      match Hashtbl.find_opt dst.counters k with
+      | Some d -> d := !d + !r
+      | None -> Hashtbl.replace dst.counters k (ref !r))
+    src.counters;
+  Hashtbl.iter
+    (fun k r ->
+      match Hashtbl.find_opt dst.gauges k with
+      | Some d -> d := !r
+      | None -> Hashtbl.replace dst.gauges k (ref !r))
+    src.gauges;
+  Hashtbl.iter
+    (fun k r ->
+      match Hashtbl.find_opt dst.histograms k with
+      | Some d -> d := !r @ !d (* both newest-first; src samples are newer *)
+      | None -> Hashtbl.replace dst.histograms k (ref !r))
+    src.histograms;
+  let offset_us = (src.epoch -. dst.epoch) *. 1e6 in
+  let rec rebase span =
+    {
+      span with
+      start_us = span.start_us +. offset_us;
+      stop_us = span.stop_us +. offset_us;
+      children = List.map rebase span.children;
+    }
+  in
+  dst.roots <- List.map rebase src.roots @ dst.roots
 
 (* {1 Export} *)
 

@@ -23,14 +23,18 @@
 
 type collector
 (** Accumulates spans and metrics between {!install} and {!uninstall}.
-    Timestamps are microseconds since the collector was created
-    ([Unix.gettimeofday]-based). *)
+    Timestamps are microseconds since the collector was created, read
+    from the monotonic clock ([Educhip_util.Mclock]) so they stay
+    comparable across domains and immune to wall-clock steps. *)
 
 val create : unit -> collector
 
 val install : collector -> unit
-(** Make [collector] the telemetry sink for every probe in the process.
-    Replaces any previously installed collector. *)
+(** Make [collector] the telemetry sink for every probe {e in the
+    current domain}. Replaces any previously installed collector. The
+    sink is domain-local: a freshly spawned domain starts with no
+    collector, so parallel workers install (and own) their own — see
+    {!merge} for folding worker telemetry back together. *)
 
 val uninstall : unit -> unit
 (** Return to the no-op sink. *)
@@ -38,6 +42,10 @@ val uninstall : unit -> unit
 val enabled : unit -> bool
 (** Is a collector installed? Instrumented code may use this to skip
     work (e.g. recomputing a statistic) that only feeds telemetry. *)
+
+val installed : unit -> collector option
+(** The current domain's collector, if any — the handle an orchestrator
+    needs to {!merge} worker collectors into the caller's sink. *)
 
 val with_collector : collector -> (unit -> 'a) -> 'a
 (** [with_collector c f] installs [c] around [f], restoring the
@@ -109,6 +117,15 @@ val gauge_value : collector -> ?labels:(string * string) list -> string -> float
 
 val histogram_samples : collector -> ?labels:(string * string) list -> string -> float list
 (** Samples in observation order; [[]] for an unregistered histogram. *)
+
+val merge : into:collector -> collector -> unit
+(** [merge ~into:dst src] folds [src] (typically a parallel worker's
+    collector) into [dst]: counters add, gauges take [src]'s value,
+    histogram samples append, and [src]'s completed root spans are
+    transferred with their timestamps re-based onto [dst]'s epoch (both
+    epochs share the monotonic clock, so merged traces keep real
+    timing). [src] is left untouched; merging the same collector twice
+    double-counts. Call only after the source domain has finished. *)
 
 (** {1 Export} *)
 

@@ -141,13 +141,22 @@ let of_json j =
 
 (* {1 File I/O} *)
 
+(* Concurrent-writer safety: the full JSONL line is built in memory and
+   written with one [output_string] into an O_APPEND descriptor, then
+   flushed before anyone else can interleave — plus a process-local
+   mutex so parallel scheduler workers in this process can never split
+   a line across two buffer flushes. *)
+let append_mutex = Mutex.create ()
+
 let append ~path r =
-  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (Jsonout.to_string (to_json r));
-      output_char oc '\n')
+  let line = Jsonout.to_string (to_json r) ^ "\n" in
+  Mutex.protect append_mutex (fun () ->
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc line;
+          flush oc))
 
 let load ~path =
   if not (Sys.file_exists path) then []

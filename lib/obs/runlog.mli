@@ -77,7 +77,10 @@ val of_json : Jsonout.t -> record
     @raise Failure if the value is not a JSON object. *)
 
 val append : path:string -> record -> unit
-(** Append one compact line to the ledger, creating the file if needed. *)
+(** Append one compact line to the ledger, creating the file if needed.
+    Safe for concurrent writers: the whole line is written with a single
+    flushed [output_string] under a process-local mutex, so parallel
+    scheduler workers cannot interleave partial lines. *)
 
 val load : path:string -> record list
 (** All parseable records, file order. Blank and malformed lines are

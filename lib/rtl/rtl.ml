@@ -12,12 +12,13 @@ type design = {
    two designs fails fast instead of producing a corrupt netlist. *)
 type signal = { owner : int; bits : int array (* LSB first *) }
 
-let next_design_id = ref 0
+(* Atomic: parallel scheduler workers elaborate designs concurrently,
+   and two designs sharing an id would defeat the ownership check. *)
+let next_design_id = Atomic.make 0
 
 let create ~name =
-  incr next_design_id;
   {
-    id = !next_design_id;
+    id = Atomic.fetch_and_add next_design_id 1 + 1;
     netlist = Netlist.create ~name;
     statements = 0;
     finished = false;

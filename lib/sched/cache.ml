@@ -1,0 +1,181 @@
+module Flow = Educhip_flow.Flow
+module Fault = Educhip_fault.Fault
+module Netlist = Educhip_netlist.Netlist
+module Jsonout = Educhip_obs.Jsonout
+module Runlog = Educhip_obs.Runlog
+
+type t = { dir : string; max_entries : int }
+
+let default_dir = ".educhip-cache"
+let default_max_entries = 512
+
+let create ?(max_entries = default_max_entries) ~dir () =
+  if max_entries < 1 then
+    invalid_arg (Printf.sprintf "Cache.create: max_entries must be >= 1, got %d" max_entries);
+  { dir; max_entries }
+
+let flow_code_version = "educhip-flow/1:" ^ String.concat "," Flow.step_names
+
+let job_key ~netlist ~cfg ~inject ~fault_seed ~retries =
+  let plan = String.concat "," (List.map Fault.arming_to_string inject) in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [
+            flow_code_version;
+            Netlist.structural_digest netlist;
+            Flow.config_signature cfg;
+            plan;
+            string_of_int fault_seed;
+            string_of_int retries;
+          ]))
+
+type entry = {
+  key : string;
+  verdict : string;
+  ppa : Flow.ppa option;
+  record : Runlog.record;
+}
+
+let schema = 1
+let entry_path t key = Filename.concat t.dir (key ^ ".json")
+
+let ppa_to_json (p : Flow.ppa) =
+  Jsonout.Obj
+    [
+      ("area_um2", Jsonout.Float p.area_um2);
+      ("cells", Jsonout.Int p.cells);
+      ("fmax_mhz", Jsonout.Float p.fmax_mhz);
+      ("wns_ps", Jsonout.Float p.wns_ps);
+      ("total_power_uw", Jsonout.Float p.total_power_uw);
+      ("wirelength_um", Jsonout.Float p.wirelength_um);
+      ("drc_clean", Jsonout.Bool p.drc_clean);
+    ]
+
+let number = function
+  | Jsonout.Int n -> float_of_int n
+  | Jsonout.Float f -> f
+  | _ -> failwith "cache entry: expected number"
+
+let ppa_of_json j : Flow.ppa =
+  let field k = match Jsonout.member k j with
+    | Some v -> v
+    | None -> failwith ("cache entry: ppa missing " ^ k)
+  in
+  {
+    area_um2 = number (field "area_um2");
+    cells = (match field "cells" with Jsonout.Int n -> n | _ -> failwith "cache entry: cells");
+    fmax_mhz = number (field "fmax_mhz");
+    wns_ps = number (field "wns_ps");
+    total_power_uw = number (field "total_power_uw");
+    wirelength_um = number (field "wirelength_um");
+    drc_clean = (match field "drc_clean" with Jsonout.Bool b -> b | _ -> failwith "cache entry: drc_clean");
+  }
+
+let entry_to_json e =
+  Jsonout.Obj
+    [
+      ("schema", Jsonout.Int schema);
+      ("key", Jsonout.String e.key);
+      ("verdict", Jsonout.String e.verdict);
+      ("ppa", (match e.ppa with Some p -> ppa_to_json p | None -> Jsonout.Null));
+      ("record", Runlog.to_json e.record);
+    ]
+
+let entry_of_json j =
+  (match Jsonout.member "schema" j with
+  | Some (Jsonout.Int v) when v = schema -> ()
+  | _ -> failwith "cache entry: bad schema");
+  let str k = match Jsonout.member k j with
+    | Some (Jsonout.String s) -> s
+    | _ -> failwith ("cache entry: missing " ^ k)
+  in
+  {
+    key = str "key";
+    verdict = str "verdict";
+    ppa =
+      (match Jsonout.member "ppa" j with
+      | Some Jsonout.Null | None -> None
+      | Some p -> Some (ppa_of_json p));
+    record =
+      (match Jsonout.member "record" j with
+      | Some r -> Runlog.of_json r
+      | None -> failwith "cache entry: missing record");
+  }
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let entry_files t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> []
+  | names ->
+    Array.to_list names
+    |> List.filter (fun n -> Filename.check_suffix n ".json")
+
+let entries t = List.length (entry_files t)
+
+(* oldest mtime first; name breaks ties so eviction order is stable *)
+let evict t =
+  let files = entry_files t in
+  let excess = List.length files - t.max_entries in
+  if excess > 0 then
+    files
+    |> List.filter_map (fun n ->
+           let path = Filename.concat t.dir n in
+           match Unix.stat path with
+           | st -> Some (st.Unix.st_mtime, n, path)
+           | exception Unix.Unix_error _ -> None)
+    |> List.sort compare
+    |> List.filteri (fun i _ -> i < excess)
+    |> List.iter (fun (_, _, path) -> try Sys.remove path with Sys_error _ -> ())
+
+let store t e =
+  mkdir_p t.dir;
+  let path = entry_path t e.key in
+  let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Jsonout.to_string (entry_to_json e) ^ "\n"));
+  Sys.rename tmp path;
+  evict t
+
+let read_entry path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error _ -> None
+  | text -> (
+    match entry_of_json (Jsonout.of_string text) with
+    | e -> Some e
+    | exception Failure _ ->
+      (* a corrupt entry is a miss, and keeping it would make it a
+         permanent one *)
+      (try Sys.remove path with Sys_error _ -> ());
+      None)
+
+let lookup t key =
+  let path = entry_path t key in
+  if not (Sys.file_exists path) then None
+  else
+    match read_entry path with
+    | Some e ->
+      (try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> ());
+      Some e
+    | None -> None
+
+let probe t key =
+  let path = entry_path t key in
+  Sys.file_exists path && read_entry path <> None
+
+let clear t =
+  List.iter
+    (fun n -> try Sys.remove (Filename.concat t.dir n) with Sys_error _ -> ())
+    (entry_files t)

@@ -1,0 +1,67 @@
+(** Content-addressed result cache for flow runs.
+
+    A campaign re-runs the same (design, config) pairs constantly —
+    course cohorts submit near-identical projects, regression sweeps
+    repeat last week's matrix. Since a guarded flow run is a pure
+    function of (netlist structure, full flow config, fault plan, guard
+    policy, flow code version), its result can be keyed by a digest of
+    exactly those inputs and replayed instead of recomputed. Anything
+    that could change the result changes the key; anything that cannot
+    (design display name, wall-clock, worker count) is excluded, so a
+    hit is bit-identical to a fresh run's QoR.
+
+    Entries are one JSON file per key under the cache directory, evicted
+    LRU by file mtime ({!lookup} touches on hit) once the entry count
+    exceeds the cap. The store is tolerant: unreadable or corrupt
+    entries behave as misses and are deleted. *)
+
+type t
+
+val default_dir : string
+(** [".educhip-cache"] *)
+
+val default_max_entries : int
+
+val create : ?max_entries:int -> dir:string -> unit -> t
+(** The directory is created lazily on first {!store}.
+    @raise Invalid_argument if [max_entries < 1]. *)
+
+val flow_code_version : string
+(** Manual bump counter plus the flow's step sequence — either changing
+    invalidates every prior key. *)
+
+val job_key :
+  netlist:Educhip_netlist.Netlist.t ->
+  cfg:Educhip_flow.Flow.config ->
+  inject:Educhip_fault.Fault.plan ->
+  fault_seed:int ->
+  retries:int ->
+  string
+(** Hex digest of every input a guarded run's result depends on:
+    {!flow_code_version}, [Netlist.structural_digest],
+    [Flow.config_signature], the armed fault plan with its seed, and
+    the guard retry budget. *)
+
+type entry = {
+  key : string;
+  verdict : string;  (** [Flow.verdict_to_string] form *)
+  ppa : Educhip_flow.Flow.ppa option;  (** [None] for aborted runs *)
+  record : Educhip_obs.Runlog.record;
+      (** the full ledger record of the original run *)
+}
+
+val store : t -> entry -> unit
+(** Write (temp file + rename, so concurrent readers never see a
+    partial entry), then evict oldest-mtime entries beyond the cap. *)
+
+val lookup : t -> string -> entry option
+(** Hit refreshes the entry's mtime (LRU touch). *)
+
+val probe : t -> string -> bool
+(** Would {!lookup} hit? No mtime touch — used by dry-run predictions. *)
+
+val entries : t -> int
+(** Entry files currently in the cache directory. *)
+
+val clear : t -> unit
+(** Remove every entry (the directory itself is kept if present). *)

@@ -1,0 +1,69 @@
+type lane = {
+  weight : float;
+  mutable vtime : float;
+  mutable queue : Manifest.job list; (* dispatch order, front first *)
+}
+
+type t = { lanes : (string * lane) list (* sorted by tenant name *); mutable queued : int }
+
+(* priority descending, manifest order ascending — List.stable_sort on
+   priority alone would also work, but the explicit pair keeps the
+   contract visible *)
+let job_order (a : Manifest.job) (b : Manifest.job) =
+  match compare b.priority a.priority with
+  | 0 -> compare a.index b.index
+  | c -> c
+
+let create ?(weights = []) jobs =
+  List.iter
+    (fun (tenant, w) ->
+      if w <= 0.0 then
+        invalid_arg (Printf.sprintf "Fairshare.create: tenant %s has weight %g" tenant w))
+    weights;
+  let by_tenant = Hashtbl.create 8 in
+  List.iter
+    (fun (j : Manifest.job) ->
+      Hashtbl.replace by_tenant j.tenant (j :: (Option.value (Hashtbl.find_opt by_tenant j.tenant) ~default:[])))
+    jobs;
+  let lanes =
+    Hashtbl.fold
+      (fun tenant rev_jobs acc ->
+        let weight = Option.value (List.assoc_opt tenant weights) ~default:1.0 in
+        (tenant, { weight; vtime = 0.0; queue = List.sort job_order (List.rev rev_jobs) })
+        :: acc)
+      by_tenant []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  { lanes; queued = List.length jobs }
+
+let pop t =
+  let best =
+    List.fold_left
+      (fun acc (tenant, lane) ->
+        if lane.queue = [] then acc
+        else
+          match acc with
+          | Some (_, b) when b.vtime <= lane.vtime -> acc
+          | _ -> Some (tenant, lane))
+      None t.lanes
+  in
+  match best with
+  | None -> None
+  | Some (_, lane) -> (
+    match lane.queue with
+    | [] -> assert false
+    | job :: rest ->
+      lane.queue <- rest;
+      lane.vtime <- lane.vtime +. (1.0 /. lane.weight);
+      t.queued <- t.queued - 1;
+      Some job)
+
+let requeue t (job : Manifest.job) =
+  match List.assoc_opt job.tenant t.lanes with
+  | Some lane ->
+    lane.queue <- job :: lane.queue;
+    t.queued <- t.queued + 1
+  | None -> invalid_arg (Printf.sprintf "Fairshare.requeue: unknown tenant %s" job.tenant)
+
+let depth t = t.queued
+let tenants t = List.map fst t.lanes

@@ -1,0 +1,32 @@
+(** Deterministic fair-share dispatch queue (stride scheduling).
+
+    One tenant's 50 queued jobs must not starve another tenant's 1: each
+    tenant pays [1/weight] of virtual time per dispatched job, and
+    {!pop} always serves the tenant with the smallest virtual time
+    (ties broken by tenant name). Within a tenant, jobs dispatch by
+    priority (descending), then manifest order — so the dispatch
+    sequence is a pure function of the job list and the weights,
+    independent of wall-clock or worker timing.
+
+    Not thread-safe: the scheduler serializes access under its own
+    mutex, keeping this module trivially testable. *)
+
+type t
+
+val create : ?weights:(string * float) list -> Manifest.job list -> t
+(** Tenants absent from [weights] get weight 1.0.
+    @raise Invalid_argument on a non-positive weight. *)
+
+val pop : t -> Manifest.job option
+(** Dispatch the next job, or [None] when the queue is drained. *)
+
+val requeue : t -> Manifest.job -> unit
+(** Return a job to the {e front} of its tenant's queue (a crashed
+    worker's job retries before the tenant's remaining work). The
+    tenant's virtual time is charged again on re-dispatch. *)
+
+val depth : t -> int
+(** Jobs currently queued (requeued jobs included, in-flight excluded). *)
+
+val tenants : t -> string list
+(** All tenant names seen at {!create}, sorted. *)

@@ -1,0 +1,169 @@
+module Flow = Educhip_flow.Flow
+module Fault = Educhip_fault.Fault
+module Guard = Educhip_fault.Guard
+module Designs = Educhip_designs.Designs
+module Pdk = Educhip_pdk.Pdk
+
+type job = {
+  index : int;
+  design : string;
+  tenant : string;
+  priority : int;
+  preset : Flow.preset;
+  node : string;
+  clock_ps : float option;
+  inject : Fault.plan;
+  crash_workers : int;
+  fault_seed : int;
+  retries : int;
+}
+
+type t = { jobs : job list; weights : (string * float) list }
+
+let default_job =
+  {
+    index = 0;
+    design = "";
+    tenant = "default";
+    priority = 1;
+    preset = Flow.Open_flow;
+    node = "edu130";
+    clock_ps = None;
+    inject = [];
+    crash_workers = 0;
+    fault_seed = 1;
+    retries = Guard.default_policy.Guard.max_retries;
+  }
+
+let preset_of_string = function
+  | "open" -> Some Flow.Open_flow
+  | "commercial" -> Some Flow.Commercial_flow
+  | "teaching" -> Some Flow.Teaching_flow
+  | _ -> None
+
+(* split on runs of spaces/tabs *)
+let tokens line =
+  String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c) line)
+  |> List.filter (fun s -> s <> "")
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let key_value tok =
+  match String.index_opt tok '=' with
+  | Some i when i > 0 ->
+    Some (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1))
+  | _ -> None
+
+let parse_string ?(source = "<manifest>") text =
+  let fail line fmt =
+    Printf.ksprintf (fun msg -> invalid_arg (Printf.sprintf "%s:%d: %s" source line msg)) fmt
+  in
+  let weights = ref [] in
+  let jobs = ref [] in
+  (* a tenant directive: "tenant NAME [weight=W]" *)
+  let parse_tenant lineno = function
+    | name :: rest ->
+      if List.mem_assoc name !weights then fail lineno "tenant %s declared twice" name;
+      let weight = ref 1.0 in
+      List.iter
+        (fun tok ->
+          match key_value tok with
+          | Some ("weight", v) -> (
+            match float_of_string_opt v with
+            | Some w when w > 0.0 -> weight := w
+            | _ -> fail lineno "tenant %s: weight must be a positive number, got %S" name v)
+          | Some (k, _) -> fail lineno "tenant %s: unknown key %s" name k
+          | None -> fail lineno "tenant %s: expected key=value, got %S" name tok)
+        rest;
+      weights := (name, !weight) :: !weights
+    | [] -> fail lineno "tenant directive needs a name"
+  in
+  let int_field lineno key v ~min =
+    match int_of_string_opt v with
+    | Some n when n >= min -> n
+    | _ -> fail lineno "%s must be an integer >= %d, got %S" key min v
+  in
+  let parse_job lineno design rest =
+    (match Designs.find design with
+    | _ -> ()
+    | exception Not_found -> fail lineno "unknown design %s" design);
+    let job = ref { default_job with design } in
+    let repeat = ref 1 in
+    List.iter
+      (fun tok ->
+        match key_value tok with
+        | Some ("tenant", v) -> job := { !job with tenant = v }
+        | Some ("priority", v) ->
+          job := { !job with priority = int_field lineno "priority" v ~min:1 }
+        | Some ("preset", v) -> (
+          match preset_of_string v with
+          | Some p -> job := { !job with preset = p }
+          | None -> fail lineno "unknown preset %s (open|commercial|teaching)" v)
+        | Some ("node", v) -> (
+          match Pdk.find_node v with
+          | _ -> job := { !job with node = v }
+          | exception Not_found -> fail lineno "unknown node %s" v)
+        | Some ("clock-ps", v) -> (
+          match float_of_string_opt v with
+          | Some ps when ps > 0.0 -> job := { !job with clock_ps = Some ps }
+          | _ -> fail lineno "clock-ps must be a positive number, got %S" v)
+        | Some ("inject", v) ->
+          let armings =
+            List.map
+              (fun spec ->
+                try Fault.arming_of_string spec
+                with Invalid_argument msg -> fail lineno "%s" msg)
+              (String.split_on_char ',' v |> List.filter (fun s -> s <> ""))
+          in
+          job := { !job with inject = armings }
+        | Some ("crash-workers", v) ->
+          job := { !job with crash_workers = int_field lineno "crash-workers" v ~min:0 }
+        | Some ("seed", v) ->
+          job := { !job with fault_seed = int_field lineno "seed" v ~min:0 }
+        | Some ("retries", v) ->
+          job := { !job with retries = int_field lineno "retries" v ~min:0 }
+        | Some ("repeat", v) -> repeat := int_field lineno "repeat" v ~min:1
+        | Some (k, _) -> fail lineno "unknown key %s" k
+        | None -> fail lineno "expected key=value, got %S" tok)
+      rest;
+    for _ = 1 to !repeat do
+      jobs := !job :: !jobs
+    done
+  in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      match tokens (strip_comment line) with
+      | [] -> ()
+      | "tenant" :: rest -> parse_tenant lineno rest
+      | design :: rest -> parse_job lineno design rest)
+    (String.split_on_char '\n' text);
+  let jobs = List.rev !jobs in
+  if jobs = [] then invalid_arg (Printf.sprintf "%s: manifest declares no jobs" source);
+  { jobs = List.mapi (fun index j -> { j with index }) jobs;
+    weights = List.rev !weights }
+
+let load ~path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse_string ~source:path text
+
+let job_summary j =
+  let opt = Buffer.create 32 in
+  (match j.clock_ps with
+  | Some ps -> Buffer.add_string opt (Printf.sprintf " clock=%.0fps" ps)
+  | None -> ());
+  if j.inject <> [] then
+    Buffer.add_string opt
+      (" inject=" ^ String.concat "," (List.map Fault.arming_to_string j.inject));
+  if j.crash_workers > 0 then
+    Buffer.add_string opt (Printf.sprintf " crash-workers=%d" j.crash_workers);
+  Printf.sprintf "#%d %s@%s %s/%s prio=%d%s" j.index j.design j.node j.tenant
+    (Flow.preset_name j.preset) j.priority (Buffer.contents opt)

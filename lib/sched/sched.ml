@@ -1,0 +1,372 @@
+module Flow = Educhip_flow.Flow
+module Fault = Educhip_fault.Fault
+module Guard = Educhip_fault.Guard
+module Designs = Educhip_designs.Designs
+module Pdk = Educhip_pdk.Pdk
+module Obs = Educhip_obs.Obs
+module Runlog = Educhip_obs.Runlog
+module Jsonout = Educhip_obs.Jsonout
+module Mclock = Educhip_util.Mclock
+module Stats = Educhip_util.Stats
+module Table = Educhip_util.Table
+
+let fault_site = "sched.worker"
+
+let metric_names =
+  [
+    "sched.jobs_completed";
+    "sched.jobs_failed";
+    "sched.cache_hits";
+    "sched.cache_misses";
+    "sched.requeues";
+  ]
+
+type job_result = {
+  job : Manifest.job;
+  verdict : string;
+  ppa : Flow.ppa option;
+  record : Runlog.record;
+  from_cache : bool;
+  requeues : int;
+  worker : int;
+  exec_ms : float;
+  wait_ms : float;
+}
+
+type tenant_stat = {
+  tenant : string;
+  tenant_jobs : int;
+  tenant_failed : int;
+  tenant_exec_ms : float;
+  tenant_throughput : float;
+}
+
+type summary = {
+  jobs : int;
+  completed : int;
+  failed : int;
+  cache_hits : int;
+  cache_misses : int;
+  requeues : int;
+  workers : int;
+  makespan_ms : float;
+  wait_p50_ms : float;
+  wait_p99_ms : float;
+  per_tenant : tenant_stat list;
+}
+
+let default_workers () = min 16 (Domain.recommended_domain_count ())
+
+type shared = {
+  mutex : Mutex.t;
+  queue : Fairshare.t;
+  results : job_result option array;  (* indexed by job.index *)
+  waits : float option array;  (* campaign start -> first dispatch *)
+  crash_counts : int array;  (* sched.worker injections per job so far *)
+  mutable depth_samples : float list;  (* queue depth at each dispatch *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable requeues : int;
+  cache : Cache.t option;
+  start_ms : float;
+  max_requeues : int;
+}
+
+let is_failed verdict =
+  String.length verdict >= 6 && String.sub verdict 0 6 = "failed"
+
+(* A result that never reached (or never finished) the flow: worker
+   crashes past the requeue budget, or an engine-level exception.
+   Deliberately not cached — the crash budget is scheduler state, not
+   part of the job's content key. *)
+let engine_failure (job : Manifest.job) reason =
+  let verdict = Printf.sprintf "failed(%s)" reason in
+  ( verdict,
+    None,
+    Runlog.make ~design:job.design ~node:job.node
+      ~preset:(Flow.preset_name job.preset) ~verdict ~total_wall_ms:0.0
+      ~injected:(List.map Fault.arming_to_string job.inject)
+      ~fault_seed:job.fault_seed ~max_retries:job.retries (),
+    false )
+
+(* Run one job to a (verdict, ppa, record, from_cache) or signal a
+   worker crash by raising Fault.Injected (fault_site, _). *)
+let execute s (job : Manifest.job) =
+  let netlist = Designs.netlist (Designs.find job.design) in
+  let node = Pdk.find_node job.node in
+  let cfg = Flow.config ~node ?clock_period_ps:job.clock_ps job.preset in
+  let key =
+    Option.map
+      (fun _ ->
+        Cache.job_key ~netlist ~cfg ~inject:job.inject ~fault_seed:job.fault_seed
+          ~retries:job.retries)
+      s.cache
+  in
+  let crashes_left = job.crash_workers - s.crash_counts.(job.index) in
+  let plan =
+    job.inject
+    @ (if crashes_left > 0 then [ Fault.arming ~count:1 fault_site Fault.Crash ] else [])
+  in
+  Fault.with_plan ~seed:job.fault_seed plan (fun () ->
+      (* the worker "takes" the job here: a crash before this point
+         would have left it queued, a crash after costs a requeue *)
+      Fault.check fault_site;
+      let cached =
+        match (s.cache, key) with
+        | Some cache, Some key ->
+          Mutex.protect s.mutex (fun () -> Cache.lookup cache key)
+        | _ -> None
+      in
+      match cached with
+      | Some (e : Cache.entry) ->
+        Mutex.protect s.mutex (fun () -> s.hits <- s.hits + 1);
+        (e.verdict, e.ppa, e.record, true)
+      | None ->
+        let policy = { Guard.default_policy with Guard.max_retries = job.retries } in
+        let outcome = Flow.run_guarded ~policy netlist cfg in
+        let verdict = Flow.verdict_to_string (Flow.outcome_verdict outcome) in
+        let ppa =
+          match outcome with
+          | Flow.Completed r -> Some r.Flow.ppa
+          | Flow.Aborted _ -> None
+        in
+        let record =
+          Flow.ledger_record
+            ~injected:(List.map Fault.arming_to_string job.inject)
+            ~fault_seed:job.fault_seed ~max_retries:job.retries
+            ~design:job.design ~node:job.node
+            ~preset:(Flow.preset_name job.preset) outcome
+        in
+        Mutex.protect s.mutex (fun () ->
+            match (s.cache, key) with
+            | Some cache, Some key ->
+              s.misses <- s.misses + 1;
+              Cache.store cache { Cache.key; verdict; ppa; record }
+            | _ -> ());
+        (verdict, ppa, record, false))
+
+let worker s id =
+  let rec loop () =
+    let job =
+      Mutex.protect s.mutex (fun () ->
+          match Fairshare.pop s.queue with
+          | Some j ->
+            if s.waits.(j.Manifest.index) = None then
+              s.waits.(j.Manifest.index) <- Some (Mclock.elapsed_ms s.start_ms);
+            s.depth_samples <- float_of_int (Fairshare.depth s.queue) :: s.depth_samples;
+            Some j
+          | None -> None)
+    in
+    match job with
+    | None -> ()
+    | Some job ->
+      let t0 = Mclock.now_ms () in
+      let finish (verdict, ppa, record, from_cache) =
+        let result =
+          {
+            job;
+            verdict;
+            ppa;
+            record;
+            from_cache;
+            requeues = s.crash_counts.(job.index);
+            worker = id;
+            exec_ms = Mclock.elapsed_ms t0;
+            wait_ms = Option.value s.waits.(job.index) ~default:0.0;
+          }
+        in
+        Mutex.protect s.mutex (fun () -> s.results.(job.index) <- Some result)
+      in
+      (match execute s job with
+      | outcome -> finish outcome
+      | exception Fault.Injected (site, _) when site = fault_site ->
+        let retry =
+          Mutex.protect s.mutex (fun () ->
+              s.crash_counts.(job.index) <- s.crash_counts.(job.index) + 1;
+              s.requeues <- s.requeues + 1;
+              if s.crash_counts.(job.index) <= s.max_requeues then begin
+                Fairshare.requeue s.queue job;
+                true
+              end
+              else false)
+        in
+        if not retry then
+          finish
+            (engine_failure job
+               (Printf.sprintf "worker crashed %d times, requeue budget %d exhausted"
+                  s.crash_counts.(job.index) s.max_requeues))
+      | exception exn -> finish (engine_failure job (Printexc.to_string exn)));
+      loop ()
+  in
+  loop ()
+
+let build_summary s ~workers results =
+  let makespan_ms = Mclock.elapsed_ms s.start_ms in
+  let completed = List.length (List.filter (fun r -> not (is_failed r.verdict)) results) in
+  let waits = List.map (fun r -> r.wait_ms) results in
+  let tenants = List.sort_uniq compare (List.map (fun r -> r.job.Manifest.tenant) results) in
+  let per_tenant =
+    List.map
+      (fun tenant ->
+        let mine = List.filter (fun r -> r.job.Manifest.tenant = tenant) results in
+        let failed = List.length (List.filter (fun r -> is_failed r.verdict) mine) in
+        let done_ = List.length mine - failed in
+        {
+          tenant;
+          tenant_jobs = List.length mine;
+          tenant_failed = failed;
+          tenant_exec_ms = List.fold_left (fun acc r -> acc +. r.exec_ms) 0.0 mine;
+          tenant_throughput =
+            (if makespan_ms > 0.0 then float_of_int done_ /. (makespan_ms /. 1000.0)
+             else 0.0);
+        })
+      tenants
+  in
+  {
+    jobs = List.length results;
+    completed;
+    failed = List.length results - completed;
+    cache_hits = s.hits;
+    cache_misses = s.misses;
+    requeues = s.requeues;
+    workers;
+    makespan_ms;
+    wait_p50_ms = (if waits = [] then 0.0 else Stats.percentile 50.0 waits);
+    wait_p99_ms = (if waits = [] then 0.0 else Stats.percentile 99.0 waits);
+    per_tenant;
+  }
+
+let report_metrics s summary =
+  if Obs.enabled () then begin
+    List.iter Obs.declare_counter metric_names;
+    Obs.add_counter "sched.jobs_completed" summary.completed;
+    Obs.add_counter "sched.jobs_failed" summary.failed;
+    Obs.add_counter "sched.cache_hits" summary.cache_hits;
+    Obs.add_counter "sched.cache_misses" summary.cache_misses;
+    Obs.add_counter "sched.requeues" summary.requeues;
+    Obs.set_gauge "sched.workers" (float_of_int summary.workers);
+    List.iter (Obs.observe "sched.queue_depth") (List.rev s.depth_samples);
+    List.iter
+      (fun w -> Option.iter (Obs.observe "sched.queue_wait_ms") w)
+      (Array.to_list s.waits)
+  end
+
+let run ?workers ?cache ?(max_requeues = 2) (manifest : Manifest.t) =
+  let workers = Option.value workers ~default:(default_workers ()) in
+  if workers < 1 then
+    invalid_arg (Printf.sprintf "Sched.run: workers must be >= 1, got %d" workers);
+  if max_requeues < 0 then
+    invalid_arg (Printf.sprintf "Sched.run: max_requeues must be >= 0, got %d" max_requeues);
+  let jobs = manifest.Manifest.jobs in
+  let n = List.length jobs in
+  let s =
+    {
+      mutex = Mutex.create ();
+      queue = Fairshare.create ~weights:manifest.Manifest.weights jobs;
+      results = Array.make n None;
+      waits = Array.make n None;
+      crash_counts = Array.make n 0;
+      depth_samples = [];
+      hits = 0;
+      misses = 0;
+      requeues = 0;
+      cache;
+      start_ms = Mclock.now_ms ();
+      max_requeues;
+    }
+  in
+  let telemetry = Obs.enabled () in
+  (* every execution happens in a spawned domain, even with one worker,
+     so serial and parallel campaigns run identical code *)
+  let domains =
+    List.init (min workers n) (fun id ->
+        Domain.spawn (fun () ->
+            if telemetry then begin
+              let c = Obs.create () in
+              Obs.with_collector c (fun () -> worker s id);
+              Some c
+            end
+            else begin
+              worker s id;
+              None
+            end))
+  in
+  let collectors = List.map Domain.join domains in
+  (match Obs.installed () with
+  | Some main ->
+    List.iter (function Some c -> Obs.merge ~into:main c | None -> ()) collectors
+  | None -> ());
+  let results =
+    Array.to_list s.results
+    |> List.mapi (fun i r ->
+           match r with
+           | Some r -> r
+           | None -> failwith (Printf.sprintf "Sched.run: job %d produced no result" i))
+  in
+  let summary = build_summary s ~workers results in
+  report_metrics s summary;
+  (results, summary)
+
+let summary_json s =
+  Jsonout.Obj
+    [
+      ("jobs", Jsonout.Int s.jobs);
+      ("completed", Jsonout.Int s.completed);
+      ("failed", Jsonout.Int s.failed);
+      ("cache_hits", Jsonout.Int s.cache_hits);
+      ("cache_misses", Jsonout.Int s.cache_misses);
+      ("requeues", Jsonout.Int s.requeues);
+      ("workers", Jsonout.Int s.workers);
+      ("makespan_ms", Jsonout.Float s.makespan_ms);
+      ("wait_p50_ms", Jsonout.Float s.wait_p50_ms);
+      ("wait_p99_ms", Jsonout.Float s.wait_p99_ms);
+      ( "per_tenant",
+        Jsonout.List
+          (List.map
+             (fun t ->
+               Jsonout.Obj
+                 [
+                   ("tenant", Jsonout.String t.tenant);
+                   ("jobs", Jsonout.Int t.tenant_jobs);
+                   ("failed", Jsonout.Int t.tenant_failed);
+                   ("exec_ms", Jsonout.Float t.tenant_exec_ms);
+                   ("throughput_per_s", Jsonout.Float t.tenant_throughput);
+                 ])
+             s.per_tenant) );
+    ]
+
+let pp_summary fmt s =
+  let hit_rate =
+    let total = s.cache_hits + s.cache_misses in
+    if total = 0 then 0.0 else float_of_int s.cache_hits /. float_of_int total
+  in
+  Format.fprintf fmt "campaign: %d jobs, %d completed, %d failed on %d worker%s@."
+    s.jobs s.completed s.failed s.workers (if s.workers = 1 then "" else "s");
+  Format.fprintf fmt "makespan %.1f ms; queue wait p50 %.1f ms, p99 %.1f ms@."
+    s.makespan_ms s.wait_p50_ms s.wait_p99_ms;
+  Format.fprintf fmt "cache: %d hits, %d misses (hit rate %.0f%%); %d worker-crash requeue%s@."
+    s.cache_hits s.cache_misses (hit_rate *. 100.0) s.requeues
+    (if s.requeues = 1 then "" else "s");
+  let table =
+    Table.create ~title:"Per-tenant throughput"
+      ~columns:
+        [
+          ("tenant", Table.Left);
+          ("jobs", Table.Right);
+          ("failed", Table.Right);
+          ("exec ms", Table.Right);
+          ("jobs/s", Table.Right);
+        ]
+  in
+  List.iter
+    (fun t ->
+      Table.add_row table
+        [
+          t.tenant;
+          Table.cell_int t.tenant_jobs;
+          Table.cell_int t.tenant_failed;
+          Table.cell_float ~decimals:1 t.tenant_exec_ms;
+          Table.cell_float ~decimals:2 t.tenant_throughput;
+        ])
+    s.per_tenant;
+  Format.fprintf fmt "%s@." (Table.render table)

@@ -1,0 +1,91 @@
+(** Domain-parallel campaign engine.
+
+    Runs a {!Manifest} of flow jobs on a pool of OCaml 5 domains,
+    dispatching through the {!Fairshare} queue and short-circuiting
+    repeated work through the {!Cache}. The engine is built so that
+    {e what} a campaign computes is independent of {e how} it is
+    scheduled: each job's result depends only on its own (netlist,
+    config, fault plan, seed, retry budget) — observability collectors
+    and fault injectors are domain-local, the cache key excludes
+    anything timing-dependent — so PPA, verdicts, and ledger QoR are
+    identical for [~workers:1] and [~workers:8], and a cached replay is
+    identical to a fresh run.
+
+    Worker crashes are first-class: a job with [crash_workers > 0] is
+    crash-injected at the {!fault_site} probe before its flow starts,
+    and the scheduler requeues it (to the front of its tenant's lane,
+    bounded by [max_requeues]) exactly as a cluster scheduler reclaims
+    a job from a died executor. *)
+
+val fault_site : string
+(** ["sched.worker"] — probed by a worker between taking a job and
+    running its flow. Arm it via a manifest job's [crash-workers]. *)
+
+type job_result = {
+  job : Manifest.job;
+  verdict : string;  (** [Flow.verdict_to_string] form, or
+                         ["failed(<exn>)"] for engine-level failures *)
+  ppa : Educhip_flow.Flow.ppa option;  (** [None] for failed jobs *)
+  record : Educhip_obs.Runlog.record;
+  from_cache : bool;
+  requeues : int;  (** worker-crash requeues this job went through *)
+  worker : int;  (** worker that produced the final result, 0-based *)
+  exec_ms : float;  (** wall time of the final execution (or cache hit) *)
+  wait_ms : float;  (** campaign start to first dispatch *)
+}
+
+type tenant_stat = {
+  tenant : string;
+  tenant_jobs : int;
+  tenant_failed : int;
+  tenant_exec_ms : float;  (** summed execution wall time *)
+  tenant_throughput : float;  (** completed jobs per second of makespan *)
+}
+
+type summary = {
+  jobs : int;
+  completed : int;
+  failed : int;
+  cache_hits : int;
+  cache_misses : int;
+  requeues : int;
+  workers : int;
+  makespan_ms : float;
+  wait_p50_ms : float;
+  wait_p99_ms : float;
+  per_tenant : tenant_stat list;  (** sorted by tenant name *)
+}
+
+val default_workers : unit -> int
+(** [Domain.recommended_domain_count ()], capped to 16. *)
+
+val run :
+  ?workers:int ->
+  ?cache:Cache.t ->
+  ?max_requeues:int ->
+  Manifest.t ->
+  job_result list * summary
+(** Execute the campaign. Results come back in manifest job-index order
+    regardless of completion order. Every job execution happens in a
+    spawned worker domain — even with [~workers:1] — so serial and
+    parallel runs exercise identical code. [max_requeues] (default 2)
+    bounds per-job worker-crash requeues; past it the job fails.
+
+    When an {!Educhip_obs.Obs} collector is installed in the calling
+    domain, each worker runs under its own collector and they are merged
+    into the caller's after the join, along with the scheduler's own
+    {!metric_names} families (queue depth and wait histograms, cache
+    hit/miss and requeue counters, worker gauge).
+    @raise Invalid_argument if [workers < 1] or [max_requeues < 0]. *)
+
+val metric_names : string list
+(** Counter families the scheduler reports: [sched.jobs_completed],
+    [sched.jobs_failed], [sched.cache_hits], [sched.cache_misses],
+    [sched.requeues]. It also sets the [sched.workers] gauge and the
+    [sched.queue_wait_ms] / [sched.queue_depth] histograms. *)
+
+val summary_json : summary -> Educhip_obs.Jsonout.t
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Campaign summary: totals line, cache line, wait percentiles, and a
+    per-tenant throughput table. *)

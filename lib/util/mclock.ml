@@ -1,0 +1,5 @@
+external now_s : unit -> float = "educhip_mclock_now_s"
+
+let now_ms () = now_s () *. 1000.0
+let now_us () = now_s () *. 1e6
+let elapsed_ms t0 = now_ms () -. t0

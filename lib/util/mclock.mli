@@ -1,0 +1,17 @@
+(** Monotonic wall clock.
+
+    [CLOCK_MONOTONIC] via a C stub: unaffected by NTP steps and shared
+    by every domain in the process, so timestamps taken on different
+    workers are directly comparable. All span, makespan, and queue-wait
+    timing goes through this module; [Unix.gettimeofday] is reserved
+    for actual calendar time. *)
+
+val now_s : unit -> float
+(** Seconds since an arbitrary fixed origin (system boot on Linux).
+    Only differences are meaningful. *)
+
+val now_ms : unit -> float
+val now_us : unit -> float
+
+val elapsed_ms : float -> float
+(** [elapsed_ms t0] is [now_ms () -. t0] — the usual stopwatch idiom. *)

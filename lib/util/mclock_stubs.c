@@ -1,0 +1,14 @@
+/* CLOCK_MONOTONIC for cross-domain wall timing: Unix.gettimeofday is
+   wall-clock (NTP steps move it backwards), which breaks makespan and
+   queue-wait accounting once timestamps from several domains are
+   compared. One monotonic base shared by every domain fixes that. */
+#include <time.h>
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+CAMLprim value educhip_mclock_now_s(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double) ts.tv_sec + (double) ts.tv_nsec * 1e-9);
+}

@@ -30,4 +30,5 @@ let () =
       ("prof", Test_prof.suite);
       ("runlog", Test_runlog.suite);
       ("fault", Test_fault.suite);
+      ("sched", Test_sched.suite);
     ]
