@@ -34,6 +34,10 @@ module Mclock = Educhip_util.Mclock
 module Manifest = Educhip_sched.Manifest
 module Cache = Educhip_sched.Cache
 module Sched = Educhip_sched.Sched
+module Wire = Educhip_serve.Wire
+module Ratelimit = Educhip_serve.Ratelimit
+module Server = Educhip_serve.Server
+module Client = Educhip_serve.Client
 
 let node130 = Pdk.find_node "edu130"
 
@@ -1139,7 +1143,169 @@ gray8   tenant=course preset=teaching repeat=2
          ("summary_warm", Sched.summary_json warm) ]);
   Printf.printf "wrote BENCH_batch.json (%d jobs)\n" njobs
 
+(* Service load test: an in-process eduserved on a temp Unix socket,
+   closed-loop clients at 1/4/16-way concurrency submitting a two-tenant
+   job mix (advanced uni-a, basic course) and awaiting each result ->
+   BENCH_serve.json with throughput, p50/p99 end-to-end latency, reject
+   rate, and cache-hit rate per concurrency level. *)
+let serve_bench () =
+  banner "SERVE"
+    "flow service under closed-loop load: 1/4/16 clients -> BENCH_serve.json";
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  let cache_dir = "BENCH_serve_cache" in
+  rm_rf cache_dir;
+  let workers = min 4 (Sched.default_workers ()) in
+  (* six distinct specs cycled over every submission: the first level
+     populates the cache, later levels exercise warm admission serves *)
+  let specs =
+    [
+      ("counter", "open", "uni-a");
+      ("gray8", "open", "course");
+      ("lfsr16", "teaching", "uni-a");
+      ("adder8", "open", "course");
+      ("mult4", "open", "uni-a");
+      ("popcount16", "teaching", "course");
+    ]
+  in
+  let jobs_per_level = 24 in
+  let socket = Filename.concat (Filename.get_temp_dir_name ()) "educhip-bench-serve.sock" in
+  (* basic tier kept tight (course tenant) so the 16-client level drives
+     real quota/backpressure rejections through the retry loop *)
+  let cfg =
+    {
+      Server.default_config with
+      Server.workers;
+      max_queue = 24;
+      basic = { Ratelimit.rate_per_s = 20.0; burst = 10.0; max_inflight = 6; fair_weight = 1.0 };
+      advanced =
+        { Ratelimit.rate_per_s = 50.0; burst = 32.0; max_inflight = 16; fair_weight = 2.0 };
+      tiers = [ ("uni-a", Ratelimit.Advanced) ];
+      cache = Some (Cache.create ~dir:cache_dir ());
+    }
+  in
+  let run_level clients =
+    let server = Server.create cfg in
+    let listen_fd = Server.listen_unix ~path:socket in
+    let server_thread = Thread.create (fun () -> Server.serve server listen_fd) () in
+    let mutex = Mutex.create () in
+    let latencies = ref [] in
+    let completed = ref 0 in
+    let cache_served = ref 0 in
+    let rejects = ref 0 in
+    let next = ref 0 in
+    (* every 4th submission gets a level-unique fault seed — a cold job
+       the cache has never seen — so each level mixes real flow
+       executions with warm serves instead of going 100% warm *)
+    let take_spec () =
+      Mutex.protect mutex (fun () ->
+          if !next >= jobs_per_level then None
+          else begin
+            let i = !next in
+            incr next;
+            let s = List.nth specs (i mod List.length specs) in
+            let seed = if i mod 4 = 3 then (1000 * clients) + i else 1 in
+            Some (s, seed)
+          end)
+    in
+    let client_loop () =
+      let c = Client.connect_unix socket in
+      let rec drive () =
+        match take_spec () with
+        | None -> ()
+        | Some ((design, preset, tenant), fault_seed) ->
+          let spec = { (Wire.submit ~tenant design) with Wire.preset; fault_seed } in
+          let t0 = Mclock.now_ms () in
+          (* closed loop with retry: a rejected submit backs off and
+             resubmits, and the retries stay inside the job's latency *)
+          let rec submit_until_accepted () =
+            match Client.submit c spec with
+            | Ok (Wire.Accepted { id; cached; _ }) -> Some (id, cached)
+            | Ok (Wire.Rejected { retry_after_ms; _ }) ->
+              Mutex.protect mutex (fun () -> incr rejects);
+              Thread.delay (Option.value retry_after_ms ~default:20.0 /. 1000.0);
+              submit_until_accepted ()
+            | Ok _ | Error _ -> None
+          in
+          (match submit_until_accepted () with
+          | None -> ()
+          | Some (id, cached) -> (
+            match if cached then Client.request c (Wire.Result id) else Client.await c id with
+            | Ok (Wire.Job_result { from_cache; _ }) ->
+              let ms = Mclock.elapsed_ms t0 in
+              Mutex.protect mutex (fun () ->
+                  latencies := ms :: !latencies;
+                  incr completed;
+                  if from_cache then incr cache_served)
+            | _ -> ()));
+          drive ()
+      in
+      drive ();
+      Client.close c
+    in
+    let t0 = Mclock.now_ms () in
+    let threads = List.init clients (fun _ -> Thread.create client_loop ()) in
+    List.iter Thread.join threads;
+    let wall_ms = Mclock.elapsed_ms t0 in
+    let drain = Client.connect_unix socket in
+    ignore (Client.request drain Wire.Drain);
+    Client.close drain;
+    Thread.join server_thread;
+    Unix.close listen_fd;
+    if Sys.file_exists socket then Sys.remove socket;
+    let completed = !completed and rejects = !rejects and cache_served = !cache_served in
+    let throughput = float_of_int completed /. (wall_ms /. 1000.0) in
+    let p50 = Stats.percentile 50.0 !latencies in
+    let p99 = Stats.percentile 99.0 !latencies in
+    let attempts = completed + rejects in
+    let reject_rate =
+      if attempts = 0 then 0.0 else float_of_int rejects /. float_of_int attempts
+    in
+    let hit_rate =
+      if completed = 0 then 0.0 else float_of_int cache_served /. float_of_int completed
+    in
+    Printf.printf
+      "%2d clients  %2d/%d jobs  %6.1f ms wall  %5.2f jobs/s  p50 %7.1f ms  p99 %7.1f \
+       ms  rejects %3d (%2.0f%%)  cache %3.0f%%\n%!"
+      clients completed jobs_per_level wall_ms throughput p50 p99 rejects
+      (100.0 *. reject_rate) (100.0 *. hit_rate);
+    Jsonout.Obj
+      [
+        ("clients", Jsonout.Int clients);
+        ("jobs", Jsonout.Int completed);
+        ("wall_ms", Jsonout.Float wall_ms);
+        ("throughput_jobs_per_s", Jsonout.Float throughput);
+        ("latency_p50_ms", Jsonout.Float p50);
+        ("latency_p99_ms", Jsonout.Float p99);
+        ("rejects", Jsonout.Int rejects);
+        ("reject_rate", Jsonout.Float reject_rate);
+        ("cache_hit_rate", Jsonout.Float hit_rate);
+      ]
+  in
+  let levels = List.map run_level [ 1; 4; 16 ] in
+  rm_rf cache_dir;
+  Jsonout.write_file ~path:"BENCH_serve.json"
+    (Jsonout.Obj
+       [
+         ("workers", Jsonout.Int workers);
+         ("jobs_per_level", Jsonout.Int jobs_per_level);
+         ("distinct_specs", Jsonout.Int (List.length specs));
+         ("levels", Jsonout.List levels);
+       ]);
+  Printf.printf "wrote BENCH_serve.json (%d jobs per level)\n" jobs_per_level
+
 let () =
+  let serve_only = Array.exists (fun a -> a = "--serve") Sys.argv in
+  if serve_only then begin
+    serve_bench ();
+    exit 0
+  end;
   let batch_only = Array.exists (fun a -> a = "--batch") Sys.argv in
   if batch_only then begin
     batch_bench ();

@@ -28,6 +28,8 @@ module Jsonout = Educhip_obs.Jsonout
 module Manifest = Educhip_sched.Manifest
 module Cache = Educhip_sched.Cache
 module Sched = Educhip_sched.Sched
+module Wire = Educhip_serve.Wire
+module Client = Educhip_serve.Client
 
 open Cmdliner
 
@@ -587,7 +589,29 @@ let run_batch manifest_path jobs_opt no_cache cache_dir cache_max dry_run max_re
       setup_telemetry ?trace:trace_path ?metrics:metrics_path ?metrics_text:prom_path
         ~need_collector:false ()
     in
-    let results, summary = Sched.run ~workers ?cache ~max_requeues manifest in
+    (* Interrupt = drain, not abort: workers finish their in-flight
+       jobs, undispatched ones come back cancelled, and the ledger /
+       summary / telemetry exports below (and the at_exit hooks) still
+       run. An Atomic because the stop hook is polled from worker
+       domains. *)
+    let interrupted = Atomic.make false in
+    let previous =
+      List.map
+        (fun signal ->
+          ( signal,
+            Sys.signal signal
+              (Sys.Signal_handle
+                 (fun _ ->
+                   if Atomic.exchange interrupted true then exit 130
+                   else prerr_endline "interrupt: draining workers (again to kill)")) ))
+        [ Sys.sigint; Sys.sigterm ]
+    in
+    let results, summary =
+      Sched.run ~workers ?cache ~max_requeues
+        ~stop:(fun () -> Atomic.get interrupted)
+        manifest
+    in
+    List.iter (fun (signal, behavior) -> Sys.set_signal signal behavior) previous;
     List.iter
       (fun (r : Sched.job_result) ->
         Printf.printf "  %-5s w%d  %s  -> %s\n"
@@ -606,6 +630,7 @@ let run_batch manifest_path jobs_opt no_cache cache_dir cache_max dry_run max_re
       (fun path -> Jsonout.write_file ~path (Sched.summary_json summary))
       summary_path;
     Format.printf "%a" Sched.pp_summary summary;
+    if Atomic.get interrupted then exit 130;
     if summary.Sched.failed > 0 then exit 5
   end
 
@@ -686,6 +711,235 @@ let batch_cmd =
       $ cache_max_arg $ dry_run_arg $ max_requeues_arg $ trace_arg $ metrics_arg
       $ prom_arg $ ledger_arg $ summary_arg)
 
+(* {1 Service client: submit / status / result}
+
+   Thin wrappers over [Educhip_serve.Client] against a running
+   [eduserved]. Exit codes: 0 ok, 1 transport/unexpected, 4 job failed
+   (submit --wait only), 6 request rejected by the service. *)
+
+let default_socket = "/tmp/eduserved.sock"
+
+let socket_arg =
+  Arg.(
+    value & opt string default_socket
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket of the eduserved daemon.")
+
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"HOST:PORT"
+        ~doc:"Connect over TCP instead of the Unix socket ([:PORT] = localhost).")
+
+let service_client socket connect =
+  let addr = Option.value connect ~default:socket in
+  match Client.connect addr with
+  | c -> c
+  | exception Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "cannot connect to %s: %s (is eduserved running?)\n" addr
+      (Unix.error_message e);
+    exit 1
+  | exception Invalid_argument msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 1
+
+let print_rejection reason retry_after_ms =
+  Printf.eprintf "rejected: %s%s%s\n"
+    (Wire.reject_reason_name reason)
+    (match reason with
+    | Wire.Bad_request msg | Wire.Unknown_id msg -> Printf.sprintf " (%s)" msg
+    | _ -> "")
+    (match retry_after_ms with
+    | Some ms -> Printf.sprintf ", retry in %.0f ms" ms
+    | None -> "")
+
+let print_job_result ~id ~verdict ~from_cache ~exec_ms ~wait_ms ~(ppa : Flow.ppa option) =
+  Printf.printf "%s: %s (%s, exec %.1f ms, queue wait %.1f ms)\n" id verdict
+    (if from_cache then "cache hit" else "executed")
+    exec_ms wait_ms;
+  Option.iter
+    (fun (p : Flow.ppa) ->
+      Printf.printf "  %d cells, %.0f um2, fmax %.1f MHz, wns %.0f ps, %.1f uW\n"
+        p.Flow.cells p.Flow.area_um2 p.Flow.fmax_mhz p.Flow.wns_ps p.Flow.total_power_uw)
+    ppa
+
+let run_submit socket connect design tenant preset node clock_ps priority seed retries
+    inject deadline_ms wait_flag =
+  let c = service_client socket connect in
+  let spec =
+    {
+      Wire.design;
+      tenant;
+      preset;
+      node;
+      clock_ps;
+      priority;
+      fault_seed = seed;
+      retries;
+      inject;
+      deadline_ms;
+    }
+  in
+  match Client.submit c spec with
+  | Error msg ->
+    Printf.eprintf "submit failed: %s\n" msg;
+    exit 1
+  | Ok (Wire.Rejected { reason; retry_after_ms }) ->
+    print_rejection reason retry_after_ms;
+    exit 6
+  | Ok (Wire.Accepted { id; tier; cached }) ->
+    Printf.printf "accepted %s (tier %s)%s\n" id tier
+      (if cached then " -- served from cache" else "");
+    if wait_flag then begin
+      match Client.await c id with
+      | Ok (Wire.Job_result { verdict; from_cache; exec_ms; wait_ms; ppa; _ }) ->
+        print_job_result ~id ~verdict ~from_cache ~exec_ms ~wait_ms ~ppa;
+        Client.close c;
+        if Sched.is_failed verdict then exit 4
+      | Ok (Wire.Rejected { reason; retry_after_ms }) ->
+        print_rejection reason retry_after_ms;
+        exit 6
+      | Ok _ ->
+        Printf.eprintf "unexpected response while waiting for %s\n" id;
+        exit 1
+      | Error msg ->
+        Printf.eprintf "error while waiting for %s: %s\n" id msg;
+        exit 1
+    end
+    else Client.close c
+  | Ok _ ->
+    Printf.eprintf "unexpected response to submit\n";
+    exit 1
+
+let run_status socket connect id =
+  let c = service_client socket connect in
+  match Client.request c (Wire.Status id) with
+  | Ok (Wire.Job_status { id; state; verdict }) ->
+    Printf.printf "%s: %s%s\n" id (Wire.state_name state)
+      (match verdict with Some v -> " -> " ^ v | None -> "");
+    Client.close c
+  | Ok (Wire.Rejected { reason; retry_after_ms }) ->
+    print_rejection reason retry_after_ms;
+    exit 6
+  | Ok _ ->
+    Printf.eprintf "unexpected response to status\n";
+    exit 1
+  | Error msg ->
+    Printf.eprintf "status failed: %s\n" msg;
+    exit 1
+
+let run_result socket connect id wait_flag json_path =
+  let c = service_client socket connect in
+  let outcome =
+    if wait_flag then Client.await c id else Client.request c (Wire.Result id)
+  in
+  match outcome with
+  | Ok (Wire.Job_result { id; verdict; from_cache; exec_ms; wait_ms; ppa; record }) ->
+    print_job_result ~id ~verdict ~from_cache ~exec_ms ~wait_ms ~ppa;
+    Option.iter
+      (fun path ->
+        Jsonout.write_file ~path (Runlog.to_json record);
+        Printf.printf "ledger record written to %s\n" path)
+      json_path;
+    Client.close c;
+    if Sched.is_failed verdict then exit 4
+  | Ok (Wire.Job_status { id; state; _ }) ->
+    Printf.printf "%s: %s (no result yet; --wait to block)\n" id (Wire.state_name state);
+    Client.close c
+  | Ok (Wire.Rejected { reason; retry_after_ms }) ->
+    print_rejection reason retry_after_ms;
+    exit 6
+  | Ok _ ->
+    Printf.eprintf "unexpected response to result\n";
+    exit 1
+  | Error msg ->
+    Printf.eprintf "result failed: %s\n" msg;
+    exit 1
+
+let submit_design_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DESIGN" ~doc:"Design to submit (see $(b,eduflow list)).")
+
+let tenant_arg =
+  Arg.(
+    value & opt string "default"
+    & info [ "tenant" ] ~docv:"NAME" ~doc:"Tenant the job is billed to.")
+
+let submit_priority_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "priority" ] ~docv:"N"
+        ~doc:"Dispatch priority within the tenant (>= 1, higher first).")
+
+let submit_retries_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "retries" ] ~docv:"N" ~doc:"Guard retry budget (default: server's).")
+
+let submit_deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Queue-wait budget: if the job is still undispatched after this many \
+           milliseconds it fails with deadline_exceeded instead of running.")
+
+let wait_arg =
+  Arg.(
+    value & flag
+    & info [ "wait" ] ~doc:"Block until the job finishes and print its result.")
+
+let job_id_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"JOB_ID" ~doc:"Job id returned by $(b,eduflow submit).")
+
+let result_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"PATH" ~doc:"Write the job's ledger record as JSON.")
+
+let submit_cmd =
+  let doc = "submit a flow job to a running eduserved daemon" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Submits one job over the service wire protocol and prints the job id the \
+         daemon assigned. Admission control may reject the submission (rate limit, \
+         inflight quota, queue full, draining) -- rejections are typed, exit status \
+         6, and safe to retry after the indicated delay. With $(b,--wait), blocks \
+         until the job finishes (exit 4 if its verdict is a failure).";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "submit" ~doc ~man)
+    Term.(
+      const run_submit $ socket_arg $ connect_arg $ submit_design_arg $ tenant_arg
+      $ preset_arg $ node_arg $ clock_arg $ submit_priority_arg $ fault_seed_arg
+      $ submit_retries_arg $ inject_arg $ submit_deadline_arg $ wait_arg)
+
+let status_cmd =
+  let doc = "show a submitted job's state (queued | running | done | failed)" in
+  Cmd.v
+    (Cmd.info "status" ~doc)
+    Term.(const run_status $ socket_arg $ connect_arg $ job_id_arg)
+
+let result_cmd =
+  let doc = "fetch a finished job's verdict, PPA, and ledger record" in
+  Cmd.v
+    (Cmd.info "result" ~doc)
+    Term.(
+      const run_result $ socket_arg $ connect_arg $ job_id_arg $ wait_arg
+      $ result_json_arg)
+
 let () =
   let doc = "educhip RTL-to-GDSII flow driver" in
   let info = Cmd.info "eduflow" ~version:"1.0.0" ~doc in
@@ -693,7 +947,12 @@ let () =
      shorthand for [eduflow run counter --trace t.json]. *)
   let argv =
     let argv = Sys.argv in
-    let commands = [ "run"; "list"; "nodes"; "fpga"; "report"; "compare"; "batch" ] in
+    let commands =
+      [
+        "run"; "list"; "nodes"; "fpga"; "report"; "compare"; "batch"; "submit";
+        "status"; "result";
+      ]
+    in
     if
       Array.length argv > 1
       && (not (String.length argv.(1) > 0 && argv.(1).[0] = '-'))
@@ -704,4 +963,7 @@ let () =
   exit
     (Cmd.eval ~argv
        (Cmd.group ~default:run_term info
-          [ run_cmd; list_cmd; nodes_cmd; fpga_cmd; report_cmd; compare_cmd; batch_cmd ]))
+          [
+            run_cmd; list_cmd; nodes_cmd; fpga_cmd; report_cmd; compare_cmd; batch_cmd;
+            submit_cmd; status_cmd; result_cmd;
+          ]))

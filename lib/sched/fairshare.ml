@@ -4,7 +4,10 @@ type lane = {
   mutable queue : Manifest.job list; (* dispatch order, front first *)
 }
 
-type t = { lanes : (string * lane) list (* sorted by tenant name *); mutable queued : int }
+type t = {
+  mutable lanes : (string * lane) list; (* sorted by tenant name *)
+  mutable queued : int;
+}
 
 (* priority descending, manifest order ascending — List.stable_sort on
    priority alone would also work, but the explicit pair keeps the
@@ -57,6 +60,37 @@ let pop t =
       lane.vtime <- lane.vtime +. (1.0 /. lane.weight);
       t.queued <- t.queued - 1;
       Some job)
+
+(* A tenant joining a live queue starts at the smallest vtime already in
+   play, so it neither starves the incumbents (vtime 0 would let it
+   monopolize dispatch until it caught up) nor waits behind work it never
+   competed with. *)
+let add_tenant t ?(weight = 1.0) tenant =
+  if weight <= 0.0 then
+    invalid_arg (Printf.sprintf "Fairshare.add_tenant: tenant %s has weight %g" tenant weight);
+  if not (List.mem_assoc tenant t.lanes) then begin
+    let vtime =
+      List.fold_left (fun acc (_, l) -> Float.min acc l.vtime) infinity t.lanes
+    in
+    let vtime = if Float.is_finite vtime then vtime else 0.0 in
+    t.lanes <-
+      List.sort
+        (fun (a, _) (b, _) -> compare a b)
+        ((tenant, { weight; vtime; queue = [] }) :: t.lanes)
+  end
+
+(* insertion sort keeps the lane's (priority desc, index asc) dispatch
+   contract as jobs stream in *)
+let rec insert_ordered job = function
+  | [] -> [ job ]
+  | hd :: tl as q -> if job_order job hd < 0 then job :: q else hd :: insert_ordered job tl
+
+let push t (job : Manifest.job) =
+  add_tenant t job.tenant;
+  (match List.assoc_opt job.tenant t.lanes with
+  | Some lane -> lane.queue <- insert_ordered job lane.queue
+  | None -> assert false);
+  t.queued <- t.queued + 1
 
 let requeue t (job : Manifest.job) =
   match List.assoc_opt job.tenant t.lanes with

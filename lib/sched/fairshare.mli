@@ -17,6 +17,19 @@ val create : ?weights:(string * float) list -> Manifest.job list -> t
 (** Tenants absent from [weights] get weight 1.0.
     @raise Invalid_argument on a non-positive weight. *)
 
+val add_tenant : t -> ?weight:float -> string -> unit
+(** Register a tenant lane (weight default 1.0) on a live queue; a
+    no-op if the tenant already has one. The new lane's virtual time
+    starts at the minimum across existing lanes, so a late joiner
+    neither starves incumbents nor queues behind history it never
+    competed with. @raise Invalid_argument on a non-positive weight. *)
+
+val push : t -> Manifest.job -> unit
+(** Add a job to its tenant's lane, keeping the lane's (priority
+    descending, index ascending) dispatch order. Unknown tenants are
+    registered via {!add_tenant} with weight 1.0 — a long-running
+    service accepts jobs from tenants it has never seen. *)
+
 val pop : t -> Manifest.job option
 (** Dispatch the next job, or [None] when the queue is drained. *)
 

@@ -49,6 +49,10 @@ type t = {
   weights : (string * float) list;  (** declared tenant weights *)
 }
 
+val preset_of_string : string -> Educhip_flow.Flow.preset option
+(** ["open"] / ["commercial"] / ["teaching"] — the manifest (and wire
+    protocol) preset vocabulary. *)
+
 val default_job : job
 (** [index = 0], design [""], tenant ["default"], priority 1, open
     preset, node ["edu130"], no clock override, no faults, seed 1,

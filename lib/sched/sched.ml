@@ -63,6 +63,7 @@ type shared = {
   results : job_result option array;  (* indexed by job.index *)
   waits : float option array;  (* campaign start -> first dispatch *)
   crash_counts : int array;  (* sched.worker injections per job so far *)
+  inflight : (string, int) Hashtbl.t;  (* tenant -> dispatched, unfinished *)
   mutable depth_samples : float list;  (* queue depth at each dispatch *)
   mutable hits : int;
   mutable misses : int;
@@ -70,7 +71,22 @@ type shared = {
   cache : Cache.t option;
   start_ms : float;
   max_requeues : int;
+  stop : unit -> bool;
 }
+
+(* Cache operations are serialized process-wide, not per-campaign: the
+   service daemon and a batch run may share one cache directory, and LRU
+   eviction racing a store could delete a file mid-read. *)
+let cache_mutex = Mutex.create ()
+
+(* Live scheduling state published to the worker domain's collector:
+   admission controllers and batch summaries read these as gauges. *)
+let publish_load ~depth ~tenant ~tenant_inflight =
+  if Obs.enabled () then begin
+    Obs.set_gauge "sched.queue_depth" (float_of_int depth);
+    Obs.set_gauge ~labels:[ ("tenant", tenant) ] "sched.inflight"
+      (float_of_int tenant_inflight)
+  end
 
 let is_failed verdict =
   String.length verdict >= 6 && String.sub verdict 0 6 = "failed"
@@ -89,9 +105,11 @@ let engine_failure (job : Manifest.job) reason =
       ~fault_seed:job.fault_seed ~max_retries:job.retries (),
     false )
 
-(* Run one job to a (verdict, ppa, record, from_cache) or signal a
-   worker crash by raising Fault.Injected (fault_site, _). *)
-let execute s (job : Manifest.job) =
+(* Run one job to a (verdict, ppa, record, from_cache) in the calling
+   domain, or signal a worker crash by raising Fault.Injected
+   (fault_site, _) when [crashes_left > 0]. Shared by the campaign
+   engine's workers and {!run_one} (the service daemon's entry point). *)
+let exec_flow ?cache ~crashes_left (job : Manifest.job) =
   let netlist = Designs.netlist (Designs.find job.design) in
   let node = Pdk.find_node job.node in
   let cfg = Flow.config ~node ?clock_period_ps:job.clock_ps job.preset in
@@ -100,9 +118,8 @@ let execute s (job : Manifest.job) =
       (fun _ ->
         Cache.job_key ~netlist ~cfg ~inject:job.inject ~fault_seed:job.fault_seed
           ~retries:job.retries)
-      s.cache
+      cache
   in
-  let crashes_left = job.crash_workers - s.crash_counts.(job.index) in
   let plan =
     job.inject
     @ (if crashes_left > 0 then [ Fault.arming ~count:1 fault_site Fault.Crash ] else [])
@@ -112,15 +129,13 @@ let execute s (job : Manifest.job) =
          would have left it queued, a crash after costs a requeue *)
       Fault.check fault_site;
       let cached =
-        match (s.cache, key) with
+        match (cache, key) with
         | Some cache, Some key ->
-          Mutex.protect s.mutex (fun () -> Cache.lookup cache key)
+          Mutex.protect cache_mutex (fun () -> Cache.lookup cache key)
         | _ -> None
       in
       match cached with
-      | Some (e : Cache.entry) ->
-        Mutex.protect s.mutex (fun () -> s.hits <- s.hits + 1);
-        (e.verdict, e.ppa, e.record, true)
+      | Some (e : Cache.entry) -> (e.verdict, e.ppa, e.record, true)
       | None ->
         let policy = { Guard.default_policy with Guard.max_retries = job.retries } in
         let outcome = Flow.run_guarded ~policy netlist cfg in
@@ -137,25 +152,59 @@ let execute s (job : Manifest.job) =
             ~design:job.design ~node:job.node
             ~preset:(Flow.preset_name job.preset) outcome
         in
-        Mutex.protect s.mutex (fun () ->
-            match (s.cache, key) with
-            | Some cache, Some key ->
-              s.misses <- s.misses + 1;
-              Cache.store cache { Cache.key; verdict; ppa; record }
+        Mutex.protect cache_mutex (fun () ->
+            match (cache, key) with
+            | Some cache, Some key -> Cache.store cache { Cache.key; verdict; ppa; record }
             | _ -> ());
         (verdict, ppa, record, false))
+
+let execute s (job : Manifest.job) =
+  let crashes_left = job.crash_workers - s.crash_counts.(job.index) in
+  let ((_, _, _, from_cache) as r) = exec_flow ?cache:s.cache ~crashes_left job in
+  if s.cache <> None then
+    Mutex.protect s.mutex (fun () ->
+        if from_cache then s.hits <- s.hits + 1 else s.misses <- s.misses + 1);
+  r
+
+let run_one ?cache ?(worker = 0) (job : Manifest.job) =
+  let t0 = Mclock.now_ms () in
+  let verdict, ppa, record, from_cache =
+    match exec_flow ?cache ~crashes_left:0 job with
+    | r -> r
+    | exception exn -> engine_failure job (Printexc.to_string exn)
+  in
+  {
+    job;
+    verdict;
+    ppa;
+    record;
+    from_cache;
+    requeues = 0;
+    worker;
+    exec_ms = Mclock.elapsed_ms t0;
+    wait_ms = 0.0;
+  }
+
+let tenant_inflight s tenant =
+  Option.value (Hashtbl.find_opt s.inflight tenant) ~default:0
 
 let worker s id =
   let rec loop () =
     let job =
       Mutex.protect s.mutex (fun () ->
-          match Fairshare.pop s.queue with
-          | Some j ->
-            if s.waits.(j.Manifest.index) = None then
-              s.waits.(j.Manifest.index) <- Some (Mclock.elapsed_ms s.start_ms);
-            s.depth_samples <- float_of_int (Fairshare.depth s.queue) :: s.depth_samples;
-            Some j
-          | None -> None)
+          if s.stop () then None
+          else
+            match Fairshare.pop s.queue with
+            | Some j ->
+              if s.waits.(j.Manifest.index) = None then
+                s.waits.(j.Manifest.index) <- Some (Mclock.elapsed_ms s.start_ms);
+              s.depth_samples <- float_of_int (Fairshare.depth s.queue) :: s.depth_samples;
+              let t = j.Manifest.tenant in
+              Hashtbl.replace s.inflight t (tenant_inflight s t + 1);
+              publish_load ~depth:(Fairshare.depth s.queue) ~tenant:t
+                ~tenant_inflight:(tenant_inflight s t);
+              Some j
+            | None -> None)
     in
     match job with
     | None -> ()
@@ -175,7 +224,12 @@ let worker s id =
             wait_ms = Option.value s.waits.(job.index) ~default:0.0;
           }
         in
-        Mutex.protect s.mutex (fun () -> s.results.(job.index) <- Some result)
+        Mutex.protect s.mutex (fun () ->
+            s.results.(job.index) <- Some result;
+            let t = job.Manifest.tenant in
+            Hashtbl.replace s.inflight t (max 0 (tenant_inflight s t - 1));
+            publish_load ~depth:(Fairshare.depth s.queue) ~tenant:t
+              ~tenant_inflight:(tenant_inflight s t))
       in
       (match execute s job with
       | outcome -> finish outcome
@@ -186,6 +240,8 @@ let worker s id =
               s.requeues <- s.requeues + 1;
               if s.crash_counts.(job.index) <= s.max_requeues then begin
                 Fairshare.requeue s.queue job;
+                let t = job.Manifest.tenant in
+                Hashtbl.replace s.inflight t (max 0 (tenant_inflight s t - 1));
                 true
               end
               else false)
@@ -245,13 +301,20 @@ let report_metrics s summary =
     Obs.add_counter "sched.cache_misses" summary.cache_misses;
     Obs.add_counter "sched.requeues" summary.requeues;
     Obs.set_gauge "sched.workers" (float_of_int summary.workers);
-    List.iter (Obs.observe "sched.queue_depth") (List.rev s.depth_samples);
+    (* final load gauges: the queue is drained and nothing is inflight,
+       overriding whatever the merged worker collectors last published *)
+    Obs.set_gauge "sched.queue_depth" 0.0;
+    List.iter
+      (fun t -> Obs.set_gauge ~labels:[ ("tenant", t.tenant) ] "sched.inflight" 0.0)
+      summary.per_tenant;
+    List.iter (Obs.observe "sched.queue_depth_samples") (List.rev s.depth_samples);
     List.iter
       (fun w -> Option.iter (Obs.observe "sched.queue_wait_ms") w)
       (Array.to_list s.waits)
   end
 
-let run ?workers ?cache ?(max_requeues = 2) (manifest : Manifest.t) =
+let run ?workers ?cache ?(max_requeues = 2) ?(stop = fun () -> false)
+    (manifest : Manifest.t) =
   let workers = Option.value workers ~default:(default_workers ()) in
   if workers < 1 then
     invalid_arg (Printf.sprintf "Sched.run: workers must be >= 1, got %d" workers);
@@ -266,6 +329,7 @@ let run ?workers ?cache ?(max_requeues = 2) (manifest : Manifest.t) =
       results = Array.make n None;
       waits = Array.make n None;
       crash_counts = Array.make n 0;
+      inflight = Hashtbl.create 8;
       depth_samples = [];
       hits = 0;
       misses = 0;
@@ -273,6 +337,7 @@ let run ?workers ?cache ?(max_requeues = 2) (manifest : Manifest.t) =
       cache;
       start_ms = Mclock.now_ms ();
       max_requeues;
+      stop;
     }
   in
   let telemetry = Obs.enabled () in
@@ -296,11 +361,23 @@ let run ?workers ?cache ?(max_requeues = 2) (manifest : Manifest.t) =
   | Some main ->
     List.iter (function Some c -> Obs.merge ~into:main c | None -> ()) collectors
   | None -> ());
+  let job_by_index = Array.of_list jobs in
   let results =
     Array.to_list s.results
     |> List.mapi (fun i r ->
            match r with
            | Some r -> r
+           | None when s.stop () ->
+             (* cooperative shutdown drained the workers before this job
+                was dispatched: report it cancelled, never silently drop
+                an accepted job *)
+             let job = job_by_index.(i) in
+             let verdict, ppa, record, from_cache =
+               engine_failure job "cancelled before execution"
+             in
+             { job; verdict; ppa; record; from_cache;
+               requeues = s.crash_counts.(i); worker = -1; exec_ms = 0.0;
+               wait_ms = 0.0 }
            | None -> failwith (Printf.sprintf "Sched.run: job %d produced no result" i))
   in
   let summary = build_summary s ~workers results in

@@ -56,6 +56,10 @@ type summary = {
   per_tenant : tenant_stat list;  (** sorted by tenant name *)
 }
 
+val is_failed : string -> bool
+(** Does a verdict string denote failure (["failed..."])? The negative
+    space — [ok], [degraded(...)] — counts as completed. *)
+
 val default_workers : unit -> int
 (** [Domain.recommended_domain_count ()], capped to 16. *)
 
@@ -63,6 +67,7 @@ val run :
   ?workers:int ->
   ?cache:Cache.t ->
   ?max_requeues:int ->
+  ?stop:(unit -> bool) ->
   Manifest.t ->
   job_result list * summary
 (** Execute the campaign. Results come back in manifest job-index order
@@ -71,6 +76,15 @@ val run :
     parallel runs exercise identical code. [max_requeues] (default 2)
     bounds per-job worker-crash requeues; past it the job fails.
 
+    [stop] is polled by every worker between jobs (default: never
+    stop). Once it returns [true], in-flight jobs finish normally,
+    nothing further is dispatched, and undispatched jobs come back
+    with verdict ["failed(cancelled before execution)"] (counted in
+    {!summary.failed}) — the hook a SIGINT/SIGTERM handler needs to
+    drain the pool and still flush ledgers and telemetry. Make the
+    hook read an [Atomic.t]: plain [ref] writes have no cross-domain
+    visibility guarantee.
+
     When an {!Educhip_obs.Obs} collector is installed in the calling
     domain, each worker runs under its own collector and they are merged
     into the caller's after the join, along with the scheduler's own
@@ -78,11 +92,26 @@ val run :
     hit/miss and requeue counters, worker gauge).
     @raise Invalid_argument if [workers < 1] or [max_requeues < 0]. *)
 
+val run_one : ?cache:Cache.t -> ?worker:int -> Manifest.job -> job_result
+(** Execute a single job in the {e calling} domain — the submit-one-job
+    entry point a long-running service pool dispatches through. Shares
+    the campaign engine's executor: same cache key, same guard policy
+    wiring, same ledger record shape, so a result served by a daemon is
+    bit-identical to the same job in a batch campaign. Cache lookups and
+    stores are serialized process-wide. Engine-level exceptions are
+    folded into a ["failed(...)"] verdict; [worker] (default 0) is
+    recorded in the result. [wait_ms] is 0 — queue wait is the
+    caller's to account. *)
+
 val metric_names : string list
 (** Counter families the scheduler reports: [sched.jobs_completed],
     [sched.jobs_failed], [sched.cache_hits], [sched.cache_misses],
     [sched.requeues]. It also sets the [sched.workers] gauge and the
-    [sched.queue_wait_ms] / [sched.queue_depth] histograms. *)
+    [sched.queue_wait_ms] / [sched.queue_depth_samples] histograms.
+    While jobs are being dispatched, workers additionally publish live
+    load gauges to their own collectors — [sched.queue_depth] and the
+    per-tenant [sched.inflight{tenant}] — which {!run} pins to [0.] on
+    the caller's collector once the campaign drains. *)
 
 val summary_json : summary -> Educhip_obs.Jsonout.t
 

@@ -1,0 +1,67 @@
+module Mclock = Educhip_util.Mclock
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let of_fd fd = { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let connect_unix path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  of_fd fd
+
+let connect_tcp ?(host = "127.0.0.1") port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  of_fd fd
+
+let connect addr =
+  match String.rindex_opt addr ':' with
+  | Some i when not (String.contains addr '/') ->
+    let host = String.sub addr 0 i in
+    let port = String.sub addr (i + 1) (String.length addr - i - 1) in
+    (match int_of_string_opt port with
+    | Some port when port > 0 ->
+      if host = "" then connect_tcp port else connect_tcp ~host port
+    | _ -> invalid_arg (Printf.sprintf "Client.connect: bad port in %S" addr))
+  | _ -> connect_unix addr
+
+let request t req =
+  match
+    output_string t.oc (Wire.encode_request req);
+    output_char t.oc '\n';
+    flush t.oc;
+    input_line t.ic
+  with
+  | line -> Wire.decode_response line
+  | exception End_of_file -> Error "connection closed by server"
+  | exception Sys_error msg -> Error ("connection error: " ^ msg)
+
+let submit t spec = request t (Wire.Submit spec)
+
+let await ?(poll_ms = 50.0) ?timeout_ms t id =
+  let t0 = Mclock.now_ms () in
+  let rec poll () =
+    match request t (Wire.Result id) with
+    | Error _ as e -> e
+    | Ok (Wire.Job_result _ as r) -> Ok r
+    | Ok (Wire.Rejected _ as r) -> Ok r
+    | Ok _ ->
+      if match timeout_ms with Some b -> Mclock.elapsed_ms t0 > b | None -> false then
+        Error (Printf.sprintf "timeout: job %s not terminal after %.0f ms" id
+                 (Option.get timeout_ms))
+      else begin
+        Thread.delay (poll_ms /. 1000.0);
+        poll ()
+      end
+  in
+  poll ()
+
+let close t =
+  (try flush t.oc with Sys_error _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()

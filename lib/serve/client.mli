@@ -1,0 +1,35 @@
+(** Blocking client for the flow service — one connection, synchronous
+    request/response.
+
+    The protocol is strictly request/response on a single connection
+    ({!Wire}), so the client is a thin wrapper: connect, write one
+    line, read one line, decode. [eduflow submit/status/result] and the
+    [bench --serve] load generator both drive this module; tests talk
+    to an in-process server through it over a temp Unix socket. *)
+
+type t
+
+val connect_unix : string -> t
+(** Connect to a Unix-domain socket path. *)
+
+val connect_tcp : ?host:string -> int -> t
+(** Connect to TCP [host:port] (default host ["127.0.0.1"]). *)
+
+val connect : string -> t
+(** Address syntax the CLI accepts: [PATH] (contains [/] or no [:]) for
+    a Unix socket, [HOST:PORT] or [:PORT] for TCP. *)
+
+val request : t -> Wire.request -> (Wire.response, string) result
+(** Send one request, await its response. [Error] covers transport
+    failures (connection closed mid-exchange) and undecodable replies. *)
+
+val submit : t -> Wire.submit_spec -> (Wire.response, string) result
+
+val await :
+  ?poll_ms:float -> ?timeout_ms:float -> t -> string -> (Wire.response, string) result
+(** Poll [Result id] (default every 50 ms) until the job reaches a
+    terminal state, returning its [Job_result] — or a [Rejected]
+    response verbatim (unknown id, say). [Error "timeout ..."] if
+    [timeout_ms] elapses first (default: wait forever). *)
+
+val close : t -> unit

@@ -1,0 +1,83 @@
+type tier = Basic | Advanced
+
+let tier_name = function Basic -> "basic" | Advanced -> "advanced"
+
+let tier_of_name = function
+  | "basic" -> Some Basic
+  | "advanced" -> Some Advanced
+  | _ -> None
+
+type limits = {
+  rate_per_s : float;
+  burst : float;
+  max_inflight : int;
+  fair_weight : float;
+}
+
+let basic_defaults = { rate_per_s = 2.0; burst = 8.0; max_inflight = 4; fair_weight = 1.0 }
+
+let advanced_defaults =
+  { rate_per_s = 8.0; burst = 32.0; max_inflight = 16; fair_weight = 2.0 }
+
+type bucket = { mutable tokens : float; mutable refilled_ms : float }
+
+type t = {
+  basic : limits;
+  advanced : limits;
+  tiers : (string * tier) list;
+  buckets : (string, bucket) Hashtbl.t;
+}
+
+let validate label l =
+  if l.rate_per_s <= 0.0 then
+    invalid_arg (Printf.sprintf "Ratelimit: %s rate_per_s must be > 0, got %g" label l.rate_per_s);
+  if l.burst <= 0.0 then
+    invalid_arg (Printf.sprintf "Ratelimit: %s burst must be > 0, got %g" label l.burst);
+  if l.max_inflight < 0 then
+    invalid_arg (Printf.sprintf "Ratelimit: %s max_inflight must be >= 0, got %d" label l.max_inflight);
+  if l.fair_weight <= 0.0 then
+    invalid_arg (Printf.sprintf "Ratelimit: %s fair_weight must be > 0, got %g" label l.fair_weight)
+
+let create ?(basic = basic_defaults) ?(advanced = advanced_defaults) ?(tiers = []) () =
+  validate "basic" basic;
+  validate "advanced" advanced;
+  { basic; advanced; tiers; buckets = Hashtbl.create 16 }
+
+let tier_of t tenant = Option.value (List.assoc_opt tenant t.tiers) ~default:Basic
+
+let limits_of t tenant =
+  match tier_of t tenant with Basic -> t.basic | Advanced -> t.advanced
+
+(* lazily created full: a tenant's first contact always has its burst
+   available, and tenants the service never hears from cost nothing *)
+let bucket t ~now_ms tenant =
+  match Hashtbl.find_opt t.buckets tenant with
+  | Some b -> b
+  | None ->
+    let b = { tokens = (limits_of t tenant).burst; refilled_ms = now_ms } in
+    Hashtbl.replace t.buckets tenant b;
+    b
+
+let refill t ~now_ms tenant =
+  let l = limits_of t tenant in
+  let b = bucket t ~now_ms tenant in
+  let elapsed_ms = Float.max 0.0 (now_ms -. b.refilled_ms) in
+  b.tokens <- Float.min l.burst (b.tokens +. (elapsed_ms /. 1000.0 *. l.rate_per_s));
+  b.refilled_ms <- now_ms;
+  b
+
+let admit t ~now_ms tenant =
+  let l = limits_of t tenant in
+  let b = refill t ~now_ms tenant in
+  if b.tokens >= 1.0 then begin
+    b.tokens <- b.tokens -. 1.0;
+    Ok ()
+  end
+  else Error ((1.0 -. b.tokens) /. l.rate_per_s *. 1000.0)
+
+let refund t tenant =
+  match Hashtbl.find_opt t.buckets tenant with
+  | Some b -> b.tokens <- Float.min (limits_of t tenant).burst (b.tokens +. 1.0)
+  | None -> ()
+
+let tokens t ~now_ms tenant = (refill t ~now_ms tenant).tokens

@@ -1,0 +1,61 @@
+(** Per-tenant token buckets and inflight quotas — tiered access.
+
+    The paper's Recommendation 8 proposes {e tiered} access to the
+    enablement hub: a basic tier anyone can use, and an advanced tier
+    with more capacity for groups with a track record. This module makes
+    that executable as admission-control arithmetic: each tenant draws
+    submit tokens from a bucket sized by its tier, and holds at most its
+    tier's quota of inflight jobs.
+
+    The limiter is deterministic and clockless: every operation takes
+    [now_ms] explicitly (callers pass [Educhip_util.Mclock.now_ms ()];
+    tests pass synthetic times), so a sequence of calls at given
+    timestamps always produces the same admits and rejections. Not
+    thread-safe — callers serialize under their own lock, like
+    {!Educhip_sched.Fairshare}. *)
+
+type tier = Basic | Advanced
+
+val tier_name : tier -> string
+(** ["basic"] / ["advanced"]. *)
+
+val tier_of_name : string -> tier option
+
+type limits = {
+  rate_per_s : float;  (** sustained submits per second (token refill) *)
+  burst : float;  (** bucket capacity: submits allowed back-to-back *)
+  max_inflight : int;  (** queued + running jobs the tenant may hold *)
+  fair_weight : float;  (** the tenant's {!Educhip_sched.Fairshare} weight *)
+}
+
+val basic_defaults : limits
+(** 2/s, burst 8, 4 inflight, weight 1.0. *)
+
+val advanced_defaults : limits
+(** 8/s, burst 32, 16 inflight, weight 2.0. *)
+
+type t
+
+val create :
+  ?basic:limits -> ?advanced:limits -> ?tiers:(string * tier) list -> unit -> t
+(** [tiers] assigns tenants to {!Advanced}; everyone else is {!Basic}.
+    @raise Invalid_argument on non-positive rate, burst, or weight, or
+    a negative quota. *)
+
+val tier_of : t -> string -> tier
+
+val limits_of : t -> string -> limits
+(** The tenant's tier limits. *)
+
+val admit : t -> now_ms:float -> string -> (unit, float) result
+(** Try to take one token from the tenant's bucket (created full on
+    first sight). [Error wait_ms] = bucket empty; a token will be
+    available in [wait_ms]. The token is only consumed on [Ok]. *)
+
+val refund : t -> string -> unit
+(** Return one token (capped at burst) — for submits that passed the
+    bucket but were rejected further down the admission pipe, so a
+    rejected request doesn't burn the tenant's budget. *)
+
+val tokens : t -> now_ms:float -> string -> float
+(** Current bucket level (for health reports and tests). *)

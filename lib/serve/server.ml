@@ -1,0 +1,581 @@
+module Manifest = Educhip_sched.Manifest
+module Fairshare = Educhip_sched.Fairshare
+module Cache = Educhip_sched.Cache
+module Sched = Educhip_sched.Sched
+module Designs = Educhip_designs.Designs
+module Pdk = Educhip_pdk.Pdk
+module Flow = Educhip_flow.Flow
+module Fault = Educhip_fault.Fault
+module Obs = Educhip_obs.Obs
+module Runlog = Educhip_obs.Runlog
+module Mclock = Educhip_util.Mclock
+
+type config = {
+  workers : int;
+  max_queue : int;
+  basic : Ratelimit.limits;
+  advanced : Ratelimit.limits;
+  tiers : (string * Ratelimit.tier) list;
+  cache : Cache.t option;
+  ledger : string option;
+  default_deadline_ms : float option;
+}
+
+let default_config =
+  {
+    workers = Sched.default_workers ();
+    max_queue = 64;
+    basic = Ratelimit.basic_defaults;
+    advanced = Ratelimit.advanced_defaults;
+    tiers = [];
+    cache = None;
+    ledger = None;
+    default_deadline_ms = None;
+  }
+
+let metric_names =
+  [
+    "serve.admitted";
+    "serve.rejected";
+    "serve.cache_hits";
+    "serve.jobs_completed";
+    "serve.jobs_failed";
+    "serve.deadline_expired";
+  ]
+
+type entry = {
+  id : string;
+  job : Manifest.job;
+  submitted_ms : float;
+  deadline_at : float option;  (* absolute Mclock ms *)
+  mutable state : Wire.state;
+  mutable wait_ms : float;  (* admission to dispatch; 0 for warm serves *)
+  mutable result : Sched.job_result option;  (* Some iff Done or Failed *)
+}
+
+type t = {
+  cfg : config;
+  mutex : Mutex.t;
+  work : Condition.t;  (* signalled on enqueue and on drain *)
+  idle : Condition.t;  (* signalled on job completion *)
+  queue : Fairshare.t;
+  jobs : (string, entry) Hashtbl.t;
+  limiter : Ratelimit.t;
+  inflight : (string, int) Hashtbl.t;  (* tenant -> queued + running *)
+  collector : Obs.collector;
+  drain_flag : bool Atomic.t;  (* set by signal handlers / wire drain *)
+  mutable draining : bool;  (* drain_flag acknowledged under the mutex *)
+  mutable next_id : int;
+  mutable queued : int;
+  mutable running : int;
+  mutable completed : int;
+  mutable failed : int;
+  (* raw counts mirrored into [collector] by [sync_metrics]: completions
+     happen in worker domains, whose Obs probes write to the worker's
+     own collector, so the server materializes its counters from these
+     fields in main-domain contexts instead *)
+  mutable admitted : int;
+  mutable cache_hits : int;
+  mutable deadline_expired : int;
+  rejected : (string, int) Hashtbl.t;  (* reason -> count *)
+  synced : (string, int) Hashtbl.t;  (* counter key -> value already exported *)
+  start_ms : float;
+}
+
+let create cfg =
+  if cfg.workers < 1 then
+    invalid_arg (Printf.sprintf "Server.create: workers must be >= 1, got %d" cfg.workers);
+  if cfg.max_queue < 0 then
+    invalid_arg (Printf.sprintf "Server.create: max_queue must be >= 0, got %d" cfg.max_queue);
+  let collector =
+    match Obs.installed () with
+    | Some c -> c
+    | None ->
+      let c = Obs.create () in
+      Obs.install c;
+      c
+  in
+  {
+    cfg;
+    mutex = Mutex.create ();
+    work = Condition.create ();
+    idle = Condition.create ();
+    queue = Fairshare.create [];
+    jobs = Hashtbl.create 64;
+    limiter = Ratelimit.create ~basic:cfg.basic ~advanced:cfg.advanced ~tiers:cfg.tiers ();
+    inflight = Hashtbl.create 16;
+    collector;
+    drain_flag = Atomic.make false;
+    draining = false;
+    next_id = 0;
+    queued = 0;
+    running = 0;
+    completed = 0;
+    failed = 0;
+    admitted = 0;
+    cache_hits = 0;
+    deadline_expired = 0;
+    rejected = Hashtbl.create 8;
+    synced = Hashtbl.create 16;
+    start_ms = Mclock.now_ms ();
+  }
+
+let request_drain t = Atomic.set t.drain_flag true
+
+let tenant_inflight t tenant = Option.value (Hashtbl.find_opt t.inflight tenant) ~default:0
+
+(* {1 Metrics}
+
+   Only called from main-domain contexts (connection threads, the accept
+   loop) with [t.mutex] held: the Obs registry is not thread-safe, and
+   connection threads share the creating domain's collector. *)
+
+let sync_counter t ?(labels = []) name current =
+  let key = name ^ "|" ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels) in
+  let prev = Option.value (Hashtbl.find_opt t.synced key) ~default:0 in
+  if current > prev then begin
+    Obs.add_counter ~labels name (current - prev);
+    Hashtbl.replace t.synced key current
+  end
+
+let sync_metrics t =
+  List.iter Obs.declare_counter [ "serve.admitted"; "serve.cache_hits";
+                                  "serve.jobs_completed"; "serve.jobs_failed";
+                                  "serve.deadline_expired" ];
+  sync_counter t "serve.admitted" t.admitted;
+  sync_counter t "serve.cache_hits" t.cache_hits;
+  sync_counter t "serve.jobs_completed" t.completed;
+  sync_counter t "serve.jobs_failed" t.failed;
+  sync_counter t "serve.deadline_expired" t.deadline_expired;
+  Hashtbl.iter
+    (fun reason n -> sync_counter t ~labels:[ ("reason", reason) ] "serve.rejected" n)
+    t.rejected;
+  Obs.set_gauge "serve.queue_depth" (float_of_int t.queued);
+  Obs.set_gauge "serve.running" (float_of_int t.running)
+
+let count_reject t reason =
+  let name = Wire.reject_reason_name reason in
+  Hashtbl.replace t.rejected name
+    (1 + Option.value (Hashtbl.find_opt t.rejected name) ~default:0)
+
+(* {1 Job bookkeeping} *)
+
+let fresh_id t =
+  let id = Printf.sprintf "j-%06d" t.next_id in
+  t.next_id <- t.next_id + 1;
+  id
+
+let entry_verdict e = Option.map (fun (r : Sched.job_result) -> r.Sched.verdict) e.result
+
+let finish t e (result : Sched.job_result) =
+  let result = { result with Sched.wait_ms = e.wait_ms } in
+  let failed = Sched.is_failed result.Sched.verdict in
+  Mutex.protect t.mutex (fun () ->
+      e.result <- Some result;
+      e.state <- (if failed then Wire.Failed else Wire.Done);
+      t.running <- t.running - 1;
+      if failed then t.failed <- t.failed + 1 else t.completed <- t.completed + 1;
+      Hashtbl.replace t.inflight e.job.Manifest.tenant
+        (max 0 (tenant_inflight t e.job.Manifest.tenant - 1));
+      Condition.broadcast t.idle);
+  match t.cfg.ledger with
+  | Some path -> Runlog.append ~path result.Sched.record
+  | None -> ()
+
+let expired_result (e : entry) =
+  let job = e.job in
+  let verdict = "failed(deadline_exceeded)" in
+  {
+    Sched.job;
+    verdict;
+    ppa = None;
+    record =
+      Runlog.make ~design:job.Manifest.design ~node:job.Manifest.node
+        ~preset:(Flow.preset_name job.Manifest.preset) ~verdict ~total_wall_ms:0.0
+        ~injected:(List.map Fault.arming_to_string job.Manifest.inject)
+        ~fault_seed:job.Manifest.fault_seed ~max_retries:job.Manifest.retries ();
+    from_cache = false;
+    requeues = 0;
+    worker = -1;
+    exec_ms = 0.0;
+    wait_ms = e.wait_ms;
+  }
+
+(* {1 Workers} *)
+
+let worker_loop t wid =
+  let rec take () =
+    match
+      Mutex.protect t.mutex (fun () ->
+          let rec pop () =
+            match Fairshare.pop t.queue with
+            | Some job ->
+              t.queued <- t.queued - 1;
+              Some job
+            | None ->
+              if t.draining then None
+              else begin
+                Condition.wait t.work t.mutex;
+                pop ()
+              end
+          in
+          match pop () with
+          | None -> None
+          | Some job ->
+            let e = Hashtbl.find t.jobs (Printf.sprintf "j-%06d" job.Manifest.index) in
+            let now = Mclock.now_ms () in
+            e.wait_ms <- now -. e.submitted_ms;
+            if match e.deadline_at with Some d -> now > d | None -> false then begin
+              t.deadline_expired <- t.deadline_expired + 1;
+              (* never ran: it leaves the running count alone but must
+                 release the tenant's inflight slot and reach a terminal
+                 state *)
+              Some (e, `Expired)
+            end
+            else begin
+              e.state <- Wire.Running;
+              t.running <- t.running + 1;
+              Some (e, `Run)
+            end)
+    with
+    | None -> ()
+    | Some (e, `Expired) ->
+      let result = expired_result e in
+      Mutex.protect t.mutex (fun () ->
+          e.result <- Some result;
+          e.state <- Wire.Failed;
+          t.failed <- t.failed + 1;
+          Hashtbl.replace t.inflight e.job.Manifest.tenant
+            (max 0 (tenant_inflight t e.job.Manifest.tenant - 1));
+          Condition.broadcast t.idle);
+      (match t.cfg.ledger with
+      | Some path -> Runlog.append ~path result.Sched.record
+      | None -> ());
+      take ()
+    | Some (e, `Run) ->
+      finish t e (Sched.run_one ?cache:t.cfg.cache ~worker:wid e.job);
+      take ()
+  in
+  take ()
+
+(* {1 Request handling} *)
+
+let reject t reason = Mutex.protect t.mutex (fun () -> count_reject t reason);
+  Wire.Rejected { reason; retry_after_ms = None }
+
+let validate_spec (s : Wire.submit_spec) =
+  match Designs.find s.Wire.design with
+  | exception Not_found -> Error (Printf.sprintf "unknown design %s" s.Wire.design)
+  | _ -> (
+    match Pdk.find_node s.Wire.node with
+    | exception Not_found -> Error (Printf.sprintf "unknown node %s" s.Wire.node)
+    | _ -> (
+      match Manifest.preset_of_string s.Wire.preset with
+      | None ->
+        Error (Printf.sprintf "unknown preset %s (open|commercial|teaching)" s.Wire.preset)
+      | Some preset -> (
+        match List.map Fault.arming_of_string s.Wire.inject with
+        | exception Invalid_argument msg -> Error msg
+        | inject ->
+          if s.Wire.priority < 1 then
+            Error (Printf.sprintf "priority must be >= 1, got %d" s.Wire.priority)
+          else
+            Ok
+              {
+                Manifest.default_job with
+                Manifest.design = s.Wire.design;
+                tenant = s.Wire.tenant;
+                priority = s.Wire.priority;
+                preset;
+                node = s.Wire.node;
+                clock_ps = s.Wire.clock_ps;
+                inject;
+                fault_seed = s.Wire.fault_seed;
+                retries =
+                  Option.value s.Wire.retries ~default:Manifest.default_job.Manifest.retries;
+              })))
+
+(* Probe the result cache at admission: a warm submit is finished on the
+   spot — no queue slot, no worker, no inflight charge. *)
+let cached_result t (job : Manifest.job) =
+  match t.cfg.cache with
+  | None -> None
+  | Some cache ->
+    let netlist = Designs.netlist (Designs.find job.Manifest.design) in
+    let node = Pdk.find_node job.Manifest.node in
+    let cfg = Flow.config ~node ?clock_period_ps:job.Manifest.clock_ps job.Manifest.preset in
+    let key =
+      Cache.job_key ~netlist ~cfg ~inject:job.Manifest.inject
+        ~fault_seed:job.Manifest.fault_seed ~retries:job.Manifest.retries
+    in
+    Option.map
+      (fun (e : Cache.entry) ->
+        {
+          Sched.job;
+          verdict = e.Cache.verdict;
+          ppa = e.Cache.ppa;
+          record = e.Cache.record;
+          from_cache = true;
+          requeues = 0;
+          worker = -1;
+          exec_ms = 0.0;
+          wait_ms = 0.0;
+        })
+      (Mutex.protect t.mutex (fun () -> Cache.lookup cache key))
+
+let handle_submit t (spec : Wire.submit_spec) =
+  match validate_spec spec with
+  | Error msg -> reject t (Wire.Bad_request msg)
+  | Ok proto_job ->
+    let tenant = proto_job.Manifest.tenant in
+    let limits = Ratelimit.limits_of t.limiter tenant in
+    let tier = Ratelimit.tier_name (Ratelimit.tier_of t.limiter tenant) in
+    let now = Mclock.now_ms () in
+    let gate =
+      Mutex.protect t.mutex (fun () ->
+          if t.draining then `Reject (Wire.Draining, None)
+          else
+            match Ratelimit.admit t.limiter ~now_ms:now tenant with
+            | Error wait -> `Reject (Wire.Rate_limited, Some wait)
+            | Ok () -> `Admitted)
+    in
+    (match gate with
+    | `Reject (reason, retry_after_ms) ->
+      Mutex.protect t.mutex (fun () -> count_reject t reason);
+      Wire.Rejected { reason; retry_after_ms }
+    | `Admitted -> (
+      (* elaborate the design and probe the cache outside the lock —
+         admission must stay cheap for everyone else *)
+      match cached_result t proto_job with
+      | Some result ->
+        let resp =
+          Mutex.protect t.mutex (fun () ->
+              let id = fresh_id t in
+              let job = { proto_job with Manifest.index = t.next_id - 1 } in
+              let e =
+                {
+                  id;
+                  job;
+                  submitted_ms = now;
+                  deadline_at = None;
+                  state = Wire.Done;
+                  wait_ms = 0.0;
+                  result = Some { result with Sched.job };
+                }
+              in
+              Hashtbl.replace t.jobs id e;
+              t.admitted <- t.admitted + 1;
+              t.cache_hits <- t.cache_hits + 1;
+              t.completed <- t.completed + 1;
+              Wire.Accepted { id; tier; cached = true })
+        in
+        (* ledger parity with batch: cache hits are recorded too *)
+        (match t.cfg.ledger with
+        | Some path -> Runlog.append ~path result.Sched.record
+        | None -> ());
+        resp
+      | None ->
+        let verdict =
+          Mutex.protect t.mutex (fun () ->
+              if tenant_inflight t tenant >= limits.Ratelimit.max_inflight then begin
+                Ratelimit.refund t.limiter tenant;
+                count_reject t Wire.Quota_exceeded;
+                Wire.Rejected { reason = Wire.Quota_exceeded; retry_after_ms = None }
+              end
+              else if t.queued >= t.cfg.max_queue then begin
+                Ratelimit.refund t.limiter tenant;
+                count_reject t Wire.Overloaded;
+                Wire.Rejected { reason = Wire.Overloaded; retry_after_ms = None }
+              end
+              else begin
+                let id = fresh_id t in
+                (* the wire id doubles as the fairshare tie-breaking
+                   index: j-%06d of index *)
+                let job = { proto_job with Manifest.index = t.next_id - 1 } in
+                let deadline_ms =
+                  match spec.Wire.deadline_ms with
+                  | Some _ as d -> d
+                  | None -> t.cfg.default_deadline_ms
+                in
+                let e =
+                  {
+                    id;
+                    job;
+                    submitted_ms = now;
+                    deadline_at = Option.map (fun d -> now +. d) deadline_ms;
+                    state = Wire.Queued;
+                    wait_ms = 0.0;
+                    result = None;
+                  }
+                in
+                Hashtbl.replace t.jobs id e;
+                Fairshare.add_tenant t.queue ~weight:limits.Ratelimit.fair_weight tenant;
+                Fairshare.push t.queue job;
+                t.queued <- t.queued + 1;
+                t.admitted <- t.admitted + 1;
+                Hashtbl.replace t.inflight tenant (tenant_inflight t tenant + 1);
+                Condition.signal t.work;
+                Wire.Accepted { id; tier; cached = false }
+              end)
+        in
+        verdict))
+
+let handle t (req : Wire.request) =
+  match req with
+  | Wire.Submit spec -> handle_submit t spec
+  | Wire.Status id ->
+    Mutex.protect t.mutex (fun () ->
+        match Hashtbl.find_opt t.jobs id with
+        | None ->
+          count_reject t (Wire.Unknown_id id);
+          Wire.Rejected { reason = Wire.Unknown_id id; retry_after_ms = None }
+        | Some e -> Wire.Job_status { id; state = e.state; verdict = entry_verdict e })
+  | Wire.Result id ->
+    Mutex.protect t.mutex (fun () ->
+        match Hashtbl.find_opt t.jobs id with
+        | None ->
+          count_reject t (Wire.Unknown_id id);
+          Wire.Rejected { reason = Wire.Unknown_id id; retry_after_ms = None }
+        | Some e -> (
+          match e.result with
+          | Some (r : Sched.job_result) ->
+            Wire.Job_result
+              {
+                id;
+                verdict = r.Sched.verdict;
+                from_cache = r.Sched.from_cache;
+                exec_ms = r.Sched.exec_ms;
+                wait_ms = r.Sched.wait_ms;
+                ppa = r.Sched.ppa;
+                record = r.Sched.record;
+              }
+          | None -> Wire.Job_status { id; state = e.state; verdict = None }))
+  | Wire.Health ->
+    Mutex.protect t.mutex (fun () ->
+        sync_metrics t;
+        Wire.Health_report
+          {
+            uptime_ms = Mclock.elapsed_ms t.start_ms;
+            queue_depth = t.queued;
+            running = t.running;
+            completed = t.completed;
+            failed = t.failed;
+            draining = t.draining || Atomic.get t.drain_flag;
+            workers = t.cfg.workers;
+          })
+  | Wire.Metrics ->
+    Mutex.protect t.mutex (fun () ->
+        sync_metrics t;
+        Wire.Metrics_text (Obs.metrics_text t.collector))
+  | Wire.Drain ->
+    request_drain t;
+    Mutex.protect t.mutex (fun () ->
+        t.draining <- true;
+        Condition.broadcast t.work;
+        Wire.Drain_ack { pending = t.queued + t.running })
+
+(* {1 Sockets and the accept loop} *)
+
+let listen_unix ~path =
+  if Sys.file_exists path then Sys.remove path;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let listen_tcp ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen fd 64;
+  fd
+
+let op_label = function
+  | Wire.Submit _ -> "submit"
+  | Wire.Status _ -> "status"
+  | Wire.Result _ -> "result"
+  | Wire.Health -> "health"
+  | Wire.Metrics -> "metrics"
+  | Wire.Drain -> "drain"
+
+(* Route drain signals to the accept loop: a SIGTERM delivered to a
+   thread parked in [Condition.wait] or [input_line] never reaches an
+   OCaml safepoint, so its handler — and the drain — would never run.
+   With the signals blocked everywhere but the main thread, the kernel
+   delivers them there, where select returns EINTR and the loop polls
+   the drain flag. *)
+let block_drain_signals () =
+  ignore (Thread.sigmask Unix.SIG_BLOCK [ Sys.sigint; Sys.sigterm ])
+
+let handle_connection t fd =
+  block_drain_signals ();
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     let rec loop () =
+       let line = input_line ic in
+       if String.trim line <> "" then begin
+         let t0 = Mclock.now_ms () in
+         let op, resp =
+           match Wire.decode_request line with
+           | Error msg ->
+             Mutex.protect t.mutex (fun () -> count_reject t (Wire.Bad_request msg));
+             ("invalid", Wire.Rejected { reason = Wire.Bad_request msg; retry_after_ms = None })
+           | Ok req -> (op_label req, handle t req)
+         in
+         output_string oc (Wire.encode_response resp);
+         output_char oc '\n';
+         flush oc;
+         Mutex.protect t.mutex (fun () ->
+             Obs.observe ~labels:[ ("op", op) ] "serve.request_ms" (Mclock.elapsed_ms t0))
+       end;
+       loop ()
+     in
+     loop ()
+   with End_of_file | Sys_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve t listen_fd =
+  let telemetry = Obs.enabled () in
+  let workers =
+    List.init t.cfg.workers (fun wid ->
+        Domain.spawn (fun () ->
+            block_drain_signals ();
+            if telemetry then begin
+              let c = Obs.create () in
+              Obs.with_collector c (fun () -> worker_loop t wid);
+              Some c
+            end
+            else begin
+              worker_loop t wid;
+              None
+            end))
+  in
+  let drained () =
+    Mutex.protect t.mutex (fun () ->
+        (* fold an async drain request (signal handler) into the locked
+           state and wake the workers *)
+        if Atomic.get t.drain_flag && not t.draining then begin
+          t.draining <- true;
+          Condition.broadcast t.work
+        end;
+        t.draining && t.queued = 0 && t.running = 0)
+  in
+  let rec accept_loop () =
+    if not (drained ()) then begin
+      (* the 50ms timeout bounds how long a signal-handler drain waits
+         to be noticed; EINTR just means a signal landed mid-select *)
+      (try
+         match Unix.select [ listen_fd ] [] [] 0.05 with
+         | [], _, _ -> ()
+         | _ :: _, _, _ ->
+           let fd, _ = Unix.accept listen_fd in
+           ignore (Thread.create (fun () -> handle_connection t fd) ())
+       with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  let collectors = List.map Domain.join workers in
+  List.iter (function Some c -> Obs.merge ~into:t.collector c | None -> ()) collectors;
+  Mutex.protect t.mutex (fun () -> sync_metrics t)

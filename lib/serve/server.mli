@@ -1,0 +1,83 @@
+(** The flow-as-a-service daemon core: admission control, a live
+    fair-share queue, and a persistent worker pool.
+
+    This is the paper's Recommendation 7/8 cloud hub turned from a
+    discrete-event model ([Educhip.Cloudhub]) into a running service:
+    clients submit flow jobs over a socket ({!Wire}), admission control
+    rejects — with typed, retryable responses — what the service cannot
+    absorb (token buckets and inflight quotas per tenant tier, a hard
+    queue-depth bound for backpressure), and a pool of worker domains
+    executes admitted jobs through {!Educhip_sched.Sched.run_one}, so a
+    served result is bit-identical to the same job in a batch campaign.
+
+    Life cycle: {!create} builds the state, {!serve} runs the accept
+    loop until a drain (wire [drain] request, or {!request_drain} from
+    a signal handler) has been honored — new submits are refused, every
+    accepted job still finishes, worker telemetry is merged into the
+    server's collector — then returns. Connection handling is
+    thread-per-client (requests are cheap: admission arithmetic and
+    table lookups; only workers run flows), worker parallelism is
+    domain-per-worker. *)
+
+type config = {
+  workers : int;  (** worker domains executing admitted jobs *)
+  max_queue : int;  (** admission bound: queued jobs beyond this are
+                        rejected [overloaded] — backpressure, not
+                        unbounded buffering *)
+  basic : Ratelimit.limits;  (** Basic-tier buckets and quotas *)
+  advanced : Ratelimit.limits;
+  tiers : (string * Ratelimit.tier) list;  (** tenant tier assignments;
+                                               unlisted tenants are Basic *)
+  cache : Educhip_sched.Cache.t option;
+      (** warm submits are answered from here at admission, without
+          occupying a worker *)
+  ledger : string option;  (** JSONL run ledger appended per completion *)
+  default_deadline_ms : float option;
+      (** queue-wait budget applied to submits that carry none *)
+}
+
+val default_config : config
+(** [Sched.default_workers ()] workers, queue bound 64, default tier
+    limits, no cache, no ledger, no default deadline. *)
+
+type t
+
+val create : config -> t
+(** Build the server state. If the calling domain has no
+    {!Educhip_obs.Obs} collector installed, one is created and
+    installed — the service is always observable; [serve.*] metrics and
+    worker flow telemetry accumulate there.
+    @raise Invalid_argument on [workers < 1] or [max_queue < 0]. *)
+
+val listen_unix : path:string -> Unix.file_descr
+(** Bind and listen on a Unix-domain socket, replacing a stale socket
+    file if one exists. *)
+
+val listen_tcp : ?host:string -> port:int -> unit -> Unix.file_descr
+(** Bind and listen on TCP (default host ["127.0.0.1"]), [SO_REUSEADDR]
+    set. *)
+
+val serve : t -> Unix.file_descr -> unit
+(** Start the worker pool and run the accept loop on a listening
+    socket. Blocks until a drain completes: every accepted job has a
+    terminal state, workers have exited and their telemetry is merged.
+    The listener is {e not} closed — the caller owns it. A [t] serves
+    once; create a fresh one to serve again. *)
+
+val request_drain : t -> unit
+(** Stop admitting, let accepted jobs finish, make {!serve} return.
+    Async-signal-safe enough for a [Sys.Signal_handle]: sets an atomic
+    flag that the accept loop and workers poll. *)
+
+val handle : t -> Wire.request -> Wire.response
+(** Process one request against the server state — the unit the
+    connection threads call, exposed so tests can drive admission
+    control without sockets. *)
+
+val metric_names : string list
+(** Counter families the server reports: [serve.admitted],
+    [serve.rejected] (labeled by [reason]), [serve.cache_hits],
+    [serve.jobs_completed], [serve.jobs_failed],
+    [serve.deadline_expired]. It also maintains the
+    [serve.queue_depth] / [serve.running] gauges and the
+    [serve.request_ms] histogram labeled by [op]. *)

@@ -1,0 +1,356 @@
+module Jsonout = Educhip_obs.Jsonout
+module Runlog = Educhip_obs.Runlog
+module Flow = Educhip_flow.Flow
+
+let schema_version = 1
+
+type submit_spec = {
+  design : string;
+  tenant : string;
+  preset : string;
+  node : string;
+  clock_ps : float option;
+  priority : int;
+  fault_seed : int;
+  retries : int option;
+  inject : string list;
+  deadline_ms : float option;
+}
+
+let submit ?(tenant = "default") design =
+  {
+    design;
+    tenant;
+    preset = "open";
+    node = "edu130";
+    clock_ps = None;
+    priority = 1;
+    fault_seed = 1;
+    retries = None;
+    inject = [];
+    deadline_ms = None;
+  }
+
+type request =
+  | Submit of submit_spec
+  | Status of string
+  | Result of string
+  | Health
+  | Metrics
+  | Drain
+
+type reject_reason =
+  | Overloaded
+  | Rate_limited
+  | Quota_exceeded
+  | Draining
+  | Bad_request of string
+  | Unknown_id of string
+
+let reject_reason_name = function
+  | Overloaded -> "overloaded"
+  | Rate_limited -> "rate_limited"
+  | Quota_exceeded -> "quota"
+  | Draining -> "draining"
+  | Bad_request _ -> "bad_request"
+  | Unknown_id _ -> "unknown_id"
+
+type state = Queued | Running | Done | Failed
+
+let state_name = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Done -> "done"
+  | Failed -> "failed"
+
+let state_of_name = function
+  | "queued" -> Some Queued
+  | "running" -> Some Running
+  | "done" -> Some Done
+  | "failed" -> Some Failed
+  | _ -> None
+
+type response =
+  | Accepted of { id : string; tier : string; cached : bool }
+  | Job_status of { id : string; state : state; verdict : string option }
+  | Job_result of {
+      id : string;
+      verdict : string;
+      from_cache : bool;
+      exec_ms : float;
+      wait_ms : float;
+      ppa : Flow.ppa option;
+      record : Runlog.record;
+    }
+  | Health_report of {
+      uptime_ms : float;
+      queue_depth : int;
+      running : int;
+      completed : int;
+      failed : int;
+      draining : bool;
+      workers : int;
+    }
+  | Metrics_text of string
+  | Drain_ack of { pending : int }
+  | Rejected of { reason : reject_reason; retry_after_ms : float option }
+
+(* {1 JSON helpers} *)
+
+let opt_member name json f = Option.bind (Jsonout.member name json) f
+
+let as_string = function Jsonout.String s -> Some s | _ -> None
+let as_int = function Jsonout.Int i -> Some i | _ -> None
+let as_bool = function Jsonout.Bool b -> Some b | _ -> None
+
+let as_float = function
+  | Jsonout.Float f -> Some f
+  | Jsonout.Int i -> Some (float_of_int i)
+  | _ -> None
+
+let str name json = opt_member name json as_string
+let int name json = opt_member name json as_int
+let flt name json = opt_member name json as_float
+let bool name json = opt_member name json as_bool
+
+(* members whose value is the field's default are elided on the wire *)
+let obj members = Jsonout.Obj (List.filter_map Fun.id members)
+let field name v = Some (name, v)
+let opt_field name f = Option.map (fun v -> (name, f v))
+
+let versioned members = obj (field "schema" (Jsonout.Int schema_version) :: members)
+
+let ppa_to_json (p : Flow.ppa) =
+  Jsonout.Obj
+    [
+      ("area_um2", Jsonout.Float p.Flow.area_um2);
+      ("cells", Jsonout.Int p.Flow.cells);
+      ("fmax_mhz", Jsonout.Float p.Flow.fmax_mhz);
+      ("wns_ps", Jsonout.Float p.Flow.wns_ps);
+      ("total_power_uw", Jsonout.Float p.Flow.total_power_uw);
+      ("wirelength_um", Jsonout.Float p.Flow.wirelength_um);
+      ("drc_clean", Jsonout.Bool p.Flow.drc_clean);
+    ]
+
+let ppa_of_json json =
+  match json with
+  | Jsonout.Obj _ ->
+    Some
+      {
+        Flow.area_um2 = Option.value (flt "area_um2" json) ~default:0.0;
+        cells = Option.value (int "cells" json) ~default:0;
+        fmax_mhz = Option.value (flt "fmax_mhz" json) ~default:0.0;
+        wns_ps = Option.value (flt "wns_ps" json) ~default:0.0;
+        total_power_uw = Option.value (flt "total_power_uw" json) ~default:0.0;
+        wirelength_um = Option.value (flt "wirelength_um" json) ~default:0.0;
+        drc_clean = Option.value (bool "drc_clean" json) ~default:false;
+      }
+  | _ -> None
+
+(* {1 Requests} *)
+
+let encode_request req =
+  let body =
+    match req with
+    | Submit s ->
+      [
+        field "op" (Jsonout.String "submit");
+        field "design" (Jsonout.String s.design);
+        field "tenant" (Jsonout.String s.tenant);
+        field "preset" (Jsonout.String s.preset);
+        field "node" (Jsonout.String s.node);
+        opt_field "clock_ps" (fun v -> Jsonout.Float v) s.clock_ps;
+        field "priority" (Jsonout.Int s.priority);
+        field "fault_seed" (Jsonout.Int s.fault_seed);
+        opt_field "retries" (fun v -> Jsonout.Int v) s.retries;
+        (if s.inject = [] then None
+         else
+           field "inject" (Jsonout.List (List.map (fun a -> Jsonout.String a) s.inject)));
+        opt_field "deadline_ms" (fun v -> Jsonout.Float v) s.deadline_ms;
+      ]
+    | Status id -> [ field "op" (Jsonout.String "status"); field "id" (Jsonout.String id) ]
+    | Result id -> [ field "op" (Jsonout.String "result"); field "id" (Jsonout.String id) ]
+    | Health -> [ field "op" (Jsonout.String "health") ]
+    | Metrics -> [ field "op" (Jsonout.String "metrics") ]
+    | Drain -> [ field "op" (Jsonout.String "drain") ]
+  in
+  Jsonout.to_string (versioned body)
+
+let check_schema json =
+  match int "schema" json with
+  | Some v when v = schema_version -> Ok ()
+  | Some v -> Error (Printf.sprintf "unsupported schema version %d (speak %d)" v schema_version)
+  | None -> Error "missing schema field"
+
+let require_id json k =
+  match str "id" json with Some id -> Ok (k id) | None -> Error "missing id field"
+
+let decode_request line =
+  match Jsonout.of_string line with
+  | exception Failure msg -> Error msg
+  | json -> (
+    match check_schema json with
+    | Error _ as e -> e
+    | Ok () -> (
+      match str "op" json with
+      | None -> Error "missing op field"
+      | Some "submit" -> (
+        match str "design" json with
+        | None -> Error "submit: missing design field"
+        | Some design ->
+          let dft = submit design in
+          let inject =
+            match Jsonout.member "inject" json with
+            | Some (Jsonout.List xs) -> List.filter_map as_string xs
+            | _ -> []
+          in
+          Ok
+            (Submit
+               {
+                 design;
+                 tenant = Option.value (str "tenant" json) ~default:dft.tenant;
+                 preset = Option.value (str "preset" json) ~default:dft.preset;
+                 node = Option.value (str "node" json) ~default:dft.node;
+                 clock_ps = flt "clock_ps" json;
+                 priority = Option.value (int "priority" json) ~default:dft.priority;
+                 fault_seed = Option.value (int "fault_seed" json) ~default:dft.fault_seed;
+                 retries = int "retries" json;
+                 inject;
+                 deadline_ms = flt "deadline_ms" json;
+               }))
+      | Some "status" -> require_id json (fun id -> Status id)
+      | Some "result" -> require_id json (fun id -> Result id)
+      | Some "health" -> Ok Health
+      | Some "metrics" -> Ok Metrics
+      | Some "drain" -> Ok Drain
+      | Some other -> Error (Printf.sprintf "unknown op %S" other)))
+
+(* {1 Responses} *)
+
+let encode_response resp =
+  let body =
+    match resp with
+    | Accepted a ->
+      [
+        field "type" (Jsonout.String "accepted");
+        field "id" (Jsonout.String a.id);
+        field "tier" (Jsonout.String a.tier);
+        field "cached" (Jsonout.Bool a.cached);
+      ]
+    | Job_status s ->
+      [
+        field "type" (Jsonout.String "status");
+        field "id" (Jsonout.String s.id);
+        field "state" (Jsonout.String (state_name s.state));
+        opt_field "verdict" (fun v -> Jsonout.String v) s.verdict;
+      ]
+    | Job_result r ->
+      [
+        field "type" (Jsonout.String "result");
+        field "id" (Jsonout.String r.id);
+        field "verdict" (Jsonout.String r.verdict);
+        field "from_cache" (Jsonout.Bool r.from_cache);
+        field "exec_ms" (Jsonout.Float r.exec_ms);
+        field "wait_ms" (Jsonout.Float r.wait_ms);
+        field "ppa" (match r.ppa with Some p -> ppa_to_json p | None -> Jsonout.Null);
+        field "record" (Runlog.to_json r.record);
+      ]
+    | Health_report h ->
+      [
+        field "type" (Jsonout.String "health");
+        field "uptime_ms" (Jsonout.Float h.uptime_ms);
+        field "queue_depth" (Jsonout.Int h.queue_depth);
+        field "running" (Jsonout.Int h.running);
+        field "completed" (Jsonout.Int h.completed);
+        field "failed" (Jsonout.Int h.failed);
+        field "draining" (Jsonout.Bool h.draining);
+        field "workers" (Jsonout.Int h.workers);
+      ]
+    | Metrics_text text ->
+      [ field "type" (Jsonout.String "metrics"); field "text" (Jsonout.String text) ]
+    | Drain_ack d ->
+      [ field "type" (Jsonout.String "drain"); field "pending" (Jsonout.Int d.pending) ]
+    | Rejected r ->
+      [
+        field "type" (Jsonout.String "rejected");
+        field "reason" (Jsonout.String (reject_reason_name r.reason));
+        (match r.reason with
+        | Bad_request detail | Unknown_id detail ->
+          field "detail" (Jsonout.String detail)
+        | _ -> None);
+        opt_field "retry_after_ms" (fun v -> Jsonout.Float v) r.retry_after_ms;
+      ]
+  in
+  Jsonout.to_string (versioned body)
+
+let decode_response line =
+  match Jsonout.of_string line with
+  | exception Failure msg -> Error msg
+  | json -> (
+    match check_schema json with
+    | Error _ as e -> e
+    | Ok () -> (
+      match str "type" json with
+      | None -> Error "missing type field"
+      | Some "accepted" ->
+        require_id json (fun id ->
+            Accepted
+              {
+                id;
+                tier = Option.value (str "tier" json) ~default:"basic";
+                cached = Option.value (bool "cached" json) ~default:false;
+              })
+      | Some "status" -> (
+        match (str "id" json, Option.bind (str "state" json) state_of_name) with
+        | Some id, Some state -> Ok (Job_status { id; state; verdict = str "verdict" json })
+        | None, _ -> Error "status: missing id field"
+        | _, None -> Error "status: missing or unknown state field")
+      | Some "result" -> (
+        match (str "id" json, str "verdict" json, Jsonout.member "record" json) with
+        | Some id, Some verdict, Some record_json -> (
+          match Runlog.of_json record_json with
+          | exception Failure msg -> Error (Printf.sprintf "result: bad record: %s" msg)
+          | record ->
+            Ok
+              (Job_result
+                 {
+                   id;
+                   verdict;
+                   from_cache = Option.value (bool "from_cache" json) ~default:false;
+                   exec_ms = Option.value (flt "exec_ms" json) ~default:0.0;
+                   wait_ms = Option.value (flt "wait_ms" json) ~default:0.0;
+                   ppa = Option.bind (Jsonout.member "ppa" json) ppa_of_json;
+                   record;
+                 }))
+        | _ -> Error "result: missing id, verdict, or record field")
+      | Some "health" ->
+        Ok
+          (Health_report
+             {
+               uptime_ms = Option.value (flt "uptime_ms" json) ~default:0.0;
+               queue_depth = Option.value (int "queue_depth" json) ~default:0;
+               running = Option.value (int "running" json) ~default:0;
+               completed = Option.value (int "completed" json) ~default:0;
+               failed = Option.value (int "failed" json) ~default:0;
+               draining = Option.value (bool "draining" json) ~default:false;
+               workers = Option.value (int "workers" json) ~default:0;
+             })
+      | Some "metrics" -> (
+        match str "text" json with
+        | Some text -> Ok (Metrics_text text)
+        | None -> Error "metrics: missing text field")
+      | Some "drain" ->
+        Ok (Drain_ack { pending = Option.value (int "pending" json) ~default:0 })
+      | Some "rejected" -> (
+        let detail = Option.value (str "detail" json) ~default:"" in
+        let retry_after_ms = flt "retry_after_ms" json in
+        match str "reason" json with
+        | Some "overloaded" -> Ok (Rejected { reason = Overloaded; retry_after_ms })
+        | Some "rate_limited" -> Ok (Rejected { reason = Rate_limited; retry_after_ms })
+        | Some "quota" -> Ok (Rejected { reason = Quota_exceeded; retry_after_ms })
+        | Some "draining" -> Ok (Rejected { reason = Draining; retry_after_ms })
+        | Some "bad_request" -> Ok (Rejected { reason = Bad_request detail; retry_after_ms })
+        | Some "unknown_id" -> Ok (Rejected { reason = Unknown_id detail; retry_after_ms })
+        | Some other -> Error (Printf.sprintf "unknown reject reason %S" other)
+        | None -> Error "rejected: missing reason field")
+      | Some other -> Error (Printf.sprintf "unknown response type %S" other)))

@@ -1,0 +1,108 @@
+(** Wire protocol of the flow service: newline-delimited JSON.
+
+    The paper's Recommendation 7 hub is a {e hosted} flow — university
+    teams submit designs to central infrastructure instead of running
+    tools locally. This module is the contract between those clients and
+    the [eduserved] daemon: every message is one JSON object on one
+    line (framing a reader can resynchronize on), encoded and parsed
+    with {!Educhip_obs.Jsonout} so the service pulls in no protocol
+    dependency the rest of the stack doesn't already have.
+
+    Every message carries a [schema] field ({!schema_version});
+    decoders reject versions they don't speak rather than guessing.
+    Decoding is otherwise tolerant: optional fields default, unknown
+    fields are ignored — a v1 server keeps serving clients that send
+    extra members. *)
+
+val schema_version : int
+(** Currently [1]. *)
+
+type submit_spec = {
+  design : string;  (** a {!Educhip_designs.Designs} entry name *)
+  tenant : string;
+  preset : string;  (** [open | commercial | teaching]; validated server-side *)
+  node : string;
+  clock_ps : float option;
+  priority : int;  (** >= 1; higher dispatches earlier within the tenant *)
+  fault_seed : int;
+  retries : int option;  (** [None] = the server's default guard budget *)
+  inject : string list;  (** fault armings, [Fault.arming_to_string] form *)
+  deadline_ms : float option;
+      (** queue-wait budget: a job still undispatched this many ms after
+          admission fails with [deadline_exceeded] instead of running *)
+}
+
+val submit : ?tenant:string -> string -> submit_spec
+(** [submit design] with the defaults of a manifest job: tenant
+    ["default"] (override with [?tenant]), open preset, node [edu130],
+    priority 1, seed 1, server-default retries, no faults, no deadline. *)
+
+type request =
+  | Submit of submit_spec
+  | Status of string  (** job id *)
+  | Result of string  (** job id *)
+  | Health
+  | Metrics  (** Prometheus text exposition of the server's registry *)
+  | Drain  (** finish accepted jobs, refuse new ones, flush, shut down *)
+
+type reject_reason =
+  | Overloaded  (** queue depth at the admission bound — backpressure *)
+  | Rate_limited  (** tenant's token bucket is empty *)
+  | Quota_exceeded  (** tenant's max-inflight quota is full *)
+  | Draining  (** server is shutting down *)
+  | Bad_request of string  (** malformed or unvalidatable request *)
+  | Unknown_id of string  (** status/result for an id never issued *)
+
+val reject_reason_name : reject_reason -> string
+(** The typed wire tag: ["overloaded"], ["rate_limited"], ["quota"],
+    ["draining"], ["bad_request"], ["unknown_id"]. *)
+
+type state = Queued | Running | Done | Failed
+
+val state_name : state -> string
+
+type response =
+  | Accepted of { id : string; tier : string; cached : bool }
+      (** [cached]: answered from the result cache at admission, no
+          worker will run it *)
+  | Job_status of { id : string; state : state; verdict : string option }
+  | Job_result of {
+      id : string;
+      verdict : string;
+      from_cache : bool;
+      exec_ms : float;
+      wait_ms : float;
+      ppa : Educhip_flow.Flow.ppa option;  (** [None] for failed jobs *)
+      record : Educhip_obs.Runlog.record;
+    }
+  | Health_report of {
+      uptime_ms : float;
+      queue_depth : int;
+      running : int;
+      completed : int;
+      failed : int;
+      draining : bool;
+      workers : int;
+    }
+  | Metrics_text of string
+  | Drain_ack of { pending : int }  (** jobs still queued or running *)
+  | Rejected of { reason : reject_reason; retry_after_ms : float option }
+      (** [retry_after_ms]: for [Rate_limited], when the bucket will
+          hold a token again *)
+
+val encode_request : request -> string
+(** One line of compact JSON, no trailing newline. *)
+
+val decode_request : string -> (request, string) result
+(** [Error] carries a human-readable reason (malformed JSON, unknown
+    op, unsupported schema, missing field) — servers answer it with
+    [Rejected Bad_request] rather than dropping the connection. *)
+
+val encode_response : response -> string
+
+val decode_response : string -> (response, string) result
+
+val ppa_to_json : Educhip_flow.Flow.ppa -> Educhip_obs.Jsonout.t
+(** Exposed for tests and the bench harness. *)
+
+val ppa_of_json : Educhip_obs.Jsonout.t -> Educhip_flow.Flow.ppa option

@@ -31,4 +31,5 @@ let () =
       ("runlog", Test_runlog.suite);
       ("fault", Test_fault.suite);
       ("sched", Test_sched.suite);
+      ("serve", Test_serve.suite);
     ]

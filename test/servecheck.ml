@@ -1,0 +1,206 @@
+(* @servecheck smoke: an in-process eduserved on a temp Unix socket.
+
+   A) Correctness: a 4-job two-tenant mix submitted serially (one
+      client, fresh cache) and concurrently (4 clients, fresh cache)
+      must produce identical per-job verdict+PPA signatures, and a
+      duplicate submission must be served from the cache at admission
+      (accepted with cached=true).
+   B) Admission: with a zero queue bound every cold submit is rejected
+      with the typed `overloaded` response; with a one-token bucket the
+      second rapid submit is rejected `rate_limited`.
+   C) Drain under load: jobs accepted right before a drain request all
+      reach the ledger with an ok verdict — a drain loses no accepted
+      job. *)
+
+module Cache = Educhip_sched.Cache
+module Sched = Educhip_sched.Sched
+module Flow = Educhip_flow.Flow
+module Runlog = Educhip_obs.Runlog
+module Wire = Educhip_serve.Wire
+module Ratelimit = Educhip_serve.Ratelimit
+module Server = Educhip_serve.Server
+module Client = Educhip_serve.Client
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+let socket = Filename.concat (Filename.get_temp_dir_name ()) "educhip-servecheck.sock"
+
+(* design, preset, tenant — two tenants, one duplicate spec (the last
+   repeats the first) so the concurrent phase exercises a warm serve *)
+let jobs =
+  [
+    ("counter", "open", "uni-a");
+    ("gray8", "teaching", "uni-b");
+    ("mult4", "open", "uni-a");
+    ("adder8", "open", "uni-b");
+  ]
+
+let spec (design, preset, tenant) = { (Wire.submit ~tenant design) with Wire.preset }
+
+(* run one server around [f]; returns [f]'s result after a clean drain *)
+let with_server cfg f =
+  let server = Server.create cfg in
+  let listen_fd = Server.listen_unix ~path:socket in
+  let thread = Thread.create (fun () -> Server.serve server listen_fd) () in
+  let result = f () in
+  let c = Client.connect_unix socket in
+  ignore (Client.request c Wire.Drain);
+  Client.close c;
+  Thread.join thread;
+  Unix.close listen_fd;
+  if Sys.file_exists socket then Sys.remove socket;
+  result
+
+let result_signature = function
+  | Ok (Wire.Job_result { verdict; ppa; _ }) ->
+    let ppa =
+      match ppa with
+      | Some (p : Flow.ppa) ->
+        Printf.sprintf "cells=%d area=%h wns=%h wl=%h power=%h fmax=%h drc=%b" p.cells
+          p.area_um2 p.wns_ps p.wirelength_um p.total_power_uw p.fmax_mhz p.drc_clean
+      | None -> "-"
+    in
+    Printf.sprintf "%s [%s]" verdict ppa
+  | Ok r -> "unexpected: " ^ Wire.encode_response r
+  | Error msg -> "error: " ^ msg
+
+let submit_and_await c s =
+  match Client.submit c s with
+  | Ok (Wire.Accepted { id; _ }) -> result_signature (Client.await c id)
+  | Ok r -> "rejected: " ^ Wire.encode_response r
+  | Error msg -> "error: " ^ msg
+
+let () =
+  let failures = ref 0 in
+  let check name ok =
+    Printf.printf "servecheck  %-38s %s\n%!" name (if ok then "ok" else "FAIL");
+    if not ok then incr failures
+  in
+  let cache_dir phase = "servecheck-cache-" ^ phase in
+  let cfg ?cache ?ledger ?(max_queue = 64) ?basic () =
+    {
+      Server.default_config with
+      Server.workers = 2;
+      max_queue;
+      basic = Option.value basic ~default:Ratelimit.basic_defaults;
+      cache;
+      ledger;
+    }
+  in
+
+  (* A: serial vs concurrent, plus a warm duplicate *)
+  rm_rf (cache_dir "serial");
+  rm_rf (cache_dir "conc");
+  let serial =
+    with_server (cfg ~cache:(Cache.create ~dir:(cache_dir "serial") ()) ()) (fun () ->
+        let c = Client.connect_unix socket in
+        let sigs = List.map (fun j -> submit_and_await c (spec j)) jobs in
+        Client.close c;
+        sigs)
+  in
+  let concurrent, warm_served =
+    with_server (cfg ~cache:(Cache.create ~dir:(cache_dir "conc") ()) ()) (fun () ->
+        let results = Array.make (List.length jobs) "" in
+        let threads =
+          List.mapi
+            (fun i j ->
+              Thread.create
+                (fun () ->
+                  let c = Client.connect_unix socket in
+                  results.(i) <- submit_and_await c (spec j);
+                  Client.close c)
+                ())
+            jobs
+        in
+        List.iter Thread.join threads;
+        (* duplicate of job 0: the cache already holds it, so admission
+           must answer without a worker — accepted with cached=true *)
+        let c = Client.connect_unix socket in
+        let warm =
+          match Client.submit c (spec (List.hd jobs)) with
+          | Ok (Wire.Accepted { id; cached; _ }) ->
+            cached
+            && result_signature (Client.await c id) = results.(0)
+          | _ -> false
+        in
+        Client.close c;
+        (Array.to_list results, warm))
+  in
+  rm_rf (cache_dir "serial");
+  rm_rf (cache_dir "conc");
+  List.iteri
+    (fun i (s, c) ->
+      let name = Printf.sprintf "serial = concurrent (job %d)" i in
+      check name (s = c && String.length s > 0 && not (String.contains s ':')))
+    (List.combine serial concurrent);
+  check "duplicate served from cache" warm_served;
+
+  (* B: typed rejections over the socket *)
+  let overloaded =
+    with_server (cfg ~max_queue:0 ()) (fun () ->
+        let c = Client.connect_unix socket in
+        let r = Client.submit c (spec (List.hd jobs)) in
+        Client.close c;
+        match r with
+        | Ok (Wire.Rejected { reason = Wire.Overloaded; _ }) -> true
+        | _ -> false)
+  in
+  check "zero queue bound rejects overloaded" overloaded;
+  let rate_limited =
+    let basic =
+      { Ratelimit.rate_per_s = 0.001; burst = 1.0; max_inflight = 8; fair_weight = 1.0 }
+    in
+    with_server (cfg ~basic ()) (fun () ->
+        let c = Client.connect_unix socket in
+        let first = Client.submit c (spec ("counter", "open", "t")) in
+        let second = Client.submit c (spec ("gray8", "open", "t")) in
+        Client.close c;
+        match (first, second) with
+        | Ok (Wire.Accepted _), Ok (Wire.Rejected { reason = Wire.Rate_limited; _ }) ->
+          true
+        | _ -> false)
+  in
+  check "empty bucket rejects rate_limited" rate_limited;
+
+  (* C: drain under load loses no accepted job *)
+  let ledger = "servecheck-ledger.jsonl" in
+  rm_rf ledger;
+  let roomy =
+    { Ratelimit.rate_per_s = 100.0; burst = 16.0; max_inflight = 16; fair_weight = 1.0 }
+  in
+  let accepted =
+    with_server (cfg ~ledger ~basic:roomy ()) (fun () ->
+        let c = Client.connect_unix socket in
+        (* unique seeds: all cold, so the workers are still busy when
+           the drain lands *)
+        let accepted =
+          List.concat_map
+            (fun seed ->
+              let s = { (spec (List.hd jobs)) with Wire.fault_seed = seed } in
+              match Client.submit c s with
+              | Ok (Wire.Accepted { id; _ }) -> [ id ]
+              | _ -> [])
+            [ 101; 102; 103; 104; 105; 106 ]
+        in
+        Client.close c;
+        accepted)
+  in
+  let records = Runlog.load ~path:ledger in
+  rm_rf ledger;
+  check
+    (Printf.sprintf "drain kept all %d accepted jobs" (List.length accepted))
+    (List.length accepted = 6
+    && List.length records = List.length accepted
+    && List.for_all (fun (r : Runlog.record) -> r.Runlog.verdict = "ok") records);
+
+  if !failures > 0 then begin
+    Printf.printf "servecheck: %d check(s) FAILED\n" !failures;
+    exit 1
+  end;
+  print_endline "servecheck: all checks passed"

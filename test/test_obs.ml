@@ -305,8 +305,70 @@ let test_stats_histogram_constant () =
     Alcotest.failf "expected a single bin for constant input, got %d"
       (Array.length bins)
 
+(* {1 Jsonout parse/print round-trip (property)} *)
+
+(* Arbitrary JSON trees: every constructor, full-range strings (control
+   chars, quotes, backslashes, high bytes), finite floats only — the
+   emitter maps NaN/infinity to [null] by design, which cannot round-trip. *)
+let json_gen =
+  let open QCheck.Gen in
+  let any_string = string_size ~gen:(map Char.chr (int_range 0 255)) (int_bound 8) in
+  let scalar =
+    oneof
+      [
+        return Jsonout.Null;
+        map (fun b -> Jsonout.Bool b) bool;
+        map (fun i -> Jsonout.Int i) int;
+        map
+          (fun f -> Jsonout.Float (if Float.is_finite f then f else 0.5))
+          float;
+        map (fun s -> Jsonout.String s) any_string;
+      ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then scalar
+         else
+           frequency
+             [
+               (3, scalar);
+               (1, map (fun l -> Jsonout.List l) (list_size (int_bound 4) (self (n / 2))));
+               ( 1,
+                 map
+                   (fun kvs -> Jsonout.Obj kvs)
+                   (list_size (int_bound 4) (pair any_string (self (n / 2)))) );
+             ])
+
+let rec shrink_json v =
+  let open QCheck.Iter in
+  match v with
+  | Jsonout.Null | Jsonout.Bool _ -> empty
+  | Jsonout.Int i -> map (fun i -> Jsonout.Int i) (QCheck.Shrink.int i)
+  | Jsonout.Float _ -> return (Jsonout.Int 0)
+  | Jsonout.String s -> map (fun s -> Jsonout.String s) (QCheck.Shrink.string s)
+  | Jsonout.List l ->
+    of_list l
+    <+> map (fun l -> Jsonout.List l) (QCheck.Shrink.list ~shrink:shrink_json l)
+  | Jsonout.Obj kvs ->
+    of_list (List.map snd kvs)
+    <+> map
+          (fun kvs -> Jsonout.Obj kvs)
+          (QCheck.Shrink.list
+             ~shrink:(QCheck.Shrink.pair QCheck.Shrink.string shrink_json)
+             kvs)
+
+let json_arbitrary =
+  QCheck.make ~print:(Jsonout.to_string ~pretty:true) ~shrink:shrink_json json_gen
+
+let json_roundtrip_prop =
+  QCheck.Test.make ~name:"of_string (to_string v) = v for arbitrary JSON trees"
+    ~count:500 json_arbitrary (fun v ->
+      Jsonout.of_string (Jsonout.to_string v) = v
+      && Jsonout.of_string (Jsonout.to_string ~pretty:true v) = v)
+
 let suite =
-  [
+  QCheck_alcotest.to_alcotest json_roundtrip_prop
+  :: [
     Alcotest.test_case "span nesting and ordering" `Quick test_span_nesting;
     Alcotest.test_case "span exception safety" `Quick test_span_exception_safety;
     Alcotest.test_case "span attributes" `Quick test_span_attrs;

@@ -1,0 +1,283 @@
+module Wire = Educhip_serve.Wire
+module Ratelimit = Educhip_serve.Ratelimit
+module Server = Educhip_serve.Server
+module Obs = Educhip_obs.Obs
+module Jsonout = Educhip_obs.Jsonout
+module Runlog = Educhip_obs.Runlog
+
+let req_roundtrip r =
+  match Wire.decode_request (Wire.encode_request r) with
+  | Ok r' -> r' = r
+  | Error msg -> Alcotest.failf "decode_request: %s" msg
+
+let test_wire_request_roundtrip () =
+  let full =
+    {
+      Wire.design = "alu8";
+      tenant = "uni-a";
+      preset = "commercial";
+      node = "edu28";
+      clock_ps = Some 1250.0;
+      priority = 3;
+      fault_seed = 7;
+      retries = Some 2;
+      inject = [ "flow.routing:crash@2"; "place.anneal:hang" ];
+      deadline_ms = Some 500.0;
+    }
+  in
+  List.iter
+    (fun r -> Alcotest.(check bool) (Wire.encode_request r) true (req_roundtrip r))
+    [
+      Wire.Submit (Wire.submit "counter");
+      Wire.Submit (Wire.submit ~tenant:"uni-b" "mult8");
+      Wire.Submit full;
+      Wire.Status "j-000042";
+      Wire.Result "j-000000";
+      Wire.Health;
+      Wire.Metrics;
+      Wire.Drain;
+    ]
+
+let resp_equal a b =
+  (* Job_result carries a Runlog.record; compare via its JSON rendering
+     so the check does not depend on physical equality of floats inside *)
+  let render r =
+    match r with
+    | Wire.Job_result { record; _ } ->
+      Wire.encode_response r ^ Jsonout.to_string (Runlog.to_json record)
+    | _ -> Wire.encode_response r
+  in
+  render a = render b
+
+let test_wire_response_roundtrip () =
+  let record =
+    Runlog.make ~design:"alu8" ~node:"edu130" ~preset:"open" ~verdict:"ok"
+      ~total_wall_ms:123.5 ~injected:[ "flow.routing:crash" ] ~fault_seed:3
+      ~max_retries:1 ()
+  in
+  let ppa =
+    {
+      Educhip_flow.Flow.area_um2 = 1525.25;
+      cells = 268;
+      fmax_mhz = 650.75;
+      wns_ps = 738.0;
+      total_power_uw = 381.5;
+      wirelength_um = 9001.0;
+      drc_clean = true;
+    }
+  in
+  let roundtrip r =
+    match Wire.decode_response (Wire.encode_response r) with
+    | Ok r' -> resp_equal r r'
+    | Error msg -> Alcotest.failf "decode_response: %s" msg
+  in
+  List.iter
+    (fun r -> Alcotest.(check bool) (Wire.encode_response r) true (roundtrip r))
+    [
+      Wire.Accepted { id = "j-000001"; tier = "advanced"; cached = true };
+      Wire.Job_status { id = "j-000001"; state = Wire.Running; verdict = None };
+      Wire.Job_status { id = "j-000001"; state = Wire.Failed; verdict = Some "failed(x)" };
+      Wire.Job_result
+        {
+          id = "j-000002";
+          verdict = "ok";
+          from_cache = false;
+          exec_ms = 157.625;
+          wait_ms = 3.5;
+          ppa = Some ppa;
+          record;
+        };
+      Wire.Job_result
+        {
+          id = "j-000003";
+          verdict = "failed(deadline_exceeded)";
+          from_cache = false;
+          exec_ms = 0.0;
+          wait_ms = 600.0;
+          ppa = None;
+          record;
+        };
+      Wire.Health_report
+        {
+          uptime_ms = 1234.5;
+          queue_depth = 3;
+          running = 2;
+          completed = 40;
+          failed = 1;
+          draining = false;
+          workers = 4;
+        };
+      Wire.Metrics_text "# TYPE serve_admitted counter\nserve_admitted 2\n";
+      Wire.Drain_ack { pending = 5 };
+      Wire.Rejected { reason = Wire.Overloaded; retry_after_ms = None };
+      Wire.Rejected { reason = Wire.Rate_limited; retry_after_ms = Some 437.5 };
+      Wire.Rejected { reason = Wire.Quota_exceeded; retry_after_ms = None };
+      Wire.Rejected { reason = Wire.Draining; retry_after_ms = None };
+      Wire.Rejected { reason = Wire.Bad_request "no such design"; retry_after_ms = None };
+      Wire.Rejected { reason = Wire.Unknown_id "j-999999"; retry_after_ms = None };
+    ]
+
+let test_wire_schema_gate () =
+  (match Wire.decode_request {|{"schema":99,"op":"health"}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "schema 99 must be rejected");
+  match Wire.decode_request {|{"op":"health"}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing schema must be rejected"
+
+let test_wire_tolerant_decode () =
+  (* unknown fields are ignored, optional submit fields default *)
+  let line =
+    Printf.sprintf {|{"schema":%d,"op":"submit","design":"counter","future_field":[1,2]}|}
+      Wire.schema_version
+  in
+  match Wire.decode_request line with
+  | Ok (Wire.Submit s) ->
+    Alcotest.(check string) "design" "counter" s.Wire.design;
+    Alcotest.(check string) "tenant default" "default" s.Wire.tenant;
+    Alcotest.(check string) "preset default" "open" s.Wire.preset;
+    Alcotest.(check int) "priority default" 1 s.Wire.priority
+  | Ok _ -> Alcotest.fail "decoded to the wrong request"
+  | Error msg -> Alcotest.failf "tolerant decode failed: %s" msg
+
+let test_ratelimit_bucket () =
+  let rl = Ratelimit.create ~tiers:[ ("uni-a", Ratelimit.Advanced) ] () in
+  Alcotest.(check bool) "tiering" true (Ratelimit.tier_of rl "uni-a" = Ratelimit.Advanced);
+  Alcotest.(check bool) "default tier" true (Ratelimit.tier_of rl "x" = Ratelimit.Basic);
+  (* basic: burst 8 at 2/s — 8 admits back-to-back, the 9th must wait *)
+  for i = 1 to 8 do
+    match Ratelimit.admit rl ~now_ms:0.0 "x" with
+    | Ok () -> ()
+    | Error _ -> Alcotest.failf "admit %d within burst must pass" i
+  done;
+  (match Ratelimit.admit rl ~now_ms:0.0 "x" with
+  | Ok () -> Alcotest.fail "9th back-to-back admit must be limited"
+  | Error wait -> Alcotest.(check (float 1e-9)) "retry-after" 500.0 wait);
+  (* 500ms later the bucket holds exactly one token again *)
+  (match Ratelimit.admit rl ~now_ms:500.0 "x" with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "refilled token must admit");
+  (match Ratelimit.admit rl ~now_ms:500.0 "x" with
+  | Ok () -> Alcotest.fail "bucket must be empty again"
+  | Error _ -> ());
+  (* refund restores one token; the cap is the burst *)
+  Ratelimit.refund rl "x";
+  (match Ratelimit.admit rl ~now_ms:500.0 "x" with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "refunded token must admit");
+  for _ = 1 to 20 do Ratelimit.refund rl "y" done;
+  Alcotest.(check (float 1e-9)) "refund capped at burst" 8.0
+    (Ratelimit.tokens rl ~now_ms:0.0 "y")
+
+let test_ratelimit_validation () =
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Ratelimit: basic rate_per_s must be > 0, got 0") (fun () ->
+      ignore
+        (Ratelimit.create
+           ~basic:{ Ratelimit.basic_defaults with Ratelimit.rate_per_s = 0.0 }
+           ()))
+
+(* Server admission tests drive [Server.handle] directly: no sockets, no
+   worker pool started, so queued jobs stay queued and every decision is
+   deterministic. *)
+let with_server cfg f = Obs.with_collector (Obs.create ()) (fun () -> f (Server.create cfg))
+
+let reject_reason = function
+  | Wire.Rejected { reason; _ } -> Some reason
+  | _ -> None
+
+let test_server_admission_pipeline () =
+  let cfg =
+    {
+      Server.default_config with
+      Server.max_queue = 2;
+      basic = { Ratelimit.basic_defaults with Ratelimit.max_inflight = 2 };
+    }
+  in
+  with_server cfg (fun t ->
+      (match Server.handle t (Wire.Submit (Wire.submit "no-such-design")) with
+      | Wire.Rejected { reason = Wire.Bad_request _; _ } -> ()
+      | r -> Alcotest.failf "bad design: %s" (Wire.encode_response r));
+      (match Server.handle t (Wire.Submit { (Wire.submit "counter") with Wire.preset = "x" }) with
+      | Wire.Rejected { reason = Wire.Bad_request _; _ } -> ()
+      | r -> Alcotest.failf "bad preset: %s" (Wire.encode_response r));
+      (* two admits fill tenant default's inflight quota of 2 *)
+      let id1 =
+        match Server.handle t (Wire.Submit (Wire.submit "counter")) with
+        | Wire.Accepted { id; tier; cached } ->
+          Alcotest.(check string) "tier" "basic" tier;
+          Alcotest.(check bool) "not cached" false cached;
+          id
+        | r -> Alcotest.failf "first submit: %s" (Wire.encode_response r)
+      in
+      (match Server.handle t (Wire.Submit (Wire.submit "gray8")) with
+      | Wire.Accepted _ -> ()
+      | r -> Alcotest.failf "second submit: %s" (Wire.encode_response r));
+      (match reject_reason (Server.handle t (Wire.Submit (Wire.submit "mult4"))) with
+      | Some Wire.Quota_exceeded -> ()
+      | _ -> Alcotest.fail "third default-tenant submit must hit the quota");
+      (* another tenant passes the quota but finds the queue full *)
+      (match
+         reject_reason (Server.handle t (Wire.Submit (Wire.submit ~tenant:"uni-b" "mult4")))
+       with
+      | Some Wire.Overloaded -> ()
+      | _ -> Alcotest.fail "queue-bound submit must be rejected overloaded");
+      (* status/result bookkeeping *)
+      (match Server.handle t (Wire.Status id1) with
+      | Wire.Job_status { state = Wire.Queued; verdict = None; _ } -> ()
+      | r -> Alcotest.failf "status: %s" (Wire.encode_response r));
+      (match Server.handle t (Wire.Result id1) with
+      | Wire.Job_status { state = Wire.Queued; _ } -> ()
+      | r -> Alcotest.failf "result of queued job: %s" (Wire.encode_response r));
+      (match reject_reason (Server.handle t (Wire.Status "j-999999")) with
+      | Some (Wire.Unknown_id _) -> ()
+      | _ -> Alcotest.fail "unknown id must be rejected typed");
+      (match Server.handle t Wire.Health with
+      | Wire.Health_report { queue_depth = 2; running = 0; draining = false; _ } -> ()
+      | r -> Alcotest.failf "health: %s" (Wire.encode_response r));
+      (* drain: refuses new submits, reports pending work *)
+      (match Server.handle t Wire.Drain with
+      | Wire.Drain_ack { pending = 2 } -> ()
+      | r -> Alcotest.failf "drain ack: %s" (Wire.encode_response r));
+      (match reject_reason (Server.handle t (Wire.Submit (Wire.submit ~tenant:"uni-c" "counter"))) with
+      | Some Wire.Draining -> ()
+      | _ -> Alcotest.fail "submit while draining must be rejected draining");
+      match Server.handle t Wire.Metrics with
+      | Wire.Metrics_text text ->
+        Alcotest.(check bool) "admitted counter exported" true
+          (let re = "serve_admitted 2" in
+           let rec contains i =
+             i + String.length re <= String.length text
+             && (String.sub text i (String.length re) = re || contains (i + 1))
+           in
+           contains 0)
+      | r -> Alcotest.failf "metrics: %s" (Wire.encode_response r))
+
+let test_server_rate_limit () =
+  let cfg =
+    {
+      Server.default_config with
+      Server.basic =
+        { Ratelimit.rate_per_s = 0.001; burst = 1.0; max_inflight = 8; fair_weight = 1.0 };
+    }
+  in
+  with_server cfg (fun t ->
+      (match Server.handle t (Wire.Submit (Wire.submit "counter")) with
+      | Wire.Accepted _ -> ()
+      | r -> Alcotest.failf "burst submit: %s" (Wire.encode_response r));
+      match Server.handle t (Wire.Submit (Wire.submit "gray8")) with
+      | Wire.Rejected { reason = Wire.Rate_limited; retry_after_ms = Some ms } ->
+        Alcotest.(check bool) "retry-after is positive" true (ms > 0.0)
+      | r -> Alcotest.failf "second submit must be rate-limited: %s" (Wire.encode_response r))
+
+let suite =
+  [
+    Alcotest.test_case "wire request round-trip" `Quick test_wire_request_roundtrip;
+    Alcotest.test_case "wire response round-trip" `Quick test_wire_response_roundtrip;
+    Alcotest.test_case "wire schema gate" `Quick test_wire_schema_gate;
+    Alcotest.test_case "wire tolerant decode" `Quick test_wire_tolerant_decode;
+    Alcotest.test_case "ratelimit token bucket" `Quick test_ratelimit_bucket;
+    Alcotest.test_case "ratelimit validation" `Quick test_ratelimit_validation;
+    Alcotest.test_case "server admission pipeline" `Quick test_server_admission_pipeline;
+    Alcotest.test_case "server rate limiting" `Quick test_server_rate_limit;
+  ]
