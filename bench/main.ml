@@ -28,6 +28,7 @@ module Stats = Educhip_util.Stats
 module Obs = Educhip_obs.Obs
 module Jsonout = Educhip_obs.Jsonout
 module Runlog = Educhip_obs.Runlog
+module Tracectx = Educhip_obs.Tracectx
 module Fault = Educhip_fault.Fault
 module Guard = Educhip_fault.Guard
 module Mclock = Educhip_util.Mclock
@@ -966,11 +967,6 @@ let flow_telemetry () =
           e6_designs)
       presets
   in
-  Jsonout.write_file ~path:"BENCH_flow.json"
-    (Jsonout.Obj
-       [ ("runs", Jsonout.List runs); ("deltas", Jsonout.List (List.rev !deltas)) ]);
-  Printf.printf "wrote BENCH_flow.json (%d runs, %d deltas) and %d ledger records\n"
-    (List.length runs) (List.length !deltas) (List.length runs);
   (* overhead of the disabled probes: same design, with and without a
      collector installed; medians over a few repetitions *)
   (* monotonic clock: the same timebase the scheduler's workers use, and
@@ -985,10 +981,51 @@ let flow_telemetry () =
   let enabled =
     List.init reps (fun _ -> Obs.with_collector (Obs.create ()) time_run)
   in
+  (* full request-tracing path, the way a served job runs it: ambient
+     trace context installed, spans collected, then flattened into wire
+     events — all inside the timed region *)
+  let traced =
+    List.init reps (fun _ ->
+        let ctx = Tracectx.generate () in
+        let c = Obs.create () in
+        let ms =
+          Obs.with_collector c (fun () -> Tracectx.with_current ctx time_run)
+        in
+        ignore (Tracectx.events_of_collector ctx c);
+        ms)
+  in
+  let off_med = Stats.percentile 50.0 disabled in
+  let on_med = Stats.percentile 50.0 enabled in
+  let traced_med = Stats.percentile 50.0 traced in
+  let overhead_pct =
+    if off_med > 0.0 then (traced_med -. off_med) /. off_med *. 100.0 else 0.0
+  in
+  let overhead_limit_pct = 5.0 in
   Printf.printf
-    "alu8 open flow, median of %d: telemetry off %.2f ms, on %.2f ms\n" reps
-    (Stats.percentile 50.0 disabled)
-    (Stats.percentile 50.0 enabled)
+    "alu8 open flow, median of %d: telemetry off %.2f ms, on %.2f ms, traced %.2f ms\n"
+    reps off_med on_med traced_med;
+  Printf.printf "tracing overhead gate: %+.2f%% (limit %.0f%%) %s\n" overhead_pct
+    overhead_limit_pct
+    (if overhead_pct < overhead_limit_pct then "ok" else "FAIL");
+  Jsonout.write_file ~path:"BENCH_flow.json"
+    (Jsonout.Obj
+       [ ("runs", Jsonout.List runs);
+         ("deltas", Jsonout.List (List.rev !deltas));
+         ( "telemetry_overhead",
+           Jsonout.Obj
+             [ ("reps", Jsonout.Int reps);
+               ("disabled_median_ms", Jsonout.Float off_med);
+               ("enabled_median_ms", Jsonout.Float on_med);
+               ("traced_median_ms", Jsonout.Float traced_med);
+               ("traced_overhead_pct", Jsonout.Float overhead_pct);
+               ("limit_pct", Jsonout.Float overhead_limit_pct) ] ) ]);
+  Printf.printf "wrote BENCH_flow.json (%d runs, %d deltas) and %d ledger records\n"
+    (List.length runs) (List.length !deltas) (List.length runs);
+  if overhead_pct >= overhead_limit_pct then begin
+    Printf.printf "flow_telemetry: tracing overhead %.2f%% exceeds %.0f%%\n"
+      overhead_pct overhead_limit_pct;
+    exit 1
+  end
 
 (* Fault matrix: inject every (site, kind) pair into a small design's
    guarded flow and measure how often the retry/degradation machinery
@@ -1196,6 +1233,10 @@ let serve_bench () =
     let server_thread = Thread.create (fun () -> Server.serve server listen_fd) () in
     let mutex = Mutex.create () in
     let latencies = ref [] in
+    (* server-reported split of each completed job's latency: time spent
+       queued behind the admission bound vs time on a worker *)
+    let queue_waits = ref [] in
+    let services = ref [] in
     let completed = ref 0 in
     let cache_served = ref 0 in
     let rejects = ref 0 in
@@ -1237,10 +1278,12 @@ let serve_bench () =
           | None -> ()
           | Some (id, cached) -> (
             match if cached then Client.request c (Wire.Result id) else Client.await c id with
-            | Ok (Wire.Job_result { from_cache; _ }) ->
+            | Ok (Wire.Job_result { from_cache; wait_ms; exec_ms; _ }) ->
               let ms = Mclock.elapsed_ms t0 in
               Mutex.protect mutex (fun () ->
                   latencies := ms :: !latencies;
+                  queue_waits := wait_ms :: !queue_waits;
+                  services := exec_ms :: !services;
                   incr completed;
                   if from_cache then incr cache_served)
             | _ -> ()));
@@ -1263,6 +1306,9 @@ let serve_bench () =
     let throughput = float_of_int completed /. (wall_ms /. 1000.0) in
     let p50 = Stats.percentile 50.0 !latencies in
     let p99 = Stats.percentile 99.0 !latencies in
+    let pct p xs = if xs = [] then 0.0 else Stats.percentile p xs in
+    let wait_p50 = pct 50.0 !queue_waits and wait_p99 = pct 99.0 !queue_waits in
+    let svc_p50 = pct 50.0 !services and svc_p99 = pct 99.0 !services in
     let attempts = completed + rejects in
     let reject_rate =
       if attempts = 0 then 0.0 else float_of_int rejects /. float_of_int attempts
@@ -1275,6 +1321,10 @@ let serve_bench () =
        ms  rejects %3d (%2.0f%%)  cache %3.0f%%\n%!"
       clients completed jobs_per_level wall_ms throughput p50 p99 rejects
       (100.0 *. reject_rate) (100.0 *. hit_rate);
+    Printf.printf
+      "            queue-wait p50 %7.1f ms  p99 %7.1f ms   service p50 %7.1f ms  p99 \
+       %7.1f ms\n%!"
+      wait_p50 wait_p99 svc_p50 svc_p99;
     Jsonout.Obj
       [
         ("clients", Jsonout.Int clients);
@@ -1283,6 +1333,10 @@ let serve_bench () =
         ("throughput_jobs_per_s", Jsonout.Float throughput);
         ("latency_p50_ms", Jsonout.Float p50);
         ("latency_p99_ms", Jsonout.Float p99);
+        ("queue_wait_p50_ms", Jsonout.Float wait_p50);
+        ("queue_wait_p99_ms", Jsonout.Float wait_p99);
+        ("service_p50_ms", Jsonout.Float svc_p50);
+        ("service_p99_ms", Jsonout.Float svc_p99);
         ("rejects", Jsonout.Int rejects);
         ("reject_rate", Jsonout.Float reject_rate);
         ("cache_hit_rate", Jsonout.Float hit_rate);

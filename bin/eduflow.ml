@@ -30,6 +30,9 @@ module Cache = Educhip_sched.Cache
 module Sched = Educhip_sched.Sched
 module Wire = Educhip_serve.Wire
 module Client = Educhip_serve.Client
+module Tracectx = Educhip_obs.Tracectx
+module Slo = Educhip_obs.Slo
+module Mclock = Educhip_util.Mclock
 
 open Cmdliner
 
@@ -765,7 +768,21 @@ let print_job_result ~id ~verdict ~from_cache ~exec_ms ~wait_ms ~(ppa : Flow.ppa
     ppa
 
 let run_submit socket connect design tenant preset node clock_ps priority seed retries
-    inject deadline_ms wait_flag =
+    inject deadline_ms wait_flag trace_id trace_out =
+  (* --trace-out needs the finished job's server-side events, so it
+     implies --wait; --trace-id alone just tags the submission. *)
+  let trace =
+    match (trace_id, trace_out) with
+    | None, None -> None
+    | Some id, _ -> (
+      match Tracectx.make id with
+      | ctx -> Some ctx
+      | exception Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2)
+    | None, Some _ -> Some (Tracectx.generate ())
+  in
+  let wait_flag = wait_flag || trace_out <> None in
   let c = service_client socket connect in
   let spec =
     {
@@ -779,8 +796,11 @@ let run_submit socket connect design tenant preset node clock_ps priority seed r
       retries;
       inject;
       deadline_ms;
+      trace;
+      extra = [];
     }
   in
+  let submit_start = Mclock.now_ms () in
   match Client.submit c spec with
   | Error msg ->
     Printf.eprintf "submit failed: %s\n" msg;
@@ -789,12 +809,39 @@ let run_submit socket connect design tenant preset node clock_ps priority seed r
     print_rejection reason retry_after_ms;
     exit 6
   | Ok (Wire.Accepted { id; tier; cached }) ->
+    let submit_stop = Mclock.now_ms () in
     Printf.printf "accepted %s (tier %s)%s\n" id tier
       (if cached then " -- served from cache" else "");
+    Option.iter
+      (fun ctx -> Printf.printf "trace id %s\n" (Tracectx.trace_id ctx))
+      trace;
     if wait_flag then begin
       match Client.await c id with
-      | Ok (Wire.Job_result { verdict; from_cache; exec_ms; wait_ms; ppa; _ }) ->
+      | Ok (Wire.Job_result { verdict; from_cache; exec_ms; wait_ms; ppa; trace_events; _ })
+        ->
+        let wait_stop = Mclock.now_ms () in
         print_job_result ~id ~verdict ~from_cache ~exec_ms ~wait_ms ~ppa;
+        (match (trace, trace_out) with
+        | Some ctx, Some path ->
+          (* stitch: the client's two events plus everything the server
+             recorded, one timeline (same monotonic clock) *)
+          let client_events =
+            [
+              Tracectx.event ~name:"client.submit" ~cat:"client"
+                ~tid:Tracectx.tid_client
+                ~args:[ ("design", Obs.Str design); ("tenant", Obs.Str tenant) ]
+                ~start_ms:submit_start ~stop_ms:submit_stop ctx;
+              Tracectx.event ~name:"client.wait" ~cat:"client"
+                ~tid:Tracectx.tid_client
+                ~args:[ ("job", Obs.Str id) ]
+                ~start_ms:submit_stop ~stop_ms:wait_stop ctx;
+            ]
+          in
+          Tracectx.write_chrome ~path (client_events @ trace_events);
+          Printf.printf "trace (%d events) written to %s\n"
+            (List.length client_events + List.length trace_events)
+            path
+        | _ -> ());
         Client.close c;
         if Sched.is_failed verdict then exit 4
       | Ok (Wire.Rejected { reason; retry_after_ms }) ->
@@ -829,19 +876,32 @@ let run_status socket connect id =
     Printf.eprintf "status failed: %s\n" msg;
     exit 1
 
-let run_result socket connect id wait_flag json_path =
+let run_result socket connect id wait_flag json_path trace_out =
   let c = service_client socket connect in
   let outcome =
     if wait_flag then Client.await c id else Client.request c (Wire.Result id)
   in
   match outcome with
-  | Ok (Wire.Job_result { id; verdict; from_cache; exec_ms; wait_ms; ppa; record }) ->
+  | Ok
+      (Wire.Job_result
+        { id; verdict; from_cache; exec_ms; wait_ms; ppa; record; trace_events }) ->
     print_job_result ~id ~verdict ~from_cache ~exec_ms ~wait_ms ~ppa;
     Option.iter
       (fun path ->
         Jsonout.write_file ~path (Runlog.to_json record);
         Printf.printf "ledger record written to %s\n" path)
       json_path;
+    Option.iter
+      (fun path ->
+        if trace_events = [] then
+          Printf.eprintf
+            "no trace events for %s (submit it with --trace-id to trace it)\n" id
+        else begin
+          Tracectx.write_chrome ~path trace_events;
+          Printf.printf "trace (%d events) written to %s\n" (List.length trace_events)
+            path
+        end)
+      trace_out;
     Client.close c;
     if Sched.is_failed verdict then exit 4
   | Ok (Wire.Job_status { id; state; _ }) ->
@@ -856,6 +916,125 @@ let run_result socket connect id wait_flag json_path =
   | Error msg ->
     Printf.eprintf "result failed: %s\n" msg;
     exit 1
+
+(* {2 eduflow top: live operator dashboard} *)
+
+let pct x = 100.0 *. Float.max 0.0 (Float.min 1.0 x)
+
+let budget_bar frac =
+  let width = 10 in
+  let filled = int_of_float (Float.round (float_of_int width *. Float.max 0.0 (Float.min 1.0 frac))) in
+  String.concat ""
+    [ String.make filled '#'; String.make (width - filled) '.' ]
+
+let render_top ~throughput (h : (float * int * int * int * int * int))
+    ~rejects ~(tenants : Wire.tenant_stats list) ~(slos : Slo.report list) =
+  let uptime_ms, queue_depth, running, completed, failed, workers = h in
+  Printf.printf "eduserved — up %.0f s, %d workers | queue %d, running %d | done %d, failed %d | %.2f jobs/s\n"
+    (uptime_ms /. 1000.0) workers queue_depth running completed failed throughput;
+  (match rejects with
+  | [] -> Printf.printf "rejects: none\n"
+  | rs ->
+    Printf.printf "rejects: %s\n"
+      (String.concat ", " (List.map (fun (r, n) -> Printf.sprintf "%s %d" r n) rs)));
+  print_newline ();
+  let tenant_table =
+    Table.create ~title:"Tenants"
+      ~columns:
+        [
+          ("tenant", Table.Left);
+          ("tier", Table.Left);
+          ("inflight", Table.Right);
+          ("done", Table.Right);
+          ("failed", Table.Right);
+          ("p50 ms", Table.Right);
+          ("p99 ms", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (t : Wire.tenant_stats) ->
+      Table.add_row tenant_table
+        [
+          t.Wire.tenant;
+          t.Wire.tier;
+          Table.cell_int t.Wire.inflight;
+          Table.cell_int t.Wire.completed_n;
+          Table.cell_int t.Wire.failed_n;
+          Table.cell_float ~decimals:1 t.Wire.p50_ms;
+          Table.cell_float ~decimals:1 t.Wire.p99_ms;
+        ])
+    tenants;
+  if tenants <> [] then Printf.printf "%s\n" (Table.render tenant_table)
+  else Printf.printf "no completed jobs yet\n\n";
+  let slo_table =
+    Table.create ~title:"SLO error budgets"
+      ~columns:
+        [
+          ("tier", Table.Left);
+          ("target p99", Table.Right);
+          ("p99 ms", Table.Right);
+          ("ok %", Table.Right);
+          ("samples", Table.Right);
+          ("budget", Table.Left);
+          ("burn", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (r : Slo.report) ->
+      let budget = Float.min r.Slo.latency_budget r.Slo.success_budget in
+      Table.add_row slo_table
+        [
+          r.Slo.tier;
+          Table.cell_float ~decimals:0 r.Slo.objective.Slo.p99_ms;
+          Table.cell_float ~decimals:1 r.Slo.p99_ms;
+          Table.cell_float ~decimals:1 (pct r.Slo.ok_rate);
+          Table.cell_int r.Slo.samples;
+          Printf.sprintf "%s %3.0f%%" (budget_bar budget) (pct budget);
+          Table.cell_float ~decimals:2 r.Slo.burn_rate;
+        ])
+    slos;
+  Printf.printf "%s%!" (Table.render slo_table)
+
+let run_top socket connect interval once =
+  if interval <= 0.0 then begin
+    Printf.eprintf "--interval must be positive, got %g\n" interval;
+    exit 2
+  end;
+  let c = service_client socket connect in
+  let fetch req label =
+    match Client.request c req with
+    | Ok resp -> resp
+    | Error msg ->
+      Printf.eprintf "%s failed: %s\n" label msg;
+      exit 1
+  in
+  let prev = ref None in
+  let rec loop () =
+    match (fetch Wire.Health "health", fetch Wire.Stats "stats") with
+    | ( Wire.Health_report { uptime_ms; queue_depth; running; completed; failed; workers; _ },
+        Wire.Stats_report { rejects; tenants; slos; _ } ) ->
+      let now = Mclock.now_ms () in
+      let throughput =
+        match !prev with
+        | Some (t0, c0) when now > t0 ->
+          float_of_int (max 0 (completed - c0)) /. ((now -. t0) /. 1000.0)
+        | _ -> 0.0
+      in
+      prev := Some (now, completed);
+      if not once then print_string "\027[H\027[2J";
+      render_top ~throughput
+        (uptime_ms, queue_depth, running, completed, failed, workers)
+        ~rejects ~tenants ~slos;
+      if once then Client.close c
+      else begin
+        Unix.sleepf interval;
+        loop ()
+      end
+    | _ ->
+      Printf.eprintf "unexpected response while polling the server\n";
+      exit 1
+  in
+  loop ()
 
 let submit_design_arg =
   Arg.(
@@ -906,6 +1085,46 @@ let result_json_arg =
     & opt (some string) None
     & info [ "json" ] ~docv:"PATH" ~doc:"Write the job's ledger record as JSON.")
 
+let trace_id_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-id" ] ~docv:"ID"
+        ~doc:
+          "Tag the submission with a request trace id (1-64 chars of \
+           [a-zA-Z0-9._-]); the server records admission, queue-wait, and every \
+           flow step against it. Generated automatically when only \
+           $(b,--trace-out) is given.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"PATH"
+        ~doc:
+          "Write the stitched end-to-end Chrome trace-event JSON (open in Perfetto \
+           or chrome://tracing). Implies $(b,--wait).")
+
+let result_trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"PATH"
+        ~doc:
+          "Write the job's server-side trace events as Chrome trace-event JSON \
+           (the job must have been submitted with a trace id).")
+
+let top_interval_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "interval" ] ~docv:"SECONDS" ~doc:"Refresh period between polls.")
+
+let top_once_arg =
+  Arg.(
+    value & flag
+    & info [ "once" ]
+        ~doc:"Print a single snapshot and exit instead of refreshing the screen.")
+
 let submit_cmd =
   let doc = "submit a flow job to a running eduserved daemon" in
   let man =
@@ -924,7 +1143,8 @@ let submit_cmd =
     Term.(
       const run_submit $ socket_arg $ connect_arg $ submit_design_arg $ tenant_arg
       $ preset_arg $ node_arg $ clock_arg $ submit_priority_arg $ fault_seed_arg
-      $ submit_retries_arg $ inject_arg $ submit_deadline_arg $ wait_arg)
+      $ submit_retries_arg $ inject_arg $ submit_deadline_arg $ wait_arg
+      $ trace_id_arg $ trace_out_arg)
 
 let status_cmd =
   let doc = "show a submitted job's state (queued | running | done | failed)" in
@@ -938,7 +1158,24 @@ let result_cmd =
     (Cmd.info "result" ~doc)
     Term.(
       const run_result $ socket_arg $ connect_arg $ job_id_arg $ wait_arg
-      $ result_json_arg)
+      $ result_json_arg $ result_trace_out_arg)
+
+let top_cmd =
+  let doc = "live dashboard of a running eduserved daemon" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Polls the service's health and stats endpoints and renders throughput, \
+         queue depth, per-tenant inflight/latency percentiles, the reject \
+         breakdown, and each tier's SLO error budget and burn rate. Refreshes \
+         every $(b,--interval) seconds until interrupted; $(b,--once) prints a \
+         single snapshot (useful in scripts and CI).";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "top" ~doc ~man)
+    Term.(const run_top $ socket_arg $ connect_arg $ top_interval_arg $ top_once_arg)
 
 let () =
   let doc = "educhip RTL-to-GDSII flow driver" in
@@ -950,7 +1187,7 @@ let () =
     let commands =
       [
         "run"; "list"; "nodes"; "fpga"; "report"; "compare"; "batch"; "submit";
-        "status"; "result";
+        "status"; "result"; "top";
       ]
     in
     if
@@ -965,5 +1202,5 @@ let () =
        (Cmd.group ~default:run_term info
           [
             run_cmd; list_cmd; nodes_cmd; fpga_cmd; report_cmd; compare_cmd; batch_cmd;
-            submit_cmd; status_cmd; result_cmd;
+            submit_cmd; status_cmd; result_cmd; top_cmd;
           ]))

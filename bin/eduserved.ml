@@ -10,6 +10,7 @@
    after flushing the ledger and any requested telemetry exports. *)
 
 module Obs = Educhip_obs.Obs
+module Slo = Educhip_obs.Slo
 module Cache = Educhip_sched.Cache
 module Sched = Educhip_sched.Sched
 module Ratelimit = Educhip_serve.Ratelimit
@@ -19,9 +20,14 @@ open Cmdliner
 
 let run socket tcp_port workers max_queue no_cache cache_dir cache_max ledger
     default_deadline advanced_tenants basic_rate basic_burst basic_inflight
-    advanced_rate advanced_burst advanced_inflight trace_path metrics_path prom_path =
+    advanced_rate advanced_burst advanced_inflight slo_basic_p99 slo_advanced_p99
+    slo_success_rate slo_window trace_path metrics_path prom_path =
   if workers < 1 then begin
     Printf.eprintf "--workers must be >= 1, got %d\n" workers;
+    exit 2
+  end;
+  if slo_window < 1 then begin
+    Printf.eprintf "--slo-window must be >= 1, got %d\n" slo_window;
     exit 2
   end;
   (* install the export collector before Server.create so the server
@@ -50,6 +56,19 @@ let run socket tcp_port workers max_queue no_cache cache_dir cache_max ledger
          else Some (Cache.create ~max_entries:cache_max ~dir:cache_dir ()));
       ledger;
       default_deadline_ms = default_deadline;
+      slo =
+        List.map
+          (fun (tier, (o : Slo.objective)) ->
+            let p99 =
+              match tier with
+              | "basic" -> Option.value slo_basic_p99 ~default:o.Slo.p99_ms
+              | "advanced" -> Option.value slo_advanced_p99 ~default:o.Slo.p99_ms
+              | _ -> o.Slo.p99_ms
+            in
+            let sr = Option.value slo_success_rate ~default:o.Slo.success_rate in
+            (tier, { Slo.p99_ms = p99; success_rate = sr }))
+          Slo.default_objectives;
+      slo_window;
     }
   in
   let server =
@@ -164,6 +183,27 @@ let advanced_burst_arg = opt_float "advanced-burst" "Advanced tier: token bucket
 let advanced_inflight_arg =
   opt_int "advanced-inflight" "Advanced tier: max queued+running jobs per tenant."
 
+let slo_basic_p99_arg =
+  opt_float "slo-basic-p99"
+    "Basic tier latency objective: target p99 in milliseconds (default 1000)."
+
+let slo_advanced_p99_arg =
+  opt_float "slo-advanced-p99"
+    "Advanced tier latency objective: target p99 in milliseconds (default 500)."
+
+let slo_success_rate_arg =
+  opt_float "slo-success-rate"
+    "Success-rate objective applied to both tiers, in [0,1] (defaults: basic 0.9, \
+     advanced 0.95)."
+
+let slo_window_arg =
+  Arg.(
+    value & opt int Server.default_config.Server.slo_window
+    & info [ "slo-window" ] ~docv:"N"
+        ~doc:
+          "Completed requests per tier retained for SLO error-budget accounting \
+           (served by the wire `stats` request and $(b,eduflow top)).")
+
 let trace_arg =
   Arg.(
     value
@@ -209,6 +249,8 @@ let cmd =
       const run $ socket_arg $ tcp_arg $ workers_arg $ max_queue_arg $ no_cache_arg
       $ cache_dir_arg $ cache_max_arg $ ledger_arg $ deadline_arg $ advanced_arg
       $ basic_rate_arg $ basic_burst_arg $ basic_inflight_arg $ advanced_rate_arg
-      $ advanced_burst_arg $ advanced_inflight_arg $ trace_arg $ metrics_arg $ prom_arg)
+      $ advanced_burst_arg $ advanced_inflight_arg $ slo_basic_p99_arg
+      $ slo_advanced_p99_arg $ slo_success_rate_arg $ slo_window_arg $ trace_arg
+      $ metrics_arg $ prom_arg)
 
 let () = exit (Cmd.eval cmd)

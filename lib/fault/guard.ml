@@ -65,10 +65,17 @@ let execute ?(policy = default_policy) ?(accept = fun _ -> None) ~site rungs =
   let run_attempt rung_idx backoff =
     Obs.with_span "guard.attempt"
       ~attrs:
-        [ ("site", Obs.Str site);
-          ("attempt", Obs.Int (!attempts + 1));
-          ("rung", Obs.Int rung_idx);
-          ("backoff_ms", Obs.Float backoff) ]
+        ([ ("site", Obs.Str site);
+           ("attempt", Obs.Int (!attempts + 1));
+           ("rung", Obs.Int rung_idx);
+           ("backoff_ms", Obs.Float backoff) ]
+        @
+        (* tag retries with the owning request so a stitched trace shows
+           which submission paid for the recovery *)
+        match Educhip_obs.Tracectx.current () with
+        | Some ctx ->
+          [ ("trace_id", Obs.Str (Educhip_obs.Tracectx.trace_id ctx)) ]
+        | None -> [])
     @@ fun () ->
     let result =
       try

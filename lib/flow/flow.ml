@@ -240,9 +240,16 @@ let run_guarded ?(policy = Guard.default_policy) netlist cfg =
   validate_netlist netlist;
   Obs.with_span "flow.run"
     ~attrs:
-      [ ("design", Obs.Str (Netlist.name netlist));
-        ("node", Obs.Str cfg.node.Pdk.node_name);
-        ("clock_period_ps", Obs.Float cfg.clock_period_ps) ]
+      ([ ("design", Obs.Str (Netlist.name netlist));
+         ("node", Obs.Str cfg.node.Pdk.node_name);
+         ("clock_period_ps", Obs.Float cfg.clock_period_ps) ]
+      @
+      (* attribute the run to its request when one is ambient, so a
+         multi-request trace dump stays filterable per submission *)
+      match Educhip_obs.Tracectx.current () with
+      | Some ctx ->
+        [ ("trace_id", Obs.Str (Educhip_obs.Tracectx.trace_id ctx)) ]
+      | None -> [])
   @@ fun () ->
   if Obs.enabled () then
     List.iter (fun n -> Obs.declare_counter n)

@@ -100,6 +100,9 @@ let set_attr key v =
 let root_spans c = List.rev c.roots
 let span_name s = s.name
 let span_children s = List.rev s.children
+let epoch_s c = c.epoch
+let span_start_us s = s.start_us
+let span_stop_us s = s.stop_us
 
 let span_duration_ms s =
   if Float.is_nan s.stop_us then 0.0 else (s.stop_us -. s.start_us) /. 1000.0

@@ -85,6 +85,19 @@ val span_attrs : span -> (string * value) list
 val span_children : span -> span list
 (** Direct children, oldest first. *)
 
+val epoch_s : collector -> float
+(** The collector's creation time on the monotonic clock, in seconds —
+    the zero point of every span timestamp it holds. Exposed so
+    request-scoped tracing ({!Tracectx}) can rebase spans onto absolute
+    monotonic time and stitch collectors from different processes. *)
+
+val span_start_us : span -> float
+(** Start timestamp, microseconds since the collector's epoch. *)
+
+val span_stop_us : span -> float
+(** Stop timestamp, microseconds since the collector's epoch; [nan] for
+    a span that never closed. *)
+
 (** {1 Metrics}
 
     Metrics are identified by name plus an optional label set (sorted

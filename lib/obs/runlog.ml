@@ -1,4 +1,4 @@
-let schema_version = 1
+let schema_version = 2
 
 type step = { step : string; wall_ms : float; attempts : int; rung : int }
 
@@ -24,13 +24,17 @@ type record = {
   guard_degraded : int;
   steps : step list;
   qor : qor option;
+  trace_id : string option;  (* schema >= 2 *)
+  queue_wait_ms : float option;  (* schema >= 2; service-mode queue time *)
   extra : (string * Jsonout.t) list;
 }
 
 let make ~design ~node ~preset ~verdict ~total_wall_ms ?(injected = []) ?fault_seed
-    ?max_retries ?(guard_retries = 0) ?(guard_degraded = 0) ?(steps = []) ?qor () =
+    ?max_retries ?(guard_retries = 0) ?(guard_degraded = 0) ?(steps = []) ?qor
+    ?trace_id ?queue_wait_ms () =
   { schema = schema_version; design; node; preset; verdict; total_wall_ms; injected;
-    fault_seed; max_retries; guard_retries; guard_degraded; steps; qor; extra = [] }
+    fault_seed; max_retries; guard_retries; guard_degraded; steps; qor; trace_id;
+    queue_wait_ms; extra = [] }
 
 (* {1 Encoding} *)
 
@@ -65,13 +69,20 @@ let to_json r =
        ("guard_degraded", Jsonout.Int r.guard_degraded);
        ("steps", Jsonout.List (List.map step_json r.steps));
        ("qor", match r.qor with Some q -> qor_json q | None -> Jsonout.Null) ]
+    (* schema-2 fields, elided when absent so local (non-service) runs
+       keep their schema-1 shape apart from the version stamp *)
+    @ (match r.trace_id with Some id -> [ ("trace_id", Jsonout.String id) ] | None -> [])
+    @ (match r.queue_wait_ms with
+      | Some w -> [ ("queue_wait_ms", Jsonout.Float w) ]
+      | None -> [])
     @ r.extra)
 
 (* {1 Tolerant decoding} *)
 
 let known_fields =
   [ "schema"; "design"; "node"; "preset"; "verdict"; "total_wall_ms"; "injected";
-    "fault_seed"; "max_retries"; "guard_retries"; "guard_degraded"; "steps"; "qor" ]
+    "fault_seed"; "max_retries"; "guard_retries"; "guard_degraded"; "steps"; "qor";
+    "trace_id"; "queue_wait_ms" ]
 
 let as_float = function
   | Some (Jsonout.Float f) -> Some f
@@ -137,6 +148,8 @@ let of_json j =
     guard_degraded = get_int j "guard_degraded" 0;
     steps;
     qor;
+    trace_id = as_string (Jsonout.member "trace_id" j);
+    queue_wait_ms = as_float (Jsonout.member "queue_wait_ms" j);
     extra = List.filter (fun (k, _) -> not (List.mem k known_fields)) members }
 
 (* {1 File I/O} *)

@@ -16,7 +16,10 @@
     failing the whole ledger. *)
 
 val schema_version : int
-(** Version written by {!to_json}; currently [1]. *)
+(** Version written by {!to_json}; currently [2]. Version 2 added the
+    optional service-mode fields [trace_id] and [queue_wait_ms]; readers
+    of either version accept records of the other ({!of_json} never
+    rejects on version). *)
 
 type step = {
   step : string;
@@ -47,6 +50,10 @@ type record = {
   guard_degraded : int;  (** steps that completed below configured effort *)
   steps : step list;
   qor : qor option;  (** [None] for aborted runs *)
+  trace_id : string option;
+      (** request trace id (schema ≥ 2); [None] for local runs *)
+  queue_wait_ms : float option;
+      (** admission-to-dispatch wait (schema ≥ 2); [None] for local runs *)
   extra : (string * Jsonout.t) list;  (** unknown fields, preserved verbatim *)
 }
 
@@ -63,6 +70,8 @@ val make :
   ?guard_degraded:int ->
   ?steps:step list ->
   ?qor:qor ->
+  ?trace_id:string ->
+  ?queue_wait_ms:float ->
   unit ->
   record
 

@@ -1,0 +1,67 @@
+(** Per-tenant-tier service-level objectives with error-budget burn.
+
+    The tiered-access model (paper Rec. 8) needs more than raw latency
+    histograms: an operator must know whether each tier is {e meeting
+    its promise} and how fast it is spending its error budget. An {!t}
+    holds, per tier, a sliding window of the last [window] completed
+    requests (latency + outcome) against a fixed {!objective} — target
+    p99 latency and success rate — and {!report} folds the window into
+    budget-remaining and burn-rate numbers the [stats] wire verb serves
+    to [eduflow top].
+
+    Accounting model: a p99 target tolerates 1% of requests over the
+    threshold, a success-rate target [s] tolerates [1 - s] failures.
+    Budget remaining is [1 - observed_bad/allowed_bad] clamped to
+    [\[0, 1\]]; burn rate is [observed_bad/allowed_bad] (1.0 = spending
+    exactly at the sustainable rate), capped at 1000. The overall burn
+    rate is the worse of the latency and success dimensions.
+
+    Not thread-safe: the server records and reports under its own lock. *)
+
+type objective = { p99_ms : float; success_rate : float }
+
+val default_objectives : (string * objective) list
+(** ["basic"]: p99 ≤ 1000 ms at 90% success; ["advanced"]: p99 ≤ 500 ms
+    at 95% success — the shipped defaults for the two access tiers,
+    overridable via [eduserved] flags. *)
+
+type t
+
+val create : ?window:int -> (string * objective) list -> t
+(** Fixed tier set; [window] (default 256) samples retained per tier.
+    @raise Invalid_argument when [window <= 0]. *)
+
+val window : t -> int
+
+val tiers : t -> string list
+(** In creation order. *)
+
+val record : t -> tier:string -> latency_ms:float -> ok:bool -> unit
+(** Account one completed request. Unknown tiers are ignored — no
+    objective, nothing to burn. *)
+
+type report = {
+  tier : string;
+  objective : objective;
+  samples : int;  (** window occupancy; [0] means "no data yet" *)
+  p50_ms : float;
+  p99_ms : float;
+  ok_rate : float;
+  latency_budget : float;  (** fraction of the latency error budget left *)
+  success_budget : float;  (** fraction of the failure budget left *)
+  burn_rate : float;  (** worse dimension; 0 when the window is empty *)
+}
+
+val report : t -> tier:string -> report option
+(** [None] for a tier not configured at {!create}. An empty window
+    reports full budgets and zero burn. *)
+
+val reports : t -> report list
+
+val report_json : report -> Jsonout.t
+(** Wire form used by the [stats] response — kept here so server and
+    client agree by construction. *)
+
+val report_of_json : Jsonout.t -> report option
+(** Tolerant decode: unknown members ignored, absent numbers default;
+    [None] only when [tier] is missing. *)

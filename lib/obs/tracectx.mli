@@ -1,0 +1,95 @@
+(** Request-scoped trace context: one id per submission, end to end.
+
+    A {!t} is minted when [eduflow submit] builds a request (or supplied
+    by the user via [--trace-id]), rides the wire as optional fields old
+    peers ignore, and follows the job through admission, the fairshare
+    queue, and the worker domain that executes the flow. Every hop
+    contributes {!event}s — complete Chrome trace events stamped with
+    {e absolute} monotonic time ([Educhip_util.Mclock], CLOCK_MONOTONIC,
+    shared by all processes on the host) — so the client's wait, the
+    server's admission decision, queue-wait, and all ten flow steps
+    stitch into one coherent per-submission timeline with no clock
+    negotiation. {!to_chrome_json} renders the stitched list as a single
+    trace-event JSON loadable in Perfetto or [chrome://tracing]. *)
+
+type t = { trace_id : string; parent_span : string option }
+
+val is_valid_id : string -> bool
+(** 1–64 characters drawn from [[a-zA-Z0-9._-]] — safe to embed in file
+    names, JSON, and Prometheus label values without escaping. *)
+
+val make : ?parent_span:string -> string -> t
+(** @raise Invalid_argument when the id fails {!is_valid_id}. *)
+
+val generate_id : unit -> string
+(** A fresh random 16-hex-digit id (process-seeded; uniqueness, not
+    unpredictability, is the contract). *)
+
+val generate : unit -> t
+
+val trace_id : t -> string
+val parent_span : t -> string option
+
+(** {1 Ambient context}
+
+    Domain-local, like the collector sink: the worker executing a traced
+    job installs its context so deep instrumentation (flow steps, guard
+    attempts) can tag spans with the owning trace id. *)
+
+val current : unit -> t option
+
+val with_current : t -> (unit -> 'a) -> 'a
+(** Install around a thunk, restoring the previous context afterwards
+    (also on exceptions). *)
+
+(** {1 Trace events} *)
+
+type event = {
+  name : string;
+  cat : string;
+  ts_us : float;  (** absolute monotonic microseconds *)
+  dur_us : float;
+  tid : int;
+  args : (string * Obs.value) list;
+}
+
+val tid_client : int
+val tid_server : int
+
+val tid_worker : int -> int
+(** Chrome thread-id convention for the stitched view: [1] client,
+    [2] server admission/queue, [3+w] worker domain [w]. *)
+
+val event :
+  name:string ->
+  ?cat:string ->
+  ?tid:int ->
+  ?args:(string * Obs.value) list ->
+  start_ms:float ->
+  stop_ms:float ->
+  t ->
+  event
+(** Build one event from absolute monotonic millisecond bounds
+    ([Mclock.now_s () *. 1000.]). The trace id is added to [args]
+    unless already present; a negative duration clamps to 0. *)
+
+val events_of_collector : ?tid:int -> t -> Obs.collector -> event list
+(** Flatten a collector's completed span trees (depth-first, oldest
+    first) into events, rebasing collector-relative timestamps onto
+    absolute time via {!Obs.epoch_s}. [tid] defaults to
+    [tid_worker 0]. A never-closed span yields duration 0. *)
+
+val events_json : event list -> Jsonout.t
+(** Compact wire form (a JSON array) for carrying a trace inside a
+    response; decoded by {!events_of_json}, which tolerates unknown
+    members and skips malformed entries. *)
+
+val events_of_json : Jsonout.t -> event list
+
+val to_chrome_json : event list -> Jsonout.t
+(** The stitched trace as Chrome trace-event JSON: events sorted by
+    timestamp and rebased so the earliest starts at 0, one process
+    ([pid = 1]) with [thread_name] metadata labelling client / server /
+    worker rows. *)
+
+val write_chrome : path:string -> event list -> unit

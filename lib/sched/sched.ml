@@ -4,6 +4,7 @@ module Guard = Educhip_fault.Guard
 module Designs = Educhip_designs.Designs
 module Pdk = Educhip_pdk.Pdk
 module Obs = Educhip_obs.Obs
+module Tracectx = Educhip_obs.Tracectx
 module Runlog = Educhip_obs.Runlog
 module Jsonout = Educhip_obs.Jsonout
 module Mclock = Educhip_util.Mclock
@@ -31,6 +32,7 @@ type job_result = {
   worker : int;
   exec_ms : float;
   wait_ms : float;
+  trace_events : Tracectx.event list;  (* execution spans; [] when untraced *)
 }
 
 type tenant_stat = {
@@ -166,12 +168,29 @@ let execute s (job : Manifest.job) =
         if from_cache then s.hits <- s.hits + 1 else s.misses <- s.misses + 1);
   r
 
-let run_one ?cache ?(worker = 0) (job : Manifest.job) =
+let run_one ?cache ?(worker = 0) ?trace (job : Manifest.job) =
   let t0 = Mclock.now_ms () in
-  let verdict, ppa, record, from_cache =
+  (* Traced executions capture their spans in a private sub-collector so
+     the request's events can be cut out cleanly, then merge it into the
+     domain's installed collector (if any) so aggregate telemetry sees
+     exactly what it would have without tracing. *)
+  let exec () =
     match exec_flow ?cache ~crashes_left:0 job with
     | r -> r
     | exception exn -> engine_failure job (Printexc.to_string exn)
+  in
+  let (verdict, ppa, record, from_cache), trace_events =
+    match trace with
+    | None -> (exec (), [])
+    | Some ctx ->
+      let outer = Obs.installed () in
+      let sub = Obs.create () in
+      let r = Obs.with_collector sub (fun () -> Tracectx.with_current ctx exec) in
+      let events =
+        Tracectx.events_of_collector ~tid:(Tracectx.tid_worker worker) ctx sub
+      in
+      (match outer with Some main -> Obs.merge ~into:main sub | None -> ());
+      (r, events)
   in
   {
     job;
@@ -183,6 +202,7 @@ let run_one ?cache ?(worker = 0) (job : Manifest.job) =
     worker;
     exec_ms = Mclock.elapsed_ms t0;
     wait_ms = 0.0;
+    trace_events;
   }
 
 let tenant_inflight s tenant =
@@ -222,6 +242,7 @@ let worker s id =
             worker = id;
             exec_ms = Mclock.elapsed_ms t0;
             wait_ms = Option.value s.waits.(job.index) ~default:0.0;
+            trace_events = [];
           }
         in
         Mutex.protect s.mutex (fun () ->
@@ -377,7 +398,7 @@ let run ?workers ?cache ?(max_requeues = 2) ?(stop = fun () -> false)
              in
              { job; verdict; ppa; record; from_cache;
                requeues = s.crash_counts.(i); worker = -1; exec_ms = 0.0;
-               wait_ms = 0.0 }
+               wait_ms = 0.0; trace_events = [] }
            | None -> failwith (Printf.sprintf "Sched.run: job %d produced no result" i))
   in
   let summary = build_summary s ~workers results in

@@ -32,6 +32,9 @@ type job_result = {
   worker : int;  (** worker that produced the final result, 0-based *)
   exec_ms : float;  (** wall time of the final execution (or cache hit) *)
   wait_ms : float;  (** campaign start to first dispatch *)
+  trace_events : Educhip_obs.Tracectx.event list;
+      (** the execution's span tree flattened onto the request trace;
+          [[]] unless {!run_one} was given a trace context *)
 }
 
 type tenant_stat = {
@@ -92,7 +95,12 @@ val run :
     hit/miss and requeue counters, worker gauge).
     @raise Invalid_argument if [workers < 1] or [max_requeues < 0]. *)
 
-val run_one : ?cache:Cache.t -> ?worker:int -> Manifest.job -> job_result
+val run_one :
+  ?cache:Cache.t ->
+  ?worker:int ->
+  ?trace:Educhip_obs.Tracectx.t ->
+  Manifest.job ->
+  job_result
 (** Execute a single job in the {e calling} domain — the submit-one-job
     entry point a long-running service pool dispatches through. Shares
     the campaign engine's executor: same cache key, same guard policy
@@ -101,7 +109,16 @@ val run_one : ?cache:Cache.t -> ?worker:int -> Manifest.job -> job_result
     stores are serialized process-wide. Engine-level exceptions are
     folded into a ["failed(...)"] verdict; [worker] (default 0) is
     recorded in the result. [wait_ms] is 0 — queue wait is the
-    caller's to account. *)
+    caller's to account.
+
+    With [?trace], the execution runs under that ambient
+    {!Educhip_obs.Tracectx} in a private collector: its span tree (the
+    [flow.run] root, all ten step spans, guard attempts) comes back
+    flattened in {!job_result.trace_events} tagged with the trace id and
+    [Tracectx.tid_worker worker], and the private collector is merged
+    into the domain's installed collector so aggregate telemetry is
+    unchanged. The cache stays trace-free: a hit produces no flow spans,
+    and stored records never contain per-request fields. *)
 
 val metric_names : string list
 (** Counter families the scheduler reports: [sched.jobs_completed],

@@ -7,6 +7,8 @@ module Pdk = Educhip_pdk.Pdk
 module Flow = Educhip_flow.Flow
 module Fault = Educhip_fault.Fault
 module Obs = Educhip_obs.Obs
+module Tracectx = Educhip_obs.Tracectx
+module Slo = Educhip_obs.Slo
 module Runlog = Educhip_obs.Runlog
 module Mclock = Educhip_util.Mclock
 
@@ -19,6 +21,8 @@ type config = {
   cache : Cache.t option;
   ledger : string option;
   default_deadline_ms : float option;
+  slo : (string * Slo.objective) list;
+  slo_window : int;
 }
 
 let default_config =
@@ -31,6 +35,8 @@ let default_config =
     cache = None;
     ledger = None;
     default_deadline_ms = None;
+    slo = Slo.default_objectives;
+    slo_window = 256;
   }
 
 let metric_names =
@@ -48,9 +54,14 @@ type entry = {
   job : Manifest.job;
   submitted_ms : float;
   deadline_at : float option;  (* absolute Mclock ms *)
+  trace : Tracectx.t option;
   mutable state : Wire.state;
   mutable wait_ms : float;  (* admission to dispatch; 0 for warm serves *)
   mutable result : Sched.job_result option;  (* Some iff Done or Failed *)
+  mutable trace_events : Tracectx.event list;
+      (* the request's stitched server-side trace, in append order:
+         admission, queue-wait, then the worker's execution spans.
+         Mutated under [t.mutex] only. *)
 }
 
 type t = {
@@ -79,7 +90,16 @@ type t = {
   mutable deadline_expired : int;
   rejected : (string, int) Hashtbl.t;  (* reason -> count *)
   synced : (string, int) Hashtbl.t;  (* counter key -> value already exported *)
+  slo : Slo.t;  (* per-tier objective accounting, under [mutex] *)
+  tstats : (string, tstat) Hashtbl.t;  (* tenant -> recent completions *)
   start_ms : float;
+}
+
+and tstat = {
+  mutable lats : float list;  (* end-to-end latencies, newest first *)
+  mutable nlats : int;
+  mutable t_completed : int;
+  mutable t_failed : int;
 }
 
 let create cfg =
@@ -117,12 +137,44 @@ let create cfg =
     deadline_expired = 0;
     rejected = Hashtbl.create 8;
     synced = Hashtbl.create 16;
+    slo = Slo.create ~window:cfg.slo_window cfg.slo;
+    tstats = Hashtbl.create 16;
     start_ms = Mclock.now_ms ();
   }
 
 let request_drain t = Atomic.set t.drain_flag true
 
 let tenant_inflight t tenant = Option.value (Hashtbl.find_opt t.inflight tenant) ~default:0
+
+let tier_name_of t tenant = Ratelimit.tier_name (Ratelimit.tier_of t.limiter tenant)
+
+let rec take_n n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take_n (n - 1) rest
+
+(* One completed request (worker-run, warm serve, or deadline expiry)
+   lands in both accounting planes: the tier's SLO window and the
+   tenant's recent-latency sample for the stats verb. Call with
+   [t.mutex] held. *)
+let account_completion t ~tenant ~latency_ms ~ok =
+  Slo.record t.slo ~tier:(tier_name_of t tenant) ~latency_ms ~ok;
+  let ts =
+    match Hashtbl.find_opt t.tstats tenant with
+    | Some ts -> ts
+    | None ->
+      let ts = { lats = []; nlats = 0; t_completed = 0; t_failed = 0 } in
+      Hashtbl.replace t.tstats tenant ts;
+      ts
+  in
+  ts.lats <- latency_ms :: ts.lats;
+  ts.nlats <- ts.nlats + 1;
+  (* amortized cap: truncate back to the window once we overshoot 2x *)
+  if ts.nlats > 2 * t.cfg.slo_window then begin
+    ts.lats <- take_n t.cfg.slo_window ts.lats;
+    ts.nlats <- t.cfg.slo_window
+  end;
+  if ok then ts.t_completed <- ts.t_completed + 1 else ts.t_failed <- ts.t_failed + 1
 
 (* {1 Metrics}
 
@@ -168,18 +220,31 @@ let fresh_id t =
 let entry_verdict e = Option.map (fun (r : Sched.job_result) -> r.Sched.verdict) e.result
 
 let finish t e (result : Sched.job_result) =
-  let result = { result with Sched.wait_ms = e.wait_ms } in
+  (* The ledger gets the per-request view — trace id and queue wait —
+     while the cache (which already stored the record inside the
+     executor) stays content-addressed and trace-free. *)
+  let record =
+    {
+      result.Sched.record with
+      Runlog.trace_id = Option.map Tracectx.trace_id e.trace;
+      queue_wait_ms = Some e.wait_ms;
+    }
+  in
+  let result = { result with Sched.wait_ms = e.wait_ms; record } in
   let failed = Sched.is_failed result.Sched.verdict in
   Mutex.protect t.mutex (fun () ->
       e.result <- Some result;
+      e.trace_events <- e.trace_events @ result.Sched.trace_events;
       e.state <- (if failed then Wire.Failed else Wire.Done);
       t.running <- t.running - 1;
       if failed then t.failed <- t.failed + 1 else t.completed <- t.completed + 1;
+      account_completion t ~tenant:e.job.Manifest.tenant
+        ~latency_ms:(Mclock.now_ms () -. e.submitted_ms) ~ok:(not failed);
       Hashtbl.replace t.inflight e.job.Manifest.tenant
         (max 0 (tenant_inflight t e.job.Manifest.tenant - 1));
       Condition.broadcast t.idle);
   match t.cfg.ledger with
-  | Some path -> Runlog.append ~path result.Sched.record
+  | Some path -> Runlog.append ~path record
   | None -> ()
 
 let expired_result (e : entry) =
@@ -199,6 +264,7 @@ let expired_result (e : entry) =
     worker = -1;
     exec_ms = 0.0;
     wait_ms = e.wait_ms;
+    trace_events = [];
   }
 
 (* {1 Workers} *)
@@ -225,6 +291,20 @@ let worker_loop t wid =
             let e = Hashtbl.find t.jobs (Printf.sprintf "j-%06d" job.Manifest.index) in
             let now = Mclock.now_ms () in
             e.wait_ms <- now -. e.submitted_ms;
+            (match e.trace with
+            | Some ctx ->
+              e.trace_events <-
+                e.trace_events
+                @ [
+                    Tracectx.event ~name:"serve.queue_wait"
+                      ~args:
+                        [
+                          ("tenant", Obs.Str job.Manifest.tenant);
+                          ("job", Obs.Str e.id);
+                        ]
+                      ~start_ms:e.submitted_ms ~stop_ms:now ctx;
+                  ]
+            | None -> ());
             if match e.deadline_at with Some d -> now > d | None -> false then begin
               t.deadline_expired <- t.deadline_expired + 1;
               (* never ran: it leaves the running count alone but must
@@ -241,19 +321,29 @@ let worker_loop t wid =
     | None -> ()
     | Some (e, `Expired) ->
       let result = expired_result e in
+      let record =
+        {
+          result.Sched.record with
+          Runlog.trace_id = Option.map Tracectx.trace_id e.trace;
+          queue_wait_ms = Some e.wait_ms;
+        }
+      in
+      let result = { result with Sched.record } in
       Mutex.protect t.mutex (fun () ->
           e.result <- Some result;
           e.state <- Wire.Failed;
           t.failed <- t.failed + 1;
+          account_completion t ~tenant:e.job.Manifest.tenant ~latency_ms:e.wait_ms
+            ~ok:false;
           Hashtbl.replace t.inflight e.job.Manifest.tenant
             (max 0 (tenant_inflight t e.job.Manifest.tenant - 1));
           Condition.broadcast t.idle);
       (match t.cfg.ledger with
-      | Some path -> Runlog.append ~path result.Sched.record
+      | Some path -> Runlog.append ~path record
       | None -> ());
       take ()
     | Some (e, `Run) ->
-      finish t e (Sched.run_one ?cache:t.cfg.cache ~worker:wid e.job);
+      finish t e (Sched.run_one ?cache:t.cfg.cache ~worker:wid ?trace:e.trace e.job);
       take ()
   in
   take ()
@@ -320,6 +410,7 @@ let cached_result t (job : Manifest.job) =
           worker = -1;
           exec_ms = 0.0;
           wait_ms = 0.0;
+          trace_events = [];
         })
       (Mutex.protect t.mutex (fun () -> Cache.lookup cache key))
 
@@ -344,10 +435,34 @@ let handle_submit t (spec : Wire.submit_spec) =
       Mutex.protect t.mutex (fun () -> count_reject t reason);
       Wire.Rejected { reason; retry_after_ms }
     | `Admitted -> (
+      (* one admission event per accepted submission: handler entry to
+         verdict, tagged with the decision the gate chain reached *)
+      let admission_event decision =
+        match spec.Wire.trace with
+        | None -> []
+        | Some ctx ->
+          [
+            Tracectx.event ~name:"serve.admission"
+              ~args:
+                [
+                  ("tenant", Obs.Str tenant);
+                  ("tier", Obs.Str tier);
+                  ("decision", Obs.Str decision);
+                ]
+              ~start_ms:now ~stop_ms:(Mclock.now_ms ()) ctx;
+          ]
+      in
       (* elaborate the design and probe the cache outside the lock —
          admission must stay cheap for everyone else *)
       match cached_result t proto_job with
       | Some result ->
+        let record =
+          {
+            result.Sched.record with
+            Runlog.trace_id = Option.map Tracectx.trace_id spec.Wire.trace;
+            queue_wait_ms = Some 0.0;
+          }
+        in
         let resp =
           Mutex.protect t.mutex (fun () ->
               let id = fresh_id t in
@@ -358,20 +473,25 @@ let handle_submit t (spec : Wire.submit_spec) =
                   job;
                   submitted_ms = now;
                   deadline_at = None;
+                  trace = spec.Wire.trace;
                   state = Wire.Done;
                   wait_ms = 0.0;
-                  result = Some { result with Sched.job };
+                  result = Some { result with Sched.job; record };
+                  trace_events = admission_event "cache_hit";
                 }
               in
               Hashtbl.replace t.jobs id e;
               t.admitted <- t.admitted + 1;
               t.cache_hits <- t.cache_hits + 1;
               t.completed <- t.completed + 1;
+              account_completion t ~tenant
+                ~latency_ms:(Mclock.now_ms () -. now)
+                ~ok:(not (Sched.is_failed result.Sched.verdict));
               Wire.Accepted { id; tier; cached = true })
         in
         (* ledger parity with batch: cache hits are recorded too *)
         (match t.cfg.ledger with
-        | Some path -> Runlog.append ~path result.Sched.record
+        | Some path -> Runlog.append ~path record
         | None -> ());
         resp
       | None ->
@@ -403,9 +523,11 @@ let handle_submit t (spec : Wire.submit_spec) =
                     job;
                     submitted_ms = now;
                     deadline_at = Option.map (fun d -> now +. d) deadline_ms;
+                    trace = spec.Wire.trace;
                     state = Wire.Queued;
                     wait_ms = 0.0;
                     result = None;
+                    trace_events = admission_event "queued";
                   }
                 in
                 Hashtbl.replace t.jobs id e;
@@ -448,6 +570,7 @@ let handle t (req : Wire.request) =
                 wait_ms = r.Sched.wait_ms;
                 ppa = r.Sched.ppa;
                 record = r.Sched.record;
+                trace_events = e.trace_events;
               }
           | None -> Wire.Job_status { id; state = e.state; verdict = None }))
   | Wire.Health ->
@@ -467,6 +590,43 @@ let handle t (req : Wire.request) =
     Mutex.protect t.mutex (fun () ->
         sync_metrics t;
         Wire.Metrics_text (Obs.metrics_text t.collector))
+  | Wire.Stats ->
+    Mutex.protect t.mutex (fun () ->
+        let rejects =
+          Hashtbl.fold (fun reason n acc -> (reason, n) :: acc) t.rejected []
+          |> List.sort compare
+        in
+        let tenants =
+          Hashtbl.fold
+            (fun tenant ts acc ->
+              {
+                Wire.tenant;
+                tier = tier_name_of t tenant;
+                inflight = tenant_inflight t tenant;
+                completed_n = ts.t_completed;
+                failed_n = ts.t_failed;
+                p50_ms =
+                  (if ts.lats = [] then 0.0
+                   else Educhip_util.Stats.percentile 50.0 ts.lats);
+                p99_ms =
+                  (if ts.lats = [] then 0.0
+                   else Educhip_util.Stats.percentile 99.0 ts.lats);
+              }
+              :: acc)
+            t.tstats []
+          |> List.sort (fun a b -> compare a.Wire.tenant b.Wire.tenant)
+        in
+        Wire.Stats_report
+          {
+            uptime_ms = Mclock.elapsed_ms t.start_ms;
+            queue_depth = t.queued;
+            running = t.running;
+            completed = t.completed;
+            failed = t.failed;
+            rejects;
+            tenants;
+            slos = Slo.reports t.slo;
+          })
   | Wire.Drain ->
     request_drain t;
     Mutex.protect t.mutex (fun () ->
@@ -496,6 +656,7 @@ let op_label = function
   | Wire.Result _ -> "result"
   | Wire.Health -> "health"
   | Wire.Metrics -> "metrics"
+  | Wire.Stats -> "stats"
   | Wire.Drain -> "drain"
 
 (* Route drain signals to the accept loop: a SIGTERM delivered to a

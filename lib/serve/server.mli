@@ -34,11 +34,17 @@ type config = {
   ledger : string option;  (** JSONL run ledger appended per completion *)
   default_deadline_ms : float option;
       (** queue-wait budget applied to submits that carry none *)
+  slo : (string * Educhip_obs.Slo.objective) list;
+      (** latency/success objectives per tier name, served by the
+          [stats] wire verb *)
+  slo_window : int;  (** completed requests retained per tier (and per
+                         tenant for the stats latency percentiles) *)
 }
 
 val default_config : config
 (** [Sched.default_workers ()] workers, queue bound 64, default tier
-    limits, no cache, no ledger, no default deadline. *)
+    limits, no cache, no ledger, no default deadline,
+    {!Educhip_obs.Slo.default_objectives} over a 256-request window. *)
 
 type t
 
@@ -72,7 +78,17 @@ val request_drain : t -> unit
 val handle : t -> Wire.request -> Wire.response
 (** Process one request against the server state — the unit the
     connection threads call, exposed so tests can drive admission
-    control without sockets. *)
+    control without sockets.
+
+    A submit carrying a {!Educhip_obs.Tracectx} gets its server-side
+    story recorded as trace events: one [serve.admission] event at
+    acceptance, one [serve.queue_wait] event at dispatch, then the
+    worker execution's span tree — all returned on [Wire.Job_result]
+    ([trace_events]) when the result is fetched, and the job's ledger
+    record gains [trace_id]/[queue_wait_ms]. Every completion (run,
+    warm serve, deadline expiry) is also accounted against the tier's
+    SLO window and the tenant's latency sample, which the [stats] verb
+    reports. *)
 
 val metric_names : string list
 (** Counter families the server reports: [serve.admitted],

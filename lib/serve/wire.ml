@@ -1,7 +1,13 @@
 module Jsonout = Educhip_obs.Jsonout
 module Runlog = Educhip_obs.Runlog
+module Tracectx = Educhip_obs.Tracectx
+module Slo = Educhip_obs.Slo
 module Flow = Educhip_flow.Flow
 
+(* Still version 1: every field added since the first release (trace
+   context, stats) is optional-and-tolerated, and [check_schema] rejects
+   any *different* version — so bumping would cut off every legacy peer
+   for no semantic gain. *)
 let schema_version = 1
 
 type submit_spec = {
@@ -15,6 +21,10 @@ type submit_spec = {
   retries : int option;
   inject : string list;
   deadline_ms : float option;
+  trace : Tracectx.t option;
+  extra : (string * Jsonout.t) list;
+      (* unknown members from a newer peer, re-emitted verbatim so this
+         process can proxy or persist the request without stripping them *)
 }
 
 let submit ?(tenant = "default") design =
@@ -29,6 +39,8 @@ let submit ?(tenant = "default") design =
     retries = None;
     inject = [];
     deadline_ms = None;
+    trace = None;
+    extra = [];
   }
 
 type request =
@@ -37,6 +49,7 @@ type request =
   | Result of string
   | Health
   | Metrics
+  | Stats
   | Drain
 
 type reject_reason =
@@ -70,6 +83,16 @@ let state_of_name = function
   | "failed" -> Some Failed
   | _ -> None
 
+type tenant_stats = {
+  tenant : string;
+  tier : string;
+  inflight : int;
+  completed_n : int;
+  failed_n : int;
+  p50_ms : float;
+  p99_ms : float;
+}
+
 type response =
   | Accepted of { id : string; tier : string; cached : bool }
   | Job_status of { id : string; state : state; verdict : string option }
@@ -81,6 +104,17 @@ type response =
       wait_ms : float;
       ppa : Flow.ppa option;
       record : Runlog.record;
+      trace_events : Tracectx.event list;
+    }
+  | Stats_report of {
+      uptime_ms : float;
+      queue_depth : int;
+      running : int;
+      completed : int;
+      failed : int;
+      rejects : (string * int) list;
+      tenants : tenant_stats list;
+      slos : Slo.report list;
     }
   | Health_report of {
       uptime_ms : float;
@@ -149,6 +183,15 @@ let ppa_of_json json =
 
 (* {1 Requests} *)
 
+(* every member a submit encoder of this version may emit; anything
+   else on a decoded submit line is a newer peer's field and is kept in
+   [extra] so a re-encode (proxying, spooling) passes it through *)
+let known_submit_fields =
+  [
+    "schema"; "op"; "design"; "tenant"; "preset"; "node"; "clock_ps"; "priority";
+    "fault_seed"; "retries"; "inject"; "deadline_ms"; "trace_id"; "parent_span";
+  ]
+
 let encode_request req =
   let body =
     match req with
@@ -167,11 +210,16 @@ let encode_request req =
          else
            field "inject" (Jsonout.List (List.map (fun a -> Jsonout.String a) s.inject)));
         opt_field "deadline_ms" (fun v -> Jsonout.Float v) s.deadline_ms;
+        opt_field "trace_id" (fun t -> Jsonout.String (Tracectx.trace_id t)) s.trace;
+        Option.bind s.trace (fun t ->
+            opt_field "parent_span" (fun p -> Jsonout.String p) (Tracectx.parent_span t));
       ]
+      @ List.map (fun (k, v) -> field k v) s.extra
     | Status id -> [ field "op" (Jsonout.String "status"); field "id" (Jsonout.String id) ]
     | Result id -> [ field "op" (Jsonout.String "result"); field "id" (Jsonout.String id) ]
     | Health -> [ field "op" (Jsonout.String "health") ]
     | Metrics -> [ field "op" (Jsonout.String "metrics") ]
+    | Stats -> [ field "op" (Jsonout.String "stats") ]
     | Drain -> [ field "op" (Jsonout.String "drain") ]
   in
   Jsonout.to_string (versioned body)
@@ -197,31 +245,50 @@ let decode_request line =
       | Some "submit" -> (
         match str "design" json with
         | None -> Error "submit: missing design field"
-        | Some design ->
+        | Some design -> (
           let dft = submit design in
           let inject =
             match Jsonout.member "inject" json with
             | Some (Jsonout.List xs) -> List.filter_map as_string xs
             | _ -> []
           in
-          Ok
-            (Submit
-               {
-                 design;
-                 tenant = Option.value (str "tenant" json) ~default:dft.tenant;
-                 preset = Option.value (str "preset" json) ~default:dft.preset;
-                 node = Option.value (str "node" json) ~default:dft.node;
-                 clock_ps = flt "clock_ps" json;
-                 priority = Option.value (int "priority" json) ~default:dft.priority;
-                 fault_seed = Option.value (int "fault_seed" json) ~default:dft.fault_seed;
-                 retries = int "retries" json;
-                 inject;
-                 deadline_ms = flt "deadline_ms" json;
-               }))
+          let trace =
+            match str "trace_id" json with
+            | Some id when Tracectx.is_valid_id id ->
+              Ok (Some (Tracectx.make ?parent_span:(str "parent_span" json) id))
+            | Some id -> Error (Printf.sprintf "submit: invalid trace_id %S" id)
+            | None -> Ok None
+          in
+          let extra =
+            match json with
+            | Jsonout.Obj members ->
+              List.filter (fun (k, _) -> not (List.mem k known_submit_fields)) members
+            | _ -> []
+          in
+          match trace with
+          | Error _ as e -> e
+          | Ok trace ->
+            Ok
+              (Submit
+                 {
+                   design;
+                   tenant = Option.value (str "tenant" json) ~default:dft.tenant;
+                   preset = Option.value (str "preset" json) ~default:dft.preset;
+                   node = Option.value (str "node" json) ~default:dft.node;
+                   clock_ps = flt "clock_ps" json;
+                   priority = Option.value (int "priority" json) ~default:dft.priority;
+                   fault_seed = Option.value (int "fault_seed" json) ~default:dft.fault_seed;
+                   retries = int "retries" json;
+                   inject;
+                   deadline_ms = flt "deadline_ms" json;
+                   trace;
+                   extra;
+                 })))
       | Some "status" -> require_id json (fun id -> Status id)
       | Some "result" -> require_id json (fun id -> Result id)
       | Some "health" -> Ok Health
       | Some "metrics" -> Ok Metrics
+      | Some "stats" -> Ok Stats
       | Some "drain" -> Ok Drain
       | Some other -> Error (Printf.sprintf "unknown op %S" other)))
 
@@ -254,6 +321,35 @@ let encode_response resp =
         field "wait_ms" (Jsonout.Float r.wait_ms);
         field "ppa" (match r.ppa with Some p -> ppa_to_json p | None -> Jsonout.Null);
         field "record" (Runlog.to_json r.record);
+        (if r.trace_events = [] then None
+         else field "trace" (Tracectx.events_json r.trace_events));
+      ]
+    | Stats_report s ->
+      [
+        field "type" (Jsonout.String "stats");
+        field "uptime_ms" (Jsonout.Float s.uptime_ms);
+        field "queue_depth" (Jsonout.Int s.queue_depth);
+        field "running" (Jsonout.Int s.running);
+        field "completed" (Jsonout.Int s.completed);
+        field "failed" (Jsonout.Int s.failed);
+        field "rejects"
+          (Jsonout.Obj (List.map (fun (reason, n) -> (reason, Jsonout.Int n)) s.rejects));
+        field "tenants"
+          (Jsonout.List
+             (List.map
+                (fun t ->
+                  Jsonout.Obj
+                    [
+                      ("tenant", Jsonout.String t.tenant);
+                      ("tier", Jsonout.String t.tier);
+                      ("inflight", Jsonout.Int t.inflight);
+                      ("completed", Jsonout.Int t.completed_n);
+                      ("failed", Jsonout.Int t.failed_n);
+                      ("p50_ms", Jsonout.Float t.p50_ms);
+                      ("p99_ms", Jsonout.Float t.p99_ms);
+                    ])
+                s.tenants));
+        field "slos" (Jsonout.List (List.map Slo.report_json s.slos));
       ]
     | Health_report h ->
       [
@@ -321,8 +417,52 @@ let decode_response line =
                    wait_ms = Option.value (flt "wait_ms" json) ~default:0.0;
                    ppa = Option.bind (Jsonout.member "ppa" json) ppa_of_json;
                    record;
+                   trace_events =
+                     (match Jsonout.member "trace" json with
+                     | Some events -> Tracectx.events_of_json events
+                     | None -> []);
                  }))
         | _ -> Error "result: missing id, verdict, or record field")
+      | Some "stats" ->
+        Ok
+          (Stats_report
+             {
+               uptime_ms = Option.value (flt "uptime_ms" json) ~default:0.0;
+               queue_depth = Option.value (int "queue_depth" json) ~default:0;
+               running = Option.value (int "running" json) ~default:0;
+               completed = Option.value (int "completed" json) ~default:0;
+               failed = Option.value (int "failed" json) ~default:0;
+               rejects =
+                 (match Jsonout.member "rejects" json with
+                 | Some (Jsonout.Obj members) ->
+                   List.filter_map
+                     (fun (reason, v) -> Option.map (fun n -> (reason, n)) (as_int v))
+                     members
+                 | _ -> []);
+               tenants =
+                 (match Jsonout.member "tenants" json with
+                 | Some (Jsonout.List xs) ->
+                   List.filter_map
+                     (fun t ->
+                       Option.map
+                         (fun tenant ->
+                           {
+                             tenant;
+                             tier = Option.value (str "tier" t) ~default:"basic";
+                             inflight = Option.value (int "inflight" t) ~default:0;
+                             completed_n = Option.value (int "completed" t) ~default:0;
+                             failed_n = Option.value (int "failed" t) ~default:0;
+                             p50_ms = Option.value (flt "p50_ms" t) ~default:0.0;
+                             p99_ms = Option.value (flt "p99_ms" t) ~default:0.0;
+                           })
+                         (str "tenant" t))
+                     xs
+                 | _ -> []);
+               slos =
+                 (match Jsonout.member "slos" json with
+                 | Some (Jsonout.List xs) -> List.filter_map Slo.report_of_json xs
+                 | _ -> []);
+             })
       | Some "health" ->
         Ok
           (Health_report

@@ -15,7 +15,12 @@
     extra members. *)
 
 val schema_version : int
-(** Currently [1]. *)
+(** Currently [1] — and deliberately still [1]: every field added since
+    the first release (trace context on submit, the [stats] op, the
+    [trace] member on results) is optional and tolerated by older peers,
+    while [decode_request]/[decode_response] reject any {e different}
+    version outright, so a bump would cut off legacy peers without
+    buying anything. *)
 
 type submit_spec = {
   design : string;  (** a {!Educhip_designs.Designs} entry name *)
@@ -30,6 +35,12 @@ type submit_spec = {
   deadline_ms : float option;
       (** queue-wait budget: a job still undispatched this many ms after
           admission fails with [deadline_exceeded] instead of running *)
+  trace : Educhip_obs.Tracectx.t option;
+      (** request trace context, carried as optional [trace_id] /
+          [parent_span] members a legacy server ignores *)
+  extra : (string * Educhip_obs.Jsonout.t) list;
+      (** unknown members received from a newer peer, preserved through
+          a decode → re-encode round trip instead of being dropped *)
 }
 
 val submit : ?tenant:string -> string -> submit_spec
@@ -43,6 +54,7 @@ type request =
   | Result of string  (** job id *)
   | Health
   | Metrics  (** Prometheus text exposition of the server's registry *)
+  | Stats  (** per-tenant occupancy/latency plus SLO budgets, for [eduflow top] *)
   | Drain  (** finish accepted jobs, refuse new ones, flush, shut down *)
 
 type reject_reason =
@@ -61,6 +73,16 @@ type state = Queued | Running | Done | Failed
 
 val state_name : state -> string
 
+type tenant_stats = {
+  tenant : string;
+  tier : string;
+  inflight : int;
+  completed_n : int;
+  failed_n : int;
+  p50_ms : float;  (** end-to-end latency percentiles over recent jobs *)
+  p99_ms : float;
+}
+
 type response =
   | Accepted of { id : string; tier : string; cached : bool }
       (** [cached]: answered from the result cache at admission, no
@@ -74,6 +96,20 @@ type response =
       wait_ms : float;
       ppa : Educhip_flow.Flow.ppa option;  (** [None] for failed jobs *)
       record : Educhip_obs.Runlog.record;
+      trace_events : Educhip_obs.Tracectx.event list;
+          (** the server-side half of the request trace (admission,
+              queue-wait, worker execution); [[]] when the submission
+              carried no trace context. Elided on the wire when empty. *)
+    }
+  | Stats_report of {
+      uptime_ms : float;
+      queue_depth : int;
+      running : int;
+      completed : int;
+      failed : int;
+      rejects : (string * int) list;  (** reject counts by reason name *)
+      tenants : tenant_stats list;
+      slos : Educhip_obs.Slo.report list;
     }
   | Health_report of {
       uptime_ms : float;

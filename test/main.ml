@@ -27,6 +27,7 @@ let () =
       ("bmc", Test_bmc.suite);
       ("core", Test_core.suite);
       ("obs", Test_obs.suite);
+      ("slo", Test_slo.suite);
       ("prof", Test_prof.suite);
       ("runlog", Test_runlog.suite);
       ("fault", Test_fault.suite);

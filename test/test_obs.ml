@@ -1,6 +1,8 @@
 module Obs = Educhip_obs.Obs
 module Jsonout = Educhip_obs.Jsonout
+module Tracectx = Educhip_obs.Tracectx
 module Stats = Educhip_util.Stats
+module Mclock = Educhip_util.Mclock
 
 let check = Alcotest.check
 
@@ -305,6 +307,287 @@ let test_stats_histogram_constant () =
     Alcotest.failf "expected a single bin for constant input, got %d"
       (Array.length bins)
 
+(* {1 Span edge cases} *)
+
+let test_unclosed_span_duration () =
+  let c = Obs.create () in
+  Obs.with_collector c (fun () ->
+      Obs.with_span "open" (fun () ->
+          (* observed mid-flight: the span is in the tree but not closed *)
+          match Obs.root_spans c with
+          | [ s ] ->
+            check Alcotest.bool "stop is nan while open" true
+              (Float.is_nan (Obs.span_stop_us s));
+            check (Alcotest.float 1e-9) "unclosed duration reads 0" 0.0
+              (Obs.span_duration_ms s)
+          | _ -> Alcotest.fail "expected the open span as a root"));
+  match Obs.root_spans c with
+  | [ s ] ->
+    check Alcotest.bool "closed afterwards" false (Float.is_nan (Obs.span_stop_us s));
+    check Alcotest.bool "duration non-negative" true (Obs.span_duration_ms s >= 0.0)
+  | _ -> Alcotest.fail "expected one root span"
+
+let test_merge_epoch_ordering () =
+  (* two collectors created at different times (think: two worker
+     domains): merge must rebase the source's collector-relative
+     timestamps so absolute event times — epoch + offset — are
+     preserved, keeping cross-domain ordering monotonic *)
+  let abs_start c s = (Obs.epoch_s c *. 1e6) +. Obs.span_start_us s in
+  let c1 = Obs.create () in
+  Obs.with_collector c1 (fun () -> Obs.with_span "early" (fun () -> ()));
+  let t0 = Mclock.now_ms () in
+  while Mclock.now_ms () -. t0 < 2.0 do
+    ()
+  done;
+  let c2 = Obs.create () in
+  Obs.with_collector c2 (fun () -> Obs.with_span "late" (fun () -> ()));
+  let late_abs = abs_start c2 (List.hd (Obs.root_spans c2)) in
+  Obs.merge ~into:c1 c2;
+  match Obs.root_spans c1 with
+  | [ e; l ] ->
+    check Alcotest.(list string) "merged roots oldest first" [ "early"; "late" ]
+      (List.map Obs.span_name [ e; l ]);
+    check (Alcotest.float 1.0) "rebasing preserves absolute time (us)" late_abs
+      (abs_start c1 l);
+    check Alcotest.bool "cross-epoch ordering stays monotonic" true
+      (abs_start c1 e < abs_start c1 l)
+  | _ -> Alcotest.fail "expected two roots after merge"
+
+(* {1 Prometheus exposition validity (property)} *)
+
+(* A structural validator for the text exposition format: every line a
+   collector can emit must be a comment, blank, or
+   [name{k="v",...} value] with sanitized names and escaped values. *)
+let valid_prom_name n =
+  n <> ""
+  && (match n.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       n
+
+(* the text between the quotes of a label value: no raw quote or
+   newline, backslash only when starting one of the three escapes
+   (backslash, quote, n) *)
+let valid_escaped_value s =
+  let n = String.length s in
+  let rec go i =
+    i >= n
+    ||
+    match s.[i] with
+    | '"' | '\n' -> false
+    | '\\' -> i + 1 < n && (match s.[i + 1] with '\\' | '"' | 'n' -> go (i + 2) | _ -> false)
+    | _ -> go (i + 1)
+  in
+  go 0
+
+let valid_prom_line line =
+  let valid_value v =
+    v = "NaN" || v = "+Inf" || v = "-Inf" || float_of_string_opt v <> None
+  in
+  let valid_labels body =
+    (* comma-separated key=quoted-value pairs; scan, since splitting on
+       commas would break on values containing commas *)
+    let n = String.length body in
+    let pair i =
+      (* parse one k="v"; return position after it *)
+      let rec name j =
+        if j < n && (match body.[j] with '=' -> false | _ -> true) then name (j + 1) else j
+      in
+      let eq = name i in
+      if eq >= n || body.[eq] <> '=' || not (valid_prom_name (String.sub body i (eq - i)))
+      then None
+      else if eq + 1 >= n || body.[eq + 1] <> '"' then None
+      else
+        (* find the closing unescaped quote *)
+        let rec close j =
+          if j >= n then None
+          else
+            match body.[j] with
+            | '\\' -> close (j + 2)
+            | '"' -> Some j
+            | _ -> close (j + 1)
+        in
+        match close (eq + 2) with
+        | None -> None
+        | Some q ->
+          if not (valid_escaped_value (String.sub body (eq + 2) (q - eq - 2))) then None
+          else Some (q + 1)
+    in
+    let rec pairs i =
+      match pair i with
+      | None -> false
+      | Some j ->
+        if j = n then true else j < n && body.[j] = ',' && pairs (j + 1)
+    in
+    n = 0 || pairs 0
+  in
+  if line = "" then true
+  else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then
+    match String.split_on_char ' ' line with
+    | [ "#"; "TYPE"; name; kind ] ->
+      valid_prom_name name && List.mem kind [ "counter"; "gauge"; "summary"; "histogram" ]
+    | _ -> false
+  else
+    match String.index_opt line ' ' with
+    | None -> false
+    | Some _ ->
+      (* value is everything after the LAST space: label values may
+         themselves contain spaces *)
+      let cut = String.rindex line ' ' in
+      let head = String.sub line 0 cut in
+      let value = String.sub line (cut + 1) (String.length line - cut - 1) in
+      valid_value value
+      &&
+      (match String.index_opt head '{' with
+      | None -> valid_prom_name head
+      | Some b ->
+        String.length head > 0
+        && head.[String.length head - 1] = '}'
+        && valid_prom_name (String.sub head 0 b)
+        && valid_labels (String.sub head (b + 1) (String.length head - b - 2)))
+
+let raw_string_gen =
+  QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_bound 12))
+
+let prom_exposition_prop =
+  (* hostile metric names and label pairs — control bytes, quotes,
+     backslashes, spaces, unicode — must still yield a parseable
+     exposition *)
+  let gen =
+    QCheck.Gen.(
+      triple raw_string_gen
+        (list_size (int_bound 3) (pair raw_string_gen raw_string_gen))
+        (int_bound 1000))
+  in
+  QCheck.Test.make ~name:"metrics_text lines are valid Prometheus exposition"
+    ~count:300
+    (QCheck.make
+       ~print:(fun (n, ls, v) ->
+         Printf.sprintf "name=%S labels=[%s] v=%d" n
+           (String.concat ";" (List.map (fun (k, x) -> Printf.sprintf "%S=%S" k x) ls))
+           v)
+       gen)
+    (fun (name, labels, v) ->
+      let c = Obs.create () in
+      Obs.with_collector c (fun () ->
+          Obs.add_counter name ~labels (v + 1);
+          Obs.set_gauge name ~labels (float_of_int v /. 7.0);
+          Obs.observe (name ^ ".lat") ~labels (float_of_int v));
+      List.for_all valid_prom_line (String.split_on_char '\n' (Obs.metrics_text c)))
+
+(* {1 Trace context and stitched events} *)
+
+let test_tracectx_ids () =
+  List.iter
+    (fun id -> check Alcotest.bool ("valid: " ^ id) true (Tracectx.is_valid_id id))
+    [ "a"; "trace-0af1"; "A.B_c-9"; String.make 64 'x' ];
+  List.iter
+    (fun id -> check Alcotest.bool ("invalid: " ^ id) false (Tracectx.is_valid_id id))
+    [ ""; "bad id"; "q\"uote"; String.make 65 'x'; "nl\n" ];
+  Alcotest.check_raises "make rejects bad ids"
+    (Invalid_argument
+       "Tracectx.make: trace id \"bad id\" must be 1-64 chars of [a-zA-Z0-9._-]")
+    (fun () -> ignore (Tracectx.make "bad id"));
+  let ctx = Tracectx.make ~parent_span:"p0" "t-1" in
+  check Alcotest.string "trace_id" "t-1" (Tracectx.trace_id ctx);
+  check Alcotest.(option string) "parent_span" (Some "p0") (Tracectx.parent_span ctx);
+  let g = Tracectx.generate () in
+  check Alcotest.bool "generated id is valid" true
+    (Tracectx.is_valid_id (Tracectx.trace_id g));
+  check Alcotest.bool "generated ids differ" true
+    (Tracectx.trace_id g <> Tracectx.trace_id (Tracectx.generate ()))
+
+let test_tracectx_ambient () =
+  check Alcotest.bool "no ambient context by default" true (Tracectx.current () = None);
+  let ctx = Tracectx.make "t-amb" in
+  let seen =
+    Tracectx.with_current ctx (fun () ->
+        match Tracectx.current () with Some c -> Tracectx.trace_id c | None -> "none")
+  in
+  check Alcotest.string "visible inside" "t-amb" seen;
+  check Alcotest.bool "restored after" true (Tracectx.current () = None);
+  (try Tracectx.with_current ctx (fun () -> failwith "x") with Failure _ -> ());
+  check Alcotest.bool "restored after exception" true (Tracectx.current () = None)
+
+let test_tracectx_events () =
+  let ctx = Tracectx.make "t-ev" in
+  let e =
+    Tracectx.event ~name:"client.wait" ~cat:"client" ~tid:Tracectx.tid_client
+      ~args:[ ("job", Obs.Str "j-000001") ]
+      ~start_ms:10.0 ~stop_ms:12.5 ctx
+  in
+  check (Alcotest.float 1e-9) "ms to us" 10_000.0 e.Tracectx.ts_us;
+  check (Alcotest.float 1e-9) "duration us" 2_500.0 e.Tracectx.dur_us;
+  check Alcotest.bool "trace id injected into args" true
+    (List.assoc_opt "trace_id" e.Tracectx.args = Some (Obs.Str "t-ev"));
+  (* negative wall intervals (clock weirdness) clamp, never go negative *)
+  let neg = Tracectx.event ~name:"n" ~start_ms:5.0 ~stop_ms:4.0 ctx in
+  check (Alcotest.float 1e-9) "negative duration clamps to 0" 0.0 neg.Tracectx.dur_us;
+  (* wire round trip *)
+  let back = Tracectx.events_of_json (Tracectx.events_json [ e; neg ]) in
+  check Alcotest.bool "events survive json round trip" true ([ e; neg ] = back);
+  (* malformed entries are skipped, not fatal *)
+  let partial =
+    Tracectx.events_of_json
+      (Jsonout.List [ Jsonout.Obj [ ("cat", Jsonout.String "x") ]; Jsonout.Int 3 ])
+  in
+  check Alcotest.int "malformed entries skipped" 0 (List.length partial)
+
+let test_tracectx_collector_and_chrome () =
+  let ctx = Tracectx.make "t-chrome" in
+  let c = Obs.create () in
+  Obs.with_collector c (fun () ->
+      Obs.with_span "flow.run" (fun () -> Obs.with_span "synthesis" (fun () -> ())));
+  let worker_events = Tracectx.events_of_collector ~tid:(Tracectx.tid_worker 1) ctx c in
+  check Alcotest.(list string) "depth-first flatten" [ "flow.run"; "synthesis" ]
+    (List.map (fun e -> e.Tracectx.name) worker_events);
+  List.iter
+    (fun e ->
+      check Alcotest.int "worker tid" (Tracectx.tid_worker 1) e.Tracectx.tid;
+      check Alcotest.bool "tagged with the trace id" true
+        (List.assoc_opt "trace_id" e.Tracectx.args = Some (Obs.Str "t-chrome")))
+    worker_events;
+  (* stitch with a client event that started first, render to Chrome *)
+  let t0 = (Obs.epoch_s c *. 1000.0) -. 3.0 in
+  let client =
+    Tracectx.event ~name:"client.submit" ~cat:"client" ~tid:Tracectx.tid_client
+      ~start_ms:t0 ~stop_ms:(t0 +. 1.0) ctx
+  in
+  let json = Tracectx.to_chrome_json (worker_events @ [ client ]) in
+  (match Jsonout.member "traceEvents" json with
+  | Some (Jsonout.List evs) ->
+    let xs =
+      List.filter (fun e -> Jsonout.member "ph" e = Some (Jsonout.String "X")) evs
+    in
+    let ms =
+      List.filter (fun e -> Jsonout.member "ph" e = Some (Jsonout.String "M")) evs
+    in
+    check Alcotest.int "one X event per input" 3 (List.length xs);
+    check Alcotest.int "one thread_name row per tid" 2 (List.length ms);
+    (* sorted by timestamp and rebased: the earliest X event is the
+       client's, at ts 0 *)
+    (match xs with
+    | first :: _ ->
+      check Alcotest.bool "client event first" true
+        (Jsonout.member "name" first = Some (Jsonout.String "client.submit"));
+      check Alcotest.bool "rebased to zero" true
+        (match Jsonout.member "ts" first with
+        | Some (Jsonout.Float f) -> Float.abs f < 1e-6
+        | Some (Jsonout.Int i) -> i = 0
+        | _ -> false)
+    | [] -> Alcotest.fail "no X events");
+    List.iter
+      (fun e ->
+        check Alcotest.bool "ts non-negative" true
+          (match Jsonout.member "ts" e with
+          | Some (Jsonout.Float f) -> f >= 0.0
+          | Some (Jsonout.Int i) -> i >= 0
+          | _ -> false))
+      xs
+  | _ -> Alcotest.fail "traceEvents missing");
+  check Alcotest.bool "displayTimeUnit ms" true
+    (Jsonout.member "displayTimeUnit" json = Some (Jsonout.String "ms"))
+
 (* {1 Jsonout parse/print round-trip (property)} *)
 
 (* Arbitrary JSON trees: every constructor, full-range strings (control
@@ -368,10 +651,14 @@ let json_roundtrip_prop =
 
 let suite =
   QCheck_alcotest.to_alcotest json_roundtrip_prop
+  :: QCheck_alcotest.to_alcotest prom_exposition_prop
   :: [
     Alcotest.test_case "span nesting and ordering" `Quick test_span_nesting;
     Alcotest.test_case "span exception safety" `Quick test_span_exception_safety;
     Alcotest.test_case "span attributes" `Quick test_span_attrs;
+    Alcotest.test_case "unclosed span duration" `Quick test_unclosed_span_duration;
+    Alcotest.test_case "merge rebases epochs monotonically" `Quick
+      test_merge_epoch_ordering;
     Alcotest.test_case "timed wall time" `Quick test_timed;
     Alcotest.test_case "no-op sink" `Quick test_noop_sink;
     Alcotest.test_case "with_collector restores" `Quick test_with_collector_restores;
@@ -379,10 +666,20 @@ let suite =
     Alcotest.test_case "gauges" `Quick test_gauges;
     Alcotest.test_case "histogram samples" `Quick test_histograms;
     Alcotest.test_case "json escaping" `Quick test_json_escaping;
+    Alcotest.test_case "json control characters" `Quick test_json_control_chars;
+    Alcotest.test_case "json non-ascii bytes" `Quick test_json_non_ascii;
     Alcotest.test_case "json non-finite floats" `Quick test_json_nonfinite;
     Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
     Alcotest.test_case "trace-event schema" `Quick test_trace_event_schema;
     Alcotest.test_case "metrics schema" `Quick test_metrics_schema;
+    Alcotest.test_case "histogram summary stats" `Quick test_histogram_summary_stats;
+    Alcotest.test_case "prometheus text exposition" `Quick test_metrics_text;
+    Alcotest.test_case "prometheus escaping" `Quick test_metrics_text_escaping;
     Alcotest.test_case "stats histogram constant input" `Quick
       test_stats_histogram_constant;
+    Alcotest.test_case "tracectx id validation" `Quick test_tracectx_ids;
+    Alcotest.test_case "tracectx ambient context" `Quick test_tracectx_ambient;
+    Alcotest.test_case "tracectx event building and json" `Quick test_tracectx_events;
+    Alcotest.test_case "tracectx collector flatten and chrome export" `Quick
+      test_tracectx_collector_and_chrome;
   ]

@@ -45,6 +45,43 @@ let test_tolerant_parsing () =
        false
      with Failure _ -> true)
 
+(* {1 Schema-2 service fields: trace id and queue wait} *)
+
+let test_v2_service_fields () =
+  (* a served job's record carries its trace id and queue wait *)
+  let served =
+    Runlog.make ~design:"alu8" ~node:"edu130" ~preset:"open" ~verdict:"ok"
+      ~total_wall_ms:85.0 ~trace_id:"trace-0af1" ~queue_wait_ms:12.5 ()
+  in
+  let json = Runlog.to_json served in
+  check Alcotest.bool "trace_id emitted" true
+    (Jsonout.member "trace_id" json = Some (Jsonout.String "trace-0af1"));
+  check Alcotest.bool "queue_wait_ms emitted" true
+    (Jsonout.member "queue_wait_ms" json = Some (Jsonout.Float 12.5));
+  let back = Runlog.of_json json in
+  check Alcotest.bool "v2 fields round-trip" true
+    (back.Runlog.trace_id = Some "trace-0af1"
+    && back.Runlog.queue_wait_ms = Some 12.5);
+  (* a local (non-service) run elides both members entirely *)
+  let local_json = Runlog.to_json record in
+  check Alcotest.bool "local record stays schema-1 shaped" true
+    (Jsonout.member "trace_id" local_json = None
+    && Jsonout.member "queue_wait_ms" local_json = None)
+
+let test_v1_line_forward_tolerant () =
+  (* a ledger written by the previous release: schema 1, no service
+     fields — must load with both as None, not fail *)
+  let v1_line =
+    {|{"schema":1,"design":"alu8","node":"edu130","preset":"open","verdict":"ok",
+       "total_wall_ms":85.0}|}
+  in
+  let r = Runlog.of_json (Jsonout.of_string v1_line) in
+  check Alcotest.int "v1 stamp preserved" 1 r.Runlog.schema;
+  check Alcotest.bool "absent trace_id is None" true (r.Runlog.trace_id = None);
+  check Alcotest.bool "absent queue_wait_ms is None" true
+    (r.Runlog.queue_wait_ms = None);
+  check Alcotest.int "current records stamp schema 2" 2 Runlog.schema_version
+
 (* {1 Ledger file} *)
 
 let with_temp_ledger f =
@@ -149,6 +186,9 @@ let suite =
     Alcotest.test_case "record json round trip" `Quick test_json_roundtrip;
     Alcotest.test_case "tolerant parsing of unknown fields" `Quick
       test_tolerant_parsing;
+    Alcotest.test_case "v2 service fields round trip" `Quick test_v2_service_fields;
+    Alcotest.test_case "v1 ledger lines stay loadable" `Quick
+      test_v1_line_forward_tolerant;
     Alcotest.test_case "append and load" `Quick test_append_load;
     Alcotest.test_case "malformed lines skipped" `Quick test_load_skips_malformed;
     Alcotest.test_case "identical run: no regression" `Quick

@@ -4,6 +4,8 @@ module Server = Educhip_serve.Server
 module Obs = Educhip_obs.Obs
 module Jsonout = Educhip_obs.Jsonout
 module Runlog = Educhip_obs.Runlog
+module Tracectx = Educhip_obs.Tracectx
+module Slo = Educhip_obs.Slo
 
 let req_roundtrip r =
   match Wire.decode_request (Wire.encode_request r) with
@@ -23,6 +25,8 @@ let test_wire_request_roundtrip () =
       retries = Some 2;
       inject = [ "flow.routing:crash@2"; "place.anneal:hang" ];
       deadline_ms = Some 500.0;
+      trace = Some (Tracectx.make ~parent_span:"client-submit" "trace-0af1");
+      extra = [];
     }
   in
   List.iter
@@ -31,10 +35,12 @@ let test_wire_request_roundtrip () =
       Wire.Submit (Wire.submit "counter");
       Wire.Submit (Wire.submit ~tenant:"uni-b" "mult8");
       Wire.Submit full;
+      Wire.Submit { (Wire.submit "counter") with Wire.trace = Some (Tracectx.generate ()) };
       Wire.Status "j-000042";
       Wire.Result "j-000000";
       Wire.Health;
       Wire.Metrics;
+      Wire.Stats;
       Wire.Drain;
     ]
 
@@ -66,6 +72,15 @@ let test_wire_response_roundtrip () =
       drc_clean = true;
     }
   in
+  let events =
+    [
+      { Tracectx.name = "serve.admission"; cat = "serve"; ts_us = 1000.0;
+        dur_us = 12.5; tid = Tracectx.tid_server;
+        args = [ ("trace_id", Obs.Str "trace-0af1"); ("decision", Obs.Str "queued") ] };
+      { Tracectx.name = "flow.run"; cat = "flow"; ts_us = 1100.0; dur_us = 1500.0;
+        tid = Tracectx.tid_worker 0; args = [ ("design", Obs.Str "alu8") ] };
+    ]
+  in
   let roundtrip r =
     match Wire.decode_response (Wire.encode_response r) with
     | Ok r' -> resp_equal r r'
@@ -86,6 +101,7 @@ let test_wire_response_roundtrip () =
           wait_ms = 3.5;
           ppa = Some ppa;
           record;
+          trace_events = events;
         };
       Wire.Job_result
         {
@@ -96,6 +112,30 @@ let test_wire_response_roundtrip () =
           wait_ms = 600.0;
           ppa = None;
           record;
+          trace_events = [];
+        };
+      Wire.Stats_report
+        {
+          uptime_ms = 2500.0;
+          queue_depth = 1;
+          running = 2;
+          completed = 9;
+          failed = 1;
+          rejects = [ ("overloaded", 3); ("rate_limited", 1) ];
+          tenants =
+            [
+              { Wire.tenant = "uni-a"; tier = "advanced"; inflight = 2;
+                completed_n = 5; failed_n = 0; p50_ms = 120.0; p99_ms = 410.0 };
+              { Wire.tenant = "uni-b"; tier = "basic"; inflight = 1;
+                completed_n = 4; failed_n = 1; p50_ms = 250.0; p99_ms = 900.0 };
+            ];
+          slos =
+            [
+              { Slo.tier = "advanced";
+                objective = { Slo.p99_ms = 500.0; success_rate = 0.95 };
+                samples = 5; p50_ms = 120.0; p99_ms = 410.0; ok_rate = 1.0;
+                latency_budget = 1.0; success_budget = 1.0; burn_rate = 0.0 };
+            ];
         };
       Wire.Health_report
         {
@@ -139,6 +179,63 @@ let test_wire_tolerant_decode () =
     Alcotest.(check int) "priority default" 1 s.Wire.priority
   | Ok _ -> Alcotest.fail "decoded to the wrong request"
   | Error msg -> Alcotest.failf "tolerant decode failed: %s" msg
+
+let contains ~needle hay =
+  let n = String.length needle in
+  let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* A relay (old server forwarding, proxy, queue spool) must not strip
+   members it does not understand: decode keeps them in [extra] and
+   encode re-emits them, so a newer peer behind the relay still sees
+   them. *)
+let test_wire_extras_preserved () =
+  let line =
+    Printf.sprintf
+      {|{"schema":%d,"op":"submit","design":"counter","future_field":[1,2],"hint":"x"}|}
+      Wire.schema_version
+  in
+  match Wire.decode_request line with
+  | Ok (Wire.Submit s) ->
+    Alcotest.(check int) "both unknown members kept" 2 (List.length s.Wire.extra);
+    let reencoded = Wire.encode_request (Wire.Submit s) in
+    Alcotest.(check bool) "future_field survives re-encode" true
+      (contains ~needle:{|"future_field":[1,2]|} reencoded);
+    Alcotest.(check bool) "hint survives re-encode" true
+      (contains ~needle:{|"hint":"x"|} reencoded);
+    (* and the round trip is stable: decode(encode(s)) = s *)
+    Alcotest.(check bool) "stable" true (req_roundtrip (Wire.Submit s))
+  | Ok _ -> Alcotest.fail "decoded to the wrong request"
+  | Error msg -> Alcotest.failf "extras decode failed: %s" msg
+
+let test_wire_trace_fields () =
+  (* legacy peer: no trace members at all -> trace = None *)
+  (match
+     Wire.decode_request
+       (Printf.sprintf {|{"schema":%d,"op":"submit","design":"counter"}|} Wire.schema_version)
+   with
+  | Ok (Wire.Submit s) ->
+    Alcotest.(check bool) "legacy submit has no trace" true (s.Wire.trace = None)
+  | _ -> Alcotest.fail "legacy submit must decode");
+  (* new client -> old-style relay: trace id round-trips verbatim *)
+  (match
+     Wire.decode_request
+       (Printf.sprintf
+          {|{"schema":%d,"op":"submit","design":"counter","trace_id":"t-1","parent_span":"c0"}|}
+          Wire.schema_version)
+   with
+  | Ok (Wire.Submit { trace = Some ctx; _ }) ->
+    Alcotest.(check string) "trace id" "t-1" (Tracectx.trace_id ctx);
+    Alcotest.(check (option string)) "parent span" (Some "c0") (Tracectx.parent_span ctx)
+  | _ -> Alcotest.fail "traced submit must decode with its context");
+  (* a malformed trace id is a typed decode error, not a silent drop *)
+  match
+    Wire.decode_request
+      (Printf.sprintf {|{"schema":%d,"op":"submit","design":"counter","trace_id":"bad id"}|}
+         Wire.schema_version)
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "invalid trace_id must be rejected"
 
 let test_ratelimit_bucket () =
   let rl = Ratelimit.create ~tiers:[ ("uni-a", Ratelimit.Advanced) ] () in
@@ -270,14 +367,49 @@ let test_server_rate_limit () =
         Alcotest.(check bool) "retry-after is positive" true (ms > 0.0)
       | r -> Alcotest.failf "second submit must be rate-limited: %s" (Wire.encode_response r))
 
+let test_server_stats () =
+  let cfg = { Server.default_config with Server.max_queue = 4 } in
+  with_server cfg (fun t ->
+      (* fresh server: SLO reports exist for both tiers with empty windows *)
+      (match Server.handle t Wire.Stats with
+      | Wire.Stats_report { queue_depth = 0; tenants = []; slos; _ } ->
+        Alcotest.(check (list string)) "tiers reported" [ "basic"; "advanced" ]
+          (List.map (fun (r : Slo.report) -> r.Slo.tier) slos);
+        List.iter
+          (fun (r : Slo.report) ->
+            Alcotest.(check int) "no samples yet" 0 r.Slo.samples;
+            Alcotest.(check (float 1e-9)) "full latency budget" 1.0 r.Slo.latency_budget;
+            Alcotest.(check (float 1e-9)) "full success budget" 1.0 r.Slo.success_budget;
+            Alcotest.(check (float 1e-9)) "no burn" 0.0 r.Slo.burn_rate)
+          slos
+      | r -> Alcotest.failf "stats: %s" (Wire.encode_response r));
+      (* queue two jobs (workers never started): depth shows up in stats *)
+      (match Server.handle t (Wire.Submit (Wire.submit "counter")) with
+      | Wire.Accepted _ -> ()
+      | r -> Alcotest.failf "submit: %s" (Wire.encode_response r));
+      (match Server.handle t (Wire.Submit (Wire.submit ~tenant:"uni-b" "gray8")) with
+      | Wire.Accepted _ -> ()
+      | r -> Alcotest.failf "submit: %s" (Wire.encode_response r));
+      (match Server.handle t (Wire.Submit (Wire.submit "no-such-design")) with
+      | Wire.Rejected _ -> ()
+      | r -> Alcotest.failf "bad submit: %s" (Wire.encode_response r));
+      match Server.handle t Wire.Stats with
+      | Wire.Stats_report { queue_depth = 2; rejects; _ } ->
+        Alcotest.(check (list (pair string int))) "typed reject tally"
+          [ ("bad_request", 1) ] rejects
+      | r -> Alcotest.failf "stats after submits: %s" (Wire.encode_response r))
+
 let suite =
   [
     Alcotest.test_case "wire request round-trip" `Quick test_wire_request_roundtrip;
     Alcotest.test_case "wire response round-trip" `Quick test_wire_response_roundtrip;
     Alcotest.test_case "wire schema gate" `Quick test_wire_schema_gate;
     Alcotest.test_case "wire tolerant decode" `Quick test_wire_tolerant_decode;
+    Alcotest.test_case "wire unknown members preserved" `Quick test_wire_extras_preserved;
+    Alcotest.test_case "wire trace fields" `Quick test_wire_trace_fields;
     Alcotest.test_case "ratelimit token bucket" `Quick test_ratelimit_bucket;
     Alcotest.test_case "ratelimit validation" `Quick test_ratelimit_validation;
     Alcotest.test_case "server admission pipeline" `Quick test_server_admission_pipeline;
     Alcotest.test_case "server rate limiting" `Quick test_server_rate_limit;
+    Alcotest.test_case "server stats and slo reports" `Quick test_server_stats;
   ]

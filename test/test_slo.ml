@@ -1,0 +1,125 @@
+module Slo = Educhip_obs.Slo
+module Jsonout = Educhip_obs.Jsonout
+
+let check = Alcotest.check
+
+let objectives =
+  [
+    ("basic", { Slo.p99_ms = 100.0; success_rate = 0.90 });
+    ("advanced", { Slo.p99_ms = 50.0; success_rate = 0.95 });
+  ]
+
+let test_create_validation () =
+  Alcotest.check_raises "window must be positive"
+    (Invalid_argument "Slo.create: window must be positive") (fun () ->
+      ignore (Slo.create ~window:0 objectives));
+  let t = Slo.create ~window:4 objectives in
+  check Alcotest.int "window" 4 (Slo.window t);
+  check Alcotest.(list string) "tiers in creation order" [ "basic"; "advanced" ]
+    (Slo.tiers t)
+
+let test_empty_window () =
+  let t = Slo.create objectives in
+  match Slo.report t ~tier:"basic" with
+  | None -> Alcotest.fail "configured tier must report"
+  | Some r ->
+    check Alcotest.int "no samples" 0 r.Slo.samples;
+    check (Alcotest.float 1e-9) "full latency budget" 1.0 r.Slo.latency_budget;
+    check (Alcotest.float 1e-9) "full success budget" 1.0 r.Slo.success_budget;
+    check (Alcotest.float 1e-9) "no burn" 0.0 r.Slo.burn_rate;
+    check (Alcotest.float 1e-9) "vacuous ok rate" 1.0 r.Slo.ok_rate
+
+let test_unknown_tier () =
+  let t = Slo.create objectives in
+  (* no objective, nothing to burn — record is a no-op, report is None *)
+  Slo.record t ~tier:"mystery" ~latency_ms:1.0 ~ok:true;
+  check Alcotest.bool "unknown tier reports nothing" true
+    (Slo.report t ~tier:"mystery" = None);
+  check Alcotest.int "reports only configured tiers" 2 (List.length (Slo.reports t))
+
+let test_burn_accounting () =
+  let t = Slo.create ~window:100 objectives in
+  (* 100 basic completions: 2 slow (target p99 tolerates 1 of 100),
+     5 failed (success 0.90 tolerates 10) *)
+  for i = 1 to 100 do
+    let latency_ms = if i <= 2 then 500.0 else 10.0 in
+    let ok = i > 5 in
+    Slo.record t ~tier:"basic" ~latency_ms ~ok
+  done;
+  match Slo.report t ~tier:"basic" with
+  | None -> Alcotest.fail "basic must report"
+  | Some r ->
+    check Alcotest.int "window full" 100 r.Slo.samples;
+    check (Alcotest.float 1e-9) "ok rate" 0.95 r.Slo.ok_rate;
+    (* latency: 2 slow vs 1 allowed -> budget exhausted, burn 2x *)
+    check (Alcotest.float 1e-9) "latency budget exhausted" 0.0 r.Slo.latency_budget;
+    (* success: 5 failed vs 10 allowed -> half the budget left *)
+    check (Alcotest.float 1e-9) "success budget half spent" 0.5 r.Slo.success_budget;
+    check (Alcotest.float 1e-9) "burn is the worse dimension" 2.0 r.Slo.burn_rate
+
+let test_window_slides () =
+  let t = Slo.create ~window:4 objectives in
+  (* four failures fill the window, then four successes push them out *)
+  for _ = 1 to 4 do
+    Slo.record t ~tier:"advanced" ~latency_ms:1.0 ~ok:false
+  done;
+  (match Slo.report t ~tier:"advanced" with
+  | Some r ->
+    check (Alcotest.float 1e-9) "all failed" 0.0 r.Slo.ok_rate;
+    check Alcotest.bool "burning hot" true (r.Slo.burn_rate > 1.0)
+  | None -> Alcotest.fail "advanced must report");
+  for _ = 1 to 4 do
+    Slo.record t ~tier:"advanced" ~latency_ms:1.0 ~ok:true
+  done;
+  match Slo.report t ~tier:"advanced" with
+  | Some r ->
+    check Alcotest.int "window stays at capacity" 4 r.Slo.samples;
+    check (Alcotest.float 1e-9) "old failures aged out" 1.0 r.Slo.ok_rate;
+    check (Alcotest.float 1e-9) "budget recovered" 1.0 r.Slo.success_budget
+  | None -> Alcotest.fail "advanced must report"
+
+let test_burn_cap () =
+  (* a zero-tolerance objective with failures: burn saturates at the
+     cap instead of dividing by zero *)
+  let t =
+    Slo.create ~window:2 [ ("basic", { Slo.p99_ms = 1.0; success_rate = 1.0 }) ]
+  in
+  Slo.record t ~tier:"basic" ~latency_ms:100.0 ~ok:false;
+  Slo.record t ~tier:"basic" ~latency_ms:100.0 ~ok:false;
+  match Slo.report t ~tier:"basic" with
+  | Some r ->
+    check (Alcotest.float 1e-9) "burn saturates at the cap" 1000.0 r.Slo.burn_rate;
+    check (Alcotest.float 1e-9) "no budget left" 0.0 r.Slo.success_budget
+  | None -> Alcotest.fail "basic must report"
+
+let test_report_json_roundtrip () =
+  let t = Slo.create ~window:8 objectives in
+  for i = 1 to 6 do
+    Slo.record t ~tier:"basic" ~latency_ms:(float_of_int (10 * i)) ~ok:(i <> 3)
+  done;
+  List.iter
+    (fun (r : Slo.report) ->
+      match Slo.report_of_json (Slo.report_json r) with
+      | Some r' -> check Alcotest.bool ("round trip: " ^ r.Slo.tier) true (r = r')
+      | None -> Alcotest.failf "report %s did not decode" r.Slo.tier)
+    (Slo.reports t);
+  (* tolerant decode: unknown members ignored, tier required *)
+  check Alcotest.bool "tier required" true
+    (Slo.report_of_json (Jsonout.Obj [ ("samples", Jsonout.Int 3) ]) = None);
+  match
+    Slo.report_of_json
+      (Jsonout.Obj [ ("tier", Jsonout.String "basic"); ("future", Jsonout.Bool true) ])
+  with
+  | Some r -> check Alcotest.string "tier decoded" "basic" r.Slo.tier
+  | None -> Alcotest.fail "minimal report must decode"
+
+let suite =
+  [
+    Alcotest.test_case "create validation and tiers" `Quick test_create_validation;
+    Alcotest.test_case "empty window has full budgets" `Quick test_empty_window;
+    Alcotest.test_case "unknown tier is ignored" `Quick test_unknown_tier;
+    Alcotest.test_case "error-budget burn accounting" `Quick test_burn_accounting;
+    Alcotest.test_case "window slides" `Quick test_window_slides;
+    Alcotest.test_case "burn rate is capped" `Quick test_burn_cap;
+    Alcotest.test_case "report json round trip" `Quick test_report_json_roundtrip;
+  ]
