@@ -39,6 +39,7 @@ module Wire = Educhip_serve.Wire
 module Ratelimit = Educhip_serve.Ratelimit
 module Server = Educhip_serve.Server
 module Client = Educhip_serve.Client
+module Chaos = Educhip_serve.Chaos
 
 let node130 = Pdk.find_node "edu130"
 
@@ -1354,10 +1355,91 @@ let serve_bench () =
        ]);
   Printf.printf "wrote BENCH_serve.json (%d jobs per level)\n" jobs_per_level
 
+(* Chaos campaign: SIGKILL a real eduserved mid-campaign and score the
+   recovery, once with --journal and once without (the control arm) ->
+   BENCH_chaos.json. Needs the daemon executable on disk; pass
+   --daemon PATH to override the default _build location. *)
+let chaos_bench () =
+  banner "CHAOS"
+    "crash-recovery campaign: SIGKILL + restart, journal vs no-journal -> BENCH_chaos.json";
+  let daemon =
+    let rec find i =
+      if i >= Array.length Sys.argv - 1 then None
+      else if Sys.argv.(i) = "--daemon" then Some Sys.argv.(i + 1)
+      else find (i + 1)
+    in
+    Option.value (find 1) ~default:"_build/default/bin/eduserved.exe"
+  in
+  if not (Sys.file_exists daemon) then begin
+    Printf.eprintf
+      "chaos: daemon %s not found (build it with `dune build bin/eduserved.exe` or pass \
+       --daemon PATH)\n"
+      daemon;
+    exit 1
+  end;
+  let jobs =
+    List.map
+      (fun (design, preset, tenant) -> { (Wire.submit ~tenant design) with Wire.preset })
+      [
+        ("counter", "open", "uni-a");
+        ("gray8", "open", "course");
+        ("lfsr16", "teaching", "uni-a");
+        ("adder8", "open", "course");
+        ("mult4", "open", "uni-a");
+        ("popcount16", "teaching", "course");
+        ("counter", "teaching", "uni-a");
+        ("adder8", "teaching", "course");
+      ]
+  in
+  let state_root = Filename.concat (Filename.get_temp_dir_name ()) "educhip-bench-chaos" in
+  let arm use_journal =
+    let mode = if use_journal then "journal" else "no_journal" in
+    let cfg =
+      {
+        Chaos.daemon;
+        state_dir = Filename.concat state_root mode;
+        workers = 2;
+        jobs;
+        kills = 3;
+        seed = 11;
+        use_journal;
+      }
+    in
+    let s = Chaos.run cfg in
+    Printf.printf
+      "%-10s  %d jobs, %d kills  lost %d  mismatched %d  dup probes %d/%d suppressed  \
+       recovery %6.1f ms total  wall %7.1f ms\n%!"
+      s.Chaos.mode s.Chaos.jobs_total s.Chaos.kills s.Chaos.lost s.Chaos.mismatched
+      s.Chaos.duplicates_suppressed s.Chaos.duplicate_probes s.Chaos.recovery_wall_ms_total
+      s.Chaos.wall_ms;
+    s
+  in
+  let with_j = arm true in
+  let without_j = arm false in
+  Jsonout.write_file ~path:"BENCH_chaos.json"
+    (Jsonout.Obj
+       [
+         ("jobs", Jsonout.Int (List.length jobs));
+         ("kills", Jsonout.Int 3);
+         ("seed", Jsonout.Int 11);
+         ("journal", Chaos.stats_json with_j);
+         ("no_journal", Chaos.stats_json without_j);
+       ]);
+  Printf.printf "wrote BENCH_chaos.json (%d jobs, 3 kills per arm)\n" (List.length jobs);
+  if not (with_j.Chaos.zero_loss && with_j.Chaos.bit_identical) then begin
+    Printf.eprintf "chaos: journal arm violated the durability contract\n";
+    exit 1
+  end
+
 let () =
   let serve_only = Array.exists (fun a -> a = "--serve") Sys.argv in
   if serve_only then begin
     serve_bench ();
+    exit 0
+  end;
+  let chaos_only = Array.exists (fun a -> a = "--chaos") Sys.argv in
+  if chaos_only then begin
+    chaos_bench ();
     exit 0
   end;
   let batch_only = Array.exists (fun a -> a = "--batch") Sys.argv in

@@ -735,9 +735,9 @@ let connect_arg =
     & info [ "connect" ] ~docv:"HOST:PORT"
         ~doc:"Connect over TCP instead of the Unix socket ([:PORT] = localhost).")
 
-let service_client socket connect =
+let service_client ?connect_timeout_ms ?read_timeout_ms socket connect =
   let addr = Option.value connect ~default:socket in
-  match Client.connect addr with
+  match Client.connect ?connect_timeout_ms ?read_timeout_ms addr with
   | c -> c
   | exception Unix.Unix_error (e, _, _) ->
     Printf.eprintf "cannot connect to %s: %s (is eduserved running?)\n" addr
@@ -768,7 +768,8 @@ let print_job_result ~id ~verdict ~from_cache ~exec_ms ~wait_ms ~(ppa : Flow.ppa
     ppa
 
 let run_submit socket connect design tenant preset node clock_ps priority seed retries
-    inject deadline_ms wait_flag trace_id trace_out =
+    inject deadline_ms wait_flag trace_id trace_out idempotency_key auto_retry
+    retry_base_ms retry_seed connect_timeout_ms read_timeout_ms =
   (* --trace-out needs the finished job's server-side events, so it
      implies --wait; --trace-id alone just tags the submission. *)
   let trace =
@@ -783,7 +784,20 @@ let run_submit socket connect design tenant preset node clock_ps priority seed r
     | None, Some _ -> Some (Tracectx.generate ())
   in
   let wait_flag = wait_flag || trace_out <> None in
-  let c = service_client socket connect in
+  let addr = Option.value connect ~default:socket in
+  let idempotency_key =
+    match idempotency_key with
+    | Some _ as k -> k
+    | None ->
+      if auto_retry > 0 then
+        (* retrying without a key risks running the job twice; mint one.
+           This is client-side identity, not part of the deterministic
+           result, so wall clock + pid is fine here. *)
+        Some
+          (Printf.sprintf "eduflow-%d-%.0f" (Unix.getpid ())
+             (Unix.gettimeofday () *. 1e6))
+      else None
+  in
   let spec =
     {
       Wire.design;
@@ -796,21 +810,51 @@ let run_submit socket connect design tenant preset node clock_ps priority seed r
       retries;
       inject;
       deadline_ms;
+      idempotency_key;
       trace;
       extra = [];
     }
   in
   let submit_start = Mclock.now_ms () in
-  match Client.submit c spec with
+  let c, submitted =
+    if auto_retry > 0 then begin
+      let policy =
+        {
+          Client.default_retry_policy with
+          Client.attempts = auto_retry;
+          base_ms = retry_base_ms;
+          seed = retry_seed;
+        }
+      in
+      match
+        Client.submit_with_retry ~policy
+          ~connect:(fun () ->
+            Client.connect ?connect_timeout_ms ?read_timeout_ms addr)
+          spec
+      with
+      | Ok (c, resp) -> (c, Ok resp)
+      | Error msg ->
+        Printf.eprintf "submit failed after %d attempt(s): %s\n" (auto_retry + 1) msg;
+        exit 1
+      | exception Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+    end
+    else
+      let c = service_client ?connect_timeout_ms ?read_timeout_ms socket connect in
+      (c, Client.submit c spec)
+  in
+  match submitted with
   | Error msg ->
     Printf.eprintf "submit failed: %s\n" msg;
     exit 1
   | Ok (Wire.Rejected { reason; retry_after_ms }) ->
     print_rejection reason retry_after_ms;
     exit 6
-  | Ok (Wire.Accepted { id; tier; cached }) ->
+  | Ok (Wire.Accepted { id; tier; cached; duplicate }) ->
     let submit_stop = Mclock.now_ms () in
-    Printf.printf "accepted %s (tier %s)%s\n" id tier
+    Printf.printf "accepted %s (tier %s)%s%s\n" id tier
+      (if duplicate then " -- duplicate key, original job returned" else "")
       (if cached then " -- served from cache" else "");
     Option.iter
       (fun ctx -> Printf.printf "trace id %s\n" (Tracectx.trace_id ctx))
@@ -1073,6 +1117,54 @@ let wait_arg =
     value & flag
     & info [ "wait" ] ~doc:"Block until the job finishes and print its result.")
 
+let idempotency_key_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "idempotency-key" ] ~docv:"KEY"
+        ~doc:
+          "Client-chosen dedup token: resubmitting with the same $(docv) returns \
+           the original job id instead of running twice -- even across a daemon \
+           restart when eduserved runs with --journal. Generated automatically \
+           when $(b,--auto-retry) is used without one.")
+
+let auto_retry_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "auto-retry" ] ~docv:"N"
+        ~doc:
+          "Retry the submission up to $(docv) times on connection loss, with \
+           seeded capped exponential backoff (distinct from $(b,--retries), the \
+           server-side flow guard budget).")
+
+let retry_base_arg =
+  Arg.(
+    value & opt float 50.0
+    & info [ "retry-base-ms" ] ~docv:"MS"
+        ~doc:"First retry's nominal backoff delay (doubles per attempt, capped).")
+
+let retry_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "retry-seed" ] ~docv:"N"
+        ~doc:"Seed of the deterministic backoff jitter stream.")
+
+let connect_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "connect-timeout-ms" ] ~docv:"MS"
+        ~doc:"Give up connecting after $(docv) milliseconds (default: OS timeout).")
+
+let client_read_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "read-timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Treat a response not arriving within $(docv) milliseconds as a \
+           transport error (default: wait forever).")
+
 let job_id_arg =
   Arg.(
     required
@@ -1144,7 +1236,9 @@ let submit_cmd =
       const run_submit $ socket_arg $ connect_arg $ submit_design_arg $ tenant_arg
       $ preset_arg $ node_arg $ clock_arg $ submit_priority_arg $ fault_seed_arg
       $ submit_retries_arg $ inject_arg $ submit_deadline_arg $ wait_arg
-      $ trace_id_arg $ trace_out_arg)
+      $ trace_id_arg $ trace_out_arg $ idempotency_key_arg $ auto_retry_arg
+      $ retry_base_arg $ retry_seed_arg $ connect_timeout_arg
+      $ client_read_timeout_arg)
 
 let status_cmd =
   let doc = "show a submitted job's state (queued | running | done | failed)" in

@@ -11,6 +11,8 @@
 
 module Obs = Educhip_obs.Obs
 module Slo = Educhip_obs.Slo
+module Jsonout = Educhip_obs.Jsonout
+module Fault = Educhip_fault.Fault
 module Cache = Educhip_sched.Cache
 module Sched = Educhip_sched.Sched
 module Ratelimit = Educhip_serve.Ratelimit
@@ -19,7 +21,8 @@ module Server = Educhip_serve.Server
 open Cmdliner
 
 let run socket tcp_port workers max_queue no_cache cache_dir cache_max ledger
-    default_deadline advanced_tenants basic_rate basic_burst basic_inflight
+    journal default_deadline read_timeout_ms max_line_bytes inject wire_fault_seed
+    advanced_tenants basic_rate basic_burst basic_inflight
     advanced_rate advanced_burst advanced_inflight slo_basic_p99 slo_advanced_p99
     slo_success_rate slo_window trace_path metrics_path prom_path =
   if workers < 1 then begin
@@ -55,7 +58,10 @@ let run socket tcp_port workers max_queue no_cache cache_dir cache_max ledger
         (if no_cache then None
          else Some (Cache.create ~max_entries:cache_max ~dir:cache_dir ()));
       ledger;
+      journal;
       default_deadline_ms = default_deadline;
+      read_timeout_ms = (if read_timeout_ms <= 0.0 then None else Some read_timeout_ms);
+      max_line_bytes;
       slo =
         List.map
           (fun (tier, (o : Slo.objective)) ->
@@ -83,6 +89,32 @@ let run socket tcp_port workers max_queue no_cache cache_dir cache_max ledger
       Sys.set_signal signal
         (Sys.Signal_handle (fun _ -> Server.request_drain server)))
     [ Sys.sigint; Sys.sigterm ];
+  (* wire-level chaos: arm in this domain — connection threads run here
+     and share its injector; worker domains never see it *)
+  (match List.map Fault.arming_of_string inject with
+  | [] -> ()
+  | plan -> Fault.arm ~seed:wire_fault_seed plan
+  | exception Invalid_argument msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 2);
+  (* replay before the socket opens: a client that reconnects right
+     after restart already sees every pre-crash job terminal. The stats
+     file is written first so the chaos harness can score a recovery
+     even if the daemon is killed again moments later. *)
+  (match Server.recover server with
+  | None -> ()
+  | Some stats ->
+    (match journal with
+    | Some jpath ->
+      Jsonout.write_file ~path:(jpath ^ ".recovery.json")
+        (Server.recovery_stats_json stats)
+    | None -> ());
+    Printf.printf
+      "eduserved: journal recovered: %d restored, %d replayed (%d caught mid-run), \
+       %d line(s) dropped, %.1f ms\n%!"
+      stats.Server.restored_completed stats.Server.replayed
+      stats.Server.started_incomplete stats.Server.dropped_lines
+      stats.Server.recovery_wall_ms);
   let listen_fd, where =
     match tcp_port with
     | Some port -> (Server.listen_tcp ~port (), Printf.sprintf "tcp 127.0.0.1:%d" port)
@@ -146,6 +178,50 @@ let ledger_arg =
     & opt (some string) None
     & info [ "ledger" ] ~docv:"PATH"
         ~doc:"Append one JSONL run record per completed job.")
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"PATH"
+        ~doc:
+          "Write-ahead job journal: every admission is fsync'd to $(docv) before \
+           it is acknowledged. On startup, unfinished entries are replayed \
+           (recovery stats land in $(docv).recovery.json) so an acknowledged \
+           submission survives kill -9.")
+
+let read_timeout_arg =
+  Arg.(
+    value
+    & opt float
+        (Option.value Server.default_config.Server.read_timeout_ms ~default:30_000.0)
+    & info [ "read-timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Disconnect a client silent for $(docv) milliseconds (0 or negative: \
+           wait forever).")
+
+let max_line_bytes_arg =
+  Arg.(
+    value & opt int Server.default_config.Server.max_line_bytes
+    & info [ "max-line-bytes" ] ~docv:"N"
+        ~doc:
+          "Reject (typed bad_request) and disconnect a client whose request line \
+           exceeds $(docv) bytes.")
+
+let inject_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "inject" ] ~docv:"SITE:KIND[@N]"
+        ~doc:
+          "Arm a wire-level fault (repeatable): sites serve.accept, serve.read, \
+           serve.write; kinds crash, hang, corrupt. For chaos drills against the \
+           connection handling.")
+
+let wire_fault_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "wire-fault-seed" ] ~docv:"N"
+        ~doc:"Seed for the wire fault plan's RNG (reproducible chaos).")
 
 let deadline_arg =
   Arg.(
@@ -247,7 +323,9 @@ let cmd =
     (Cmd.info "eduserved" ~version:"1.0.0" ~doc ~man)
     Term.(
       const run $ socket_arg $ tcp_arg $ workers_arg $ max_queue_arg $ no_cache_arg
-      $ cache_dir_arg $ cache_max_arg $ ledger_arg $ deadline_arg $ advanced_arg
+      $ cache_dir_arg $ cache_max_arg $ ledger_arg $ journal_arg $ deadline_arg
+      $ read_timeout_arg $ max_line_bytes_arg $ inject_arg $ wire_fault_seed_arg
+      $ advanced_arg
       $ basic_rate_arg $ basic_burst_arg $ basic_inflight_arg $ advanced_rate_arg
       $ advanced_burst_arg $ advanced_inflight_arg $ slo_basic_p99_arg
       $ slo_advanced_p99_arg $ slo_success_rate_arg $ slo_window_arg $ trace_arg

@@ -49,6 +49,16 @@ let arming_to_string a =
   if a.count = 1 then Printf.sprintf "%s:%s" a.site (kind_name a.fault)
   else Printf.sprintf "%s:%s@%d" a.site (kind_name a.fault) a.count
 
+(* Wire-level fault sites probed by the service's connection handling
+   (Educhip_serve.Server), alongside the flow/kernel sites probed inside
+   jobs. Same injector machinery; the serving process arms them in its
+   accept-loop domain, so connection threads share one budget and worker
+   domains (which arm per-job flow plans) never see them. *)
+let serve_accept = "serve.accept"
+let serve_read = "serve.read"
+let serve_write = "serve.write"
+let serve_sites = [ serve_accept; serve_read; serve_write ]
+
 exception Injected of string * kind
 
 (* Live injector state: per-site mutable remaining counts, one slot per

@@ -55,6 +55,43 @@ val arming_of_string : string -> arming
 
 val arming_to_string : arming -> string
 
+(** {2 Wire-level fault sites}
+
+    Probed by the flow service's connection handling
+    ([Educhip_serve.Server]) rather than inside jobs — they model the
+    {e transport} misbehaving, the way the flow sites model tools
+    misbehaving. Arm them in the serving process (the [eduserved]
+    [--inject] flag, or {!arm} before [Server.serve]); connection
+    threads share the accept-loop domain's injector, worker domains
+    never see it. Kind semantics at these sites:
+
+    - {!serve_accept} + [Crash]: a freshly accepted connection is
+      closed before reading a byte.
+    - {!serve_read} + [Crash]: the connection drops after a request
+      line is read, before any response (the client sees a mid-exchange
+      disconnect). [Hang]: the server stalls before processing — the
+      client's read deadline is what saves it.
+    - {!serve_write} + [Crash]: the connection drops before the
+      response is written. [Corrupt]: only a prefix of the response
+      line is written before the drop (a torn write the client's
+      decoder must reject).
+
+    Under concurrent connections, firing budgets are shared without
+    additional locking, so counts are exact only for serialized
+    traffic — which is how the chaos tests drive them. *)
+
+val serve_accept : string
+(** ["serve.accept"] *)
+
+val serve_read : string
+(** ["serve.read"] *)
+
+val serve_write : string
+(** ["serve.write"] *)
+
+val serve_sites : string list
+(** The three wire sites above. *)
+
 exception Injected of string * kind
 (** [Injected (site, kind)] is raised by {!check} when an armed [Crash]
     or [Hang] fires. Guarded executors catch it; code that probes sites

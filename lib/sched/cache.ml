@@ -3,6 +3,8 @@ module Fault = Educhip_fault.Fault
 module Netlist = Educhip_netlist.Netlist
 module Jsonout = Educhip_obs.Jsonout
 module Runlog = Educhip_obs.Runlog
+module Obs = Educhip_obs.Obs
+module Crc32 = Educhip_util.Crc32
 
 type t = { dir : string; max_entries : int }
 
@@ -82,6 +84,33 @@ let entry_to_json e =
       ("record", Runlog.to_json e.record);
     ]
 
+(* On-disk form: the entry object with a trailing [crc] member — the
+   CRC-32 of the serialized object {e without} that member. Verification
+   strips [crc] from the parsed object and re-serializes; [Jsonout]'s
+   output is parse/print round-trip exact (order-preserving objects,
+   shortest-exact floats), so the bytes match iff the payload does.
+   Entries written before the checksum existed carry no [crc] member
+   and are accepted as-is. *)
+let entry_to_disk_string e =
+  let payload = Jsonout.to_string (entry_to_json e) in
+  let crc = Crc32.to_hex (Crc32.digest payload) in
+  (* splice the crc member in front of the closing brace *)
+  String.sub payload 0 (String.length payload - 1)
+  ^ Printf.sprintf ",\"crc\":\"%s\"}" crc
+
+let checksum_ok j =
+  match Jsonout.member "crc" j with
+  | None -> true (* legacy entry, pre-checksum *)
+  | Some (Jsonout.String hex) -> (
+    match (Crc32.of_hex hex, j) with
+    | Some crc, Jsonout.Obj fields ->
+      let stripped =
+        Jsonout.Obj (List.filter (fun (k, _) -> k <> "crc") fields)
+      in
+      Crc32.digest (Jsonout.to_string stripped) = crc
+    | _ -> false)
+  | Some _ -> false
+
 let entry_of_json j =
   (match Jsonout.member "schema" j with
   | Some (Jsonout.Int v) when v = schema -> ()
@@ -140,11 +169,33 @@ let store t e =
   let oc = open_out_bin tmp in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (Jsonout.to_string (entry_to_json e) ^ "\n"));
+    (fun () -> output_string oc (entry_to_disk_string e ^ "\n"));
   Sys.rename tmp path;
   evict t
 
-let read_entry path =
+let quarantine_dir t = Filename.concat t.dir "quarantine"
+
+(* A corrupt entry is a miss — but it is also evidence (bit rot, a torn
+   copy, a bad deploy), so it is moved aside for inspection instead of
+   silently deleted. The quarantine subdirectory is invisible to
+   [entry_files], so quarantined files neither hit nor count against
+   the eviction cap. *)
+let quarantine t path =
+  let qdir = quarantine_dir t in
+  mkdir_p qdir;
+  (try Sys.rename path (Filename.concat qdir (Filename.basename path))
+   with Sys_error _ -> ());
+  Obs.incr_counter "sched.cache_quarantined"
+
+let quarantined t =
+  match Sys.readdir (quarantine_dir t) with
+  | exception Sys_error _ -> 0
+  | names ->
+    Array.fold_left
+      (fun n name -> if Filename.check_suffix name ".json" then n + 1 else n)
+      0 names
+
+let read_entry t path =
   match
     let ic = open_in_bin path in
     Fun.protect
@@ -153,19 +204,21 @@ let read_entry path =
   with
   | exception Sys_error _ -> None
   | text -> (
-    match entry_of_json (Jsonout.of_string text) with
+    match
+      let j = Jsonout.of_string text in
+      if checksum_ok j then entry_of_json j
+      else failwith "cache entry: checksum mismatch"
+    with
     | e -> Some e
     | exception Failure _ ->
-      (* a corrupt entry is a miss, and keeping it would make it a
-         permanent one *)
-      (try Sys.remove path with Sys_error _ -> ());
+      quarantine t path;
       None)
 
 let lookup t key =
   let path = entry_path t key in
   if not (Sys.file_exists path) then None
   else
-    match read_entry path with
+    match read_entry t path with
     | Some e ->
       (try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> ());
       Some e
@@ -173,7 +226,7 @@ let lookup t key =
 
 let probe t key =
   let path = entry_path t key in
-  Sys.file_exists path && read_entry path <> None
+  Sys.file_exists path && read_entry t path <> None
 
 let clear t =
   List.iter

@@ -12,8 +12,15 @@
 
     Entries are one JSON file per key under the cache directory, evicted
     LRU by file mtime ({!lookup} touches on hit) once the entry count
-    exceeds the cap. The store is tolerant: unreadable or corrupt
-    entries behave as misses and are deleted. *)
+    exceeds the cap. Each entry carries a CRC-32 of its own payload
+    ([crc] member; entries written before the checksum existed are
+    accepted without one). The store is tolerant: an unreadable,
+    unparsable, or checksum-failing entry behaves as a miss — and is
+    moved to the [quarantine/] subdirectory for inspection (counted by
+    the [sched.cache_quarantined] telemetry counter) rather than
+    silently deleted, since a corrupt entry is evidence of bit rot or a
+    torn copy, not just dead weight. Quarantined files neither hit nor
+    count against the eviction cap. *)
 
 type t
 
@@ -61,7 +68,11 @@ val probe : t -> string -> bool
 (** Would {!lookup} hit? No mtime touch — used by dry-run predictions. *)
 
 val entries : t -> int
-(** Entry files currently in the cache directory. *)
+(** Entry files currently in the cache directory (quarantined files
+    excluded). *)
+
+val quarantined : t -> int
+(** Entry files sitting in the [quarantine/] subdirectory. *)
 
 val clear : t -> unit
 (** Remove every entry (the directory itself is kept if present). *)

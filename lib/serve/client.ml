@@ -1,35 +1,62 @@
 module Mclock = Educhip_util.Mclock
+module Rng = Educhip_util.Rng
 
 type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
 
 let of_fd fd = { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
 
-let connect_unix path =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_UNIX path)
-   with e ->
-     (try Unix.close fd with Unix.Unix_error _ -> ());
-     raise e);
-  of_fd fd
+(* A connect that honors a deadline: flip the socket nonblocking, start
+   the connect, select for writability, then read SO_ERROR — the
+   classic dance, because [Unix.connect] itself offers no timeout. *)
+let timed_connect ?connect_timeout_ms fd addr =
+  match connect_timeout_ms with
+  | None -> Unix.connect fd addr
+  | Some ms ->
+    Unix.set_nonblock fd;
+    (match Unix.connect fd addr with
+    | () -> ()
+    | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) ->
+      let _, writable, _ = Unix.select [] [ fd ] [] (ms /. 1000.0) in
+      if writable = [] then raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""));
+      (match Unix.getsockopt_error fd with
+      | None -> ()
+      | Some err -> raise (Unix.Unix_error (err, "connect", ""))));
+    Unix.clear_nonblock fd
 
-let connect_tcp ?(host = "127.0.0.1") port =
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
-   with e ->
-     (try Unix.close fd with Unix.Unix_error _ -> ());
-     raise e);
-  of_fd fd
+let set_read_timeout fd ms =
+  if ms > 0.0 then Unix.setsockopt_float fd Unix.SO_RCVTIMEO (ms /. 1000.0)
 
-let connect addr =
+let with_socket domain f =
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  try f fd
+  with e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let connect_unix ?connect_timeout_ms ?read_timeout_ms path =
+  with_socket Unix.PF_UNIX (fun fd ->
+      timed_connect ?connect_timeout_ms fd (Unix.ADDR_UNIX path);
+      Option.iter (set_read_timeout fd) read_timeout_ms;
+      of_fd fd)
+
+let connect_tcp ?connect_timeout_ms ?read_timeout_ms ?(host = "127.0.0.1") port =
+  with_socket Unix.PF_INET (fun fd ->
+      timed_connect ?connect_timeout_ms fd
+        (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      Option.iter (set_read_timeout fd) read_timeout_ms;
+      of_fd fd)
+
+let connect ?connect_timeout_ms ?read_timeout_ms addr =
   match String.rindex_opt addr ':' with
   | Some i when not (String.contains addr '/') ->
     let host = String.sub addr 0 i in
     let port = String.sub addr (i + 1) (String.length addr - i - 1) in
     (match int_of_string_opt port with
     | Some port when port > 0 ->
-      if host = "" then connect_tcp port else connect_tcp ~host port
+      if host = "" then connect_tcp ?connect_timeout_ms ?read_timeout_ms port
+      else connect_tcp ?connect_timeout_ms ?read_timeout_ms ~host port
     | _ -> invalid_arg (Printf.sprintf "Client.connect: bad port in %S" addr))
-  | _ -> connect_unix addr
+  | _ -> connect_unix ?connect_timeout_ms ?read_timeout_ms addr
 
 let request t req =
   match
@@ -41,6 +68,8 @@ let request t req =
   | line -> Wire.decode_response line
   | exception End_of_file -> Error "connection closed by server"
   | exception Sys_error msg -> Error ("connection error: " ^ msg)
+  | exception Unix.Unix_error (e, _, _) ->
+    Error ("connection error: " ^ Unix.error_message e)
 
 let submit t spec = request t (Wire.Submit spec)
 
@@ -65,3 +94,51 @@ let await ?(poll_ms = 50.0) ?timeout_ms t id =
 let close t =
   (try flush t.oc with Sys_error _ -> ());
   try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* {1 Retries} *)
+
+type retry_policy = { attempts : int; base_ms : float; cap_ms : float; seed : int }
+
+let default_retry_policy = { attempts = 4; base_ms = 50.0; cap_ms = 2000.0; seed = 1 }
+
+(* Capped exponential backoff with deterministic jitter: delay i is
+   min(cap, base * 2^i) scaled by a factor in [0.5, 1.0) drawn from a
+   [Rng] stream seeded by the policy — no wall-clock randomness, so a
+   given policy always produces the same schedule (testable, and two
+   clients with different seeds still de-synchronize). *)
+let backoff_schedule policy =
+  let rng = Rng.create ~seed:policy.seed in
+  List.init (max 0 policy.attempts) (fun i ->
+      let full = Float.min policy.cap_ms (policy.base_ms *. (2.0 ** float_of_int i)) in
+      full *. (0.5 +. Rng.float rng 0.5))
+
+let connect_result connect =
+  match connect () with
+  | t -> Ok t
+  | exception Unix.Unix_error (e, fn, _) ->
+    Error (Printf.sprintf "connect: %s: %s" fn (Unix.error_message e))
+  | exception Sys_error msg -> Error ("connect: " ^ msg)
+
+let request_with_retry ~policy ~connect req =
+  let rec attempt delays =
+    let outcome =
+      match connect_result connect with
+      | Error _ as e -> e
+      | Ok t -> (
+        match request t req with
+        | Ok r -> Ok (t, r)
+        | Error _ as e ->
+          close t;
+          e)
+    in
+    match (outcome, delays) with
+    | Ok _, _ -> outcome
+    | Error _, [] -> outcome
+    | Error _, d :: rest ->
+      Thread.delay (d /. 1000.0);
+      attempt rest
+  in
+  attempt (backoff_schedule policy)
+
+let submit_with_retry ~policy ~connect spec =
+  request_with_retry ~policy ~connect (Wire.Submit spec)

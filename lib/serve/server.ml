@@ -10,6 +10,7 @@ module Obs = Educhip_obs.Obs
 module Tracectx = Educhip_obs.Tracectx
 module Slo = Educhip_obs.Slo
 module Runlog = Educhip_obs.Runlog
+module Jsonout = Educhip_obs.Jsonout
 module Mclock = Educhip_util.Mclock
 
 type config = {
@@ -20,9 +21,12 @@ type config = {
   tiers : (string * Ratelimit.tier) list;
   cache : Cache.t option;
   ledger : string option;
+  journal : string option;
   default_deadline_ms : float option;
   slo : (string * Slo.objective) list;
   slo_window : int;
+  read_timeout_ms : float option;
+  max_line_bytes : int;
 }
 
 let default_config =
@@ -34,9 +38,12 @@ let default_config =
     tiers = [];
     cache = None;
     ledger = None;
+    journal = None;
     default_deadline_ms = None;
     slo = Slo.default_objectives;
     slo_window = 256;
+    read_timeout_ms = Some 30_000.0;
+    max_line_bytes = 65_536;
   }
 
 let metric_names =
@@ -47,6 +54,13 @@ let metric_names =
     "serve.jobs_completed";
     "serve.jobs_failed";
     "serve.deadline_expired";
+    "serve.idempotent_hits";
+    "serve.journal_appends";
+    "serve.replayed";
+    "serve.conn_opened";
+    "serve.conn_closed";
+    "serve.conn_timeouts";
+    "serve.conn_oversized";
   ]
 
 type entry = {
@@ -88,6 +102,19 @@ type t = {
   mutable admitted : int;
   mutable cache_hits : int;
   mutable deadline_expired : int;
+  mutable idem_hits : int;  (* under [mutex] *)
+  mutable replayed : int;  (* set once by [recover], before [serve] *)
+  (* connection-thread and worker-domain counters: atomics, because
+     they are bumped outside the mutex on the hot read/write path *)
+  journal_appends : int Atomic.t;
+  conn_opened : int Atomic.t;
+  conn_closed : int Atomic.t;
+  conn_timeouts : int Atomic.t;
+  conn_oversized : int Atomic.t;
+  mutable journal : Journal.t option;
+      (* opened by [recover] (after compaction) or lazily by the first
+         append; [None] when [cfg.journal] is [None] *)
+  idem : (string, string) Hashtbl.t;  (* idempotency key -> job id, under [mutex] *)
   rejected : (string, int) Hashtbl.t;  (* reason -> count *)
   synced : (string, int) Hashtbl.t;  (* counter key -> value already exported *)
   slo : Slo.t;  (* per-tier objective accounting, under [mutex] *)
@@ -135,6 +162,15 @@ let create cfg =
     admitted = 0;
     cache_hits = 0;
     deadline_expired = 0;
+    idem_hits = 0;
+    replayed = 0;
+    journal_appends = Atomic.make 0;
+    conn_opened = Atomic.make 0;
+    conn_closed = Atomic.make 0;
+    conn_timeouts = Atomic.make 0;
+    conn_oversized = Atomic.make 0;
+    journal = None;
+    idem = Hashtbl.create 64;
     rejected = Hashtbl.create 8;
     synced = Hashtbl.create 16;
     slo = Slo.create ~window:cfg.slo_window cfg.slo;
@@ -193,12 +229,22 @@ let sync_counter t ?(labels = []) name current =
 let sync_metrics t =
   List.iter Obs.declare_counter [ "serve.admitted"; "serve.cache_hits";
                                   "serve.jobs_completed"; "serve.jobs_failed";
-                                  "serve.deadline_expired" ];
+                                  "serve.deadline_expired"; "serve.idempotent_hits";
+                                  "serve.journal_appends"; "serve.replayed";
+                                  "serve.conn_opened"; "serve.conn_closed";
+                                  "serve.conn_timeouts"; "serve.conn_oversized" ];
   sync_counter t "serve.admitted" t.admitted;
   sync_counter t "serve.cache_hits" t.cache_hits;
   sync_counter t "serve.jobs_completed" t.completed;
   sync_counter t "serve.jobs_failed" t.failed;
   sync_counter t "serve.deadline_expired" t.deadline_expired;
+  sync_counter t "serve.idempotent_hits" t.idem_hits;
+  sync_counter t "serve.journal_appends" (Atomic.get t.journal_appends);
+  sync_counter t "serve.replayed" t.replayed;
+  sync_counter t "serve.conn_opened" (Atomic.get t.conn_opened);
+  sync_counter t "serve.conn_closed" (Atomic.get t.conn_closed);
+  sync_counter t "serve.conn_timeouts" (Atomic.get t.conn_timeouts);
+  sync_counter t "serve.conn_oversized" (Atomic.get t.conn_oversized);
   Hashtbl.iter
     (fun reason n -> sync_counter t ~labels:[ ("reason", reason) ] "serve.rejected" n)
     t.rejected;
@@ -216,6 +262,43 @@ let fresh_id t =
   let id = Printf.sprintf "j-%06d" t.next_id in
   t.next_id <- t.next_id + 1;
   id
+
+(* {1 Write-ahead journal}
+
+   [Journal.append] fsyncs before returning, so every call here is a
+   durability point. Admission appends happen with [t.mutex] held (the
+   acceptance must be on disk before the id escapes the lock and a
+   worker — or the client — can act on it); worker-domain appends
+   (started / done) take the locked variant only long enough to get
+   the handle. The handle is opened lazily because [recover] compacts
+   the file first — and compaction replaces the inode. *)
+
+let journal_of_locked t =
+  match t.cfg.journal with
+  | None -> None
+  | Some path -> (
+    match t.journal with
+    | Some _ as j -> j
+    | None ->
+      let j = Journal.open_ ~path in
+      t.journal <- Some j;
+      Some j)
+
+(* call with [t.mutex] held *)
+let journal_append_locked t entry =
+  match journal_of_locked t with
+  | None -> ()
+  | Some j ->
+    Journal.append j entry;
+    Atomic.incr t.journal_appends
+
+(* call with [t.mutex] released *)
+let journal_append t entry =
+  match Mutex.protect t.mutex (fun () -> journal_of_locked t) with
+  | None -> ()
+  | Some j ->
+    Journal.append j entry;
+    Atomic.incr t.journal_appends
 
 let entry_verdict e = Option.map (fun (r : Sched.job_result) -> r.Sched.verdict) e.result
 
@@ -243,6 +326,10 @@ let finish t e (result : Sched.job_result) =
       Hashtbl.replace t.inflight e.job.Manifest.tenant
         (max 0 (tenant_inflight t e.job.Manifest.tenant - 1));
       Condition.broadcast t.idle);
+  (* [Sched.run_one] stored the result in the cache before returning,
+     so once this Done is on disk a replay of the same journal will hit
+     the cache instead of recomputing *)
+  journal_append t (Journal.Done { id = e.id; verdict = result.Sched.verdict });
   match t.cfg.ledger with
   | Some path -> Runlog.append ~path record
   | None -> ()
@@ -338,11 +425,13 @@ let worker_loop t wid =
           Hashtbl.replace t.inflight e.job.Manifest.tenant
             (max 0 (tenant_inflight t e.job.Manifest.tenant - 1));
           Condition.broadcast t.idle);
+      journal_append t (Journal.Done { id = e.id; verdict = result.Sched.verdict });
       (match t.cfg.ledger with
       | Some path -> Runlog.append ~path record
       | None -> ());
       take ()
     | Some (e, `Run) ->
+      journal_append t (Journal.Started { id = e.id });
       finish t e (Sched.run_one ?cache:t.cfg.cache ~worker:wid ?trace:e.trace e.job);
       take ()
   in
@@ -422,15 +511,44 @@ let handle_submit t (spec : Wire.submit_spec) =
     let limits = Ratelimit.limits_of t.limiter tenant in
     let tier = Ratelimit.tier_name (Ratelimit.tier_of t.limiter tenant) in
     let now = Mclock.now_ms () in
+    (* Idempotent resubmission: a key the server has already admitted
+       short-circuits to the original job's id — checked {e before} the
+       rate limiter (a safe retry must not burn tokens) and re-checked
+       inside every admission critical section (two connections racing
+       the same key). Call with [t.mutex] held. *)
+    let dup_response () =
+      match spec.Wire.idempotency_key with
+      | None -> None
+      | Some key -> (
+        match Hashtbl.find_opt t.idem key with
+        | None -> None
+        | Some id ->
+          t.idem_hits <- t.idem_hits + 1;
+          let terminal =
+            match Hashtbl.find_opt t.jobs id with
+            | Some e -> e.result <> None
+            | None -> false
+          in
+          Some (Wire.Accepted { id; tier; cached = terminal; duplicate = true }))
+    in
+    let register_key id =
+      match spec.Wire.idempotency_key with
+      | Some key -> Hashtbl.replace t.idem key id
+      | None -> ()
+    in
     let gate =
       Mutex.protect t.mutex (fun () ->
-          if t.draining then `Reject (Wire.Draining, None)
-          else
-            match Ratelimit.admit t.limiter ~now_ms:now tenant with
-            | Error wait -> `Reject (Wire.Rate_limited, Some wait)
-            | Ok () -> `Admitted)
+          match dup_response () with
+          | Some resp -> `Duplicate resp
+          | None ->
+            if t.draining then `Reject (Wire.Draining, None)
+            else
+              match Ratelimit.admit t.limiter ~now_ms:now tenant with
+              | Error wait -> `Reject (Wire.Rate_limited, Some wait)
+              | Ok () -> `Admitted)
     in
     (match gate with
+    | `Duplicate resp -> resp
     | `Reject (reason, retry_after_ms) ->
       Mutex.protect t.mutex (fun () -> count_reject t reason);
       Wire.Rejected { reason; retry_after_ms }
@@ -463,40 +581,59 @@ let handle_submit t (spec : Wire.submit_spec) =
             queue_wait_ms = Some 0.0;
           }
         in
-        let resp =
+        let resp, fresh =
           Mutex.protect t.mutex (fun () ->
-              let id = fresh_id t in
-              let job = { proto_job with Manifest.index = t.next_id - 1 } in
-              let e =
-                {
-                  id;
-                  job;
-                  submitted_ms = now;
-                  deadline_at = None;
-                  trace = spec.Wire.trace;
-                  state = Wire.Done;
-                  wait_ms = 0.0;
-                  result = Some { result with Sched.job; record };
-                  trace_events = admission_event "cache_hit";
-                }
-              in
-              Hashtbl.replace t.jobs id e;
-              t.admitted <- t.admitted + 1;
-              t.cache_hits <- t.cache_hits + 1;
-              t.completed <- t.completed + 1;
-              account_completion t ~tenant
-                ~latency_ms:(Mclock.now_ms () -. now)
-                ~ok:(not (Sched.is_failed result.Sched.verdict));
-              Wire.Accepted { id; tier; cached = true })
+              match dup_response () with
+              | Some resp ->
+                (* lost the key race to a concurrent twin: hand back the
+                   token this submission charged *)
+                Ratelimit.refund t.limiter tenant;
+                (resp, false)
+              | None ->
+                let id = fresh_id t in
+                let job = { proto_job with Manifest.index = t.next_id - 1 } in
+                let e =
+                  {
+                    id;
+                    job;
+                    submitted_ms = now;
+                    deadline_at = None;
+                    trace = spec.Wire.trace;
+                    state = Wire.Done;
+                    wait_ms = 0.0;
+                    result = Some { result with Sched.job; record };
+                    trace_events = admission_event "cache_hit";
+                  }
+                in
+                Hashtbl.replace t.jobs id e;
+                register_key id;
+                (* warm serves are terminal at admission: journal the
+                   accept and the done as one durable pair *)
+                journal_append_locked t (Journal.Accepted { id; spec });
+                journal_append_locked t
+                  (Journal.Done { id; verdict = result.Sched.verdict });
+                t.admitted <- t.admitted + 1;
+                t.cache_hits <- t.cache_hits + 1;
+                t.completed <- t.completed + 1;
+                account_completion t ~tenant
+                  ~latency_ms:(Mclock.now_ms () -. now)
+                  ~ok:(not (Sched.is_failed result.Sched.verdict));
+                (Wire.Accepted { id; tier; cached = true; duplicate = false }, true))
         in
         (* ledger parity with batch: cache hits are recorded too *)
-        (match t.cfg.ledger with
-        | Some path -> Runlog.append ~path record
-        | None -> ());
+        (if fresh then
+           match t.cfg.ledger with
+           | Some path -> Runlog.append ~path record
+           | None -> ());
         resp
       | None ->
         let verdict =
           Mutex.protect t.mutex (fun () ->
+              match dup_response () with
+              | Some resp ->
+                Ratelimit.refund t.limiter tenant;
+                resp
+              | None ->
               if tenant_inflight t tenant >= limits.Ratelimit.max_inflight then begin
                 Ratelimit.refund t.limiter tenant;
                 count_reject t Wire.Quota_exceeded;
@@ -531,13 +668,18 @@ let handle_submit t (spec : Wire.submit_spec) =
                   }
                 in
                 Hashtbl.replace t.jobs id e;
+                register_key id;
+                (* durability point: the accept hits disk while the
+                   mutex still prevents any worker from popping the
+                   job, so [started]/[done] can never precede it *)
+                journal_append_locked t (Journal.Accepted { id; spec });
                 Fairshare.add_tenant t.queue ~weight:limits.Ratelimit.fair_weight tenant;
                 Fairshare.push t.queue job;
                 t.queued <- t.queued + 1;
                 t.admitted <- t.admitted + 1;
                 Hashtbl.replace t.inflight tenant (tenant_inflight t tenant + 1);
                 Condition.signal t.work;
-                Wire.Accepted { id; tier; cached = false }
+                Wire.Accepted { id; tier; cached = false; duplicate = false }
               end)
         in
         verdict))
@@ -634,6 +776,135 @@ let handle t (req : Wire.request) =
         Condition.broadcast t.work;
         Wire.Drain_ack { pending = t.queued + t.running })
 
+(* {1 Recovery} *)
+
+type recovery_stats = {
+  entries_read : int;
+  dropped_lines : int;
+  restored_completed : int;
+  replayed : int;
+  started_incomplete : int;
+  invalid_specs : int;
+  recovery_wall_ms : float;
+}
+
+let recovery_stats_json s =
+  Jsonout.Obj
+    [
+      ("entries_read", Jsonout.Int s.entries_read);
+      ("dropped_lines", Jsonout.Int s.dropped_lines);
+      ("restored_completed", Jsonout.Int s.restored_completed);
+      ("replayed", Jsonout.Int s.replayed);
+      ("started_incomplete", Jsonout.Int s.started_incomplete);
+      ("invalid_specs", Jsonout.Int s.invalid_specs);
+      ("recovery_wall_ms", Jsonout.Float s.recovery_wall_ms);
+    ]
+
+let id_number id =
+  if String.length id > 2 && String.sub id 0 2 = "j-" then
+    int_of_string_opt (String.sub id 2 (String.length id - 2))
+  else None
+
+(* Re-register a journaled job under its {e original} id, so clients
+   polling [Result j-000042] across the crash still get an answer, and
+   bump the id allocator past it so new admissions never collide. *)
+let register_recovered t ~id ~(spec : Wire.submit_spec) (result : Sched.job_result) =
+  let failed = Sched.is_failed result.Sched.verdict in
+  Mutex.protect t.mutex (fun () ->
+      let e =
+        {
+          id;
+          job = result.Sched.job;
+          submitted_ms = Mclock.now_ms ();
+          deadline_at = None;
+          trace = None;
+          state = (if failed then Wire.Failed else Wire.Done);
+          wait_ms = 0.0;
+          result = Some result;
+          trace_events = [];
+        }
+      in
+      Hashtbl.replace t.jobs id e;
+      (match spec.Wire.idempotency_key with
+      | Some key -> Hashtbl.replace t.idem key id
+      | None -> ());
+      (match id_number id with
+      | Some n when n >= t.next_id -> t.next_id <- n + 1
+      | _ -> ());
+      if failed then t.failed <- t.failed + 1 else t.completed <- t.completed + 1)
+
+let recover t =
+  match t.cfg.journal with
+  | None -> None
+  | Some path ->
+    let t0 = Mclock.now_ms () in
+    let rec_ = Journal.recover ~path in
+    let invalid = ref 0 and restored = ref 0 and replayed = ref 0 in
+    let survivors = ref [] in
+    let reindex id job =
+      match id_number id with
+      | Some n -> { job with Manifest.index = n }
+      | None -> job
+    in
+    let each ~on_ok (id, spec) =
+      match validate_spec spec with
+      | Error _ ->
+        (* a spec that no longer validates (design or node dropped
+           between runs) cannot be replayed — counted, not fatal *)
+        incr invalid
+      | Ok job -> on_ok id spec (reindex id job)
+    in
+    (* Jobs that had finished: restore from the result cache — the
+       [done] was journaled only after the executor's cache store, so a
+       probe is expected to hit. A miss (cache cleared between runs)
+       re-executes, which is deterministic and lands on the same
+       result. *)
+    List.iter
+      (each ~on_ok:(fun id spec job ->
+           let result =
+             match cached_result t job with
+             | Some r -> r
+             | None -> Sched.run_one ?cache:t.cfg.cache job
+           in
+           register_recovered t ~id ~spec result;
+           incr restored;
+           survivors := (id, spec, result) :: !survivors))
+      (List.map (fun (id, spec, _verdict) -> (id, spec)) rec_.Journal.completed);
+    (* The crash signature: accepted, never finished. Replay through the
+       same executor, in original admission order — deadlines are not
+       re-imposed (the accepted job is owed a result, however late). *)
+    List.iter
+      (each ~on_ok:(fun id spec job ->
+           let result = Sched.run_one ?cache:t.cfg.cache job in
+           register_recovered t ~id ~spec result;
+           incr replayed;
+           survivors := (id, spec, result) :: !survivors))
+      rec_.Journal.pending;
+    t.replayed <- !replayed;
+    (* Compact to one accepted+done pair per surviving job, then (re)open
+       the append handle — the rename gave the path a fresh inode. *)
+    let entries =
+      List.concat_map
+        (fun (id, spec, (r : Sched.job_result)) ->
+          [
+            Journal.Accepted { id; spec };
+            Journal.Done { id; verdict = r.Sched.verdict };
+          ])
+        (List.rev !survivors)
+    in
+    Journal.compact ~path entries;
+    Mutex.protect t.mutex (fun () -> t.journal <- Some (Journal.open_ ~path));
+    Some
+      {
+        entries_read = rec_.Journal.entries_read;
+        dropped_lines = rec_.Journal.dropped;
+        restored_completed = !restored;
+        replayed = !replayed;
+        started_incomplete = rec_.Journal.started_incomplete;
+        invalid_specs = !invalid;
+        recovery_wall_ms = Mclock.now_ms () -. t0;
+      }
+
 (* {1 Sockets and the accept loop} *)
 
 let listen_unix ~path =
@@ -668,32 +939,120 @@ let op_label = function
 let block_drain_signals () =
   ignore (Thread.sigmask Unix.SIG_BLOCK [ Sys.sigint; Sys.sigterm ])
 
+(* Bounded, deadline-aware line reader over the raw fd. [input_line]
+   over a channel can neither bound the line (a hostile peer could feed
+   gigabytes before the first newline) nor time out (a silent peer
+   parks the thread forever), so the connection loop reads the fd
+   directly: select for the deadline, read in chunks, carve lines out
+   of [pending]. *)
+type conn_read = Line of string | Eof | Timed_out | Oversized
+
+let read_request_line fd ~pending ~max_bytes ~timeout_ms =
+  let chunk = Bytes.create 4096 in
+  let rec loop () =
+    let data = Buffer.contents pending in
+    match String.index_opt data '\n' with
+    | Some i ->
+      let line = String.sub data 0 i in
+      Buffer.clear pending;
+      Buffer.add_substring pending data (i + 1) (String.length data - i - 1);
+      Line line
+    | None ->
+      if String.length data > max_bytes then Oversized
+      else
+        let ready =
+          match timeout_ms with
+          | None -> true
+          | Some ms -> (
+            match Unix.select [ fd ] [] [] (ms /. 1000.0) with
+            | [], _, _ -> false
+            | _ -> true)
+        in
+        if not ready then Timed_out
+        else (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> Eof
+          | n ->
+            Buffer.add_subbytes pending chunk 0 n;
+            loop ()
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> Eof)
+  in
+  loop ()
+
 let handle_connection t fd =
   block_drain_signals ();
-  let ic = Unix.in_channel_of_descr fd in
+  Atomic.incr t.conn_opened;
   let oc = Unix.out_channel_of_descr fd in
+  let pending = Buffer.create 256 in
+  let respond resp =
+    let line = Wire.encode_response resp in
+    (* serve.write faults: [Crash] drops the connection before any
+       response byte, [Corrupt] emits a torn prefix — the client's
+       decoder must reject it and (with an idempotency key) resubmit *)
+    Fault.check Fault.serve_write;
+    if Fault.corrupted Fault.serve_write then begin
+      output_string oc (String.sub line 0 (String.length line / 2));
+      flush oc;
+      raise Exit
+    end
+    else begin
+      output_string oc line;
+      output_char oc '\n';
+      flush oc
+    end
+  in
   (try
+     Fault.check Fault.serve_accept;
      let rec loop () =
-       let line = input_line ic in
-       if String.trim line <> "" then begin
-         let t0 = Mclock.now_ms () in
-         let op, resp =
-           match Wire.decode_request line with
-           | Error msg ->
-             Mutex.protect t.mutex (fun () -> count_reject t (Wire.Bad_request msg));
-             ("invalid", Wire.Rejected { reason = Wire.Bad_request msg; retry_after_ms = None })
-           | Ok req -> (op_label req, handle t req)
+       match
+         read_request_line fd ~pending ~max_bytes:t.cfg.max_line_bytes
+           ~timeout_ms:t.cfg.read_timeout_ms
+       with
+       | Eof -> ()
+       | Timed_out -> Atomic.incr t.conn_timeouts
+       | Oversized ->
+         (* typed refusal, then close: the peer is outside protocol
+            bounds and the rest of its buffer is not worth reading *)
+         Atomic.incr t.conn_oversized;
+         let reason =
+           Wire.Bad_request
+             (Printf.sprintf "request line exceeds %d bytes" t.cfg.max_line_bytes)
          in
-         output_string oc (Wire.encode_response resp);
-         output_char oc '\n';
-         flush oc;
-         Mutex.protect t.mutex (fun () ->
-             Obs.observe ~labels:[ ("op", op) ] "serve.request_ms" (Mclock.elapsed_ms t0))
-       end;
-       loop ()
+         Mutex.protect t.mutex (fun () -> count_reject t reason);
+         respond (Wire.Rejected { reason; retry_after_ms = None })
+       | Line line ->
+         if String.trim line = "" then loop ()
+         else begin
+           (* serve.read faults: the request was read, then the
+              connection dies ([Crash], propagates to the close below)
+              or stalls ([Hang]) before processing *)
+           (match Fault.check Fault.serve_read with
+           | () -> ()
+           | exception Fault.Injected (_, Fault.Hang) ->
+             Thread.delay 1.0;
+             raise Exit);
+           let t0 = Mclock.now_ms () in
+           let op, resp =
+             match Wire.decode_request line with
+             | Error msg ->
+               Mutex.protect t.mutex (fun () -> count_reject t (Wire.Bad_request msg));
+               ( "invalid",
+                 Wire.Rejected { reason = Wire.Bad_request msg; retry_after_ms = None } )
+             | Ok req -> (op_label req, handle t req)
+           in
+           respond resp;
+           Mutex.protect t.mutex (fun () ->
+               Obs.observe ~labels:[ ("op", op) ] "serve.request_ms"
+                 (Mclock.elapsed_ms t0));
+           loop ()
+         end
      in
      loop ()
-   with End_of_file | Sys_error _ -> ());
+   with
+  | End_of_file | Sys_error _ | Exit -> ()
+  | Unix.Unix_error _ -> ()
+  | Fault.Injected _ -> ());
+  Atomic.incr t.conn_closed;
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 let serve t listen_fd =
@@ -739,4 +1098,12 @@ let serve t listen_fd =
   accept_loop ();
   let collectors = List.map Domain.join workers in
   List.iter (function Some c -> Obs.merge ~into:t.collector c | None -> ()) collectors;
-  Mutex.protect t.mutex (fun () -> sync_metrics t)
+  Mutex.protect t.mutex (fun () ->
+      (* every accepted job is terminal here, so the journal's work is
+         done for this life of the process *)
+      (match t.journal with
+      | Some j ->
+        Journal.close j;
+        t.journal <- None
+      | None -> ());
+      sync_metrics t)

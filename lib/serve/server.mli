@@ -32,6 +32,11 @@ type config = {
       (** warm submits are answered from here at admission, without
           occupying a worker *)
   ledger : string option;  (** JSONL run ledger appended per completion *)
+  journal : string option;
+      (** write-ahead job journal ({!Journal}): every admission is
+          fsync'd here before it is acknowledged, every completion
+          after; {!recover} replays what a crash left unfinished.
+          [None] = no durability (the seed behavior) *)
   default_deadline_ms : float option;
       (** queue-wait budget applied to submits that carry none *)
   slo : (string * Educhip_obs.Slo.objective) list;
@@ -39,12 +44,22 @@ type config = {
           [stats] wire verb *)
   slo_window : int;  (** completed requests retained per tier (and per
                          tenant for the stats latency percentiles) *)
+  read_timeout_ms : float option;
+      (** per-connection read deadline: a peer silent this long is
+          disconnected ([serve.conn_timeouts]), so stalled clients
+          cannot pin connection threads forever. [None] = wait
+          forever *)
+  max_line_bytes : int;
+      (** request-line bound: a line still unterminated past this many
+          bytes draws a typed [bad_request] and a close
+          ([serve.conn_oversized]) instead of unbounded buffering *)
 }
 
 val default_config : config
 (** [Sched.default_workers ()] workers, queue bound 64, default tier
-    limits, no cache, no ledger, no default deadline,
-    {!Educhip_obs.Slo.default_objectives} over a 256-request window. *)
+    limits, no cache, no ledger, no journal, no default deadline,
+    {!Educhip_obs.Slo.default_objectives} over a 256-request window,
+    30 s read timeout, 64 KiB line bound. *)
 
 type t
 
@@ -75,6 +90,45 @@ val request_drain : t -> unit
     Async-signal-safe enough for a [Sys.Signal_handle]: sets an atomic
     flag that the accept loop and workers poll. *)
 
+(** {1 Crash recovery}
+
+    With [config.journal] set, the server is crash-safe: an
+    acknowledged submission survives [kill -9]. Call {!recover}
+    {e before} {!serve} — it replays the journal synchronously in the
+    calling domain, so by the time the socket opens every job the
+    previous life accepted is terminal again, under its original id,
+    with a bit-identical result (same executor, same content-addressed
+    cache). *)
+
+type recovery_stats = {
+  entries_read : int;  (** valid journal entries loaded *)
+  dropped_lines : int;  (** torn/corrupt lines discarded by the loader *)
+  restored_completed : int;
+      (** jobs that had finished before the crash, restored (normally
+          from the result cache; re-executed on a cache miss) *)
+  replayed : int;  (** accepted-but-unfinished jobs re-executed *)
+  started_incomplete : int;
+      (** of [replayed], how many the crash caught mid-execution *)
+  invalid_specs : int;
+      (** journaled specs that no longer validate (e.g. a design
+          renamed between runs) — skipped, not fatal *)
+  recovery_wall_ms : float;
+}
+
+val recover : t -> recovery_stats option
+(** Load the journal, restore completed jobs, replay unfinished ones in
+    original admission order through [Sched.run_one], re-register
+    everything under its original job id (bumping the id allocator
+    past them), then compact the journal to one accepted+done pair per
+    job and reopen it for appending. [None] iff [config.journal] is
+    [None]. Idempotency keys recorded in the journal are re-registered
+    too, so a client retrying across the restart is still
+    deduplicated. *)
+
+val recovery_stats_json : recovery_stats -> Educhip_obs.Jsonout.t
+(** The object [eduserved] writes to [<journal>.recovery.json] at
+    startup — the chaos harness reads it to score a recovery. *)
+
 val handle : t -> Wire.request -> Wire.response
 (** Process one request against the server state — the unit the
     connection threads call, exposed so tests can drive admission
@@ -94,6 +148,11 @@ val metric_names : string list
 (** Counter families the server reports: [serve.admitted],
     [serve.rejected] (labeled by [reason]), [serve.cache_hits],
     [serve.jobs_completed], [serve.jobs_failed],
-    [serve.deadline_expired]. It also maintains the
+    [serve.deadline_expired], [serve.idempotent_hits] (duplicate
+    submissions answered with their original id),
+    [serve.journal_appends], [serve.replayed] (jobs re-executed by
+    {!recover}), and the connection-hygiene counters
+    [serve.conn_opened] / [serve.conn_closed] / [serve.conn_timeouts]
+    / [serve.conn_oversized]. It also maintains the
     [serve.queue_depth] / [serve.running] gauges and the
     [serve.request_ms] histogram labeled by [op]. *)

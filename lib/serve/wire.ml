@@ -21,6 +21,10 @@ type submit_spec = {
   retries : int option;
   inject : string list;
   deadline_ms : float option;
+  idempotency_key : string option;
+      (* client-chosen dedup token: a resubmission carrying a key the
+         server has already admitted returns the original job instead
+         of running again, making retry-on-connection-loss safe *)
   trace : Tracectx.t option;
   extra : (string * Jsonout.t) list;
       (* unknown members from a newer peer, re-emitted verbatim so this
@@ -39,6 +43,7 @@ let submit ?(tenant = "default") design =
     retries = None;
     inject = [];
     deadline_ms = None;
+    idempotency_key = None;
     trace = None;
     extra = [];
   }
@@ -94,7 +99,7 @@ type tenant_stats = {
 }
 
 type response =
-  | Accepted of { id : string; tier : string; cached : bool }
+  | Accepted of { id : string; tier : string; cached : bool; duplicate : bool }
   | Job_status of { id : string; state : state; verdict : string option }
   | Job_result of {
       id : string;
@@ -189,32 +194,40 @@ let ppa_of_json json =
 let known_submit_fields =
   [
     "schema"; "op"; "design"; "tenant"; "preset"; "node"; "clock_ps"; "priority";
-    "fault_seed"; "retries"; "inject"; "deadline_ms"; "trace_id"; "parent_span";
+    "fault_seed"; "retries"; "inject"; "deadline_ms"; "idempotency_key"; "trace_id";
+    "parent_span";
   ]
+
+(* the submit body is factored out so the journal can persist a
+   submission in its exact wire form and re-decode it on recovery *)
+let submit_body s =
+  [
+    field "op" (Jsonout.String "submit");
+    field "design" (Jsonout.String s.design);
+    field "tenant" (Jsonout.String s.tenant);
+    field "preset" (Jsonout.String s.preset);
+    field "node" (Jsonout.String s.node);
+    opt_field "clock_ps" (fun v -> Jsonout.Float v) s.clock_ps;
+    field "priority" (Jsonout.Int s.priority);
+    field "fault_seed" (Jsonout.Int s.fault_seed);
+    opt_field "retries" (fun v -> Jsonout.Int v) s.retries;
+    (if s.inject = [] then None
+     else
+       field "inject" (Jsonout.List (List.map (fun a -> Jsonout.String a) s.inject)));
+    opt_field "deadline_ms" (fun v -> Jsonout.Float v) s.deadline_ms;
+    opt_field "idempotency_key" (fun k -> Jsonout.String k) s.idempotency_key;
+    opt_field "trace_id" (fun t -> Jsonout.String (Tracectx.trace_id t)) s.trace;
+    Option.bind s.trace (fun t ->
+        opt_field "parent_span" (fun p -> Jsonout.String p) (Tracectx.parent_span t));
+  ]
+  @ List.map (fun (k, v) -> field k v) s.extra
+
+let submit_to_json s = versioned (submit_body s)
 
 let encode_request req =
   let body =
     match req with
-    | Submit s ->
-      [
-        field "op" (Jsonout.String "submit");
-        field "design" (Jsonout.String s.design);
-        field "tenant" (Jsonout.String s.tenant);
-        field "preset" (Jsonout.String s.preset);
-        field "node" (Jsonout.String s.node);
-        opt_field "clock_ps" (fun v -> Jsonout.Float v) s.clock_ps;
-        field "priority" (Jsonout.Int s.priority);
-        field "fault_seed" (Jsonout.Int s.fault_seed);
-        opt_field "retries" (fun v -> Jsonout.Int v) s.retries;
-        (if s.inject = [] then None
-         else
-           field "inject" (Jsonout.List (List.map (fun a -> Jsonout.String a) s.inject)));
-        opt_field "deadline_ms" (fun v -> Jsonout.Float v) s.deadline_ms;
-        opt_field "trace_id" (fun t -> Jsonout.String (Tracectx.trace_id t)) s.trace;
-        Option.bind s.trace (fun t ->
-            opt_field "parent_span" (fun p -> Jsonout.String p) (Tracectx.parent_span t));
-      ]
-      @ List.map (fun (k, v) -> field k v) s.extra
+    | Submit s -> submit_body s
     | Status id -> [ field "op" (Jsonout.String "status"); field "id" (Jsonout.String id) ]
     | Result id -> [ field "op" (Jsonout.String "result"); field "id" (Jsonout.String id) ]
     | Health -> [ field "op" (Jsonout.String "health") ]
@@ -233,6 +246,58 @@ let check_schema json =
 let require_id json k =
   match str "id" json with Some id -> Ok (k id) | None -> Error "missing id field"
 
+let decode_submit json =
+  match str "design" json with
+  | None -> Error "submit: missing design field"
+  | Some design -> (
+    let dft = submit design in
+    let inject =
+      match Jsonout.member "inject" json with
+      | Some (Jsonout.List xs) -> List.filter_map as_string xs
+      | _ -> []
+    in
+    let trace =
+      match str "trace_id" json with
+      | Some id when Tracectx.is_valid_id id ->
+        Ok (Some (Tracectx.make ?parent_span:(str "parent_span" json) id))
+      | Some id -> Error (Printf.sprintf "submit: invalid trace_id %S" id)
+      | None -> Ok None
+    in
+    let extra =
+      match json with
+      | Jsonout.Obj members ->
+        List.filter (fun (k, _) -> not (List.mem k known_submit_fields)) members
+      | _ -> []
+    in
+    match trace with
+    | Error _ as e -> e
+    | Ok trace ->
+      Ok
+        {
+          design;
+          tenant = Option.value (str "tenant" json) ~default:dft.tenant;
+          preset = Option.value (str "preset" json) ~default:dft.preset;
+          node = Option.value (str "node" json) ~default:dft.node;
+          clock_ps = flt "clock_ps" json;
+          priority = Option.value (int "priority" json) ~default:dft.priority;
+          fault_seed = Option.value (int "fault_seed" json) ~default:dft.fault_seed;
+          retries = int "retries" json;
+          inject;
+          deadline_ms = flt "deadline_ms" json;
+          idempotency_key = str "idempotency_key" json;
+          trace;
+          extra;
+        })
+
+let submit_of_json json =
+  match check_schema json with
+  | Error _ as e -> e
+  | Ok () -> (
+    match str "op" json with
+    | Some "submit" -> decode_submit json
+    | Some other -> Error (Printf.sprintf "expected a submit request, got op %S" other)
+    | None -> Error "missing op field")
+
 let decode_request line =
   match Jsonout.of_string line with
   | exception Failure msg -> Error msg
@@ -242,48 +307,7 @@ let decode_request line =
     | Ok () -> (
       match str "op" json with
       | None -> Error "missing op field"
-      | Some "submit" -> (
-        match str "design" json with
-        | None -> Error "submit: missing design field"
-        | Some design -> (
-          let dft = submit design in
-          let inject =
-            match Jsonout.member "inject" json with
-            | Some (Jsonout.List xs) -> List.filter_map as_string xs
-            | _ -> []
-          in
-          let trace =
-            match str "trace_id" json with
-            | Some id when Tracectx.is_valid_id id ->
-              Ok (Some (Tracectx.make ?parent_span:(str "parent_span" json) id))
-            | Some id -> Error (Printf.sprintf "submit: invalid trace_id %S" id)
-            | None -> Ok None
-          in
-          let extra =
-            match json with
-            | Jsonout.Obj members ->
-              List.filter (fun (k, _) -> not (List.mem k known_submit_fields)) members
-            | _ -> []
-          in
-          match trace with
-          | Error _ as e -> e
-          | Ok trace ->
-            Ok
-              (Submit
-                 {
-                   design;
-                   tenant = Option.value (str "tenant" json) ~default:dft.tenant;
-                   preset = Option.value (str "preset" json) ~default:dft.preset;
-                   node = Option.value (str "node" json) ~default:dft.node;
-                   clock_ps = flt "clock_ps" json;
-                   priority = Option.value (int "priority" json) ~default:dft.priority;
-                   fault_seed = Option.value (int "fault_seed" json) ~default:dft.fault_seed;
-                   retries = int "retries" json;
-                   inject;
-                   deadline_ms = flt "deadline_ms" json;
-                   trace;
-                   extra;
-                 })))
+      | Some "submit" -> Result.map (fun s -> Submit s) (decode_submit json)
       | Some "status" -> require_id json (fun id -> Status id)
       | Some "result" -> require_id json (fun id -> Result id)
       | Some "health" -> Ok Health
@@ -303,6 +327,8 @@ let encode_response resp =
         field "id" (Jsonout.String a.id);
         field "tier" (Jsonout.String a.tier);
         field "cached" (Jsonout.Bool a.cached);
+        (* elided when false: legacy peers never see the member *)
+        (if a.duplicate then field "duplicate" (Jsonout.Bool true) else None);
       ]
     | Job_status s ->
       [
@@ -395,6 +421,7 @@ let decode_response line =
                 id;
                 tier = Option.value (str "tier" json) ~default:"basic";
                 cached = Option.value (bool "cached" json) ~default:false;
+                duplicate = Option.value (bool "duplicate" json) ~default:false;
               })
       | Some "status" -> (
         match (str "id" json, Option.bind (str "state" json) state_of_name) with

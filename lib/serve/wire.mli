@@ -35,6 +35,13 @@ type submit_spec = {
   deadline_ms : float option;
       (** queue-wait budget: a job still undispatched this many ms after
           admission fails with [deadline_exceeded] instead of running *)
+  idempotency_key : string option;
+      (** client-chosen dedup token (schema stays 1 — legacy servers
+          ignore it): a resubmission carrying a key the server has
+          already admitted returns the {e original} job id and result
+          instead of running twice, so retrying a submit whose response
+          was lost to a connection failure is safe. Keys persist in the
+          write-ahead journal and survive a server restart. *)
   trace : Educhip_obs.Tracectx.t option;
       (** request trace context, carried as optional [trace_id] /
           [parent_span] members a legacy server ignores *)
@@ -84,9 +91,13 @@ type tenant_stats = {
 }
 
 type response =
-  | Accepted of { id : string; tier : string; cached : bool }
-      (** [cached]: answered from the result cache at admission, no
-          worker will run it *)
+  | Accepted of { id : string; tier : string; cached : bool; duplicate : bool }
+      (** [cached]: the result is already terminal — answered from the
+          result cache at admission (no worker will run it), or a
+          duplicate of an already-finished job. [duplicate]: this
+          submission's idempotency key matched an earlier admission and
+          [id] is that original job's; elided on the wire when false so
+          legacy peers see the old shape. *)
   | Job_status of { id : string; state : state; verdict : string option }
   | Job_result of {
       id : string;
@@ -137,6 +148,16 @@ val decode_request : string -> (request, string) result
 val encode_response : response -> string
 
 val decode_response : string -> (response, string) result
+
+val submit_to_json : submit_spec -> Educhip_obs.Jsonout.t
+(** The exact request object [encode_request (Submit s)] serializes —
+    exposed so {!Journal} can persist an admitted submission in its
+    wire form and re-decode it on recovery. *)
+
+val submit_of_json : Educhip_obs.Jsonout.t -> (submit_spec, string) result
+(** Inverse of {!submit_to_json}: validates the [schema] and [op]
+    members, then decodes with the same tolerant defaults as
+    {!decode_request}. *)
 
 val ppa_to_json : Educhip_flow.Flow.ppa -> Educhip_obs.Jsonout.t
 (** Exposed for tests and the bench harness. *)

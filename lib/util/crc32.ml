@@ -1,0 +1,39 @@
+(* Table-driven CRC-32, reflected form, polynomial 0xEDB88320. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let digest_sub s ~pos ~len =
+  if pos < 0 || len < 0 || pos > String.length s - len then
+    invalid_arg "Crc32.digest_sub";
+  let table = Lazy.force table in
+  let crc = ref 0xFFFFFFFFl in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code s.[i]))) 0xFFl)
+    in
+    crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8)
+  done;
+  Int32.logxor !crc 0xFFFFFFFFl
+
+let digest s = digest_sub s ~pos:0 ~len:(String.length s)
+
+let to_hex crc = Printf.sprintf "%08lx" crc
+
+let of_hex s =
+  if String.length s <> 8 then None
+  else
+    match Int32.of_string_opt ("0x" ^ s) with
+    | Some _ as v when String.for_all (function
+        | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+        | _ -> false) s -> v
+    | _ -> None

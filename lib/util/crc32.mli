@@ -1,0 +1,21 @@
+(** CRC-32 (IEEE 802.3, polynomial [0xEDB88320]) over strings.
+
+    Durable on-disk records (the service's write-ahead journal, result
+    cache entries) carry a checksum so a torn write or bit rot is
+    detected as {e corruption} rather than silently parsed into a wrong
+    value. CRC-32 is not cryptographic — it guards against accidents,
+    not adversaries — which is exactly the failure model of a local
+    disk under [kill -9]. *)
+
+val digest : string -> int32
+(** CRC-32 of the whole string. *)
+
+val digest_sub : string -> pos:int -> len:int -> int32
+(** CRC-32 of a substring.
+    @raise Invalid_argument if [pos]/[len] do not denote a valid range. *)
+
+val to_hex : int32 -> string
+(** Fixed-width lowercase hex, 8 characters (e.g. ["cbf43926"]). *)
+
+val of_hex : string -> int32 option
+(** Inverse of {!to_hex}; [None] unless exactly 8 hex characters. *)

@@ -33,4 +33,5 @@ let () =
       ("fault", Test_fault.suite);
       ("sched", Test_sched.suite);
       ("serve", Test_serve.suite);
+      ("journal", Test_journal.suite);
     ]

@@ -10,7 +10,14 @@
       second rapid submit is rejected `rate_limited`.
    C) Drain under load: jobs accepted right before a drain request all
       reach the ledger with an ok verdict — a drain loses no accepted
-      job. *)
+      job.
+   D) Connection hardening: a request line beyond the configured bound
+      is rejected with a typed bad_request, and the next connection
+      still works.
+   E) Wire faults: with a one-shot corrupt arming on serve.write the
+      first response is torn mid-line; the retrying client resubmits
+      under the same idempotency key and must get the original job
+      back (duplicate=true) — the crash-retry loop executes once. *)
 
 module Cache = Educhip_sched.Cache
 module Sched = Educhip_sched.Sched
@@ -20,6 +27,7 @@ module Wire = Educhip_serve.Wire
 module Ratelimit = Educhip_serve.Ratelimit
 module Server = Educhip_serve.Server
 module Client = Educhip_serve.Client
+module Fault = Educhip_fault.Fault
 
 let rec rm_rf path =
   if Sys.file_exists path then
@@ -198,6 +206,66 @@ let () =
     (List.length accepted = 6
     && List.length records = List.length accepted
     && List.for_all (fun (r : Runlog.record) -> r.Runlog.verdict = "ok") records);
+
+  (* D: the request-line bound closes the door on runaway input *)
+  let oversized =
+    with_server (cfg ()) (fun () ->
+        let c = Client.connect_unix socket in
+        let huge = { (spec (List.hd jobs)) with Wire.design = String.make 70_000 'a' } in
+        let r = Client.submit c huge in
+        Client.close c;
+        let first_rejected =
+          match r with
+          | Ok (Wire.Rejected { reason = Wire.Bad_request _; _ }) -> true
+          | _ -> false
+        in
+        (* the oversized line cost only its own connection *)
+        let c = Client.connect_unix socket in
+        let healthy =
+          match Client.request c Wire.Health with
+          | Ok (Wire.Health_report _) -> true
+          | _ -> false
+        in
+        Client.close c;
+        first_rejected && healthy)
+  in
+  check "oversized line rejected bad_request" oversized;
+
+  (* E: torn response + idempotent retry = exactly one execution *)
+  let torn_write_retry =
+    Fault.arm ~seed:7 [ Fault.arming_of_string "serve.write:corrupt@1" ];
+    Fun.protect ~finally:Fault.disarm (fun () ->
+        with_server (cfg ()) (fun () ->
+            let s =
+              {
+                (spec ("counter", "open", "uni-a")) with
+                Wire.idempotency_key = Some "servecheck-torn";
+              }
+            in
+            let policy =
+              { Client.default_retry_policy with Client.attempts = 4; base_ms = 10.0 }
+            in
+            match
+              Client.submit_with_retry ~policy
+                ~connect:(fun () -> Client.connect_unix socket)
+                s
+            with
+            | Ok (c, Wire.Accepted { id; duplicate; _ }) ->
+              (* the torn first answer already admitted the job, so the
+                 retry must land on the same id, not a second run *)
+              let finished = result_signature (Client.await c id) in
+              Client.close c;
+              duplicate && String.length finished > 0 && finished.[0] = 'o'
+            | Ok (c, r) ->
+              Client.close c;
+              Printf.printf "servecheck  torn-write retry got: %s\n%!"
+                (Wire.encode_response r);
+              false
+            | Error msg ->
+              Printf.printf "servecheck  torn-write retry error: %s\n%!" msg;
+              false))
+  in
+  check "torn write retried idempotently" torn_write_retry;
 
   if !failures > 0 then begin
     Printf.printf "servecheck: %d check(s) FAILED\n" !failures;

@@ -212,7 +212,40 @@ let test_cache_corrupt_entry_is_miss () =
       output_string oc "{ not json";
       close_out oc;
       check Alcotest.bool "corrupt entry misses" true (Cache.lookup cache k = None);
-      check Alcotest.bool "and is deleted" false (Sys.file_exists path))
+      (* the evidence is preserved for post-mortem, not destroyed *)
+      check Alcotest.bool "moved out of the cache" false (Sys.file_exists path);
+      check Alcotest.int "quarantined" 1 (Cache.quarantined cache);
+      check Alcotest.bool "file kept in quarantine/" true
+        (Sys.file_exists (Filename.concat (Filename.concat dir "quarantine") (k ^ ".json"))))
+
+(* a stored entry whose bytes were silently flipped (bit rot, partial
+   write) fails its embedded checksum and is quarantined the same way *)
+let test_cache_checksum_guard () =
+  with_cache_dir (fun dir ->
+      let cache = Cache.create ~dir () in
+      let k = key () in
+      Cache.store cache (sample_entry k);
+      let path = Filename.concat dir (k ^ ".json") in
+      let ic = open_in_bin path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (* flip one digit inside the verdict/ppa region: still valid JSON,
+         wrong bytes *)
+      let i =
+        let rec find i =
+          if i >= String.length text then Alcotest.fail "no digit to flip"
+          else
+            match text.[i] with '1' .. '8' -> i | _ -> find (i + 1)
+        in
+        find 0
+      in
+      let bytes = Bytes.of_string text in
+      Bytes.set bytes i (Char.chr (Char.code text.[i] + 1));
+      let oc = open_out_bin path in
+      output_bytes oc bytes;
+      close_out oc;
+      check Alcotest.bool "tampered entry misses" true (Cache.lookup cache k = None);
+      check Alcotest.int "tampered entry quarantined" 1 (Cache.quarantined cache))
 
 (* {2 Scheduler} *)
 
@@ -356,8 +389,10 @@ let suite =
       test_cache_roundtrip;
     Alcotest.test_case "cache: LRU eviction at the cap" `Quick
       test_cache_lru_eviction;
-    Alcotest.test_case "cache: corrupt entries are misses" `Quick
+    Alcotest.test_case "cache: corrupt entries are quarantined misses" `Quick
       test_cache_corrupt_entry_is_miss;
+    Alcotest.test_case "cache: checksum guards against bit rot" `Quick
+      test_cache_checksum_guard;
     Alcotest.test_case "sched: results invariant under worker count" `Quick
       test_sched_worker_count_invariance;
     Alcotest.test_case "sched: manifest-ordered results and totals" `Quick

@@ -25,6 +25,7 @@ let test_wire_request_roundtrip () =
       retries = Some 2;
       inject = [ "flow.routing:crash@2"; "place.anneal:hang" ];
       deadline_ms = Some 500.0;
+      idempotency_key = Some "course-ex3-uni-a-42";
       trace = Some (Tracectx.make ~parent_span:"client-submit" "trace-0af1");
       extra = [];
     }
@@ -89,7 +90,8 @@ let test_wire_response_roundtrip () =
   List.iter
     (fun r -> Alcotest.(check bool) (Wire.encode_response r) true (roundtrip r))
     [
-      Wire.Accepted { id = "j-000001"; tier = "advanced"; cached = true };
+      Wire.Accepted { id = "j-000001"; tier = "advanced"; cached = true; duplicate = false };
+      Wire.Accepted { id = "j-000007"; tier = "basic"; cached = false; duplicate = true };
       Wire.Job_status { id = "j-000001"; state = Wire.Running; verdict = None };
       Wire.Job_status { id = "j-000001"; state = Wire.Failed; verdict = Some "failed(x)" };
       Wire.Job_result
@@ -301,9 +303,10 @@ let test_server_admission_pipeline () =
       (* two admits fill tenant default's inflight quota of 2 *)
       let id1 =
         match Server.handle t (Wire.Submit (Wire.submit "counter")) with
-        | Wire.Accepted { id; tier; cached } ->
+        | Wire.Accepted { id; tier; cached; duplicate } ->
           Alcotest.(check string) "tier" "basic" tier;
           Alcotest.(check bool) "not cached" false cached;
+          Alcotest.(check bool) "not duplicate" false duplicate;
           id
         | r -> Alcotest.failf "first submit: %s" (Wire.encode_response r)
       in
@@ -399,6 +402,67 @@ let test_server_stats () =
           [ ("bad_request", 1) ] rejects
       | r -> Alcotest.failf "stats after submits: %s" (Wire.encode_response r))
 
+(* duplicate submissions: the same idempotency key must come back with
+   the original job id, marked [duplicate], and must not consume a second
+   queue slot *)
+let test_server_idempotency () =
+  let cfg = { Server.default_config with Server.max_queue = 8 } in
+  with_server cfg (fun t ->
+      let spec = { (Wire.submit "counter") with Wire.idempotency_key = Some "ex1-key" } in
+      let id1 =
+        match Server.handle t (Wire.Submit spec) with
+        | Wire.Accepted { id; duplicate = false; _ } -> id
+        | r -> Alcotest.failf "first keyed submit: %s" (Wire.encode_response r)
+      in
+      (match Server.handle t (Wire.Submit spec) with
+      | Wire.Accepted { id; duplicate = true; _ } ->
+        Alcotest.(check string) "original id returned" id1 id
+      | r -> Alcotest.failf "resubmission: %s" (Wire.encode_response r));
+      (match Server.handle t Wire.Health with
+      | Wire.Health_report { queue_depth = 1; _ } -> ()
+      | r -> Alcotest.failf "duplicate must not enqueue: %s" (Wire.encode_response r));
+      match Server.handle t (Wire.Submit { spec with Wire.idempotency_key = Some "ex2-key" }) with
+      | Wire.Accepted { id; duplicate = false; _ } ->
+        Alcotest.(check bool) "different key is a fresh job" true (id <> id1)
+      | r -> Alcotest.failf "second key: %s" (Wire.encode_response r))
+
+(* crash replay: a server admits a keyed job into its journal and
+   "crashes" (is dropped without executing anything); a second server on
+   the same journal must replay it under the original id, answer
+   [Result] for it, and still suppress the key *)
+let test_server_journal_replay () =
+  let jpath = Filename.temp_file "educhip_srvj" ".eduj" in
+  Sys.remove jpath;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists jpath then Sys.remove jpath)
+    (fun () ->
+      let cfg = { Server.default_config with Server.journal = Some jpath } in
+      let spec =
+        { (Wire.submit "counter") with Wire.idempotency_key = Some "replay-key" }
+      in
+      let id1 =
+        with_server cfg (fun t ->
+            match Server.handle t (Wire.Submit spec) with
+            | Wire.Accepted { id; _ } -> id
+            | r -> Alcotest.failf "admit: %s" (Wire.encode_response r))
+      in
+      with_server cfg (fun t2 ->
+          (match Server.recover t2 with
+          | Some st ->
+            Alcotest.(check int) "one job replayed" 1 st.Server.replayed;
+            Alcotest.(check int) "nothing restored" 0 st.Server.restored_completed;
+            Alcotest.(check int) "no drops" 0 st.Server.dropped_lines
+          | None -> Alcotest.fail "journal configured: recover must report stats");
+          (match Server.handle t2 (Wire.Result id1) with
+          | Wire.Job_result { id; verdict; _ } ->
+            Alcotest.(check string) "original id preserved" id1 id;
+            Alcotest.(check string) "replayed to completion" "ok" verdict
+          | r -> Alcotest.failf "result after replay: %s" (Wire.encode_response r));
+          match Server.handle t2 (Wire.Submit spec) with
+          | Wire.Accepted { id; duplicate = true; _ } ->
+            Alcotest.(check string) "key survives the crash" id1 id
+          | r -> Alcotest.failf "resubmission after replay: %s" (Wire.encode_response r)))
+
 let suite =
   [
     Alcotest.test_case "wire request round-trip" `Quick test_wire_request_roundtrip;
@@ -412,4 +476,6 @@ let suite =
     Alcotest.test_case "server admission pipeline" `Quick test_server_admission_pipeline;
     Alcotest.test_case "server rate limiting" `Quick test_server_rate_limit;
     Alcotest.test_case "server stats and slo reports" `Quick test_server_stats;
+    Alcotest.test_case "server idempotent resubmission" `Quick test_server_idempotency;
+    Alcotest.test_case "server journal crash replay" `Quick test_server_journal_replay;
   ]
