@@ -33,6 +33,10 @@ module Client = Educhip_serve.Client
 module Tracectx = Educhip_obs.Tracectx
 module Slo = Educhip_obs.Slo
 module Mclock = Educhip_util.Mclock
+module Tsdb = Educhip_mon.Tsdb
+module Scrape = Educhip_mon.Scrape
+module Rules = Educhip_mon.Rules
+module Alertlog = Educhip_mon.Alertlog
 
 open Cmdliner
 
@@ -971,11 +975,45 @@ let budget_bar frac =
   String.concat ""
     [ String.make filled '#'; String.make (width - filled) '.' ]
 
+(* ASCII sparkline over the newest [width] samples of a series: nine
+   brightness levels, low to high *)
+let spark_glyphs = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '@' |]
+
+let sparkline values =
+  match values with
+  | [] -> ""
+  | vs ->
+    let lo = List.fold_left Float.min Float.infinity vs in
+    let hi = List.fold_left Float.max Float.neg_infinity vs in
+    let span = hi -. lo in
+    String.concat ""
+      (List.map
+         (fun v ->
+           let i =
+             if span <= 0.0 then 0
+             else int_of_float (Float.round ((v -. lo) /. span *. 8.0))
+           in
+           String.make 1 spark_glyphs.(max 0 (min 8 i)))
+         vs)
+
+let trend ?(width = 16) db ?labels name =
+  match Tsdb.find db ?labels name with
+  | None -> ""
+  | Some s ->
+    let vs = List.map snd (Tsdb.samples s) in
+    let skip = max 0 (List.length vs - width) in
+    sparkline (List.filteri (fun i _ -> i >= skip) vs)
+
 let render_top ~throughput (h : (float * int * int * int * int * int))
-    ~rejects ~(tenants : Wire.tenant_stats list) ~(slos : Slo.report list) =
+    ~rejects ~(tenants : Wire.tenant_stats list) ~(slos : Slo.report list)
+    ~(db : Tsdb.t) ~(alerts : Rules.instance list option) =
   let uptime_ms, queue_depth, running, completed, failed, workers = h in
   Printf.printf "eduserved — up %.0f s, %d workers | queue %d, running %d | done %d, failed %d | %.2f jobs/s\n"
     (uptime_ms /. 1000.0) workers queue_depth running completed failed throughput;
+  Printf.printf "trend: done [%s]  queue [%s]  rejects [%s]\n"
+    (trend db "health.completed")
+    (trend db "health.queue_depth")
+    (trend db ~labels:[ ("reason", "rate_limited") ] "stats.rejects");
   (match rejects with
   | [] -> Printf.printf "rejects: none\n"
   | rs ->
@@ -1021,6 +1059,7 @@ let render_top ~throughput (h : (float * int * int * int * int * int))
           ("samples", Table.Right);
           ("budget", Table.Left);
           ("burn", Table.Right);
+          ("burn trend", Table.Left);
         ]
   in
   List.iter
@@ -1035,40 +1074,119 @@ let render_top ~throughput (h : (float * int * int * int * int * int))
           Table.cell_int r.Slo.samples;
           Printf.sprintf "%s %3.0f%%" (budget_bar budget) (pct budget);
           Table.cell_float ~decimals:2 r.Slo.burn_rate;
+          trend db ~labels:[ ("tier", r.Slo.tier) ] "slo.burn_rate";
         ])
     slos;
-  Printf.printf "%s%!" (Table.render slo_table)
+  Printf.printf "%s" (Table.render slo_table);
+  (match alerts with
+  | None -> ()
+  | Some [] -> Printf.printf "\nalerts: none pending or firing\n"
+  | Some insts ->
+    Printf.printf "\nAlerts\n";
+    List.iter
+      (fun (i : Rules.instance) ->
+        let labels =
+          match i.Rules.inst_labels with
+          | [] -> ""
+          | ls ->
+            "{"
+            ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) ls)
+            ^ "}"
+        in
+        Printf.printf "  %-8s %s%s  value %.3g %s %.3g  [%s]\n"
+          (String.uppercase_ascii (Alertlog.state_name i.Rules.inst_state))
+          i.Rules.inst_rule.Rules.rule_name labels i.Rules.last_value
+          (Rules.op_name i.Rules.inst_rule.Rules.op)
+          i.Rules.inst_rule.Rules.threshold i.Rules.inst_rule.Rules.severity)
+      insts);
+  Printf.printf "%!"
 
-let run_top socket connect interval once =
+let load_rules_or_exit path =
+  match Rules.load ~path with
+  | rules -> rules
+  | exception Invalid_argument msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 2
+  | exception Sys_error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 2
+
+let run_top socket connect interval once rules_path alert_log =
   if interval <= 0.0 then begin
     Printf.eprintf "--interval must be positive, got %g\n" interval;
     exit 2
   end;
-  let c = service_client socket connect in
-  let fetch req label =
+  let addr = Option.value connect ~default:socket in
+  let engine =
+    Option.map (fun path -> Rules.create (load_rules_or_exit path)) rules_path
+  in
+  (* a bounded connect: a dead daemon must fail the first poll with a
+     clear message and a non-zero exit, not hang or render an empty
+     dashboard *)
+  let c = service_client ~connect_timeout_ms:3000.0 ~read_timeout_ms:10_000.0
+      socket connect
+  in
+  (* in-process history: the same series names the scraper records, so
+     one rules file serves [eduflow mon] and this pane alike *)
+  let db = Tsdb.create ~capacity:512 () in
+  let tick = ref 0 in
+  let fetch ~first req label =
     match Client.request c req with
     | Ok resp -> resp
     | Error msg ->
-      Printf.eprintf "%s failed: %s\n" label msg;
+      if first then
+        Printf.eprintf "first poll failed: %s: %s (is eduserved running at %s?)\n"
+          label msg addr
+      else Printf.eprintf "%s failed: %s\n" label msg;
       exit 1
   in
-  let prev = ref None in
   let rec loop () =
-    match (fetch Wire.Health "health", fetch Wire.Stats "stats") with
+    let first = !tick = 0 in
+    match (fetch ~first Wire.Health "health", fetch ~first Wire.Stats "stats") with
     | ( Wire.Health_report { uptime_ms; queue_depth; running; completed; failed; workers; _ },
         Wire.Stats_report { rejects; tenants; slos; _ } ) ->
       let now = Mclock.now_ms () in
+      let put ?labels ~kind name v = ignore (Tsdb.record db ?labels ~kind ~t_ms:now name v) in
+      put ~kind:Tsdb.Counter "health.completed" (float_of_int completed);
+      put ~kind:Tsdb.Counter "health.failed" (float_of_int failed);
+      put ~kind:Tsdb.Gauge "health.queue_depth" (float_of_int queue_depth);
+      put ~kind:Tsdb.Gauge "health.running" (float_of_int running);
+      List.iter
+        (fun (reason, n) ->
+          put ~labels:[ ("reason", reason) ] ~kind:Tsdb.Counter "stats.rejects"
+            (float_of_int n))
+        rejects;
+      List.iter
+        (fun (r : Slo.report) ->
+          let labels = [ ("tier", r.Slo.tier) ] in
+          put ~labels ~kind:Tsdb.Gauge "slo.burn_rate" r.Slo.burn_rate;
+          put ~labels ~kind:Tsdb.Gauge "slo.p99_ms" r.Slo.p99_ms)
+        slos;
+      (* one definition of throughput: the Tsdb rate of the completed
+         counter over the last few polls *)
       let throughput =
-        match !prev with
-        | Some (t0, c0) when now > t0 ->
-          float_of_int (max 0 (completed - c0)) /. ((now -. t0) /. 1000.0)
-        | _ -> 0.0
+        match Tsdb.find db "health.completed" with
+        | Some s ->
+          Option.value
+            (Tsdb.rate s ~window_ms:(5.0 *. interval *. 1000.0) ~now_ms:now)
+            ~default:0.0
+        | None -> 0.0
       in
-      prev := Some (now, completed);
+      let alerts =
+        Option.map
+          (fun engine ->
+            let entries = Rules.eval engine db ~now_ms:now ~tick:!tick in
+            Option.iter
+              (fun path -> List.iter (fun e -> Alertlog.append ~path e) entries)
+              alert_log;
+            Rules.active engine)
+          engine
+      in
+      incr tick;
       if not once then print_string "\027[H\027[2J";
       render_top ~throughput
         (uptime_ms, queue_depth, running, completed, failed, workers)
-        ~rejects ~tenants ~slos;
+        ~rejects ~tenants ~slos ~db ~alerts;
       if once then Client.close c
       else begin
         Unix.sleepf interval;
@@ -1079,6 +1197,176 @@ let run_top socket connect interval once =
       exit 1
   in
   loop ()
+
+(* {2 eduflow mon: multi-target scraper + alert engine} *)
+
+let run_mon socket connect target_specs rules_path interval ticks alert_log history
+    staleness_s =
+  if interval <= 0.0 then begin
+    Printf.eprintf "--interval must be positive, got %g\n" interval;
+    exit 2
+  end;
+  let targets =
+    match target_specs with
+    | [] -> [ { Scrape.target_name = "default"; addr = Option.value connect ~default:socket } ]
+    | specs -> (
+      match List.map Scrape.target_of_spec specs with
+      | targets -> targets
+      | exception Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2)
+  in
+  let engine =
+    Rules.create (match rules_path with Some p -> load_rules_or_exit p | None -> [])
+  in
+  let scraper =
+    match Scrape.create targets with
+    | s -> s
+    | exception Invalid_argument msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  let db = Scrape.tsdb scraper in
+  let staleness_ms = staleness_s *. 1000.0 in
+  let stop = ref false in
+  (try
+     Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
+     Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true))
+   with Invalid_argument _ | Sys_error _ -> ());
+  let tick = ref 0 in
+  while (not !stop) && (ticks = 0 || !tick < ticks) do
+    let now = Mclock.now_ms () in
+    let results = Scrape.tick scraper ~now_ms:now in
+    let entries = Rules.eval engine db ~now_ms:now ~tick:!tick in
+    Option.iter (fun path -> List.iter (fun e -> Alertlog.append ~path e) entries) alert_log;
+    let up_n = List.length (List.filter (fun r -> r.Scrape.ok) results) in
+    let samples = List.fold_left (fun acc r -> acc + r.Scrape.samples) 0 results in
+    let firing =
+      List.length
+        (List.filter
+           (fun (i : Rules.instance) -> i.Rules.inst_state = Alertlog.Firing)
+           (Rules.active engine))
+    in
+    Printf.printf "tick %d: %d/%d targets up, %d samples, %d firing\n%!" !tick up_n
+      (List.length results) samples firing;
+    List.iter
+      (fun (r : Scrape.tick_result) ->
+        if not r.Scrape.ok then
+          Printf.printf "  target %s DOWN: %s%s\n%!" r.Scrape.target
+            (Option.value r.Scrape.error ~default:"scrape failed")
+            (match Scrape.staleness_ms scraper ~now_ms:now r.Scrape.target with
+            | Some age when age > staleness_ms ->
+              Printf.sprintf " (stale %.0f ms > window %.0f ms)" age staleness_ms
+            | _ -> ""))
+      results;
+    List.iter
+      (fun (e : Alertlog.entry) ->
+        Printf.printf "  alert %s%s -> %s (value %.4g, threshold %.4g)\n%!"
+          e.Alertlog.rule
+          (match e.Alertlog.labels with
+          | [] -> ""
+          | ls -> "{" ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) ls) ^ "}")
+          (Alertlog.state_name e.Alertlog.state)
+          e.Alertlog.value e.Alertlog.threshold)
+      entries;
+    incr tick;
+    if (not !stop) && (ticks = 0 || !tick < ticks) then Unix.sleepf interval
+  done;
+  Scrape.close scraper;
+  Option.iter
+    (fun path ->
+      Jsonout.write_file ~path (Tsdb.to_json db);
+      Printf.printf "history (%d series) written to %s\n" (List.length (Tsdb.series_list db))
+        path)
+    history;
+  let active = Rules.active engine in
+  let firing =
+    List.filter (fun (i : Rules.instance) -> i.Rules.inst_state = Alertlog.Firing) active
+  in
+  if firing <> [] then begin
+    Printf.printf "%d alert(s) still firing\n" (List.length firing);
+    exit 3
+  end
+
+(* {2 eduflow alerts: render an alert log} *)
+
+let run_alerts log_path history_n check =
+  if not (Sys.file_exists log_path) then begin
+    Printf.eprintf "no alert log at %s\n" log_path;
+    exit 1
+  end;
+  let entries = Alertlog.load ~path:log_path in
+  if entries = [] then begin
+    Printf.printf "%s: no alert transitions\n" log_path;
+    exit 0
+  end;
+  (* replay: the newest transition per rule x label-set is its state *)
+  let latest = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Alertlog.entry) -> Hashtbl.replace latest (e.Alertlog.rule, e.Alertlog.labels) e)
+    entries;
+  let current = Hashtbl.fold (fun _ e acc -> e :: acc) latest [] in
+  let current =
+    List.sort
+      (fun (a : Alertlog.entry) (b : Alertlog.entry) ->
+        compare (a.Alertlog.rule, a.Alertlog.labels) (b.Alertlog.rule, b.Alertlog.labels))
+      current
+  in
+  let active =
+    List.filter (fun (e : Alertlog.entry) -> e.Alertlog.state <> Alertlog.Resolved) current
+  in
+  let firing =
+    List.filter (fun (e : Alertlog.entry) -> e.Alertlog.state = Alertlog.Firing) active
+  in
+  Printf.printf "%s: %d transition(s), %d instance(s), %d active (%d firing)\n\n" log_path
+    (List.length entries) (List.length current) (List.length active) (List.length firing);
+  let labels_str = function
+    | [] -> "-"
+    | ls -> String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) ls)
+  in
+  let table =
+    Table.create ~title:"Alert instances"
+      ~columns:
+        [
+          ("rule", Table.Left);
+          ("labels", Table.Left);
+          ("state", Table.Left);
+          ("since tick", Table.Right);
+          ("value", Table.Right);
+          ("threshold", Table.Right);
+          ("severity", Table.Left);
+        ]
+  in
+  List.iter
+    (fun (e : Alertlog.entry) ->
+      Table.add_row table
+        [
+          e.Alertlog.rule;
+          labels_str e.Alertlog.labels;
+          Alertlog.state_name e.Alertlog.state;
+          Table.cell_int e.Alertlog.tick;
+          Table.cell_float ~decimals:3 e.Alertlog.value;
+          Table.cell_float ~decimals:3 e.Alertlog.threshold;
+          e.Alertlog.severity;
+        ])
+    current;
+  Printf.printf "%s\n" (Table.render table);
+  let recent =
+    let n = List.length entries in
+    List.filteri (fun i _ -> i >= n - history_n) entries
+  in
+  Printf.printf "Recent transitions (last %d)\n" (List.length recent);
+  List.iter
+    (fun (e : Alertlog.entry) ->
+      Printf.printf "  tick %-4d %-10s %s%s (value %.4g vs %.4g)\n" e.Alertlog.tick
+        (Alertlog.state_name e.Alertlog.state)
+        e.Alertlog.rule
+        (match e.Alertlog.labels with
+        | [] -> ""
+        | ls -> "{" ^ labels_str ls ^ "}")
+        e.Alertlog.value e.Alertlog.threshold)
+    recent;
+  if check && firing <> [] then exit 3
 
 let submit_design_arg =
   Arg.(
@@ -1217,6 +1505,73 @@ let top_once_arg =
     & info [ "once" ]
         ~doc:"Print a single snapshot and exit instead of refreshing the screen.")
 
+let rules_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "rules" ] ~docv:"FILE"
+        ~doc:
+          "Alert rules file (one $(b,alert) or $(b,slo-burn) directive per line); \
+           evaluated against the in-process history every poll.")
+
+let alert_log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "alert-log" ] ~docv:"PATH"
+        ~doc:"Append every alert state transition to this JSONL log.")
+
+let mon_target_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "target" ] ~docv:"NAME=ADDR"
+        ~doc:
+          "A daemon to scrape: socket path or HOST:PORT, tagged with NAME (series \
+           carry a target=NAME label). Repeatable; default is one target named \
+           $(i,default) at --socket/--connect.")
+
+let mon_interval_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "interval" ] ~docv:"SECONDS" ~doc:"Scrape period.")
+
+let mon_ticks_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "ticks" ] ~docv:"N"
+        ~doc:"Stop after N scrape ticks (0 = run until interrupted).")
+
+let mon_history_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "history" ] ~docv:"PATH"
+        ~doc:"On exit, dump the retained time series as JSON to this file.")
+
+let mon_staleness_arg =
+  Arg.(
+    value & opt float 5.0
+    & info [ "staleness" ] ~docv:"SECONDS"
+        ~doc:
+          "Staleness window: a target not scraped successfully within this long \
+           is reported down.")
+
+let alerts_log_arg =
+  Arg.(
+    value & opt string "alerts.jsonl"
+    & info [ "log" ] ~docv:"PATH" ~doc:"The JSONL alert log to render.")
+
+let alerts_history_arg =
+  Arg.(
+    value & opt int 12
+    & info [ "last" ] ~docv:"N" ~doc:"How many recent transitions to list.")
+
+let alerts_check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:"Exit 3 when any alert instance is currently firing (for scripts).")
+
 let submit_cmd =
   let doc = "submit a flow job to a running eduserved daemon" in
   let man =
@@ -1269,9 +1624,55 @@ let top_cmd =
   in
   Cmd.v
     (Cmd.info "top" ~doc ~man)
-    Term.(const run_top $ socket_arg $ connect_arg $ top_interval_arg $ top_once_arg)
+    Term.(
+      const run_top $ socket_arg $ connect_arg $ top_interval_arg $ top_once_arg
+      $ rules_arg $ alert_log_arg)
+
+let mon_cmd =
+  let doc = "scrape one or more eduserved daemons into time series and evaluate alerts" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Polls every --target's health, stats, and Prometheus metrics endpoints on \
+         an interval, retaining the samples as per-target time series (ring \
+         buffers, bounded memory). With $(b,--rules), evaluates declarative \
+         threshold and SLO burn-rate alert rules against the history each tick — \
+         transitions (pending, firing, resolved) are printed and appended to \
+         $(b,--alert-log) as schema-versioned JSONL. $(b,--history) dumps the \
+         retained series as JSON on exit. Exit status 3 when any alert is still \
+         firing at exit.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "mon" ~doc ~man)
+    Term.(
+      const run_mon $ socket_arg $ connect_arg $ mon_target_arg $ rules_arg
+      $ mon_interval_arg $ mon_ticks_arg $ alert_log_arg $ mon_history_arg
+      $ mon_staleness_arg)
+
+let alerts_cmd =
+  let doc = "render current and past alert state from a JSONL alert log" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Replays an alert log written by $(b,eduflow mon) (or $(b,eduflow top) \
+         --alert-log): the newest transition of each rule x label-set instance is \
+         its current state. Shows an instance table plus the most recent \
+         transitions; $(b,--check) turns a firing alert into exit status 3.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "alerts" ~doc ~man)
+    Term.(const run_alerts $ alerts_log_arg $ alerts_history_arg $ alerts_check_arg)
 
 let () =
+  (* a served peer can vanish mid-request (daemon restart, drain); that
+     must surface as a transport error on the one connection, not a
+     process-killing SIGPIPE — the monitor in particular writes into
+     persistent connections whose daemon may be gone *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let doc = "educhip RTL-to-GDSII flow driver" in
   let info = Cmd.info "eduflow" ~version:"1.0.0" ~doc in
   (* [run] is the default command: [eduflow counter --trace t.json] is
@@ -1281,7 +1682,7 @@ let () =
     let commands =
       [
         "run"; "list"; "nodes"; "fpga"; "report"; "compare"; "batch"; "submit";
-        "status"; "result"; "top";
+        "status"; "result"; "top"; "mon"; "alerts";
       ]
     in
     if
@@ -1296,5 +1697,5 @@ let () =
        (Cmd.group ~default:run_term info
           [
             run_cmd; list_cmd; nodes_cmd; fpga_cmd; report_cmd; compare_cmd; batch_cmd;
-            submit_cmd; status_cmd; result_cmd; top_cmd;
+            submit_cmd; status_cmd; result_cmd; top_cmd; mon_cmd; alerts_cmd;
           ]))

@@ -331,4 +331,8 @@ let cmd =
       $ slo_advanced_p99_arg $ slo_success_rate_arg $ slo_window_arg $ trace_arg
       $ metrics_arg $ prom_arg)
 
-let () = exit (Cmd.eval cmd)
+let () =
+  (* a client that disconnects while its response is in flight must cost
+     only that connection, not the daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  exit (Cmd.eval cmd)

@@ -13,13 +13,45 @@ type span = {
 
 type metric_key = { metric_name : string; labels : (string * string) list }
 
+(* Histograms keep exact lifetime totals (count, sum) but only a
+   bounded ring of recent observations for the distribution statistics.
+   An unbounded sample list made every exposition O(total observations
+   ever): a long-lived daemon scraped once a second re-sorted its whole
+   history per scrape, and each scrape stalled the serve path a little
+   longer than the last. The window bounds that cost while the totals
+   stay monotonic, which is what rate/delta consumers need. *)
+let histogram_window = 1024
+
+type hist = {
+  mutable h_count : int; (* lifetime observations, never truncated *)
+  mutable h_sum : float; (* lifetime sum, never truncated *)
+  h_ring : float array; (* newest [histogram_window] observations *)
+  mutable h_head : int; (* next write slot *)
+  mutable h_len : int;
+}
+
+let hist_create () =
+  { h_count = 0; h_sum = 0.0; h_ring = Array.make histogram_window 0.0; h_head = 0; h_len = 0 }
+
+let hist_add h v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  h.h_ring.(h.h_head) <- v;
+  h.h_head <- (h.h_head + 1) mod histogram_window;
+  if h.h_len < histogram_window then h.h_len <- h.h_len + 1
+
+(* retained window in observation order (oldest first) *)
+let hist_samples h =
+  List.init h.h_len (fun i ->
+      h.h_ring.((h.h_head - h.h_len + i + histogram_window) mod histogram_window))
+
 type collector = {
   epoch : float;
   mutable roots : span list; (* newest first *)
   mutable stack : span list; (* innermost first *)
   counters : (metric_key, int ref) Hashtbl.t;
   gauges : (metric_key, float ref) Hashtbl.t;
-  histograms : (metric_key, float list ref) Hashtbl.t; (* newest first *)
+  histograms : (metric_key, hist) Hashtbl.t;
 }
 
 let create () =
@@ -161,8 +193,11 @@ let observe ?(labels = []) name v =
   | Some c -> (
     let k = key name labels in
     match Hashtbl.find_opt c.histograms k with
-    | Some r -> r := v :: !r
-    | None -> Hashtbl.replace c.histograms k (ref [ v ]))
+    | Some h -> hist_add h v
+    | None ->
+      let h = hist_create () in
+      hist_add h v;
+      Hashtbl.replace c.histograms k h)
 
 let counter_value c ?(labels = []) name =
   match Hashtbl.find_opt c.counters (key name labels) with Some r -> !r | None -> 0
@@ -172,8 +207,30 @@ let gauge_value c ?(labels = []) name =
 
 let histogram_samples c ?(labels = []) name =
   match Hashtbl.find_opt c.histograms (key name labels) with
-  | Some r -> List.rev !r
+  | Some h -> hist_samples h
   | None -> []
+
+(* Registry-only deep copy (spans are not carried over). Cheap — ints,
+   floats, and bounded rings — so a server can take it while holding
+   its write lock and run the expensive part (sorting, rendering) on
+   the copy after releasing the lock. *)
+let registry_copy c =
+  let c' =
+    {
+      epoch = c.epoch;
+      roots = [];
+      stack = [];
+      counters = Hashtbl.create (Hashtbl.length c.counters);
+      gauges = Hashtbl.create (Hashtbl.length c.gauges);
+      histograms = Hashtbl.create (Hashtbl.length c.histograms);
+    }
+  in
+  Hashtbl.iter (fun k r -> Hashtbl.replace c'.counters k (ref !r)) c.counters;
+  Hashtbl.iter (fun k r -> Hashtbl.replace c'.gauges k (ref !r)) c.gauges;
+  Hashtbl.iter
+    (fun k h -> Hashtbl.replace c'.histograms k { h with h_ring = Array.copy h.h_ring })
+    c.histograms;
+  c'
 
 (* {1 Merging}
 
@@ -197,10 +254,22 @@ let merge ~into:dst src =
       | None -> Hashtbl.replace dst.gauges k (ref !r))
     src.gauges;
   Hashtbl.iter
-    (fun k r ->
-      match Hashtbl.find_opt dst.histograms k with
-      | Some d -> d := !r @ !d (* both newest-first; src samples are newer *)
-      | None -> Hashtbl.replace dst.histograms k (ref !r))
+    (fun k src_h ->
+      let dst_h =
+        match Hashtbl.find_opt dst.histograms k with
+        | Some d -> d
+        | None ->
+          let d = hist_create () in
+          Hashtbl.replace dst.histograms k d;
+          d
+      in
+      (* src samples are newer: appending them keeps window order, and
+         the lifetime totals transfer exactly even past the window *)
+      List.iter (fun v -> hist_add dst_h v) (hist_samples src_h);
+      dst_h.h_count <- dst_h.h_count + (src_h.h_count - src_h.h_len);
+      dst_h.h_sum <-
+        dst_h.h_sum
+        +. (src_h.h_sum -. List.fold_left ( +. ) 0.0 (hist_samples src_h)))
     src.histograms;
   let offset_us = (src.epoch -. dst.epoch) *. 1e6 in
   let rec rebase span =
@@ -288,8 +357,8 @@ let metrics_json c =
   in
   let histograms =
     List.map
-      (fun (k, r) ->
-        let xs = List.rev !r in
+      (fun (k, h) ->
+        let xs = hist_samples h in
         let bins =
           Stats.histogram ~bins:histogram_bins xs
           |> Array.to_list
@@ -305,8 +374,8 @@ let metrics_json c =
           [
             ("name", Jsonout.String k.metric_name);
             ("labels", labels_json k.labels);
-            ("count", Jsonout.Int (List.length xs));
-            ("sum", Jsonout.Float (List.fold_left ( +. ) 0.0 xs));
+            ("count", Jsonout.Int h.h_count);
+            ("sum", Jsonout.Float h.h_sum);
             ("min", Jsonout.Float (Stats.minimum xs));
             ("max", Jsonout.Float (Stats.maximum xs));
             ("mean", Jsonout.Float (Stats.mean xs));
@@ -327,6 +396,57 @@ let metrics_json c =
 
 let write_trace c ~path = Jsonout.write_file ~path (trace_json c)
 let write_metrics c ~path = Jsonout.write_file ~path (metrics_json c)
+
+(* {1 Snapshots}
+
+   A point-in-time copy of the registry's scalar state. [snapshot_diff]
+   is the one sanctioned "how much happened between two readings"
+   subtraction: counters and histogram counts/sums as their increase,
+   gauges as their change — the same per-series later-minus-earlier a
+   monitoring Tsdb's [delta] computes between two retained samples, so
+   bench overhead accounting and the monitor agree on one definition. *)
+
+type snapshot = {
+  snap_counters : (metric_key * int) list;
+  snap_gauges : (metric_key * float) list;
+  snap_hists : (metric_key * (int * float)) list; (* count, sum *)
+}
+
+let snapshot c =
+  {
+    snap_counters = List.map (fun (k, r) -> (k, !r)) (sorted_entries c.counters);
+    snap_gauges = List.map (fun (k, r) -> (k, !r)) (sorted_entries c.gauges);
+    snap_hists =
+      List.map (fun (k, h) -> (k, (h.h_count, h.h_sum))) (sorted_entries c.histograms);
+  }
+
+let snapshot_diff earlier later =
+  let baseline assoc k default =
+    match List.assoc_opt k assoc with Some v -> v | None -> default
+  in
+  let entry k suffix d = (k.metric_name ^ suffix, k.labels, d) in
+  let counters =
+    List.map
+      (fun (k, v) ->
+        entry k "" (float_of_int (v - baseline earlier.snap_counters k 0)))
+      later.snap_counters
+  in
+  let gauges =
+    List.map
+      (fun (k, v) -> entry k "" (v -. baseline earlier.snap_gauges k 0.0))
+      later.snap_gauges
+  in
+  let hists =
+    List.concat_map
+      (fun (k, (count, sum)) ->
+        let count0, sum0 = baseline earlier.snap_hists k (0, 0.0) in
+        [
+          entry k ".count" (float_of_int (count - count0));
+          entry k ".sum" (sum -. sum0);
+        ])
+      later.snap_hists
+  in
+  List.sort compare (counters @ gauges @ hists)
 
 (* {1 Prometheus text exposition} *)
 
@@ -377,8 +497,12 @@ let metrics_text c =
   let buf = Buffer.create 1024 in
   let typed = Hashtbl.create 16 in
   let type_line name kind =
-    if not (Hashtbl.mem typed name) then begin
-      Hashtbl.replace typed name ();
+    (* keyed on name + kind: when sanitization collides a gauge family
+       with a counter family, each still gets its own TYPE line — a
+       scraper keying kinds off TYPE lines must never see gauge samples
+       filed under a counter declaration *)
+    if not (Hashtbl.mem typed (name, kind)) then begin
+      Hashtbl.replace typed (name, kind) ();
       Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
     end
   in
@@ -397,8 +521,28 @@ let metrics_text c =
         (Printf.sprintf "%s%s %s\n" name (prom_labels k.labels) (prom_number !r)))
     (sorted_entries c.gauges);
   List.iter
-    (fun (k, r) ->
-      let xs = List.rev !r in
+    (fun (k, h) ->
+      (* one sort per family — the exposition is rendered with the
+         serve mutex held, so per-quantile re-sorting was serve-path
+         stall time *)
+      let sorted = Array.init h.h_len (fun i ->
+          h.h_ring.((h.h_head - h.h_len + i + histogram_window) mod histogram_window))
+      in
+      Array.sort Float.compare sorted;
+      let n = Array.length sorted in
+      (* same definitions as Stats.median / Stats.percentile, off the
+         one shared sort *)
+      let med =
+        if n = 0 then 0.0
+        else if n mod 2 = 1 then sorted.(n / 2)
+        else (sorted.((n / 2) - 1) +. sorted.(n / 2)) /. 2.0
+      in
+      let q_of p =
+        if n = 0 then 0.0
+        else
+          let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+          sorted.(max 0 (min (n - 1) (rank - 1)))
+      in
       let name = prom_name k.metric_name in
       type_line name "summary";
       List.iter
@@ -407,14 +551,11 @@ let metrics_text c =
             (Printf.sprintf "%s%s %s\n" name
                (prom_labels (k.labels @ [ ("quantile", q) ]))
                (prom_number v)))
-        [ ("0.5", Stats.median xs);
-          ("0.95", Stats.percentile 95.0 xs);
-          ("0.99", Stats.percentile 99.0 xs) ];
+        [ ("0.5", med); ("0.95", q_of 95.0); ("0.99", q_of 99.0) ];
       Buffer.add_string buf
-        (Printf.sprintf "%s_sum%s %s\n" name (prom_labels k.labels)
-           (prom_number (List.fold_left ( +. ) 0.0 xs)));
+        (Printf.sprintf "%s_sum%s %s\n" name (prom_labels k.labels) (prom_number h.h_sum));
       Buffer.add_string buf
-        (Printf.sprintf "%s_count%s %d\n" name (prom_labels k.labels) (List.length xs)))
+        (Printf.sprintf "%s_count%s %d\n" name (prom_labels k.labels) h.h_count))
     (sorted_entries c.histograms);
   Buffer.contents buf
 

@@ -121,7 +121,15 @@ val declare_gauge : ?labels:(string * string) list -> string -> unit
     Never overwrites an existing value. *)
 
 val observe : ?labels:(string * string) list -> string -> float -> unit
-(** Record one histogram sample. *)
+(** Record one histogram sample. Lifetime count and sum are exact
+    forever; only the newest {!histogram_window} samples are retained
+    for distribution statistics (quantiles, bins), so exposition cost
+    stays bounded no matter how long the process lives. *)
+
+val histogram_window : int
+(** Samples retained per histogram series for distribution statistics
+    (currently 1024). Beyond it, quantiles describe the recent window —
+    what a monitor wants — while count/sum stay lifetime-exact. *)
 
 val counter_value : collector -> ?labels:(string * string) list -> string -> int
 (** Current value; [0] for an unregistered counter. *)
@@ -129,7 +137,15 @@ val counter_value : collector -> ?labels:(string * string) list -> string -> int
 val gauge_value : collector -> ?labels:(string * string) list -> string -> float option
 
 val histogram_samples : collector -> ?labels:(string * string) list -> string -> float list
-(** Samples in observation order; [[]] for an unregistered histogram. *)
+(** Retained samples (the newest {!histogram_window}) in observation
+    order; [[]] for an unregistered histogram. *)
+
+val registry_copy : collector -> collector
+(** Deep copy of the metric registry (counters, gauges, histogram
+    windows; spans are not carried over). Cheap enough to take while
+    holding a write lock, so the expensive part of serving a metrics
+    read — sorting quantiles, rendering text — can run on the copy
+    after the lock is released instead of stalling writers. *)
 
 val merge : into:collector -> collector -> unit
 (** [merge ~into:dst src] folds [src] (typically a parallel worker's
@@ -139,6 +155,26 @@ val merge : into:collector -> collector -> unit
     epochs share the monotonic clock, so merged traces keep real
     timing). [src] is left untouched; merging the same collector twice
     double-counts. Call only after the source domain has finished. *)
+
+(** {1 Snapshots} *)
+
+type snapshot
+(** A point-in-time copy of the registry's scalar state (counter
+    values, gauge values, histogram count + sum). Cheap; safe to hold
+    while the collector keeps accumulating. *)
+
+val snapshot : collector -> snapshot
+
+val snapshot_diff : snapshot -> snapshot -> (string * (string * string) list * float) list
+(** [snapshot_diff earlier later]: one [(name, labels, delta)] per
+    series in [later], sorted by name then labels — counters as their
+    increase, gauges as their change (both against [0] for a series
+    absent from [earlier]), histograms as two entries,
+    [name ^ ".count"] and [name ^ ".sum"]. This is the one sanctioned
+    between-two-readings subtraction: the same per-series
+    later-minus-earlier a monitoring Tsdb's [delta] computes between
+    two retained samples, so bench overhead accounting and the monitor
+    agree on one definition. *)
 
 (** {1 Export} *)
 

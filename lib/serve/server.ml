@@ -233,6 +233,11 @@ let sync_metrics t =
                                   "serve.journal_appends"; "serve.replayed";
                                   "serve.conn_opened"; "serve.conn_closed";
                                   "serve.conn_timeouts"; "serve.conn_oversized" ];
+  (* one zero-registered family per reject reason, so a scraper can
+     tell "no rejects yet" (a flat counter) from "series missing" *)
+  List.iter
+    (fun reason -> Obs.declare_counter ~labels:[ ("reason", reason) ] "serve.rejected")
+    Wire.reject_reason_names;
   sync_counter t "serve.admitted" t.admitted;
   sync_counter t "serve.cache_hits" t.cache_hits;
   sync_counter t "serve.jobs_completed" t.completed;
@@ -729,13 +734,24 @@ let handle t (req : Wire.request) =
             workers = t.cfg.workers;
           })
   | Wire.Metrics ->
-    Mutex.protect t.mutex (fun () ->
-        sync_metrics t;
-        Wire.Metrics_text (Obs.metrics_text t.collector))
+    (* copy the registry under the lock, render outside it: exposition
+       sorts every histogram window, and doing that under [t.mutex]
+       stalled admission for the duration of each scrape *)
+    let frozen =
+      Mutex.protect t.mutex (fun () ->
+          sync_metrics t;
+          Obs.registry_copy t.collector)
+    in
+    Wire.Metrics_text (Obs.metrics_text frozen)
   | Wire.Stats ->
     Mutex.protect t.mutex (fun () ->
         let rejects =
-          Hashtbl.fold (fun reason n acc -> (reason, n) :: acc) t.rejected []
+          (* every reason, zeros included, so a monitor sees the series
+             (flat at 0) before the first reject instead of a gap *)
+          List.map
+            (fun reason ->
+              (reason, Option.value (Hashtbl.find_opt t.rejected reason) ~default:0))
+            Wire.reject_reason_names
           |> List.sort compare
         in
         let tenants =

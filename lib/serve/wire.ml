@@ -73,6 +73,9 @@ let reject_reason_name = function
   | Bad_request _ -> "bad_request"
   | Unknown_id _ -> "unknown_id"
 
+let reject_reason_names =
+  [ "overloaded"; "rate_limited"; "quota"; "draining"; "bad_request"; "unknown_id" ]
+
 type state = Queued | Running | Done | Failed
 
 let state_name = function

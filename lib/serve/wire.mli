@@ -76,6 +76,11 @@ val reject_reason_name : reject_reason -> string
 (** The typed wire tag: ["overloaded"], ["rate_limited"], ["quota"],
     ["draining"], ["bad_request"], ["unknown_id"]. *)
 
+val reject_reason_names : string list
+(** Every tag {!reject_reason_name} can produce, in declaration order —
+    so a server can pre-register its per-reason reject counters at zero
+    and a monitor can tell "no rejects yet" from "series missing". *)
+
 type state = Queued | Running | Done | Failed
 
 val state_name : state -> string

@@ -34,4 +34,5 @@ let () =
       ("sched", Test_sched.suite);
       ("serve", Test_serve.suite);
       ("journal", Test_journal.suite);
+      ("mon", Test_mon.suite);
     ]

@@ -261,6 +261,67 @@ let test_histogram_summary_stats () =
   check Alcotest.bool "declare_gauge registers at zero" true
     (Obs.gauge_value c "depth" = Some 0.0)
 
+(* {1 Snapshots} *)
+
+let test_snapshot_diff () =
+  let c = Obs.create () in
+  Obs.with_collector c (fun () ->
+      Obs.add_counter "jobs" 3;
+      Obs.set_gauge "depth" 1.5;
+      Obs.observe "lat" 10.0);
+  let s0 = Obs.snapshot c in
+  Obs.with_collector c (fun () ->
+      Obs.add_counter "jobs" 4;
+      Obs.set_gauge "depth" 4.0;
+      Obs.observe "lat" 20.0;
+      Obs.observe "lat" 30.0;
+      Obs.add_counter ~labels:[ ("k", "v") ] "new" 2);
+  let s1 = Obs.snapshot c in
+  check
+    Alcotest.(list (triple string (list (pair string string)) (float 1e-9)))
+    "per-series later minus earlier, absent series against zero"
+    [
+      ("depth", [], 2.5);
+      ("jobs", [], 4.0);
+      ("lat.count", [], 2.0);
+      ("lat.sum", [], 50.0);
+      ("new", [ ("k", "v") ], 2.0);
+    ]
+    (Obs.snapshot_diff s0 s1);
+  (* a snapshot is a frozen copy, not a live view *)
+  Obs.with_collector c (fun () -> Obs.add_counter "jobs" 10);
+  check
+    Alcotest.(list (triple string (list (pair string string)) (float 1e-9)))
+    "identical snapshots diff to zeros"
+    [ ("depth", [], 0.0); ("jobs", [], 0.0); ("lat.count", [], 0.0);
+      ("lat.sum", [], 0.0); ("new", [ ("k", "v") ], 0.0) ]
+    (Obs.snapshot_diff s1 s1)
+
+let test_histogram_window_bounded () =
+  let n = Obs.histogram_window + 50 in
+  let c = Obs.create () in
+  Obs.with_collector c (fun () ->
+      for i = 1 to n do
+        Obs.observe "lat" (float_of_int i)
+      done);
+  let kept = Obs.histogram_samples c "lat" in
+  check Alcotest.int "only the window is retained" Obs.histogram_window
+    (List.length kept);
+  check Alcotest.bool "retained samples are the newest" true
+    (List.hd kept = 51.0 && List.nth kept (Obs.histogram_window - 1) = float_of_int n);
+  (* lifetime count/sum stay exact past the window *)
+  let s0 = Obs.snapshot (Obs.create ()) in
+  let diff = Obs.snapshot_diff s0 (Obs.snapshot c) in
+  check (Alcotest.float 1e-9) "count is lifetime-exact" (float_of_int n)
+    (match List.assoc_opt "lat.count" (List.map (fun (k, _, v) -> (k, v)) diff) with
+    | Some v -> v
+    | None -> Float.nan);
+  check (Alcotest.float 1e-6) "sum is lifetime-exact"
+    (float_of_int (n * (n + 1) / 2))
+    (match List.assoc_opt "lat.sum" (List.map (fun (k, _, v) -> (k, v)) diff) with
+    | Some v -> v
+    | None -> Float.nan)
+
 (* {1 Prometheus text exposition} *)
 
 let test_metrics_text () =
@@ -280,6 +341,7 @@ let test_metrics_text () =
     = List.length
         (List.filter (fun l -> l = "# TYPE place_moves_accepted counter") lines));
   check Alcotest.bool "gauge line" true (has "queue_depth 2.5");
+  check Alcotest.bool "gauge TYPE line" true (has "# TYPE queue_depth gauge");
   check Alcotest.bool "summary quantile" true
     (has {|guard_backoff_ms{quantile="0.5"} 75|});
   check Alcotest.bool "summary sum and count" true
@@ -473,7 +535,13 @@ let prom_exposition_prop =
           Obs.add_counter name ~labels (v + 1);
           Obs.set_gauge name ~labels (float_of_int v /. 7.0);
           Obs.observe (name ^ ".lat") ~labels (float_of_int v));
-      List.for_all valid_prom_line (String.split_on_char '\n' (Obs.metrics_text c)))
+      let lines = String.split_on_char '\n' (Obs.metrics_text c) in
+      List.for_all valid_prom_line lines
+      (* every family is typed, gauges included — a scraper keys its
+         Tsdb series kinds off these lines *)
+      && List.mem ("# TYPE " ^ Obs.prom_name name ^ " gauge") lines
+      && List.mem ("# TYPE " ^ Obs.prom_name name ^ " counter") lines
+      && List.mem ("# TYPE " ^ Obs.prom_name (name ^ ".lat") ^ " summary") lines)
 
 (* {1 Trace context and stitched events} *)
 
@@ -673,6 +741,8 @@ let suite =
     Alcotest.test_case "trace-event schema" `Quick test_trace_event_schema;
     Alcotest.test_case "metrics schema" `Quick test_metrics_schema;
     Alcotest.test_case "histogram summary stats" `Quick test_histogram_summary_stats;
+    Alcotest.test_case "snapshot diff" `Quick test_snapshot_diff;
+    Alcotest.test_case "histogram window bounded" `Quick test_histogram_window_bounded;
     Alcotest.test_case "prometheus text exposition" `Quick test_metrics_text;
     Alcotest.test_case "prometheus escaping" `Quick test_metrics_text_escaping;
     Alcotest.test_case "stats histogram constant input" `Quick

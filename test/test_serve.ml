@@ -398,8 +398,14 @@ let test_server_stats () =
       | r -> Alcotest.failf "bad submit: %s" (Wire.encode_response r));
       match Server.handle t Wire.Stats with
       | Wire.Stats_report { queue_depth = 2; rejects; _ } ->
+        (* every reason is reported, zeros included, so monitors see
+           flat series rather than gaps before the first reject *)
         Alcotest.(check (list (pair string int))) "typed reject tally"
-          [ ("bad_request", 1) ] rejects
+          [
+            ("bad_request", 1); ("draining", 0); ("overloaded", 0); ("quota", 0);
+            ("rate_limited", 0); ("unknown_id", 0);
+          ]
+          rejects
       | r -> Alcotest.failf "stats after submits: %s" (Wire.encode_response r))
 
 (* duplicate submissions: the same idempotency key must come back with
