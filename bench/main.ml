@@ -1543,6 +1543,224 @@ let serve_bench () =
     exit 1
   end
 
+(* Cluster scaling: the same closed-loop campaign sharded by an
+   in-process eduroute router over 1 / 2 / 4 real eduserved replica
+   processes (one worker each, cold caches) -> BENCH_cluster.json with
+   per-level wall time, throughput, latency percentiles, per-replica
+   routing spread, and speedup over the single-replica level. The
+   recorded core count keeps the numbers honest: on a one-core box the
+   replicas time-slice one CPU and the speedup stays ~1; the point of
+   the level sweep there is that sharding adds no cliff, not that it
+   multiplies throughput. Needs the daemon executable on disk; pass
+   --daemon PATH to override the default _build location. *)
+let cluster_bench () =
+  banner "CLUSTER"
+    "sharded service scaling: 1/2/4 eduserved replicas behind eduroute -> \
+     BENCH_cluster.json";
+  let module Spec = Educhip_cluster.Spec in
+  let module Router = Educhip_cluster.Router in
+  let daemon =
+    let rec find i =
+      if i >= Array.length Sys.argv - 1 then None
+      else if Sys.argv.(i) = "--daemon" then Some Sys.argv.(i + 1)
+      else find (i + 1)
+    in
+    Option.value (find 1) ~default:"_build/default/bin/eduserved.exe"
+  in
+  if not (Sys.file_exists daemon) then begin
+    Printf.eprintf
+      "cluster: daemon %s not found (build it with `dune build bin/eduserved.exe` or \
+       pass --daemon PATH)\n"
+      daemon;
+    exit 1
+  end;
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  let root = Filename.concat (Filename.get_temp_dir_name ()) "educhip-bench-cluster" in
+  rm_rf root;
+  Unix.mkdir root 0o755;
+  let specs =
+    [
+      ("counter", "open", "uni-a");
+      ("gray8", "open", "course");
+      ("lfsr16", "teaching", "uni-a");
+      ("adder8", "open", "course");
+      ("mult4", "open", "uni-a");
+      ("popcount16", "teaching", "course");
+    ]
+  in
+  let jobs_per_level = 24 in
+  let clients = 8 in
+  let start_replica ~level name =
+    let socket = Filename.concat root (Printf.sprintf "%s-n%d.sock" name level) in
+    let log = Filename.concat root (Printf.sprintf "%s-n%d.log" name level) in
+    let args =
+      [|
+        daemon; "--socket"; socket; "--workers"; "1";
+        "--cache-dir"; Filename.concat root (Printf.sprintf "cache-%s-n%d" name level);
+        "--max-queue"; "1024";
+        "--basic-rate"; "100000"; "--basic-burst"; "100000";
+        "--basic-inflight"; "1024";
+      |]
+    in
+    let log_fd = Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+    let null = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+    let pid =
+      Fun.protect
+        ~finally:(fun () ->
+          Unix.close null;
+          Unix.close log_fd)
+        (fun () -> Unix.create_process daemon args null log_fd log_fd)
+    in
+    (name, socket, pid)
+  in
+  let wait_ready (_, socket, _) =
+    let t0 = Mclock.now_ms () in
+    let rec loop () =
+      match Client.connect_unix socket with
+      | c -> Client.close c
+      | exception (Unix.Unix_error _ | Sys_error _) ->
+        if Mclock.elapsed_ms t0 > 60_000.0 then
+          failwith ("cluster: replica " ^ socket ^ " not ready in time")
+        else begin
+          Thread.delay 0.05;
+          loop ()
+        end
+    in
+    loop ()
+  in
+  let stop_replica (_, socket, pid) =
+    (try
+       let c = Client.connect_unix socket in
+       ignore (Client.request c Wire.Drain);
+       Client.close c
+     with Unix.Unix_error _ | Sys_error _ -> ());
+    try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+  in
+  let run_level n_replicas =
+    let replicas =
+      List.init n_replicas (fun i -> start_replica ~level:n_replicas (Printf.sprintf "r%d" (i + 1)))
+    in
+    List.iter wait_ready replicas;
+    let cspec =
+      {
+        Spec.default with
+        Spec.replicas = List.map (fun (name, socket, _) -> (name, socket)) replicas;
+      }
+    in
+    let router = Router.create (Router.config cspec) in
+    let router_socket = Filename.concat root (Printf.sprintf "eduroute-n%d.sock" n_replicas) in
+    let listen_fd = Server.listen_unix ~path:router_socket in
+    let serve_thread = Thread.create (fun () -> Router.serve router listen_fd) () in
+    let mutex = Mutex.create () in
+    let latencies = ref [] in
+    let completed = ref 0 in
+    let next = ref 0 in
+    (* a level-unique fault seed on every submission keeps each job a
+       real cold execution — this arm measures flow scaling, not warm
+       cache serves *)
+    let take_spec () =
+      Mutex.protect mutex (fun () ->
+          if !next >= jobs_per_level then None
+          else begin
+            let i = !next in
+            incr next;
+            Some (List.nth specs (i mod List.length specs), (1000 * n_replicas) + i)
+          end)
+    in
+    let client_loop () =
+      let c = Client.connect_unix router_socket in
+      let rec drive () =
+        match take_spec () with
+        | None -> ()
+        | Some ((design, preset, tenant), fault_seed) ->
+          let spec = { (Wire.submit ~tenant design) with Wire.preset; fault_seed } in
+          let t0 = Mclock.now_ms () in
+          (match Client.submit c spec with
+          | Ok (Wire.Accepted { id; _ }) -> (
+            match Client.await c id with
+            | Ok (Wire.Job_result _) ->
+              let ms = Mclock.elapsed_ms t0 in
+              Mutex.protect mutex (fun () ->
+                  latencies := ms :: !latencies;
+                  incr completed)
+            | _ -> ())
+          | _ -> ());
+          drive ()
+      in
+      drive ();
+      Client.close c
+    in
+    let t0 = Mclock.now_ms () in
+    let threads = List.init clients (fun _ -> Thread.create client_loop ()) in
+    List.iter Thread.join threads;
+    let wall_ms = Mclock.elapsed_ms t0 in
+    let spread =
+      match Router.handle router Wire.Cluster_status with
+      | Wire.Cluster_report { replicas } ->
+        List.map (fun r -> (r.Wire.r_name, r.Wire.r_routed)) replicas
+      | _ -> []
+    in
+    let c = Client.connect_unix router_socket in
+    ignore (Client.request c Wire.Drain);
+    Client.close c;
+    Thread.join serve_thread;
+    Router.stop router;
+    Unix.close listen_fd;
+    if Sys.file_exists router_socket then Sys.remove router_socket;
+    List.iter stop_replica replicas;
+    let completed = !completed in
+    let throughput = float_of_int completed /. (wall_ms /. 1000.0) in
+    let pct p = if !latencies = [] then 0.0 else Stats.percentile p !latencies in
+    let p50 = pct 50.0 and p99 = pct 99.0 in
+    Printf.printf
+      "%d replica%s  %2d/%d jobs  %8.1f ms wall  %5.2f jobs/s  p50 %7.1f ms  p99 %7.1f \
+       ms  spread %s\n%!"
+      n_replicas
+      (if n_replicas = 1 then " " else "s")
+      completed jobs_per_level wall_ms throughput p50 p99
+      (String.concat " "
+         (List.map (fun (name, routed) -> Printf.sprintf "%s=%d" name routed) spread));
+    (wall_ms, throughput, completed, p50, p99, spread)
+  in
+  let levels = List.map (fun n -> (n, run_level n)) [ 1; 2; 4 ] in
+  let base_tp =
+    match levels with (_, (_, tp, _, _, _, _)) :: _ -> tp | [] -> 0.0
+  in
+  let level_json (n, (wall_ms, tp, completed, p50, p99, spread)) =
+    Jsonout.Obj
+      [
+        ("replicas", Jsonout.Int n);
+        ("jobs", Jsonout.Int completed);
+        ("wall_ms", Jsonout.Float wall_ms);
+        ("throughput_jobs_per_s", Jsonout.Float tp);
+        ("latency_p50_ms", Jsonout.Float p50);
+        ("latency_p99_ms", Jsonout.Float p99);
+        ( "speedup_vs_1",
+          Jsonout.Float (if base_tp > 0.0 then tp /. base_tp else 0.0) );
+        ( "routed",
+          Jsonout.Obj (List.map (fun (name, n) -> (name, Jsonout.Int n)) spread) );
+      ]
+  in
+  Jsonout.write_file ~path:"BENCH_cluster.json"
+    (Jsonout.Obj
+       [
+         ("cores", Jsonout.Int (Sched.default_workers ()));
+         ("jobs_per_level", Jsonout.Int jobs_per_level);
+         ("clients", Jsonout.Int clients);
+         ("distinct_specs", Jsonout.Int (List.length specs));
+         ("levels", Jsonout.List (List.map level_json levels));
+       ]);
+  rm_rf root;
+  Printf.printf "wrote BENCH_cluster.json (%d jobs per level, %d cores)\n" jobs_per_level
+    (Sched.default_workers ())
+
 (* Chaos campaign: SIGKILL a real eduserved mid-campaign and score the
    recovery, once with --journal and once without (the control arm) ->
    BENCH_chaos.json. Needs the daemon executable on disk; pass
@@ -1628,6 +1846,11 @@ let () =
   let chaos_only = Array.exists (fun a -> a = "--chaos") Sys.argv in
   if chaos_only then begin
     chaos_bench ();
+    exit 0
+  end;
+  let cluster_only = Array.exists (fun a -> a = "--cluster") Sys.argv in
+  if cluster_only then begin
+    cluster_bench ();
     exit 0
   end;
   let batch_only = Array.exists (fun a -> a = "--batch") Sys.argv in

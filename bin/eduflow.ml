@@ -1667,6 +1667,99 @@ let alerts_cmd =
     (Cmd.info "alerts" ~doc ~man)
     Term.(const run_alerts $ alerts_log_arg $ alerts_history_arg $ alerts_check_arg)
 
+(* {1 Cluster administration: status / drain against an eduroute router} *)
+
+let router_socket_arg =
+  Arg.(
+    value & opt string "/tmp/eduroute.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket of the eduroute router.")
+
+let print_cluster_table (replicas : Wire.replica_info list) =
+  Printf.printf "%-12s %-28s %-9s %7s %6s %5s %6s %5s\n" "REPLICA" "ADDR" "STATE"
+    "ROUTED" "QUEUE" "RUN" "DONE" "FAIL";
+  List.iter
+    (fun (r : Wire.replica_info) ->
+      let state =
+        if r.Wire.r_removed then "removed"
+        else if r.Wire.r_draining then "draining"
+        else if r.Wire.r_up then "up"
+        else "down"
+      in
+      Printf.printf "%-12s %-28s %-9s %7d %6d %5d %6d %5d\n" r.Wire.r_name
+        r.Wire.r_addr state r.Wire.r_routed r.Wire.r_queue_depth r.Wire.r_running
+        r.Wire.r_completed r.Wire.r_failed)
+    replicas
+
+let run_cluster_status socket connect =
+  let c = service_client ~connect_timeout_ms:3000.0 socket connect in
+  match Client.request c Wire.Cluster_status with
+  | Ok (Wire.Cluster_report { replicas }) -> print_cluster_table replicas
+  | Ok (Wire.Rejected { reason; retry_after_ms }) ->
+    print_rejection reason retry_after_ms;
+    Printf.eprintf "(cluster verbs need an eduroute router, not a bare eduserved)\n";
+    exit 6
+  | Ok other ->
+    Printf.eprintf "unexpected response: %s\n" (Wire.encode_response other);
+    exit 1
+  | Error msg ->
+    Printf.eprintf "cluster status failed: %s\n" msg;
+    exit 1
+
+let run_cluster_drain socket connect name =
+  (* no read deadline: the router answers only once every in-flight job
+     on the replica is terminal and stashed *)
+  let c = service_client ~connect_timeout_ms:3000.0 socket connect in
+  match Client.request c (Wire.Drain_replica name) with
+  | Ok (Wire.Cluster_report { replicas }) ->
+    Printf.printf "replica %s drained: jobs finished, results stashed, ring remapped\n"
+      name;
+    print_cluster_table replicas
+  | Ok (Wire.Rejected { reason; retry_after_ms }) ->
+    print_rejection reason retry_after_ms;
+    exit 6
+  | Ok other ->
+    Printf.eprintf "unexpected response: %s\n" (Wire.encode_response other);
+    exit 1
+  | Error msg ->
+    Printf.eprintf "drain failed: %s\n" msg;
+    exit 1
+
+let cluster_replica_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"REPLICA" ~doc:"Replica name from the cluster spec.")
+
+let cluster_cmd =
+  let doc = "inspect and administer an eduroute replica cluster" in
+  let status =
+    let doc = "show the router's membership table (liveness, routing counts)" in
+    Cmd.v
+      (Cmd.info "status" ~doc)
+      Term.(const run_cluster_status $ router_socket_arg $ connect_arg)
+  in
+  let drain =
+    let doc = "rolling-drain one replica: finish its jobs, remap its ring segment" in
+    let man =
+      [
+        `S Manpage.s_description;
+        `P
+          "Asks the router to take $(b,REPLICA) out of service without losing a \
+           job: new submissions immediately route to the ring successors, every \
+           job already placed on the replica is waited to completion (terminal \
+           results are stashed router-side and stay fetchable), then the replica \
+           process itself is drained and its ring segment remapped. Blocks until \
+           done; exit 6 if the router refuses (unknown name, already drained, or \
+           the replica is unreachable and its jobs cannot be proven terminal).";
+      ]
+    in
+    Cmd.v
+      (Cmd.info "drain" ~doc ~man)
+      Term.(const run_cluster_drain $ router_socket_arg $ connect_arg $ cluster_replica_arg)
+  in
+  Cmd.group (Cmd.info "cluster" ~doc) [ status; drain ]
+
 let () =
   (* a served peer can vanish mid-request (daemon restart, drain); that
      must surface as a transport error on the one connection, not a
@@ -1682,7 +1775,7 @@ let () =
     let commands =
       [
         "run"; "list"; "nodes"; "fpga"; "report"; "compare"; "batch"; "submit";
-        "status"; "result"; "top"; "mon"; "alerts";
+        "status"; "result"; "top"; "mon"; "alerts"; "cluster";
       ]
     in
     if
@@ -1698,4 +1791,5 @@ let () =
           [
             run_cmd; list_cmd; nodes_cmd; fpga_cmd; report_cmd; compare_cmd; batch_cmd;
             submit_cmd; status_cmd; result_cmd; top_cmd; mon_cmd; alerts_cmd;
+            cluster_cmd;
           ]))

@@ -1,0 +1,203 @@
+module Wire = Educhip_serve.Wire
+module Slo = Educhip_obs.Slo
+
+let merge_health rows =
+  let uptime = ref 0.0 in
+  let queue_depth = ref 0 and running = ref 0 in
+  let completed = ref 0 and failed = ref 0 and workers = ref 0 in
+  let reporting = ref 0 and all_draining = ref true in
+  List.iter
+    (fun (_, resp) ->
+      match resp with
+      | Wire.Health_report h ->
+        incr reporting;
+        uptime := Float.max !uptime h.uptime_ms;
+        queue_depth := !queue_depth + h.queue_depth;
+        running := !running + h.running;
+        completed := !completed + h.completed;
+        failed := !failed + h.failed;
+        workers := !workers + h.workers;
+        if not h.draining then all_draining := false
+      | _ -> ())
+    rows;
+  Wire.Health_report
+    {
+      uptime_ms = !uptime;
+      queue_depth = !queue_depth;
+      running = !running;
+      completed = !completed;
+      failed = !failed;
+      draining = !reporting > 0 && !all_draining;
+      workers = !workers;
+    }
+
+(* {1 Stats merging} *)
+
+(* sum assoc tallies, emitting the canonical reasons first so the
+   merged report pre-registers zeros exactly like a single server *)
+let merge_rejects tallies =
+  let tbl = Hashtbl.create 8 in
+  let extra_order = ref [] in
+  List.iter
+    (List.iter (fun (reason, n) ->
+         match Hashtbl.find_opt tbl reason with
+         | Some prev -> Hashtbl.replace tbl reason (prev + n)
+         | None ->
+           Hashtbl.add tbl reason n;
+           if not (List.mem reason Wire.reject_reason_names) then
+             extra_order := reason :: !extra_order))
+    tallies;
+  let row reason = (reason, Option.value (Hashtbl.find_opt tbl reason) ~default:0) in
+  List.map row Wire.reject_reason_names @ List.rev_map row !extra_order
+
+let merge_tenants lists =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (List.iter (fun (ts : Wire.tenant_stats) ->
+         match Hashtbl.find_opt tbl ts.tenant with
+         | None -> Hashtbl.add tbl ts.tenant ts
+         | Some prev ->
+           Hashtbl.replace tbl ts.tenant
+             {
+               prev with
+               inflight = prev.inflight + ts.inflight;
+               completed_n = prev.completed_n + ts.completed_n;
+               failed_n = prev.failed_n + ts.failed_n;
+               p50_ms = Float.max prev.p50_ms ts.p50_ms;
+               p99_ms = Float.max prev.p99_ms ts.p99_ms;
+             }))
+    lists;
+  Hashtbl.fold (fun _ ts acc -> ts :: acc) tbl []
+  |> List.sort (fun (a : Wire.tenant_stats) b -> compare a.tenant b.tenant)
+
+let merge_slo_reports reports =
+  let order = ref [] in
+  let by_tier = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Slo.report) ->
+      match Hashtbl.find_opt by_tier r.tier with
+      | None ->
+        Hashtbl.add by_tier r.tier r;
+        order := r.tier :: !order
+      | Some (prev : Slo.report) ->
+        let samples = prev.samples + r.samples in
+        let ok_rate =
+          (* weighted by window occupancy; two empty windows stay the
+             empty-window report's full-health 1.0 *)
+          if samples = 0 then 1.0
+          else
+            ((prev.ok_rate *. float_of_int prev.samples)
+            +. (r.ok_rate *. float_of_int r.samples))
+            /. float_of_int samples
+        in
+        Hashtbl.replace by_tier r.tier
+          {
+            prev with
+            samples;
+            ok_rate;
+            p50_ms = Float.max prev.p50_ms r.p50_ms;
+            p99_ms = Float.max prev.p99_ms r.p99_ms;
+            latency_budget = Float.min prev.latency_budget r.latency_budget;
+            success_budget = Float.min prev.success_budget r.success_budget;
+            burn_rate = Float.max prev.burn_rate r.burn_rate;
+          })
+    reports;
+  List.rev_map (Hashtbl.find by_tier) !order
+
+let merge_stats rows =
+  let uptime = ref 0.0 in
+  let queue_depth = ref 0 and running = ref 0 in
+  let completed = ref 0 and failed = ref 0 in
+  let rejects = ref [] and tenants = ref [] and slos = ref [] in
+  List.iter
+    (fun (_, resp) ->
+      match resp with
+      | Wire.Stats_report s ->
+        uptime := Float.max !uptime s.uptime_ms;
+        queue_depth := !queue_depth + s.queue_depth;
+        running := !running + s.running;
+        completed := !completed + s.completed;
+        failed := !failed + s.failed;
+        rejects := s.rejects :: !rejects;
+        tenants := s.tenants :: !tenants;
+        slos := s.slos @ !slos
+      | _ -> ())
+    rows;
+  Wire.Stats_report
+    {
+      uptime_ms = !uptime;
+      queue_depth = !queue_depth;
+      running = !running;
+      completed = !completed;
+      failed = !failed;
+      rejects = merge_rejects (List.rev !rejects);
+      tenants = merge_tenants (List.rev !tenants);
+      slos = merge_slo_reports (List.rev !slos);
+    }
+
+(* {1 Exposition merging} *)
+
+(* same charset as [Scrape.parse_exposition]: prometheus names plus '.' *)
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':' || c = '.'
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let tag_sample ~target line =
+  let n = String.length line in
+  let rec name_end i = if i < n && is_name_char line.[i] then name_end (i + 1) else i in
+  let nend = name_end 0 in
+  if nend = 0 then line
+  else begin
+    let tag = Printf.sprintf "target=\"%s\"" (escape_label_value target) in
+    if nend < n && line.[nend] = '{' then begin
+      (* existing label set: splice the tag in front, with a comma
+         unless the set is empty *)
+      let rec next_solid i =
+        if i < n && (line.[i] = ' ' || line.[i] = '\t') then next_solid (i + 1) else i
+      in
+      let sep = if next_solid (nend + 1) < n && line.[next_solid (nend + 1)] = '}' then "" else "," in
+      String.sub line 0 (nend + 1) ^ tag ^ sep ^ String.sub line (nend + 1) (n - nend - 1)
+    end
+    else String.sub line 0 nend ^ "{" ^ tag ^ "}" ^ String.sub line nend (n - nend)
+  end
+
+let merge_expositions parts =
+  let buf = Buffer.create 1024 in
+  let seen_types = Hashtbl.create 16 in
+  List.iter
+    (fun (replica, text) ->
+      List.iter
+        (fun line ->
+          let trimmed = String.trim line in
+          if trimmed = "" then ()
+          else if trimmed.[0] = '#' then begin
+            if
+              String.starts_with ~prefix:"# TYPE " trimmed
+              && not (Hashtbl.mem seen_types trimmed)
+            then begin
+              Hashtbl.add seen_types trimmed ();
+              Buffer.add_string buf trimmed;
+              Buffer.add_char buf '\n'
+            end
+          end
+          else begin
+            Buffer.add_string buf (tag_sample ~target:replica line);
+            Buffer.add_char buf '\n'
+          end)
+        (String.split_on_char '\n' text))
+    parts;
+  Buffer.contents buf

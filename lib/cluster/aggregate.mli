@@ -1,0 +1,58 @@
+(** Cluster-wide views from per-replica answers — the merge half of the
+    router.
+
+    A router proxying [health] / [stats] / [metrics] must answer with
+    {e one} report for the whole cluster, built from whatever each
+    replica said. These are the pure merge functions: they take
+    [(replica_name, answer)] rows and fold them, with no sockets and no
+    state, so the exact semantics — what sums, what maxes, what stays
+    conservative — are pinned by unit tests rather than implied by the
+    router's plumbing.
+
+    Merge stance: {b counts sum, latencies max, budgets min}. A merged
+    p99 is the worst replica's p99, a merged SLO budget is the most
+    spent one — the aggregate never looks healthier than its sickest
+    member, so an operator alerting on the cluster view fires no later
+    than one alerting per replica. *)
+
+val merge_health :
+  (string * Educhip_serve.Wire.response) list -> Educhip_serve.Wire.response
+(** Fold the [Health_report] rows (other responses are ignored) into
+    one: queue depth, running, completed, failed, and workers sum;
+    uptime is the max (the cluster has been up as long as its oldest
+    member); [draining] only when every reporting replica drains. No
+    rows at all yields the all-zero report. *)
+
+val merge_stats :
+  (string * Educhip_serve.Wire.response) list -> Educhip_serve.Wire.response
+(** Fold the [Stats_report] rows into one: top-line counts sum; reject
+    tallies sum by reason (reasons keep {!Educhip_serve.Wire.reject_reason_names}
+    order, unknown reasons append); per-tenant rows merge by tenant
+    name (counts sum, percentiles max) and come back sorted by tenant
+    like a single server's; SLO reports merge per
+    {!merge_slo_reports}. *)
+
+val merge_slo_reports :
+  Educhip_obs.Slo.report list -> Educhip_obs.Slo.report list
+(** Group by tier (first-seen order) and merge conservatively:
+    [samples] sum, [p50_ms]/[p99_ms]/[burn_rate] max,
+    [latency_budget]/[success_budget] min, [ok_rate] weighted by each
+    window's sample count (1.0 when all windows are empty), objective
+    from the first row of the tier. *)
+
+val tag_sample : target:string -> string -> string
+(** Inject [target="<name>"] as the first label of one exposition
+    sample line, preserving the line's value formatting byte-for-byte
+    ([name{a="b"} 4.2] → [name{target="...",a="b"} 4.2], [name 4.2] →
+    [name{target="..."} 4.2]). Lines that don't start with a metric
+    name pass through unchanged. The label value is escaped
+    (backslash, quote, newline) per the text format. *)
+
+val merge_expositions : (string * string) list -> string
+(** Merge [(replica_name, prometheus_text)] expositions into one:
+    every sample line is tagged with its replica via {!tag_sample}
+    (the same series from two replicas stays two series — the seam
+    {!Educhip_mon.Scrape} preserves via its [instance] relabeling when
+    a monitor scrapes the router in turn), [# TYPE] lines are kept
+    once each (first replica wins, and precedes the family's first
+    sample by construction), other comments and blank lines drop. *)

@@ -1,0 +1,99 @@
+type t = {
+  members : string list;  (* creation order *)
+  vnodes : int;
+  seed : int;
+  points : (int * string) array;  (* sorted by position *)
+}
+
+let default_vnodes = 64
+
+(* Position on the ring: the first 8 bytes of an MD5, folded into a
+   non-negative OCaml int. MD5 is already in the stdlib ([Digest]), is
+   uniform enough for placement, and — unlike [Hashtbl.hash] — has no
+   depth/width truncation that would make distinct long keys collide
+   systematically. The seed prefixes every hash, so two rings with
+   different seeds produce unrelated layouts. *)
+let position ~seed s =
+  let d = Digest.string (Printf.sprintf "%d\x00%s" seed s) in
+  let byte i = Char.code d.[i] in
+  let h = ref 0 in
+  for i = 0 to 7 do
+    h := (!h lsl 8) lor byte i
+  done;
+  !h land max_int
+
+let point_key name i = Printf.sprintf "%s\x01%d" name i
+
+let build ~vnodes ~seed members =
+  let points =
+    List.concat_map
+      (fun name -> List.init vnodes (fun i -> (position ~seed (point_key name i), name)))
+      members
+    |> Array.of_list
+  in
+  (* ties broken by member name so the layout is a pure function of
+     (members, vnodes, seed), independent of insertion order *)
+  Array.sort compare points;
+  { members; vnodes; seed; points }
+
+let create ?(vnodes = default_vnodes) ?(seed = 1) members =
+  if members = [] then invalid_arg "Ring.create: no members";
+  if vnodes < 1 then invalid_arg (Printf.sprintf "Ring.create: vnodes must be >= 1, got %d" vnodes);
+  List.iteri
+    (fun i m ->
+      if m = "" then invalid_arg "Ring.create: empty member name";
+      List.iteri
+        (fun j other -> if i < j && m = other then
+            invalid_arg (Printf.sprintf "Ring.create: duplicate member %S" m))
+        members)
+    members;
+  build ~vnodes ~seed members
+
+let members t = t.members
+let vnodes t = t.vnodes
+let seed t = t.seed
+
+(* index of the first point at or after [pos], wrapping to 0 *)
+let successor_index t pos =
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  (* binary search for the leftmost point with position >= pos *)
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst t.points.(mid) >= pos then hi := mid else lo := mid + 1
+  done;
+  if !lo = n then 0 else !lo
+
+let lookup t key =
+  let i = successor_index t (position ~seed:t.seed key) in
+  snd t.points.(i)
+
+let successors t key =
+  let n = Array.length t.points in
+  let start = successor_index t (position ~seed:t.seed key) in
+  let seen = Hashtbl.create 8 in
+  let order = ref [] in
+  (try
+     for k = 0 to n - 1 do
+       let name = snd t.points.((start + k) mod n) in
+       if not (Hashtbl.mem seen name) then begin
+         Hashtbl.add seen name ();
+         order := name :: !order;
+         if Hashtbl.length seen = List.length t.members then raise Exit
+       end
+     done
+   with Exit -> ());
+  List.rev !order
+
+let add t name =
+  if name = "" then invalid_arg "Ring.add: empty member name";
+  if List.mem name t.members then
+    invalid_arg (Printf.sprintf "Ring.add: member %S already present" name);
+  build ~vnodes:t.vnodes ~seed:t.seed (t.members @ [ name ])
+
+let remove t name =
+  if not (List.mem name t.members) then
+    invalid_arg (Printf.sprintf "Ring.remove: no member %S" name);
+  match List.filter (fun m -> m <> name) t.members with
+  | [] -> invalid_arg "Ring.remove: cannot remove the last member"
+  | rest -> build ~vnodes:t.vnodes ~seed:t.seed rest

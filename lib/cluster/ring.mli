@@ -1,0 +1,62 @@
+(** Seeded consistent-hash ring: the placement function of the cluster.
+
+    The router shards submissions across [eduserved] replicas by cache
+    key, and the sharding must have two properties a plain
+    [hash mod n] lacks:
+
+    - {b affinity}: the same key always lands on the same replica, so a
+      resubmission of a design the cluster has already run hits that
+      replica's warm result cache instead of recomputing on another;
+    - {b minimal remap}: when a replica joins or leaves (rolling drain,
+      failover), only the departing/joining replica's segment of the key
+      space moves — every other key keeps its home, and with it its
+      cache affinity.
+
+    Classic consistent hashing delivers both: each member is hashed to
+    [vnodes] points on a ring (virtual nodes flatten the per-member
+    share toward fair), and a key belongs to the first member point at
+    or after its own hash, wrapping around. Hashes are MD5-based and
+    {b seeded} — two routers built with the same seed and member list
+    agree on every placement, and a test can pin exact layouts.
+
+    Values are immutable: {!add} and {!remove} return new rings, which
+    is what makes the remap property testable ("only the removed
+    member's keys moved") and lets the router swap rings atomically
+    under its lock. *)
+
+type t
+
+val default_vnodes : int
+(** [64] — enough to keep the max/fair share deviation bounded for
+    single-digit replica counts (the qcheck suite pins the bound). *)
+
+val create : ?vnodes:int -> ?seed:int -> string list -> t
+(** A ring over the given member names (seed defaults to 1).
+    @raise Invalid_argument on an empty list, duplicate names, an empty
+    name, or [vnodes < 1]. *)
+
+val members : t -> string list
+(** In creation order. *)
+
+val vnodes : t -> int
+val seed : t -> int
+
+val lookup : t -> string -> string
+(** The member owning [key]: the first member point clockwise of the
+    key's hash. *)
+
+val successors : t -> string -> string list
+(** Every member, deduplicated, in ring order starting from [key]'s
+    owner — the failover order for a submission: if the owner is down
+    or draining, the next distinct member on the ring takes the key
+    (and, by the same walk, the drained owner's whole segment). *)
+
+val add : t -> string -> t
+(** Ring with one more member. @raise Invalid_argument if already
+    present (or empty). *)
+
+val remove : t -> string -> t
+(** Ring without the member — the remap a rolling drain commits once
+    the replica's inflight jobs are finished.
+    @raise Invalid_argument if not present or if it is the last
+    member. *)

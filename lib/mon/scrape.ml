@@ -182,13 +182,31 @@ let parse_exposition text =
              Some (name, labels, kind, v)
            | Some _ -> None)
 
+(* A scraped series may itself carry a [target] label — a router's
+   merged exposition does, one per replica. Stacking the poller's own
+   tag in front would shadow the original ([Tsdb] keys series by the
+   full label set, but readers take the first match), so the incoming
+   label is preserved under [instance] — or [exported_target] if the
+   series already spends [instance] — before the poller's [target] is
+   prepended. *)
+let relabel ~target labels =
+  let renamed =
+    List.map
+      (fun (k, v) ->
+        if k = "target" then
+          ((if List.mem_assoc "instance" labels then "exported_target" else "instance"), v)
+        else (k, v))
+      labels
+  in
+  ("target", target) :: renamed
+
 (* {1 Ticking} *)
 
 type tick_result = { target : string; ok : bool; error : string option; samples : int }
 
 let scrape_target t tgt ~now_ms ~count =
   let rec_ ?(labels = []) ~kind name v =
-    let labels = ("target", tgt.target_name) :: labels in
+    let labels = relabel ~target:tgt.target_name labels in
     if Tsdb.record t.tsdb ~labels ~kind ~t_ms:now_ms name v then incr count
   in
   let conn =

@@ -97,3 +97,12 @@ val parse_exposition :
     families keep their [quantile] label). Unparseable lines and
     non-finite values are skipped, never fatal — a scraper must survive
     a newer daemon's exposition. Exposed for the test suite. *)
+
+val relabel :
+  target:string -> (string * string) list -> (string * string) list
+(** The label set a sample is recorded under: the poller's
+    [("target", target)] prepended, with any {e incoming} [target]
+    label — e.g. the per-replica tags in a router's merged exposition —
+    preserved as [instance] ([exported_target] if the series already
+    uses [instance]) instead of being shadowed. Exposed so the suite
+    can pin the collision behavior without a live scrape. *)

@@ -101,16 +101,20 @@ type retry_policy = { attempts : int; base_ms : float; cap_ms : float; seed : in
 
 let default_retry_policy = { attempts = 4; base_ms = 50.0; cap_ms = 2000.0; seed = 1 }
 
-(* Capped exponential backoff with deterministic jitter: delay i is
-   min(cap, base * 2^i) scaled by a factor in [0.5, 1.0) drawn from a
-   [Rng] stream seeded by the policy — no wall-clock randomness, so a
-   given policy always produces the same schedule (testable, and two
-   clients with different seeds still de-synchronize). *)
+(* Capped exponential backoff with deterministic full jitter: delay i
+   is drawn uniformly from [0, min(cap, base * 2^i)) out of a [Rng]
+   stream seeded by the policy. Full jitter, not the earlier
+   [0.5, 1.0) x full equal jitter: with a floor of half the nominal
+   delay, a fleet of clients knocked over by the same outage retries
+   inside the same half-window and re-collides every round, while the
+   full range spreads attempts across the whole window. No wall-clock
+   randomness — a given policy always produces the same schedule
+   (testable, and two clients with different seeds de-synchronize). *)
 let backoff_schedule policy =
   let rng = Rng.create ~seed:policy.seed in
   List.init (max 0 policy.attempts) (fun i ->
       let full = Float.min policy.cap_ms (policy.base_ms *. (2.0 ** float_of_int i)) in
-      full *. (0.5 +. Rng.float rng 0.5))
+      Rng.float rng full)
 
 let connect_result connect =
   match connect () with

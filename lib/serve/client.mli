@@ -67,9 +67,10 @@ val default_retry_policy : retry_policy
 (** 4 retries, 50 ms base, 2 s cap, seed 1. *)
 
 val backoff_schedule : retry_policy -> float list
-(** The exact delays (ms) a policy will sleep between attempts:
-    [min cap_ms (base_ms * 2^i)] scaled by a jitter factor in
-    [\[0.5, 1.0)] drawn from [Rng.create ~seed]. Exposed so tests can
+(** The exact delays (ms) a policy will sleep between attempts: drawn
+    uniformly from [\[0, min cap_ms (base_ms * 2^i))] — {e full}
+    jitter, so simultaneous failures don't re-synchronize on a shared
+    half-delay floor — out of [Rng.create ~seed]. Exposed so tests can
     assert determinism and the cap without sleeping. *)
 
 val request_with_retry :

@@ -479,19 +479,23 @@ let validate_spec (s : Wire.submit_spec) =
                   Option.value s.Wire.retries ~default:Manifest.default_job.Manifest.retries;
               })))
 
+(* The content-addressed identity of a validated job — the result-cache
+   key, and (because equal keys mean bit-identical results) the routing
+   key a cluster router shards submissions by. *)
+let job_key (job : Manifest.job) =
+  let netlist = Designs.netlist (Designs.find job.Manifest.design) in
+  let node = Pdk.find_node job.Manifest.node in
+  let cfg = Flow.config ~node ?clock_period_ps:job.Manifest.clock_ps job.Manifest.preset in
+  Cache.job_key ~netlist ~cfg ~inject:job.Manifest.inject
+    ~fault_seed:job.Manifest.fault_seed ~retries:job.Manifest.retries
+
 (* Probe the result cache at admission: a warm submit is finished on the
    spot — no queue slot, no worker, no inflight charge. *)
 let cached_result t (job : Manifest.job) =
   match t.cfg.cache with
   | None -> None
   | Some cache ->
-    let netlist = Designs.netlist (Designs.find job.Manifest.design) in
-    let node = Pdk.find_node job.Manifest.node in
-    let cfg = Flow.config ~node ?clock_period_ps:job.Manifest.clock_ps job.Manifest.preset in
-    let key =
-      Cache.job_key ~netlist ~cfg ~inject:job.Manifest.inject
-        ~fault_seed:job.Manifest.fault_seed ~retries:job.Manifest.retries
-    in
+    let key = job_key job in
     Option.map
       (fun (e : Cache.entry) ->
         {
@@ -791,6 +795,14 @@ let handle t (req : Wire.request) =
         t.draining <- true;
         Condition.broadcast t.work;
         Wire.Drain_ack { pending = t.queued + t.running })
+  | Wire.Cluster_status | Wire.Drain_replica _ ->
+    (* router-only admin surface: a single replica has no membership
+       table, so answer typed rather than pretending to be a cluster *)
+    Wire.Rejected
+      {
+        reason = Wire.Bad_request "router-only op (this is a single eduserved replica)";
+        retry_after_ms = None;
+      }
 
 (* {1 Recovery} *)
 
@@ -945,6 +957,8 @@ let op_label = function
   | Wire.Metrics -> "metrics"
   | Wire.Stats -> "stats"
   | Wire.Drain -> "drain"
+  | Wire.Cluster_status -> "cluster_status"
+  | Wire.Drain_replica _ -> "drain_replica"
 
 (* Route drain signals to the accept loop: a SIGTERM delivered to a
    thread parked in [Condition.wait] or [input_line] never reaches an

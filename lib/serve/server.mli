@@ -144,6 +144,40 @@ val handle : t -> Wire.request -> Wire.response
     SLO window and the tenant's latency sample, which the [stats] verb
     reports. *)
 
+type conn_read = Line of string | Eof | Timed_out | Oversized
+
+val read_request_line :
+  Unix.file_descr ->
+  pending:Buffer.t ->
+  max_bytes:int ->
+  timeout_ms:float option ->
+  conn_read
+(** The bounded, deadline-aware line reader the connection threads use:
+    select for the deadline, read in chunks, carve newline-framed lines
+    out of [pending] (which carries the partial tail between calls —
+    one buffer per connection). Exposed so the cluster router's
+    connection loop inherits the same hygiene — a silent or hostile
+    peer can pin neither a replica's thread nor the router's. *)
+
+val validate_spec :
+  Wire.submit_spec -> (Educhip_sched.Manifest.job, string) result
+(** Elaborate a wire submission into the job it would run: design,
+    node, and preset resolved, fault armings parsed, priority checked.
+    [Error] is the human-readable reason a server answers as
+    [Rejected Bad_request]. Exposed so a cluster router can refuse
+    invalid submissions locally — and compute {!job_key} — without
+    spending a replica round trip. *)
+
+val job_key : Educhip_sched.Manifest.job -> string
+(** The content-addressed identity of a validated job — exactly the
+    result-cache key ({!Educhip_sched.Cache.job_key} over the
+    elaborated netlist, flow config, and fault plan). Two submissions
+    with equal keys produce bit-identical results, which is what makes
+    it the cluster routing key: hashing it onto a replica ring gives
+    every resubmission cache affinity with its first run.
+    @raise Not_found on a job naming an unknown design or node —
+    validate first. *)
+
 val metric_names : string list
 (** Counter families the server reports: [serve.admitted],
     [serve.rejected] (labeled by [reason]), [serve.cache_hits],

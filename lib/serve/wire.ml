@@ -56,6 +56,8 @@ type request =
   | Metrics
   | Stats
   | Drain
+  | Cluster_status
+  | Drain_replica of string
 
 type reject_reason =
   | Overloaded
@@ -101,6 +103,19 @@ type tenant_stats = {
   p99_ms : float;
 }
 
+type replica_info = {
+  r_name : string;
+  r_addr : string;
+  r_up : bool;
+  r_draining : bool;
+  r_removed : bool;
+  r_routed : int;
+  r_queue_depth : int;
+  r_running : int;
+  r_completed : int;
+  r_failed : int;
+}
+
 type response =
   | Accepted of { id : string; tier : string; cached : bool; duplicate : bool }
   | Job_status of { id : string; state : state; verdict : string option }
@@ -135,6 +150,7 @@ type response =
     }
   | Metrics_text of string
   | Drain_ack of { pending : int }
+  | Cluster_report of { replicas : replica_info list }
   | Rejected of { reason : reject_reason; retry_after_ms : float option }
 
 (* {1 JSON helpers} *)
@@ -237,6 +253,12 @@ let encode_request req =
     | Metrics -> [ field "op" (Jsonout.String "metrics") ]
     | Stats -> [ field "op" (Jsonout.String "stats") ]
     | Drain -> [ field "op" (Jsonout.String "drain") ]
+    | Cluster_status -> [ field "op" (Jsonout.String "cluster_status") ]
+    | Drain_replica name ->
+      [
+        field "op" (Jsonout.String "drain_replica");
+        field "replica" (Jsonout.String name);
+      ]
   in
   Jsonout.to_string (versioned body)
 
@@ -317,6 +339,11 @@ let decode_request line =
       | Some "metrics" -> Ok Metrics
       | Some "stats" -> Ok Stats
       | Some "drain" -> Ok Drain
+      | Some "cluster_status" -> Ok Cluster_status
+      | Some "drain_replica" -> (
+        match str "replica" json with
+        | Some name -> Ok (Drain_replica name)
+        | None -> Error "drain_replica: missing replica field")
       | Some other -> Error (Printf.sprintf "unknown op %S" other)))
 
 (* {1 Responses} *)
@@ -395,6 +422,28 @@ let encode_response resp =
       [ field "type" (Jsonout.String "metrics"); field "text" (Jsonout.String text) ]
     | Drain_ack d ->
       [ field "type" (Jsonout.String "drain"); field "pending" (Jsonout.Int d.pending) ]
+    | Cluster_report c ->
+      [
+        field "type" (Jsonout.String "cluster");
+        field "replicas"
+          (Jsonout.List
+             (List.map
+                (fun r ->
+                  Jsonout.Obj
+                    [
+                      ("name", Jsonout.String r.r_name);
+                      ("addr", Jsonout.String r.r_addr);
+                      ("up", Jsonout.Bool r.r_up);
+                      ("draining", Jsonout.Bool r.r_draining);
+                      ("removed", Jsonout.Bool r.r_removed);
+                      ("routed", Jsonout.Int r.r_routed);
+                      ("queue_depth", Jsonout.Int r.r_queue_depth);
+                      ("running", Jsonout.Int r.r_running);
+                      ("completed", Jsonout.Int r.r_completed);
+                      ("failed", Jsonout.Int r.r_failed);
+                    ])
+                c.replicas));
+      ]
     | Rejected r ->
       [
         field "type" (Jsonout.String "rejected");
@@ -511,6 +560,37 @@ let decode_response line =
         | None -> Error "metrics: missing text field")
       | Some "drain" ->
         Ok (Drain_ack { pending = Option.value (int "pending" json) ~default:0 })
+      | Some "cluster" ->
+        Ok
+          (Cluster_report
+             {
+               replicas =
+                 (match Jsonout.member "replicas" json with
+                 | Some (Jsonout.List xs) ->
+                   List.filter_map
+                     (fun r ->
+                       Option.map
+                         (fun r_name ->
+                           {
+                             r_name;
+                             r_addr = Option.value (str "addr" r) ~default:"";
+                             r_up = Option.value (bool "up" r) ~default:false;
+                             r_draining =
+                               Option.value (bool "draining" r) ~default:false;
+                             r_removed =
+                               Option.value (bool "removed" r) ~default:false;
+                             r_routed = Option.value (int "routed" r) ~default:0;
+                             r_queue_depth =
+                               Option.value (int "queue_depth" r) ~default:0;
+                             r_running = Option.value (int "running" r) ~default:0;
+                             r_completed =
+                               Option.value (int "completed" r) ~default:0;
+                             r_failed = Option.value (int "failed" r) ~default:0;
+                           })
+                         (str "name" r))
+                     xs
+                 | _ -> []);
+             })
       | Some "rejected" -> (
         let detail = Option.value (str "detail" json) ~default:"" in
         let retry_after_ms = flt "retry_after_ms" json in

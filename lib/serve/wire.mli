@@ -63,6 +63,16 @@ type request =
   | Metrics  (** Prometheus text exposition of the server's registry *)
   | Stats  (** per-tenant occupancy/latency plus SLO budgets, for [eduflow top] *)
   | Drain  (** finish accepted jobs, refuse new ones, flush, shut down *)
+  | Cluster_status
+      (** router-only: per-replica membership/health table
+          ({!Cluster_report}). A plain [eduserved] answers
+          [Rejected Bad_request] — the op only means something where
+          there are replicas to report on. *)
+  | Drain_replica of string
+      (** router-only: rolling-drain one replica by name — stop routing
+          to it, wait out its inflight jobs, drain it, remap its ring
+          segment. Same admin-surface idea as [Drain], scoped to one
+          member. *)
 
 type reject_reason =
   | Overloaded  (** queue depth at the admission bound — backpressure *)
@@ -94,6 +104,22 @@ type tenant_stats = {
   p50_ms : float;  (** end-to-end latency percentiles over recent jobs *)
   p99_ms : float;
 }
+
+type replica_info = {
+  r_name : string;
+  r_addr : string;
+  r_up : bool;  (** probed successfully within the staleness window *)
+  r_draining : bool;  (** rolling drain in progress: no new routes *)
+  r_removed : bool;  (** drain complete: off the ring, process exited *)
+  r_routed : int;  (** submissions this router sent it (lifetime) *)
+  r_queue_depth : int;  (** from its last health probe; 0 if never up *)
+  r_running : int;
+  r_completed : int;
+  r_failed : int;
+}
+(** One row of a router's {!Cluster_report} — the router's view of a
+    replica, not the replica's self-report: [r_up]/[r_draining] are
+    routing decisions, the counters are the last health snapshot. *)
 
 type response =
   | Accepted of { id : string; tier : string; cached : bool; duplicate : bool }
@@ -138,6 +164,9 @@ type response =
     }
   | Metrics_text of string
   | Drain_ack of { pending : int }  (** jobs still queued or running *)
+  | Cluster_report of { replicas : replica_info list }
+      (** answer to [Cluster_status] and [Drain_replica] (the post-drain
+          table), in spec-file order *)
   | Rejected of { reason : reject_reason; retry_after_ms : float option }
       (** [retry_after_ms]: for [Rate_limited], when the bucket will
           hold a token again *)

@@ -205,9 +205,18 @@ let test_backoff_schedule () =
   List.iteri
     (fun i d ->
       let full = Float.min policy.Client.cap_ms (policy.Client.base_ms *. (2.0 ** float_of_int i)) in
-      check Alcotest.bool (Printf.sprintf "delay %d in [full/2, full]" i) true
-        (d >= (full /. 2.0) -. 1e-9 && d <= full +. 1e-9))
+      (* full jitter: anywhere in [0, full), never above the cap *)
+      check Alcotest.bool (Printf.sprintf "delay %d in [0, full)" i) true
+        (d >= 0.0 && d < full +. 1e-9))
     a;
+  (* the schedule actually uses the low half of the window equal jitter
+     excluded — over 64 attempts at a flat cap, at least one delay must
+     land below full/2 unless the jitter still has the old floor *)
+  let flat = { Client.attempts = 64; base_ms = 100.0; cap_ms = 100.0; seed = 3 } in
+  let low =
+    List.exists (fun d -> d < 50.0) (Client.backoff_schedule flat)
+  in
+  check Alcotest.bool "full jitter reaches below the old half-delay floor" true low;
   let other = Client.backoff_schedule { policy with Client.seed = 10 } in
   check Alcotest.bool "different seed, different jitter" false (a = other)
 

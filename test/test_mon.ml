@@ -445,6 +445,25 @@ let test_exposition_round_trip () =
   check bool_c "tolerant parser keeps the finite sample" true
     (junk = [ ("ok", [], Tsdb.Counter, 2.0) ])
 
+let labels_c = Alcotest.(list (pair string string))
+
+let test_relabel () =
+  (* plain labels just gain the scraper's target *)
+  check labels_c "target prepended"
+    [ ("target", "r1"); ("reason", "overloaded") ]
+    (Scrape.relabel ~target:"r1" [ ("reason", "overloaded") ]);
+  (* a series already carrying target= (e.g. scraped from an eduroute
+     router's merged exposition) keeps it as instance instead of being
+     silently overwritten *)
+  check labels_c "incoming target preserved as instance"
+    [ ("target", "router"); ("instance", "r2"); ("op", "submit") ]
+    (Scrape.relabel ~target:"router" [ ("target", "r2"); ("op", "submit") ]);
+  (* and if instance is taken too, the incoming target survives as
+     exported_target rather than clobbering either *)
+  check labels_c "instance collision falls back to exported_target"
+    [ ("target", "router"); ("instance", "keep"); ("exported_target", "r2") ]
+    (Scrape.relabel ~target:"router" [ ("instance", "keep"); ("target", "r2") ])
+
 let test_target_of_spec () =
   let t = Scrape.target_of_spec "a=/tmp/a.sock" in
   check Alcotest.string "name" "a" t.Scrape.target_name;
@@ -477,5 +496,6 @@ let suite =
     Alcotest.test_case "alertlog round trip" `Quick test_alertlog_round_trip;
     Alcotest.test_case "alertlog file" `Quick test_alertlog_file;
     Alcotest.test_case "exposition round trip" `Quick test_exposition_round_trip;
+    Alcotest.test_case "relabel preserves incoming target" `Quick test_relabel;
     Alcotest.test_case "target specs" `Quick test_target_of_spec;
   ]
