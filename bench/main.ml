@@ -35,6 +35,8 @@ module Mclock = Educhip_util.Mclock
 module Manifest = Educhip_sched.Manifest
 module Cache = Educhip_sched.Cache
 module Sched = Educhip_sched.Sched
+module Artifact = Educhip_artifact.Artifact
+module Astore = Educhip_artifact.Store
 module Wire = Educhip_serve.Wire
 module Ratelimit = Educhip_serve.Ratelimit
 module Server = Educhip_serve.Server
@@ -1837,6 +1839,141 @@ let chaos_bench () =
     exit 1
   end
 
+(* Incremental artifacts: populate a content-addressed store with one
+   cold flow, then edit a late-step knob (the clock constraint) and
+   compare a cold rerun against a warm rerun resuming from the artifact
+   prefix -> BENCH_incr.json. Gates: the warm rerun is >= 10x faster
+   (median over the reps) and bit-identical to cold in everything but
+   wall-clock. *)
+let incr_bench () =
+  banner "INCR"
+    "incremental artifacts: one-late-step edit, cold vs warm resume -> BENCH_incr.json";
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  let dir = "BENCH_incr_artifacts" in
+  rm_rf dir;
+  let store = Astore.create ~dir () in
+  let design = "mult4" in
+  let netlist = Designs.netlist (Designs.find design) in
+  let base = Flow.config ~node:node130 Flow.Commercial_flow in
+  let memo_for cfg =
+    Artifact.memo ~store ~netlist ~cfg ~inject:[] ~fault_seed:1 ~retries:2
+  in
+  let unwrap = function
+    | Flow.Completed r -> r
+    | Flow.Aborted a -> failwith (a.Flow.failed_step ^ ": " ^ a.Flow.failure_reason)
+  in
+  let timed f =
+    let t0 = Mclock.now_ms () in
+    let r = f () in
+    (Mclock.elapsed_ms t0, r)
+  in
+  (* everything but wall-clock must match: PPA, verdict, the per-step
+     report details, and the per-step execution records *)
+  let feq a b = (Float.is_nan a && Float.is_nan b) || a = b in
+  let identical (a : Flow.result) (b : Flow.result) =
+    feq a.Flow.ppa.Flow.area_um2 b.Flow.ppa.Flow.area_um2
+    && a.Flow.ppa.Flow.cells = b.Flow.ppa.Flow.cells
+    && feq a.Flow.ppa.Flow.fmax_mhz b.Flow.ppa.Flow.fmax_mhz
+    && feq a.Flow.ppa.Flow.wns_ps b.Flow.ppa.Flow.wns_ps
+    && feq a.Flow.ppa.Flow.total_power_uw b.Flow.ppa.Flow.total_power_uw
+    && feq a.Flow.ppa.Flow.wirelength_um b.Flow.ppa.Flow.wirelength_um
+    && a.Flow.ppa.Flow.drc_clean = b.Flow.ppa.Flow.drc_clean
+    && a.Flow.verdict = b.Flow.verdict
+    && List.map (fun s -> (s.Flow.step_name, s.Flow.detail)) a.Flow.steps
+       = List.map (fun s -> (s.Flow.step_name, s.Flow.detail)) b.Flow.steps
+    && a.Flow.execs = b.Flow.execs
+  in
+  let populate_ms, _ =
+    timed (fun () -> unwrap (Flow.run_guarded ~memo:(memo_for base) netlist base))
+  in
+  Printf.printf "%-10s commercial  cold populate %8.2f ms  (%d artifacts stored)\n%!"
+    design populate_ms (Astore.entries store);
+  let n_steps = List.length Flow.step_names in
+  let reps = 5 in
+  let rep k =
+    (* a per-rep power-analysis edit: only the late suffix (the power
+       step onward) re-keys, the whole physical prefix stays warm *)
+    let edited =
+      { base with Flow.power_cycles = base.Flow.power_cycles + (50 * (k + 1)) }
+    in
+    let depth =
+      Artifact.warm_prefix ~store ~netlist ~cfg:edited ~inject:[] ~fault_seed:1
+        ~retries:2
+    in
+    let cold_ms, cold = timed (fun () -> unwrap (Flow.run_guarded netlist edited)) in
+    let warm_ms, warm =
+      timed (fun () -> unwrap (Flow.run_guarded ~memo:(memo_for edited) netlist edited))
+    in
+    let bit_identical = identical cold warm in
+    let speedup = if warm_ms > 0.0 then cold_ms /. warm_ms else 0.0 in
+    Printf.printf
+      "edit %d: resume at %-9s (%d/%d warm)  cold %8.2f ms  warm %7.2f ms  %6.1fx  %s\n%!"
+      (k + 1)
+      (if depth < n_steps then List.nth Flow.step_names depth else "-")
+      depth n_steps cold_ms warm_ms speedup
+      (if bit_identical then "bit-identical" else "MISMATCH");
+    (depth, cold_ms, warm_ms, speedup, bit_identical)
+  in
+  let results = List.init reps rep in
+  let med f = Stats.percentile 50.0 (List.map f results) in
+  let cold_med = med (fun (_, c, _, _, _) -> c) in
+  let warm_med = med (fun (_, _, w, _, _) -> w) in
+  let speedup_med = if warm_med > 0.0 then cold_med /. warm_med else 0.0 in
+  let all_identical = List.for_all (fun (_, _, _, _, b) -> b) results in
+  let depths = List.map (fun (d, _, _, _, _) -> d) results in
+  let partial_resume = List.for_all (fun d -> d >= 1 && d < n_steps) depths in
+  let limit = 10.0 in
+  Printf.printf
+    "median: cold %8.2f ms  warm %7.2f ms  speedup %5.1fx (limit %.0fx)  %s\n%!"
+    cold_med warm_med speedup_med limit
+    (if all_identical then "all bit-identical" else "MISMATCH");
+  Jsonout.write_file ~path:"BENCH_incr.json"
+    (Jsonout.Obj
+       [ ("design", Jsonout.String design);
+         ("preset", Jsonout.String "commercial");
+         ("node", Jsonout.String "edu130");
+         ("steps_total", Jsonout.Int n_steps);
+         ("populate_ms", Jsonout.Float populate_ms);
+         ("store_entries", Jsonout.Int (Astore.entries store));
+         ( "reps",
+           Jsonout.List
+             (List.map
+                (fun (depth, cold_ms, warm_ms, speedup, bit_identical) ->
+                  Jsonout.Obj
+                    [ ("warm_prefix_depth", Jsonout.Int depth);
+                      ("cold_ms", Jsonout.Float cold_ms);
+                      ("warm_ms", Jsonout.Float warm_ms);
+                      ("speedup", Jsonout.Float speedup);
+                      ("bit_identical", Jsonout.Bool bit_identical) ])
+                results) );
+         ("cold_median_ms", Jsonout.Float cold_med);
+         ("warm_median_ms", Jsonout.Float warm_med);
+         ("speedup_median", Jsonout.Float speedup_med);
+         ("speedup_limit", Jsonout.Float limit);
+         ("all_bit_identical", Jsonout.Bool all_identical) ]);
+  Printf.printf "wrote BENCH_incr.json (%d edits)\n" reps;
+  rm_rf dir;
+  if not all_identical then begin
+    Printf.eprintf "incr: warm resume diverged from cold rerun\n";
+    exit 1
+  end;
+  if not partial_resume then begin
+    Printf.eprintf "incr: expected a partial warm resume, got depths %s\n"
+      (String.concat " " (List.map string_of_int depths));
+    exit 1
+  end;
+  if speedup_med < limit then begin
+    Printf.eprintf "incr gate FAILED: median speedup %.1fx < %.0fx\n" speedup_med limit;
+    exit 1
+  end
+
 let () =
   let serve_only = Array.exists (fun a -> a = "--serve") Sys.argv in
   if serve_only then begin
@@ -1851,6 +1988,11 @@ let () =
   let cluster_only = Array.exists (fun a -> a = "--cluster") Sys.argv in
   if cluster_only then begin
     cluster_bench ();
+    exit 0
+  end;
+  let incr_only = Array.exists (fun a -> a = "--incr") Sys.argv in
+  if incr_only then begin
+    incr_bench ();
     exit 0
   end;
   let batch_only = Array.exists (fun a -> a = "--batch") Sys.argv in

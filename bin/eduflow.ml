@@ -27,6 +27,9 @@ module Guard = Educhip_fault.Guard
 module Jsonout = Educhip_obs.Jsonout
 module Manifest = Educhip_sched.Manifest
 module Cache = Educhip_sched.Cache
+module Astore = Educhip_artifact.Store
+module Artifact = Educhip_artifact.Artifact
+module Stepkey = Educhip_artifact.Stepkey
 module Sched = Educhip_sched.Sched
 module Wire = Educhip_serve.Wire
 module Client = Educhip_serve.Client
@@ -98,7 +101,7 @@ let setup_telemetry ?trace ?metrics ?metrics_text ~need_collector () =
 
 let run_flow design_name node_name preset_name_ clock_ps gds_path verilog_path verify
     scan trace_path metrics_path prom_path ledger_path folded_path inject_specs
-    fault_seed retries step_budget_ms =
+    fault_seed retries step_budget_ms artifact_dir artifact_max =
   let collector =
     setup_telemetry ?trace:trace_path ?metrics:metrics_path ?metrics_text:prom_path
       ~need_collector:(ledger_path <> None || folded_path <> None)
@@ -152,7 +155,29 @@ let run_flow design_name node_name preset_name_ clock_ps gds_path verilog_path v
           scanned
         end
       in
-      let outcome = Flow.run_guarded ~policy rtl cfg in
+      let memo =
+        Option.map
+          (fun dir ->
+            let store = Astore.create ~max_entries:artifact_max ~dir () in
+            let depth =
+              Artifact.warm_prefix ~store ~netlist:rtl ~cfg ~inject:plan
+                ~fault_seed ~retries
+            in
+            (if depth = 0 then
+               Printf.printf "artifacts: cold (%s)\n" dir
+             else if depth >= List.length Flow.step_names then
+               Printf.printf "artifacts: full replay from %s\n" dir
+             else
+               Printf.printf "artifacts: resuming at %s (%d warm step%s, %s)\n"
+                 (List.nth Flow.step_names depth)
+                 depth
+                 (if depth = 1 then "" else "s")
+                 dir);
+            Artifact.memo ~store ~netlist:rtl ~cfg ~inject:plan ~fault_seed
+              ~retries)
+          artifact_dir
+      in
+      let outcome = Flow.run_guarded ~policy ?memo rtl cfg in
       (* telemetry deliverables that apply to aborted runs too: the
          ledger line, the folded stacks, and the profile summary *)
       (match ledger_path with
@@ -328,12 +353,30 @@ let step_budget_arg =
     & info [ "step-budget" ] ~docv:"MS"
         ~doc:"Simulated per-attempt work budget charged by an injected hang.")
 
+let artifact_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "artifact-dir" ] ~docv:"DIR"
+        ~doc:
+          "Enable the per-step incremental artifact store in $(docv): the flow \
+           resumes from the deepest prefix of steps whose content keys are \
+           already stored (an RTL or config edit reruns only the steps at and \
+           below the first change), and stores every freshly computed step. \
+           Warm results are bit-identical to cold runs.")
+
+let artifact_max_arg =
+  Arg.(
+    value & opt int Educhip_artifact.Store.default_max_entries
+    & info [ "artifact-max" ] ~docv:"N"
+        ~doc:"Artifact entry cap; least-recently-used entries beyond it are evicted.")
+
 let run_term =
   Term.(
     const run_flow $ design_arg $ node_arg $ preset_arg $ clock_arg $ gds_arg
     $ verilog_arg $ verify_arg $ scan_arg $ trace_arg $ metrics_arg $ prom_arg
     $ ledger_arg $ folded_arg $ inject_arg $ fault_seed_arg $ retries_arg
-    $ step_budget_arg)
+    $ step_budget_arg $ artifact_dir_arg $ artifact_max_arg)
 
 let run_cmd =
   let doc = "run the full synthesis/place/route/signoff flow on a design" in
@@ -540,7 +583,17 @@ let batch_job_key (j : Manifest.job) =
   Cache.job_key ~netlist ~cfg ~inject:j.Manifest.inject
     ~fault_seed:j.Manifest.fault_seed ~retries:j.Manifest.retries
 
-let run_batch manifest_path jobs_opt no_cache cache_dir cache_max dry_run max_requeues
+(* Per-job artifact resume prediction for --dry-run: the step the flow
+   would resume at, by the same consecutive-hit rule the replay uses. *)
+let batch_artifact_depth store (j : Manifest.job) =
+  let netlist = Designs.netlist (Designs.find j.Manifest.design) in
+  let node = Pdk.find_node j.Manifest.node in
+  let cfg = Flow.config ~node ?clock_period_ps:j.Manifest.clock_ps j.Manifest.preset in
+  Artifact.warm_prefix ~store ~netlist ~cfg ~inject:j.Manifest.inject
+    ~fault_seed:j.Manifest.fault_seed ~retries:j.Manifest.retries
+
+let run_batch manifest_path jobs_opt no_cache cache_dir cache_max artifact_dir
+    artifact_max dry_run max_requeues
     trace_path metrics_path prom_path ledger_path summary_path =
   let manifest =
     match Manifest.load ~path:manifest_path with
@@ -555,6 +608,9 @@ let run_batch manifest_path jobs_opt no_cache cache_dir cache_max dry_run max_re
   let cache =
     if no_cache then None else Some (Cache.create ~max_entries:cache_max ~dir:cache_dir ())
   in
+  let artifacts =
+    Option.map (fun dir -> Astore.create ~max_entries:artifact_max ~dir ()) artifact_dir
+  in
   let workers = Option.value jobs_opt ~default:(Sched.default_workers ()) in
   if workers < 1 then begin
     Printf.eprintf "--jobs must be >= 1, got %d\n" workers;
@@ -562,32 +618,52 @@ let run_batch manifest_path jobs_opt no_cache cache_dir cache_max dry_run max_re
   end;
   let njobs = List.length manifest.Manifest.jobs in
   if dry_run then begin
-    Printf.printf "campaign %s: %d job%s on %d worker%s, cache %s\n" manifest_path
-      njobs
+    Printf.printf "campaign %s: %d job%s on %d worker%s, cache %s, artifacts %s\n"
+      manifest_path njobs
       (if njobs = 1 then "" else "s")
       workers
       (if workers = 1 then "" else "s")
       (match cache with
       | Some _ -> Printf.sprintf "on (%s, max %d entries)" cache_dir cache_max
+      | None -> "off")
+      (match artifact_dir with
+      | Some dir -> Printf.sprintf "on (%s, max %d entries)" dir artifact_max
       | None -> "off");
-    List.iter
-      (fun (j : Manifest.job) ->
-        let prediction =
-          match cache with
-          | None -> "run "
-          | Some c -> if Cache.probe c (batch_job_key j) then "hit " else "miss"
-        in
-        Printf.printf "  %s  %s\n" prediction (Manifest.job_summary j))
-      manifest.Manifest.jobs;
-    let hits =
+    (* three-way prediction: a whole-job cache hit costs no flow at all;
+       otherwise the artifact store may let the flow resume mid-template;
+       otherwise it runs cold *)
+    let n_steps = List.length Flow.step_names in
+    let predict (j : Manifest.job) =
       match cache with
-      | None -> 0
-      | Some c ->
-        List.length
-          (List.filter (fun j -> Cache.probe c (batch_job_key j)) manifest.Manifest.jobs)
+      | Some c when Cache.probe c (batch_job_key j) -> "hit "
+      | _ -> (
+        match artifacts with
+        | None -> if cache = None then "run " else "miss"
+        | Some store -> (
+          match batch_artifact_depth store j with
+          | 0 -> "miss"
+          | d when d >= n_steps -> "replay"
+          | d -> Printf.sprintf "resume@%s" (List.nth Flow.step_names d)))
     in
-    Printf.printf "predicted: %d cache hit%s, %d flow run%s (nothing executed)\n" hits
+    let predictions = List.map predict manifest.Manifest.jobs in
+    List.iter2
+      (fun prediction (j : Manifest.job) ->
+        Printf.printf "  %-6s  %s\n" prediction (Manifest.job_summary j))
+      predictions manifest.Manifest.jobs;
+    let count p = List.length (List.filter (fun x -> x = p) predictions) in
+    let hits = count "hit " in
+    let resumes =
+      List.length
+        (List.filter
+           (fun p -> p = "replay" || String.length p > 7 && String.sub p 0 7 = "resume@")
+           predictions)
+    in
+    Printf.printf
+      "predicted: %d cache hit%s, %d warm resume%s, %d flow run%s (nothing executed)\n"
+      hits
       (if hits = 1 then "" else "s")
+      resumes
+      (if resumes = 1 then "" else "s")
       (njobs - hits)
       (if njobs - hits = 1 then "" else "s")
   end
@@ -614,7 +690,7 @@ let run_batch manifest_path jobs_opt no_cache cache_dir cache_max dry_run max_re
         [ Sys.sigint; Sys.sigterm ]
     in
     let results, summary =
-      Sched.run ~workers ?cache ~max_requeues
+      Sched.run ~workers ?cache ?artifacts ~max_requeues
         ~stop:(fun () -> Atomic.get interrupted)
         manifest
     in
@@ -715,7 +791,8 @@ let batch_cmd =
     (Cmd.info "batch" ~doc ~man)
     Term.(
       const run_batch $ manifest_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg
-      $ cache_max_arg $ dry_run_arg $ max_requeues_arg $ trace_arg $ metrics_arg
+      $ cache_max_arg $ artifact_dir_arg $ artifact_max_arg $ dry_run_arg
+      $ max_requeues_arg $ trace_arg $ metrics_arg
       $ prom_arg $ ledger_arg $ summary_arg)
 
 (* {1 Service client: submit / status / result}

@@ -14,13 +14,15 @@ module Slo = Educhip_obs.Slo
 module Jsonout = Educhip_obs.Jsonout
 module Fault = Educhip_fault.Fault
 module Cache = Educhip_sched.Cache
+module Astore = Educhip_artifact.Store
 module Sched = Educhip_sched.Sched
 module Ratelimit = Educhip_serve.Ratelimit
 module Server = Educhip_serve.Server
 
 open Cmdliner
 
-let run socket tcp_port workers max_queue no_cache cache_dir cache_max ledger
+let run socket tcp_port workers max_queue no_cache cache_dir cache_max artifact_dir
+    artifact_max ledger
     journal default_deadline read_timeout_ms max_line_bytes inject wire_fault_seed
     advanced_tenants basic_rate basic_burst basic_inflight
     advanced_rate advanced_burst advanced_inflight slo_basic_p99 slo_advanced_p99
@@ -57,6 +59,10 @@ let run socket tcp_port workers max_queue no_cache cache_dir cache_max ledger
       cache =
         (if no_cache then None
          else Some (Cache.create ~max_entries:cache_max ~dir:cache_dir ()));
+      artifacts =
+        Option.map
+          (fun dir -> Astore.create ~max_entries:artifact_max ~dir ())
+          artifact_dir;
       ledger;
       journal;
       default_deadline_ms = default_deadline;
@@ -120,10 +126,14 @@ let run socket tcp_port workers max_queue no_cache cache_dir cache_max ledger
     | Some port -> (Server.listen_tcp ~port (), Printf.sprintf "tcp 127.0.0.1:%d" port)
     | None -> (Server.listen_unix ~path:socket, Printf.sprintf "unix %s" socket)
   in
-  Printf.printf "eduserved: listening on %s (%d workers, queue bound %d, cache %s)\n%!"
+  Printf.printf
+    "eduserved: listening on %s (%d workers, queue bound %d, cache %s, artifacts %s)\n%!"
     where workers max_queue
     (match cfg.Server.cache with
     | Some _ -> Printf.sprintf "on (%s, max %d entries)" cache_dir cache_max
+    | None -> "off")
+    (match artifact_dir with
+    | Some dir -> Printf.sprintf "on (%s, max %d entries)" dir artifact_max
     | None -> "off");
   Server.serve server listen_fd;
   Unix.close listen_fd;
@@ -171,6 +181,25 @@ let cache_max_arg =
     value & opt int Cache.default_max_entries
     & info [ "cache-max" ] ~docv:"N"
         ~doc:"Cache entry cap; least-recently-used entries beyond it are evicted.")
+
+let artifact_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "artifact-dir" ] ~docv:"DIR"
+        ~doc:
+          "Enable the per-step incremental artifact store in $(docv): cold \
+           submissions resume from the deepest warm prefix of stored step \
+           artifacts. Replicas pointed at one directory share artifacts -- \
+           structurally identical subdesigns from any tenant resume each \
+           other's flows.")
+
+let artifact_max_arg =
+  Arg.(
+    value & opt int Astore.default_max_entries
+    & info [ "artifact-max" ] ~docv:"N"
+        ~doc:
+          "Artifact entry cap; least-recently-used entries beyond it are evicted.")
 
 let ledger_arg =
   Arg.(
@@ -323,7 +352,8 @@ let cmd =
     (Cmd.info "eduserved" ~version:"1.0.0" ~doc ~man)
     Term.(
       const run $ socket_arg $ tcp_arg $ workers_arg $ max_queue_arg $ no_cache_arg
-      $ cache_dir_arg $ cache_max_arg $ ledger_arg $ journal_arg $ deadline_arg
+      $ cache_dir_arg $ cache_max_arg $ artifact_dir_arg $ artifact_max_arg
+      $ ledger_arg $ journal_arg $ deadline_arg
       $ read_timeout_arg $ max_line_bytes_arg $ inject_arg $ wire_fault_seed_arg
       $ advanced_arg
       $ basic_rate_arg $ basic_burst_arg $ basic_inflight_arg $ advanced_rate_arg

@@ -12,6 +12,7 @@ type config = {
   conn_read_timeout_ms : float option;
   max_line_bytes : int;
   drain_await_timeout_ms : float;
+  stash_max : int;
 }
 
 let config spec =
@@ -23,6 +24,7 @@ let config spec =
     conn_read_timeout_ms = Some 30_000.0;
     max_line_bytes = 64 * 1024;
     drain_await_timeout_ms = 60_000.0;
+    stash_max = 512;
   }
 
 type replica = {
@@ -42,9 +44,12 @@ type t = {
   mutable ring : Ring.t;
   replicas : replica list;  (* spec order *)
   jobs : (string, job) Hashtbl.t;  (* global id -> placement *)
-  finished : (string, Wire.response) Hashtbl.t;
-      (* global id -> terminal [Job_result], stashed by a rolling drain
-         so results outlive their replica *)
+  finished : (string, int * Wire.response) Hashtbl.t;
+      (* global id -> (LRU stamp, terminal [Job_result]), stashed by a
+         rolling drain so results outlive their replica; bounded by
+         [cfg.stash_max], least-recently-touched evicted first *)
+  mutable stash_seq : int;  (* monotone LRU clock for [finished] *)
+  mutable stash_evicted : int;
   rejects : (string, int) Hashtbl.t;  (* router-local, by reason name *)
   start_ms : float;
   key_counter : int Atomic.t;
@@ -55,6 +60,9 @@ type t = {
 }
 
 let create cfg =
+  if cfg.stash_max < 1 then
+    invalid_arg
+      (Printf.sprintf "Router.create: stash_max must be >= 1, got %d" cfg.stash_max);
   let replicas =
     List.map
       (fun (name, addr) ->
@@ -68,6 +76,8 @@ let create cfg =
     replicas;
     jobs = Hashtbl.create 64;
     finished = Hashtbl.create 16;
+    stash_seq = 0;
+    stash_evicted = 0;
     rejects = Hashtbl.create 8;
     start_ms = Mclock.now_ms ();
     key_counter = Atomic.make 0;
@@ -105,6 +115,40 @@ let connect_to t rep =
    Every replica numbers its own jobs from [j-000001], so the router
    namespaces: [r1/j-000042]. The prefix is the placement — a status or
    result request carries its own route. *)
+
+(* {1 Result stash}
+
+   The stash would otherwise grow without bound on a long-lived router —
+   every drained-away result, forever. It is LRU-capped instead: each
+   put or hit restamps the entry with a monotone clock, and a put past
+   [stash_max] evicts the least-recently-touched entries. An evicted
+   job's id leaves [jobs] too (it was terminal — keeping it would skew
+   the pending arithmetic), so a later request for it answers
+   [Unknown_id]: bounded memory traded against indefinitely replayable
+   history, with the eviction count exported as
+   [cluster_stash_evicted_total] so operators can see the trade happen.
+   All three helpers expect the router mutex held. *)
+
+let stash_put_locked t id resp =
+  t.stash_seq <- t.stash_seq + 1;
+  Hashtbl.replace t.finished id (t.stash_seq, resp);
+  let excess = Hashtbl.length t.finished - t.cfg.stash_max in
+  if excess > 0 then
+    Hashtbl.fold (fun id (seq, _) acc -> (seq, id) :: acc) t.finished []
+    |> List.sort compare
+    |> List.filteri (fun i _ -> i < excess)
+    |> List.iter (fun (_, id) ->
+           Hashtbl.remove t.finished id;
+           Hashtbl.remove t.jobs id;
+           t.stash_evicted <- t.stash_evicted + 1)
+
+let stash_find_locked t id =
+  match Hashtbl.find_opt t.finished id with
+  | None -> None
+  | Some (_, resp) ->
+    t.stash_seq <- t.stash_seq + 1;
+    Hashtbl.replace t.finished id (t.stash_seq, resp);
+    Some resp
 
 let gid rep local = rep.name ^ "/" ^ local
 
@@ -225,7 +269,7 @@ let status_of_result ~id resp =
   | other -> other
 
 let proxy_job t ~want_result id =
-  match Mutex.protect t.mutex (fun () -> Hashtbl.find_opt t.finished id) with
+  match Mutex.protect t.mutex (fun () -> stash_find_locked t id) with
   | Some stashed -> if want_result then stashed else status_of_result ~id stashed
   | None -> (
     match split_gid id with
@@ -300,6 +344,13 @@ let router_exposition t =
     (fun rep ->
       Printf.bprintf buf "cluster_routed_total{target=\"%s\"} %d\n" rep.name rep.routed)
     t.replicas;
+  let stash_size, evicted =
+    Mutex.protect t.mutex (fun () -> (Hashtbl.length t.finished, t.stash_evicted))
+  in
+  Buffer.add_string buf "# TYPE cluster_stash_size gauge\n";
+  Printf.bprintf buf "cluster_stash_size %d\n" stash_size;
+  Buffer.add_string buf "# TYPE cluster_stash_evicted_total counter\n";
+  Printf.bprintf buf "cluster_stash_evicted_total %d\n" evicted;
   Buffer.contents buf
 
 let handle_metrics t =
@@ -360,7 +411,7 @@ let await_job t rep ~id ~local_id =
     match r with
     | Ok (Wire.Job_result jr) ->
       Mutex.protect t.mutex (fun () ->
-          Hashtbl.replace t.finished id (Wire.Job_result { jr with id }));
+          stash_put_locked t id (Wire.Job_result { jr with id }));
       Ok ()
     | Ok other -> Error ("await: unexpected " ^ Wire.encode_response other)
     | Error e -> Error e)

@@ -51,21 +51,27 @@ type config = {
       (** rolling drain: how long to wait for one inflight job to reach
           a terminal state before the drain gives up (the replica is
           presumed wedged and is {e not} removed) *)
+  stash_max : int;
+      (** bound on the drained-away result stash: past it the
+          least-recently-touched results are evicted (counted by the
+          [cluster_stash_evicted_total] metric) and later requests for
+          them answer [Unknown_id] — bounded router memory over
+          indefinitely replayable history *)
 }
 
 val config : Spec.t -> config
 (** Defaults around a spec: the client module's default retry policy
     reseeded from the spec's hash seed, 1 s connect / 30 s read toward
     replicas, 30 s client read deadline, 64 KiB lines, 60 s drain
-    await. *)
+    await, 512-entry result stash. *)
 
 type t
 
 val create : config -> t
 (** Build router state over the spec's replicas — every replica starts
     optimistically up (a probe or a failed request corrects that).
-    @raise Invalid_argument via {!Ring.create} on a spec with duplicate
-    or empty replica names. *)
+    @raise Invalid_argument on [stash_max < 1], or via {!Ring.create}
+    on a spec with duplicate or empty replica names. *)
 
 val handle : t -> Educhip_serve.Wire.request -> Educhip_serve.Wire.response
 (** Process one client request — routing, proxying, aggregation, and

@@ -185,6 +185,47 @@ let buffer_locations t =
   (match t.root with None -> () | Some tree -> walk 1 tree);
   List.rev !acc
 
+(* {2 Artifact snapshots} *)
+
+type snapshot = {
+  cs_root : tree option;
+  cs_root_x : float;
+  cs_root_y : float;
+  cs_sinks : int;
+  cs_buffers : int;
+  cs_depth : int;
+  cs_wirelength : float;
+  cs_cap : float;
+  cs_delays : (Netlist.cell_id * float) list;
+}
+
+let snapshot t =
+  {
+    cs_root = t.root;
+    cs_root_x = t.root_x;
+    cs_root_y = t.root_y;
+    cs_sinks = t.sinks;
+    cs_buffers = t.buffers;
+    cs_depth = t.depth;
+    cs_wirelength = t.wirelength;
+    cs_cap = t.cap;
+    cs_delays = t.delays;
+  }
+
+let restore ~node s =
+  {
+    node;
+    root = s.cs_root;
+    root_x = s.cs_root_x;
+    root_y = s.cs_root_y;
+    sinks = s.cs_sinks;
+    buffers = s.cs_buffers;
+    depth = s.cs_depth;
+    wirelength = s.cs_wirelength;
+    cap = s.cs_cap;
+    delays = s.cs_delays;
+  }
+
 let pp_summary ppf t =
   Format.fprintf ppf
     "clock tree: %d sinks, %d buffers over %d levels, %.0f um wire, %.1f fF, skew %.1f ps (max insertion %.1f ps)"

@@ -46,4 +46,28 @@ val insertion_delays_ps : t -> (Educhip_netlist.Netlist.cell_id * float) list
 val buffer_locations : t -> (float * float * int) list
 (** (x, y, level) of every inserted buffer — for layout/reporting. *)
 
+type tree =
+  | Leaf of (Educhip_netlist.Netlist.cell_id * float * float) list
+      (** directly driven sinks as (flop id, x, y) *)
+  | Branch of { x : float; y : float; children : tree list }
+(** The buffer-tree topology, exposed so artifact snapshots can
+    serialize it. *)
+
+type snapshot = {
+  cs_root : tree option;
+  cs_root_x : float;
+  cs_root_y : float;
+  cs_sinks : int;
+  cs_buffers : int;
+  cs_depth : int;
+  cs_wirelength : float;
+  cs_cap : float;
+  cs_delays : (Educhip_netlist.Netlist.cell_id * float) list;
+}
+
+val snapshot : t -> snapshot
+
+val restore : node:Educhip_pdk.Pdk.node -> snapshot -> t
+(** Rebuild a clock tree from its snapshot without re-synthesizing. *)
+
 val pp_summary : Format.formatter -> t -> unit

@@ -129,6 +129,37 @@ type step_exec = {
   step_failure : string option;
 }
 
+(* {2 Per-step memoization}
+
+   The artifact store ([Educhip_artifact]) plugs in here without the flow
+   knowing anything about keys, disks, or serialization: a [memo] maps a
+   step name to a previously captured snapshot (probe) and accepts fresh
+   snapshots (save). Each step's output is wrapped in the [step_state]
+   variant; the sizing/buffering steps capture the whole mutated netlist
+   because they transform it in place. *)
+
+type step_state =
+  | S_synth of Netlist.t * Synth.report
+  | S_netlist of Netlist.t  (** sizing / buffering output *)
+  | S_place of Place.t
+  | S_cts of Cts.t
+  | S_route of Route.t
+  | S_timing of Timing.report
+  | S_power of Power.report
+  | S_drc of Drc.report
+  | S_gds of Gds.t
+
+type step_snapshot = {
+  snap_state : step_state;
+  snap_report : step_report;  (** original run's report, wall time included *)
+  snap_exec : step_exec;
+}
+
+type memo = {
+  memo_probe : string -> step_snapshot option;
+  memo_save : string -> step_snapshot -> unit;
+}
+
 type result = {
   cfg : config;
   mapped : Netlist.t;
@@ -236,7 +267,7 @@ let dedup_rungs xs =
 
 exception Step_gave_up of string * string
 
-let run_guarded ?(policy = Guard.default_policy) netlist cfg =
+let run_guarded ?(policy = Guard.default_policy) ?memo netlist cfg =
   validate_netlist netlist;
   Obs.with_span "flow.run"
     ~attrs:
@@ -256,12 +287,40 @@ let run_guarded ?(policy = Guard.default_policy) netlist cfg =
       (kernel_metric_names @ robustness_metric_names);
   let execs = ref [] in
   let reports = ref [] in
+  (* Replay only holds for the longest warm {e prefix}: artifact keys are
+     chained, so a hit for step N with a miss anywhere before it would
+     mean the store lost an upstream entry — recompute from the first
+     miss onward rather than splicing live state into stored state. *)
+  let warm = ref true in
   (* Run one template step under a guard. [rungs] is the degradation
      ladder, configured effort first; each rung returns (value, detail
      line) and may attach span attributes. The whole guarded step —
-     retries included — lives in one span named after the step. *)
-  let step ?accept name rungs =
+     retries included — lives in one span named after the step.
+     [snap]/[unsnap] wrap the step's output into (out of) {!step_state}
+     for the memo; a warm snapshot replays the original run's report and
+     exec record and skips the guard entirely. *)
+  let step ?accept name ~snap ~unsnap rungs =
     let site = "flow." ^ name in
+    let replayed =
+      if not !warm then None
+      else
+        match memo with
+        | None -> None
+        | Some m -> (
+          match m.memo_probe name with
+          | None -> None
+          | Some s -> (
+            match unsnap s.snap_state with
+            | None -> None
+            | Some v ->
+              execs := s.snap_exec :: !execs;
+              reports := s.snap_report :: !reports;
+              Some v))
+    in
+    match replayed with
+    | Some v -> v
+    | None ->
+      warm := false;
     let exec, wall_ms =
       Obs.timed name (fun () ->
           let e = Guard.execute ~policy ?accept ~site rungs in
@@ -285,14 +344,28 @@ let run_guarded ?(policy = Guard.default_policy) netlist cfg =
         :: !execs
     in
     let report detail = reports := { step_name = name; detail; wall_ms } :: !reports in
+    (* only successful steps are memoized; a store error must not fail a
+       step that just computed a perfectly good result *)
+    let save v =
+      match memo with
+      | None -> ()
+      | Some m -> (
+        match (!reports, !execs) with
+        | r :: _, e :: _ -> (
+          try m.memo_save name { snap_state = snap v; snap_report = r; snap_exec = e }
+          with _ -> ())
+        | _ -> ())
+    in
     match exec.Guard.outcome with
     | Guard.Completed (v, detail) ->
       record 0 None;
       report detail;
+      save v;
       v
     | Guard.Degraded ((v, detail), rung) ->
       record rung None;
       report (Printf.sprintf "%s [degraded to effort rung %d]" detail rung);
+      save v;
       v
     | Guard.Gave_up f ->
       let reason = Guard.failure_to_string f in
@@ -304,6 +377,8 @@ let run_guarded ?(policy = Guard.default_policy) netlist cfg =
     (* 1. synthesis *)
     let mapped, synth_report =
       step "synthesis"
+        ~snap:(fun (m, r) -> S_synth (m, r))
+        ~unsnap:(function S_synth (m, r) -> Some (m, r) | _ -> None)
         (List.map
            (fun opts () ->
              let mapped, r = Synth.synthesize netlist ~node:cfg.node opts in
@@ -317,33 +392,39 @@ let run_guarded ?(policy = Guard.default_policy) netlist cfg =
            (dedup_rungs
               [ cfg.synth_options; Synth.default_options; Synth.low_effort_options ]))
     in
-    (* 2. timing-driven gate sizing *)
-    let () =
+    (* 2. timing-driven gate sizing — mutates [mapped] in place, so the
+       step's memoized state is the whole transformed netlist and a warm
+       replay rebinds [mapped] to the restored copy *)
+    let mapped =
       step "sizing"
+        ~snap:(fun m -> S_netlist m)
+        ~unsnap:(function S_netlist m -> Some m | _ -> None)
         (List.map
            (fun rounds () ->
-             if rounds = 0 then ((), "disabled")
+             if rounds = 0 then (mapped, "disabled")
              else begin
                let upsized, arrival = size_gates mapped ~node:cfg.node ~rounds in
                Obs.set_attr "cells_upsized" (Obs.Int upsized);
-               ( (),
+               ( mapped,
                  Printf.sprintf
                    "%d cells upsized over <=%d rounds, ideal-wire arrival %.0f ps"
                    upsized rounds arrival )
              end)
            (dedup_rungs [ cfg.sizing_rounds; 0 ]))
     in
-    (* 3. fanout buffering *)
-    let () =
+    (* 3. fanout buffering — in-place like sizing *)
+    let mapped =
       step "buffering"
+        ~snap:(fun m -> S_netlist m)
+        ~unsnap:(function S_netlist m -> Some m | _ -> None)
         (List.map
            (fun max_fanout () ->
              match max_fanout with
-             | None -> ((), "disabled")
+             | None -> (mapped, "disabled")
              | Some max_fanout ->
                let buffers = Synth.buffer_fanout mapped ~node:cfg.node ~max_fanout in
                Obs.set_attr "buffers" (Obs.Int buffers);
-               ( (),
+               ( mapped,
                  Printf.sprintf "%d buffers inserted (max fanout %d)" buffers
                    max_fanout ))
            (dedup_rungs [ cfg.max_fanout; None ]))
@@ -358,6 +439,8 @@ let run_guarded ?(policy = Guard.default_policy) netlist cfg =
     (* 4. placement *)
     let placement =
       step "placement"
+        ~snap:(fun p -> S_place p)
+        ~unsnap:(function S_place p -> Some p | _ -> None)
         (List.map
            (fun effort () ->
              let placement =
@@ -377,6 +460,8 @@ let run_guarded ?(policy = Guard.default_policy) netlist cfg =
     (* 5. clock-tree synthesis *)
     let clock_tree =
       step "cts"
+        ~snap:(fun c -> S_cts c)
+        ~unsnap:(function S_cts c -> Some c | _ -> None)
         [ (fun () ->
             let clock_tree = Cts.synthesize placement in
             Obs.set_attr "sinks" (Obs.Int (Cts.sink_count clock_tree));
@@ -388,6 +473,8 @@ let run_guarded ?(policy = Guard.default_policy) netlist cfg =
     (* 6. routing *)
     let routed =
       step "routing"
+        ~snap:(fun r -> S_route r)
+        ~unsnap:(function S_route r -> Some r | _ -> None)
         (List.map
            (fun effort () ->
              let routed = Route.route placement effort in
@@ -405,6 +492,8 @@ let run_guarded ?(policy = Guard.default_policy) netlist cfg =
     (* 7. timing with routed wire lengths *)
     let timing =
       step "sta"
+        ~snap:(fun t -> S_timing t)
+        ~unsnap:(function S_timing t -> Some t | _ -> None)
         [ (fun () ->
             let timing =
               Timing.analyze mapped ~node:cfg.node ~wire_length_of_net
@@ -418,6 +507,8 @@ let run_guarded ?(policy = Guard.default_policy) netlist cfg =
     (* 8. power at the constrained clock *)
     let power =
       step "power"
+        ~snap:(fun p -> S_power p)
+        ~unsnap:(function S_power p -> Some p | _ -> None)
         (List.map
            (fun cycles () ->
              let clock_mhz = 1e6 /. cfg.clock_period_ps in
@@ -436,6 +527,8 @@ let run_guarded ?(policy = Guard.default_policy) netlist cfg =
     (* 9. signoff DRC *)
     let drc =
       step "drc"
+        ~snap:(fun d -> S_drc d)
+        ~unsnap:(function S_drc d -> Some d | _ -> None)
         [ (fun () ->
             let drc = Drc.check routed in
             Obs.set_attr "violations" (Obs.Int (List.length drc.Drc.violations));
@@ -449,6 +542,8 @@ let run_guarded ?(policy = Guard.default_policy) netlist cfg =
     (* 10. GDS export *)
     let layout =
       step "gds"
+        ~snap:(fun g -> S_gds g)
+        ~unsnap:(function S_gds g -> Some g | _ -> None)
         [ (fun () ->
             let layout = Gds.build routed in
             Obs.set_attr "rects" (Obs.Int (Gds.rect_count layout));

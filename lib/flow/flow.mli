@@ -86,6 +86,42 @@ type step_exec = {
   step_failure : string option;  (** give-up reason; [None] on success *)
 }
 
+type step_state =
+  | S_synth of Educhip_netlist.Netlist.t * Educhip_synth.Synth.report
+  | S_netlist of Educhip_netlist.Netlist.t
+      (** output of the in-place sizing / buffering steps *)
+  | S_place of Educhip_place.Place.t
+  | S_cts of Educhip_cts.Cts.t
+  | S_route of Educhip_route.Route.t
+  | S_timing of Educhip_timing.Timing.report
+  | S_power of Educhip_power.Power.report
+  | S_drc of Educhip_drc.Drc.report
+  | S_gds of Educhip_gds.Gds.t
+(** One step's output, wrapped for per-step memoization. *)
+
+type step_snapshot = {
+  snap_state : step_state;
+  snap_report : step_report;
+      (** the original run's report — replays keep its wall time, so a
+          ledger built from a warm run carries the cost actually paid *)
+  snap_exec : step_exec;
+}
+
+type memo = {
+  memo_probe : string -> step_snapshot option;
+      (** [memo_probe step_name] returns a warm snapshot to replay, or
+          [None] to run the step live. Probed in step order, and only
+          while every previous step replayed (the warm prefix) — the
+          first miss switches the rest of the run live. *)
+  memo_save : string -> step_snapshot -> unit;
+      (** called after every successful live step; failed steps are
+          never memoized. Exceptions are swallowed — a storage error
+          must not fail a computed step. *)
+}
+(** Storage-agnostic per-step memoization hook for {!run_guarded}:
+    [Educhip_artifact] implements it over a content-addressed store.
+    The flow itself never sees keys or serialization. *)
+
 type result = {
   cfg : config;
   mapped : Educhip_netlist.Netlist.t;
@@ -122,6 +158,7 @@ val verdict_to_string : verdict -> string
 
 val run_guarded :
   ?policy:Educhip_fault.Guard.policy ->
+  ?memo:memo ->
   Educhip_netlist.Netlist.t ->
   config ->
   run_outcome
@@ -145,6 +182,14 @@ val run_guarded :
     is pre-declared so it appears in the metrics dump even at zero.
     Without a collector the instrumentation — and the disarmed fault
     probes — are no-ops.
+
+    With [memo], the longest warm prefix of steps is {e replayed} from
+    snapshots instead of executed: the stored state, report, and exec
+    record stand in for the live ones, fault probes for replayed steps
+    are skipped (their outcome is already baked into the snapshot), and
+    the first probe miss switches the remainder of the run live, saving
+    each freshly computed step back through [memo_save]. A replayed run
+    is bit-identical to a cold run in everything but wall-clock.
     @raise Invalid_argument on an empty netlist, a netlist with no
     outputs, or an already technology-mapped netlist. *)
 

@@ -313,6 +313,43 @@ let pp_summary ppf t =
     (List.length (dffs t))
     (gate_count t) (logic_depth t)
 
+(* Rebuild a netlist from a serialized cell table (an artifact-store
+   snapshot). Cell ids are positional, so the cell array alone pins the
+   whole graph; the input/output/dff index lists are recomputed in id
+   order, which is creation order for any netlist built through the
+   constructors above. *)
+let restore ~name cells =
+  let size = Array.length cells in
+  let t =
+    {
+      name;
+      cells = Array.map (fun c -> { c with fanins = Array.copy c.fanins }) cells;
+      size;
+      rev_inputs = [];
+      rev_outputs = [];
+      rev_dffs = [];
+    }
+  in
+  iter_cells t (fun id c ->
+      (match c.kind with
+      | Dff when Array.length c.fanins = 0 -> () (* floating forward reference *)
+      | _ ->
+        if Array.length c.fanins <> kind_arity c.kind then
+          invalid_arg
+            (Printf.sprintf "Netlist.restore: cell %d fanin arity mismatch" id));
+      Array.iter
+        (fun f ->
+          if f < 0 || f >= size then
+            invalid_arg
+              (Printf.sprintf "Netlist.restore: cell %d fanin %d out of range" id f))
+        c.fanins;
+      match c.kind with
+      | Input -> t.rev_inputs <- id :: t.rev_inputs
+      | Output -> t.rev_outputs <- id :: t.rev_outputs
+      | Dff -> t.rev_dffs <- id :: t.rev_dffs
+      | Const _ | Buf | Not | And | Or | Xor | Nand | Nor | Xnor | Mux | Mapped _ -> ());
+  t
+
 (* The canonical form spells out everything evaluation depends on: cell
    ids are positional, so (kind, fanins) per id pins the whole graph;
    Mapped cells add their truth table (a renamed library cell with a

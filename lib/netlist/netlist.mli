@@ -157,6 +157,15 @@ val kind_table : kind -> (int * int) option
     fault simulators cannot drift from it. [None] for [Input], [Output],
     [Const], and [Dff]. *)
 
+val restore : name:string -> cell array -> t
+(** Rebuild a netlist from its cell table — the inverse of dumping every
+    cell via {!iter_cells}. Cell ids are positional, so the array fully
+    determines the graph; input/output/dff orderings are recomputed in id
+    order (creation order for netlists built through the constructors).
+    The display [name] is supplied by the caller because content-addressed
+    snapshots deliberately exclude it (see {!structural_digest}).
+    @raise Invalid_argument on an arity mismatch or out-of-range fanin. *)
+
 val structural_digest : t -> string
 (** Hex digest of the netlist's canonical structural form: every cell's
     kind (including mapped-cell truth tables), fanins, and port labels —

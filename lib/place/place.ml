@@ -71,13 +71,11 @@ let build_nets netlist =
   done;
   Array.of_list (List.rev !nets)
 
-let place netlist ~node ?(utilization = 0.65) effort =
-  if utilization <= 0.0 || utilization > 0.95 then
-    invalid_arg "Place.place: utilization must be in (0, 0.95]";
+(* Roles and total movable area are a pure function of (netlist, node):
+   shared by {!place} and {!restore}, so artifact snapshots only need to
+   carry the geometry. *)
+let roles_of netlist ~node =
   let n = Netlist.cell_count netlist in
-  if n = 0 then invalid_arg "Place.place: empty netlist";
-  let rng = Rng.create ~seed:effort.seed in
-  (* {2 Roles and floorplan} *)
   let roles = Array.make n Ghost in
   let total_area = ref 0.0 in
   let in_ordinal = ref 0 and out_ordinal = ref 0 in
@@ -93,9 +91,20 @@ let place netlist ~node ?(utilization = 0.65) effort =
       | _ -> (
         match cell_footprint node c with
         | Some w ->
-          roles.(id) <- Movable (w :: [] |> List.hd);
+          roles.(id) <- Movable w;
           total_area := !total_area +. (w *. node.Pdk.row_height_um)
         | None -> roles.(id) <- Ghost));
+  (roles, !total_area)
+
+let place netlist ~node ?(utilization = 0.65) effort =
+  if utilization <= 0.0 || utilization > 0.95 then
+    invalid_arg "Place.place: utilization must be in (0, 0.95]";
+  let n = Netlist.cell_count netlist in
+  if n = 0 then invalid_arg "Place.place: empty netlist";
+  let rng = Rng.create ~seed:effort.seed in
+  (* {2 Roles and floorplan} *)
+  let roles, area = roles_of netlist ~node in
+  let total_area = ref area in
   let h = node.Pdk.row_height_um in
   let core_area = Float.max (!total_area /. utilization) (h *. h *. 4.0) in
   let die = sqrt core_area in
@@ -114,7 +123,8 @@ let place netlist ~node ?(utilization = 0.65) effort =
   let die_w = ref (Float.max (core_area /. die_h) (widest *. 1.1)) in
   (* {2 Pad locations} *)
   let xs = Array.make n 0.0 and ys = Array.make n 0.0 in
-  let n_in = max 1 !in_ordinal and n_out = max 1 !out_ordinal in
+  let n_in = max 1 (List.length (Netlist.inputs netlist))
+  and n_out = max 1 (List.length (Netlist.outputs netlist)) in
   let position_pads () =
     Array.iteri
       (fun id role ->
@@ -428,3 +438,47 @@ let check_legal t =
   List.rev !problems
 
 let utilization t = t.cell_area /. (t.die_w *. t.die_h)
+
+(* {2 Artifact snapshots}
+
+   Only the geometry that cannot be recomputed is captured: the (possibly
+   legalization-grown) die width, the row count, and the coordinate
+   arrays. Roles, nets, and cell area are pure functions of
+   (netlist, node) and are rebuilt on restore. *)
+
+type snapshot = {
+  snap_die_w : float;
+  snap_rows : int;
+  snap_xs : float array;
+  snap_ys : float array;
+}
+
+let snapshot t =
+  {
+    snap_die_w = t.die_w;
+    snap_rows = t.rows;
+    snap_xs = Array.copy t.xs;
+    snap_ys = Array.copy t.ys;
+  }
+
+let restore netlist ~node s =
+  let n = Netlist.cell_count netlist in
+  if Array.length s.snap_xs <> n || Array.length s.snap_ys <> n then
+    invalid_arg
+      (Printf.sprintf
+         "Place.restore: %d coordinates for a %d-cell netlist"
+         (Array.length s.snap_xs) n);
+  if s.snap_rows < 1 then invalid_arg "Place.restore: rows must be >= 1";
+  let roles, cell_area = roles_of netlist ~node in
+  {
+    netlist;
+    node;
+    die_w = s.snap_die_w;
+    die_h = float_of_int s.snap_rows *. node.Pdk.row_height_um;
+    rows = s.snap_rows;
+    roles;
+    xs = Array.copy s.snap_xs;
+    ys = Array.copy s.snap_ys;
+    nets = build_nets netlist;
+    cell_area;
+  }

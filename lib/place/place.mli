@@ -69,6 +69,26 @@ val check_legal : t -> string list
 val utilization : t -> float
 (** Achieved cell-area / core-area ratio. *)
 
+type snapshot = {
+  snap_die_w : float;  (** final die width (legalization can grow it) *)
+  snap_rows : int;
+  snap_xs : float array;  (** cell-center x per cell id *)
+  snap_ys : float array;
+}
+(** The serializable geometry of a placement — everything {!restore}
+    cannot recompute from the netlist and node. *)
+
+val snapshot : t -> snapshot
+
+val restore :
+  Educhip_netlist.Netlist.t -> node:Educhip_pdk.Pdk.node -> snapshot -> t
+(** Rebuild a placement from a snapshot. Roles, nets, die height, and
+    cell area are recomputed from [(netlist, node)], so the result is
+    structurally identical to the placement the snapshot was taken from
+    — given the same netlist — without rerunning the placer.
+    @raise Invalid_argument if the coordinate arrays do not match the
+    netlist's cell count. *)
+
 val metric_names : string list
 (** Counter families {!place} reports to [Educhip_obs.Obs] when
     telemetry is enabled (annealing moves accepted/rejected); the

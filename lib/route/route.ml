@@ -304,6 +304,75 @@ let net_segments t driver =
     in
     build None (List.rev net.edges)
 
+(* {2 Artifact snapshots} *)
+
+type net_snapshot = {
+  rs_driver : int;
+  rs_sinks : int list;
+  rs_edges : int list;
+  rs_tiles : (int * int) list;
+  rs_vias : int;
+}
+
+type snapshot = {
+  rs_nx : int;
+  rs_ny : int;
+  rs_tile : float;
+  rs_capacity : int;
+  rs_usage : int array;
+  rs_nets : net_snapshot list;
+}
+
+let snapshot t =
+  {
+    rs_nx = t.nx;
+    rs_ny = t.ny;
+    rs_tile = t.tile;
+    rs_capacity = t.capacity;
+    rs_usage = Array.copy t.usage;
+    rs_nets =
+      List.map
+        (fun net ->
+          {
+            rs_driver = net.driver;
+            rs_sinks = net.sink_cells;
+            rs_edges = net.edges;
+            rs_tiles = net.tiles;
+            rs_vias = net.vias;
+          })
+        t.routes;
+  }
+
+let restore placement s =
+  if s.rs_nx < 1 || s.rs_ny < 1 || s.rs_capacity < 1 then
+    invalid_arg "Route.restore: degenerate grid";
+  if Array.length s.rs_usage <> edge_count s.rs_nx s.rs_ny then
+    invalid_arg "Route.restore: usage array does not match the grid";
+  let routes =
+    List.map
+      (fun ns ->
+        {
+          driver = ns.rs_driver;
+          sink_cells = ns.rs_sinks;
+          edges = ns.rs_edges;
+          tiles = ns.rs_tiles;
+          vias = ns.rs_vias;
+        })
+      s.rs_nets
+  in
+  let by_driver = Hashtbl.create 64 in
+  List.iter (fun net -> Hashtbl.replace by_driver net.driver net) routes;
+  {
+    placement;
+    nx = s.rs_nx;
+    ny = s.rs_ny;
+    tile = s.rs_tile;
+    capacity = s.rs_capacity;
+    usage = Array.copy s.rs_usage;
+    routes;
+    by_driver;
+  }
+
 let fully_connected t =
   let tile_index (x, y) = (y * t.nx) + x in
   let placement = t.placement in

@@ -63,6 +63,33 @@ val fully_connected : t -> bool
 (** Every net's pins are connected through its routed tiles — checked with
     a union-find over tile adjacency; the invariant DRC re-verifies. *)
 
+type net_snapshot = {
+  rs_driver : int;
+  rs_sinks : int list;
+  rs_edges : int list;  (** grid edge ids, deduplicated *)
+  rs_tiles : (int * int) list;
+  rs_vias : int;
+}
+
+type snapshot = {
+  rs_nx : int;
+  rs_ny : int;
+  rs_tile : float;
+  rs_capacity : int;
+  rs_usage : int array;
+  rs_nets : net_snapshot list;
+}
+(** The serializable state of a routing result: grid parameters, per-edge
+    usage (DRC's congestion input), and every net's routed edges/tiles. *)
+
+val snapshot : t -> snapshot
+
+val restore : Educhip_place.Place.t -> snapshot -> t
+(** Rebuild a routing result around the given placement without rerunning
+    the router.
+    @raise Invalid_argument on a degenerate grid or a usage array that
+    does not match it. *)
+
 val metric_names : string list
 (** Counter families {!route} reports to [Educhip_obs.Obs] when
     telemetry is enabled (negotiation rounds run, nets ripped up); the

@@ -195,6 +195,8 @@ let quarantined t =
       (fun n name -> if Filename.check_suffix name ".json" then n + 1 else n)
       0 names
 
+(* the second component flags a legacy entry: well-formed but written
+   before the checksum existed (no [crc] member) *)
 let read_entry t path =
   match
     let ic = open_in_bin path in
@@ -206,7 +208,7 @@ let read_entry t path =
   | text -> (
     match
       let j = Jsonout.of_string text in
-      if checksum_ok j then entry_of_json j
+      if checksum_ok j then (entry_of_json j, Jsonout.member "crc" j = None)
       else failwith "cache entry: checksum mismatch"
     with
     | e -> Some e
@@ -219,8 +221,15 @@ let lookup t key =
   if not (Sys.file_exists path) then None
   else
     match read_entry t path with
-    | Some e ->
-      (try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> ());
+    | Some (e, legacy) ->
+      if legacy then begin
+        (* first hit on a pre-checksum entry upgrades it in place: count
+           it, rewrite it with a crc (store also refreshes its mtime) —
+           the unguarded population shrinks as it is actually used *)
+        Obs.incr_counter "sched.cache_legacy_entries";
+        store t e
+      end
+      else (try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> ());
       Some e
     | None -> None
 

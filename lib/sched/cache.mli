@@ -62,7 +62,10 @@ val store : t -> entry -> unit
     partial entry), then evict oldest-mtime entries beyond the cap. *)
 
 val lookup : t -> string -> entry option
-(** Hit refreshes the entry's mtime (LRU touch). *)
+(** Hit refreshes the entry's mtime (LRU touch). A hit on a legacy
+    pre-checksum entry (no [crc] member) additionally bumps the
+    [sched.cache_legacy_entries] counter and rewrites the entry with a
+    checksum, so the unguarded population shrinks as it is used. *)
 
 val probe : t -> string -> bool
 (** Would {!lookup} hit? No mtime touch — used by dry-run predictions. *)

@@ -1,4 +1,5 @@
 module Flow = Educhip_flow.Flow
+module Artifact = Educhip_artifact.Artifact
 module Fault = Educhip_fault.Fault
 module Guard = Educhip_fault.Guard
 module Designs = Educhip_designs.Designs
@@ -19,6 +20,7 @@ let metric_names =
     "sched.jobs_failed";
     "sched.cache_hits";
     "sched.cache_misses";
+    "sched.cache_legacy_entries";
     "sched.requeues";
   ]
 
@@ -71,6 +73,7 @@ type shared = {
   mutable misses : int;
   mutable requeues : int;
   cache : Cache.t option;
+  artifacts : Educhip_artifact.Store.t option;
   start_ms : float;
   max_requeues : int;
   stop : unit -> bool;
@@ -111,7 +114,7 @@ let engine_failure (job : Manifest.job) reason =
    domain, or signal a worker crash by raising Fault.Injected
    (fault_site, _) when [crashes_left > 0]. Shared by the campaign
    engine's workers and {!run_one} (the service daemon's entry point). *)
-let exec_flow ?cache ~crashes_left (job : Manifest.job) =
+let exec_flow ?cache ?artifacts ~crashes_left (job : Manifest.job) =
   let netlist = Designs.netlist (Designs.find job.design) in
   let node = Pdk.find_node job.node in
   let cfg = Flow.config ~node ?clock_period_ps:job.clock_ps job.preset in
@@ -140,7 +143,20 @@ let exec_flow ?cache ~crashes_left (job : Manifest.job) =
       | Some (e : Cache.entry) -> (e.verdict, e.ppa, e.record, true)
       | None ->
         let policy = { Guard.default_policy with Guard.max_retries = job.retries } in
-        let outcome = Flow.run_guarded ~policy netlist cfg in
+        (* the per-step artifact layer sits under the whole-job cache: a
+           job-cache miss still resumes from the deepest warm prefix of
+           stored step artifacts, and recomputed steps are stored for the
+           next partially-changed job. Keys are derived from job.inject
+           only — when crashes_left > 0 the extra sched.worker arming
+           fires before this point, so the flow never runs with it. *)
+        let memo =
+          Option.map
+            (fun store ->
+              Artifact.memo ~store ~netlist ~cfg ~inject:job.inject
+                ~fault_seed:job.fault_seed ~retries:job.retries)
+            artifacts
+        in
+        let outcome = Flow.run_guarded ~policy ?memo netlist cfg in
         let verdict = Flow.verdict_to_string (Flow.outcome_verdict outcome) in
         let ppa =
           match outcome with
@@ -162,20 +178,22 @@ let exec_flow ?cache ~crashes_left (job : Manifest.job) =
 
 let execute s (job : Manifest.job) =
   let crashes_left = job.crash_workers - s.crash_counts.(job.index) in
-  let ((_, _, _, from_cache) as r) = exec_flow ?cache:s.cache ~crashes_left job in
+  let ((_, _, _, from_cache) as r) =
+    exec_flow ?cache:s.cache ?artifacts:s.artifacts ~crashes_left job
+  in
   if s.cache <> None then
     Mutex.protect s.mutex (fun () ->
         if from_cache then s.hits <- s.hits + 1 else s.misses <- s.misses + 1);
   r
 
-let run_one ?cache ?(worker = 0) ?trace (job : Manifest.job) =
+let run_one ?cache ?artifacts ?(worker = 0) ?trace (job : Manifest.job) =
   let t0 = Mclock.now_ms () in
   (* Traced executions capture their spans in a private sub-collector so
      the request's events can be cut out cleanly, then merge it into the
      domain's installed collector (if any) so aggregate telemetry sees
      exactly what it would have without tracing. *)
   let exec () =
-    match exec_flow ?cache ~crashes_left:0 job with
+    match exec_flow ?cache ?artifacts ~crashes_left:0 job with
     | r -> r
     | exception exn -> engine_failure job (Printexc.to_string exn)
   in
@@ -316,6 +334,8 @@ let build_summary s ~workers results =
 let report_metrics s summary =
   if Obs.enabled () then begin
     List.iter Obs.declare_counter metric_names;
+    if s.artifacts <> None then
+      List.iter Obs.declare_counter Artifact.metric_names;
     Obs.add_counter "sched.jobs_completed" summary.completed;
     Obs.add_counter "sched.jobs_failed" summary.failed;
     Obs.add_counter "sched.cache_hits" summary.cache_hits;
@@ -334,7 +354,7 @@ let report_metrics s summary =
       (Array.to_list s.waits)
   end
 
-let run ?workers ?cache ?(max_requeues = 2) ?(stop = fun () -> false)
+let run ?workers ?cache ?artifacts ?(max_requeues = 2) ?(stop = fun () -> false)
     (manifest : Manifest.t) =
   let workers = Option.value workers ~default:(default_workers ()) in
   if workers < 1 then
@@ -356,6 +376,7 @@ let run ?workers ?cache ?(max_requeues = 2) ?(stop = fun () -> false)
       misses = 0;
       requeues = 0;
       cache;
+      artifacts;
       start_ms = Mclock.now_ms ();
       max_requeues;
       stop;

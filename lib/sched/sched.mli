@@ -69,6 +69,7 @@ val default_workers : unit -> int
 val run :
   ?workers:int ->
   ?cache:Cache.t ->
+  ?artifacts:Educhip_artifact.Store.t ->
   ?max_requeues:int ->
   ?stop:(unit -> bool) ->
   Manifest.t ->
@@ -88,6 +89,16 @@ val run :
     hook read an [Atomic.t]: plain [ref] writes have no cross-domain
     visibility guarantee.
 
+    [artifacts] layers the per-step incremental store
+    ([Educhip_artifact]) under the whole-job [cache]: a job-cache miss
+    resumes its flow from the deepest warm prefix of stored step
+    artifacts and stores each recomputed step, so partially-changed
+    jobs — a late-step config edit, a shared subdesign from another
+    tenant or campaign — pay only for the steps whose inputs actually
+    changed. Results stay bit-identical to cold runs. The store locks
+    internally, so one directory may be shared across workers, replicas,
+    and concurrent campaigns.
+
     When an {!Educhip_obs.Obs} collector is installed in the calling
     domain, each worker runs under its own collector and they are merged
     into the caller's after the join, along with the scheduler's own
@@ -97,6 +108,7 @@ val run :
 
 val run_one :
   ?cache:Cache.t ->
+  ?artifacts:Educhip_artifact.Store.t ->
   ?worker:int ->
   ?trace:Educhip_obs.Tracectx.t ->
   Manifest.job ->
@@ -106,7 +118,10 @@ val run_one :
     the campaign engine's executor: same cache key, same guard policy
     wiring, same ledger record shape, so a result served by a daemon is
     bit-identical to the same job in a batch campaign. Cache lookups and
-    stores are serialized process-wide. Engine-level exceptions are
+    stores are serialized process-wide. [artifacts] is the same
+    incremental-store layer as {!run}'s — a daemon pointing at the
+    directory a batch campaign populated resumes from its artifacts,
+    and vice versa. Engine-level exceptions are
     folded into a ["failed(...)"] verdict; [worker] (default 0) is
     recorded in the result. [wait_ms] is 0 — queue wait is the
     caller's to account.
@@ -123,7 +138,10 @@ val run_one :
 val metric_names : string list
 (** Counter families the scheduler reports: [sched.jobs_completed],
     [sched.jobs_failed], [sched.cache_hits], [sched.cache_misses],
-    [sched.requeues]. It also sets the [sched.workers] gauge and the
+    [sched.cache_legacy_entries] (pre-checksum cache entries counted —
+    and rewritten with a checksum — on first hit), [sched.requeues].
+    When {!run} is given an artifact store, the [artifact.*] families
+    are declared as well. It also sets the [sched.workers] gauge and the
     [sched.queue_wait_ms] / [sched.queue_depth_samples] histograms.
     While jobs are being dispatched, workers additionally publish live
     load gauges to their own collectors — [sched.queue_depth] and the

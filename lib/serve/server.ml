@@ -1,6 +1,7 @@
 module Manifest = Educhip_sched.Manifest
 module Fairshare = Educhip_sched.Fairshare
 module Cache = Educhip_sched.Cache
+module Artifact = Educhip_artifact.Artifact
 module Sched = Educhip_sched.Sched
 module Designs = Educhip_designs.Designs
 module Pdk = Educhip_pdk.Pdk
@@ -20,6 +21,7 @@ type config = {
   advanced : Ratelimit.limits;
   tiers : (string * Ratelimit.tier) list;
   cache : Cache.t option;
+  artifacts : Educhip_artifact.Store.t option;
   ledger : string option;
   journal : string option;
   default_deadline_ms : float option;
@@ -37,6 +39,7 @@ let default_config =
     advanced = Ratelimit.advanced_defaults;
     tiers = [];
     cache = None;
+    artifacts = None;
     ledger = None;
     journal = None;
     default_deadline_ms = None;
@@ -238,6 +241,7 @@ let sync_metrics t =
   List.iter
     (fun reason -> Obs.declare_counter ~labels:[ ("reason", reason) ] "serve.rejected")
     Wire.reject_reason_names;
+  if t.cfg.artifacts <> None then List.iter Obs.declare_counter Artifact.metric_names;
   sync_counter t "serve.admitted" t.admitted;
   sync_counter t "serve.cache_hits" t.cache_hits;
   sync_counter t "serve.jobs_completed" t.completed;
@@ -437,7 +441,9 @@ let worker_loop t wid =
       take ()
     | Some (e, `Run) ->
       journal_append t (Journal.Started { id = e.id });
-      finish t e (Sched.run_one ?cache:t.cfg.cache ~worker:wid ?trace:e.trace e.job);
+      finish t e
+        (Sched.run_one ?cache:t.cfg.cache ?artifacts:t.cfg.artifacts ~worker:wid
+           ?trace:e.trace e.job);
       take ()
   in
   take ()
@@ -892,7 +898,8 @@ let recover t =
            let result =
              match cached_result t job with
              | Some r -> r
-             | None -> Sched.run_one ?cache:t.cfg.cache job
+             | None ->
+               Sched.run_one ?cache:t.cfg.cache ?artifacts:t.cfg.artifacts job
            in
            register_recovered t ~id ~spec result;
            incr restored;
@@ -903,7 +910,9 @@ let recover t =
        re-imposed (the accepted job is owed a result, however late). *)
     List.iter
       (each ~on_ok:(fun id spec job ->
-           let result = Sched.run_one ?cache:t.cfg.cache job in
+           let result =
+             Sched.run_one ?cache:t.cfg.cache ?artifacts:t.cfg.artifacts job
+           in
            register_recovered t ~id ~spec result;
            incr replayed;
            survivors := (id, spec, result) :: !survivors))

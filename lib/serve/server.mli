@@ -31,6 +31,11 @@ type config = {
   cache : Educhip_sched.Cache.t option;
       (** warm submits are answered from here at admission, without
           occupying a worker *)
+  artifacts : Educhip_artifact.Store.t option;
+      (** per-step incremental store layered under [cache]: a cold
+          submit resumes from the deepest warm prefix of stored step
+          artifacts ([Educhip_artifact]); replicas sharing the directory
+          dedupe structurally identical work across tenants *)
   ledger : string option;  (** JSONL run ledger appended per completion *)
   journal : string option;
       (** write-ahead job journal ({!Journal}): every admission is
@@ -57,7 +62,8 @@ type config = {
 
 val default_config : config
 (** [Sched.default_workers ()] workers, queue bound 64, default tier
-    limits, no cache, no ledger, no journal, no default deadline,
+    limits, no cache, no artifact store, no ledger, no journal, no
+    default deadline,
     {!Educhip_obs.Slo.default_objectives} over a 256-request window,
     30 s read timeout, 64 KiB line bound. *)
 

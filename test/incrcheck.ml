@@ -1,0 +1,129 @@
+(* @incrcheck smoke: the per-step incremental artifact store end to end.
+
+   1. A cold run populates one artifact per template step; a config
+      delta (clock edit) must resume at exactly the first affected step
+      (sta), replaying the physical prefix and recomputing only the
+      suffix — bit-identical to a cold run of the edited config.
+   2. A structurally identical design under a different display name
+      (a second tenant's copy) must replay the whole chain from the
+      first tenant's artifacts without storing anything new.
+   3. A corrupted artifact must be quarantined and recomputed, with the
+      run still bit-identical. *)
+
+module Flow = Educhip_flow.Flow
+module Netlist = Educhip_netlist.Netlist
+module Designs = Educhip_designs.Designs
+module Obs = Educhip_obs.Obs
+module Artifact = Educhip_artifact.Artifact
+module Astore = Educhip_artifact.Store
+module Stepkey = Educhip_artifact.Stepkey
+
+let failures = ref 0
+
+let expect what ok =
+  Printf.printf "incrcheck  %-44s %s\n" what (if ok then "ok" else "FAIL");
+  if not ok then incr failures
+
+let expect_int what expected got =
+  Printf.printf "incrcheck  %-44s %s (%d)\n" what
+    (if got = expected then "ok" else Printf.sprintf "FAIL: got %d, want %d" got expected)
+    got;
+  if got <> expected then incr failures
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+let () =
+  let node = Educhip_pdk.Pdk.find_node "edu130" in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "educhip-incrcheck" in
+  rm_rf dir;
+  let store = Astore.create ~dir () in
+  let netlist = Designs.netlist (Designs.find "counter") in
+  let base = Flow.config ~node Flow.Open_flow in
+  let memo_for ?(n = netlist) cfg =
+    Artifact.memo ~store ~netlist:n ~cfg ~inject:[] ~fault_seed:1 ~retries:2
+  in
+  let prefix ?(n = netlist) cfg =
+    Artifact.warm_prefix ~store ~netlist:n ~cfg ~inject:[] ~fault_seed:1 ~retries:2
+  in
+  let run ?memo ?(n = netlist) cfg =
+    match Flow.run_guarded ?memo n cfg with
+    | Flow.Completed r -> r
+    | Flow.Aborted a -> failwith ("incrcheck: flow aborted at " ^ a.Flow.failed_step)
+  in
+  let counted f =
+    let c = Obs.create () in
+    let r = Obs.with_collector c f in
+    (r, fun name -> Obs.counter_value c name)
+  in
+  let n_steps = List.length Flow.step_names in
+
+  (* 1: cold populate, then a config delta resuming at sta *)
+  let cold, ctr = counted (fun () -> run ~memo:(memo_for base) base) in
+  expect_int "cold run stores one artifact per step" n_steps (ctr "artifact.stores");
+  expect_int "cold run probes exactly one miss" 1 (ctr "artifact.misses");
+  let edited = { base with Flow.clock_period_ps = base.Flow.clock_period_ps *. 1.25 } in
+  expect_int "clock delta resumes at sta" 6 (prefix edited);
+  let cold_edited = run edited in
+  let warm_edited, ctr = counted (fun () -> run ~memo:(memo_for edited) edited) in
+  expect_int "warm resume replays the physical prefix" 6 (ctr "artifact.hits");
+  expect_int "warm resume stores only the suffix" (n_steps - 6) (ctr "artifact.stores");
+  expect "warm resume bit-identical to cold rerun"
+    (cold_edited.Flow.ppa = warm_edited.Flow.ppa
+    && cold_edited.Flow.verdict = warm_edited.Flow.verdict
+    && cold_edited.Flow.execs = warm_edited.Flow.execs
+    && List.map (fun s -> (s.Flow.step_name, s.Flow.detail)) cold_edited.Flow.steps
+       = List.map (fun s -> (s.Flow.step_name, s.Flow.detail)) warm_edited.Flow.steps);
+
+  (* 2: a second tenant's structurally identical design dedupes *)
+  let tenant_b =
+    Netlist.restore ~name:"tenant-b-counter"
+      (Array.init (Netlist.cell_count netlist) (Netlist.cell netlist))
+  in
+  expect_int "identical structure replays the whole chain" n_steps
+    (prefix ~n:tenant_b base);
+  let dedup, ctr =
+    counted (fun () -> run ~memo:(memo_for ~n:tenant_b base) ~n:tenant_b base)
+  in
+  expect_int "dedup run is all hits" n_steps (ctr "artifact.hits");
+  expect_int "dedup run stores nothing" 0 (ctr "artifact.stores");
+  expect "dedup run matches the original tenant's QoR"
+    (cold.Flow.ppa = dedup.Flow.ppa && cold.Flow.execs = dedup.Flow.execs);
+  expect "dedup run keeps its own display name"
+    (Netlist.name dedup.Flow.mapped = "tenant-b-counter");
+
+  (* 3: a corrupted artifact is quarantined and recomputed *)
+  let victim =
+    (* the base chain's placement artifact: mid-chain, so the rerun
+       replays synthesis..buffering, recomputes from placement on *)
+    let chain =
+      Stepkey.chain ~netlist ~cfg:base ~inject:[] ~fault_seed:1 ~retries:2
+    in
+    Filename.concat dir (List.assoc "placement" chain ^ ".json")
+  in
+  if not (Sys.file_exists victim) then failwith "incrcheck: placement artifact missing";
+  let ic = open_in_bin victim in
+  let body = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin victim in
+  output_string oc (String.sub body 0 (String.length body / 2));
+  close_out oc;
+  let recovered, ctr = counted (fun () -> run ~memo:(memo_for base) base) in
+  expect "corrupt artifact is quarantined" (ctr "artifact.quarantined" >= 1);
+  expect "quarantine keeps the evidence"
+    (Sys.file_exists (Filename.concat dir "quarantine")
+    && Array.length (Sys.readdir (Filename.concat dir "quarantine")) >= 1);
+  expect "recomputed run bit-identical"
+    (cold.Flow.ppa = recovered.Flow.ppa && cold.Flow.execs = recovered.Flow.execs);
+
+  rm_rf dir;
+  if !failures > 0 then begin
+    Printf.printf "incrcheck: %d check(s) failed\n" !failures;
+    exit 1
+  end;
+  print_endline "incrcheck: config-delta resume, cross-tenant dedup, quarantine recovery all hold"

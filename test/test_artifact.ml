@@ -1,0 +1,258 @@
+module Flow = Educhip_flow.Flow
+module Pdk = Educhip_pdk.Pdk
+module Place = Educhip_place.Place
+module Route = Educhip_route.Route
+module Synth = Educhip_synth.Synth
+module Designs = Educhip_designs.Designs
+module Netlist = Educhip_netlist.Netlist
+module Fault = Educhip_fault.Fault
+module Stepkey = Educhip_artifact.Stepkey
+module Artifact = Educhip_artifact.Artifact
+module Astore = Educhip_artifact.Store
+module Obs = Educhip_obs.Obs
+module Runlog = Educhip_obs.Runlog
+
+let check = Alcotest.check
+
+let temp_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+let with_store_dir f =
+  let dir = temp_dir "educhip_artifact_test" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let node130 = Pdk.find_node "edu130"
+let counter = Designs.netlist (Designs.find "counter")
+
+let chain_of cfg =
+  Stepkey.chain ~netlist:counter ~cfg ~inject:[] ~fault_seed:1 ~retries:2
+
+(* {2 Key chain shape} *)
+
+let test_chain_shape () =
+  let cfg = Flow.config ~node:node130 Flow.Open_flow in
+  let chain = chain_of cfg in
+  check Alcotest.(list string) "one key per template step, flow order"
+    Flow.step_names (List.map fst chain);
+  let keys = List.map snd chain in
+  check Alcotest.int "all keys distinct" (List.length keys)
+    (List.length (List.sort_uniq compare keys));
+  check Alcotest.(list string) "deterministic" keys (List.map snd (chain_of cfg))
+
+let test_chain_rtl_sensitivity () =
+  let cfg = Flow.config ~node:node130 Flow.Open_flow in
+  let other = Designs.netlist (Designs.find "gray8") in
+  let k1 = List.map snd (chain_of cfg) in
+  let k2 =
+    List.map snd
+      (Stepkey.chain ~netlist:other ~cfg ~inject:[] ~fault_seed:1 ~retries:2)
+  in
+  List.iter2
+    (fun a b -> check Alcotest.bool "RTL change rekeys every step" true (a <> b))
+    k1 k2
+
+(* {2 Slice property}
+
+   Perturbing the knobs of step N must leave keys of steps < N unchanged
+   and change every key >= N — the warm-prefix invariant the resume
+   logic relies on. One entry per perturbable knob, with the index of the
+   first step whose slice sees it (template order: synthesis 0, sizing 1,
+   buffering 2, placement 3, cts 4, routing 5, sta 6, power 7, drc 8,
+   gds 9). *)
+
+let knobs =
+  [
+    ( "synth_passes",
+      (fun (c : Flow.config) k ->
+        { c with
+          synth_options =
+            { c.synth_options with
+              Synth.optimization_passes = c.synth_options.Synth.optimization_passes + 1 + k
+            } }),
+      0 );
+    ("sizing_rounds", (fun c k -> { c with Flow.sizing_rounds = c.Flow.sizing_rounds + 1 + k }), 1);
+    ("max_fanout", (fun c k -> { c with Flow.max_fanout = Some (4 + k) }), 2);
+    ( "place_moves",
+      (fun c k ->
+        { c with
+          Flow.place_effort =
+            { c.Flow.place_effort with
+              Place.annealing_moves = c.Flow.place_effort.Place.annealing_moves + 1 + k
+            } }),
+      3 );
+    ( "utilization",
+      (fun c k -> { c with Flow.utilization = c.Flow.utilization *. (0.9 -. (0.01 *. float_of_int (k mod 10))) }),
+      3 );
+    ( "route_seed",
+      (fun c k ->
+        { c with
+          Flow.route_effort =
+            { c.Flow.route_effort with Route.seed = c.Flow.route_effort.Route.seed + 1 + k }
+        }),
+      5 );
+    ( "clock",
+      (fun c k ->
+        { c with Flow.clock_period_ps = c.Flow.clock_period_ps +. (7.0 *. float_of_int (1 + k)) }),
+      6 );
+    ("power_cycles", (fun c k -> { c with Flow.power_cycles = c.Flow.power_cycles + 1 + k }), 7);
+  ]
+
+let prop_knob_splits_chain =
+  QCheck.Test.make ~name:"knob edit rekeys exactly the suffix at its step" ~count:100
+    QCheck.(pair (int_bound (List.length knobs - 1)) small_nat)
+    (fun (which, magnitude) ->
+      let name, edit, first = List.nth knobs which in
+      let base = Flow.config ~node:node130 Flow.Open_flow in
+      let edited = edit base magnitude in
+      (* a magnitude that happens to round-trip to the same signature is
+         a no-op edit; the property is vacuous there *)
+      QCheck.assume (Flow.config_signature base <> Flow.config_signature edited);
+      let k1 = List.map snd (chain_of base) in
+      let k2 = List.map snd (chain_of edited) in
+      List.iteri
+        (fun i (a, b) ->
+          if i < first then (
+            if a <> b then
+              QCheck.Test.fail_reportf "%s: key %d (%s) changed above the edit" name i
+                (List.nth Flow.step_names i))
+          else if a = b then
+            QCheck.Test.fail_reportf "%s: key %d (%s) survived the edit" name i
+              (List.nth Flow.step_names i))
+        (List.combine k1 k2);
+      true)
+
+(* {2 Fault slices} *)
+
+let arm site fault = Fault.arming site fault
+
+let test_fault_slice_locality () =
+  let cfg = Flow.config ~node:node130 Flow.Open_flow in
+  let chain_with inject =
+    List.map snd
+      (Stepkey.chain ~netlist:counter ~cfg ~inject ~fault_seed:1 ~retries:2)
+  in
+  let base = chain_with [] in
+  (* a Crash armed at the routing step leaves synthesis..cts keys alone *)
+  let routed = chain_with [ arm "flow.routing" Fault.Crash ] in
+  List.iteri
+    (fun i (a, b) ->
+      if i < 5 then check Alcotest.string "pre-routing key stable" a b
+      else check Alcotest.bool "routing-onward key rekeyed" true (a <> b))
+    (List.combine base routed);
+  (* Crash + Hang couple sites through the injector RNG: every key moves *)
+  let coupled =
+    chain_with [ arm "flow.routing" Fault.Crash; arm "flow.sta" Fault.Hang ]
+  in
+  List.iter2
+    (fun a b -> check Alcotest.bool "rng-coupled plan rekeys everything" true (a <> b))
+    base coupled
+
+(* {2 Warm rerun bit-identity}
+
+   Cold-populate a store, edit a late-step knob, then run the edited
+   config cold (no store) and warm (resuming from the artifact prefix):
+   PPA, verdict, per-step reports, execution records, and the ledger
+   record must be bit-identical. *)
+
+let run_with ?memo cfg =
+  match Flow.run_guarded ?memo counter cfg with
+  | Flow.Completed r -> r
+  | Flow.Aborted a -> Alcotest.failf "flow aborted: %s (%s)" a.Flow.failed_step a.Flow.failure_reason
+
+let test_warm_rerun_bit_identical () =
+  with_store_dir @@ fun dir ->
+  let store = Astore.create ~dir () in
+  let memo_for cfg =
+    Artifact.memo ~store ~netlist:counter ~cfg ~inject:[] ~fault_seed:1 ~retries:2
+  in
+  let base = Flow.config ~node:node130 Flow.Open_flow in
+  ignore (run_with ~memo:(memo_for base) base);
+  check Alcotest.int "cold populate stores every step" (List.length Flow.step_names)
+    (Astore.entries store);
+  let edited = { base with Flow.clock_period_ps = base.Flow.clock_period_ps *. 1.25 } in
+  check Alcotest.int "clock edit resumes at sta" 6
+    (Artifact.warm_prefix ~store ~netlist:counter ~cfg:edited ~inject:[] ~fault_seed:1
+       ~retries:2);
+  let cold = run_with edited in
+  let warm = run_with ~memo:(memo_for edited) edited in
+  check
+    Alcotest.(list (pair string string))
+    "step reports identical"
+    (List.map (fun s -> (s.Flow.step_name, s.Flow.detail)) cold.Flow.steps)
+    (List.map (fun s -> (s.Flow.step_name, s.Flow.detail)) warm.Flow.steps);
+  check Alcotest.bool "ppa identical" true (cold.Flow.ppa = warm.Flow.ppa);
+  check Alcotest.bool "verdict identical" true (cold.Flow.verdict = warm.Flow.verdict);
+  check Alcotest.bool "exec records identical" true (cold.Flow.execs = warm.Flow.execs);
+  let ledger r =
+    Flow.ledger_record ~design:"counter" ~node:"edu130" ~preset:"open"
+      (Flow.Completed r)
+  in
+  check Alcotest.bool "ledger record identical" true (ledger cold = ledger warm);
+  (* the warm run only computed the suffix: sta, power, drc, gds *)
+  check Alcotest.int "suffix artifacts stored" (10 + 4) (Astore.entries store)
+
+let test_full_replay_and_lru_cap () =
+  with_store_dir @@ fun dir ->
+  let store = Astore.create ~dir ~max_entries:10 () in
+  let cfg = Flow.config ~node:node130 Flow.Open_flow in
+  let memo = Artifact.memo ~store ~netlist:counter ~cfg ~inject:[] ~fault_seed:1 ~retries:2 in
+  let cold = run_with ~memo cfg in
+  let warm = run_with ~memo cfg in
+  check Alcotest.bool "full replay bit-identical" true
+    (cold.Flow.ppa = warm.Flow.ppa && cold.Flow.execs = warm.Flow.execs);
+  check Alcotest.int "store capped at max_entries" 10 (Astore.entries store);
+  (* an RTL change under a full store evicts oldest entries instead of
+     growing past the cap *)
+  let other = Designs.netlist (Designs.find "gray8") in
+  let memo2 = Artifact.memo ~store ~netlist:other ~cfg ~inject:[] ~fault_seed:1 ~retries:2 in
+  (match Flow.run_guarded ~memo:memo2 other cfg with
+  | Flow.Completed _ -> ()
+  | Flow.Aborted a -> Alcotest.failf "flow aborted: %s" a.Flow.failed_step);
+  check Alcotest.int "eviction holds the cap" 10 (Astore.entries store)
+
+let test_corrupt_artifact_quarantined () =
+  with_store_dir @@ fun dir ->
+  let store = Astore.create ~dir () in
+  let cfg = Flow.config ~node:node130 Flow.Open_flow in
+  let memo = Artifact.memo ~store ~netlist:counter ~cfg ~inject:[] ~fault_seed:1 ~retries:2 in
+  let cold = run_with ~memo cfg in
+  (* truncate one stored entry mid-payload: the verified read must
+     reject it, the run must fall back to computing that step, and the
+     result must still be bit-identical *)
+  let victim =
+    match Sys.readdir dir |> Array.to_list |> List.filter (fun f -> Filename.check_suffix f ".json") with
+    | f :: _ -> Filename.concat dir f
+    | [] -> Alcotest.fail "no artifacts stored"
+  in
+  let ic = open_in_bin victim in
+  let n = in_channel_length ic in
+  let body = really_input_string ic n in
+  close_in ic;
+  let oc = open_out_bin victim in
+  output_string oc (String.sub body 0 (n / 2));
+  close_out oc;
+  let warm = run_with ~memo cfg in
+  check Alcotest.bool "corruption-tolerant rerun bit-identical" true
+    (cold.Flow.ppa = warm.Flow.ppa && cold.Flow.execs = warm.Flow.execs)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest [ prop_knob_splits_chain ]
+  @ [
+      ("chain shape", `Quick, test_chain_shape);
+      ("chain RTL sensitivity", `Quick, test_chain_rtl_sensitivity);
+      ("fault slice locality", `Quick, test_fault_slice_locality);
+      ("warm rerun bit-identical", `Quick, test_warm_rerun_bit_identical);
+      ("full replay and LRU cap", `Quick, test_full_replay_and_lru_cap);
+      ("corrupt artifact quarantined", `Quick, test_corrupt_artifact_quarantined);
+    ]

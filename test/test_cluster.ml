@@ -392,6 +392,16 @@ let dead_router () =
         { Client.default_retry_policy with Client.attempts = 2; base_ms = 1.0; cap_ms = 1.0 };
     }
 
+let test_router_stash_config () =
+  let spec =
+    { Spec.default with Spec.replicas = [ ("r1", "/tmp/educhip-nonexistent-1.sock") ] }
+  in
+  let cfg = Router.config spec in
+  Alcotest.(check int) "default stash cap" 512 cfg.Router.stash_max;
+  Alcotest.check_raises "stash_max must be positive"
+    (Invalid_argument "Router.create: stash_max must be >= 1, got 0") (fun () ->
+      ignore (Router.create { cfg with Router.stash_max = 0 }))
+
 let test_router_dead_replicas () =
   let r = dead_router () in
   (match Router.handle r (Wire.Submit (Wire.submit "no-such-design")) with
@@ -453,5 +463,6 @@ let suite =
     Alcotest.test_case "exposition sample tagging" `Quick test_tag_sample;
     Alcotest.test_case "exposition merging" `Quick test_merge_expositions;
     Alcotest.test_case "wire admin verbs round-trip" `Quick test_wire_admin_roundtrip;
+    Alcotest.test_case "router stash cap config" `Quick test_router_stash_config;
     Alcotest.test_case "router with unreachable replicas" `Quick test_router_dead_replicas;
   ]

@@ -6,6 +6,7 @@ module Flow = Educhip_flow.Flow
 module Fault = Educhip_fault.Fault
 module Runlog = Educhip_obs.Runlog
 module Obs = Educhip_obs.Obs
+module Jsonout = Educhip_obs.Jsonout
 module Pdk = Educhip_pdk.Pdk
 module Designs = Educhip_designs.Designs
 
@@ -247,6 +248,41 @@ let test_cache_checksum_guard () =
       check Alcotest.bool "tampered entry misses" true (Cache.lookup cache k = None);
       check Alcotest.int "tampered entry quarantined" 1 (Cache.quarantined cache))
 
+(* an entry written before the checksum existed (no [crc] member) still
+   hits, is counted by sched.cache_legacy_entries, and is rewritten
+   with a checksum on that first hit *)
+let test_cache_legacy_entry_upgraded () =
+  with_cache_dir (fun dir ->
+      let cache = Cache.create ~dir () in
+      let k = key () in
+      Cache.store cache (sample_entry k);
+      let path = Filename.concat dir (k ^ ".json") in
+      let ic = open_in_bin path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let stripped =
+        match Jsonout.of_string text with
+        | Jsonout.Obj fields ->
+          Jsonout.Obj (List.filter (fun (name, _) -> name <> "crc") fields)
+        | _ -> Alcotest.fail "entry is not an object"
+      in
+      let oc = open_out_bin path in
+      output_string oc (Jsonout.to_string stripped);
+      close_out oc;
+      let c = Obs.create () in
+      Obs.with_collector c (fun () ->
+          check Alcotest.bool "legacy entry hits" true (Cache.lookup cache k <> None);
+          check Alcotest.bool "second hit sees the upgraded entry" true
+            (Cache.lookup cache k <> None));
+      check Alcotest.int "counted once, not on the rewritten hit" 1
+        (Obs.counter_value c "sched.cache_legacy_entries");
+      let ic = open_in_bin path in
+      let rewritten = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      check Alcotest.bool "rewritten with a checksum" true
+        (Jsonout.member "crc" (Jsonout.of_string rewritten) <> None);
+      check Alcotest.int "nothing quarantined" 0 (Cache.quarantined cache))
+
 (* {2 Scheduler} *)
 
 let campaign_manifest =
@@ -393,6 +429,8 @@ let suite =
       test_cache_corrupt_entry_is_miss;
     Alcotest.test_case "cache: checksum guards against bit rot" `Quick
       test_cache_checksum_guard;
+    Alcotest.test_case "cache: pre-checksum entries counted and upgraded" `Quick
+      test_cache_legacy_entry_upgraded;
     Alcotest.test_case "sched: results invariant under worker count" `Quick
       test_sched_worker_count_invariance;
     Alcotest.test_case "sched: manifest-ordered results and totals" `Quick
